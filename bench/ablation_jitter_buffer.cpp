@@ -1,0 +1,69 @@
+// Extension ablation: playout-buffer sizing on ASAP relay paths.
+//
+// The paper (and our evaluation) folds the playout buffer into a fixed
+// E-Model term; this bench shows the underlying trade-off explicitly: late
+// loss falls with buffer depth while the delay impairment rises, and the
+// MOS-optimal depth shifts with the path's base delay — a relay path near
+// the 150 ms one-way bound has far less buffer headroom than a short one.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/select_relay.h"
+#include "voip/jitter_buffer.h"
+
+using namespace asap;
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "jitter");
+  auto workload = bench::sample_sessions(*world, env.sessions);
+
+  // Three representative paths: a good direct session, an ASAP relay path
+  // for a latent session, and that session's (bad) direct path.
+  struct Profile {
+    const char* label;
+    Millis one_way_ms;
+    double loss;
+  };
+  std::vector<Profile> profiles;
+  for (const auto& s : workload.all) {
+    if (s.direct_rtt_ms < 120.0) {
+      profiles.push_back({"short direct path", s.direct_rtt_ms / 2.0, s.direct_loss});
+      break;
+    }
+  }
+  if (!workload.latent.empty()) {
+    const auto& s = workload.latent.front();
+    core::AsapParams params;
+    core::CloseSetCache cache(*world, params);
+    Rng rng = world->fork_rng(900);
+    auto result = core::select_close_relay(*world, cache, s, rng);
+    if (result.best.found()) {
+      profiles.push_back({"ASAP relay path (latent session)", result.best.rtt_ms / 2.0,
+                          result.best.loss});
+    }
+    profiles.push_back({"latent session direct path", s.direct_rtt_ms / 2.0, s.direct_loss});
+  }
+
+  voip::EModel emodel(voip::kG729aVad);
+  voip::JitterParams jitter;
+  Rng rng = world->fork_rng(901);
+
+  for (const auto& profile : profiles) {
+    voip::JitterBufferSim sim(profile.one_way_ms, profile.loss, 20000, jitter, rng);
+    bench::print_section(std::string("Playout buffer sweep — ") + profile.label);
+    std::printf("base one-way %.1f ms, network loss %.2f%%\n", profile.one_way_ms,
+                100.0 * profile.loss);
+    Table table({"buffer depth (ms)", "late loss", "mouth-to-ear (ms)", "MOS"});
+    for (const auto& r : sim.sweep(160.0, 20.0, emodel)) {
+      table.add_row({Table::fmt(r.buffer_depth_ms, 0), Table::fmt_pct(r.late_loss, 2),
+                     Table::fmt(r.mouth_to_ear_ms, 0), Table::fmt(r.mos, 2)});
+    }
+    table.print();
+    auto best = sim.best_depth(300.0, 5.0, emodel);
+    std::printf("MOS-optimal depth: %.0f ms (MOS %.2f, late loss %s)\n",
+                best.buffer_depth_ms, best.mos,
+                Table::fmt_pct(best.late_loss, 2).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: the valley-free BFS depth k in construct-close-cluster-set().
+// The paper fixes k = 4 because >90% of sub-300 ms direct paths have at
+// most 4 AS hops. This sweep shows what shallower/deeper searches do to
+// quality paths, shortest RTT and overhead.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace asap;
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "ablation-k");
+  auto workload = bench::sample_sessions(*world, env.sessions);
+  // Subsample latent sessions: each k re-builds every close set.
+  std::vector<population::Session> sessions = workload.latent;
+  if (sessions.size() > 300) sessions.resize(300);
+
+  // Context for the paper's choice: hop count of sub-300ms direct paths.
+  {
+    std::size_t below = 0;
+    std::size_t within4 = 0;
+    for (const auto& s : workload.all) {
+      if (s.direct_rtt_ms >= 300.0) continue;
+      ++below;
+      auto hops = world->oracle().as_hops(world->pop().peer(s.caller).as,
+                                          world->pop().peer(s.callee).as);
+      if (hops <= 4) ++within4;
+    }
+    std::printf("direct paths <300ms with <=4 AS hops: %.1f%% (paper: >90%%)\n",
+                below ? 100.0 * static_cast<double>(within4) / static_cast<double>(below)
+                      : 0.0);
+  }
+
+  bench::print_section("Ablation: close-set BFS depth k");
+  Table table({"k", "p50 quality paths", "p10 quality paths", "p50 shortest RTT (ms)",
+               "max shortest RTT (ms)", "p90 messages", "close-set p50 size"});
+  for (std::uint8_t k = 1; k <= 6; ++k) {
+    relay::EvaluationConfig config;
+    config.asap.k = k;
+    relay::AsapSelector selector(*world, config.asap, world->fork_rng(1000 + k));
+    std::vector<double> paths;
+    std::vector<double> rtts;
+    std::vector<double> msgs;
+    for (const auto& s : sessions) {
+      auto r = selector.select(s);
+      paths.push_back(static_cast<double>(r.quality_paths));
+      rtts.push_back(std::min(r.shortest_rtt_ms, s.direct_rtt_ms));
+      msgs.push_back(static_cast<double>(r.messages));
+    }
+    // Median close-set size across the sets this sweep actually built.
+    std::vector<double> set_sizes;
+    for (const auto& s : sessions) {
+      set_sizes.push_back(static_cast<double>(
+          selector.cache().get(world->pop().peer(s.caller).cluster).entries.size()));
+    }
+    table.add_row({Table::fmt_int(k), Table::fmt(percentile(paths, 50), 0),
+                   Table::fmt(percentile(paths, 10), 0), Table::fmt(percentile(rtts, 50), 1),
+                   Table::fmt(percentile(rtts, 100), 1), Table::fmt(percentile(msgs, 90), 0),
+                   Table::fmt(percentile(set_sizes, 50), 0)});
+  }
+  table.print();
+  return 0;
+}

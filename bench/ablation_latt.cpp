@@ -1,0 +1,46 @@
+// Ablation: the latency threshold latT used both to admit clusters into
+// close sets and to accept relay paths. The paper sets it "close to
+// 300 ms" (from the 150 ms one-way bound). Lower latT trims the candidate
+// space (fewer quality paths, less overhead) but risks finding nothing.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace asap;
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "ablation-latT");
+  auto workload = bench::sample_sessions(*world, env.sessions);
+  std::vector<population::Session> sessions = workload.latent;
+  if (sessions.size() > 300) sessions.resize(300);
+
+  bench::print_section("Ablation: latency threshold latT");
+  Table table({"latT (ms)", "p50 quality paths", "sessions w/o relay", "p50 shortest RTT",
+               "p90 messages", "two-hop sessions"});
+  for (double lat : {150.0, 200.0, 250.0, 300.0, 400.0}) {
+    relay::EvaluationConfig config;
+    config.asap.lat_threshold_ms = lat;
+    relay::AsapSelector selector(*world, config.asap,
+                                 world->fork_rng(2000 + static_cast<std::uint64_t>(lat)));
+    std::vector<double> paths;
+    std::vector<double> rtts;
+    std::vector<double> msgs;
+    std::size_t without = 0;
+    std::size_t two_hop = 0;
+    for (const auto& s : sessions) {
+      auto r = selector.select(s);
+      paths.push_back(static_cast<double>(r.quality_paths));
+      if (r.shortest_rtt_ms >= kUnreachableMs) ++without;
+      rtts.push_back(std::min(r.shortest_rtt_ms, s.direct_rtt_ms));
+      msgs.push_back(static_cast<double>(r.messages));
+      if (selector.last_detail().two_hop_triggered) ++two_hop;
+    }
+    table.add_row({Table::fmt(lat, 0), Table::fmt(percentile(paths, 50), 0),
+                   Table::fmt_int(static_cast<long long>(without)),
+                   Table::fmt(percentile(rtts, 50), 1), Table::fmt(percentile(msgs, 90), 0),
+                   Table::fmt_int(static_cast<long long>(two_hop))});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation: sizeT, the one-hop node count below which select-close-relay()
+// expands to two-hop search (paper default 300). Higher sizeT triggers the
+// expansion more often — more messages for little RTT benefit when one-hop
+// candidates are plentiful.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace asap;
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "ablation-sizeT");
+  auto workload = bench::sample_sessions(*world, env.sessions);
+  std::vector<population::Session> sessions = workload.latent;
+  if (sessions.size() > 300) sessions.resize(300);
+
+  bench::print_section("Ablation: two-hop trigger threshold sizeT");
+  Table table({"sizeT", "two-hop sessions", "p50 quality paths", "p50 shortest RTT",
+               "p90 messages", "max messages"});
+  for (std::uint32_t size_t_param : {0u, 100u, 300u, 1000u, 5000u}) {
+    relay::EvaluationConfig config;
+    config.asap.size_threshold = size_t_param;
+    relay::AsapSelector selector(*world, config.asap, world->fork_rng(3000 + size_t_param));
+    std::vector<double> paths;
+    std::vector<double> rtts;
+    std::vector<double> msgs;
+    std::size_t two_hop = 0;
+    for (const auto& s : sessions) {
+      auto r = selector.select(s);
+      paths.push_back(static_cast<double>(r.quality_paths));
+      rtts.push_back(std::min(r.shortest_rtt_ms, s.direct_rtt_ms));
+      msgs.push_back(static_cast<double>(r.messages));
+      if (selector.last_detail().two_hop_triggered) ++two_hop;
+    }
+    table.add_row({Table::fmt_int(size_t_param),
+                   Table::fmt_int(static_cast<long long>(two_hop)),
+                   Table::fmt(percentile(paths, 50), 0), Table::fmt(percentile(rtts, 50), 1),
+                   Table::fmt(percentile(msgs, 90), 0),
+                   Table::fmt(percentile(msgs, 100), 0)});
+  }
+  table.print();
+  return 0;
+}

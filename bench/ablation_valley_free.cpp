@@ -1,0 +1,48 @@
+// Ablation: does respecting valley-free (BGP policy) constraints in the
+// close-set BFS matter? An unconstrained BFS reaches ASes over paths that
+// BGP will never realize, so its hop estimates are optimistic: candidate
+// clusters that look k-hop-close are admitted, probed (wasted messages)
+// and then rejected by the latency check — or worse, admitted clusters'
+// measured latencies no longer correlate with their BFS depth.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace asap;
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "ablation-vf");
+  auto workload = bench::sample_sessions(*world, env.sessions);
+  std::vector<population::Session> sessions = workload.latent;
+  if (sessions.size() > 300) sessions.resize(300);
+
+  bench::print_section("Ablation: valley-free vs unconstrained close-set BFS");
+  Table table({"BFS", "p50 quality paths", "p50 shortest RTT (ms)", "p90 messages",
+               "construction probes / cluster"});
+  for (bool valley_free : {true, false}) {
+    relay::EvaluationConfig config;
+    config.asap.valley_free = valley_free;
+    relay::AsapSelector selector(*world, config.asap,
+                                 world->fork_rng(5000 + (valley_free ? 1 : 0)));
+    std::vector<double> paths;
+    std::vector<double> rtts;
+    std::vector<double> msgs;
+    for (const auto& s : sessions) {
+      auto r = selector.select(s);
+      paths.push_back(static_cast<double>(r.quality_paths));
+      rtts.push_back(std::min(r.shortest_rtt_ms, s.direct_rtt_ms));
+      msgs.push_back(static_cast<double>(r.messages));
+    }
+    double probes_per_cluster =
+        selector.cache().built_count() == 0
+            ? 0.0
+            : static_cast<double>(selector.cache().total_probe_messages()) /
+                  static_cast<double>(selector.cache().built_count());
+    table.add_row({valley_free ? "valley-free (ASAP)" : "unconstrained",
+                   Table::fmt(percentile(paths, 50), 0), Table::fmt(percentile(rtts, 50), 1),
+                   Table::fmt(percentile(msgs, 90), 0), Table::fmt(probes_per_cluster, 0)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,234 @@
+#include "bench_common.h"
+
+#include <chrono>
+#include <set>
+#include <cstdio>
+#include <cstdlib>
+
+#include "population/session_gen.h"
+#include "voip/emodel.h"
+
+namespace asap::bench {
+
+BenchEnv read_env() {
+  BenchEnv env;
+  if (const char* s = std::getenv("ASAP_SEED")) env.seed = std::strtoull(s, nullptr, 10);
+  if (const char* s = std::getenv("ASAP_SESSIONS")) {
+    env.sessions = std::strtoull(s, nullptr, 10);
+  }
+  if (const char* s = std::getenv("ASAP_SCALE")) {
+    double scale = std::strtod(s, nullptr);
+    if (scale > 0.0 && scale <= 1.0) env.scale = scale;
+  }
+  env.sessions = static_cast<std::size_t>(static_cast<double>(env.sessions) * env.scale);
+  if (env.sessions < 100) env.sessions = 100;
+  return env;
+}
+
+namespace {
+
+population::WorldParams base_params(const BenchEnv& env) {
+  population::WorldParams params;
+  params.seed = env.seed;
+  params.topo.total_as = static_cast<std::size_t>(6000 * env.scale);
+  if (params.topo.total_as < 200) params.topo.total_as = 200;
+  params.pop.host_as_count = static_cast<std::size_t>(1461 * env.scale);
+  if (params.pop.host_as_count < 60) params.pop.host_as_count = 60;
+  return params;
+}
+
+}  // namespace
+
+population::WorldParams eval_world_params(const BenchEnv& env) {
+  population::WorldParams params = base_params(env);
+  params.pop.total_peers = static_cast<std::size_t>(23366 * env.scale);
+  if (params.pop.total_peers < 1000) params.pop.total_peers = 1000;
+  return params;
+}
+
+population::WorldParams scaled_world_params(const BenchEnv& env) {
+  population::WorldParams params = base_params(env);
+  params.pop.total_peers = static_cast<std::size_t>(103625 * env.scale);
+  if (params.pop.total_peers < 4000) params.pop.total_peers = 4000;
+  return params;
+}
+
+population::WorldParams small_world_params(std::uint64_t seed) {
+  population::WorldParams params;
+  params.seed = seed;
+  params.topo.total_as = 600;
+  params.pop.host_as_count = 150;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+std::unique_ptr<population::World> build_world(const population::WorldParams& params,
+                                               const std::string& label) {
+  auto start = std::chrono::steady_clock::now();
+  auto world = std::make_unique<population::World>(params);
+  auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+  std::fprintf(stderr,
+               "[world:%s] seed=%llu ases=%zu links=%zu host_ases=%zu clusters=%zu "
+               "peers=%zu congested=%zu broken=%zu (%.2fs)\n",
+               label.c_str(), static_cast<unsigned long long>(params.seed),
+               world->graph().as_count(), world->graph().edge_count(),
+               world->pop().host_ases().size(), world->pop().populated_clusters().size(),
+               world->pop().peers().size(), world->latency_model().congested_as_count(),
+               world->latency_model().broken_edge_count(), elapsed.count());
+  return world;
+}
+
+SessionWorkload sample_sessions(const population::World& world, std::size_t count,
+                                std::uint64_t salt) {
+  Rng rng = world.fork_rng(salt);
+  SessionWorkload workload;
+  workload.all = population::generate_sessions(world, count, rng);
+  workload.latent = population::latent_sessions(workload.all);
+  std::fprintf(stderr, "[sessions] total=%zu latent(>300ms)=%zu (%.2f%%)\n",
+               workload.all.size(), workload.latent.size(),
+               100.0 * static_cast<double>(workload.latent.size()) /
+                   static_cast<double>(workload.all.size()));
+  return workload;
+}
+
+SkypeStudy make_skype_study(const population::World& world, std::uint64_t salt) {
+  const auto& pop = world.pop();
+  const auto& graph = world.graph();
+  const auto& centers = world.topo().continent_centers;
+  Rng rng = world.fork_rng(salt);
+
+  // Continent of a host: nearest continent centre to its AS.
+  auto continent_of = [&](HostId h) {
+    const auto& geo = graph.node(pop.peer(h).as).geo;
+    std::size_t best = 0;
+    double best_d = 1e18;
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      double d = astopo::geo_distance_km(geo, centers[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    return best;
+  };
+
+  auto pick_on = [&](std::size_t continent) {
+    for (int tries = 0; tries < 100000; ++tries) {
+      HostId h(static_cast<std::uint32_t>(rng.below(pop.peers().size())));
+      if (continent_of(h) == continent) return h;
+    }
+    return HostId(0);
+  };
+
+  SkypeStudy study;
+  study.sites.resize(18);
+
+  // The paper's far sites (13-17, the "China" endpoints) make sessions 4,
+  // 6-8, 10-11 problematic: their direct paths to site 1 ran at 238-355 ms.
+  // Reproduce that by anchoring site 1 at the caller of a latent session
+  // and drawing the far sites from latent callees of that same caller
+  // region (falling back to the worst-RTT hosts found when fewer than five
+  // exist).
+  Rng sess_rng = rng.fork(1);
+  auto samples = population::generate_sessions(world, 40000, sess_rng);
+  auto latent = population::latent_sessions(samples);
+  // Moderate latent band only (the paper's problematic sessions ran at
+  // 238-355 ms; a caller behind a broken multi-second uplink would make
+  // *every* session pathological, which is not the measured geometry).
+  auto moderate = [](Millis rtt) { return rtt > kQualityRttThresholdMs && rtt < 650.0; };
+  HostId site1 = HostId(0);
+  for (const auto& s : latent) {
+    if (moderate(s.direct_rtt_ms)) {
+      site1 = s.caller;
+      break;
+    }
+  }
+  study.sites[1] = site1;
+
+  std::set<std::uint32_t> used{site1.value()};
+  int next_far = 13;
+  for (const auto& s : latent) {
+    if (next_far > 17) break;
+    Millis rtt = world.host_rtt_ms(site1, s.callee);
+    if (!moderate(rtt)) continue;
+    if (!used.insert(s.callee.value()).second) continue;
+    study.sites[next_far++] = s.callee;
+  }
+  // Fallback: pad remaining far sites with the worst partners found.
+  std::size_t continent_a = continent_of(site1);
+  std::size_t continent_b = (continent_a + centers.size() / 2) % centers.size();
+  while (next_far <= 17) {
+    HostId best = pick_on(continent_b);
+    Millis best_rtt = world.host_rtt_ms(site1, best);
+    for (int tries = 0; tries < 2000; ++tries) {
+      HostId candidate = pick_on(continent_b);
+      if (used.contains(candidate.value())) continue;
+      Millis rtt = world.host_rtt_ms(site1, candidate);
+      if (rtt > best_rtt) {
+        best = candidate;
+        best_rtt = rtt;
+      }
+    }
+    used.insert(best.value());
+    study.sites[next_far++] = best;
+  }
+  // Near sites 2-12: same continent as site 1.
+  for (int s = 2; s <= 12; ++s) study.sites[s] = pick_on(continent_a);
+  // Table 1's caller-callee site pairs, sessions 1..14.
+  study.session_pairs = {{3, 5}, {1, 11}, {1, 7}, {1, 14}, {1, 3},  {1, 16}, {1, 15},
+                         {1, 15}, {1, 9}, {1, 17}, {1, 13}, {1, 12}, {6, 8}, {2, 10}};
+  return study;
+}
+
+void print_cdf(const std::string& title, const std::string& value_label,
+               const std::vector<double>& values, std::size_t points) {
+  print_section(title);
+  if (values.empty()) {
+    std::printf("(no data)\n");
+    return;
+  }
+  Table table({value_label, "CDF"});
+  for (const auto& p : make_cdf(values, points)) {
+    table.add_row({Table::fmt(p.x, 2), Table::fmt(p.y, 4)});
+  }
+  table.print();
+}
+
+void print_ccdf(const std::string& title, const std::string& value_label,
+                const std::vector<double>& values, std::size_t points) {
+  print_section(title);
+  if (values.empty()) {
+    std::printf("(no data)\n");
+    return;
+  }
+  Table table({value_label, "CCDF"});
+  for (const auto& p : make_ccdf(values, points)) {
+    table.add_row({Table::fmt(p.x, 2), Table::fmt(p.y, 4)});
+  }
+  table.print();
+}
+
+void print_method_summary(const std::string& title,
+                          const std::vector<relay::MethodResults>& results,
+                          const std::string& metric) {
+  print_section(title);
+  Table table({"method", "min", "p10", "median", "p90", "max", "mean"});
+  for (const auto& mr : results) {
+    const std::vector<double>* values = nullptr;
+    if (metric == "quality_paths") values = &mr.quality_paths;
+    if (metric == "shortest_rtt_ms") values = &mr.shortest_rtt_ms;
+    if (metric == "highest_mos") values = &mr.highest_mos;
+    if (metric == "messages") values = &mr.messages;
+    if (values == nullptr || values->empty()) continue;
+    OnlineStats stats;
+    for (double v : *values) stats.add(v);
+    table.add_row({mr.method, Table::fmt(stats.min(), 2),
+                   Table::fmt(percentile(*values, 10), 2),
+                   Table::fmt(percentile(*values, 50), 2),
+                   Table::fmt(percentile(*values, 90), 2), Table::fmt(stats.max(), 2),
+                   Table::fmt(stats.mean(), 2)});
+  }
+  table.print();
+}
+
+}  // namespace asap::bench

@@ -1,0 +1,76 @@
+// Shared harness for the figure/table benches: standard world profiles
+// matching the paper's evaluation setups, plus printing helpers.
+//
+// Environment knobs (all optional):
+//   ASAP_SEED     — world seed (default 20050926, the BGP snapshot date)
+//   ASAP_SESSIONS — total sampled sessions (default 100000)
+//   ASAP_SCALE    — fractional scale in (0,1] applied to world & session
+//                   sizes for quick smoke runs (default 1)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "population/session_gen.h"
+#include "population/world.h"
+#include "relay/evaluation.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace asap::bench {
+
+struct BenchEnv {
+  std::uint64_t seed = 20050926;
+  std::size_t sessions = 100000;
+  double scale = 1.0;
+};
+
+BenchEnv read_env();
+
+// Paper evaluation world: ~6,000 ASes, 1,461 host ASes, 23,366 peers
+// ("23,366 IPs are used in all other figures").
+population::WorldParams eval_world_params(const BenchEnv& env);
+// Scalability world (Fig. 17): same topology footprint, 103,625 peers.
+population::WorldParams scaled_world_params(const BenchEnv& env);
+// Small world for micro-benches and quick demos.
+population::WorldParams small_world_params(std::uint64_t seed);
+
+// Builds a world and logs build time + basic shape to stderr.
+std::unique_ptr<population::World> build_world(const population::WorldParams& params,
+                                               const std::string& label);
+
+// Samples the session workload and returns (all, latent) per the paper.
+struct SessionWorkload {
+  std::vector<population::Session> all;
+  std::vector<population::Session> latent;  // direct RTT > 300 ms
+};
+SessionWorkload sample_sessions(const population::World& world, std::size_t count,
+                                std::uint64_t salt = 42);
+
+// Prints an empirical CDF as a table with the given value-column label.
+void print_cdf(const std::string& title, const std::string& value_label,
+               const std::vector<double>& values, std::size_t points = 15);
+void print_ccdf(const std::string& title, const std::string& value_label,
+                const std::vector<double>& values, std::size_t points = 15);
+
+// Prints one summary row per method for a metric.
+void print_method_summary(const std::string& title,
+                          const std::vector<relay::MethodResults>& results,
+                          const std::string& metric);
+
+// The Section-5 Skype measurement geometry (paper Fig. 5 / Table 1):
+// 17 sites — 1-12 on one continent ("USA/Canada"), 13-17 on another
+// ("China") — and the 14 caller-callee pairs of Table 1.
+struct SkypeStudy {
+  std::vector<HostId> sites;                        // [0] unused; sites are 1-based
+  std::vector<std::pair<int, int>> session_pairs;   // (caller site, callee site)
+};
+SkypeStudy make_skype_study(const population::World& world, std::uint64_t salt = 99);
+
+// Fraction formatting helpers re-exported for the bench binaries.
+using asap::Table;
+using asap::print_section;
+
+}  // namespace asap::bench

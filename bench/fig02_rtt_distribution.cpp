@@ -1,0 +1,64 @@
+// Reproduces paper Fig. 2: (a) the direct IP routing RTT distribution of
+// 10^5 random sessions; (b) direct vs optimal one-hop relay RTTs.
+//
+// Paper shape to match: ~10^3 of 10^5 sessions above 300 ms, ~10^4 above
+// 200 ms, a handful above 5 s; ~60% of sessions improved by the optimal
+// one-hop relay, whose RTTs are mostly below 100 ms.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "population/measurement.h"
+
+using namespace asap;
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "fig02");
+  auto workload = bench::sample_sessions(*world, env.sessions);
+
+  std::vector<double> direct;
+  direct.reserve(workload.all.size());
+  for (const auto& s : workload.all) direct.push_back(s.direct_rtt_ms);
+
+  bench::print_section("Fig 2(a): direct IP routing RTT distribution");
+  {
+    LogHistogram hist(10.0, 1.6, 18);
+    for (double d : direct) hist.add(d);
+    Table table({"RTT bin (ms)", "sessions"});
+    for (std::size_t i = 0; i < hist.bins(); ++i) {
+      table.add_row({Table::fmt(hist.bin_lo(i), 0) + " - " + Table::fmt(hist.bin_hi(i), 0),
+                     Table::fmt_int(static_cast<long long>(hist.bin_count(i)))});
+    }
+    table.print();
+
+    Table thresholds({"threshold", "sessions above", "fraction"});
+    for (double t : {200.0, 300.0, 500.0, 1000.0, 5000.0}) {
+      auto above = static_cast<long long>(fraction_above(direct, t) *
+                                          static_cast<double>(direct.size()) + 0.5);
+      thresholds.add_row({Table::fmt(t, 0) + " ms", Table::fmt_int(above),
+                          Table::fmt_pct(fraction_above(direct, t), 2)});
+    }
+    thresholds.print();
+  }
+
+  // Fig 2(b): optimal one-hop for every session.
+  population::OneHopScanner scanner(*world);
+  std::vector<double> optimal;
+  optimal.reserve(workload.all.size());
+  std::size_t improved = 0;
+  for (const auto& s : workload.all) {
+    auto best = scanner.best(s);
+    optimal.push_back(best.rtt_ms);
+    if (best.rtt_ms < s.direct_rtt_ms) ++improved;
+  }
+
+  bench::print_section("Fig 2(b): direct vs optimal one-hop relay RTT");
+  std::printf("sessions where optimal 1-hop beats direct: %zu / %zu (%.1f%%)\n", improved,
+              workload.all.size(),
+              100.0 * static_cast<double>(improved) / static_cast<double>(workload.all.size()));
+  bench::print_cdf("direct RTT CDF", "direct RTT (ms)", direct);
+  bench::print_cdf("optimal 1-hop RTT CDF", "optimal 1-hop RTT (ms)", optimal);
+  std::printf("optimal 1-hop RTT below 100 ms: %s of sessions\n",
+              Table::fmt_pct(fraction_at_most(optimal, 100.0), 1).c_str());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces paper Fig. 3: (a) the RTT reduction rate of the optimal
+// one-hop relay for improved sessions (evenly spread in (0,1)); (b) direct
+// vs optimal one-hop RTT for the latent sessions (direct > 300 ms), where
+// the optimal one-hop relay always lands below 300 ms.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "population/measurement.h"
+
+using namespace asap;
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "fig03");
+  auto workload = bench::sample_sessions(*world, env.sessions);
+  population::OneHopScanner scanner(*world);
+
+  // Fig 3(a): reduction rate over improved sessions.
+  std::vector<double> reductions;
+  for (const auto& s : workload.all) {
+    auto best = scanner.best(s);
+    if (best.rtt_ms < s.direct_rtt_ms) {
+      reductions.push_back(population::reduction_rate(s.direct_rtt_ms, best.rtt_ms));
+    }
+  }
+  bench::print_section("Fig 3(a): optimal 1-hop RTT reduction rate (improved sessions)");
+  {
+    Histogram hist(0.0, 1.0, 10);
+    for (double r : reductions) hist.add(r);
+    Table table({"reduction rate bin", "sessions", "fraction"});
+    for (std::size_t i = 0; i < hist.bins(); ++i) {
+      table.add_row({Table::fmt(hist.bin_lo(i), 1) + " - " + Table::fmt(hist.bin_hi(i), 1),
+                     Table::fmt_int(static_cast<long long>(hist.bin_count(i))),
+                     Table::fmt_pct(static_cast<double>(hist.bin_count(i)) /
+                                        static_cast<double>(std::max<std::size_t>(
+                                            hist.total(), 1)),
+                                    1)});
+    }
+    table.print();
+  }
+
+  // Fig 3(b): latent sessions only.
+  bench::print_section("Fig 3(b): direct vs optimal 1-hop RTT for latent sessions (>300ms)");
+  std::size_t below_300 = 0;
+  std::vector<double> latent_direct;
+  std::vector<double> latent_optimal;
+  for (const auto& s : workload.latent) {
+    auto best = scanner.best(s);
+    latent_direct.push_back(s.direct_rtt_ms);
+    latent_optimal.push_back(best.rtt_ms);
+    if (best.rtt_ms < 300.0) ++below_300;
+  }
+  std::printf("latent sessions: %zu; optimal 1-hop below 300 ms for %zu (%.2f%%)\n",
+              workload.latent.size(), below_300,
+              workload.latent.empty()
+                  ? 0.0
+                  : 100.0 * static_cast<double>(below_300) /
+                        static_cast<double>(workload.latent.size()));
+  if (!latent_direct.empty()) {
+    Table table({"percentile", "direct RTT (ms)", "optimal 1-hop RTT (ms)"});
+    for (double q : {0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+      table.add_row({Table::fmt(q, 0), Table::fmt(percentile(latent_direct, q), 1),
+                     Table::fmt(percentile(latent_optimal, q), 1)});
+    }
+    table.print();
+  }
+  return 0;
+}

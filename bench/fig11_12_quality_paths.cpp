@@ -1,0 +1,36 @@
+// Reproduces paper Figs. 11 & 12: per-session quality-path counts and their
+// CDF for DEDI / RAND / MIX / ASAP over the latent sessions (23,366-peer
+// world). Paper shape: baselines never exceed ~500 quality paths; with
+// ASAP, 90% of sessions find more than 10^4.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace asap;
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "fig11-12");
+  auto workload = bench::sample_sessions(*world, env.sessions);
+
+  relay::EvaluationConfig config;
+  config.include_opt = false;  // OPT does not appear in the quality-path figures
+  auto results = relay::evaluate_methods(*world, workload.latent, config);
+
+  bench::print_method_summary("Fig 11: quality paths per latent session", results,
+                              "quality_paths");
+  for (const auto& mr : results) {
+    bench::print_cdf("Fig 12: quality-path CDF — " + mr.method, "quality paths",
+                     mr.quality_paths);
+  }
+
+  bench::print_section("Fig 11/12 headline comparison");
+  Table table({"method", "sessions > 500 paths", "sessions > 1e4 paths", "p10 paths"});
+  for (const auto& mr : results) {
+    table.add_row({mr.method, Table::fmt_pct(fraction_above(mr.quality_paths, 500.0), 1),
+                   Table::fmt_pct(fraction_above(mr.quality_paths, 1.0e4), 1),
+                   Table::fmt(percentile(mr.quality_paths, 10), 0)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) of the hot algorithmic primitives:
+// per-destination BGP route computation, valley-free k-hop BFS, prefix-trie
+// longest-prefix match, close-cluster-set construction and
+// select-close-relay.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "astopo/prefix_trie.h"
+#include "astopo/routing.h"
+#include "astopo/valley_free.h"
+#include "core/close_cluster.h"
+#include "core/select_relay.h"
+#include "population/measurement.h"
+
+using namespace asap;
+
+namespace {
+
+const population::World& shared_world() {
+  static auto world = bench::build_world(bench::small_world_params(7), "micro");
+  return *world;
+}
+
+void BM_ComputeRoutes(benchmark::State& state) {
+  const auto& world = shared_world();
+  std::uint32_t dest = 0;
+  for (auto _ : state) {
+    auto table = astopo::compute_routes(world.graph(),
+                                        AsId(dest++ % world.graph().as_count()));
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(world.graph().as_count()));
+}
+BENCHMARK(BM_ComputeRoutes);
+
+void BM_ValleyFreeBfs(benchmark::State& state) {
+  const auto& world = shared_world();
+  std::uint32_t src = 0;
+  for (auto _ : state) {
+    auto hops = astopo::valley_free_hops(
+        world.graph(), AsId(src++ % world.graph().as_count()),
+        static_cast<std::uint8_t>(state.range(0)));
+    benchmark::DoNotOptimize(hops);
+  }
+}
+BENCHMARK(BM_ValleyFreeBfs)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_PrefixTrieLookup(benchmark::State& state) {
+  const auto& world = shared_world();
+  Rng rng(99);
+  std::vector<Ipv4Addr> queries;
+  for (int i = 0; i < 1024; ++i) {
+    const auto& peers = world.pop().peers();
+    queries.push_back(peers[rng.index_of(peers)].ip);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto hit = world.pop().cluster_of_ip(queries[i++ & 1023]);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_PrefixTrieLookup);
+
+void BM_CloseClusterSet(benchmark::State& state) {
+  const auto& world = shared_world();
+  core::AsapParams params;
+  std::size_t i = 0;
+  const auto& clusters = world.pop().populated_clusters();
+  for (auto _ : state) {
+    auto set = core::construct_close_cluster_set(world, clusters[i++ % clusters.size()],
+                                                 params);
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_CloseClusterSet);
+
+void BM_SelectCloseRelay(benchmark::State& state) {
+  const auto& world = shared_world();
+  core::AsapParams params;
+  core::CloseSetCache cache(world, params);
+  Rng rng(3);
+  Rng session_rng(4);
+  auto sessions = population::generate_sessions(world, 256, session_rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto result = core::select_close_relay(world, cache, sessions[i++ & 255], rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SelectCloseRelay);
+
+void BM_OneHopScan(benchmark::State& state) {
+  const auto& world = shared_world();
+  population::OneHopScanner scanner(world);
+  Rng session_rng(5);
+  auto sessions = population::generate_sessions(world, 256, session_rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto best = scanner.best(sessions[i++ & 255]);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(world.pop().populated_clusters().size()));
+}
+BENCHMARK(BM_OneHopScan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Reproduces paper Fig. 5 / Table 1: the Skype measurement geometry — 17
+// sites on two continents and the 14 caller-callee sessions — plus each
+// session's direct RTT (the paper measured these with ping; e.g. sessions
+// 10 and 11 had 238 ms and 355 ms).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace asap;
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "table1");
+  auto study = bench::make_skype_study(*world);
+
+  bench::print_section("Fig 5: measurement sites");
+  {
+    Table table({"site", "peer IP", "ASN", "continent role"});
+    for (int s = 1; s <= 17; ++s) {
+      HostId h = study.sites[s];
+      const auto& peer = world->pop().peer(h);
+      table.add_row({Table::fmt_int(s), peer.ip.to_string(),
+                     Table::fmt_int(world->graph().node(peer.as).asn),
+                     s <= 12 ? "continent A (USA/Canada role)" : "continent B (China role)"});
+    }
+    table.print();
+  }
+
+  bench::print_section("Table 1: the 14 Skype calling sessions");
+  {
+    Table table({"session", "caller site", "callee site", "direct RTT (ms)",
+                 "intercontinental"});
+    for (std::size_t i = 0; i < study.session_pairs.size(); ++i) {
+      auto [a, b] = study.session_pairs[i];
+      HostId caller = study.sites[a];
+      HostId callee = study.sites[b];
+      Millis rtt = world->host_rtt_ms(caller, callee);
+      table.add_row({Table::fmt_int(static_cast<long long>(i + 1)), Table::fmt_int(a),
+                     Table::fmt_int(b), Table::fmt(rtt, 1),
+                     (a <= 12) != (b <= 12) ? "yes" : "no"});
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Table 2 (Limit 2): relay nodes probed within the same
+// AS during one Skype session. The paper found two relays in session 8
+// sharing a DNS zone (same AS) whose relay paths both measured ~360 ms —
+// probing both is wasted effort since their paths share fate. We group each
+// session's probed relays by origin AS (via the prefix-to-AS mapping) and
+// report the duplicate groups with their relay-path RTTs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "trace/analyzer.h"
+#include "trace/skype_model.h"
+
+using namespace asap;
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "table2");
+  auto study = bench::make_skype_study(*world);
+  Rng rng = world->fork_rng(563);
+  trace::SkypeModelParams params;
+
+  const auto& pop = world->pop();
+  auto as_of_ip = [&](Ipv4Addr ip) -> std::uint64_t {
+    auto cluster = pop.cluster_of_ip(ip);
+    if (!cluster) return 0;
+    return pop.cluster(*cluster).as.value() + 1;  // +1: 0 is "unmapped"
+  };
+
+  std::size_t sessions_with_duplicates = 0;
+  for (std::size_t i = 0; i < study.session_pairs.size(); ++i) {
+    auto [a, b] = study.session_pairs[i];
+    HostId caller = study.sites[a];
+    HostId callee = study.sites[b];
+    auto session = trace::generate_skype_session(*world, caller, callee, params, rng);
+    auto groups = trace::same_group_probes(session.capture, as_of_ip);
+    if (groups.empty()) continue;
+    ++sessions_with_duplicates;
+
+    bench::print_section("Table 2: same-AS probed relays in session " +
+                         std::to_string(i + 1));
+    Table table({"relay node", "origin ASN", "relay path RTT (ms)"});
+    for (const auto& group : groups) {
+      AsId as(static_cast<std::uint32_t>(group.group_key - 1));
+      for (Ipv4Addr ip : group.targets) {
+        auto cluster = pop.cluster_of_ip(ip);
+        Millis rtt = kUnreachableMs;
+        if (cluster) {
+          HostId relay = pop.cluster(*cluster).delegate;
+          rtt = world->relay_rtt_ms(caller, relay, callee);
+        }
+        table.add_row({ip.to_string(), Table::fmt_int(world->graph().node(as).asn),
+                       rtt >= kUnreachableMs ? "unreachable" : Table::fmt(rtt, 1)});
+      }
+    }
+    table.print();
+  }
+  std::printf("\nsessions with same-AS duplicate probes: %zu / %zu\n",
+              sessions_with_duplicates, study.session_pairs.size());
+  return 0;
+}

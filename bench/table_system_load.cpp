@@ -1,0 +1,87 @@
+// Reproduces the paper's Sec. 6.3 system-load analysis:
+//   * bootstrap storage — the serialized annotated AS graph / RIB is small
+//     (the paper: ~800 KB for the 2005-09-26 AS graph);
+//   * cluster sizes — 90% of clusters hold at most 100 online end hosts, so
+//     a single surrogate per cluster suffices (multiple for ~1,000-host
+//     clusters);
+//   * surrogate request load under a nominal call rate.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "astopo/bgp_table.h"
+#include "astopo/graph_io.h"
+
+using namespace asap;
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "sysload");
+  const auto& pop = world->pop();
+
+  bench::print_section("Bootstrap storage (Sec 6.3)");
+  {
+    // The annotated AS graph in its dissemination format (what a bootstrap
+    // pushes to every surrogate).
+    const auto& graph = world->graph();
+    std::string graph_text = astopo::serialize_graph(graph);
+    // Prefix -> (ASN, surrogate IP) mapping table.
+    std::string mapping_text;
+    for (ClusterId c : pop.populated_clusters()) {
+      const auto& cluster = pop.cluster(c);
+      mapping_text += cluster.prefix.to_string() + "|" +
+                      std::to_string(graph.node(cluster.as).asn) + "|" +
+                      pop.peer(cluster.surrogate).ip.to_string() + "\n";
+    }
+    Table table({"structure", "entries", "serialized size (KB)"});
+    table.add_row({"annotated AS graph", Table::fmt_int(static_cast<long long>(graph.edge_count())),
+                   Table::fmt(static_cast<double>(graph_text.size()) / 1024.0, 1)});
+    table.add_row({"prefix->surrogate table",
+                   Table::fmt_int(static_cast<long long>(pop.populated_clusters().size())),
+                   Table::fmt(static_cast<double>(mapping_text.size()) / 1024.0, 1)});
+    table.print();
+  }
+
+  bench::print_section("Cluster size distribution (Sec 6.3)");
+  {
+    std::vector<double> sizes;
+    for (ClusterId c : pop.populated_clusters()) {
+      sizes.push_back(static_cast<double>(pop.cluster(c).members.size()));
+    }
+    Table table({"statistic", "value"});
+    table.add_row({"populated clusters", Table::fmt_int(static_cast<long long>(sizes.size()))});
+    table.add_row({"median size", Table::fmt(percentile(sizes, 50), 1)});
+    table.add_row({"p90 size", Table::fmt(percentile(sizes, 90), 1)});
+    table.add_row({"max size", Table::fmt(percentile(sizes, 100), 0)});
+    table.add_row({"clusters <= 100 hosts", Table::fmt_pct(fraction_at_most(sizes, 100.0), 1)});
+    table.print();
+  }
+
+  bench::print_section("Per-surrogate close-set request load");
+  {
+    // With each host placing one call per hour and two close-set fetches
+    // per call (caller + callee side), a member generates ~2 requests/hour
+    // toward its assigned surrogate. Large clusters shard members over
+    // several surrogates (Sec. 6.3), bounding per-surrogate load.
+    std::vector<double> sizes;
+    std::vector<double> per_surrogate;
+    std::size_t multi = 0;
+    for (ClusterId c : pop.populated_clusters()) {
+      const auto& cluster = pop.cluster(c);
+      sizes.push_back(static_cast<double>(cluster.members.size()));
+      per_surrogate.push_back(static_cast<double>(cluster.members.size()) /
+                              static_cast<double>(cluster.surrogates.size()));
+      if (cluster.surrogates.size() > 1) ++multi;
+    }
+    Table table({"metric", "single-surrogate view", "with multi-surrogate sharding"});
+    table.add_row({"p90 members served", Table::fmt(percentile(sizes, 90), 0),
+                   Table::fmt(percentile(per_surrogate, 90), 0)});
+    table.add_row({"max members served", Table::fmt(percentile(sizes, 100), 0),
+                   Table::fmt(percentile(per_surrogate, 100), 0)});
+    table.add_row({"max requests/hour", Table::fmt(2.0 * percentile(sizes, 100), 0),
+                   Table::fmt(2.0 * percentile(per_surrogate, 100), 0)});
+    table.print();
+    std::printf("clusters running multiple surrogates: %zu\n", multi);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "astopo/as_graph.h"
+
+#include <cassert>
+
+namespace asap::astopo {
+
+AsId AsGraph::add_as(std::uint32_t asn, AsTier tier, GeoPoint geo) {
+  AsId id(static_cast<std::uint32_t>(nodes_.size()));
+  nodes_.push_back(AsNode{asn, tier, geo});
+  adjacency_.emplace_back();
+  return id;
+}
+
+std::uint32_t AsGraph::add_edge(AsId a, AsId b, LinkType type_from_a) {
+  assert(a.valid() && b.valid() && a != b);
+  assert(a.value() < nodes_.size() && b.value() < nodes_.size());
+  auto edge_id = static_cast<std::uint32_t>(edge_endpoints_.size());
+  edge_endpoints_.emplace_back(a, b);
+  adjacency_[a.value()].push_back(AsAdjacency{b, type_from_a, edge_id});
+  adjacency_[b.value()].push_back(AsAdjacency{a, reverse(type_from_a), edge_id});
+  return edge_id;
+}
+
+std::optional<AsId> AsGraph::find_by_asn(std::uint32_t asn) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].asn == asn) return AsId(static_cast<std::uint32_t>(i));
+  }
+  return std::nullopt;
+}
+
+std::optional<LinkType> AsGraph::link_between(AsId a, AsId b) const {
+  for (const auto& adj : neighbors(a)) {
+    if (adj.neighbor == b) return adj.type;
+  }
+  return std::nullopt;
+}
+
+bool AsGraph::validate() const {
+  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+    AsId a(static_cast<std::uint32_t>(i));
+    for (const auto& adj : adjacency_[i]) {
+      if (!adj.neighbor.valid() || adj.neighbor.value() >= nodes_.size()) return false;
+      if (adj.edge_id >= edge_endpoints_.size()) return false;
+      auto [ea, eb] = edge_endpoints_[adj.edge_id];
+      if (!((ea == a && eb == adj.neighbor) || (ea == adj.neighbor && eb == a))) return false;
+      // Find the mirror entry.
+      bool found = false;
+      for (const auto& back : adjacency_[adj.neighbor.value()]) {
+        if (back.edge_id == adj.edge_id && back.neighbor == a) {
+          if (back.type != reverse(adj.type)) return false;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace asap::astopo

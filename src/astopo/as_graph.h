@@ -1,0 +1,80 @@
+// Annotated AS-level graph: nodes are Autonomous Systems, undirected edges
+// carry a commercial relationship (provider/customer, peer, sibling).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "astopo/relationship.h"
+#include "common/ids.h"
+
+namespace asap::astopo {
+
+// Tier labels assigned by the synthetic generator (informational; the
+// routing logic only looks at link types).
+enum class AsTier : std::uint8_t { kTier1 = 1, kTier2 = 2, kStub = 3 };
+
+// Geographic position of an AS on the synthetic world map, in kilometres.
+struct GeoPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// One directed adjacency entry.
+struct AsAdjacency {
+  AsId neighbor;
+  LinkType type;
+  std::uint32_t edge_id;  // undirected edge index, shared with the reverse entry
+};
+
+struct AsNode {
+  std::uint32_t asn = 0;          // wire-format AS number
+  AsTier tier = AsTier::kStub;
+  GeoPoint geo;
+};
+
+class AsGraph {
+ public:
+  // Adds an AS; returns its dense id. ASNs must be unique (checked by
+  // find_by_asn users; the graph itself does not index ASNs).
+  AsId add_as(std::uint32_t asn, AsTier tier = AsTier::kStub, GeoPoint geo = {});
+
+  // Adds an undirected edge a<->b where `type_from_a` is the relationship
+  // seen from a (e.g. kToProvider means b is a's provider). Returns the
+  // edge id. Duplicate edges are the caller's responsibility to avoid.
+  std::uint32_t add_edge(AsId a, AsId b, LinkType type_from_a);
+
+  [[nodiscard]] std::size_t as_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_endpoints_.size(); }
+
+  [[nodiscard]] const AsNode& node(AsId id) const { return nodes_[id.value()]; }
+  [[nodiscard]] std::span<const AsAdjacency> neighbors(AsId id) const {
+    return adjacency_[id.value()];
+  }
+  [[nodiscard]] std::size_t degree(AsId id) const { return adjacency_[id.value()].size(); }
+
+  // Endpoints of an undirected edge, in insertion order (a, b).
+  [[nodiscard]] std::pair<AsId, AsId> edge_endpoints(std::uint32_t edge_id) const {
+    return edge_endpoints_[edge_id];
+  }
+
+  // Linear scan lookup by wire ASN (used by parsers; O(n)).
+  [[nodiscard]] std::optional<AsId> find_by_asn(std::uint32_t asn) const;
+
+  // Returns the link type a->b if the edge exists.
+  [[nodiscard]] std::optional<LinkType> link_between(AsId a, AsId b) const;
+
+  // Structural validation: every adjacency entry has a symmetric reverse
+  // entry with the reversed link type and the same edge id. Returns false on
+  // the first violation (used by tests and after parsing external data).
+  [[nodiscard]] bool validate() const;
+
+ private:
+  std::vector<AsNode> nodes_;
+  std::vector<std::vector<AsAdjacency>> adjacency_;
+  std::vector<std::pair<AsId, AsId>> edge_endpoints_;
+};
+
+}  // namespace asap::astopo

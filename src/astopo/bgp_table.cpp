@@ -1,0 +1,241 @@
+#include "astopo/bgp_table.h"
+
+#include <algorithm>
+#include <charconv>
+#include <set>
+#include <sstream>
+
+#include "astopo/routing.h"
+
+namespace asap::astopo {
+
+namespace {
+
+std::vector<std::uint32_t> parse_path(std::string_view text, bool& ok) {
+  std::vector<std::uint32_t> path;
+  ok = true;
+  while (!text.empty()) {
+    while (!text.empty() && text.front() == ' ') text.remove_prefix(1);
+    if (text.empty()) break;
+    std::uint32_t asn = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), asn);
+    if (ec != std::errc()) {
+      ok = false;
+      return path;
+    }
+    path.push_back(asn);
+    text.remove_prefix(static_cast<std::size_t>(ptr - text.data()));
+  }
+  if (path.empty()) ok = false;
+  return path;
+}
+
+std::string path_to_string(const std::vector<std::uint32_t>& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(path[i]);
+  }
+  return out;
+}
+
+// Collapses AS-path prepending (consecutive duplicates).
+std::vector<std::uint32_t> collapse(const std::vector<std::uint32_t>& path) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t asn : path) {
+    if (out.empty() || out.back() != asn) out.push_back(asn);
+  }
+  return out;
+}
+
+}  // namespace
+
+void BgpRib::add(RibEntry entry) {
+  entries_.push_back(std::move(entry));
+  trie_dirty_ = true;
+}
+
+void BgpRib::apply(const BgpUpdate& update) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const RibEntry& e) { return e.prefix == update.prefix; });
+  if (update.kind == BgpUpdate::Kind::kWithdraw) {
+    if (it != entries_.end()) entries_.erase(it);
+  } else {
+    if (it != entries_.end()) {
+      it->as_path = update.as_path;
+    } else {
+      entries_.push_back(RibEntry{update.prefix, update.as_path});
+    }
+  }
+  trie_dirty_ = true;
+}
+
+const PrefixTrie<std::uint32_t>& BgpRib::trie() const {
+  if (trie_dirty_) {
+    trie_ = PrefixTrie<std::uint32_t>();
+    for (const auto& e : entries_) {
+      if (!e.as_path.empty()) trie_.insert(e.prefix, e.as_path.back());
+    }
+    trie_dirty_ = false;
+  }
+  return trie_;
+}
+
+std::uint32_t BgpRib::origin_of(Ipv4Addr ip) const {
+  auto hit = trie().lookup(ip);
+  return hit.value_or(0);
+}
+
+std::optional<Prefix> BgpRib::matched_prefix(Ipv4Addr ip) const {
+  auto hit = trie().lookup_prefix(ip);
+  if (!hit) return std::nullopt;
+  return hit->first;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> BgpRib::extract_links() const {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> links;
+  for (const auto& e : entries_) {
+    auto path = collapse(e.as_path);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      auto a = std::min(path[i], path[i + 1]);
+      auto b = std::max(path[i], path[i + 1]);
+      if (a != b) links.emplace(a, b);
+    }
+  }
+  return {links.begin(), links.end()};
+}
+
+std::vector<std::vector<std::uint32_t>> BgpRib::distinct_paths() const {
+  std::set<std::vector<std::uint32_t>> paths;
+  for (const auto& e : entries_) {
+    auto path = collapse(e.as_path);
+    if (path.size() >= 2) paths.insert(std::move(path));
+  }
+  return {paths.begin(), paths.end()};
+}
+
+std::string BgpRib::serialize() const {
+  std::string out;
+  for (const auto& e : entries_) {
+    out += "R|";
+    out += e.prefix.to_string();
+    out += '|';
+    out += path_to_string(e.as_path);
+    out += '\n';
+  }
+  return out;
+}
+
+Expected<BgpRib> BgpRib::parse(std::string_view text) {
+  BgpRib rib;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    auto nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text = (nl == std::string_view::npos) ? std::string_view() : text.substr(nl + 1);
+    if (line.empty()) continue;
+    if (line.substr(0, 2) != "R|") {
+      return make_error("RIB line " + std::to_string(line_no) + ": expected 'R|'");
+    }
+    line.remove_prefix(2);
+    auto bar = line.find('|');
+    if (bar == std::string_view::npos) {
+      return make_error("RIB line " + std::to_string(line_no) + ": missing path separator");
+    }
+    auto prefix = Prefix::parse(line.substr(0, bar));
+    if (!prefix) {
+      return make_error("RIB line " + std::to_string(line_no) + ": bad prefix");
+    }
+    bool ok = false;
+    auto path = parse_path(line.substr(bar + 1), ok);
+    if (!ok) {
+      return make_error("RIB line " + std::to_string(line_no) + ": bad AS path");
+    }
+    rib.add(RibEntry{*prefix, std::move(path)});
+  }
+  return rib;
+}
+
+Expected<BgpUpdate> parse_update(std::string_view line) {
+  if (line.size() >= 2 && line.substr(0, 2) == "W|") {
+    auto prefix = Prefix::parse(line.substr(2));
+    if (!prefix) return make_error("withdraw: bad prefix");
+    return BgpUpdate{BgpUpdate::Kind::kWithdraw, *prefix, {}};
+  }
+  if (line.size() >= 2 && line.substr(0, 2) == "A|") {
+    line.remove_prefix(2);
+    auto bar = line.find('|');
+    if (bar == std::string_view::npos) return make_error("announce: missing path");
+    auto prefix = Prefix::parse(line.substr(0, bar));
+    if (!prefix) return make_error("announce: bad prefix");
+    bool ok = false;
+    auto path = parse_path(line.substr(bar + 1), ok);
+    if (!ok) return make_error("announce: bad AS path");
+    return BgpUpdate{BgpUpdate::Kind::kAnnounce, *prefix, std::move(path)};
+  }
+  return make_error("update: unknown record type");
+}
+
+std::string serialize_update(const BgpUpdate& update) {
+  if (update.kind == BgpUpdate::Kind::kWithdraw) {
+    return "W|" + update.prefix.to_string();
+  }
+  return "A|" + update.prefix.to_string() + "|" + path_to_string(update.as_path);
+}
+
+PrefixAllocation allocate_prefixes(const AsGraph& graph, const std::vector<AsId>& host_ases,
+                                   const PrefixAllocationParams& params, Rng& rng) {
+  PrefixAllocation alloc;
+  std::vector<bool> is_host(graph.as_count(), false);
+  for (AsId h : host_ases) is_host[h.value()] = true;
+
+  // Hand out disjoint blocks by walking the unicast address space from
+  // 1.0.0.0 upward; each allocation advances the cursor past the block.
+  std::uint64_t cursor = std::uint64_t{1} << 24;  // 1.0.0.0
+  auto take_prefix = [&](int len) {
+    std::uint64_t block = std::uint64_t{1} << (32 - len);
+    cursor = (cursor + block - 1) / block * block;  // align up
+    Prefix p(Ipv4Addr(static_cast<std::uint32_t>(cursor)), len);
+    cursor += block;
+    return p;
+  };
+
+  for (std::uint32_t i = 0; i < graph.as_count(); ++i) {
+    AsId as(i);
+    int count = static_cast<int>(
+        rng.range(params.min_prefixes_per_as, params.max_prefixes_per_as));
+    if (is_host[i]) count += params.extra_host_prefixes;
+    for (int p = 0; p < count; ++p) {
+      int len = static_cast<int>(rng.range(params.min_prefix_len, params.max_prefix_len));
+      alloc.prefixes.emplace_back(take_prefix(len), as);
+    }
+  }
+  return alloc;
+}
+
+BgpRib build_rib(const AsGraph& graph, const PrefixAllocation& alloc, AsId observer) {
+  // Group prefixes by origin so each origin's route table is computed once.
+  std::vector<std::vector<Prefix>> by_origin(graph.as_count());
+  for (const auto& [prefix, origin] : alloc.prefixes) {
+    by_origin[origin.value()].push_back(prefix);
+  }
+  BgpRib rib;
+  for (std::uint32_t i = 0; i < graph.as_count(); ++i) {
+    if (by_origin[i].empty()) continue;
+    AsId origin(i);
+    RouteTable table = compute_routes(graph, origin);
+    if (!table.reachable(observer) && observer != origin) continue;
+    auto as_ids = table.path(observer);
+    std::vector<std::uint32_t> asns;
+    asns.reserve(as_ids.size());
+    for (AsId a : as_ids) asns.push_back(graph.node(a).asn);
+    if (asns.empty()) asns.push_back(graph.node(origin).asn);
+    for (const Prefix& p : by_origin[i]) {
+      rib.add(RibEntry{p, asns});
+    }
+  }
+  return rib;
+}
+
+}  // namespace asap::astopo

@@ -1,0 +1,107 @@
+// BGP RIB snapshot and update stream in a line-oriented text format, plus
+// prefix allocation for the synthetic world.
+//
+// This reproduces the paper's data-ingestion pipeline (Sec. 3.1): from BGP
+// table entries and updates, build an IP-prefix -> origin-AS mapping table
+// and extract AS-AS connectivity. Formats:
+//
+//   RIB entry:   "R|<prefix>|<asn> <asn> ... <asn>"   (last ASN = origin)
+//   Announce:    "A|<prefix>|<asn> <asn> ... <asn>"
+//   Withdraw:    "W|<prefix>"
+//
+// The AS path is the observation-point-to-origin path, as in RouteViews
+// dumps. AS-path prepending may repeat ASNs; consumers deduplicate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "astopo/as_graph.h"
+#include "astopo/prefix_trie.h"
+#include "common/expected.h"
+#include "common/ids.h"
+#include "common/ip.h"
+#include "common/rng.h"
+
+namespace asap::astopo {
+
+struct RibEntry {
+  Prefix prefix;
+  std::vector<std::uint32_t> as_path;  // observer ... origin (wire ASNs)
+};
+
+struct BgpUpdate {
+  enum class Kind : std::uint8_t { kAnnounce, kWithdraw };
+  Kind kind = Kind::kAnnounce;
+  Prefix prefix;
+  std::vector<std::uint32_t> as_path;  // empty for withdrawals
+};
+
+// A routing information base keyed by prefix.
+class BgpRib {
+ public:
+  void add(RibEntry entry);
+  void apply(const BgpUpdate& update);
+
+  [[nodiscard]] const std::vector<RibEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  // Origin ASN of the longest matching prefix for `ip` (0 when none).
+  [[nodiscard]] std::uint32_t origin_of(Ipv4Addr ip) const;
+  // Longest matching prefix itself.
+  [[nodiscard]] std::optional<Prefix> matched_prefix(Ipv4Addr ip) const;
+
+  // Prefix -> origin-ASN trie (rebuilt lazily after mutations).
+  [[nodiscard]] const PrefixTrie<std::uint32_t>& trie() const;
+
+  // Distinct undirected AS-AS links appearing in any AS path.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>> extract_links() const;
+
+  // All distinct AS paths (prepending collapsed), for relationship inference.
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> distinct_paths() const;
+
+  // Text serialization (one "R|..." line per entry).
+  [[nodiscard]] std::string serialize() const;
+  static Expected<BgpRib> parse(std::string_view text);
+
+ private:
+  std::vector<RibEntry> entries_;
+  mutable PrefixTrie<std::uint32_t> trie_;
+  mutable bool trie_dirty_ = true;
+};
+
+// Parses one update line ("A|..." / "W|...").
+Expected<BgpUpdate> parse_update(std::string_view line);
+std::string serialize_update(const BgpUpdate& update);
+
+// --- Synthetic prefix allocation -----------------------------------------
+
+struct PrefixAllocationParams {
+  // Every AS originates at least one prefix; host-bearing ASes get more.
+  int min_prefixes_per_as = 1;
+  int max_prefixes_per_as = 3;
+  // Extra prefixes handed to designated "host" ASes so that the host-AS
+  // prefix count matches the paper's ratio (7,171 prefixes / 1,461 ASes).
+  int extra_host_prefixes = 4;
+  int min_prefix_len = 18;
+  int max_prefix_len = 24;
+};
+
+struct PrefixAllocation {
+  // Disjoint prefixes with their origin AS (dense id).
+  std::vector<std::pair<Prefix, AsId>> prefixes;
+};
+
+// Allocates non-overlapping prefixes across all ASes; `host_ases` receive
+// `extra_host_prefixes` additional prefixes each. Deterministic given rng.
+PrefixAllocation allocate_prefixes(const AsGraph& graph, const std::vector<AsId>& host_ases,
+                                   const PrefixAllocationParams& params, Rng& rng);
+
+// Builds a RIB as observed from `observer`: one entry per allocated prefix
+// whose AS path is the BGP-simulated path observer -> origin.
+BgpRib build_rib(const AsGraph& graph, const PrefixAllocation& alloc, AsId observer);
+
+}  // namespace asap::astopo

@@ -1,0 +1,159 @@
+#include "astopo/gao_inference.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace asap::astopo {
+
+namespace {
+
+using AsnPair = std::pair<std::uint32_t, std::uint32_t>;
+
+AsnPair ordered(std::uint32_t a, std::uint32_t b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+}  // namespace
+
+InferredRelationships infer_relationships(
+    const std::vector<std::vector<std::uint32_t>>& as_paths, const GaoParams& params) {
+  // Degree of each ASN over the union of path edges.
+  std::unordered_map<std::uint32_t, std::size_t> degree;
+  std::map<AsnPair, bool> edge_seen;
+  for (const auto& path : as_paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (path[i] == path[i + 1]) continue;
+      auto key = ordered(path[i], path[i + 1]);
+      if (edge_seen.emplace(key, true).second) {
+        ++degree[key.first];
+        ++degree[key.second];
+      }
+    }
+  }
+
+  // Phase 1+2: transit votes. votes[{u,v}] counts paths asserting that v
+  // transits for u, i.e. u is v's customer (u -> v is customer->provider).
+  std::map<AsnPair, int> customer_to_provider;  // key (u,v) means u customer of v
+  // Edges that ever appear adjacent to a path's top provider (peer
+  // candidates) and, separately, how often each edge is crossed while NOT
+  // adjacent to the top — genuine transit evidence that disqualifies
+  // peering (votes across the top edge itself are artifacts of the top
+  // choice, as Gao's refined algorithm observes).
+  std::map<AsnPair, bool> top_adjacent;
+  std::map<AsnPair, int> nontop_occurrences;
+
+  for (const auto& path : as_paths) {
+    if (path.size() < 2) continue;
+    // Find highest-degree AS position.
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (degree[path[i]] > degree[path[top]]) top = i;
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (path[i] == path[i + 1]) continue;
+      if (i + 1 <= top) {
+        ++customer_to_provider[{path[i], path[i + 1]}];  // uphill segment
+      } else {
+        ++customer_to_provider[{path[i + 1], path[i]}];  // downhill segment
+      }
+      if (i == top || i + 1 == top) {
+        top_adjacent[ordered(path[i], path[i + 1])] = true;
+      } else {
+        ++nontop_occurrences[ordered(path[i], path[i + 1])];
+      }
+    }
+  }
+
+  // Decide each edge's relationship.
+  struct Decision {
+    LinkType type_from_lo;  // relationship seen from the lower ASN endpoint
+  };
+  std::map<AsnPair, Decision> decisions;
+  for (const auto& [key, _] : edge_seen) {
+    auto [lo, hi] = key;
+    int lo_customer = 0;  // votes for lo being customer of hi
+    int hi_customer = 0;
+    if (auto it = customer_to_provider.find({lo, hi}); it != customer_to_provider.end()) {
+      lo_customer = it->second;
+    }
+    if (auto it = customer_to_provider.find({hi, lo}); it != customer_to_provider.end()) {
+      hi_customer = it->second;
+    }
+    LinkType type_from_lo;
+    if (lo_customer >= params.sibling_votes && hi_customer >= params.sibling_votes) {
+      type_from_lo = LinkType::kToSibling;
+    } else if (lo_customer >= hi_customer) {
+      type_from_lo = LinkType::kToProvider;  // lo is customer: hi is lo's provider
+    } else {
+      type_from_lo = LinkType::kToCustomer;
+    }
+    decisions[key] = Decision{type_from_lo};
+  }
+
+  // Phase 3: peering heuristic. An edge is re-labelled peer-peer when it
+  // (a) appears adjacent to the top provider, (b) is never crossed in a
+  // non-top position (no genuine transit through it), (c) is not a sibling
+  // link, and (d) joins ASes of comparable degree — a leaf hanging off the
+  // top provider fails (d), a tier-1 interconnect passes all four.
+  for (const auto& [key, _] : top_adjacent) {
+    auto it = decisions.find(key);
+    if (it == decisions.end() || it->second.type_from_lo == LinkType::kToSibling) continue;
+    if (auto n = nontop_occurrences.find(key);
+        n != nontop_occurrences.end() && n->second > 0) {
+      continue;  // real transit crossed this edge below the top
+    }
+    auto [lo, hi] = key;
+    double dlo = static_cast<double>(degree[lo]);
+    double dhi = static_cast<double>(degree[hi]);
+    double ratio = std::max(dlo, dhi) / std::max(1.0, std::min(dlo, dhi));
+    if (ratio < params.peer_degree_ratio) {
+      it->second.type_from_lo = LinkType::kToPeer;
+    }
+  }
+
+  // Build the annotated graph with ASNs sorted for determinism.
+  InferredRelationships result;
+  std::map<std::uint32_t, AsId> id_of;
+  for (const auto& [asn, _] : degree) {
+    id_of[asn] = AsId::invalid();
+  }
+  for (auto& [asn, id] : id_of) {
+    id = result.graph.add_as(asn);
+  }
+  for (const auto& [key, decision] : decisions) {
+    auto [lo, hi] = key;
+    result.graph.add_edge(id_of[lo], id_of[hi], decision.type_from_lo);
+    switch (decision.type_from_lo) {
+      case LinkType::kToProvider:
+      case LinkType::kToCustomer: ++result.provider_customer_edges; break;
+      case LinkType::kToPeer: ++result.peer_edges; break;
+      case LinkType::kToSibling: ++result.sibling_edges; break;
+    }
+  }
+  return result;
+}
+
+double annotation_accuracy(const AsGraph& truth, const AsGraph& inferred) {
+  std::size_t common = 0;
+  std::size_t matching = 0;
+  for (std::uint32_t i = 0; i < inferred.as_count(); ++i) {
+    AsId ia(i);
+    auto ta = truth.find_by_asn(inferred.node(ia).asn);
+    if (!ta) continue;
+    for (const auto& adj : inferred.neighbors(ia)) {
+      // Count each undirected edge once, from the endpoint added first.
+      if (inferred.node(adj.neighbor).asn < inferred.node(ia).asn) continue;
+      auto tb = truth.find_by_asn(inferred.node(adj.neighbor).asn);
+      if (!tb) continue;
+      auto truth_type = truth.link_between(*ta, *tb);
+      if (!truth_type) continue;
+      ++common;
+      if (*truth_type == adj.type) ++matching;
+    }
+  }
+  return common == 0 ? 0.0 : static_cast<double>(matching) / static_cast<double>(common);
+}
+
+}  // namespace asap::astopo

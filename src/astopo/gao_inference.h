@@ -1,0 +1,49 @@
+// Gao's AS-relationship inference algorithm (L. Gao, "On inferring
+// autonomous system relationships in the Internet", IEEE/ACM ToN 2001),
+// which the paper uses to annotate its AS graph (Sec. 7.1).
+//
+// Input: a set of AS paths (e.g. from a BGP RIB). Output: an annotated AS
+// graph. The algorithm:
+//   1. For each path, locate the highest-degree AS ("top provider"): edges
+//      left of it are customer->provider, edges right are provider->customer.
+//   2. Tally the directed transit votes over all paths; edges voted in both
+//      directions more than `sibling_votes` times become siblings, otherwise
+//      the majority direction wins.
+//   3. Peering heuristic: an edge adjacent to the top provider whose
+//      endpoints never transit for each other and whose degrees differ by
+//      less than `peer_degree_ratio` becomes peer-peer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "astopo/as_graph.h"
+
+namespace asap::astopo {
+
+struct GaoParams {
+  // Both-direction transit vote count at/above which an edge is a sibling
+  // link (Gao's L parameter).
+  int sibling_votes = 2;
+  // Max degree ratio between endpoints of a candidate peer edge (Gao's R).
+  // Peers interconnect networks of comparable size; customers of the top
+  // provider are typically an order of magnitude smaller.
+  double peer_degree_ratio = 3.0;
+};
+
+struct InferredRelationships {
+  // The annotated graph rebuilt from the paths (nodes = ASNs seen in paths).
+  AsGraph graph;
+  std::size_t provider_customer_edges = 0;
+  std::size_t peer_edges = 0;
+  std::size_t sibling_edges = 0;
+};
+
+InferredRelationships infer_relationships(
+    const std::vector<std::vector<std::uint32_t>>& as_paths, const GaoParams& params = {});
+
+// Accuracy of an inferred annotation against ground truth: fraction of
+// edges present in both graphs whose type matches (per-endpoint view).
+double annotation_accuracy(const AsGraph& truth, const AsGraph& inferred);
+
+}  // namespace asap::astopo

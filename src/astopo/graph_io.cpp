@@ -1,0 +1,118 @@
+#include "astopo/graph_io.h"
+
+#include <charconv>
+#include <unordered_map>
+
+namespace asap::astopo {
+
+namespace {
+
+std::string_view rel_token(LinkType t) {
+  switch (t) {
+    case LinkType::kToProvider: return "c2p";  // a is customer, b provider
+    case LinkType::kToCustomer: return "p2c";
+    case LinkType::kToPeer: return "peer";
+    case LinkType::kToSibling: return "sibling";
+  }
+  return "?";
+}
+
+bool parse_u32(std::string_view text, std::uint32_t& out) {
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::string serialize_graph(const AsGraph& graph) {
+  std::string out;
+  for (std::uint32_t i = 0; i < graph.as_count(); ++i) {
+    AsId id(i);
+    out += "N|";
+    out += std::to_string(graph.node(id).asn);
+    out += '|';
+    out += std::to_string(static_cast<int>(graph.node(id).tier));
+    out += '\n';
+  }
+  for (std::uint32_t e = 0; e < graph.edge_count(); ++e) {
+    auto [a, b] = graph.edge_endpoints(e);
+    auto type = graph.link_between(a, b);
+    out += "E|";
+    out += std::to_string(graph.node(a).asn);
+    out += '|';
+    out += std::to_string(graph.node(b).asn);
+    out += '|';
+    out += rel_token(*type);
+    out += '\n';
+  }
+  return out;
+}
+
+Expected<AsGraph> parse_graph(std::string_view text) {
+  AsGraph graph;
+  std::unordered_map<std::uint32_t, AsId> by_asn;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    auto nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view() : text.substr(nl + 1);
+    if (line.empty()) continue;
+    auto error = [&](const char* what) {
+      return make_error("graph line " + std::to_string(line_no) + ": " + what);
+    };
+    if (line.size() < 2 || line[1] != '|') return error("expected 'N|' or 'E|'");
+    char kind = line[0];
+    line.remove_prefix(2);
+
+    if (kind == 'N') {
+      auto bar = line.find('|');
+      if (bar == std::string_view::npos) return error("missing tier");
+      std::uint32_t asn = 0;
+      std::uint32_t tier = 0;
+      if (!parse_u32(line.substr(0, bar), asn) || !parse_u32(line.substr(bar + 1), tier) ||
+          tier < 1 || tier > 3) {
+        return error("bad node fields");
+      }
+      if (by_asn.contains(asn)) return error("duplicate ASN");
+      by_asn[asn] = graph.add_as(asn, static_cast<AsTier>(tier));
+      continue;
+    }
+    if (kind == 'E') {
+      auto bar1 = line.find('|');
+      if (bar1 == std::string_view::npos) return error("missing edge fields");
+      auto bar2 = line.find('|', bar1 + 1);
+      if (bar2 == std::string_view::npos) return error("missing relationship");
+      std::uint32_t asn_a = 0;
+      std::uint32_t asn_b = 0;
+      if (!parse_u32(line.substr(0, bar1), asn_a) ||
+          !parse_u32(line.substr(bar1 + 1, bar2 - bar1 - 1), asn_b)) {
+        return error("bad edge ASNs");
+      }
+      auto a = by_asn.find(asn_a);
+      auto b = by_asn.find(asn_b);
+      if (a == by_asn.end() || b == by_asn.end()) return error("edge before node");
+      if (asn_a == asn_b) return error("self-loop");
+      std::string_view rel = line.substr(bar2 + 1);
+      LinkType type;
+      if (rel == "c2p") {
+        type = LinkType::kToProvider;
+      } else if (rel == "p2c") {
+        type = LinkType::kToCustomer;
+      } else if (rel == "peer") {
+        type = LinkType::kToPeer;
+      } else if (rel == "sibling") {
+        type = LinkType::kToSibling;
+      } else {
+        return error("unknown relationship");
+      }
+      graph.add_edge(a->second, b->second, type);
+      continue;
+    }
+    return error("unknown record kind");
+  }
+  if (!graph.validate()) return make_error("graph: validation failed after parse");
+  return graph;
+}
+
+}  // namespace asap::astopo

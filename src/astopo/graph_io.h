@@ -1,0 +1,30 @@
+// Annotated AS-graph serialization — the artifact ASAP bootstraps build
+// from BGP data and disseminate to every surrogate (paper Sec. 6.1 duties
+// 1 & 3; Sec. 6.3 sizes it at ~800 KB for the 2005 Internet).
+//
+// Line format, one edge per line, ASNs in wire numbers:
+//
+//   E|<asn_a>|<asn_b>|<p2c|c2p|peer|sibling>     # relationship seen from a
+//
+// plus one node line per AS so isolated nodes and tiers survive:
+//
+//   N|<asn>|<1|2|3>                              # tier
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "astopo/as_graph.h"
+#include "common/expected.h"
+
+namespace asap::astopo {
+
+// Serializes nodes and annotated edges (geo coordinates are synthetic-world
+// metadata and deliberately not part of the dissemination format).
+std::string serialize_graph(const AsGraph& graph);
+
+// Parses the text form back into a graph. Node ids are assigned in file
+// order; edges reference ASNs and must follow their node lines.
+Expected<AsGraph> parse_graph(std::string_view text);
+
+}  // namespace asap::astopo

@@ -1,0 +1,127 @@
+// Binary trie over IPv4 prefixes with longest-prefix-match lookup.
+//
+// This is the data structure behind the paper's "IP prefix to origin AS
+// mapping table" (Sec. 3.1): BGP RIB prefixes are inserted with their origin
+// AS, and peer IPs are grouped into clusters by their longest matched prefix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ip.h"
+
+namespace asap::astopo {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  // Inserts or overwrites the value at `prefix`. Returns true when the
+  // prefix was newly inserted, false when an existing value was replaced.
+  bool insert(const Prefix& prefix, Value value) {
+    Node* node = &root_;
+    std::uint32_t bits = prefix.address().bits();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      int bit = (bits >> (31 - depth)) & 1;
+      auto& child = node->children[bit];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  // Longest-prefix match for an address; nullopt when nothing covers it.
+  [[nodiscard]] std::optional<Value> lookup(Ipv4Addr ip) const {
+    const Node* node = &root_;
+    std::optional<Value> best = node->value;
+    std::uint32_t bits = ip.bits();
+    for (int depth = 0; depth < 32; ++depth) {
+      int bit = (bits >> (31 - depth)) & 1;
+      const auto& child = node->children[bit];
+      if (!child) break;
+      node = child.get();
+      if (node->value) best = node->value;
+    }
+    return best;
+  }
+
+  // Longest matched prefix itself (for cluster identity), paired with value.
+  [[nodiscard]] std::optional<std::pair<Prefix, Value>> lookup_prefix(Ipv4Addr ip) const {
+    const Node* node = &root_;
+    std::optional<std::pair<Prefix, Value>> best;
+    if (node->value) best = {Prefix(Ipv4Addr(0), 0), *node->value};
+    std::uint32_t bits = ip.bits();
+    for (int depth = 0; depth < 32; ++depth) {
+      int bit = (bits >> (31 - depth)) & 1;
+      const auto& child = node->children[bit];
+      if (!child) break;
+      node = child.get();
+      if (node->value) best = {Prefix(ip, depth + 1), *node->value};
+    }
+    return best;
+  }
+
+  // Exact-match lookup.
+  [[nodiscard]] std::optional<Value> find_exact(const Prefix& prefix) const {
+    const Node* node = &root_;
+    std::uint32_t bits = prefix.address().bits();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      int bit = (bits >> (31 - depth)) & 1;
+      const auto& child = node->children[bit];
+      if (!child) return std::nullopt;
+      node = child.get();
+    }
+    return node->value;
+  }
+
+  // Removes the value at `prefix`; returns true when something was removed.
+  // (Trie nodes are not pruned; removal is rare in our workloads.)
+  bool erase(const Prefix& prefix) {
+    Node* node = &root_;
+    std::uint32_t bits = prefix.address().bits();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      int bit = (bits >> (31 - depth)) & 1;
+      auto& child = node->children[bit];
+      if (!child) return false;
+      node = child.get();
+    }
+    if (!node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  // Visits every stored (prefix, value) pair in address order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit(&root_, 0, 0, fn);
+  }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  template <typename Fn>
+  static void visit(const Node* node, std::uint32_t bits, int depth, Fn& fn) {
+    if (node->value) fn(Prefix(Ipv4Addr(bits), depth), *node->value);
+    for (int bit = 0; bit < 2; ++bit) {
+      if (node->children[bit]) {
+        std::uint32_t child_bits = bits | (static_cast<std::uint32_t>(bit) << (31 - depth));
+        visit(node->children[bit].get(), child_bits, depth + 1, fn);
+      }
+    }
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace asap::astopo

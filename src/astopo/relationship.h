@@ -1,0 +1,89 @@
+// AS-to-AS link relationships and the valley-free path state machine.
+//
+// Inter-AS routing is constrained by commercial contracts (Gao 2001): a
+// provider transits traffic for its customers, peers exchange only their own
+// and customer routes, and customers never transit for providers. A legal
+// ("valley-free") AS path is therefore
+//
+//     (customer->provider)*  (peer-peer)?  (provider->customer)*
+//
+// with sibling links transparent. Both the BGP routing simulation
+// (routing.h) and ASAP's close-cluster BFS (valley_free.h) share the
+// transition rules defined here so substrate and protocol cannot disagree
+// about what a legal path is.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace asap::astopo {
+
+// Type of a *directed* adjacency entry, relative to the "from" AS.
+enum class LinkType : std::uint8_t {
+  kToProvider = 0,  // from is a customer of the neighbor (uphill)
+  kToCustomer = 1,  // from is a provider of the neighbor (downhill)
+  kToPeer = 2,      // settlement-free peering (flat)
+  kToSibling = 3,   // same organization (transparent)
+};
+
+// Returns the link type seen from the other endpoint.
+constexpr LinkType reverse(LinkType t) {
+  switch (t) {
+    case LinkType::kToProvider: return LinkType::kToCustomer;
+    case LinkType::kToCustomer: return LinkType::kToProvider;
+    case LinkType::kToPeer: return LinkType::kToPeer;
+    case LinkType::kToSibling: return LinkType::kToSibling;
+  }
+  return LinkType::kToPeer;  // unreachable
+}
+
+constexpr std::string_view link_type_name(LinkType t) {
+  switch (t) {
+    case LinkType::kToProvider: return "to-provider";
+    case LinkType::kToCustomer: return "to-customer";
+    case LinkType::kToPeer: return "to-peer";
+    case LinkType::kToSibling: return "to-sibling";
+  }
+  return "?";
+}
+
+// Phase of a partially built valley-free path.
+enum class PathState : std::uint8_t {
+  kUp = 0,    // crossed only uphill/sibling links so far (includes the start)
+  kPeer = 1,  // crossed exactly one peer link
+  kDown = 2,  // crossed at least one downhill link
+};
+
+// Whether a path currently in `state` may cross a link of type `t`, and the
+// state after crossing. Returns false when the extension would form a valley.
+constexpr bool can_extend(PathState state, LinkType t, PathState& next) {
+  switch (state) {
+    case PathState::kUp:
+      switch (t) {
+        case LinkType::kToProvider: next = PathState::kUp; return true;
+        case LinkType::kToPeer: next = PathState::kPeer; return true;
+        case LinkType::kToCustomer: next = PathState::kDown; return true;
+        case LinkType::kToSibling: next = PathState::kUp; return true;
+      }
+      return false;
+    case PathState::kPeer:
+      switch (t) {
+        case LinkType::kToCustomer: next = PathState::kDown; return true;
+        case LinkType::kToSibling: next = PathState::kPeer; return true;
+        case LinkType::kToProvider:
+        case LinkType::kToPeer: return false;
+      }
+      return false;
+    case PathState::kDown:
+      switch (t) {
+        case LinkType::kToCustomer: next = PathState::kDown; return true;
+        case LinkType::kToSibling: next = PathState::kDown; return true;
+        case LinkType::kToProvider:
+        case LinkType::kToPeer: return false;
+      }
+      return false;
+  }
+  return false;
+}
+
+}  // namespace asap::astopo

@@ -1,0 +1,141 @@
+#include "astopo/routing.h"
+
+#include <cassert>
+#include <deque>
+
+namespace asap::astopo {
+
+std::vector<AsId> RouteTable::path(AsId src) const {
+  std::vector<AsId> result;
+  if (!reachable(src)) return result;
+  AsId cur = src;
+  result.push_back(cur);
+  while (cur != dest_) {
+    const RouteEntry& e = entries_[cur.value()];
+    assert(e.next_hop.valid());
+    cur = e.next_hop;
+    result.push_back(cur);
+    assert(result.size() <= entries_.size());  // no loops in a correct table
+  }
+  return result;
+}
+
+RouteTable compute_routes(const AsGraph& graph, AsId dest) {
+  const auto n = graph.as_count();
+  std::vector<RouteEntry> entries(n);
+
+  auto cls = [&](AsId a) { return entries[a.value()].cls; };
+  auto hops = [&](AsId a) { return entries[a.value()].hops; };
+
+  // Phase 1: customer routes. BFS from dest following "neighbor is my
+  // provider" links: if x has a customer route (or is dest), every provider
+  // of x learns a customer route through x. Sibling links propagate within
+  // the same class.
+  entries[dest.value()] = RouteEntry{RouteClass::kSelf, 0, AsId::invalid(), 0xFFFFFFFFu};
+  std::deque<AsId> queue{dest};
+  while (!queue.empty()) {
+    AsId x = queue.front();
+    queue.pop_front();
+    for (const auto& adj : graph.neighbors(x)) {
+      if (adj.type != LinkType::kToProvider && adj.type != LinkType::kToSibling) continue;
+      AsId y = adj.neighbor;
+      if (cls(y) != RouteClass::kUnreachable) continue;
+      entries[y.value()].cls = RouteClass::kCustomer;
+      entries[y.value()].hops = static_cast<std::uint8_t>(hops(x) + 1);
+      queue.push_back(y);
+    }
+  }
+
+  // Phase 2: peer routes. An AS whose selected route is a customer route (or
+  // dest itself) exports it across peering links; the receiver uses it only
+  // if it has no customer route of its own.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    AsId y(i);
+    if (cls(y) != RouteClass::kUnreachable) continue;
+    std::uint8_t best = 0xFF;
+    for (const auto& adj : graph.neighbors(y)) {
+      if (adj.type != LinkType::kToPeer) continue;
+      RouteClass xc = cls(adj.neighbor);
+      if (xc != RouteClass::kSelf && xc != RouteClass::kCustomer) continue;
+      std::uint8_t candidate = static_cast<std::uint8_t>(hops(adj.neighbor) + 1);
+      best = std::min(best, candidate);
+    }
+    if (best != 0xFF) {
+      entries[i].cls = RouteClass::kPeer;
+      entries[i].hops = best;
+    }
+  }
+
+  // Phase 3: provider routes. Every routed AS exports its selected route to
+  // its customers; relax downhill in increasing hop order (bucket queue).
+  std::vector<std::vector<AsId>> buckets(256);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    AsId y(i);
+    if (cls(y) != RouteClass::kUnreachable) buckets[hops(y)].push_back(y);
+  }
+  for (std::size_t h = 0; h + 1 < buckets.size(); ++h) {
+    for (std::size_t qi = 0; qi < buckets[h].size(); ++qi) {
+      AsId x = buckets[h][qi];
+      if (hops(x) != h) continue;  // stale bucket entry
+      for (const auto& adj : graph.neighbors(x)) {
+        if (adj.type != LinkType::kToCustomer && adj.type != LinkType::kToSibling) continue;
+        AsId y = adj.neighbor;
+        auto candidate = static_cast<std::uint8_t>(h + 1);
+        RouteEntry& ye = entries[y.value()];
+        if (ye.cls == RouteClass::kUnreachable ||
+            (ye.cls == RouteClass::kProvider && candidate < ye.hops)) {
+          ye.cls = RouteClass::kProvider;
+          ye.hops = candidate;
+          buckets[candidate].push_back(y);
+        }
+      }
+    }
+  }
+
+  // Final pass: deterministic next-hop selection (min neighbor ASN among
+  // equally good candidates) plus the edge id toward it.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    AsId y(i);
+    RouteEntry& ye = entries[i];
+    if (ye.cls == RouteClass::kUnreachable || ye.cls == RouteClass::kSelf) continue;
+    std::uint32_t best_asn = 0xFFFFFFFFu;
+    for (const auto& adj : graph.neighbors(y)) {
+      AsId x = adj.neighbor;
+      const RouteEntry& xe = entries[x.value()];
+      if (xe.cls == RouteClass::kUnreachable) continue;
+      if (xe.hops + 1 != ye.hops) continue;
+      bool usable = false;
+      switch (ye.cls) {
+        case RouteClass::kCustomer:
+          usable = (adj.type == LinkType::kToCustomer || adj.type == LinkType::kToSibling) &&
+                   (xe.cls == RouteClass::kSelf || xe.cls == RouteClass::kCustomer);
+          break;
+        case RouteClass::kPeer:
+          usable = adj.type == LinkType::kToPeer &&
+                   (xe.cls == RouteClass::kSelf || xe.cls == RouteClass::kCustomer);
+          break;
+        case RouteClass::kProvider:
+          usable = adj.type == LinkType::kToProvider || adj.type == LinkType::kToSibling;
+          break;
+        default:
+          break;
+      }
+      if (!usable) continue;
+      std::uint32_t asn = graph.node(x).asn;
+      if (asn < best_asn) {
+        best_asn = asn;
+        ye.next_hop = x;
+        ye.next_edge = adj.edge_id;
+      }
+    }
+    assert(ye.next_hop.valid());
+  }
+
+  return RouteTable(dest, std::move(entries));
+}
+
+std::vector<AsId> as_path(const AsGraph& graph, AsId src, AsId dest) {
+  return compute_routes(graph, dest).path(src);
+}
+
+}  // namespace asap::astopo

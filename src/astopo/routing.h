@@ -1,0 +1,66 @@
+// Policy-compliant BGP route simulation.
+//
+// For a destination AS d, computes the route every other AS selects under
+// the standard Gao-Rexford model:
+//   * export rules — an AS exports customer routes (and its own) to
+//     everyone, but exports peer/provider-learned routes only to customers;
+//   * selection — prefer customer over peer over provider routes, then
+//     fewer AS hops, then lowest next-hop ASN (deterministic tie-break).
+//
+// The selected paths are valley-free by construction but generally NOT
+// latency-optimal — exactly the gap one-hop peer relays exploit (paper
+// Sec. 3.3, Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "astopo/as_graph.h"
+#include "common/ids.h"
+
+namespace asap::astopo {
+
+enum class RouteClass : std::uint8_t {
+  kSelf = 0,
+  kCustomer = 1,  // learned from a customer
+  kPeer = 2,      // learned from a peer
+  kProvider = 3,  // learned from a provider
+  kUnreachable = 4,
+};
+
+struct RouteEntry {
+  RouteClass cls = RouteClass::kUnreachable;
+  std::uint8_t hops = 0xFF;                  // AS hops to the destination
+  AsId next_hop = AsId::invalid();           // neighbor toward the destination
+  std::uint32_t next_edge = 0xFFFFFFFFu;     // edge id toward the destination
+};
+
+// All routes toward one destination AS.
+class RouteTable {
+ public:
+  RouteTable(AsId dest, std::vector<RouteEntry> entries)
+      : dest_(dest), entries_(std::move(entries)) {}
+
+  [[nodiscard]] AsId dest() const { return dest_; }
+  [[nodiscard]] const RouteEntry& entry(AsId as) const { return entries_[as.value()]; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] bool reachable(AsId src) const {
+    return entries_[src.value()].cls != RouteClass::kUnreachable;
+  }
+
+  // AS-level path src -> ... -> dest (inclusive). Empty when unreachable.
+  [[nodiscard]] std::vector<AsId> path(AsId src) const;
+
+ private:
+  AsId dest_;
+  std::vector<RouteEntry> entries_;
+};
+
+// Computes the route table toward `dest`. O(V + E).
+RouteTable compute_routes(const AsGraph& graph, AsId dest);
+
+// Convenience: AS-level path between two ASes (via a throwaway table).
+std::vector<AsId> as_path(const AsGraph& graph, AsId src, AsId dest);
+
+}  // namespace asap::astopo

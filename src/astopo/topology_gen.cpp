@@ -1,0 +1,202 @@
+#include "astopo/topology_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace asap::astopo {
+
+namespace {
+
+// Deduplicates undirected edges during generation.
+struct EdgeSet {
+  std::unordered_set<std::uint64_t> seen;
+
+  bool insert(AsId a, AsId b) {
+    auto lo = std::min(a.value(), b.value());
+    auto hi = std::max(a.value(), b.value());
+    return seen.insert((std::uint64_t(lo) << 32) | hi).second;
+  }
+};
+
+// Picks a provider from `candidates` with preferential attachment (weight =
+// degree + 1) and a same-continent bias.
+AsId pick_provider(const AsGraph& graph, const std::vector<AsId>& candidates,
+                   std::size_t my_continent, const std::vector<std::size_t>& continent_of,
+                   double same_continent_bias, Rng& rng) {
+  assert(!candidates.empty());
+  bool want_same = rng.chance(same_continent_bias);
+  double total = 0.0;
+  for (AsId c : candidates) {
+    bool same = continent_of[c.value()] == my_continent;
+    if (want_same && !same) continue;
+    total += static_cast<double>(graph.degree(c) + 1);
+  }
+  if (total == 0.0) {
+    want_same = false;
+    for (AsId c : candidates) total += static_cast<double>(graph.degree(c) + 1);
+  }
+  double pick = rng.uniform() * total;
+  for (AsId c : candidates) {
+    bool same = continent_of[c.value()] == my_continent;
+    if (want_same && !same) continue;
+    pick -= static_cast<double>(graph.degree(c) + 1);
+    if (pick <= 0.0) return c;
+  }
+  return candidates.back();
+}
+
+}  // namespace
+
+double geo_distance_km(const GeoPoint& a, const GeoPoint& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Topology generate_topology(const TopologyParams& params, Rng& rng) {
+  assert(params.total_as >= params.tier1_count + 10);
+  Topology topo;
+  AsGraph& graph = topo.graph;
+
+  // Continent centres on an ellipse; nearest neighbours sit a few thousand
+  // km apart, the farthest pair ~2x the x half-axis.
+  for (std::size_t c = 0; c < params.continents; ++c) {
+    double angle = 2.0 * std::numbers::pi * static_cast<double>(c) /
+                   static_cast<double>(params.continents);
+    GeoPoint centre{
+        10000.0 + params.continent_radius_x_km * std::cos(angle) + rng.uniform(-800.0, 800.0),
+        5000.0 + params.continent_radius_y_km * std::sin(angle) + rng.uniform(-500.0, 500.0)};
+    topo.continent_centers.push_back(centre);
+  }
+
+  // Shuffled wire ASNs so dense ids and ASNs are uncorrelated, as on the
+  // real Internet.
+  std::vector<std::uint32_t> asns(params.total_as);
+  for (std::size_t i = 0; i < asns.size(); ++i) asns[i] = static_cast<std::uint32_t>(i + 1);
+  rng.shuffle(asns);
+
+  auto tier2_count = static_cast<std::size_t>(
+      static_cast<double>(params.total_as) * params.tier2_fraction);
+  std::size_t stub_count = params.total_as - params.tier1_count - tier2_count;
+
+  std::vector<std::size_t> continent_of(params.total_as);
+  auto place = [&](std::size_t continent, double sigma) {
+    const GeoPoint& c = topo.continent_centers[continent];
+    return GeoPoint{c.x + rng.normal(0.0, sigma), c.y + rng.normal(0.0, sigma * 0.6)};
+  };
+
+  std::size_t next = 0;
+  // Tier-1: spread round-robin over continents, tight scatter (backbone POPs
+  // sit in major hubs).
+  for (std::size_t i = 0; i < params.tier1_count; ++i, ++next) {
+    std::size_t continent = i % params.continents;
+    continent_of[next] = continent;
+    topo.tier1.push_back(
+        graph.add_as(asns[next], AsTier::kTier1, place(continent, 300.0)));
+  }
+  // Tier-2 transit ASes and stubs follow the skewed continent weights.
+  auto pick_continent = [&]() {
+    return static_cast<std::size_t>(rng.zipf(params.continents, params.continent_zipf_s));
+  };
+  for (std::size_t i = 0; i < tier2_count; ++i, ++next) {
+    std::size_t continent = pick_continent();
+    continent_of[next] = continent;
+    topo.tier2.push_back(
+        graph.add_as(asns[next], AsTier::kTier2, place(continent, params.continent_sigma_km * 0.7)));
+  }
+  // Stubs.
+  for (std::size_t i = 0; i < stub_count; ++i, ++next) {
+    std::size_t continent = pick_continent();
+    continent_of[next] = continent;
+    topo.stubs.push_back(
+        graph.add_as(asns[next], AsTier::kStub, place(continent, params.continent_sigma_km)));
+  }
+
+  EdgeSet edges;
+
+  // Tier-1 full peering clique.
+  for (std::size_t i = 0; i < topo.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.tier1.size(); ++j) {
+      if (edges.insert(topo.tier1[i], topo.tier1[j])) {
+        graph.add_edge(topo.tier1[i], topo.tier1[j], LinkType::kToPeer);
+      }
+    }
+  }
+
+  // Tier-2: 1-3 providers among tier-1 (and, for later tier-2s, occasionally
+  // an earlier tier-2, deepening the hierarchy).
+  for (std::size_t i = 0; i < topo.tier2.size(); ++i) {
+    AsId me = topo.tier2[i];
+    std::size_t provider_count = 1 + rng.below(3);
+    for (std::size_t p = 0; p < provider_count; ++p) {
+      AsId provider;
+      if (i > 4 && rng.chance(0.35)) {
+        std::vector<AsId> earlier(topo.tier2.begin(), topo.tier2.begin() + i);
+        provider = pick_provider(graph, earlier, continent_of[me.value()], continent_of,
+                                 params.same_continent_provider_bias, rng);
+      } else {
+        provider = pick_provider(graph, topo.tier1, continent_of[me.value()], continent_of,
+                                 params.same_continent_provider_bias, rng);
+      }
+      if (edges.insert(me, provider)) {
+        graph.add_edge(me, provider, LinkType::kToProvider);
+      }
+    }
+  }
+
+  // Tier-2 same-continent peering.
+  for (std::size_t i = 0; i < topo.tier2.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.tier2.size(); ++j) {
+      AsId a = topo.tier2[i];
+      AsId b = topo.tier2[j];
+      if (continent_of[a.value()] != continent_of[b.value()]) continue;
+      if (!rng.chance(params.tier2_peering_prob)) continue;
+      if (edges.insert(a, b)) graph.add_edge(a, b, LinkType::kToPeer);
+    }
+  }
+
+  // Stubs: providers among tier-2 (85%) or tier-1 (15%); multi-homed stubs
+  // get 2-3 providers, deliberately allowed to span continents/hierarchies
+  // (the Fig. 4 shortcut scenario).
+  for (AsId me : topo.stubs) {
+    std::size_t provider_count = 1;
+    if (rng.chance(params.stub_multihoming_fraction)) provider_count = 2 + rng.below(2);
+    for (std::size_t p = 0; p < provider_count; ++p) {
+      // Secondary providers of multi-homed stubs ignore the continent bias
+      // half the time; that is what creates cross-hierarchy shortcuts.
+      double bias = (p == 0) ? params.same_continent_provider_bias
+                             : params.same_continent_provider_bias * 0.5;
+      const std::vector<AsId>& pool = rng.chance(0.15) ? topo.tier1 : topo.tier2;
+      AsId provider = pick_provider(graph, pool, continent_of[me.value()], continent_of, bias, rng);
+      if (edges.insert(me, provider)) {
+        graph.add_edge(me, provider, LinkType::kToProvider);
+      }
+    }
+  }
+
+  // IXP-style peering among stubs / between stubs and tier-2s on the same
+  // continent.
+  auto ixp_links = static_cast<std::size_t>(
+      static_cast<double>(topo.stubs.size()) * params.stub_peering_per_100 / 100.0);
+  std::size_t attempts = 0;
+  std::size_t made = 0;
+  while (made < ixp_links && attempts < ixp_links * 20) {
+    ++attempts;
+    AsId a = topo.stubs[rng.index_of(topo.stubs)];
+    AsId b = rng.chance(0.5) ? topo.stubs[rng.index_of(topo.stubs)]
+                             : topo.tier2[rng.index_of(topo.tier2)];
+    if (a == b) continue;
+    if (continent_of[a.value()] != continent_of[b.value()]) continue;
+    if (!edges.insert(a, b)) continue;
+    graph.add_edge(a, b, LinkType::kToPeer);
+    ++made;
+  }
+
+  assert(graph.validate());
+  return topo;
+}
+
+}  // namespace asap::astopo

@@ -1,0 +1,65 @@
+// Synthetic Internet-like AS topology generator.
+//
+// Substitutes for the paper's RouteViews/RIPE/CERNET BGP snapshot
+// (2005-09-26: 20,955 ASes, 56,907 links). The generator reproduces the
+// structural properties ASAP depends on:
+//   * a strict customer/provider hierarchy with a tier-1 peering clique, so
+//     valley-free routing is meaningful;
+//   * multi-homed stub ASes whose provider sets span different hierarchies —
+//     the paper's Fig. 4(right) shortcut scenario;
+//   * geographic clustering (continents), so AS-hop count and latency
+//     correlate (paper property 3);
+//   * heavy-tailed degree distribution via preferential provider attachment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "astopo/as_graph.h"
+#include "common/rng.h"
+
+namespace asap::astopo {
+
+struct TopologyParams {
+  std::size_t total_as = 6000;
+  std::size_t tier1_count = 12;
+  double tier2_fraction = 0.15;
+  std::size_t continents = 6;
+  // Half-axes of the ellipse the continent centres sit on, in km. Sized so
+  // the farthest centre pair is ~12,000 km (~60 ms one-way propagation),
+  // matching transpacific Internet paths.
+  double continent_radius_x_km = 3600.0;
+  double continent_radius_y_km = 1800.0;
+  // Zipf skew of the AS-to-continent assignment (0 = uniform). The 2005
+  // peer population was strongly concentrated in North America/Europe.
+  double continent_zipf_s = 0.8;
+  // Scatter of AS positions around their continent centre, in km.
+  double continent_sigma_km = 800.0;
+  // Probability that a provider is chosen on the same continent.
+  double same_continent_provider_bias = 0.9;
+  // Fraction of stub ASes with >= 2 providers (multi-homed).
+  double stub_multihoming_fraction = 0.45;
+  // Probability of a peering link between two tier-2 ASes on the same
+  // continent (scaled by degree).
+  double tier2_peering_prob = 0.08;
+  // Expected number of stub-to-stub / stub-to-tier2 IXP-style peering links
+  // per 100 stubs.
+  double stub_peering_per_100 = 4.0;
+};
+
+struct Topology {
+  AsGraph graph;
+  std::vector<AsId> tier1;
+  std::vector<AsId> tier2;
+  std::vector<AsId> stubs;
+  std::vector<GeoPoint> continent_centers;
+};
+
+// Generates a topology; deterministic given the RNG state.
+Topology generate_topology(const TopologyParams& params, Rng& rng);
+
+// Great-circle-ish distance on the synthetic map (plain Euclidean; the map
+// is a plane sized like an unrolled Earth).
+double geo_distance_km(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace asap::astopo

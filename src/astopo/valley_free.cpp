@@ -1,0 +1,75 @@
+#include "astopo/valley_free.h"
+
+#include <deque>
+
+namespace asap::astopo {
+
+std::vector<std::uint8_t> valley_free_hops(const AsGraph& graph, AsId source,
+                                           std::uint8_t max_hops) {
+  const auto n = graph.as_count();
+  // BFS over (AS, PathState) pairs; states indexed 0..2.
+  std::vector<std::uint8_t> state_dist(n * 3, kVfUnreached);
+  std::vector<std::uint8_t> best(n, kVfUnreached);
+
+  auto idx = [n](AsId a, PathState s) {
+    return static_cast<std::size_t>(s) * n + a.value();
+  };
+
+  std::deque<std::pair<AsId, PathState>> queue;
+  state_dist[idx(source, PathState::kUp)] = 0;
+  best[source.value()] = 0;
+  queue.emplace_back(source, PathState::kUp);
+
+  while (!queue.empty()) {
+    auto [as, state] = queue.front();
+    queue.pop_front();
+    std::uint8_t d = state_dist[idx(as, state)];
+    if (d >= max_hops) continue;
+    for (const auto& adj : graph.neighbors(as)) {
+      PathState next_state;
+      if (!can_extend(state, adj.type, next_state)) continue;
+      std::size_t i = idx(adj.neighbor, next_state);
+      if (state_dist[i] != kVfUnreached) continue;
+      state_dist[i] = static_cast<std::uint8_t>(d + 1);
+      best[adj.neighbor.value()] =
+          std::min(best[adj.neighbor.value()], static_cast<std::uint8_t>(d + 1));
+      queue.emplace_back(adj.neighbor, next_state);
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint8_t> unconstrained_hops(const AsGraph& graph, AsId source,
+                                             std::uint8_t max_hops) {
+  const auto n = graph.as_count();
+  std::vector<std::uint8_t> dist(n, kVfUnreached);
+  std::deque<AsId> queue{source};
+  dist[source.value()] = 0;
+  while (!queue.empty()) {
+    AsId as = queue.front();
+    queue.pop_front();
+    std::uint8_t d = dist[as.value()];
+    if (d >= max_hops) continue;
+    for (const auto& adj : graph.neighbors(as)) {
+      if (dist[adj.neighbor.value()] != kVfUnreached) continue;
+      dist[adj.neighbor.value()] = static_cast<std::uint8_t>(d + 1);
+      queue.push_back(adj.neighbor);
+    }
+  }
+  return dist;
+}
+
+bool is_valley_free(const AsGraph& graph, const std::vector<AsId>& path) {
+  if (path.size() <= 1) return true;
+  PathState state = PathState::kUp;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    auto type = graph.link_between(path[i], path[i + 1]);
+    if (!type) return false;
+    PathState next;
+    if (!can_extend(state, *type, next)) return false;
+    state = next;
+  }
+  return true;
+}
+
+}  // namespace asap::astopo

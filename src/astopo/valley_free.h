@@ -1,0 +1,38 @@
+// Valley-free k-hop reachability, the graph primitive behind ASAP's
+// construct-close-cluster-set() BFS (paper Fig. 9).
+//
+// From a source AS, enumerates every AS reachable over a valley-free path of
+// at most k AS hops, with the minimum such hop count. Per the paper
+// (citing Mao et al. [16]), shortest valley-free hop counts are a reasonably
+// accurate inference of real AS paths, which is why the protocol can use
+// this purely topological search before confirming candidates with latency
+// probes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "astopo/as_graph.h"
+#include "common/ids.h"
+
+namespace asap::astopo {
+
+inline constexpr std::uint8_t kVfUnreached = 0xFF;
+
+// dist[a] = min valley-free hops source->a (0 for the source itself), or
+// kVfUnreached if no valley-free path of <= max_hops exists.
+std::vector<std::uint8_t> valley_free_hops(const AsGraph& graph, AsId source,
+                                           std::uint8_t max_hops);
+
+// Same search ignoring the valley-free constraint (plain BFS). Used by the
+// ablation that asks whether respecting BGP policy in the close-set search
+// actually matters.
+std::vector<std::uint8_t> unconstrained_hops(const AsGraph& graph, AsId source,
+                                             std::uint8_t max_hops);
+
+// True when `path` (a sequence of adjacent ASes) is valley-free in `graph`.
+// Non-adjacent consecutive ASes make the path invalid. Used by tests and by
+// the Gao-inference validation pipeline.
+bool is_valley_free(const AsGraph& graph, const std::vector<AsId>& path);
+
+}  // namespace asap::astopo

@@ -1,0 +1,49 @@
+// A small Expected<T> for fallible parsing/loading paths (C++20 has no
+// std::expected). Carries either a value or an error message.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace asap {
+
+struct Error {
+  std::string message;
+};
+
+inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Expected(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& value() {
+    assert(has_value());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const {
+    assert(has_value());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const Error& error() const {
+    assert(!has_value());
+    return std::get<Error>(data_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace asap

@@ -1,0 +1,68 @@
+// Strong integer id types used across the ASAP libraries.
+//
+// Each entity (AS, prefix cluster, host, ...) gets its own non-convertible id
+// type so that an AsId can never be silently passed where a HostId is
+// expected. Ids are dense indices assigned at construction time by whichever
+// container owns the entity (AsGraph, PeerPopulation, ...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace asap {
+
+// Tagged integral id. `Tag` is a phantom type; `Rep` the underlying integer.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  // Sentinel for "no such entity".
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+  static constexpr StrongId invalid() { return StrongId(kInvalid); }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(StrongId a, StrongId b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(StrongId a, StrongId b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(StrongId a, StrongId b) { return a.value_ >= b.value_; }
+
+ private:
+  Rep value_ = kInvalid;
+};
+
+struct AsTag {};
+struct ClusterTag {};
+struct HostTag {};
+struct NodeTag {};
+struct SessionTag {};
+
+// Index of an AS node in an AsGraph (dense, not the wire-format ASN).
+using AsId = StrongId<AsTag>;
+// Index of an IP-prefix cluster in a PeerPopulation.
+using ClusterId = StrongId<ClusterTag>;
+// Index of a peer end host in a PeerPopulation.
+using HostId = StrongId<HostTag>;
+// Index of a simulation node (bootstrap/surrogate/end host) in a sim::Network.
+using NodeId = StrongId<NodeTag>;
+// Index of a VoIP calling session.
+using SessionId = StrongId<SessionTag>;
+
+}  // namespace asap
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<asap::StrongId<Tag, Rep>> {
+  size_t operator()(asap::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>()(id.value());
+  }
+};
+}  // namespace std

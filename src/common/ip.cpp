@@ -1,0 +1,82 @@
+#include "common/ip.h"
+
+#include <charconv>
+
+namespace asap {
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((bits_ >> shift) & 0xFF);
+    if (shift > 0) out += '.';
+  }
+  return out;
+}
+
+namespace {
+
+// Parses an integer in [lo, hi] from the front of `text`, advancing it.
+std::optional<int> parse_int(std::string_view& text, int lo, int hi) {
+  int value = 0;
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || value < lo || value > hi) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto octet = parse_int(text, 0, 255);
+    if (!octet) return std::nullopt;
+    bits = (bits << 8) | static_cast<std::uint32_t>(*octet);
+    if (i < 3) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Addr(bits);
+}
+
+Prefix::Prefix(Ipv4Addr addr, int len) : len_(len) {
+  if (len_ < 0) len_ = 0;
+  if (len_ > 32) len_ = 32;
+  addr_ = Ipv4Addr(addr.bits() & mask());
+}
+
+std::uint32_t Prefix::mask() const {
+  if (len_ == 0) return 0;
+  return ~std::uint32_t{0} << (32 - len_);
+}
+
+bool Prefix::contains(Ipv4Addr ip) const { return (ip.bits() & mask()) == addr_.bits(); }
+
+bool Prefix::covers(const Prefix& other) const {
+  return other.len_ >= len_ && contains(other.addr_);
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  auto len = parse_int(len_text, 0, 32);
+  if (!len || !len_text.empty()) return std::nullopt;
+  Prefix result(*addr, *len);
+  // Reject non-canonical prefixes such as 10.0.0.1/8.
+  if (result.address() != *addr) return std::nullopt;
+  return result;
+}
+
+}  // namespace asap

@@ -1,0 +1,79 @@
+// IPv4 address and CIDR prefix value types.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace asap {
+
+// An IPv4 address held in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t bits) : bits_(bits) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) | (std::uint32_t(c) << 8) | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+  [[nodiscard]] std::string to_string() const;
+
+  // Parses dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  friend constexpr bool operator==(Ipv4Addr a, Ipv4Addr b) { return a.bits_ == b.bits_; }
+  friend constexpr bool operator!=(Ipv4Addr a, Ipv4Addr b) { return a.bits_ != b.bits_; }
+  friend constexpr bool operator<(Ipv4Addr a, Ipv4Addr b) { return a.bits_ < b.bits_; }
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+// A CIDR prefix (address + mask length). The address is stored canonicalized:
+// bits below the mask are zeroed.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  Prefix(Ipv4Addr addr, int len);
+
+  [[nodiscard]] Ipv4Addr address() const { return addr_; }
+  [[nodiscard]] int length() const { return len_; }
+  [[nodiscard]] std::uint32_t mask() const;
+  [[nodiscard]] bool contains(Ipv4Addr ip) const;
+  // True when `other` is fully contained in (or equal to) this prefix.
+  [[nodiscard]] bool covers(const Prefix& other) const;
+  [[nodiscard]] std::string to_string() const;
+
+  // Parses "a.b.c.d/len"; returns nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  friend bool operator==(const Prefix& a, const Prefix& b) {
+    return a.addr_ == b.addr_ && a.len_ == b.len_;
+  }
+  friend bool operator!=(const Prefix& a, const Prefix& b) { return !(a == b); }
+  friend bool operator<(const Prefix& a, const Prefix& b) {
+    if (a.addr_ != b.addr_) return a.addr_ < b.addr_;
+    return a.len_ < b.len_;
+  }
+
+ private:
+  Ipv4Addr addr_;
+  int len_ = 0;
+};
+
+}  // namespace asap
+
+namespace std {
+template <>
+struct hash<asap::Ipv4Addr> {
+  size_t operator()(asap::Ipv4Addr a) const noexcept { return std::hash<uint32_t>()(a.bits()); }
+};
+template <>
+struct hash<asap::Prefix> {
+  size_t operator()(const asap::Prefix& p) const noexcept {
+    return std::hash<uint64_t>()((uint64_t(p.address().bits()) << 6) ^ uint64_t(p.length()));
+  }
+};
+}  // namespace std

@@ -1,0 +1,22 @@
+// Minimal leveled logging to stderr. Benchmarks keep stdout for results.
+#pragma once
+
+#include <string_view>
+
+namespace asap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Defaults to kInfo and can
+// be overridden with the ASAP_LOG environment variable (debug/info/warn/error).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, std::string_view message);
+
+inline void log_debug(std::string_view m) { log_message(LogLevel::kDebug, m); }
+inline void log_info(std::string_view m) { log_message(LogLevel::kInfo, m); }
+inline void log_warn(std::string_view m) { log_message(LogLevel::kWarn, m); }
+inline void log_error(std::string_view m) { log_message(LogLevel::kError, m); }
+
+}  // namespace asap

@@ -1,0 +1,139 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace asap {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) word = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t salt) const {
+  // Mix current state with the salt through SplitMix64 to seed the child.
+  SplitMix64 sm(state_[0] ^ rotl(state_[3], 13) ^ (salt * 0x9E3779B97F4A7C15ULL));
+  return Rng(sm.next());
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+double Rng::normal() {
+  // Box-Muller; draw u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::lognormal(double median, double sigma) {
+  return median * std::exp(sigma * normal());
+}
+
+double Rng::exponential(double mean) {
+  double u = 1.0 - uniform();
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  if (s <= 0.0) return below(n);
+  // Rejection-inversion sampling (Hormann & Derflinger).
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    if (std::abs(s - 1.0) < 1e-12) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_inv = [s](double y) {
+    if (std::abs(s - 1.0) < 1e-12) return std::exp(y);
+    return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(0.5) - 1.0;  // h(0.5) - f(1)
+  const double hn = h(nd + 0.5);
+  for (;;) {
+    double u = hx0 + uniform() * (hn - hx0);
+    double x = h_inv(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > nd) k = nd;
+    // Accept u iff it falls in the f(k)-sized slice ending at h(k + 0.5).
+    if (u < h(k + 0.5) - std::pow(k, -s)) continue;
+    return static_cast<std::uint64_t>(k) - 1;  // zero-based rank
+  }
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  assert(k <= n);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an index vector.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + static_cast<std::size_t>(below(n - i));
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+  } else {
+    // Sparse case: rejection with a hash set.
+    std::unordered_set<std::size_t> seen;
+    seen.reserve(k * 2);
+    while (out.size() < k) {
+      auto candidate = static_cast<std::size_t>(below(n));
+      if (seen.insert(candidate).second) out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+}  // namespace asap

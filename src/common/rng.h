@@ -1,0 +1,92 @@
+// Deterministic random number generation.
+//
+// All randomness in the repository flows from a single user-supplied seed
+// through SplitMix64 (for seeding / stream splitting) into Xoshiro256**
+// (for bulk generation). Streams derived with `fork()` are statistically
+// independent, which lets each subsystem own its RNG without coupling the
+// sequence of draws across subsystems — adding a draw in one module never
+// perturbs another module's results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace asap {
+
+// SplitMix64: tiny, well-distributed generator used to expand seeds.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // Derives an independent child stream; `salt` distinguishes siblings.
+  [[nodiscard]] Rng fork(std::uint64_t salt) const;
+
+  // Uniform integer in [0, bound) using Lemire's unbiased method. bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Bernoulli trial.
+  bool chance(double p);
+  // Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal();
+  double normal(double mean, double stddev);
+  // Log-normal where `median` is the distribution median, sigma the shape.
+  double lognormal(double median, double sigma);
+  // Exponential with the given mean.
+  double exponential(double mean);
+  // Zipf-like rank sample over [0, n) with exponent `s` (s >= 0).
+  // Uses rejection-inversion; O(1) expected time.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  // Picks a uniformly random element index of a non-empty container size.
+  template <typename Container>
+  std::size_t index_of(const Container& c) {
+    return static_cast<std::size_t>(below(c.size()));
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  // Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace asap

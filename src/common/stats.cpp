@@ -1,0 +1,112 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace asap {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  assert(!values.empty());
+  assert(q >= 0.0 && q <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = (q / 100.0) * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  auto hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<CurvePoint> make_cdf(std::vector<double> values, std::size_t points) {
+  std::vector<CurvePoint> curve;
+  if (values.empty()) return curve;
+  std::sort(values.begin(), values.end());
+  points = std::max<std::size_t>(points, 2);
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(points - 1);
+    auto idx = static_cast<std::size_t>(frac * static_cast<double>(values.size() - 1));
+    double y = static_cast<double>(idx + 1) / static_cast<double>(values.size());
+    curve.push_back({values[idx], y});
+  }
+  return curve;
+}
+
+std::vector<CurvePoint> make_ccdf(std::vector<double> values, std::size_t points) {
+  auto curve = make_cdf(std::move(values), points);
+  for (auto& p : curve) p.y = 1.0 - p.y;
+  return curve;
+}
+
+double fraction_above(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0.0;
+  auto n = static_cast<double>(
+      std::count_if(values.begin(), values.end(), [&](double v) { return v > threshold; }));
+  return n / static_cast<double>(values.size());
+}
+
+double fraction_at_most(const std::vector<double>& values, double threshold) {
+  return 1.0 - fraction_above(values, threshold);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+LogHistogram::LogHistogram(double lo, double ratio, std::size_t bins)
+    : lo_(lo), ratio_(ratio), counts_(bins, 0) {
+  assert(lo > 0 && ratio > 1.0 && bins > 0);
+}
+
+void LogHistogram::add(double x) {
+  std::ptrdiff_t idx = 0;
+  if (x > lo_) {
+    idx = static_cast<std::ptrdiff_t>(std::log(x / lo_) / std::log(ratio_));
+  }
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  return lo_ * std::pow(ratio_, static_cast<double>(i));
+}
+
+double LogHistogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+}  // namespace asap

@@ -1,0 +1,90 @@
+// Summary statistics, percentiles and distribution curves (CDF/CCDF/histogram)
+// used by the benchmark harnesses to print the paper's figures as tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace asap {
+
+// Welford online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile with linear interpolation; q in [0, 100]. Sorts a copy.
+double percentile(std::vector<double> values, double q);
+
+// One (x, y) point of an empirical distribution curve.
+struct CurvePoint {
+  double x;
+  double y;
+};
+
+// Empirical CDF sampled at `points` evenly spaced quantiles (plus min/max).
+std::vector<CurvePoint> make_cdf(std::vector<double> values, std::size_t points = 20);
+
+// Empirical CCDF: P(X > x) at the same sample positions.
+std::vector<CurvePoint> make_ccdf(std::vector<double> values, std::size_t points = 20);
+
+// Fraction of values strictly greater than `threshold`.
+double fraction_above(const std::vector<double>& values, double threshold);
+// Fraction of values less than or equal to `threshold`.
+double fraction_at_most(const std::vector<double>& values, double threshold);
+
+// Fixed-bin histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Logarithmic-bin histogram for heavy-tailed quantities (RTTs, path counts).
+// Bin i covers [lo * ratio^i, lo * ratio^(i+1)).
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double ratio, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double ratio_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace asap

@@ -1,0 +1,36 @@
+// ASCII table rendering for benchmark output. Benches print the rows/series
+// of the paper's tables and figures; this keeps that output aligned and
+// machine-greppable (a leading "| " per row, header separator).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace asap {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; cells beyond the header count are dropped, missing cells are
+  // rendered empty.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience formatting helpers for numeric cells.
+  static std::string fmt(double value, int decimals = 2);
+  static std::string fmt_int(long long value);
+  static std::string fmt_pct(double fraction, int decimals = 1);
+
+  [[nodiscard]] std::string render() const;
+  void print() const;  // render() to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a titled section banner around bench output blocks.
+void print_section(const std::string& title);
+
+}  // namespace asap

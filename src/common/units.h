@@ -1,0 +1,27 @@
+// Time and rate units used throughout the simulation.
+//
+// Latencies are carried as plain `double` milliseconds wrapped in a thin
+// `Millis` alias: the simulation mixes measured, modelled and synthetic
+// latencies arithmetically (sums of path legs, relay penalties, noise), so a
+// raw floating type with a documented unit is the pragmatic choice; the
+// strong-ness lives in function signatures and names ("_ms" suffixes).
+#pragma once
+
+namespace asap {
+
+// One-way or round-trip latency in milliseconds (documented per use site).
+using Millis = double;
+
+// An RTT considered "unreachable" (failed path / probe timeout).
+inline constexpr Millis kUnreachableMs = 1.0e9;
+
+// Paper parameters (Sec. 3.2 / Sec. 7.1): measured ~12 ms per-node relay
+// delay; the paper conservatively uses 20 ms one-way, 40 ms round trip.
+inline constexpr Millis kRelayDelayOneWayMs = 20.0;
+inline constexpr Millis kRelayDelayRttMs = 40.0;
+
+// ITU G.114 one-way limit and the paper's RTT quality threshold.
+inline constexpr Millis kOneWayLimitMs = 150.0;
+inline constexpr Millis kQualityRttThresholdMs = 300.0;
+
+}  // namespace asap

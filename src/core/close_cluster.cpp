@@ -1,0 +1,65 @@
+#include "core/close_cluster.h"
+
+#include <algorithm>
+
+#include "astopo/valley_free.h"
+
+namespace asap::core {
+
+bool CloseClusterSet::contains(ClusterId c) const { return find(c) != nullptr; }
+
+const CloseClusterEntry* CloseClusterSet::find(ClusterId c) const {
+  auto it = std::lower_bound(entries.begin(), entries.end(), c,
+                             [](const CloseClusterEntry& e, ClusterId id) {
+                               return e.cluster < id;
+                             });
+  if (it == entries.end() || it->cluster != c) return nullptr;
+  return &*it;
+}
+
+CloseClusterSet construct_close_cluster_set(const population::World& world, ClusterId owner,
+                                            const AsapParams& params) {
+  const auto& pop = world.pop();
+  const auto& graph = world.graph();
+  AsId source_as = pop.cluster(owner).as;
+
+  // BFS on the AS graph (valley-free unless ablated), bounded at k hops.
+  std::vector<std::uint8_t> hops =
+      params.valley_free ? astopo::valley_free_hops(graph, source_as, params.k)
+                         : astopo::unconstrained_hops(graph, source_as, params.k);
+
+  CloseClusterSet set;
+  set.owner = owner;
+  for (std::uint32_t as_idx = 0; as_idx < graph.as_count(); ++as_idx) {
+    if (hops[as_idx] == astopo::kVfUnreached) continue;
+    for (ClusterId c : pop.clusters_in_as(AsId(as_idx))) {
+      if (c == owner) continue;
+      // lat()/loss() between the two cluster surrogates (a "ping").
+      set.probe_messages += 2;
+      Millis rtt = world.cluster_rtt_ms(owner, c);
+      double loss = world.cluster_loss(owner, c);
+      if (rtt >= params.lat_threshold_ms || loss >= params.loss_threshold) continue;
+      set.entries.push_back(CloseClusterEntry{c, rtt, loss, hops[as_idx]});
+    }
+  }
+  std::sort(set.entries.begin(), set.entries.end(),
+            [](const CloseClusterEntry& a, const CloseClusterEntry& b) {
+              return a.cluster < b.cluster;
+            });
+  return set;
+}
+
+const CloseClusterSet& CloseSetCache::get(ClusterId c) {
+  if (sets_.size() < world_.pop().clusters().size()) {
+    sets_.resize(world_.pop().clusters().size());
+  }
+  auto& slot = sets_[c.value()];
+  if (!slot) {
+    slot = std::make_unique<CloseClusterSet>(construct_close_cluster_set(world_, c, params_));
+    ++built_;
+    probe_messages_ += slot->probe_messages;
+  }
+  return *slot;
+}
+
+}  // namespace asap::core

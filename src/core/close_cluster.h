@@ -1,0 +1,61 @@
+// construct-close-cluster-set() — paper Fig. 9.
+//
+// Runs (conceptually) on a cluster surrogate s: breadth-first search on the
+// annotated AS graph from s's AS under valley-free constraints, up to k AS
+// hops; every cluster whose surrogate answers a ping within the latency
+// threshold and below the loss threshold joins the close cluster set.
+#pragma once
+
+#include <vector>
+
+#include "core/params.h"
+#include "population/world.h"
+#include "common/ids.h"
+
+namespace asap::core {
+
+struct CloseClusterEntry {
+  ClusterId cluster;
+  Millis rtt_ms;       // measured surrogate-to-surrogate RTT
+  double loss;         // measured surrogate-to-surrogate loss
+  std::uint8_t as_hops;  // valley-free hop estimate used during the BFS
+};
+
+struct CloseClusterSet {
+  ClusterId owner;
+  // Sorted by cluster id for O(set) intersection in select-close-relay().
+  std::vector<CloseClusterEntry> entries;
+  // Probe messages spent constructing the set (2 per candidate cluster).
+  std::uint64_t probe_messages = 0;
+
+  [[nodiscard]] bool contains(ClusterId c) const;
+  [[nodiscard]] const CloseClusterEntry* find(ClusterId c) const;
+};
+
+// Builds the close cluster set of `owner` over the world's ground truth.
+CloseClusterSet construct_close_cluster_set(const population::World& world, ClusterId owner,
+                                            const AsapParams& params);
+
+// Lazily-built cache of close cluster sets, shared by the evaluation driver
+// (one set per caller/callee/candidate cluster, reused across sessions just
+// as surrogates amortize construction across their cluster's sessions).
+class CloseSetCache {
+ public:
+  CloseSetCache(const population::World& world, const AsapParams& params)
+      : world_(world), params_(params) {}
+
+  const CloseClusterSet& get(ClusterId c);
+
+  [[nodiscard]] std::size_t built_count() const { return built_; }
+  [[nodiscard]] std::uint64_t total_probe_messages() const { return probe_messages_; }
+  [[nodiscard]] const AsapParams& params() const { return params_; }
+
+ private:
+  const population::World& world_;
+  AsapParams params_;
+  std::vector<std::unique_ptr<CloseClusterSet>> sets_;
+  std::size_t built_ = 0;
+  std::uint64_t probe_messages_ = 0;
+};
+
+}  // namespace asap::core

@@ -1,0 +1,179 @@
+#include "core/config_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace asap::core {
+
+namespace {
+
+// One registry drives parsing and serialization, so they cannot drift.
+struct Field {
+  std::function<bool(ExperimentConfig&, std::string_view)> set;
+  std::function<std::string(const ExperimentConfig&)> get;
+};
+
+template <typename T>
+bool parse_number(std::string_view text, T& out) {
+  if constexpr (std::is_same_v<T, bool>) {
+    if (text == "1" || text == "true") {
+      out = true;
+      return true;
+    }
+    if (text == "0" || text == "false") {
+      out = false;
+      return true;
+    }
+    return false;
+  } else if constexpr (std::is_floating_point_v<T>) {
+    try {
+      std::size_t pos = 0;
+      std::string s(text);
+      double v = std::stod(s, &pos);
+      if (pos != s.size()) return false;
+      out = static_cast<T>(v);
+      return true;
+    } catch (...) {
+      return false;
+    }
+  } else {
+    T v{};
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+    out = v;
+    return true;
+  }
+}
+
+template <typename Ref>
+Field make_field(Ref ref) {
+  return Field{
+      [ref](ExperimentConfig& c, std::string_view text) {
+        return parse_number(text, std::invoke(ref, c));
+      },
+      [ref](const ExperimentConfig& c) {
+        auto& value = std::invoke(ref, const_cast<ExperimentConfig&>(c));
+        std::ostringstream out;
+        out << +value;  // promote uint8_t to a printable integer
+        return out.str();
+      },
+  };
+}
+
+const std::map<std::string, Field, std::less<>>& registry() {
+  static const std::map<std::string, Field, std::less<>> fields = {
+      {"seed", make_field([](ExperimentConfig& c) -> auto& { return c.world.seed; })},
+      {"latency_epoch",
+       make_field([](ExperimentConfig& c) -> auto& { return c.world.latency_epoch; })},
+      {"sessions", make_field([](ExperimentConfig& c) -> auto& { return c.sessions; })},
+      {"topo.total_as",
+       make_field([](ExperimentConfig& c) -> auto& { return c.world.topo.total_as; })},
+      {"topo.tier1_count",
+       make_field([](ExperimentConfig& c) -> auto& { return c.world.topo.tier1_count; })},
+      {"topo.continents",
+       make_field([](ExperimentConfig& c) -> auto& { return c.world.topo.continents; })},
+      {"pop.host_as_count",
+       make_field([](ExperimentConfig& c) -> auto& { return c.world.pop.host_as_count; })},
+      {"pop.total_peers",
+       make_field([](ExperimentConfig& c) -> auto& { return c.world.pop.total_peers; })},
+      {"pop.cluster_zipf_s",
+       make_field([](ExperimentConfig& c) -> auto& { return c.world.pop.cluster_zipf_s; })},
+      {"pop.nat_enabled",
+       make_field([](ExperimentConfig& c) -> auto& { return c.world.pop.nat_enabled; })},
+      {"relay_delay_one_way_ms",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.world.relay_delay_one_way_ms; })},
+      {"asap.k", make_field([](ExperimentConfig& c) -> auto& { return c.asap.k; })},
+      {"asap.lat_threshold_ms",
+       make_field([](ExperimentConfig& c) -> auto& { return c.asap.lat_threshold_ms; })},
+      {"asap.loss_threshold",
+       make_field([](ExperimentConfig& c) -> auto& { return c.asap.loss_threshold; })},
+      {"asap.size_threshold",
+       make_field([](ExperimentConfig& c) -> auto& { return c.asap.size_threshold; })},
+      {"asap.probe_fraction",
+       make_field([](ExperimentConfig& c) -> auto& { return c.asap.probe_fraction; })},
+      {"asap.max_probe_clusters",
+       make_field([](ExperimentConfig& c) -> auto& { return c.asap.max_probe_clusters; })},
+      {"asap.valley_free",
+       make_field([](ExperimentConfig& c) -> auto& { return c.asap.valley_free; })},
+  };
+  return fields;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Expected<ExperimentConfig> parse_config(std::string_view text) {
+  ExperimentConfig config;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    auto nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view() : text.substr(nl + 1);
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return make_error("config line " + std::to_string(line_no) + ": expected key = value");
+    }
+    std::string_view key = trim(line.substr(0, eq));
+    std::string_view value = trim(line.substr(eq + 1));
+    auto it = registry().find(key);
+    if (it == registry().end()) {
+      return make_error("config line " + std::to_string(line_no) + ": unknown key '" +
+                        std::string(key) + "'");
+    }
+    if (!it->second.set(config, value)) {
+      return make_error("config line " + std::to_string(line_no) + ": bad value '" +
+                        std::string(value) + "' for " + std::string(key));
+    }
+  }
+  return config;
+}
+
+std::string serialize_config(const ExperimentConfig& config) {
+  std::string out = "# asap experiment configuration\n";
+  for (const auto& [key, field] : registry()) {
+    out += key;
+    out += " = ";
+    out += field.get(config);
+    out += '\n';
+  }
+  return out;
+}
+
+Expected<ExperimentConfig> load_config_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return make_error("config: cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse_config(text);
+}
+
+bool save_config_file(const std::string& path, const ExperimentConfig& config) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::string text = serialize_config(config);
+  std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return written == text.size();
+}
+
+}  // namespace asap::core

@@ -1,0 +1,40 @@
+// Experiment configuration files: a line-oriented `key = value` format for
+// WorldParams + AsapParams, so a run can be described in a file, shared,
+// and reproduced exactly (the world is deterministic given its parameters).
+//
+//   # asap experiment
+//   seed = 20050926
+//   topo.total_as = 6000
+//   pop.total_peers = 23366
+//   asap.k = 4
+//   asap.lat_threshold_ms = 300
+//
+// Unknown keys are an error (they are always typos); '#' starts a comment.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/params.h"
+#include "population/world.h"
+#include "common/expected.h"
+
+namespace asap::core {
+
+struct ExperimentConfig {
+  population::WorldParams world;
+  AsapParams asap;
+  std::size_t sessions = 100000;
+};
+
+// Parses config text; returns the config with defaults for absent keys.
+Expected<ExperimentConfig> parse_config(std::string_view text);
+
+// Serializes every supported key (a template for hand editing).
+std::string serialize_config(const ExperimentConfig& config);
+
+// File helpers.
+Expected<ExperimentConfig> load_config_file(const std::string& path);
+bool save_config_file(const std::string& path, const ExperimentConfig& config);
+
+}  // namespace asap::core

@@ -1,0 +1,38 @@
+// ASAP protocol parameters (paper Sec. 6.2 / 7.1 defaults).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace asap::core {
+
+struct AsapParams {
+  // Valley-free BFS depth for close-cluster-set construction. The paper
+  // sets k = 4: >90% of sessions with direct RTT below 300 ms have at most
+  // 4 AS hops.
+  std::uint8_t k = 4;
+  // Latency threshold (ms) to stop path expansion / accept relay paths;
+  // "latT can be set close to 300 ms" (one-way limit 150 ms).
+  Millis lat_threshold_ms = 300.0;
+  // Loss-rate threshold to accept a cluster into the close set.
+  double loss_threshold = 0.05;
+  // One-hop relay-node count below which two-hop selection starts
+  // ("sizeT in select-close-relay() ... set to 300").
+  std::uint32_t size_threshold = 300;
+  // Per-intermediary one-way relay delay (Sec. 3.2: measured ~12 ms, 20 ms
+  // used conservatively).
+  Millis relay_delay_one_way_ms = kRelayDelayOneWayMs;
+  // Fraction of accepted candidate clusters an end host actually probes
+  // before picking the relay (Sec. 7.3's overhead-reduction knob).
+  double probe_fraction = 0.10;
+  // Hard cap on verification probes per session (0 = no cap).
+  std::uint32_t max_probe_clusters = 400;
+  // Cap on enumerated two-hop cluster pairs per session (the count of
+  // two-hop *paths* is still exact; this only bounds stored pairs).
+  std::uint32_t max_two_hop_pairs = 4096;
+  // If false, the close-set BFS ignores valley-free constraints (ablation).
+  bool valley_free = true;
+};
+
+}  // namespace asap::core

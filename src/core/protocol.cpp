@@ -1,0 +1,587 @@
+#include "core/protocol.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/wire.h"
+
+namespace asap::core {
+
+// State machine of one in-flight call, driven by message handlers.
+struct AsapSystem::ActiveCall {
+  SessionId session;
+  HostId caller;
+  HostId callee;
+  Millis voice_duration_ms = 0.0;
+  Millis started_at_ms = 0.0;
+  sim::MessageCounter counter_at_start;
+
+  CallOutcome outcome;
+  bool done = false;
+
+  // Relay candidate probing.
+  struct Candidate {
+    ClusterId cluster;
+    Millis callee_leg_rtt_ms = 0.0;  // from the callee's close set
+    Millis caller_leg_rtt_ms = kUnreachableMs;  // measured by probe
+  };
+  std::vector<Candidate> candidates;
+  std::size_t probes_outstanding = 0;
+  std::shared_ptr<const CloseClusterSet> callee_set;
+
+  std::uint64_t one_hop_nodes = 0;
+
+  // Two-hop expansion (triggered when the one-hop node set is below sizeT):
+  // close sets of OS surrogates are fetched over the network and intersected
+  // with the callee's set.
+  bool two_hop_phase = false;
+  bool relay_decided = false;
+  std::size_t two_hop_fetches_outstanding = 0;
+  Millis best_two_hop_estimate_ms = kUnreachableMs;
+  HostId two_hop_r1 = HostId::invalid();
+  HostId two_hop_r2 = HostId::invalid();
+  // Best one-hop pick, remembered across the two-hop phase.
+  Millis best_one_hop_estimate_ms = kUnreachableMs;
+  ClusterId best_one_hop_cluster = ClusterId::invalid();
+
+  // Voice accounting.
+  Millis first_voice_sent_ms = -1.0;
+  double voice_delay_sum_ms = 0.0;
+};
+
+AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
+                       std::size_t bootstrap_count)
+    : world_(world), params_(params), net_(queue_, world.oracle()) {
+  net_.set_payload_sizer([](const ProtocolPayload& p) {
+    return wire::encoded_size(p) + wire::kPacketOverheadBytes;
+  });
+  const auto& pop = world_.pop();
+  hosts_.resize(pop.peers().size());
+  surrogate_sets_.resize(pop.clusters().size());
+
+  // One network node per peer, ids aligned with HostId.
+  for (std::uint32_t i = 0; i < pop.peers().size(); ++i) {
+    const auto& peer = pop.peer(HostId(i));
+    NodeId id = net_.add_node(peer.as, peer.access_one_way_ms,
+                              [this, i](NodeId from, const ProtocolPayload& p) {
+                                handle_message(NodeId(i), from, p);
+                              });
+    assert(id.value() == i);
+    (void)id;
+    hosts_[i].cluster = peer.cluster;
+  }
+
+  // Bootstraps: dedicated, always-on servers in tier-1 ASes.
+  for (std::size_t b = 0; b < bootstrap_count; ++b) {
+    AsId as = world_.topo().tier1[b % world_.topo().tier1.size()];
+    NodeId id = net_.add_node(as, 0.5, [this](NodeId, const ProtocolPayload&) {});
+    // Re-register with the final id captured.
+    net_.set_handler(id, [this, id](NodeId from, const ProtocolPayload& p) {
+      handle_bootstrap(id, from, p);
+    });
+    bootstraps_.push_back(id);
+  }
+}
+
+AsapSystem::~AsapSystem() = default;
+
+NodeId AsapSystem::surrogate_node(ClusterId c) const {
+  HostId s = world_.pop().cluster(c).surrogate;
+  return s.valid() ? NodeId(s.value()) : NodeId::invalid();
+}
+
+bool AsapSystem::is_surrogate_of(ClusterId c, NodeId node) const {
+  const auto& surrogates = world_.pop().cluster(c).surrogates;
+  for (HostId s : surrogates) {
+    if (NodeId(s.value()) == node) return true;
+  }
+  return false;
+}
+
+void AsapSystem::send(NodeId from, NodeId to, sim::MessageCategory cat,
+                      ProtocolPayload payload) {
+  if (!to.valid()) return;
+  net_.send(from, to, cat, std::move(payload));
+}
+
+void AsapSystem::send_probe(NodeId from, NodeId to, std::function<void(Millis)> on_reply) {
+  std::uint64_t token = next_token_++;
+  pending_probes_[token] = PendingProbe{std::move(on_reply), queue_.now(), false};
+  send(from, to, sim::MessageCategory::kProbe, Probe{token});
+  queue_.after(kRequestTimeoutMs, [this, token]() {
+    auto it = pending_probes_.find(token);
+    if (it == pending_probes_.end() || it->second.done) return;
+    it->second.done = true;
+    auto cb = std::move(it->second.on_reply);
+    pending_probes_.erase(it);
+    cb(kUnreachableMs);
+  });
+}
+
+std::shared_ptr<const CloseClusterSet> AsapSystem::surrogate_close_set(ClusterId c) {
+  auto& slot = surrogate_sets_[c.value()];
+  if (!slot) {
+    slot = std::make_shared<CloseClusterSet>(
+        construct_close_cluster_set(world_, c, params_));
+    metrics_.increment("surrogate.close_sets_built");
+    metrics_.increment("surrogate.construction_probes", slot->probe_messages);
+  }
+  return slot;
+}
+
+void AsapSystem::join_all() {
+  const auto& pop = world_.pop();
+  for (std::uint32_t i = 0; i < pop.peers().size(); ++i) {
+    NodeId me(i);
+    NodeId bootstrap = bootstraps_[i % bootstraps_.size()];
+    send(me, bootstrap, sim::MessageCategory::kJoin, JoinRequest{pop.peer(HostId(i)).ip});
+  }
+  queue_.run();
+}
+
+void AsapSystem::fail_surrogate(ClusterId c) {
+  NodeId s = surrogate_node(c);
+  if (!s.valid()) return;
+  hosts_[s.value()].alive = false;
+  metrics_.increment("surrogate.failures_injected");
+}
+
+void AsapSystem::fail_host(HostId h) {
+  hosts_[h.value()].alive = false;
+  metrics_.increment("host.failures_injected");
+}
+
+void AsapSystem::fetch_close_set(HostId host, std::function<void()> on_ready) {
+  HostState& state = hosts_[host.value()];
+  if (state.close_set) {
+    queue_.after(0.0, std::move(on_ready));
+    return;
+  }
+  state.close_set_waiters.push_back(std::move(on_ready));
+  if (!state.fetch_in_flight) start_close_set_fetch(host);
+}
+
+void AsapSystem::start_close_set_fetch(HostId host) {
+  HostState& state = hosts_[host.value()];
+  state.fetch_in_flight = true;
+  NodeId me(host.value());
+  // A host that is itself a surrogate of its cluster computes the set
+  // locally.
+  if (is_surrogate_of(state.cluster, me)) {
+    state.close_set = surrogate_close_set(state.cluster);
+    queue_.after(0.0, [this, host]() { deliver_close_set(host); });
+    return;
+  }
+  send(me, state.surrogate, sim::MessageCategory::kCloseSet, CloseSetRequest{});
+  queue_.after(kRequestTimeoutMs, [this, host]() {
+    HostState& s = hosts_[host.value()];
+    if (s.close_set || !s.fetch_in_flight) return;  // reply already arrived
+    // Timeout: the surrogate is gone. Report to a bootstrap; it elects a
+    // replacement and tells us. Retry (bounded), then give up degraded.
+    if (s.close_set_retries >= 3) {
+      metrics_.increment("host.close_set_giveups");
+      deliver_close_set(host);
+      return;
+    }
+    ++s.close_set_retries;
+    metrics_.increment("host.surrogate_timeouts");
+    NodeId me(host.value());
+    send(me, bootstraps_.front(), sim::MessageCategory::kJoin,
+         SurrogateFailureReport{s.cluster, s.surrogate});
+    // Allow time for the SurrogateUpdate to arrive, then retry the fetch.
+    queue_.after(kRequestTimeoutMs, [this, host]() {
+      if (!hosts_[host.value()].close_set) start_close_set_fetch(host);
+    });
+  });
+}
+
+void AsapSystem::deliver_close_set(HostId host) {
+  HostState& state = hosts_[host.value()];
+  state.fetch_in_flight = false;
+  std::vector<std::function<void()>> waiters;
+  waiters.swap(state.close_set_waiters);
+  for (auto& waiter : waiters) waiter();
+}
+
+void AsapSystem::handle_bootstrap(NodeId self, NodeId from, const ProtocolPayload& payload) {
+  if (const auto* join = std::get_if<JoinRequest>(&payload)) {
+    const auto& pop = world_.pop();
+    auto cluster = pop.cluster_of_ip(join->ip);
+    if (!cluster) return;  // unknown prefix: ignore (joiner will time out)
+    JoinReply reply;
+    reply.asn = world_.graph().node(pop.cluster(*cluster).as).asn;
+    reply.cluster = *cluster;
+    // Large clusters run several surrogates (Sec. 6.3); members shard
+    // statically across them.
+    HostId assigned = pop.assigned_surrogate(*cluster, HostId(from.value()));
+    reply.surrogate = assigned.valid() ? NodeId(assigned.value()) : NodeId::invalid();
+    send(self, from, sim::MessageCategory::kJoin, reply);
+    return;
+  }
+  if (const auto* report = std::get_if<SurrogateFailureReport>(&payload)) {
+    auto& pop = world_.pop();
+    if (report->failed.valid() && is_surrogate_of(report->cluster, report->failed)) {
+      HostId replacement =
+          pop.elect_surrogate(report->cluster, HostId(report->failed.value()));
+      metrics_.increment("bootstrap.surrogates_elected");
+      if (replacement.valid()) {
+        NodeId new_node(replacement.value());
+        send(self, new_node, sim::MessageCategory::kJoin,
+             SurrogateUpdate{report->cluster, new_node});
+      }
+    }
+    HostId reassigned = pop.assigned_surrogate(report->cluster, HostId(from.value()));
+    send(self, from, sim::MessageCategory::kJoin,
+         SurrogateUpdate{report->cluster,
+                         reassigned.valid() ? NodeId(reassigned.value()) : NodeId::invalid()});
+    return;
+  }
+}
+
+void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload& payload) {
+  HostState& state = hosts_[self.value()];
+  if (!state.alive) return;  // crashed node: silently drops everything
+
+  if (const auto* reply = std::get_if<JoinReply>(&payload)) {
+    state.joined = true;
+    state.surrogate = reply->surrogate.valid() ? reply->surrogate : self;
+    // Publish nodal information to the surrogate (paper Sec. 6.1 duty 3).
+    if (state.surrogate != self) {
+      send(self, state.surrogate, sim::MessageCategory::kPublish,
+           PublishInfo{world_.pop().peer(HostId(self.value())).capacity});
+    }
+    return;
+  }
+  if (std::get_if<CloseSetRequest>(&payload)) {
+    // Serve only if we really are a surrogate of our cluster.
+    if (is_surrogate_of(state.cluster, self)) {
+      send(self, from, sim::MessageCategory::kCloseSet,
+           CloseSetReply{surrogate_close_set(state.cluster)});
+    }
+    return;
+  }
+  if (const auto* reply = std::get_if<CloseSetReply>(&payload)) {
+    // A reply can be (a) this host's own close set (join/call setup) or
+    // (b) another surrogate's set fetched during the caller's two-hop
+    // expansion. The two-hop case is recognizable: the active caller
+    // already holds its own set.
+    bool two_hop_reply = active_call_ && active_call_->two_hop_phase &&
+                         HostId(self.value()) == active_call_->caller &&
+                         state.close_set != nullptr && reply->set != nullptr &&
+                         reply->set->owner != state.cluster;
+    if (two_hop_reply) {
+      on_two_hop_close_set(reply->set->owner, reply->set);
+      return;
+    }
+    state.close_set = reply->set;
+    deliver_close_set(HostId(self.value()));
+    return;
+  }
+  if (std::get_if<PublishInfo>(&payload)) {
+    metrics_.increment("surrogate.publishes_received");
+    return;
+  }
+  if (const auto* update = std::get_if<SurrogateUpdate>(&payload)) {
+    if (update->cluster == state.cluster) state.surrogate = update->new_surrogate;
+    return;
+  }
+  if (const auto* probe = std::get_if<Probe>(&payload)) {
+    send(self, from, sim::MessageCategory::kProbe, ProbeReply{probe->token});
+    return;
+  }
+  if (const auto* reply = std::get_if<ProbeReply>(&payload)) {
+    auto it = pending_probes_.find(reply->token);
+    if (it == pending_probes_.end() || it->second.done) return;
+    it->second.done = true;
+    Millis rtt = queue_.now() - it->second.sent_at_ms;
+    auto cb = std::move(it->second.on_reply);
+    pending_probes_.erase(it);
+    cb(rtt);
+    return;
+  }
+  if (const auto* setup = std::get_if<CallSetup>(&payload)) {
+    // Callee: fetch own close set, then accept with it attached.
+    HostId me(self.value());
+    SessionId session = setup->session;
+    fetch_close_set(me, [this, self, from, session]() {
+      send(self, from, sim::MessageCategory::kCallSignal,
+           CallAccept{session, hosts_[self.value()].close_set});
+    });
+    return;
+  }
+  if (const auto* accept = std::get_if<CallAccept>(&payload)) {
+    if (active_call_ && active_call_->session == accept->session) {
+      on_call_accept(*accept);
+    }
+    return;
+  }
+  if (const auto* voice = std::get_if<VoicePacket>(&payload)) {
+    if (!voice->route.empty()) {
+      // We are a relay on the path: forward after the per-node relay delay.
+      VoicePacket next = *voice;
+      NodeId hop = next.route.front();
+      next.route.erase(next.route.begin());
+      queue_.after(params_.relay_delay_one_way_ms, [this, self, hop, next]() {
+        send(self, hop, sim::MessageCategory::kVoice, next);
+      });
+      return;
+    }
+    if (active_call_ && active_call_->session == voice->session) {
+      ++active_call_->outcome.voice_packets_received;
+      active_call_->voice_delay_sum_ms += queue_.now() - voice->sent_at_ms;
+    }
+    return;
+  }
+}
+
+CallOutcome AsapSystem::call(HostId caller, HostId callee, Millis voice_duration_ms) {
+  assert(!active_call_);
+  active_call_ = std::make_unique<ActiveCall>();
+  ActiveCall& call = *active_call_;
+  call.session = SessionId(next_session_++);
+  call.caller = caller;
+  call.callee = callee;
+  call.voice_duration_ms = voice_duration_ms;
+  call.started_at_ms = queue_.now();
+  call.counter_at_start = net_.counter();
+
+  NodeId me(caller.value());
+  NodeId peer(callee.value());
+
+  // NAT gate: when no direct UDP session can be established at all, skip
+  // the ping and go straight to relay selection — this is the Skype-era
+  // reason relays exist in the first place.
+  if (!world_.pop().direct_possible(caller, callee)) {
+    call.outcome.nat_blocked = true;
+    fetch_close_set(call.caller, [this, me, peer]() {
+      send(me, peer, sim::MessageCategory::kCallSignal,
+           CallSetup{active_call_->session});
+    });
+  } else {
+    // Step 1: measure the direct IP routing RTT with a ping.
+    send_probe(me, peer, [this, me, peer](Millis rtt) {
+      ActiveCall& call = *active_call_;
+      call.outcome.direct_rtt_ms = rtt;
+      if (rtt < params_.lat_threshold_ms) {
+        // Direct path meets the requirement: no relay selection needed.
+        begin_voice({});
+        return;
+      }
+      // Step 2: relay selection. Fetch our close set, then ask the callee.
+      fetch_close_set(call.caller, [this, me, peer]() {
+        send(me, peer, sim::MessageCategory::kCallSignal,
+             CallSetup{active_call_->session});
+      });
+    });
+  }
+
+  // Drive the simulation until the call completes (or the queue drains,
+  // which means something timed out without recovery).
+  while (!call.done && queue_.step()) {
+  }
+  CallOutcome outcome = call.outcome;
+  active_call_.reset();
+  return outcome;
+}
+
+void AsapSystem::on_call_accept(const CallAccept& accept) {
+  ActiveCall& call = *active_call_;
+  call.callee_set = accept.callee_set;
+  const auto& pop = world_.pop();
+  HostState& caller_state = hosts_[call.caller.value()];
+
+  if (!caller_state.close_set || !call.callee_set) {
+    // Degraded: no close sets available. Falling back to the direct path is
+    // only possible when NAT permits it; otherwise the call fails cleanly.
+    if (!call.outcome.nat_blocked) begin_voice({});
+    return;
+  }
+
+  // Intersect S1 and S2; accept clusters whose estimated relay latency
+  // meets latT (the estimate uses close-set latencies; probing refines it).
+  ClusterId c1 = caller_state.cluster;
+  ClusterId c2 = hosts_[call.callee.value()].cluster;
+  const CloseClusterSet& s1 = *caller_state.close_set;
+  const CloseClusterSet& s2 = *call.callee_set;
+  for (const auto& e1 : s1.entries) {
+    const CloseClusterEntry* e2 = s2.find(e1.cluster);
+    if (e2 == nullptr || e1.cluster == c1 || e1.cluster == c2) continue;
+    Millis estimate = e1.rtt_ms + e2->rtt_ms + 2.0 * params_.relay_delay_one_way_ms;
+    if (estimate >= params_.lat_threshold_ms) continue;
+    call.candidates.push_back(
+        ActiveCall::Candidate{e1.cluster, e2->rtt_ms, kUnreachableMs});
+    call.one_hop_nodes += pop.cluster(e1.cluster).members.size();
+  }
+
+  if (call.candidates.empty()) {
+    if (!call.outcome.nat_blocked) begin_voice({});
+    return;
+  }
+
+  // Probe the best candidates' surrogates from the caller side.
+  std::size_t to_probe = call.candidates.size();
+  if (params_.max_probe_clusters > 0) {
+    to_probe = std::min<std::size_t>(to_probe, params_.max_probe_clusters);
+  }
+  call.probes_outstanding = to_probe;
+  NodeId me(call.caller.value());
+  for (std::size_t i = 0; i < to_probe; ++i) {
+    ClusterId cluster = call.candidates[i].cluster;
+    NodeId relay = surrogate_node(cluster);
+    send_probe(me, relay, [this, i](Millis rtt) {
+      ActiveCall& call = *active_call_;
+      call.candidates[i].caller_leg_rtt_ms = rtt;
+      --call.probes_outstanding;
+      maybe_finish_probing();
+    });
+  }
+}
+
+void AsapSystem::maybe_finish_probing() {
+  ActiveCall& call = *active_call_;
+  if (call.probes_outstanding > 0) return;
+
+  // Pick the one-hop relay with the lowest measured caller leg + advertised
+  // callee leg (plus relay penalty).
+  for (const auto& cand : call.candidates) {
+    if (cand.caller_leg_rtt_ms >= kUnreachableMs) continue;
+    Millis estimate = cand.caller_leg_rtt_ms + cand.callee_leg_rtt_ms +
+                      2.0 * params_.relay_delay_one_way_ms;
+    if (estimate < call.best_one_hop_estimate_ms) {
+      call.best_one_hop_estimate_ms = estimate;
+      call.best_one_hop_cluster = cand.cluster;
+    }
+  }
+
+  // Two-hop expansion, as in select-close-relay(): when the one-hop node
+  // set is small, fetch the close sets of the OS surrogates and look for
+  // r1 -> r2 chains (paper Fig. 10). Bounded fetch fan-out.
+  if (call.one_hop_nodes < params_.size_threshold && !call.candidates.empty() &&
+      !call.two_hop_phase) {
+    call.two_hop_phase = true;
+    NodeId me(call.caller.value());
+    std::size_t fetches = std::min<std::size_t>(call.candidates.size(), kMaxTwoHopFetches);
+    call.two_hop_fetches_outstanding = fetches;
+    for (std::size_t i = 0; i < fetches; ++i) {
+      NodeId r1 = surrogate_node(call.candidates[i].cluster);
+      send(me, r1, sim::MessageCategory::kCloseSet, CloseSetRequest{});
+    }
+    // Deadline: proceed with whatever arrived.
+    queue_.after(kRequestTimeoutMs, [this, session = call.session]() {
+      if (!active_call_ || active_call_->session != session) return;
+      if (active_call_->two_hop_fetches_outstanding > 0) {
+        active_call_->two_hop_fetches_outstanding = 0;
+        decide_relay();
+      }
+    });
+    return;
+  }
+  decide_relay();
+}
+
+void AsapSystem::on_two_hop_close_set(ClusterId r1_cluster,
+                                      const std::shared_ptr<const CloseClusterSet>& os1) {
+  ActiveCall& call = *active_call_;
+  if (call.two_hop_fetches_outstanding == 0) return;
+  --call.two_hop_fetches_outstanding;
+
+  // h1's leg to r1 comes from the measured probe; r1 -> r2 from OS1; the
+  // callee leg from the callee's close set.
+  const auto& pop = world_.pop();
+  Millis leg1 = kUnreachableMs;
+  for (const auto& cand : call.candidates) {
+    if (cand.cluster == r1_cluster) leg1 = cand.caller_leg_rtt_ms;
+  }
+  if (leg1 < kUnreachableMs && os1 && call.callee_set) {
+    for (const auto& mid : os1->entries) {
+      const CloseClusterEntry* e2 = call.callee_set->find(mid.cluster);
+      if (e2 == nullptr || mid.cluster == r1_cluster) continue;
+      if (pop.cluster(mid.cluster).relay_capable_members == 0) continue;
+      Millis estimate = leg1 + mid.rtt_ms + e2->rtt_ms +
+                        4.0 * params_.relay_delay_one_way_ms;
+      if (estimate < call.best_two_hop_estimate_ms) {
+        call.best_two_hop_estimate_ms = estimate;
+        call.two_hop_r1 = pop.cluster(r1_cluster).surrogate;
+        call.two_hop_r2 = pop.cluster(mid.cluster).surrogate;
+      }
+    }
+  }
+  if (call.two_hop_fetches_outstanding == 0) decide_relay();
+}
+
+void AsapSystem::decide_relay() {
+  ActiveCall& call = *active_call_;
+  if (call.relay_decided) return;
+  call.relay_decided = true;
+
+  bool two_hop_wins = call.best_two_hop_estimate_ms < call.best_one_hop_estimate_ms &&
+                      call.two_hop_r1.valid();
+  if (two_hop_wins) {
+    call.outcome.used_relay = true;
+    call.outcome.relay.relay1 = call.two_hop_r1;
+    call.outcome.relay.relay2 = call.two_hop_r2;
+    call.outcome.relay.rtt_ms =
+        world_.relay2_rtt_ms(call.caller, call.two_hop_r1, call.two_hop_r2, call.callee);
+    begin_voice({NodeId(call.two_hop_r1.value()), NodeId(call.two_hop_r2.value())});
+    return;
+  }
+  if (!call.best_one_hop_cluster.valid()) {
+    if (!call.outcome.nat_blocked) begin_voice({});
+    return;
+  }
+  HostId relay = world_.pop().cluster(call.best_one_hop_cluster).surrogate;
+  call.outcome.used_relay = true;
+  call.outcome.relay.relay1 = relay;
+  call.outcome.relay.rtt_ms =
+      world_.relay_rtt_ms(call.caller, relay, call.callee);
+  call.outcome.relay.loss = world_.relay_loss(call.caller, relay, call.callee);
+  begin_voice({NodeId(relay.value())});
+}
+
+void AsapSystem::begin_voice(const std::vector<NodeId>& relay_route) {
+  ActiveCall& call = *active_call_;
+  call.first_voice_sent_ms = queue_.now();
+  NodeId me(call.caller.value());
+  NodeId peer(call.callee.value());
+  auto packets = static_cast<std::uint32_t>(call.voice_duration_ms / kVoiceIntervalMs);
+  packets = std::max<std::uint32_t>(packets, 1);
+  call.outcome.voice_packets_sent = packets;
+  for (std::uint32_t seq = 0; seq < packets; ++seq) {
+    queue_.after(static_cast<Millis>(seq) * kVoiceIntervalMs,
+                 [this, me, peer, relay_route, seq]() {
+                   ActiveCall& call = *active_call_;
+                   VoicePacket pkt;
+                   pkt.session = call.session;
+                   pkt.seq = seq;
+                   pkt.sent_at_ms = queue_.now();
+                   if (relay_route.empty()) {
+                     send(me, peer, sim::MessageCategory::kVoice, pkt);
+                   } else {
+                     // Route: first relay receives the packet with the rest
+                     // of the chain (ending at the callee) to forward along.
+                     pkt.route.assign(relay_route.begin() + 1, relay_route.end());
+                     pkt.route.push_back(peer);
+                     send(me, relay_route.front(), sim::MessageCategory::kVoice, pkt);
+                   }
+                 });
+  }
+  // Close the call after the stream plus a generous in-flight allowance.
+  queue_.after(call.voice_duration_ms + 10000.0, [this]() { finish_call(); });
+}
+
+void AsapSystem::finish_call() {
+  ActiveCall& call = *active_call_;
+  if (call.done) return;
+  call.done = true;
+  call.outcome.completed = true;
+  call.outcome.setup_time_ms = call.first_voice_sent_ms - call.started_at_ms;
+  if (call.outcome.voice_packets_received > 0) {
+    call.outcome.mean_voice_one_way_ms =
+        call.voice_delay_sum_ms / call.outcome.voice_packets_received;
+  }
+  sim::MessageCounter diff = net_.counter().diff_since(call.counter_at_start);
+  call.outcome.control_messages = diff.control_total();
+  call.outcome.control_bytes = diff.control_bytes();
+}
+
+}  // namespace asap::core

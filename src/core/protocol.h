@@ -1,0 +1,191 @@
+// Message-level ASAP protocol simulation (paper Sec. 6.1, Fig. 8).
+//
+// Runs the actual join / close-set / call flows as timed messages over the
+// discrete-event network: bootstraps resolve a joining host's IP to its ASN
+// and cluster surrogate; surrogates build and serve close cluster sets and
+// can be re-elected on failure; end hosts ping the callee, fetch close
+// sets, probe candidate relays and stream voice packets through the chosen
+// relay. The evaluation benches use the algorithmic layer
+// (select_close_relay) for scale; this layer exists so the protocol's
+// timing, failover and message counts are *observed* in a running system —
+// tests assert the two layers agree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/close_cluster.h"
+#include "core/params.h"
+#include "core/select_relay.h"
+#include "population/world.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+
+namespace asap::core {
+
+// --- Wire messages ---------------------------------------------------------
+
+struct JoinRequest {
+  Ipv4Addr ip;
+};
+struct JoinReply {
+  std::uint32_t asn = 0;
+  ClusterId cluster;
+  NodeId surrogate;  // invalid => joiner becomes its cluster's surrogate
+};
+struct CloseSetRequest {};
+struct CloseSetReply {
+  std::shared_ptr<const CloseClusterSet> set;
+};
+struct PublishInfo {
+  double capacity = 0.0;
+};
+struct SurrogateFailureReport {
+  ClusterId cluster;
+  NodeId failed;
+};
+struct SurrogateUpdate {
+  ClusterId cluster;
+  NodeId new_surrogate;
+};
+struct Probe {
+  std::uint64_t token;
+};
+struct ProbeReply {
+  std::uint64_t token;
+};
+struct CallSetup {
+  SessionId session;
+};
+struct CallAccept {
+  SessionId session;
+  std::shared_ptr<const CloseClusterSet> callee_set;
+};
+struct VoicePacket {
+  SessionId session;
+  std::uint32_t seq = 0;
+  Millis sent_at_ms = 0.0;
+  // Remaining forwarding chain; empty => this node is the final receiver.
+  std::vector<NodeId> route;
+};
+
+using ProtocolPayload =
+    std::variant<JoinRequest, JoinReply, CloseSetRequest, CloseSetReply, PublishInfo,
+                 SurrogateFailureReport, SurrogateUpdate, Probe, ProbeReply, CallSetup,
+                 CallAccept, VoicePacket>;
+using ProtocolNetwork = sim::Network<ProtocolPayload>;
+
+// --- System ------------------------------------------------------------
+
+struct CallOutcome {
+  bool completed = false;
+  Millis direct_rtt_ms = kUnreachableMs;
+  // Direct path impossible at the connectivity level (NAT): the call must
+  // relay regardless of latency.
+  bool nat_blocked = false;
+  bool used_relay = false;
+  RelayChoice relay;                 // chosen relay path (if used_relay)
+  Millis setup_time_ms = 0.0;        // call initiation -> first voice packet
+  std::uint64_t control_messages = 0;  // session's share of non-voice messages
+  std::uint64_t control_bytes = 0;     // same, in wire bytes (incl. IP/UDP headers)
+  std::uint32_t voice_packets_sent = 0;
+  std::uint32_t voice_packets_received = 0;
+  Millis mean_voice_one_way_ms = 0.0;
+};
+
+class AsapSystem {
+ public:
+  AsapSystem(population::World& world, const AsapParams& params,
+             std::size_t bootstrap_count = 2);
+  ~AsapSystem();  // out of line: ActiveCall is incomplete here
+
+  // Joins every peer (bootstrap round trips + surrogate discovery) and runs
+  // the queue to quiescence. Must be called before placing calls.
+  void join_all();
+
+  // Places one call and runs the simulation until it completes. Voice is
+  // streamed for `voice_duration_ms` at 50 packets/s.
+  CallOutcome call(HostId caller, HostId callee, Millis voice_duration_ms = 400.0);
+
+  // Crashes the surrogate of `c`: it stops answering. The next close-set
+  // request from a cluster member times out, is reported to a bootstrap,
+  // and a new surrogate is elected and announced.
+  void fail_surrogate(ClusterId c);
+  // Crashes an arbitrary host (drops everything it receives from now on).
+  void fail_host(HostId h);
+  [[nodiscard]] bool is_alive(HostId h) const { return hosts_[h.value()].alive; }
+
+  [[nodiscard]] const sim::MessageCounter& counter() const { return net_.counter(); }
+  [[nodiscard]] const sim::MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] sim::EventQueue& queue() { return queue_; }
+  [[nodiscard]] NodeId node_of(HostId h) const { return NodeId(h.value()); }
+  [[nodiscard]] NodeId surrogate_node(ClusterId c) const;
+  [[nodiscard]] bool is_surrogate_of(ClusterId c, NodeId node) const;
+  [[nodiscard]] bool is_joined(HostId h) const { return hosts_[h.value()].joined; }
+
+  // Per-protocol constants.
+  static constexpr Millis kRequestTimeoutMs = 3000.0;
+  static constexpr Millis kVoiceIntervalMs = 20.0;  // 50 pps
+  // Fan-out cap for two-hop close-set fetches per call.
+  static constexpr std::size_t kMaxTwoHopFetches = 16;
+
+ private:
+  struct HostState {
+    bool joined = false;
+    bool alive = true;
+    ClusterId cluster;
+    NodeId surrogate = NodeId::invalid();
+    std::shared_ptr<const CloseClusterSet> close_set;  // cached S of own cluster
+    std::uint32_t close_set_retries = 0;
+    bool fetch_in_flight = false;
+    std::vector<std::function<void()>> close_set_waiters;
+  };
+  struct PendingProbe {
+    std::function<void(Millis rtt_ms)> on_reply;
+    Millis sent_at_ms = 0.0;
+    bool done = false;
+  };
+
+  void handle_message(NodeId self, NodeId from, const ProtocolPayload& payload);
+  void handle_bootstrap(NodeId self, NodeId from, const ProtocolPayload& payload);
+  void on_call_accept(const CallAccept& accept);
+  void maybe_finish_probing();
+  void on_two_hop_close_set(ClusterId r1_cluster,
+                            const std::shared_ptr<const CloseClusterSet>& os1);
+  void decide_relay();
+  void begin_voice(const std::vector<NodeId>& relay_route);
+  void finish_call();
+  void send(NodeId from, NodeId to, sim::MessageCategory cat, ProtocolPayload payload);
+  void send_probe(NodeId from, NodeId to, std::function<void(Millis)> on_reply);
+  // Requests the close set of `host`'s surrogate with timeout + failover.
+  void fetch_close_set(HostId host, std::function<void()> on_ready);
+  void start_close_set_fetch(HostId host);
+  void deliver_close_set(HostId host);
+  std::shared_ptr<const CloseClusterSet> surrogate_close_set(ClusterId c);
+
+  population::World& world_;
+  AsapParams params_;
+  sim::EventQueue queue_;
+  ProtocolNetwork net_;
+  sim::MetricsRegistry metrics_;
+
+  std::vector<HostState> hosts_;
+  std::vector<NodeId> bootstraps_;
+  // Close sets computed by surrogates (shared across requests).
+  std::vector<std::shared_ptr<const CloseClusterSet>> surrogate_sets_;
+  std::map<std::uint64_t, PendingProbe> pending_probes_;
+  std::uint64_t next_token_ = 1;
+  std::uint32_t next_session_ = 1;
+
+  // Active call state (one call at a time; the driver runs to completion).
+  struct ActiveCall;
+  std::unique_ptr<ActiveCall> active_call_;
+};
+
+}  // namespace asap::core

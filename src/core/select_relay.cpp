@@ -1,0 +1,144 @@
+#include "core/select_relay.h"
+
+#include <algorithm>
+
+#include "core/wire.h"
+#include "population/nat.h"
+
+namespace asap::core {
+
+namespace {
+
+// Sorted-vector intersection of two close sets, yielding pairs of entries.
+template <typename Fn>
+void intersect(const CloseClusterSet& s1, const CloseClusterSet& s2, Fn&& fn) {
+  auto it1 = s1.entries.begin();
+  auto it2 = s2.entries.begin();
+  while (it1 != s1.entries.end() && it2 != s2.entries.end()) {
+    if (it1->cluster < it2->cluster) {
+      ++it1;
+    } else if (it2->cluster < it1->cluster) {
+      ++it2;
+    } else {
+      fn(*it1, *it2);
+      ++it1;
+      ++it2;
+    }
+  }
+}
+
+}  // namespace
+
+SelectRelayResult select_close_relay(const population::World& world, CloseSetCache& cache,
+                                     const population::Session& session, Rng& rng) {
+  const AsapParams& params = cache.params();
+  const auto& pop = world.pop();
+  SelectRelayResult result;
+
+  ClusterId c1 = pop.peer(session.caller).cluster;
+  ClusterId c2 = pop.peer(session.callee).cluster;
+  const CloseClusterSet& s1 = cache.get(c1);
+  const CloseClusterSet& s2 = cache.get(c2);
+  // h1 contacts h2 for its close relay information: 2 messages. The reply
+  // carries h2's close set — the dominant byte cost.
+  result.messages += 2;
+  result.bytes += 2 * wire::kPacketOverheadBytes + 6 /* CallSetup */ +
+                  6 + wire::close_set_wire_bytes(s2) /* CallAccept */;
+
+  // One-hop: common set CS = S1 ∩ S2; accept clusters whose relay path
+  // through their surrogate meets latT. The surrogate-to-endpoint latencies
+  // are known from the close sets (the endpoints sit in the owner clusters),
+  // so acceptance costs no extra messages; verification probes below do.
+  struct Candidate {
+    ClusterId cluster;
+    Millis estimate_ms;
+  };
+  std::vector<Candidate> accepted;
+  intersect(s1, s2, [&](const CloseClusterEntry& e1, const CloseClusterEntry& e2) {
+    if (e1.cluster == c1 || e1.cluster == c2) return;
+    // Only openly reachable peers can relay (== every member when NAT
+    // modelling is off).
+    const auto& cluster = pop.cluster(e1.cluster);
+    if (cluster.relay_capable_members == 0) return;
+    Millis relaylat = e1.rtt_ms + e2.rtt_ms + 2.0 * params.relay_delay_one_way_ms;
+    if (relaylat >= params.lat_threshold_ms) return;
+    accepted.push_back(Candidate{e1.cluster, relaylat});
+    result.one_hop_clusters.push_back(e1.cluster);
+    result.one_hop_nodes += cluster.relay_capable_members;
+  });
+
+  // Verification probing: both endpoints ping the chosen candidates'
+  // surrogates (2 messages per probed cluster). Sessions with huge close
+  // sets can probe only a fraction (Sec. 7.3's overhead-reduction knob).
+  std::sort(accepted.begin(), accepted.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.estimate_ms != b.estimate_ms) return a.estimate_ms < b.estimate_ms;
+    return a.cluster < b.cluster;
+  });
+  std::size_t probe_count = accepted.size();
+  if (params.probe_fraction < 1.0) {
+    probe_count = static_cast<std::size_t>(
+        static_cast<double>(probe_count) * params.probe_fraction + 0.999);
+  }
+  if (params.max_probe_clusters > 0) {
+    probe_count = std::min<std::size_t>(probe_count, params.max_probe_clusters);
+  }
+  for (std::size_t i = 0; i < probe_count; ++i) {
+    const Candidate& cand = accepted[i];
+    result.messages += 2;
+    result.bytes += 2 * (wire::kPacketOverheadBytes + 10);  // probe + reply
+    HostId relay = pop.cluster(cand.cluster).surrogate;
+    Millis rtt = world.relay_rtt_ms(session.caller, relay, session.callee);
+    if (rtt < result.best.rtt_ms) {
+      result.best.rtt_ms = rtt;
+      result.best.loss = world.relay_loss(session.caller, relay, session.callee);
+      result.best.relay1 = relay;
+      result.best.relay2 = HostId::invalid();
+    }
+  }
+
+  // Two-hop expansion when the one-hop node set is too small. Per Fig. 10,
+  // the r1 pool is exactly the accepted one-hop clusters (OS): "for each
+  // cluster surrogate r1 in OS: h1 obtains r1's close cluster set" —
+  // 2 messages per fetch.
+  if (result.one_hop_nodes < params.size_threshold) {
+    result.two_hop_triggered = true;
+    for (ClusterId r1_cluster : result.one_hop_clusters) {
+      result.messages += 2;
+      const CloseClusterSet& os1 = cache.get(r1_cluster);
+      result.bytes += 2 * wire::kPacketOverheadBytes + 2 /* request */ +
+                      2 + wire::close_set_wire_bytes(os1) /* reply */;
+      const CloseClusterEntry* h1_leg = s1.find(r1_cluster);
+      if (h1_leg == nullptr) continue;  // r1 came from the intersection, must exist
+      intersect(os1, s2, [&](const CloseClusterEntry& mid, const CloseClusterEntry& e2) {
+        if (mid.cluster == c1 || mid.cluster == c2 || mid.cluster == r1_cluster) return;
+        Millis relaylat = h1_leg->rtt_ms + mid.rtt_ms + e2.rtt_ms +
+                          4.0 * params.relay_delay_one_way_ms;
+        if (relaylat >= params.lat_threshold_ms) return;
+        if (pop.cluster(mid.cluster).relay_capable_members == 0) return;
+        std::uint64_t pairs = static_cast<std::uint64_t>(
+                                  pop.cluster(r1_cluster).relay_capable_members) *
+                              pop.cluster(mid.cluster).relay_capable_members;
+        result.two_hop_pairs += pairs;
+        if (result.two_hop_cluster_pairs.size() < params.max_two_hop_pairs) {
+          result.two_hop_cluster_pairs.emplace_back(r1_cluster, mid.cluster);
+        }
+        // Track the best two-hop path through the surrogates.
+        HostId r1 = pop.cluster(r1_cluster).surrogate;
+        HostId r2 = pop.cluster(mid.cluster).surrogate;
+        Millis rtt = world.relay2_rtt_ms(session.caller, r1, r2, session.callee);
+        if (rtt < result.best.rtt_ms) {
+          result.best.rtt_ms = rtt;
+          result.best.loss = 1.0 - (1.0 - world.relay_loss(session.caller, r1, r2)) *
+                                       (1.0 - world.host_loss(r2, session.callee));
+          result.best.relay1 = r1;
+          result.best.relay2 = r2;
+        }
+      });
+    }
+  }
+
+  (void)rng;
+  return result;
+}
+
+}  // namespace asap::core

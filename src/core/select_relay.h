@@ -1,0 +1,59 @@
+// select-close-relay() — paper Fig. 10.
+//
+// Given a calling session (h1, h2), intersects the endpoints' close cluster
+// sets to obtain one-hop relay candidates; every IP in an accepted cluster
+// is a quality one-hop relay node (set OS). When OS holds fewer than sizeT
+// nodes, expands to two-hop relays by fetching the close cluster sets of
+// the OS surrogates and intersecting them with h2's set (set TS of node
+// pairs). Message accounting follows Sec. 7.3: 2 messages for the one-hop
+// exchange, 2 per fetched surrogate close set, plus 2 per verification
+// probe of a candidate relay path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/close_cluster.h"
+#include "core/params.h"
+#include "population/session_gen.h"
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace asap::core {
+
+struct RelayChoice {
+  Millis rtt_ms = kUnreachableMs;
+  double loss = 1.0;
+  HostId relay1 = HostId::invalid();
+  HostId relay2 = HostId::invalid();  // invalid for one-hop / direct
+  [[nodiscard]] bool is_two_hop() const { return relay2.valid(); }
+  [[nodiscard]] bool found() const { return relay1.valid(); }
+};
+
+struct SelectRelayResult {
+  // Accepted one-hop relay clusters (surrogate clusters r with
+  // relaylat(h1-r-h2) < latT).
+  std::vector<ClusterId> one_hop_clusters;
+  // |OS|: total one-hop relay nodes (every IP in an accepted cluster).
+  std::uint64_t one_hop_nodes = 0;
+  // Two-hop expansion bookkeeping.
+  bool two_hop_triggered = false;
+  std::uint64_t two_hop_pairs = 0;  // |TS| (node pairs), exact count
+  std::vector<std::pair<ClusterId, ClusterId>> two_hop_cluster_pairs;  // capped sample
+  // Best relay path found (by RTT among probed candidates).
+  RelayChoice best;
+  // Control messages generated for this session (Fig. 18 metric).
+  std::uint64_t messages = 0;
+  // The same traffic in wire bytes (close-set transfers dominate).
+  std::uint64_t bytes = 0;
+  // Quality paths metric as the paper counts it: one-hop nodes + two-hop
+  // node pairs meeting the latency requirement.
+  [[nodiscard]] std::uint64_t quality_paths() const { return one_hop_nodes + two_hop_pairs; }
+};
+
+// Runs select-close-relay() for a session using cached close sets. `rng`
+// drives the probe-fraction subsampling (unused when probe_fraction == 1).
+SelectRelayResult select_close_relay(const population::World& world, CloseSetCache& cache,
+                                     const population::Session& session, Rng& rng);
+
+}  // namespace asap::core

@@ -1,0 +1,336 @@
+#include "core/wire.h"
+
+#include <cstring>
+
+namespace asap::core::wire {
+
+namespace {
+
+enum class Tag : std::uint8_t {
+  kJoinRequest = 1,
+  kJoinReply = 2,
+  kCloseSetRequest = 3,
+  kCloseSetReply = 4,
+  kPublishInfo = 5,
+  kSurrogateFailureReport = 6,
+  kSurrogateUpdate = 7,
+  kProbe = 8,
+  kProbeReply = 9,
+  kCallSetup = 10,
+  kCallAccept = 11,
+  kVoicePacket = 12,
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    u32(bits);
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t& v) { return read(&v, 1); }
+  bool u16(std::uint16_t& v) {
+    std::uint8_t b[2];
+    if (!read(b, 2)) return false;
+    v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint8_t b[4];
+    if (!read(b, 4)) return false;
+    v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    std::uint8_t b[8];
+    if (!read(b, 8)) return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+    return true;
+  }
+  bool f32(float& v) {
+    std::uint32_t bits;
+    if (!u32(bits)) return false;
+    std::memcpy(&v, &bits, 4);
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t bits;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, 8);
+    return true;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  bool read(std::uint8_t* dst, std::size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void put_close_set(Writer& w, const CloseClusterSet& set) {
+  w.u32(set.owner.value());
+  w.u32(static_cast<std::uint32_t>(set.entries.size()));
+  for (const auto& e : set.entries) {
+    w.u32(e.cluster.value());
+    w.f32(static_cast<float>(e.rtt_ms));
+    w.f32(static_cast<float>(e.loss));
+    w.u8(e.as_hops);
+  }
+}
+
+bool get_close_set(Reader& r, CloseClusterSet& set) {
+  std::uint32_t owner = 0;
+  std::uint32_t count = 0;
+  if (!r.u32(owner) || !r.u32(count)) return false;
+  // Guard against absurd counts (truncation attacks): each entry costs 13
+  // bytes on the wire, so `count` cannot exceed what remains.
+  if (count > r.remaining() / 13) return false;
+  set.owner = ClusterId(owner);
+  set.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CloseClusterEntry e;
+    std::uint32_t cluster = 0;
+    float rtt = 0;
+    float loss = 0;
+    if (!r.u32(cluster) || !r.f32(rtt) || !r.f32(loss) || !r.u8(e.as_hops)) return false;
+    e.cluster = ClusterId(cluster);
+    e.rtt_ms = rtt;
+    e.loss = loss;
+    set.entries.push_back(e);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t close_set_wire_bytes(const CloseClusterSet& set) {
+  return 8 + set.entries.size() * 13;
+}
+
+std::vector<std::uint8_t> encode(const ProtocolPayload& payload) {
+  Writer w;
+  w.u8(kWireVersion);
+  std::visit(
+      [&w](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, JoinRequest>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kJoinRequest));
+          w.u32(msg.ip.bits());
+        } else if constexpr (std::is_same_v<T, JoinReply>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kJoinReply));
+          w.u32(msg.asn);
+          w.u32(msg.cluster.value());
+          w.u32(msg.surrogate.value());
+        } else if constexpr (std::is_same_v<T, CloseSetRequest>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kCloseSetRequest));
+        } else if constexpr (std::is_same_v<T, CloseSetReply>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kCloseSetReply));
+          static const CloseClusterSet kEmpty{};
+          put_close_set(w, msg.set ? *msg.set : kEmpty);
+        } else if constexpr (std::is_same_v<T, PublishInfo>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kPublishInfo));
+          w.f64(msg.capacity);
+        } else if constexpr (std::is_same_v<T, SurrogateFailureReport>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kSurrogateFailureReport));
+          w.u32(msg.cluster.value());
+          w.u32(msg.failed.value());
+        } else if constexpr (std::is_same_v<T, SurrogateUpdate>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kSurrogateUpdate));
+          w.u32(msg.cluster.value());
+          w.u32(msg.new_surrogate.value());
+        } else if constexpr (std::is_same_v<T, Probe>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kProbe));
+          w.u64(msg.token);
+        } else if constexpr (std::is_same_v<T, ProbeReply>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kProbeReply));
+          w.u64(msg.token);
+        } else if constexpr (std::is_same_v<T, CallSetup>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kCallSetup));
+          w.u32(msg.session.value());
+        } else if constexpr (std::is_same_v<T, CallAccept>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kCallAccept));
+          w.u32(msg.session.value());
+          static const CloseClusterSet kEmpty{};
+          put_close_set(w, msg.callee_set ? *msg.callee_set : kEmpty);
+        } else if constexpr (std::is_same_v<T, VoicePacket>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kVoicePacket));
+          w.u32(msg.session.value());
+          w.u32(msg.seq);
+          w.f64(msg.sent_at_ms);
+          w.u16(static_cast<std::uint16_t>(msg.route.size()));
+          for (NodeId hop : msg.route) w.u32(hop.value());
+        }
+      },
+      payload);
+  return w.take();
+}
+
+Expected<ProtocolPayload> decode(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  std::uint8_t version = 0;
+  std::uint8_t tag = 0;
+  if (!r.u8(version) || !r.u8(tag)) return make_error("wire: truncated header");
+  if (version != kWireVersion) return make_error("wire: unsupported version");
+
+  auto finish = [&r](ProtocolPayload value) -> Expected<ProtocolPayload> {
+    if (!r.exhausted()) return make_error("wire: trailing bytes");
+    return value;
+  };
+
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kJoinRequest: {
+      std::uint32_t ip = 0;
+      if (!r.u32(ip)) return make_error("wire: truncated JoinRequest");
+      return finish(JoinRequest{Ipv4Addr(ip)});
+    }
+    case Tag::kJoinReply: {
+      JoinReply msg;
+      std::uint32_t cluster = 0;
+      std::uint32_t surrogate = 0;
+      if (!r.u32(msg.asn) || !r.u32(cluster) || !r.u32(surrogate)) {
+        return make_error("wire: truncated JoinReply");
+      }
+      msg.cluster = ClusterId(cluster);
+      msg.surrogate = NodeId(surrogate);
+      return finish(msg);
+    }
+    case Tag::kCloseSetRequest:
+      return finish(CloseSetRequest{});
+    case Tag::kCloseSetReply: {
+      auto set = std::make_shared<CloseClusterSet>();
+      if (!get_close_set(r, *set)) return make_error("wire: truncated CloseSetReply");
+      return finish(CloseSetReply{std::move(set)});
+    }
+    case Tag::kPublishInfo: {
+      PublishInfo msg;
+      if (!r.f64(msg.capacity)) return make_error("wire: truncated PublishInfo");
+      return finish(msg);
+    }
+    case Tag::kSurrogateFailureReport: {
+      std::uint32_t cluster = 0;
+      std::uint32_t failed = 0;
+      if (!r.u32(cluster) || !r.u32(failed)) {
+        return make_error("wire: truncated SurrogateFailureReport");
+      }
+      return finish(SurrogateFailureReport{ClusterId(cluster), NodeId(failed)});
+    }
+    case Tag::kSurrogateUpdate: {
+      std::uint32_t cluster = 0;
+      std::uint32_t node = 0;
+      if (!r.u32(cluster) || !r.u32(node)) {
+        return make_error("wire: truncated SurrogateUpdate");
+      }
+      return finish(SurrogateUpdate{ClusterId(cluster), NodeId(node)});
+    }
+    case Tag::kProbe: {
+      Probe msg{};
+      if (!r.u64(msg.token)) return make_error("wire: truncated Probe");
+      return finish(msg);
+    }
+    case Tag::kProbeReply: {
+      ProbeReply msg{};
+      if (!r.u64(msg.token)) return make_error("wire: truncated ProbeReply");
+      return finish(msg);
+    }
+    case Tag::kCallSetup: {
+      std::uint32_t session = 0;
+      if (!r.u32(session)) return make_error("wire: truncated CallSetup");
+      return finish(CallSetup{SessionId(session)});
+    }
+    case Tag::kCallAccept: {
+      std::uint32_t session = 0;
+      if (!r.u32(session)) return make_error("wire: truncated CallAccept");
+      auto set = std::make_shared<CloseClusterSet>();
+      if (!get_close_set(r, *set)) return make_error("wire: truncated CallAccept set");
+      return finish(CallAccept{SessionId(session), std::move(set)});
+    }
+    case Tag::kVoicePacket: {
+      VoicePacket msg;
+      std::uint32_t session = 0;
+      std::uint16_t hops = 0;
+      if (!r.u32(session) || !r.u32(msg.seq) || !r.f64(msg.sent_at_ms) || !r.u16(hops)) {
+        return make_error("wire: truncated VoicePacket");
+      }
+      if (hops > r.remaining() / 4) return make_error("wire: absurd route length");
+      msg.session = SessionId(session);
+      msg.route.reserve(hops);
+      for (std::uint16_t i = 0; i < hops; ++i) {
+        std::uint32_t hop = 0;
+        if (!r.u32(hop)) return make_error("wire: truncated route");
+        msg.route.push_back(NodeId(hop));
+      }
+      return finish(msg);
+    }
+  }
+  return make_error("wire: unknown tag");
+}
+
+std::size_t encoded_size(const ProtocolPayload& payload) {
+  constexpr std::size_t kHeader = 2;  // version + tag
+  return std::visit(
+      [](const auto& msg) -> std::size_t {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, JoinRequest>) {
+          return kHeader + 4;
+        } else if constexpr (std::is_same_v<T, JoinReply>) {
+          return kHeader + 12;
+        } else if constexpr (std::is_same_v<T, CloseSetRequest>) {
+          return kHeader;
+        } else if constexpr (std::is_same_v<T, CloseSetReply>) {
+          return kHeader + (msg.set ? close_set_wire_bytes(*msg.set) : 8);
+        } else if constexpr (std::is_same_v<T, PublishInfo>) {
+          return kHeader + 8;
+        } else if constexpr (std::is_same_v<T, SurrogateFailureReport>) {
+          return kHeader + 8;
+        } else if constexpr (std::is_same_v<T, SurrogateUpdate>) {
+          return kHeader + 8;
+        } else if constexpr (std::is_same_v<T, Probe> || std::is_same_v<T, ProbeReply>) {
+          return kHeader + 8;
+        } else if constexpr (std::is_same_v<T, CallSetup>) {
+          return kHeader + 4;
+        } else if constexpr (std::is_same_v<T, CallAccept>) {
+          return kHeader + 4 + (msg.callee_set ? close_set_wire_bytes(*msg.callee_set) : 8);
+        } else if constexpr (std::is_same_v<T, VoicePacket>) {
+          return kHeader + 4 + 4 + 8 + 2 + 4 * msg.route.size();
+        }
+      },
+      payload);
+}
+
+}  // namespace asap::core::wire

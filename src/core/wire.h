@@ -1,0 +1,43 @@
+// Binary wire codec for the ASAP protocol messages.
+//
+// The simulation passes typed payloads in memory; this codec defines what
+// they would cost on the wire, so overhead can be accounted in bytes (the
+// paper's Limit 4 is about *traffic*, not just message counts) and so the
+// protocol has a deployable message format. Encoding is little-endian,
+// length-checked, and versioned with a single format byte; decode rejects
+// anything malformed without over-reading.
+//
+// Frame layout: [version:1][tag:1][body...]
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/protocol.h"
+#include "common/expected.h"
+
+namespace asap::core::wire {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+
+// Serializes a payload to its wire form.
+std::vector<std::uint8_t> encode(const ProtocolPayload& payload);
+
+// Parses a wire frame; errors on wrong version, unknown tag, truncation or
+// trailing garbage.
+Expected<ProtocolPayload> decode(std::span<const std::uint8_t> bytes);
+
+// Wire size without materializing the buffer (exact; verified by tests
+// against encode().size()).
+std::size_t encoded_size(const ProtocolPayload& payload);
+
+// Size of a close set on the wire (the dominant term of ASAP's overhead:
+// close-set replies and two-hop fetches carry whole sets).
+std::size_t close_set_wire_bytes(const CloseClusterSet& set);
+
+// Per-frame fixed costs the simulation charges on top of the payload
+// (IPv4 + UDP headers), matching the trace module's packet model.
+inline constexpr std::size_t kPacketOverheadBytes = 28;
+
+}  // namespace asap::core::wire

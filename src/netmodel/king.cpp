@@ -1,0 +1,22 @@
+#include "netmodel/king.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace asap::netmodel {
+
+std::optional<Millis> KingEstimator::measure_rtt(asap::AsId a, asap::AsId b) const {
+  // Per-pair deterministic stream: same pair, same answer, either order.
+  auto lo = std::min(a.value(), b.value());
+  auto hi = std::max(a.value(), b.value());
+  Rng rng(seed_ ^ (std::uint64_t(lo) << 32 | hi) * 0x9E3779B97F4A7C15ULL);
+  if (!rng.chance(params_.response_rate)) return std::nullopt;
+  Millis truth = oracle_.rtt_ms(a, b);
+  if (truth >= kUnreachableMs) return std::nullopt;
+  double noise = std::exp(params_.noise_sigma * rng.normal());
+  return truth * noise + params_.dns_overhead_ms;
+}
+
+}  // namespace asap::netmodel

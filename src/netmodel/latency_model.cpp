@@ -1,0 +1,140 @@
+#include "netmodel/latency_model.h"
+
+#include <algorithm>
+
+namespace asap::netmodel {
+
+LatencyModel::LatencyModel(const astopo::Topology& topo, const LatencyParams& params,
+                           Rng& rng) {
+  const astopo::AsGraph& graph = topo.graph;
+  const auto edges = graph.edge_count();
+  edge_latency_.resize(edges);
+  edge_loss_.resize(edges);
+  degraded_edge_.assign(edges, 0);
+  broken_toward_.assign(edges, asap::AsId::invalid());
+  broken_penalty_.assign(edges, 0.0);
+
+  std::vector<std::uint32_t> backbone_links;  // tier-1-adjacent candidates
+
+  for (std::uint32_t e = 0; e < edges; ++e) {
+    auto [a, b] = graph.edge_endpoints(e);
+    double km = astopo::geo_distance_km(graph.node(a).geo, graph.node(b).geo);
+    double detour = rng.uniform(params.detour_min, params.detour_max);
+    double base = rng.uniform(params.edge_base_ms_min, params.edge_base_ms_max);
+    edge_latency_[e] = km / params.km_per_ms * detour + base;
+    edge_loss_[e] = rng.uniform(params.edge_loss_min, params.edge_loss_max);
+
+    astopo::AsTier tier_a = graph.node(a).tier;
+    astopo::AsTier tier_b = graph.node(b).tier;
+    // Interconnect candidates: links between transit-grade ASes with a
+    // tier-1 side — the shared fabric real inter-region traffic crosses.
+    bool transit_grade =
+        tier_a != astopo::AsTier::kStub && tier_b != astopo::AsTier::kStub;
+    if (transit_grade &&
+        (tier_a == astopo::AsTier::kTier1 || tier_b == astopo::AsTier::kTier1)) {
+      backbone_links.push_back(e);
+    }
+  }
+
+  // Broken uplinks (the paper's Fig. 4 multi-homing scenario, and the
+  // reason fixed/random relay pools sometimes find nothing under a second).
+  // Eligible stubs are multi-homed with (a) a best-connected provider P1 —
+  // the entry almost every remote BGP path prefers — and (b) a *deep*
+  // healthy provider P2, one not directly attached to a tier-1, so via-P2
+  // routes are a hop longer and only sources inside P2's own provider
+  // subtree use them. Breaking P1's link inbound-only makes the direct path
+  // and nearly all relay paths cross the damage, while the few clusters
+  // behind P2's region still reach the stub cleanly: exactly the narrow set
+  // of quality relays that close-set search finds and blind probing misses.
+  auto has_tier1_provider = [&](asap::AsId as) {
+    for (const auto& adj : graph.neighbors(as)) {
+      if (adj.type == astopo::LinkType::kToProvider &&
+          graph.node(adj.neighbor).tier == astopo::AsTier::kTier1) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (asap::AsId stub : topo.stubs) {
+    std::uint32_t victim_edge = 0;
+    std::size_t victim_degree = 0;
+    std::size_t providers = 0;
+    for (const auto& adj : graph.neighbors(stub)) {
+      if (adj.type != astopo::LinkType::kToProvider) continue;
+      ++providers;
+      if (graph.degree(adj.neighbor) > victim_degree) {
+        victim_degree = graph.degree(adj.neighbor);
+        victim_edge = adj.edge_id;
+      }
+    }
+    if (providers < 2) continue;  // single-homed: unroutable-around
+    bool has_deep_alternate = false;
+    for (const auto& adj : graph.neighbors(stub)) {
+      if (adj.type != astopo::LinkType::kToProvider || adj.edge_id == victim_edge) continue;
+      if (graph.node(adj.neighbor).tier == astopo::AsTier::kTier2 &&
+          !has_tier1_provider(adj.neighbor)) {
+        has_deep_alternate = true;
+        break;
+      }
+    }
+    if (!has_deep_alternate) continue;
+    if (!rng.chance(params.broken_edge_fraction)) continue;
+    degraded_edge_[victim_edge] = 1;
+    broken_toward_[victim_edge] = stub;  // inbound direction only
+    broken_penalty_[victim_edge] =
+        rng.uniform(params.broken_edge_penalty_ms_min, params.broken_edge_penalty_ms_max);
+    edge_loss_[victim_edge] = std::min(0.5, edge_loss_[victim_edge] + 0.08);
+  }
+
+  // Congested backbone interconnects (Fig. 4 left: "AS H is congested").
+  // The K highest-traffic interconnects (degree product as the traffic
+  // proxy) saturate — echoing the real Internet, where the famously
+  // congested links were precisely the big public peering points. Only the
+  // penalty magnitude is random, so every seed reliably produces a
+  // population of relay-fixable latent sessions.
+  std::size_t interconnects = std::min(params.congested_backbone_links, backbone_links.size());
+  std::partial_sort(backbone_links.begin(), backbone_links.begin() + interconnects,
+                    backbone_links.end(), [&](std::uint32_t x, std::uint32_t y) {
+                      auto weight = [&](std::uint32_t e) {
+                        auto [a, b] = graph.edge_endpoints(e);
+                        return static_cast<double>(graph.degree(a)) *
+                               static_cast<double>(graph.degree(b));
+                      };
+                      return weight(x) > weight(y);
+                    });
+  for (std::size_t i = 0; i < interconnects; ++i) {
+    std::uint32_t e = backbone_links[i];
+    degraded_edge_[e] = 1;
+    edge_latency_[e] +=
+        rng.uniform(params.backbone_penalty_ms_min, params.backbone_penalty_ms_max);
+    edge_loss_[e] = std::min(0.5, edge_loss_[e] + params.backbone_link_loss);
+  }
+
+  const auto n = graph.as_count();
+  transit_delay_.resize(n);
+  transit_loss_.assign(n, 0.0);
+  congested_.assign(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    asap::AsId as(i);
+    transit_delay_[i] = rng.uniform(params.transit_proc_ms_min, params.transit_proc_ms_max);
+    bool eligible = graph.node(as).tier == astopo::AsTier::kTier2;
+    double degree_scale = std::clamp(8.0 / static_cast<double>(graph.degree(as) + 1), 0.1, 1.0);
+    if (eligible && rng.chance(params.congested_tier2_fraction * degree_scale)) {
+      congested_[i] = 1;
+      transit_delay_[i] +=
+          rng.uniform(params.congestion_penalty_ms_min, params.congestion_penalty_ms_max);
+      transit_loss_[i] = params.congested_as_loss;
+    }
+  }
+}
+
+std::size_t LatencyModel::congested_as_count() const {
+  return static_cast<std::size_t>(std::count(congested_.begin(), congested_.end(), 1));
+}
+
+std::size_t LatencyModel::broken_edge_count() const {
+  return static_cast<std::size_t>(
+      std::count(degraded_edge_.begin(), degraded_edge_.end(), 1));
+}
+
+}  // namespace asap::netmodel

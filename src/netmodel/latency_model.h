@@ -1,0 +1,107 @@
+// Assigns latency and loss characteristics to a generated AS topology.
+//
+// Substitutes for the paper's King-measured delegate RTT matrix. Each
+// undirected AS link gets a one-way latency (geographic propagation at
+// ~200 km/ms times a circuitousness factor, plus a per-link base), each AS a
+// transit processing delay. Pathology injection creates the paper's heavy
+// tail (Fig. 2(a): ~1% of sessions above 300 ms, a few seconds at the
+// extreme). All draws happen once at construction; the resulting network is
+// deterministic thereafter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "astopo/topology_gen.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace asap::netmodel {
+
+struct LatencyParams {
+  double km_per_ms = 200.0;          // signal speed in fibre
+  double detour_min = 1.05;          // circuitousness multiplier range
+  double detour_max = 1.35;
+  double edge_base_ms_min = 0.2;     // per-link serialization/queueing base
+  double edge_base_ms_max = 1.5;
+  double transit_proc_ms_min = 0.1;  // per-AS transit processing
+  double transit_proc_ms_max = 0.8;
+
+  // --- Pathology injection ------------------------------------------------
+  // Three mechanisms, chosen to reproduce the paper's latent-session causes
+  // (Sec. 3.3 Fig. 4): pathologies sit in the *middle* of policy paths, so
+  // one-hop relays through third regions route around them.
+  //
+  // (1) Congested backbone interconnects: a few tier-1-adjacent links get a
+  // large standing queueing delay. Sessions whose BGP path crosses one
+  // become latent, yet almost any relay in a third region avoids the bad
+  // interconnect — the paper's "congested AS H" scenario.
+  std::size_t congested_backbone_links = 1;
+  double backbone_penalty_ms_min = 50.0;   // one-way per crossing
+  double backbone_penalty_ms_max = 180.0;
+  double backbone_link_loss = 0.04;
+  // (2) Congested small tier-2 transit ASes (probability scaled down with
+  // degree: big hubs are well-provisioned, small regional providers are the
+  // ones that saturate).
+  double congested_tier2_fraction = 0.01;
+  double congestion_penalty_ms_min = 10.0;   // one-way, per traversal
+  double congestion_penalty_ms_max = 150.0;
+  double congested_as_loss = 0.03;           // extra loss per traversal
+  // (3) Broken uplinks of *multi-homed* stubs: the degraded link stays the
+  // BGP-preferred entry for many sources (policy is latency-blind), but
+  // relays whose route enters via the healthy provider fix the session —
+  // the paper's Fig. 4 multi-homing scenario, and the reason random/fixed
+  // relay pools sometimes find nothing below a second.
+  double broken_edge_fraction = 0.05;
+  double broken_edge_penalty_ms_min = 1200.0;  // one-way
+  double broken_edge_penalty_ms_max = 9000.0;
+
+  double edge_loss_min = 0.00002;
+  double edge_loss_max = 0.0015;
+};
+
+class LatencyModel {
+ public:
+  LatencyModel(const astopo::Topology& topo, const LatencyParams& params, Rng& rng);
+
+  // Base (symmetric) latency of a link.
+  [[nodiscard]] Millis edge_latency_ms(std::uint32_t edge_id) const {
+    return edge_latency_[edge_id];
+  }
+  // Latency when traversing the link *toward* the given AS. Broken stub
+  // uplinks are inbound-degraded only: the stub notices its dead preferred
+  // uplink and shifts outbound traffic to the healthy provider locally,
+  // but remote sources keep sending via the BGP-preferred (broken) entry.
+  [[nodiscard]] Millis edge_latency_ms(std::uint32_t edge_id, asap::AsId toward) const {
+    Millis lat = edge_latency_[edge_id];
+    if (broken_toward_[edge_id] == toward) lat += broken_penalty_[edge_id];
+    return lat;
+  }
+  [[nodiscard]] double edge_loss(std::uint32_t edge_id) const { return edge_loss_[edge_id]; }
+  // Delay added when a path transits *through* this AS (not at endpoints).
+  [[nodiscard]] Millis transit_delay_ms(asap::AsId as) const {
+    return transit_delay_[as.value()];
+  }
+  [[nodiscard]] double transit_loss(asap::AsId as) const { return transit_loss_[as.value()]; }
+  [[nodiscard]] bool is_congested(asap::AsId as) const { return congested_[as.value()]; }
+  // Broken uplink or congested backbone interconnect.
+  [[nodiscard]] bool is_degraded_edge(std::uint32_t edge_id) const {
+    return degraded_edge_[edge_id];
+  }
+  [[nodiscard]] bool is_broken(std::uint32_t edge_id) const { return degraded_edge_[edge_id]; }
+
+  [[nodiscard]] std::size_t congested_as_count() const;
+  [[nodiscard]] std::size_t broken_edge_count() const;
+
+ private:
+  std::vector<Millis> edge_latency_;
+  std::vector<double> edge_loss_;
+  std::vector<char> degraded_edge_;
+  std::vector<asap::AsId> broken_toward_;   // invalid = not direction-broken
+  std::vector<Millis> broken_penalty_;
+  std::vector<Millis> transit_delay_;
+  std::vector<double> transit_loss_;
+  std::vector<char> congested_;
+};
+
+}  // namespace asap::netmodel

@@ -1,0 +1,104 @@
+#include "netmodel/oracle.h"
+
+#include <cmath>
+
+namespace asap::netmodel {
+
+const PathOracle::DestTable& PathOracle::table_for(asap::AsId dest) const {
+  auto it = tables_.find(dest.value());
+  if (it != tables_.end()) return *it->second;
+
+  auto table = std::make_unique<DestTable>(
+      DestTable{astopo::compute_routes(graph_, dest), {}, {}});
+  const auto n = graph_.as_count();
+  table->one_way_ms.assign(n, static_cast<float>(kUnreachableMs));
+  table->log_survival.assign(n, 0.0f);
+
+  // Dynamic programming in increasing hop order: each AS's latency/loss is
+  // its next hop's value plus the connecting edge, plus the next hop's
+  // transit contribution when the next hop is not the destination itself.
+  std::vector<std::vector<asap::AsId>> buckets(256);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto& e = table->routes.entry(asap::AsId(i));
+    if (e.cls != astopo::RouteClass::kUnreachable) buckets[e.hops].push_back(asap::AsId(i));
+  }
+  table->one_way_ms[dest.value()] = 0.0f;
+  for (std::size_t h = 1; h < buckets.size(); ++h) {
+    for (asap::AsId y : buckets[h]) {
+      const auto& e = table->routes.entry(y);
+      asap::AsId next = e.next_hop;
+      // The edge is traversed y -> next (toward the destination).
+      float lat = table->one_way_ms[next.value()] +
+                  static_cast<float>(model_.edge_latency_ms(e.next_edge, next));
+      float logsurv = table->log_survival[next.value()] +
+                      static_cast<float>(std::log1p(-model_.edge_loss(e.next_edge)));
+      if (next != dest) {
+        lat += static_cast<float>(model_.transit_delay_ms(next));
+        logsurv += static_cast<float>(std::log1p(-model_.transit_loss(next)));
+      }
+      table->one_way_ms[y.value()] = lat;
+      table->log_survival[y.value()] = logsurv;
+    }
+  }
+
+  auto [pos, _] = tables_.emplace(dest.value(), std::move(table));
+  return *pos->second;
+}
+
+std::span<const float> PathOracle::one_way_table(asap::AsId dest) const {
+  return table_for(dest).one_way_ms;
+}
+
+Millis PathOracle::one_way_ms(asap::AsId src, asap::AsId dst) const {
+  if (src == dst) return 0.0;
+  const auto& t = table_for(dst);
+  if (!t.routes.reachable(src)) return kUnreachableMs;
+  return t.one_way_ms[src.value()];
+}
+
+Millis PathOracle::rtt_ms(asap::AsId a, asap::AsId b) const {
+  Millis fwd = one_way_ms(a, b);
+  Millis rev = one_way_ms(b, a);
+  if (fwd >= kUnreachableMs || rev >= kUnreachableMs) return kUnreachableMs;
+  return fwd + rev;
+}
+
+double PathOracle::one_way_loss(asap::AsId src, asap::AsId dst) const {
+  if (src == dst) return 0.0;
+  const auto& t = table_for(dst);
+  if (!t.routes.reachable(src)) return 1.0;
+  return 1.0 - std::exp(static_cast<double>(t.log_survival[src.value()]));
+}
+
+double PathOracle::rtt_loss(asap::AsId a, asap::AsId b) const {
+  double fwd = one_way_loss(a, b);
+  double rev = one_way_loss(b, a);
+  return 1.0 - (1.0 - fwd) * (1.0 - rev);
+}
+
+std::uint8_t PathOracle::as_hops(asap::AsId src, asap::AsId dst) const {
+  if (src == dst) return 0;
+  const auto& t = table_for(dst);
+  return t.routes.entry(src).hops;
+}
+
+std::vector<asap::AsId> PathOracle::as_path(asap::AsId src, asap::AsId dst) const {
+  if (src == dst) return {src};
+  return table_for(dst).routes.path(src);
+}
+
+bool PathOracle::path_is_pathological(asap::AsId src, asap::AsId dst) const {
+  if (src == dst) return false;
+  const auto& t = table_for(dst);
+  if (!t.routes.reachable(src)) return true;
+  asap::AsId cur = src;
+  while (cur != dst) {
+    const auto& e = t.routes.entry(cur);
+    if (model_.is_broken(e.next_edge)) return true;
+    if (e.next_hop != dst && model_.is_congested(e.next_hop)) return true;
+    cur = e.next_hop;
+  }
+  return false;
+}
+
+}  // namespace asap::netmodel

@@ -1,0 +1,74 @@
+// PathOracle: ground-truth latency / loss / hop-count queries between ASes
+// along the BGP-selected (policy-compliant) path.
+//
+// This is the simulation's stand-in for "the Internet": direct IP routing
+// between two end hosts follows the oracle's policy paths, which are
+// valley-free but latency-suboptimal whenever congestion or broken links sit
+// on them — the effect peer relays exploit.
+//
+// Per-destination tables (routes + dynamic-programming latency/loss arrays)
+// are built lazily and cached; in the evaluation only host-bearing ASes are
+// ever destinations, which bounds the cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "astopo/routing.h"
+#include "netmodel/latency_model.h"
+#include "common/units.h"
+
+namespace asap::netmodel {
+
+class PathOracle {
+ public:
+  PathOracle(const astopo::AsGraph& graph, const LatencyModel& model)
+      : graph_(graph), model_(model) {}
+
+  // One-way latency src -> dst along the policy path. kUnreachableMs when no
+  // route exists.
+  [[nodiscard]] Millis one_way_ms(asap::AsId src, asap::AsId dst) const;
+  // Round trip: forward plus reverse one-way (routes may be asymmetric).
+  [[nodiscard]] Millis rtt_ms(asap::AsId a, asap::AsId b) const;
+
+  // End-to-end loss probability along the one-way / round-trip path.
+  [[nodiscard]] double one_way_loss(asap::AsId src, asap::AsId dst) const;
+  [[nodiscard]] double rtt_loss(asap::AsId a, asap::AsId b) const;
+
+  // AS hop count of the forward policy path (255 = unreachable).
+  [[nodiscard]] std::uint8_t as_hops(asap::AsId src, asap::AsId dst) const;
+
+  // The forward AS-level path (src..dst inclusive); empty when unreachable.
+  [[nodiscard]] std::vector<asap::AsId> as_path(asap::AsId src, asap::AsId dst) const;
+
+  // Whether the forward path transits a congested AS or broken link.
+  [[nodiscard]] bool path_is_pathological(asap::AsId src, asap::AsId dst) const;
+
+  // Performance API for all-pairs scans: borrowed view of the one-way
+  // latencies toward `dest`, indexed by source AS id (kUnreachableMs cast
+  // to float for unreachable sources). The span stays valid for the
+  // oracle's lifetime; building it caches the destination table.
+  [[nodiscard]] std::span<const float> one_way_table(asap::AsId dest) const;
+
+  [[nodiscard]] const astopo::AsGraph& graph() const { return graph_; }
+  [[nodiscard]] const LatencyModel& model() const { return model_; }
+  [[nodiscard]] std::size_t cached_tables() const { return tables_.size(); }
+
+ private:
+  struct DestTable {
+    astopo::RouteTable routes;
+    std::vector<float> one_way_ms;    // per source AS
+    std::vector<float> log_survival;  // log(1 - loss), per source AS
+  };
+
+  const DestTable& table_for(asap::AsId dest) const;
+
+  const astopo::AsGraph& graph_;
+  const LatencyModel& model_;
+  mutable std::unordered_map<std::uint32_t, std::unique_ptr<DestTable>> tables_;
+};
+
+}  // namespace asap::netmodel

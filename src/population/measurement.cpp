@@ -1,0 +1,108 @@
+#include "population/measurement.h"
+
+namespace asap::population {
+
+std::optional<Millis> measure_delegate_rtt(const World& world, ClusterId a, ClusterId b) {
+  const auto& pop = world.pop();
+  AsId as_a = pop.cluster(a).as;
+  AsId as_b = pop.cluster(b).as;
+  auto estimate = world.king().measure_rtt(as_a, as_b);
+  if (!estimate) return std::nullopt;
+  // King measures DNS-server-to-DNS-server latency; delegate access delays
+  // approximate the DNS servers' positions at the cluster edge.
+  const Peer& da = pop.peer(pop.cluster(a).delegate);
+  const Peer& db = pop.peer(pop.cluster(b).delegate);
+  return *estimate + 2.0 * (da.access_one_way_ms + db.access_one_way_ms);
+}
+
+OptimalOneHop optimal_one_hop(const World& world, const Session& session) {
+  OptimalOneHop best;
+  const auto& pop = world.pop();
+  ClusterId ca = pop.peer(session.caller).cluster;
+  ClusterId cb = pop.peer(session.callee).cluster;
+  for (ClusterId c : pop.populated_clusters()) {
+    if (c == ca || c == cb) continue;
+    HostId relay = pop.cluster(c).delegate;
+    Millis rtt = world.relay_rtt_ms(session.caller, relay, session.callee);
+    if (rtt < best.rtt_ms) {
+      best.rtt_ms = rtt;
+      best.relay = relay;
+    }
+  }
+  return best;
+}
+
+double reduction_rate(Millis direct_rtt_ms, Millis optimal_rtt_ms) {
+  if (direct_rtt_ms <= 0.0) return 0.0;
+  return (direct_rtt_ms - optimal_rtt_ms) / direct_rtt_ms;
+}
+
+OneHopScanner::OneHopScanner(const World& world) : world_(world) {
+  const auto& pop = world.pop();
+  entries_.reserve(pop.populated_clusters().size());
+  for (ClusterId c : pop.populated_clusters()) {
+    const Cluster& cluster = pop.cluster(c);
+    const Peer& delegate = pop.peer(cluster.delegate);
+    Entry e;
+    e.one_way_to_relay_as = world.oracle().one_way_table(cluster.as).data();
+    e.relay_as = cluster.as.value();
+    e.relay_round_access_ms = static_cast<float>(2.0 * delegate.access_one_way_ms);
+    e.delegate = cluster.delegate;
+    e.cluster = c;
+    entries_.push_back(e);
+  }
+}
+
+template <typename Fn>
+void OneHopScanner::scan(const Session& session, Fn&& fn) const {
+  const auto& pop = world_.pop();
+  const Peer& pa = pop.peer(session.caller);
+  const Peer& pb = pop.peer(session.callee);
+  ClusterId ca = pa.cluster;
+  ClusterId cb = pb.cluster;
+  const float* from_a = world_.oracle().one_way_table(pa.as).data();
+  const float* from_b = world_.oracle().one_way_table(pb.as).data();
+  const float same_as_path = 4.0F;  // intra-AS floor, both directions
+  const float end_access =
+      static_cast<float>(2.0 * (pa.access_one_way_ms + pb.access_one_way_ms));
+  const float relay_penalty = static_cast<float>(2.0 * world_.params().relay_delay_one_way_ms);
+  const std::uint32_t as_a = pa.as.value();
+  const std::uint32_t as_b = pb.as.value();
+
+  for (const Entry& e : entries_) {
+    if (e.cluster == ca || e.cluster == cb) continue;
+    if (e.delegate == session.caller || e.delegate == session.callee) continue;
+    // rtt(a, r): one_way(a->r) lives in r's table at index as_a; the
+    // reverse leg lives in a's table at index as_r.
+    float leg_a = (e.relay_as == as_a) ? same_as_path
+                                       : e.one_way_to_relay_as[as_a] + from_a[e.relay_as];
+    float leg_b = (e.relay_as == as_b) ? same_as_path
+                                       : e.one_way_to_relay_as[as_b] + from_b[e.relay_as];
+    float rtt = leg_a + leg_b + 2.0F * e.relay_round_access_ms + end_access + relay_penalty;
+    fn(e, rtt);
+  }
+}
+
+OptimalOneHop OneHopScanner::best(const Session& session) const {
+  OptimalOneHop out;
+  float best = static_cast<float>(kUnreachableMs);
+  scan(session, [&](const Entry& e, float rtt) {
+    if (rtt < best) {
+      best = rtt;
+      out.relay = e.delegate;
+    }
+  });
+  if (out.relay.valid()) out.rtt_ms = best;
+  return out;
+}
+
+std::size_t OneHopScanner::count_quality(const Session& session, Millis threshold_ms) const {
+  std::size_t count = 0;
+  auto threshold = static_cast<float>(threshold_ms);
+  scan(session, [&](const Entry&, float rtt) {
+    if (rtt < threshold) ++count;
+  });
+  return count;
+}
+
+}  // namespace asap::population

@@ -1,0 +1,66 @@
+// The Section-3 measurement pipeline: King-style delegate RTT measurements
+// between cluster delegates (Fig. 1's procedure) and the optimal one-hop
+// relay search over the measured pool.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "population/session_gen.h"
+#include "population/world.h"
+#include "common/units.h"
+
+namespace asap::population {
+
+// King-estimated RTT between the delegates of two clusters (nullopt when
+// the DNS pair is unresponsive, ~30% of pairs).
+std::optional<Millis> measure_delegate_rtt(const World& world, ClusterId a, ClusterId b);
+
+struct OptimalOneHop {
+  Millis rtt_ms = kUnreachableMs;
+  HostId relay = HostId::invalid();
+};
+
+// Exhaustive offline search over every populated cluster's delegate as the
+// relay (the paper's "iterate through every possible one-hop relay node C").
+// Uses ground-truth host RTTs, as the paper's offline analysis does.
+OptimalOneHop optimal_one_hop(const World& world, const Session& session);
+
+// RTT reduction rate r = (direct - optimal) / direct (paper Fig. 3(a)).
+double reduction_rate(Millis direct_rtt_ms, Millis optimal_rtt_ms);
+
+// OneHopScanner: vectorized all-relays scan used by the Section-3 benches,
+// which evaluate the optimal one-hop relay for *every* sampled session
+// (10^5 sessions x ~7x10^3 candidate relays). Precomputes, per populated
+// cluster, a borrowed view into the oracle's one-way table toward that
+// cluster's AS plus the delegate's access delay, reducing each candidate
+// evaluation to two array reads. Results are identical to
+// optimal_one_hop(); a test asserts this.
+class OneHopScanner {
+ public:
+  explicit OneHopScanner(const World& world);
+
+  // Best one-hop relay for the session (same semantics as optimal_one_hop).
+  [[nodiscard]] OptimalOneHop best(const Session& session) const;
+
+  // Number of candidate one-hop relay paths meeting `threshold_ms`.
+  [[nodiscard]] std::size_t count_quality(const Session& session,
+                                          Millis threshold_ms = kQualityRttThresholdMs) const;
+
+ private:
+  struct Entry {
+    const float* one_way_to_relay_as;  // indexed by source AS id
+    std::uint32_t relay_as;
+    float relay_round_access_ms;  // 2 * delegate access delay
+    HostId delegate;
+    ClusterId cluster;
+  };
+
+  template <typename Fn>
+  void scan(const Session& session, Fn&& fn) const;
+
+  const World& world_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace asap::population

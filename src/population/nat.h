@@ -1,0 +1,48 @@
+// NAT/firewall reachability — the *other* reason Skype-era VoIP needs peer
+// relays. The paper studies relay selection for latency; in deployment the
+// same machinery serves sessions whose direct UDP path simply cannot be
+// established. Modelling NAT makes relay capability a first-class
+// constraint: only openly reachable peers can serve as relays/surrogates,
+// and a fraction of calls *must* relay regardless of latency.
+//
+// The classic STUN-era connectivity matrix (Ford et al., "Peer-to-peer
+// communication across network address translators"):
+//   open       <-> anything        : direct works
+//   restricted <-> open/restricted : direct works (UDP hole punching)
+//   symmetric  <-> open            : direct works
+//   symmetric  <-> restricted      : fails (unpredictable ports)
+//   symmetric  <-> symmetric       : fails
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace asap::population {
+
+enum class NatType : std::uint8_t {
+  kOpen = 0,            // public address or full-cone NAT
+  kPortRestricted = 1,  // hole-punchable
+  kSymmetric = 2,       // per-destination port mapping
+};
+
+constexpr std::string_view nat_type_name(NatType t) {
+  switch (t) {
+    case NatType::kOpen: return "open";
+    case NatType::kPortRestricted: return "port-restricted";
+    case NatType::kSymmetric: return "symmetric";
+  }
+  return "?";
+}
+
+// Whether a direct UDP session can be established between two peers.
+constexpr bool can_connect_direct(NatType a, NatType b) {
+  if (a == NatType::kOpen || b == NatType::kOpen) return true;
+  if (a == NatType::kPortRestricted && b == NatType::kPortRestricted) return true;
+  return false;  // symmetric involved with non-open peer
+}
+
+// Whether a peer can accept unsolicited traffic from arbitrary peers —
+// the requirement for serving as a relay, surrogate or bootstrap target.
+constexpr bool can_serve_as_relay(NatType t) { return t == NatType::kOpen; }
+
+}  // namespace asap::population

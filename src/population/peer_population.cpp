@@ -1,0 +1,166 @@
+#include "population/peer_population.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace asap::population {
+
+PeerPopulation::PeerPopulation(const astopo::Topology& topo, const PopulationParams& params,
+                               Rng& rng) {
+  const astopo::AsGraph& graph = topo.graph;
+
+  // Host ASes: mostly stubs, some tier-2 (eyeball networks behind transit).
+  std::vector<AsId> pool = topo.stubs;
+  std::size_t tier2_share = params.host_as_count / 10;
+  {
+    auto picks = rng.sample_indices(topo.tier2.size(),
+                                    std::min(tier2_share, topo.tier2.size()));
+    for (auto i : picks) pool.push_back(topo.tier2[i]);
+  }
+  rng.shuffle(pool);
+  std::size_t host_count = std::min(params.host_as_count, pool.size());
+  std::vector<AsId> chosen(pool.begin(), pool.begin() + host_count);
+
+  alloc_ = astopo::allocate_prefixes(graph, chosen, params.prefix_alloc, rng);
+
+  // Clusters are the prefixes of host ASes.
+  std::vector<bool> is_host(graph.as_count(), false);
+  for (AsId a : chosen) is_host[a.value()] = true;
+  for (const auto& [prefix, as] : alloc_.prefixes) {
+    if (!is_host[as.value()]) continue;
+    ClusterId id(static_cast<std::uint32_t>(clusters_.size()));
+    clusters_.push_back(Cluster{prefix, as, {}, HostId::invalid(), HostId::invalid()});
+    trie_.insert(prefix, id);
+  }
+
+  // Zipf weights over a shuffled cluster order (so big clusters are not
+  // correlated with allocation order).
+  std::vector<std::size_t> order(clusters_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  peers_.reserve(params.total_peers);
+  for (std::size_t p = 0; p < params.total_peers; ++p) {
+    std::size_t rank = rng.zipf(order.size(), params.cluster_zipf_s);
+    ClusterId c(static_cast<std::uint32_t>(order[rank]));
+    Cluster& cluster = clusters_[c.value()];
+    // Host address: random host bits inside the cluster prefix.
+    std::uint32_t host_bits = 0;
+    int free_bits = 32 - cluster.prefix.length();
+    if (free_bits > 0) {
+      host_bits = static_cast<std::uint32_t>(rng.below(std::uint64_t{1} << free_bits));
+    }
+    Peer peer;
+    peer.ip = Ipv4Addr(cluster.prefix.address().bits() | host_bits);
+    peer.cluster = c;
+    peer.as = cluster.as;
+    peer.access_one_way_ms =
+        rng.chance(params.slow_host_fraction)
+            ? rng.uniform(params.slow_access_min_ms, params.slow_access_max_ms)
+            : rng.lognormal(params.access_median_ms, params.access_sigma);
+    peer.capacity = rng.lognormal(1.0, 1.0);
+    if (params.nat_enabled) {
+      double draw = rng.uniform();
+      if (draw < params.nat_open_fraction) {
+        peer.nat = NatType::kOpen;
+      } else if (draw < params.nat_open_fraction + params.nat_restricted_fraction) {
+        peer.nat = NatType::kPortRestricted;
+      } else {
+        peer.nat = NatType::kSymmetric;
+      }
+    }
+    HostId h(static_cast<std::uint32_t>(peers_.size()));
+    peers_.push_back(peer);
+    cluster.members.push_back(h);
+  }
+
+  // Delegates, surrogates, per-AS cluster index, host-AS list.
+  clusters_by_as_.resize(graph.as_count());
+  std::vector<bool> as_seen(graph.as_count(), false);
+  for (std::uint32_t ci = 0; ci < clusters_.size(); ++ci) {
+    Cluster& c = clusters_[ci];
+    if (c.members.empty()) continue;
+    ClusterId id(ci);
+    populated_clusters_.push_back(id);
+    clusters_by_as_[c.as.value()].push_back(id);
+    if (!as_seen[c.as.value()]) {
+      as_seen[c.as.value()] = true;
+      host_ases_.push_back(c.as);
+    }
+    c.delegate = c.members[rng.index_of(c.members)];
+    c.relay_capable_members = static_cast<std::size_t>(
+        std::count_if(c.members.begin(), c.members.end(), [this](HostId h) {
+          return can_serve_as_relay(peers_[h.value()].nat);
+        }));
+    // Surrogates: the top-capacity members, one per `members_per_surrogate`
+    // hosts (at least one; capped). Openly reachable peers come first —
+    // a NATed surrogate could not accept close-set requests — with a
+    // capacity fallback when the whole cluster is NATed.
+    std::size_t surrogate_count =
+        1 + (c.members.size() - 1) / std::max<std::size_t>(params.members_per_surrogate, 1);
+    surrogate_count = std::min({surrogate_count, params.max_surrogates_per_cluster,
+                                c.members.size()});
+    std::vector<HostId> by_capacity = c.members;
+    std::partial_sort(by_capacity.begin(), by_capacity.begin() + surrogate_count,
+                      by_capacity.end(), [this](HostId a, HostId b) {
+                        bool ra = can_serve_as_relay(peers_[a.value()].nat);
+                        bool rb = can_serve_as_relay(peers_[b.value()].nat);
+                        if (ra != rb) return ra;
+                        return peers_[a.value()].capacity > peers_[b.value()].capacity;
+                      });
+    c.surrogates.assign(by_capacity.begin(), by_capacity.begin() + surrogate_count);
+    c.surrogate = c.surrogates.front();
+  }
+}
+
+HostId PeerPopulation::assigned_surrogate(ClusterId c, HostId member) const {
+  const Cluster& cluster = clusters_[c.value()];
+  if (cluster.surrogates.empty()) return HostId::invalid();
+  // Stable shard: members hash over the surrogate set.
+  std::size_t shard = member.value() % cluster.surrogates.size();
+  return cluster.surrogates[shard];
+}
+
+const std::vector<ClusterId>& PeerPopulation::clusters_in_as(AsId as) const {
+  return clusters_by_as_[as.value()];
+}
+
+std::optional<ClusterId> PeerPopulation::cluster_of_ip(Ipv4Addr ip) const {
+  return trie_.lookup(ip);
+}
+
+HostId PeerPopulation::elect_surrogate(ClusterId c, HostId failed) {
+  Cluster& cluster = clusters_[c.value()];
+  HostId best = HostId::invalid();
+  double best_capacity = -1.0;
+  for (HostId h : cluster.members) {
+    if (h == failed) continue;
+    // Prefer hosts not already serving as surrogates.
+    bool already = std::find(cluster.surrogates.begin(), cluster.surrogates.end(), h) !=
+                   cluster.surrogates.end();
+    if (already && h != failed) continue;
+    if (peers_[h.value()].capacity > best_capacity) {
+      best_capacity = peers_[h.value()].capacity;
+      best = h;
+    }
+  }
+  // Replace the failed entry in the surrogate set (or shrink it).
+  for (auto& s : cluster.surrogates) {
+    if (s == failed) {
+      if (best.valid()) {
+        s = best;
+      } else {
+        cluster.surrogates.erase(
+            std::remove(cluster.surrogates.begin(), cluster.surrogates.end(), failed),
+            cluster.surrogates.end());
+      }
+      break;
+    }
+  }
+  if (cluster.surrogate == failed) {
+    cluster.surrogate = cluster.surrogates.empty() ? best : cluster.surrogates.front();
+  }
+  return cluster.surrogate;
+}
+
+}  // namespace asap::population

@@ -1,0 +1,130 @@
+// Synthetic P2P peer population, substituting for the paper's Gnutella
+// crawl (Sec. 3.1: 269,413 IPs -> 103,625 matched -> 7,171 prefix clusters
+// in 1,461 ASes; evaluation worlds of 23,366 and 103,625 online peers).
+//
+// Host-bearing ASes are drawn mostly from stubs; prefixes are allocated so
+// the cluster/AS ratio matches the paper (~5 prefixes per host AS); peers
+// are spread over clusters with a Zipf-like skew reproducing the measured
+// cluster-size distribution (Sec. 6.3: 90% of clusters hold <= 100 online
+// hosts, the largest approach 1,000).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "astopo/bgp_table.h"
+#include "population/nat.h"
+#include "astopo/prefix_trie.h"
+#include "astopo/topology_gen.h"
+#include "common/ids.h"
+#include "common/ip.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace asap::population {
+
+struct PopulationParams {
+  std::size_t host_as_count = 1461;
+  std::size_t total_peers = 23366;
+  // Zipf exponent for peer-to-cluster assignment (0 = uniform).
+  double cluster_zipf_s = 0.95;
+  // Last-mile one-way access delay: lognormal body plus a slow-host tail
+  // (dial-up / saturated uplinks), which produces part of Fig. 2(a)'s tail.
+  double access_median_ms = 4.0;
+  double access_sigma = 0.6;
+  double slow_host_fraction = 0.0005;
+  double slow_access_min_ms = 30.0;
+  double slow_access_max_ms = 50.0;
+  // NAT modelling (off by default so the paper's latency-only evaluation is
+  // unchanged). When enabled, peers draw a NAT type and only open peers can
+  // relay or serve as surrogates; fractions roughly match 2005-era
+  // measurements of consumer connectivity.
+  bool nat_enabled = false;
+  double nat_open_fraction = 0.25;
+  double nat_restricted_fraction = 0.50;  // remainder is symmetric
+  // Sec. 6.3: "for a few large clusters containing close to 1,000 online
+  // end hosts, we can select multiple surrogates in them to share the
+  // possible heavy load". One surrogate per `members_per_surrogate` hosts,
+  // elected by capacity.
+  std::size_t members_per_surrogate = 400;
+  std::size_t max_surrogates_per_cluster = 8;
+  astopo::PrefixAllocationParams prefix_alloc{
+      /*min_prefixes_per_as=*/1, /*max_prefixes_per_as=*/2,
+      /*extra_host_prefixes=*/3, /*min_prefix_len=*/18, /*max_prefix_len=*/24};
+};
+
+struct Peer {
+  Ipv4Addr ip;
+  ClusterId cluster;
+  AsId as;
+  Millis access_one_way_ms = 0.0;
+  // Abstract capability score (bandwidth x stability x CPU); surrogates are
+  // the highest-capacity peers of their cluster (paper Sec. 6.1).
+  double capacity = 1.0;
+  // kOpen unless NAT modelling is enabled.
+  NatType nat = NatType::kOpen;
+};
+
+struct Cluster {
+  Prefix prefix;
+  AsId as;
+  std::vector<HostId> members;
+  HostId delegate = HostId::invalid();   // measurement representative
+  HostId surrogate = HostId::invalid();  // primary (highest-capacity member)
+  // Members able to serve as relays (open NAT); == members.size() when NAT
+  // modelling is off.
+  std::size_t relay_capable_members = 0;
+  // All serving surrogates, capacity-ordered; surrogates[0] == surrogate.
+  // Large clusters get several to share close-set request load (Sec. 6.3).
+  std::vector<HostId> surrogates;
+};
+
+class PeerPopulation {
+ public:
+  PeerPopulation(const astopo::Topology& topo, const PopulationParams& params, Rng& rng);
+
+  [[nodiscard]] const std::vector<Peer>& peers() const { return peers_; }
+  [[nodiscard]] const std::vector<Cluster>& clusters() const { return clusters_; }
+  [[nodiscard]] const Peer& peer(HostId h) const { return peers_[h.value()]; }
+  [[nodiscard]] const Cluster& cluster(ClusterId c) const { return clusters_[c.value()]; }
+
+  // Clusters with at least one member.
+  [[nodiscard]] const std::vector<ClusterId>& populated_clusters() const {
+    return populated_clusters_;
+  }
+  // Populated clusters located in a given AS.
+  [[nodiscard]] const std::vector<ClusterId>& clusters_in_as(AsId as) const;
+  // ASes that contain at least one peer.
+  [[nodiscard]] const std::vector<AsId>& host_ases() const { return host_ases_; }
+
+  // Longest-prefix-match grouping of an arbitrary IP (paper Sec. 3.1).
+  [[nodiscard]] std::optional<ClusterId> cluster_of_ip(Ipv4Addr ip) const;
+
+  [[nodiscard]] const astopo::PrefixAllocation& prefix_allocation() const { return alloc_; }
+
+  // Re-elects the surrogate of `c` excluding `failed` (bootstrap failover
+  // path); returns the new surrogate or invalid if the cluster emptied.
+  HostId elect_surrogate(ClusterId c, HostId failed);
+
+  // The surrogate a given member should direct its requests to (static
+  // sharding over the cluster's surrogate set).
+  [[nodiscard]] HostId assigned_surrogate(ClusterId c, HostId member) const;
+
+  // Whether a direct session between two peers can be established at all
+  // (always true when NAT modelling is off).
+  [[nodiscard]] bool direct_possible(HostId a, HostId b) const {
+    return can_connect_direct(peers_[a.value()].nat, peers_[b.value()].nat);
+  }
+
+ private:
+  astopo::PrefixAllocation alloc_;
+  std::vector<Peer> peers_;
+  std::vector<Cluster> clusters_;
+  std::vector<ClusterId> populated_clusters_;
+  std::vector<AsId> host_ases_;
+  std::vector<std::vector<ClusterId>> clusters_by_as_;
+  astopo::PrefixTrie<ClusterId> trie_;
+};
+
+}  // namespace asap::population

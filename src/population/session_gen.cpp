@@ -1,0 +1,28 @@
+#include "population/session_gen.h"
+
+namespace asap::population {
+
+std::vector<Session> generate_sessions(const World& world, std::size_t count, Rng& rng) {
+  const auto& peers = world.pop().peers();
+  std::vector<Session> sessions;
+  sessions.reserve(count);
+  while (sessions.size() < count) {
+    HostId a(static_cast<std::uint32_t>(rng.below(peers.size())));
+    HostId b(static_cast<std::uint32_t>(rng.below(peers.size())));
+    if (a == b || peers[a.value()].cluster == peers[b.value()].cluster) continue;
+    Session s{a, b, world.host_rtt_ms(a, b), world.host_loss(a, b)};
+    sessions.push_back(s);
+  }
+  return sessions;
+}
+
+std::vector<Session> latent_sessions(const std::vector<Session>& sessions,
+                                     Millis threshold_ms) {
+  std::vector<Session> out;
+  for (const auto& s : sessions) {
+    if (s.direct_rtt_ms > threshold_ms) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace asap::population

@@ -1,0 +1,30 @@
+// VoIP calling-session workload generation (paper Sec. 3.3 / 7.1: 100,000
+// random peer pairs; the "latent" subset with direct RTT above 300 ms is
+// the population the relay-selection evaluation focuses on).
+#pragma once
+
+#include <vector>
+
+#include "population/world.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace asap::population {
+
+struct Session {
+  HostId caller;
+  HostId callee;
+  Millis direct_rtt_ms = 0.0;
+  double direct_loss = 0.0;
+};
+
+// Samples `count` sessions between random peers in distinct clusters, with
+// the direct IP routing RTT/loss precomputed.
+std::vector<Session> generate_sessions(const World& world, std::size_t count, Rng& rng);
+
+// Sessions whose direct RTT exceeds `threshold_ms` (default: the paper's
+// 300 ms quality bar).
+std::vector<Session> latent_sessions(const std::vector<Session>& sessions,
+                                     Millis threshold_ms = kQualityRttThresholdMs);
+
+}  // namespace asap::population

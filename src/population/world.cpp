@@ -1,0 +1,70 @@
+#include "population/world.h"
+
+namespace asap::population {
+
+World::World(const WorldParams& params) : params_(params) {
+  Rng root(params.seed);
+  Rng topo_rng = root.fork(1);
+  Rng lat_rng = root.fork(2 + (params.latency_epoch << 8));
+  Rng pop_rng = root.fork(3);
+  topo_ = astopo::generate_topology(params.topo, topo_rng);
+  latency_ = std::make_unique<netmodel::LatencyModel>(topo_, params.latency, lat_rng);
+  oracle_ = std::make_unique<netmodel::PathOracle>(topo_.graph, *latency_);
+  king_ = std::make_unique<netmodel::KingEstimator>(*oracle_, params.king, root.fork(4).next());
+  pop_ = std::make_unique<PeerPopulation>(topo_, params.pop, pop_rng);
+}
+
+Millis World::host_rtt_ms(HostId a, HostId b) const {
+  const Peer& pa = pop_->peer(a);
+  const Peer& pb = pop_->peer(b);
+  Millis path;
+  if (pa.as == pb.as) {
+    path = 2.0 * 2.0;  // intra-AS floor, both directions
+  } else {
+    path = oracle_->rtt_ms(pa.as, pb.as);
+    if (path >= kUnreachableMs) return kUnreachableMs;
+  }
+  return path + 2.0 * (pa.access_one_way_ms + pb.access_one_way_ms);
+}
+
+double World::host_loss(HostId a, HostId b) const {
+  const Peer& pa = pop_->peer(a);
+  const Peer& pb = pop_->peer(b);
+  if (pa.as == pb.as) return 0.0005;
+  return oracle_->rtt_loss(pa.as, pb.as);
+}
+
+Millis World::relay_rtt_ms(HostId a, HostId r, HostId b) const {
+  Millis leg1 = host_rtt_ms(a, r);
+  Millis leg2 = host_rtt_ms(r, b);
+  if (leg1 >= kUnreachableMs || leg2 >= kUnreachableMs) return kUnreachableMs;
+  return leg1 + leg2 + 2.0 * params_.relay_delay_one_way_ms;
+}
+
+double World::relay_loss(HostId a, HostId r, HostId b) const {
+  double l1 = host_loss(a, r);
+  double l2 = host_loss(r, b);
+  return 1.0 - (1.0 - l1) * (1.0 - l2);
+}
+
+Millis World::relay2_rtt_ms(HostId a, HostId r1, HostId r2, HostId b) const {
+  Millis leg1 = host_rtt_ms(a, r1);
+  Millis leg2 = host_rtt_ms(r1, r2);
+  Millis leg3 = host_rtt_ms(r2, b);
+  if (leg1 >= kUnreachableMs || leg2 >= kUnreachableMs || leg3 >= kUnreachableMs) {
+    return kUnreachableMs;
+  }
+  return leg1 + leg2 + leg3 + 4.0 * params_.relay_delay_one_way_ms;
+}
+
+Millis World::cluster_rtt_ms(ClusterId a, ClusterId b) const {
+  return host_rtt_ms(pop_->cluster(a).surrogate, pop_->cluster(b).surrogate);
+}
+
+double World::cluster_loss(ClusterId a, ClusterId b) const {
+  return host_loss(pop_->cluster(a).surrogate, pop_->cluster(b).surrogate);
+}
+
+Rng World::fork_rng(std::uint64_t salt) const { return Rng(params_.seed).fork(salt + 100); }
+
+}  // namespace asap::population

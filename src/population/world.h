@@ -1,0 +1,78 @@
+// World: the assembled trace-driven-simulation universe — topology, latency
+// model, path oracle, peer population — plus host-level latency/loss
+// composition helpers used by every relay-selection method.
+//
+// Host-to-host RTT = policy-path RTT between the hosts' ASes plus both
+// hosts' last-mile access delays in each direction. A relay path adds the
+// paper's 20 ms per-intermediary one-way relay delay (40 ms per RTT).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "astopo/topology_gen.h"
+#include "netmodel/king.h"
+#include "netmodel/latency_model.h"
+#include "netmodel/oracle.h"
+#include "population/peer_population.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace asap::population {
+
+struct WorldParams {
+  astopo::TopologyParams topo;
+  netmodel::LatencyParams latency;
+  netmodel::KingParams king;
+  PopulationParams pop;
+  Millis relay_delay_one_way_ms = kRelayDelayOneWayMs;
+  std::uint64_t seed = 20050926;  // the paper's BGP snapshot date
+  // Latency epoch: worlds sharing a seed but differing in epoch have the
+  // same topology, clusters and peers but freshly drawn link latencies and
+  // pathologies — "the same Internet, a day later". Used by the close-set
+  // staleness ablation.
+  std::uint64_t latency_epoch = 0;
+};
+
+class World {
+ public:
+  explicit World(const WorldParams& params);
+
+  [[nodiscard]] const WorldParams& params() const { return params_; }
+  [[nodiscard]] const astopo::Topology& topo() const { return topo_; }
+  [[nodiscard]] const astopo::AsGraph& graph() const { return topo_.graph; }
+  [[nodiscard]] const netmodel::LatencyModel& latency_model() const { return *latency_; }
+  [[nodiscard]] const netmodel::PathOracle& oracle() const { return *oracle_; }
+  [[nodiscard]] const netmodel::KingEstimator& king() const { return *king_; }
+  [[nodiscard]] const PeerPopulation& pop() const { return *pop_; }
+  [[nodiscard]] PeerPopulation& pop() { return *pop_; }
+
+  // --- Host-level ground truth ------------------------------------------
+  // Direct IP routing RTT between two end hosts.
+  [[nodiscard]] Millis host_rtt_ms(HostId a, HostId b) const;
+  // End-to-end round-trip loss probability between two end hosts.
+  [[nodiscard]] double host_loss(HostId a, HostId b) const;
+  // One-hop relay path RTT: rtt(a,r) + rtt(r,b) + 2 * relay delay.
+  [[nodiscard]] Millis relay_rtt_ms(HostId a, HostId r, HostId b) const;
+  [[nodiscard]] double relay_loss(HostId a, HostId r, HostId b) const;
+  // Two-hop relay path RTT: a-r1-r2-b with two relay penalties.
+  [[nodiscard]] Millis relay2_rtt_ms(HostId a, HostId r1, HostId r2, HostId b) const;
+
+  // --- Cluster-level (surrogate "ping") quantities ------------------------
+  // RTT between the surrogates of two clusters (what ASAP's lat() measures).
+  [[nodiscard]] Millis cluster_rtt_ms(ClusterId a, ClusterId b) const;
+  [[nodiscard]] double cluster_loss(ClusterId a, ClusterId b) const;
+
+  // Fresh RNG stream for a named consumer (deterministic per seed + salt).
+  [[nodiscard]] Rng fork_rng(std::uint64_t salt) const;
+
+ private:
+  WorldParams params_;
+  astopo::Topology topo_;
+  std::unique_ptr<netmodel::LatencyModel> latency_;
+  std::unique_ptr<netmodel::PathOracle> oracle_;
+  std::unique_ptr<netmodel::KingEstimator> king_;
+  std::unique_ptr<PeerPopulation> pop_;
+};
+
+}  // namespace asap::population

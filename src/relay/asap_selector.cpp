@@ -1,0 +1,15 @@
+#include "relay/asap_selector.h"
+
+namespace asap::relay {
+
+SelectionResult AsapSelector::select(const population::Session& session) {
+  last_ = core::select_close_relay(world_, cache_, session, rng_);
+  SelectionResult result;
+  result.quality_paths = last_.quality_paths();
+  result.shortest_rtt_ms = last_.best.rtt_ms;
+  result.shortest_loss = last_.best.loss;
+  result.messages = last_.messages;
+  return result;
+}
+
+}  // namespace asap::relay

@@ -1,0 +1,33 @@
+// ASAP as a RelaySelector: wraps the algorithmic select-close-relay() with
+// a shared close-set cache (surrogates amortize close-set construction
+// across all sessions of their cluster, as in the deployed protocol).
+#pragma once
+
+#include "core/close_cluster.h"
+#include "core/select_relay.h"
+#include "relay/selector.h"
+
+namespace asap::relay {
+
+class AsapSelector : public RelaySelector {
+ public:
+  AsapSelector(const population::World& world, const core::AsapParams& params, Rng rng)
+      : world_(world), cache_(world, params), rng_(rng) {}
+
+  [[nodiscard]] std::string name() const override { return "ASAP"; }
+  SelectionResult select(const population::Session& session) override;
+
+  // Full protocol-level result of the last select() call (two-hop counts,
+  // accepted clusters, ...), for benches that need more than the common
+  // metrics.
+  [[nodiscard]] const core::SelectRelayResult& last_detail() const { return last_; }
+  [[nodiscard]] core::CloseSetCache& cache() { return cache_; }
+
+ private:
+  const population::World& world_;
+  core::CloseSetCache cache_;
+  Rng rng_;
+  core::SelectRelayResult last_;
+};
+
+}  // namespace asap::relay

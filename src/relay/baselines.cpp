@@ -1,0 +1,116 @@
+#include "relay/baselines.h"
+
+#include <algorithm>
+
+#include "population/nat.h"
+#include "voip/quality.h"
+
+namespace asap::relay {
+
+DediSelector::DediSelector(const population::World& world, std::size_t node_count)
+    : world_(world), pool_(dedicated_nodes(world, node_count)) {}
+
+SelectionResult DediSelector::select(const population::Session& session) {
+  return evaluate_relay_pool(world_, session, pool_);
+}
+
+RandSelector::RandSelector(const population::World& world, std::size_t node_count, Rng rng)
+    : world_(world), node_count_(node_count), rng_(rng) {}
+
+SelectionResult RandSelector::select(const population::Session& session) {
+  const auto& peers = world_.pop().peers();
+  std::size_t n = std::min(node_count_, peers.size());
+  std::vector<HostId> pool;
+  pool.reserve(n);
+  for (auto idx : rng_.sample_indices(peers.size(), n)) {
+    pool.push_back(HostId(static_cast<std::uint32_t>(idx)));
+  }
+  return evaluate_relay_pool(world_, session, pool);
+}
+
+MixSelector::MixSelector(const population::World& world, std::size_t dedicated,
+                         std::size_t random, Rng rng)
+    : world_(world), dedicated_(dedicated_nodes(world, dedicated)), random_count_(random),
+      rng_(rng) {}
+
+SelectionResult MixSelector::select(const population::Session& session) {
+  std::vector<HostId> pool = dedicated_;
+  const auto& peers = world_.pop().peers();
+  std::size_t n = std::min(random_count_, peers.size());
+  for (auto idx : rng_.sample_indices(peers.size(), n)) {
+    pool.push_back(HostId(static_cast<std::uint32_t>(idx)));
+  }
+  return evaluate_relay_pool(world_, session, pool);
+}
+
+OptSelector::OptSelector(const population::World& world, std::size_t two_hop_beam,
+                         bool enable_two_hop)
+    : world_(world), beam_(two_hop_beam), two_hop_(enable_two_hop) {}
+
+SelectionResult OptSelector::select(const population::Session& session) {
+  const auto& pop = world_.pop();
+  SelectionResult result;
+  ClusterId ca = pop.peer(session.caller).cluster;
+  ClusterId cb = pop.peer(session.callee).cluster;
+
+  struct Leg {
+    HostId relay;
+    Millis rtt_ms;
+  };
+  std::vector<Leg> caller_legs;
+  std::vector<Leg> callee_legs;
+  caller_legs.reserve(pop.populated_clusters().size());
+  callee_legs.reserve(pop.populated_clusters().size());
+
+  // One-hop: iterate every populated cluster's delegate (falling back to
+  // the surrogate when NAT modelling marks the delegate unreachable).
+  for (ClusterId c : pop.populated_clusters()) {
+    if (c == ca || c == cb) continue;
+    const auto& cluster = pop.cluster(c);
+    if (cluster.relay_capable_members == 0) continue;
+    HostId relay = population::can_serve_as_relay(pop.peer(cluster.delegate).nat)
+                       ? cluster.delegate
+                       : cluster.surrogate;
+    Millis leg_a = world_.host_rtt_ms(session.caller, relay);
+    Millis leg_b = world_.host_rtt_ms(relay, session.callee);
+    caller_legs.push_back(Leg{relay, leg_a});
+    callee_legs.push_back(Leg{relay, leg_b});
+    if (leg_a >= kUnreachableMs || leg_b >= kUnreachableMs) continue;
+    Millis rtt = leg_a + leg_b + kRelayDelayRttMs;
+    if (voip::is_quality_rtt(rtt)) ++result.quality_paths;
+    if (rtt < result.shortest_rtt_ms) {
+      result.shortest_rtt_ms = rtt;
+      result.shortest_loss = world_.relay_loss(session.caller, relay, session.callee);
+    }
+  }
+
+  if (two_hop_) {
+    // Two-hop: combine the best caller-side and callee-side legs.
+    auto shortest = [](const Leg& a, const Leg& b) { return a.rtt_ms < b.rtt_ms; };
+    std::size_t beam_a = std::min(beam_, caller_legs.size());
+    std::size_t beam_b = std::min(beam_, callee_legs.size());
+    std::partial_sort(caller_legs.begin(), caller_legs.begin() + beam_a, caller_legs.end(),
+                      shortest);
+    std::partial_sort(callee_legs.begin(), callee_legs.begin() + beam_b, callee_legs.end(),
+                      shortest);
+    for (std::size_t i = 0; i < beam_a; ++i) {
+      for (std::size_t j = 0; j < beam_b; ++j) {
+        HostId r1 = caller_legs[i].relay;
+        HostId r2 = callee_legs[j].relay;
+        if (r1 == r2) continue;
+        Millis rtt = world_.relay2_rtt_ms(session.caller, r1, r2, session.callee);
+        if (rtt < result.shortest_rtt_ms) {
+          result.shortest_rtt_ms = rtt;
+          result.shortest_loss =
+              1.0 - (1.0 - world_.relay_loss(session.caller, r1, r2)) *
+                        (1.0 - world_.host_loss(r2, session.callee));
+        }
+      }
+    }
+  }
+
+  result.messages = 0;  // offline method
+  return result;
+}
+
+}  // namespace asap::relay

@@ -1,0 +1,52 @@
+#include "relay/evaluation.h"
+
+namespace asap::relay {
+
+std::vector<std::unique_ptr<RelaySelector>> make_selectors(const population::World& world,
+                                                           const EvaluationConfig& config) {
+  std::vector<std::unique_ptr<RelaySelector>> selectors;
+  selectors.push_back(
+      std::make_unique<DediSelector>(world, config.baselines.dedi_nodes));
+  selectors.push_back(std::make_unique<RandSelector>(world, config.baselines.rand_nodes,
+                                                     world.fork_rng(config.seed_salt + 1)));
+  selectors.push_back(std::make_unique<MixSelector>(world, config.baselines.mix_dedicated,
+                                                    config.baselines.mix_random,
+                                                    world.fork_rng(config.seed_salt + 2)));
+  selectors.push_back(std::make_unique<AsapSelector>(world, config.asap,
+                                                     world.fork_rng(config.seed_salt + 3)));
+  if (config.include_opt) {
+    selectors.push_back(
+        std::make_unique<OptSelector>(world, config.baselines.opt_two_hop_beam));
+  }
+  return selectors;
+}
+
+std::vector<MethodResults> evaluate_methods(const population::World& world,
+                                            const std::vector<population::Session>& sessions,
+                                            const EvaluationConfig& config) {
+  auto selectors = make_selectors(world, config);
+  voip::EModel emodel(config.codec);
+  std::vector<MethodResults> results;
+  for (auto& selector : selectors) {
+    MethodResults mr;
+    mr.method = selector->name();
+    mr.quality_paths.reserve(sessions.size());
+    for (const auto& session : sessions) {
+      SelectionResult r = selector->select(session);
+      mr.quality_paths.push_back(static_cast<double>(r.quality_paths));
+      // The best available path: the best relay path, or the direct path
+      // when no relay improves on it / none was found.
+      Millis rtt = std::min(r.shortest_rtt_ms, session.direct_rtt_ms);
+      double loss = r.shortest_rtt_ms <= session.direct_rtt_ms ? r.shortest_loss
+                                                               : session.direct_loss;
+      mr.shortest_rtt_ms.push_back(rtt);
+      double mos_loss = config.fixed_loss_for_mos ? config.fixed_loss : loss;
+      mr.highest_mos.push_back(emodel.mos_for_rtt(rtt, mos_loss));
+      mr.messages.push_back(static_cast<double>(r.messages));
+    }
+    results.push_back(std::move(mr));
+  }
+  return results;
+}
+
+}  // namespace asap::relay

@@ -1,0 +1,47 @@
+// Evaluation driver: runs a set of sessions through each relay-selection
+// method and collects the per-session metric distributions behind the
+// paper's Figures 11-18.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relay/asap_selector.h"
+#include "relay/baselines.h"
+#include "relay/selector.h"
+#include "voip/emodel.h"
+
+namespace asap::relay {
+
+struct MethodResults {
+  std::string method;
+  std::vector<double> quality_paths;   // per session
+  std::vector<double> shortest_rtt_ms;
+  std::vector<double> highest_mos;
+  std::vector<double> messages;
+};
+
+struct EvaluationConfig {
+  BaselineConfig baselines;
+  core::AsapParams asap;
+  // The paper assumes a fixed 0.5% average loss for the MOS figures; when
+  // false, the model's per-path loss is used instead.
+  bool fixed_loss_for_mos = true;
+  double fixed_loss = 0.005;
+  voip::Codec codec = voip::kG729aVad;
+  bool include_opt = true;
+  std::uint64_t seed_salt = 7;
+};
+
+// Builds the standard selector suite (DEDI, RAND, MIX, ASAP [, OPT]).
+std::vector<std::unique_ptr<RelaySelector>> make_selectors(const population::World& world,
+                                                           const EvaluationConfig& config);
+
+// Runs every selector over `sessions`.
+std::vector<MethodResults> evaluate_methods(const population::World& world,
+                                            const std::vector<population::Session>& sessions,
+                                            const EvaluationConfig& config);
+
+}  // namespace asap::relay

@@ -1,0 +1,45 @@
+#include "relay/selector.h"
+
+#include <algorithm>
+
+#include "population/nat.h"
+#include "voip/quality.h"
+
+namespace asap::relay {
+
+SelectionResult evaluate_relay_pool(const population::World& world,
+                                    const population::Session& session,
+                                    const std::vector<HostId>& pool) {
+  SelectionResult result;
+  for (HostId relay : pool) {
+    if (relay == session.caller || relay == session.callee) continue;
+    result.messages += 2;  // probe the relay path through this node
+    // A NATed candidate cannot accept the relayed flows: the probe is spent
+    // but the node yields nothing (the waste AS-unaware probing pays).
+    if (!population::can_serve_as_relay(world.pop().peer(relay).nat)) continue;
+    Millis rtt = world.relay_rtt_ms(session.caller, relay, session.callee);
+    if (voip::is_quality_rtt(rtt)) ++result.quality_paths;
+    if (rtt < result.shortest_rtt_ms) {
+      result.shortest_rtt_ms = rtt;
+      result.shortest_loss = world.relay_loss(session.caller, relay, session.callee);
+    }
+  }
+  return result;
+}
+
+std::vector<HostId> dedicated_nodes(const population::World& world, std::size_t count) {
+  const auto& pop = world.pop();
+  const auto& graph = world.graph();
+  std::vector<ClusterId> clusters = pop.populated_clusters();
+  std::stable_sort(clusters.begin(), clusters.end(), [&](ClusterId a, ClusterId b) {
+    return graph.degree(pop.cluster(a).as) > graph.degree(pop.cluster(b).as);
+  });
+  std::vector<HostId> nodes;
+  for (ClusterId c : clusters) {
+    if (nodes.size() >= count) break;
+    nodes.push_back(pop.cluster(c).surrogate);
+  }
+  return nodes;
+}
+
+}  // namespace asap::relay

@@ -1,0 +1,49 @@
+// RelaySelector: the common interface of the five relay-node selection
+// methods the paper evaluates (Sec. 7.1): DEDI (RON-like dedicated nodes),
+// RAND (SOSR-like random probing), MIX, ASAP, and the offline OPT.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "population/session_gen.h"
+#include "population/world.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace asap::relay {
+
+// Per-session evaluation outcome, the raw material of Figs. 11-18.
+struct SelectionResult {
+  // Number of relay paths meeting the 300 ms RTT requirement ("quality
+  // paths", metric 1).
+  std::uint64_t quality_paths = 0;
+  // Shortest relay-path RTT found (metric 2a); kUnreachableMs if none.
+  Millis shortest_rtt_ms = kUnreachableMs;
+  // Loss of that shortest path (for the MOS computation, metric 2b).
+  double shortest_loss = 1.0;
+  // Control messages generated to find the relays (metric 3).
+  std::uint64_t messages = 0;
+};
+
+class RelaySelector {
+ public:
+  virtual ~RelaySelector() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual SelectionResult select(const population::Session& session) = 0;
+};
+
+// Shared helper: evaluates a fixed set of one-hop relay hosts against a
+// session, counting quality paths and tracking the best, with 2 probe
+// messages per evaluated relay.
+SelectionResult evaluate_relay_pool(const population::World& world,
+                                    const population::Session& session,
+                                    const std::vector<HostId>& pool);
+
+// The `count` populated clusters with the largest AS connection degrees
+// (DEDI's deployment rule: "80 nodes in 80 clusters with the largest
+// connection degrees"); one node (the surrogate) per cluster.
+std::vector<HostId> dedicated_nodes(const population::World& world, std::size_t count);
+
+}  // namespace asap::relay

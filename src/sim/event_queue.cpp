@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace asap::sim {
+
+void EventQueue::at(Millis time_ms, Callback fn) {
+  assert(time_ms >= now_);
+  heap_.push(Event{time_ms, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::after(Millis delay_ms, Callback fn) {
+  assert(delay_ms >= 0.0);
+  at(now_ + delay_ms, std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the event is copied out before pop so
+  // the callback may schedule further events safely.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t EventQueue::run_until(Millis until_ms) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_.top().time <= until_ms && step()) ++n;
+  if (now_ < until_ms) now_ = until_ms;
+  return n;
+}
+
+}  // namespace asap::sim

@@ -1,0 +1,53 @@
+// Discrete-event simulation kernel: a time-ordered queue of callbacks with
+// a simulated clock in milliseconds. Events at equal times fire in
+// scheduling order (stable), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace asap::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` at absolute simulated time `time_ms` (>= now).
+  void at(Millis time_ms, Callback fn);
+  // Schedules `fn` `delay_ms` after the current time.
+  void after(Millis delay_ms, Callback fn);
+
+  // Runs the earliest event; returns false when the queue is empty.
+  bool step();
+  // Runs until empty or `max_events` processed; returns events processed.
+  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
+  // Runs events with time <= `until_ms`; the clock ends at `until_ms`.
+  std::size_t run_until(Millis until_ms);
+
+  [[nodiscard]] Millis now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    Millis time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Millis now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace asap::sim

@@ -1,0 +1,92 @@
+// Message categories and per-category counters.
+//
+// The paper's overhead metric (Sec. 7.1 metric 3, Fig. 18) is "the number of
+// generated messages to find the quality path relay nodes"; every protocol
+// interaction in this repository is tagged with a category so overhead is
+// measured, never estimated.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace asap::sim {
+
+enum class MessageCategory : std::uint8_t {
+  kJoin = 0,       // bootstrap join request/reply
+  kCloseSet = 1,   // close-cluster-set request/reply (surrogate service)
+  kPublish = 2,    // end-host nodal information publication
+  kProbe = 3,      // latency/loss probes (ping-like)
+  kCallSignal = 4, // call setup / relay negotiation between end hosts
+  kVoice = 5,      // voice data packets
+  kCount = 6,
+};
+
+constexpr std::string_view category_name(MessageCategory c) {
+  switch (c) {
+    case MessageCategory::kJoin: return "join";
+    case MessageCategory::kCloseSet: return "close-set";
+    case MessageCategory::kPublish: return "publish";
+    case MessageCategory::kProbe: return "probe";
+    case MessageCategory::kCallSignal: return "call-signal";
+    case MessageCategory::kVoice: return "voice";
+    case MessageCategory::kCount: break;
+  }
+  return "?";
+}
+
+class MessageCounter {
+ public:
+  void record(MessageCategory c, std::uint64_t bytes = 0) {
+    ++counts_[static_cast<std::size_t>(c)];
+    bytes_[static_cast<std::size_t>(c)] += bytes;
+  }
+
+  [[nodiscard]] std::uint64_t count(MessageCategory c) const {
+    return counts_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t bytes(MessageCategory c) const {
+    return bytes_[static_cast<std::size_t>(c)];
+  }
+  // Total control-plane bytes (everything except voice data).
+  [[nodiscard]] std::uint64_t control_bytes() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < bytes_.size(); ++i) {
+      if (i != static_cast<std::size_t>(MessageCategory::kVoice)) total += bytes_[i];
+    }
+    return total;
+  }
+  // Total control-plane messages (everything except voice data).
+  [[nodiscard]] std::uint64_t control_total() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (i != static_cast<std::size_t>(MessageCategory::kVoice)) total += counts_[i];
+    }
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t total = 0;
+    for (auto c : counts_) total += c;
+    return total;
+  }
+  void reset() {
+    counts_.fill(0);
+    bytes_.fill(0);
+  }
+
+  // Difference helper for per-session accounting.
+  [[nodiscard]] MessageCounter diff_since(const MessageCounter& earlier) const {
+    MessageCounter d;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      d.counts_[i] = counts_[i] - earlier.counts_[i];
+      d.bytes_[i] = bytes_[i] - earlier.bytes_[i];
+    }
+    return d;
+  }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(MessageCategory::kCount)> counts_{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MessageCategory::kCount)> bytes_{};
+};
+
+}  // namespace asap::sim

@@ -1,0 +1,28 @@
+// Named counters for simulation-level bookkeeping (surrogate elections,
+// relay switches, probe timeouts, ...). Header-only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace asap::sim {
+
+class MetricsRegistry {
+ public:
+  void increment(const std::string& name, std::uint64_t by = 1) { counters_[name] += by; }
+
+  [[nodiscard]] std::uint64_t value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+
+  void reset() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace asap::sim

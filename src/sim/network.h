@@ -1,0 +1,99 @@
+// Message-passing network over the discrete-event kernel.
+//
+// Nodes live in ASes; delivery latency is the PathOracle's one-way policy
+// latency between the ASes plus each endpoint's access (last-mile) delay.
+// The payload type is a template parameter so protocol layers can use typed
+// variants without the sim layer knowing about them.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "netmodel/oracle.h"
+#include "sim/event_queue.h"
+#include "sim/message.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace asap::sim {
+
+template <typename Payload>
+class Network {
+ public:
+  // Handler invoked at the receiving node when a message arrives.
+  using Handler = std::function<void(NodeId from, const Payload& payload)>;
+
+  Network(EventQueue& queue, const netmodel::PathOracle& oracle)
+      : queue_(queue), oracle_(oracle) {}
+
+  // Registers a node; `access_one_way_ms` models its last-mile delay.
+  NodeId add_node(AsId as, Millis access_one_way_ms, Handler handler) {
+    NodeId id(static_cast<std::uint32_t>(nodes_.size()));
+    nodes_.push_back(NodeState{as, access_one_way_ms, std::move(handler)});
+    return id;
+  }
+
+  // Replaces a node's handler (used when a plain end host is promoted to
+  // surrogate and its protocol role changes).
+  void set_handler(NodeId id, Handler handler) {
+    nodes_[id.value()].handler = std::move(handler);
+  }
+
+  [[nodiscard]] AsId as_of(NodeId id) const { return nodes_[id.value()].as; }
+  [[nodiscard]] Millis access_delay_ms(NodeId id) const {
+    return nodes_[id.value()].access_one_way_ms;
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  // One-way delivery latency between two registered nodes.
+  [[nodiscard]] Millis delivery_latency_ms(NodeId from, NodeId to) const {
+    const auto& a = nodes_[from.value()];
+    const auto& b = nodes_[to.value()];
+    Millis path = (a.as == b.as) ? kSameAsLatencyMs : oracle_.one_way_ms(a.as, b.as);
+    if (path >= kUnreachableMs) return kUnreachableMs;
+    return path + a.access_one_way_ms + b.access_one_way_ms;
+  }
+
+  // Optional payload sizer: when set, every send also accounts the wire
+  // bytes of the message (payload encoding + packet overhead).
+  void set_payload_sizer(std::function<std::size_t(const Payload&)> sizer) {
+    sizer_ = std::move(sizer);
+  }
+
+  // Sends a message; it is delivered (handler invoked) after the one-way
+  // latency. Messages whose path is unreachable are silently dropped, as on
+  // the real network — protocols must use timeouts.
+  void send(NodeId from, NodeId to, MessageCategory category, Payload payload) {
+    counter_.record(category, sizer_ ? sizer_(payload) : 0);
+    Millis latency = delivery_latency_ms(from, to);
+    if (latency >= kUnreachableMs) return;
+    queue_.after(latency, [this, from, to, payload = std::move(payload)]() {
+      nodes_[to.value()].handler(from, payload);
+    });
+  }
+
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] const netmodel::PathOracle& oracle() const { return oracle_; }
+  [[nodiscard]] const MessageCounter& counter() const { return counter_; }
+  [[nodiscard]] MessageCounter& counter() { return counter_; }
+
+  // Latency floor between hosts that share an AS (intra-cluster hop).
+  static constexpr Millis kSameAsLatencyMs = 2.0;
+
+ private:
+  struct NodeState {
+    AsId as;
+    Millis access_one_way_ms;
+    Handler handler;
+  };
+
+  EventQueue& queue_;
+  const netmodel::PathOracle& oracle_;
+  std::vector<NodeState> nodes_;
+  MessageCounter counter_;
+  std::function<std::size_t(const Payload&)> sizer_;
+};
+
+}  // namespace asap::sim

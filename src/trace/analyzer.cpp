@@ -1,0 +1,136 @@
+#include "trace/analyzer.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace asap::trace {
+
+namespace {
+
+// Reconstructs one direction from the stream of outgoing voice packets at
+// the sending endpoint: the sequence of destination IPs is the relay
+// timeline.
+DirectionAnalysis analyze_direction(const std::vector<PacketRecord>& side, Ipv4Addr self,
+                                    Ipv4Addr peer) {
+  DirectionAnalysis out;
+  std::map<std::uint32_t, std::size_t> index_of;
+  Ipv4Addr last_hop;
+  bool have_last = false;
+  std::size_t total = 0;
+
+  for (const auto& pkt : side) {
+    if (pkt.src != self || pkt.size < kVoicePacketBytes) continue;
+    ++total;
+    if (index_of.find(pkt.dst.bits()) == index_of.end()) {
+      index_of[pkt.dst.bits()] = out.usage.size();
+      out.usage.push_back(RelayUsage{pkt.dst, pkt.dst == peer, 0, pkt.t_s, pkt.t_s});
+    }
+    RelayUsage& u = out.usage[index_of[pkt.dst.bits()]];
+    ++u.packets;
+    u.last_s = pkt.t_s;
+    if (have_last && pkt.dst != last_hop) {
+      ++out.switches;
+      out.stabilization_s = pkt.t_s;
+    }
+    last_hop = pkt.dst;
+    have_last = true;
+  }
+
+  if (!out.usage.empty()) {
+    auto major = std::max_element(out.usage.begin(), out.usage.end(),
+                                  [](const RelayUsage& a, const RelayUsage& b) {
+                                    return a.packets < b.packets;
+                                  });
+    out.major_index = static_cast<std::size_t>(major - out.usage.begin());
+    if (total > 0) {
+      out.major_share = static_cast<double>(major->packets) / static_cast<double>(total);
+    }
+  }
+  return out;
+}
+
+// The last-hop IP that delivered the most voice packets *to* `self`.
+Ipv4Addr major_incoming_hop(const std::vector<PacketRecord>& side, Ipv4Addr self) {
+  std::map<std::uint32_t, std::size_t> counts;
+  for (const auto& pkt : side) {
+    if (pkt.dst != self || pkt.size < kVoicePacketBytes) continue;
+    ++counts[pkt.src.bits()];
+  }
+  Ipv4Addr best;
+  std::size_t best_count = 0;
+  for (const auto& [bits, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best = Ipv4Addr(bits);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SessionAnalysis analyze_session(const TwoSidedCapture& capture) {
+  SessionAnalysis out;
+  out.forward = analyze_direction(capture.caller_side, capture.caller_ip, capture.callee_ip);
+  out.backward = analyze_direction(capture.callee_side, capture.callee_ip, capture.caller_ip);
+  out.stabilization_s = std::max(out.forward.stabilization_s, out.backward.stabilization_s);
+
+  if (!out.forward.usage.empty() && !out.backward.usage.empty()) {
+    const RelayUsage& f = out.forward.major();
+    const RelayUsage& b = out.backward.major();
+    out.asymmetric = f.direct != b.direct || (!f.direct && f.next_hop != b.next_hop);
+  }
+
+  // Two-hop detection: the forward stream's first hop (seen at the caller)
+  // differs from its last hop (seen arriving at the callee).
+  const RelayUsage* fwd_major =
+      out.forward.usage.empty() ? nullptr : &out.forward.major();
+  if (fwd_major != nullptr && !fwd_major->direct) {
+    Ipv4Addr last_hop = major_incoming_hop(capture.callee_side, capture.callee_ip);
+    out.forward_two_hop = last_hop != fwd_major->next_hop && last_hop != capture.caller_ip;
+  }
+
+  // Probe accounting over both sides.
+  std::set<std::uint32_t> probed;
+  std::set<std::uint32_t> probed_late;
+  double settle_s = std::max(out.stabilization_s, kStartupPhaseS);
+  for (const auto* side : {&capture.caller_side, &capture.callee_side}) {
+    Ipv4Addr self = side == &capture.caller_side ? capture.caller_ip : capture.callee_ip;
+    for (const auto& pkt : *side) {
+      if (pkt.src != self || pkt.size >= kVoicePacketBytes) continue;
+      probed.insert(pkt.dst.bits());
+      if (pkt.t_s > settle_s) probed_late.insert(pkt.dst.bits());
+    }
+  }
+  out.probed_nodes = probed.size();
+  out.probes_after_stabilization = probed_late.size();
+  return out;
+}
+
+std::vector<SameGroupProbes> same_group_probes(
+    const TwoSidedCapture& capture,
+    const std::function<std::uint64_t(Ipv4Addr)>& key_of) {
+  std::set<std::uint32_t> probed;
+  for (const auto* side : {&capture.caller_side, &capture.callee_side}) {
+    Ipv4Addr self = side == &capture.caller_side ? capture.caller_ip : capture.callee_ip;
+    for (const auto& pkt : *side) {
+      if (pkt.src != self || pkt.size >= kVoicePacketBytes) continue;
+      probed.insert(pkt.dst.bits());
+    }
+  }
+  std::map<std::uint64_t, std::vector<Ipv4Addr>> groups;
+  for (std::uint32_t bits : probed) {
+    std::uint64_t key = key_of(Ipv4Addr(bits));
+    if (key == 0) continue;
+    groups[key].push_back(Ipv4Addr(bits));
+  }
+  std::vector<SameGroupProbes> out;
+  for (auto& [key, targets] : groups) {
+    if (targets.size() > 1) out.push_back(SameGroupProbes{key, std::move(targets)});
+  }
+  return out;
+}
+
+}  // namespace asap::trace

@@ -1,0 +1,71 @@
+// Trace analyzer: reconstructs a Skype session's relay behaviour from a
+// two-sided packet capture alone (the paper's Sec. 5 methodology — "we
+// analyze Skype packet headers collected at the two end hosts ... to check
+// if they share common destination IP addresses reached from their voice
+// data ports").
+//
+// Recovers, per direction: the major path (relay or direct, by packet
+// share), the relay time line and the stabilization time (session start to
+// the last relay switch); plus session-level probe counts and same-AS
+// duplicate-probe groups (Limit 2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/packet.h"
+#include "common/ip.h"
+
+namespace asap::trace {
+
+struct RelayUsage {
+  Ipv4Addr next_hop;        // relay IP, or the peer endpoint for direct
+  bool direct = false;
+  std::size_t packets = 0;
+  double first_s = 0.0;
+  double last_s = 0.0;
+};
+
+struct DirectionAnalysis {
+  std::vector<RelayUsage> usage;       // ordered by first use
+  std::size_t major_index = 0;         // index into `usage`
+  double major_share = 0.0;            // fraction of voice packets on major
+  double stabilization_s = 0.0;        // time of the last path switch
+  std::size_t switches = 0;
+
+  [[nodiscard]] const RelayUsage& major() const { return usage[major_index]; }
+};
+
+struct SessionAnalysis {
+  DirectionAnalysis forward;   // caller -> callee
+  DirectionAnalysis backward;  // callee -> caller
+  bool asymmetric = false;     // directions use different major paths
+  bool forward_two_hop = false;  // first hop at caller != last hop at callee
+  std::size_t probed_nodes = 0;  // distinct probe targets over the session
+  // Distinct targets probed after the session settled: after the later of
+  // the last path switch and the startup phase (paper Fig. 7(c) counts 3-6
+  // such nodes per session — evidence that probing never stops).
+  std::size_t probes_after_stabilization = 0;
+  double stabilization_s = 0.0;  // max over directions
+};
+
+// Startup phase excluded from the "probes after stabilization" count (the
+// initial candidate burst belongs to selection, not to ongoing probing).
+inline constexpr double kStartupPhaseS = 30.0;
+
+SessionAnalysis analyze_session(const TwoSidedCapture& capture);
+
+// Groups probe targets by a caller-supplied key (e.g. origin AS or longest
+// matched prefix); returns the target groups with more than one member —
+// the paper's Limit-2 evidence (Table 2). The key function receives each
+// distinct probed IP; targets mapping to key 0 are ignored (unmapped).
+struct SameGroupProbes {
+  std::uint64_t group_key;
+  std::vector<Ipv4Addr> targets;
+};
+std::vector<SameGroupProbes> same_group_probes(
+    const TwoSidedCapture& capture,
+    const std::function<std::uint64_t(Ipv4Addr)>& key_of);
+
+}  // namespace asap::trace

@@ -1,0 +1,40 @@
+// Packet-level trace records, the unit of the Section-5 measurement
+// pipeline. A record is what WinDump/pcap captures at one end host: a
+// timestamped UDP datagram with addresses, ports and size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ip.h"
+
+namespace asap::trace {
+
+struct PacketRecord {
+  double t_s = 0.0;  // capture time, seconds since session start
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint16_t size = 0;  // UDP payload bytes
+
+  friend bool operator==(const PacketRecord&, const PacketRecord&) = default;
+};
+
+// Conventional sizes used by the synthetic Skype model and recognized by
+// the analyzer: probes are small keep-alive-sized datagrams, voice packets
+// carry a codec frame.
+inline constexpr std::uint16_t kProbePacketBytes = 28;
+inline constexpr std::uint16_t kVoicePacketBytes = 160;
+
+// A two-sided capture: the same session observed at both end hosts
+// (the paper ran WinDump at caller and callee).
+struct TwoSidedCapture {
+  Ipv4Addr caller_ip;
+  Ipv4Addr callee_ip;
+  std::vector<PacketRecord> caller_side;
+  std::vector<PacketRecord> callee_side;
+  double duration_s = 0.0;
+};
+
+}  // namespace asap::trace

@@ -1,0 +1,171 @@
+#include "trace/pcapio.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace asap::trace {
+
+namespace {
+
+constexpr std::uint32_t kPcapMagic = 0xA1B2C3D4;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::size_t kEthHeader = 14;
+constexpr std::size_t kIpHeader = 20;
+constexpr std::size_t kUdpHeader = 8;
+
+void put_u16le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+void put_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+void put_u32be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  bool need(std::size_t n) const { return pos + n <= size; }
+  std::uint16_t u16le() { std::uint16_t v = data[pos] | (data[pos + 1] << 8); pos += 2; return v; }
+  std::uint32_t u32le() {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | data[pos + i];
+    pos += 4;
+    return v;
+  }
+  std::uint16_t u16be() { std::uint16_t v = (data[pos] << 8) | data[pos + 1]; pos += 2; return v; }
+  std::uint32_t u32be() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data[pos + i];
+    pos += 4;
+    return v;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> write_pcap(const std::vector<PacketRecord>& records, double t0_s) {
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + records.size() * (16 + kEthHeader + kIpHeader + kUdpHeader + 64));
+  // Global header.
+  put_u32le(out, kPcapMagic);
+  put_u16le(out, 2);   // major
+  put_u16le(out, 4);   // minor
+  put_u32le(out, 0);   // thiszone
+  put_u32le(out, 0);   // sigfigs
+  put_u32le(out, 65535);  // snaplen
+  put_u32le(out, kLinkTypeEthernet);
+
+  for (const auto& r : records) {
+    double t = t0_s + r.t_s;
+    auto sec = static_cast<std::uint32_t>(t);
+    auto usec = static_cast<std::uint32_t>((t - sec) * 1e6);
+    std::uint32_t frame_len =
+        static_cast<std::uint32_t>(kEthHeader + kIpHeader + kUdpHeader + r.size);
+    put_u32le(out, sec);
+    put_u32le(out, usec);
+    put_u32le(out, frame_len);  // incl_len: we store the whole frame
+    put_u32le(out, frame_len);  // orig_len
+
+    // Ethernet: zero MACs, ethertype IPv4.
+    for (int i = 0; i < 12; ++i) out.push_back(0);
+    put_u16be(out, 0x0800);
+    // IPv4 header, no options, checksum left zero (valid pcap, lazy sums).
+    out.push_back(0x45);  // version 4, IHL 5
+    out.push_back(0);     // DSCP
+    put_u16be(out, static_cast<std::uint16_t>(kIpHeader + kUdpHeader + r.size));
+    put_u16be(out, 0);    // id
+    put_u16be(out, 0);    // flags/frag
+    out.push_back(64);    // TTL
+    out.push_back(17);    // UDP
+    put_u16be(out, 0);    // header checksum
+    put_u32be(out, r.src.bits());
+    put_u32be(out, r.dst.bits());
+    // UDP header.
+    put_u16be(out, r.sport);
+    put_u16be(out, r.dport);
+    put_u16be(out, static_cast<std::uint16_t>(kUdpHeader + r.size));
+    put_u16be(out, 0);  // checksum optional for UDP/IPv4
+    // Payload: zeros of the advertised size.
+    out.insert(out.end(), r.size, 0);
+  }
+  return out;
+}
+
+Expected<std::vector<PacketRecord>> read_pcap(const std::vector<std::uint8_t>& bytes) {
+  Cursor c{bytes.data(), bytes.size()};
+  if (!c.need(24)) return make_error("pcap: truncated global header");
+  std::uint32_t magic = c.u32le();
+  if (magic != kPcapMagic) return make_error("pcap: bad magic (big-endian unsupported)");
+  c.pos = 20;
+  std::uint32_t linktype = c.u32le();
+  if (linktype != kLinkTypeEthernet) return make_error("pcap: unsupported linktype");
+
+  std::vector<PacketRecord> records;
+  while (c.pos < c.size) {
+    if (!c.need(16)) return make_error("pcap: truncated packet header");
+    std::uint32_t sec = c.u32le();
+    std::uint32_t usec = c.u32le();
+    std::uint32_t incl = c.u32le();
+    c.u32le();  // orig_len
+    if (!c.need(incl)) return make_error("pcap: truncated frame");
+    std::size_t frame_end = c.pos + incl;
+    if (incl >= kEthHeader + kIpHeader + kUdpHeader) {
+      std::size_t eth = c.pos;
+      std::uint16_t ethertype = (bytes[eth + 12] << 8) | bytes[eth + 13];
+      std::uint8_t ihl = bytes[eth + 14] & 0x0F;
+      std::uint8_t proto = bytes[eth + 14 + 9];
+      if (ethertype == 0x0800 && ihl >= 5 && proto == 17) {
+        std::size_t ip = eth + kEthHeader;
+        std::size_t udp = ip + std::size_t{ihl} * 4;
+        if (udp + kUdpHeader <= frame_end) {
+          PacketRecord r;
+          r.t_s = sec + usec * 1e-6;
+          Cursor ipc{bytes.data(), bytes.size(), ip + 12};
+          r.src = Ipv4Addr(ipc.u32be());
+          r.dst = Ipv4Addr(ipc.u32be());
+          Cursor udpc{bytes.data(), bytes.size(), udp};
+          r.sport = udpc.u16be();
+          r.dport = udpc.u16be();
+          std::uint16_t udp_len = udpc.u16be();
+          r.size = udp_len >= kUdpHeader
+                       ? static_cast<std::uint16_t>(udp_len - kUdpHeader)
+                       : 0;
+          records.push_back(r);
+        }
+      }
+    }
+    c.pos = frame_end;
+  }
+  return records;
+}
+
+bool write_pcap_file(const std::string& path, const std::vector<PacketRecord>& records) {
+  auto bytes = write_pcap(records);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  return written == bytes.size();
+}
+
+Expected<std::vector<PacketRecord>> read_pcap_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return make_error("pcap: cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return read_pcap(bytes);
+}
+
+}  // namespace asap::trace

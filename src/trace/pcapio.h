@@ -1,0 +1,31 @@
+// Minimal libpcap-format I/O for UDP/IPv4 packet traces.
+//
+// Writes standard pcap files (magic 0xa1b2c3d4, linktype EN10MB) whose
+// frames are synthesized Ethernet+IPv4+UDP headers around our records, and
+// reads them back. The files open in tcpdump/Wireshark; the reader accepts
+// any pcap whose frames are plain UDP over IPv4 (which is what a Skype
+// voice capture largely is).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/packet.h"
+#include "common/expected.h"
+
+namespace asap::trace {
+
+// Serializes records into pcap bytes. Timestamps are offset from t0_s.
+std::vector<std::uint8_t> write_pcap(const std::vector<PacketRecord>& records,
+                                     double t0_s = 0.0);
+
+// Parses pcap bytes; skips non-UDP/IPv4 frames. Timestamps are absolute
+// capture times in seconds.
+Expected<std::vector<PacketRecord>> read_pcap(const std::vector<std::uint8_t>& bytes);
+
+// File convenience wrappers.
+bool write_pcap_file(const std::string& path, const std::vector<PacketRecord>& records);
+Expected<std::vector<PacketRecord>> read_pcap_file(const std::string& path);
+
+}  // namespace asap::trace

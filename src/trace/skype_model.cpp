@@ -1,0 +1,221 @@
+#include "trace/skype_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asap::trace {
+
+namespace {
+
+constexpr std::uint16_t kCallerVoicePort = 21001;
+constexpr std::uint16_t kCalleeVoicePort = 22001;
+constexpr std::uint16_t kProbePort = 33033;
+
+std::uint16_t relay_port(HostId h) {
+  return static_cast<std::uint16_t>(30000 + h.value() % 10000);
+}
+
+// One direction's relay-selection state machine, simulated in event order.
+struct Direction {
+  HostId src;
+  HostId dst;
+  bool initiator_is_caller;  // which side's capture records the probes
+
+  // Current path: invalid relay1 = direct.
+  HostId relay1 = HostId::invalid();
+  HostId relay2 = HostId::invalid();
+  double current_estimate_ms = 0.0;
+  bool two_hop_session = false;
+
+  std::vector<SwitchEvent> switches;
+  std::vector<ProbeEvent> probes;
+};
+
+struct Candidate {
+  HostId r1;
+  HostId r2;  // invalid for one-hop
+};
+
+}  // namespace
+
+SkypeSession generate_skype_session(const population::World& world, HostId caller,
+                                    HostId callee, const SkypeModelParams& params,
+                                    Rng& rng) {
+  const auto& pop = world.pop();
+  SkypeSession session;
+  session.caller = caller;
+  session.callee = callee;
+  session.capture.caller_ip = pop.peer(caller).ip;
+  session.capture.callee_ip = pop.peer(callee).ip;
+  session.capture.duration_s = params.duration_s;
+
+  Millis direct_rtt = world.host_rtt_ms(caller, callee);
+  bool asymmetric = rng.chance(params.asymmetric_prob);
+  session.truth.asymmetric = asymmetric;
+
+  // Clusters already probed, for the herding bias (supernode caches hand
+  // out neighbours of nodes already known).
+  std::vector<ClusterId> probed_clusters;
+
+  auto pick_candidate = [&]() -> HostId {
+    if (!probed_clusters.empty() && rng.chance(params.herding_prob)) {
+      ClusterId c = probed_clusters[rng.index_of(probed_clusters)];
+      const auto& members = pop.cluster(c).members;
+      HostId h = members[rng.index_of(members)];
+      if (h != caller && h != callee) return h;
+    }
+    for (;;) {
+      HostId h(static_cast<std::uint32_t>(rng.below(pop.peers().size())));
+      if (h != caller && h != callee) return h;
+    }
+  };
+
+  auto path_rtt = [&](const Direction& dir, HostId r1, HostId r2) -> Millis {
+    if (!r1.valid()) return direct_rtt;
+    if (!r2.valid()) return world.relay_rtt_ms(dir.src, r1, dir.dst);
+    return world.relay2_rtt_ms(dir.src, r1, r2, dir.dst);
+  };
+
+  auto noisy = [&](Millis truth) {
+    return truth * std::exp(params.eval_noise_sigma * rng.normal());
+  };
+
+  auto run_direction = [&](Direction& dir) {
+    dir.current_estimate_ms = noisy(direct_rtt);
+    dir.two_hop_session = rng.chance(params.two_hop_prob);
+    // Direct paths that already satisfy users are sticky (Skype prefers
+    // direct connectivity); candidates must beat them by a wide margin.
+    double leave_direct_factor = direct_rtt < params.direct_ok_ms ? 3.0 : 1.0;
+
+    // Event timeline: initial burst + background probes + re-evaluations.
+    struct Ev {
+      double t;
+      bool is_probe;
+    };
+    std::vector<Ev> events;
+    int burst = static_cast<int>(rng.range(params.burst_min, params.burst_max));
+    for (int i = 0; i < burst; ++i) events.push_back({rng.uniform(0.2, 20.0), true});
+    for (double t = 20.0; t < params.duration_s;
+         t += rng.exponential(params.probe_interval_s)) {
+      events.push_back({t, true});
+    }
+    for (double t = params.reeval_interval_s; t < params.duration_s;
+         t += params.reeval_interval_s) {
+      events.push_back({t, false});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Ev& a, const Ev& b) { return a.t < b.t; });
+
+    for (const Ev& ev : events) {
+      if (!ev.is_probe) {
+        dir.current_estimate_ms = noisy(path_rtt(dir, dir.relay1, dir.relay2));
+        continue;
+      }
+      Candidate cand{pick_candidate(), HostId::invalid()};
+      if (dir.two_hop_session && rng.chance(0.5)) cand.r2 = pick_candidate();
+      dir.probes.push_back(ProbeEvent{ev.t, cand.r1});
+      probed_clusters.push_back(pop.peer(cand.r1).cluster);
+      double estimate = noisy(path_rtt(dir, cand.r1, cand.r2));
+      // Switching gets stickier as the call ages (Skype damps relay bounce
+      // once a path has proven itself), so stabilization times spread over
+      // the session instead of bunching at its end.
+      double age_factor = 1.0 + ev.t / 90.0;
+      double bar = dir.relay1.valid()
+                       ? dir.current_estimate_ms - params.switch_hysteresis_ms * age_factor
+                       : dir.current_estimate_ms - params.switch_hysteresis_ms *
+                                                       leave_direct_factor * age_factor;
+      if (estimate < bar) {
+        dir.relay1 = cand.r1;
+        dir.relay2 = cand.r2;
+        dir.current_estimate_ms = estimate;
+        dir.switches.push_back(SwitchEvent{ev.t, cand.r1, cand.r2});
+      }
+    }
+  };
+
+  Direction fwd{caller, callee, true, {}, {}, 0.0, false, {}, {}};
+  run_direction(fwd);
+  Direction bwd{callee, caller, false, {}, {}, 0.0, false, {}, {}};
+  if (asymmetric) {
+    run_direction(bwd);
+  } else {
+    // Symmetric session: the backward stream uses the same relay path.
+    bwd.relay1 = fwd.relay1;
+    bwd.relay2 = fwd.relay2;
+    bwd.switches = fwd.switches;
+    bwd.two_hop_session = fwd.two_hop_session;
+  }
+  session.truth.forward_switches = fwd.switches;
+  session.truth.backward_switches = bwd.switches;
+  session.truth.forward_two_hop = fwd.relay2.valid();
+
+  auto& caller_side = session.capture.caller_side;
+  auto& callee_side = session.capture.callee_side;
+
+  // Probe packets (request + reply) at the initiating side's capture.
+  auto emit_probes = [&](const Direction& dir) {
+    auto& side = dir.initiator_is_caller ? caller_side : callee_side;
+    Ipv4Addr self = dir.initiator_is_caller ? session.capture.caller_ip
+                                            : session.capture.callee_ip;
+    std::uint16_t self_port = dir.initiator_is_caller ? kCallerVoicePort : kCalleeVoicePort;
+    for (const auto& probe : dir.probes) {
+      Ipv4Addr target = pop.peer(probe.target).ip;
+      double rtt_s = world.host_rtt_ms(dir.src, probe.target) / 1000.0;
+      side.push_back({probe.t_s, self, target, self_port, kProbePort, kProbePacketBytes});
+      side.push_back({probe.t_s + rtt_s, target, self, kProbePort, self_port,
+                      kProbePacketBytes});
+    }
+    session.truth.probes.insert(session.truth.probes.end(), dir.probes.begin(),
+                                dir.probes.end());
+  };
+  emit_probes(fwd);
+  if (asymmetric) emit_probes(bwd);
+
+  // Voice packets: walk each direction's switch timeline.
+  auto relay_at = [](const std::vector<SwitchEvent>& switches, double t, HostId& r1,
+                     HostId& r2) {
+    r1 = HostId::invalid();
+    r2 = HostId::invalid();
+    for (const auto& s : switches) {
+      if (s.t_s > t) break;
+      r1 = s.relay1;
+      r2 = s.relay2;
+    }
+  };
+  double step = 0.02 * params.voice_record_stride;
+  for (double t = 0.5; t < params.duration_s; t += step) {
+    HostId r1;
+    HostId r2;
+    // Forward stream: caller out, callee in.
+    relay_at(fwd.switches, t, r1, r2);
+    Ipv4Addr first_hop = r1.valid() ? pop.peer(r1).ip : session.capture.callee_ip;
+    HostId last = r2.valid() ? r2 : r1;
+    Ipv4Addr last_hop = last.valid() ? pop.peer(last).ip : session.capture.caller_ip;
+    double owd_s = path_rtt(fwd, r1, r2) / 2000.0;
+    caller_side.push_back({t, session.capture.caller_ip, first_hop, kCallerVoicePort,
+                           r1.valid() ? relay_port(r1) : kCalleeVoicePort,
+                           kVoicePacketBytes});
+    callee_side.push_back({t + owd_s, last_hop, session.capture.callee_ip,
+                           last.valid() ? relay_port(last) : kCallerVoicePort,
+                           kCalleeVoicePort, kVoicePacketBytes});
+    // Backward stream: callee out, caller in.
+    relay_at(bwd.switches, t, r1, r2);
+    first_hop = r1.valid() ? pop.peer(r1).ip : session.capture.caller_ip;
+    last = r2.valid() ? r2 : r1;
+    last_hop = last.valid() ? pop.peer(last).ip : session.capture.callee_ip;
+    owd_s = path_rtt(bwd, r1, r2) / 2000.0;
+    callee_side.push_back({t, session.capture.callee_ip, first_hop, kCalleeVoicePort,
+                           r1.valid() ? relay_port(r1) : kCallerVoicePort,
+                           kVoicePacketBytes});
+    caller_side.push_back({t + owd_s, last_hop, session.capture.caller_ip,
+                           last.valid() ? relay_port(last) : kCalleeVoicePort,
+                           kCallerVoicePort, kVoicePacketBytes});
+  }
+
+  auto by_time = [](const PacketRecord& a, const PacketRecord& b) { return a.t_s < b.t_s; };
+  std::sort(caller_side.begin(), caller_side.end(), by_time);
+  std::sort(callee_side.begin(), callee_side.end(), by_time);
+  return session;
+}
+
+}  // namespace asap::trace

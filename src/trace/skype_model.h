@@ -1,0 +1,88 @@
+// Synthetic Skype-like session generator.
+//
+// Substitutes for the paper's captured Skype traffic (Sec. 5: 14 sessions,
+// WinDump at both ends). The model reproduces the *behaviours* the paper
+// measures, using the mechanisms its analysis identifies:
+//   * AS-unaware relay probing: candidate supernodes are random peers, with
+//     a "herding" bias toward clusters already probed (supernode caches
+//     return neighbours), which yields same-AS duplicate probes (Limit 2);
+//   * noisy path evaluation with sticky switching: the client switches to a
+//     candidate whose (noisy) estimate beats the current path by a margin,
+//     producing relay bounce and long stabilization times (Limit 3);
+//   * continuous background probing during the call (Limit 4);
+//   * independently chosen forward/backward relays (asymmetric sessions)
+//     and occasional two-hop relaying.
+// The output is a two-sided packet capture in the same shape as the
+// paper's pcap data; the analyzer recovers major paths, stabilization time
+// and probe counts from packets alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "population/world.h"
+#include "trace/packet.h"
+#include "common/rng.h"
+
+namespace asap::trace {
+
+struct SkypeModelParams {
+  double duration_s = 420.0;
+  // Initial probe burst: count ~ U[burst_min, burst_max] in the first 20 s.
+  int burst_min = 8;
+  int burst_max = 30;
+  // Background probing (exponential inter-arrival).
+  double probe_interval_s = 60.0;
+  // Probability a probe candidate is drawn from an already-probed cluster.
+  double herding_prob = 0.25;
+  // Noisy path evaluation: estimate = true RTT * lognormal(sigma).
+  double eval_noise_sigma = 0.18;
+  // Switch to a candidate when its estimate beats the current estimate by
+  // this many ms.
+  double switch_hysteresis_ms = 12.0;
+  // Period of current-path re-evaluation (each re-draws the noise, which is
+  // what produces relay bounce).
+  double reeval_interval_s = 12.0;
+  // Probability the two directions run independent relay selection.
+  double asymmetric_prob = 0.3;
+  // Probability a direction relays through two hops.
+  double two_hop_prob = 0.07;
+  // Use the direct path when its RTT is below this and the coin flips.
+  double direct_ok_ms = 200.0;
+  double direct_use_prob = 0.7;
+  // Every stride-th voice packet is recorded (50 pps nominal).
+  int voice_record_stride = 10;
+};
+
+struct ProbeEvent {
+  double t_s;
+  HostId target;
+};
+
+struct SwitchEvent {
+  double t_s;
+  HostId relay1;  // invalid => direct path
+  HostId relay2;  // valid only for two-hop
+};
+
+// Ground-truth journal of one generated session (what really happened);
+// tests compare the analyzer's reconstruction against it.
+struct SkypeSessionTruth {
+  std::vector<ProbeEvent> probes;        // both directions
+  std::vector<SwitchEvent> forward_switches;
+  std::vector<SwitchEvent> backward_switches;
+  bool asymmetric = false;
+  bool forward_two_hop = false;
+};
+
+struct SkypeSession {
+  HostId caller;
+  HostId callee;
+  TwoSidedCapture capture;
+  SkypeSessionTruth truth;
+};
+
+SkypeSession generate_skype_session(const population::World& world, HostId caller,
+                                    HostId callee, const SkypeModelParams& params, Rng& rng);
+
+}  // namespace asap::trace

@@ -1,0 +1,31 @@
+// Voice codec descriptors with the E-Model equipment-impairment parameters
+// from ITU-T G.113 Appendix I.
+#pragma once
+
+#include <string_view>
+
+#include "common/units.h"
+
+namespace asap::voip {
+
+struct Codec {
+  std::string_view name;
+  double bitrate_kbps;
+  // E-Model equipment impairment at zero loss.
+  double ie;
+  // Packet-loss robustness factor (random loss).
+  double bpl;
+  // Frame + look-ahead algorithmic delay added at the sender.
+  Millis codec_delay_ms;
+};
+
+// The codecs the paper discusses (Sec. 2 cites MOS-vs-loss behaviour of
+// G.711, G.729, G.729A and G.723.1; the evaluation fixes G.729A+VAD).
+inline constexpr Codec kG711{"G.711", 64.0, 0.0, 4.3, 0.25};
+inline constexpr Codec kG729{"G.729", 8.0, 10.0, 19.0, 15.0};
+inline constexpr Codec kG729aVad{"G.729A+VAD", 8.0, 11.0, 19.0, 15.0};
+inline constexpr Codec kG7231{"G.723.1", 6.3, 15.0, 16.1, 37.5};
+
+inline constexpr Codec kAllCodecs[] = {kG711, kG729, kG729aVad, kG7231};
+
+}  // namespace asap::voip

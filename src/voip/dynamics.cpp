@@ -1,0 +1,75 @@
+#include "voip/dynamics.h"
+
+#include <algorithm>
+
+namespace asap::voip {
+
+PathDynamics::PathDynamics(Millis base_rtt_ms, double base_loss, double horizon_s,
+                           const DynamicsParams& params, std::uint64_t seed,
+                           std::uint64_t path_salt)
+    : base_rtt_ms_(base_rtt_ms), base_loss_(base_loss), horizon_s_(horizon_s),
+      params_(params) {
+  Rng rng = Rng(seed).fork(path_salt ^ 0xD1CE5EEDULL);
+
+  // Gilbert-Elliott sojourns, alternating good/bad from a good start.
+  double t = 0.0;
+  while (t < horizon_s_) {
+    t += rng.exponential(params.good_mean_s);
+    if (t >= horizon_s_) break;
+    double end = t + rng.exponential(params.bad_mean_s);
+    loss_bursts_.push_back(Episode{t, std::min(end, horizon_s_), 0.0});
+    t = end;
+  }
+
+  // Congestion (delay) bursts: renewal process.
+  t = 0.0;
+  while (t < horizon_s_) {
+    t += rng.exponential(params.burst_interarrival_s);
+    if (t >= horizon_s_) break;
+    double end = t + rng.exponential(params.burst_duration_s);
+    Millis amp = rng.uniform(params.burst_amp_min_ms, params.burst_amp_max_ms);
+    delay_bursts_.push_back(Episode{t, std::min(end, horizon_s_), amp});
+    t = end;
+  }
+}
+
+namespace {
+
+template <typename Episodes>
+const auto* find_episode(const Episodes& episodes, double t_s) {
+  // Episodes are disjoint and time-ordered; binary search the candidate.
+  auto it = std::upper_bound(episodes.begin(), episodes.end(), t_s,
+                             [](double t, const auto& e) { return t < e.start_s; });
+  if (it == episodes.begin()) return static_cast<const typename Episodes::value_type*>(nullptr);
+  --it;
+  if (t_s >= it->start_s && t_s < it->end_s) return &*it;
+  return static_cast<const typename Episodes::value_type*>(nullptr);
+}
+
+}  // namespace
+
+PathState PathDynamics::at(double t_s) const {
+  t_s = std::clamp(t_s, 0.0, horizon_s_);
+  PathState state;
+  state.rtt_ms = base_rtt_ms_;
+  state.loss = base_loss_;
+  if (const auto* burst = find_episode(loss_bursts_, t_s)) {
+    (void)burst;
+    state.loss = std::max(base_loss_, params_.bad_loss);
+    state.in_loss_burst = true;
+  }
+  if (const auto* burst = find_episode(delay_bursts_, t_s)) {
+    state.rtt_ms += burst->extra_rtt_ms;
+    state.in_delay_burst = true;
+  }
+  return state;
+}
+
+double PathDynamics::mean_loss() const {
+  double bad_time = 0.0;
+  for (const auto& e : loss_bursts_) bad_time += e.end_s - e.start_s;
+  double frac = horizon_s_ > 0 ? bad_time / horizon_s_ : 0.0;
+  return base_loss_ * (1.0 - frac) + std::max(base_loss_, params_.bad_loss) * frac;
+}
+
+}  // namespace asap::voip

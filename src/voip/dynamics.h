@@ -1,0 +1,77 @@
+// Time-varying path quality: what a relay path looks like *during* a call.
+//
+// The paper's evaluation scores paths by static RTT/loss, but motivates
+// path switching and path diversity (Sec. 6.2, citing Liang et al. [15],
+// Nguyen & Zakhor [19] and Tao et al. [20]) precisely because real paths
+// fluctuate. This module models that fluctuation so those techniques can be
+// implemented and measured:
+//   * loss follows a Gilbert-Elliott two-state chain (good/bad bursts);
+//   * delay adds episodic congestion bursts (on/off renewal process) on
+//     top of the static base RTT.
+// A PathDynamics instance is deterministic given (seed, path id): episodes
+// are pre-sampled over the call horizon, so repeated queries agree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace asap::voip {
+
+struct DynamicsParams {
+  // Gilbert-Elliott: mean sojourn in the good/bad state, and the loss
+  // probability in the bad state. The good-state loss is the path's static
+  // base loss.
+  double good_mean_s = 60.0;
+  double bad_mean_s = 2.5;
+  double bad_loss = 0.15;
+  // Congestion bursts: exponential inter-arrival and duration; the delay
+  // added during a burst is uniform in [amp_min, amp_max].
+  double burst_interarrival_s = 90.0;
+  double burst_duration_s = 4.0;
+  Millis burst_amp_min_ms = 30.0;
+  Millis burst_amp_max_ms = 250.0;
+};
+
+// Sampled instantaneous quality of one path.
+struct PathState {
+  Millis rtt_ms = 0.0;
+  double loss = 0.0;
+  bool in_loss_burst = false;
+  bool in_delay_burst = false;
+};
+
+class PathDynamics {
+ public:
+  // `horizon_s` bounds the queryable time range; episodes are pre-sampled
+  // up to it. `path_salt` separates paths sharing a seed.
+  PathDynamics(Millis base_rtt_ms, double base_loss, double horizon_s,
+               const DynamicsParams& params, std::uint64_t seed, std::uint64_t path_salt);
+
+  // Path state at time t (seconds since call start), clamped to the horizon.
+  [[nodiscard]] PathState at(double t_s) const;
+
+  [[nodiscard]] Millis base_rtt_ms() const { return base_rtt_ms_; }
+  [[nodiscard]] double base_loss() const { return base_loss_; }
+
+  // Time-averaged loss over [0, horizon] (for tests).
+  [[nodiscard]] double mean_loss() const;
+
+ private:
+  struct Episode {
+    double start_s;
+    double end_s;
+    Millis extra_rtt_ms;  // 0 for pure loss episodes
+  };
+
+  Millis base_rtt_ms_;
+  double base_loss_;
+  double horizon_s_;
+  DynamicsParams params_;
+  std::vector<Episode> loss_bursts_;
+  std::vector<Episode> delay_bursts_;
+};
+
+}  // namespace asap::voip

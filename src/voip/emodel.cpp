@@ -1,0 +1,39 @@
+#include "voip/emodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asap::voip {
+
+double EModel::delay_impairment(Millis d) const {
+  double id = 0.024 * d;
+  if (d > 177.3) id += 0.11 * (d - 177.3);
+  return id;
+}
+
+double EModel::loss_impairment(double loss) const {
+  double ppl = std::clamp(loss, 0.0, 1.0) * 100.0;
+  return codec_.ie + (95.0 - codec_.ie) * ppl / (ppl + codec_.bpl);
+}
+
+double EModel::r_factor(Millis network_one_way_ms, double loss) const {
+  Millis mouth_to_ear = network_one_way_ms + codec_.codec_delay_ms + params_.playout_buffer_ms;
+  double r = params_.r0 - params_.is - delay_impairment(mouth_to_ear) - loss_impairment(loss) +
+             params_.advantage;
+  return std::clamp(r, 0.0, 100.0);
+}
+
+double EModel::mos_from_r(double r) {
+  if (r <= 0.0) return 1.0;
+  if (r >= 100.0) return 4.5;
+  double mos = 1.0 + 0.035 * r + 7.0e-6 * r * (r - 60.0) * (100.0 - r);
+  // G.107's cubic dips slightly below 1 for very small R; MOS is defined on
+  // [1, 4.5], so clamp.
+  return std::clamp(mos, 1.0, 4.5);
+}
+
+double EModel::mos_for_rtt(Millis rtt_ms, double loss) const {
+  return mos_from_r(r_factor(rtt_ms / 2.0, loss));
+}
+
+}  // namespace asap::voip

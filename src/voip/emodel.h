@@ -1,0 +1,57 @@
+// ITU-T G.107 E-Model: maps one-way ("mouth-to-ear") delay and packet loss
+// to an R transmission-rating factor and a Mean Opinion Score.
+//
+// The paper's evaluation (Sec. 7.2) computes each relay path's highest MOS
+// by "fixing the codec as G.729A+VAD, given the RTT and packet loss rate of
+// a path ... under the ITU-E-Model", with an assumed 0.5% average loss.
+#pragma once
+
+#include "voip/codec.h"
+#include "common/units.h"
+
+namespace asap::voip {
+
+struct EModelParams {
+  // Basic signal-to-noise rating with default G.107 settings.
+  double r0 = 93.2;
+  // Simultaneous impairments (quantization etc.); folded into r0's default.
+  double is = 0.0;
+  // Advantage factor; 0 for wired VoIP.
+  double advantage = 0.0;
+  // Fixed jitter/playout-buffer delay added to the network one-way delay.
+  Millis playout_buffer_ms = 30.0;
+};
+
+class EModel {
+ public:
+  explicit EModel(Codec codec, EModelParams params = {}) : codec_(codec), params_(params) {}
+
+  // Delay impairment Id for a mouth-to-ear delay d (G.107 simplified form,
+  // Cole & Rosenbluth): Id = 0.024 d + 0.11 (d - 177.3) H(d - 177.3).
+  [[nodiscard]] double delay_impairment(Millis mouth_to_ear_ms) const;
+
+  // Effective equipment impairment Ie-eff for a packet loss probability
+  // `loss` in [0, 1]: Ie + (95 - Ie) * Ppl / (Ppl + Bpl), Ppl in percent.
+  [[nodiscard]] double loss_impairment(double loss) const;
+
+  // R-factor for a *network* one-way delay (codec and playout delays are
+  // added internally) and loss probability. Clamped to [0, 100].
+  [[nodiscard]] double r_factor(Millis network_one_way_ms, double loss) const;
+
+  // MOS from R per G.107: 1 + 0.035 R + 7e-6 R (R-60)(100-R).
+  static double mos_from_r(double r);
+
+  // Convenience: MOS for a path RTT (one-way = RTT/2) and loss probability.
+  [[nodiscard]] double mos_for_rtt(Millis rtt_ms, double loss) const;
+
+  [[nodiscard]] const Codec& codec() const { return codec_; }
+
+ private:
+  Codec codec_;
+  EModelParams params_;
+};
+
+// The paper's satisfaction thresholds (Sec. 2 / Sec. 7.1).
+inline constexpr double kMosSatisfactionThreshold = 3.6;
+
+}  // namespace asap::voip

@@ -1,0 +1,68 @@
+#include "voip/jitter_buffer.h"
+
+#include <algorithm>
+
+namespace asap::voip {
+
+JitterBufferSim::JitterBufferSim(Millis base_one_way_ms, double network_loss,
+                                 std::size_t packets, const JitterParams& params, Rng& rng)
+    : base_one_way_ms_(base_one_way_ms), network_loss_(network_loss) {
+  extra_delay_ms_.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    if (rng.chance(network_loss)) {
+      extra_delay_ms_.push_back(-1.0);  // lost in the network
+      continue;
+    }
+    double jitter = rng.exponential(params.jitter_mean_ms);
+    if (rng.chance(params.spike_fraction)) jitter += params.spike_ms;
+    extra_delay_ms_.push_back(jitter);
+  }
+}
+
+PlayoutResult JitterBufferSim::play(Millis depth_ms, const EModel& emodel) const {
+  PlayoutResult result;
+  result.buffer_depth_ms = depth_ms;
+  std::size_t late = 0;
+  std::size_t network_lost = 0;
+  for (double extra : extra_delay_ms_) {
+    if (extra < 0.0) {
+      ++network_lost;
+    } else if (extra > depth_ms) {
+      // Arrived after its playout instant: discarded.
+      ++late;
+    }
+  }
+  auto n = static_cast<double>(extra_delay_ms_.size());
+  result.late_loss = n > 0 ? static_cast<double>(late) / n : 0.0;
+  double total_loss =
+      n > 0 ? static_cast<double>(late + network_lost) / n : 0.0;
+  result.mouth_to_ear_ms = base_one_way_ms_ + depth_ms;
+  // r_factor() adds its own (codec + default playout) delay; we model the
+  // buffer explicitly, so feed it the raw one-way and zero out the default.
+  EModelParams ep;
+  ep.playout_buffer_ms = 0.0;
+  EModel explicit_buffer(emodel.codec(), ep);
+  result.mos =
+      EModel::mos_from_r(explicit_buffer.r_factor(result.mouth_to_ear_ms, total_loss));
+  return result;
+}
+
+std::vector<PlayoutResult> JitterBufferSim::sweep(Millis max_depth_ms, Millis step_ms,
+                                                  const EModel& emodel) const {
+  std::vector<PlayoutResult> results;
+  for (Millis d = 0.0; d <= max_depth_ms + 1e-9; d += step_ms) {
+    results.push_back(play(d, emodel));
+  }
+  return results;
+}
+
+PlayoutResult JitterBufferSim::best_depth(Millis max_depth_ms, Millis step_ms,
+                                          const EModel& emodel) const {
+  auto results = sweep(max_depth_ms, step_ms, emodel);
+  return *std::max_element(results.begin(), results.end(),
+                           [](const PlayoutResult& a, const PlayoutResult& b) {
+                             return a.mos < b.mos;
+                           });
+}
+
+}  // namespace asap::voip

@@ -1,0 +1,66 @@
+// Playout (jitter) buffer simulation.
+//
+// The E-Model's delay term assumes a fixed playout buffer; this module
+// closes the loop: given per-packet network delays (base one-way + jitter),
+// a buffer of depth D plays packet i at send_time + D — packets arriving
+// later than their playout instant are late-lost. Deeper buffers trade
+// delay impairment for late loss; `sweep()` exposes that trade-off and
+// `best_depth()` picks the MOS-optimal operating point, which is how an
+// adaptive endpoint would size its buffer on a measured path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "voip/emodel.h"
+#include "common/rng.h"
+
+namespace asap::voip {
+
+struct JitterParams {
+  double frame_interval_ms = 20.0;  // 50 pps
+  // Per-packet jitter: exponential with this mean added to the base one-way
+  // delay (a standard single-sided jitter model).
+  double jitter_mean_ms = 8.0;
+  // A small fraction of packets are delayed much harder (bufferbloat spikes).
+  double spike_fraction = 0.01;
+  double spike_ms = 120.0;
+};
+
+// Result of playing a stream through one buffer depth.
+struct PlayoutResult {
+  Millis buffer_depth_ms = 0.0;
+  double late_loss = 0.0;        // fraction of packets missing their slot
+  Millis mouth_to_ear_ms = 0.0;  // network one-way + buffer depth
+  double mos = 1.0;              // E-Model MOS incl. late + network loss
+};
+
+class JitterBufferSim {
+ public:
+  // Pre-draws `packets` arrival offsets for a path with the given base
+  // one-way delay and network loss. Deterministic per rng state.
+  JitterBufferSim(Millis base_one_way_ms, double network_loss, std::size_t packets,
+                  const JitterParams& params, Rng& rng);
+
+  // Plays the stream through a buffer of depth `depth_ms`.
+  [[nodiscard]] PlayoutResult play(Millis depth_ms, const EModel& emodel) const;
+
+  // Sweeps depths [0, max_depth] in `step` increments.
+  [[nodiscard]] std::vector<PlayoutResult> sweep(Millis max_depth_ms, Millis step_ms,
+                                                 const EModel& emodel) const;
+
+  // The depth with the highest MOS over the sweep.
+  [[nodiscard]] PlayoutResult best_depth(Millis max_depth_ms, Millis step_ms,
+                                         const EModel& emodel) const;
+
+  [[nodiscard]] Millis base_one_way_ms() const { return base_one_way_ms_; }
+
+ private:
+  Millis base_one_way_ms_;
+  double network_loss_;
+  // Arrival delay beyond the base one-way, per packet; negative = network
+  // lost (never arrives).
+  std::vector<double> extra_delay_ms_;
+};
+
+}  // namespace asap::voip

@@ -1,0 +1,135 @@
+#include "voip/path_switching.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace asap::voip {
+
+namespace {
+
+// Windowed frame accounting folded into a MOS via the E-Model: observed
+// loss rate plus the mean one-way delay of delivered frames.
+struct Window {
+  std::size_t sent = 0;
+  std::size_t lost = 0;
+  double delay_sum_ms = 0.0;
+
+  [[nodiscard]] double mos(const EModel& emodel) const {
+    if (sent == 0) return EModel::mos_from_r(100.0);
+    double loss = static_cast<double>(lost) / static_cast<double>(sent);
+    std::size_t delivered = sent - lost;
+    double mean_rtt = delivered > 0 ? delay_sum_ms / static_cast<double>(delivered) : 0.0;
+    return emodel.mos_for_rtt(mean_rtt, loss);
+  }
+};
+
+}  // namespace
+
+CallQualityResult run_call(const std::vector<const PathDynamics*>& paths, PathPolicy policy,
+                           double duration_s, const EModel& emodel,
+                           const CallPolicyParams& params, Rng& rng) {
+  assert(!paths.empty());
+  CallQualityResult result;
+
+  std::size_t active = 0;  // index of the current primary path
+  double glitch_until_s = -1.0;
+  double holddown_until_s = 0.0;
+
+  Window window;
+  double window_end_s = params.window_s;
+
+  auto close_window = [&](double now_s) {
+    double mos = window.mos(emodel);
+    result.window_mos.push_back(mos);
+    result.min_window_mos = std::min(result.min_window_mos, mos);
+
+    if (policy == PathPolicy::kSwitching && now_s >= holddown_until_s &&
+        mos < params.switch_mos_threshold && paths.size() > 1) {
+      // The bad window justifies a probe round; switch only if the current
+      // path *still* looks bad right now (a burst that already ended is no
+      // reason to pay the switch glitch) and a candidate looks clearly
+      // better at this instant.
+      PathState cur = paths[active]->at(now_s);
+      double current_now = emodel.mos_for_rtt(cur.rtt_ms, cur.loss);
+      if (current_now < params.switch_mos_threshold) {
+        std::size_t best = active;
+        double best_mos = current_now;
+        for (std::size_t i = 0; i < paths.size(); ++i) {
+          if (i == active) continue;
+          PathState s = paths[i]->at(now_s);
+          double candidate = emodel.mos_for_rtt(s.rtt_ms, s.loss);
+          if (candidate > best_mos + params.switch_margin) {
+            best = i;
+            best_mos = candidate;
+          }
+        }
+        if (best != active) {
+          active = best;
+          ++result.switches;
+          glitch_until_s = now_s + params.switch_glitch_s;
+          holddown_until_s = now_s + params.switch_holddown_s;
+        }
+      }
+    }
+    window = Window{};
+  };
+
+  // Integer frame count avoids floating-point drift adding a stray frame.
+  auto total_frames = static_cast<std::size_t>(duration_s / params.frame_interval_s + 0.5);
+  for (std::size_t frame = 0; frame < total_frames; ++frame) {
+    double t = static_cast<double>(frame) * params.frame_interval_s;
+    while (t >= window_end_s) {
+      close_window(window_end_s);
+      window_end_s += params.window_s;
+    }
+    ++result.frames_sent;
+    ++window.sent;
+
+    if (t < glitch_until_s) {
+      ++result.frames_lost;
+      ++window.lost;
+      continue;
+    }
+
+    if (policy == PathPolicy::kDiversity && paths.size() > 1) {
+      PathState a = paths[0]->at(t);
+      PathState b = paths[1]->at(t);
+      bool lost_a = rng.chance(a.loss);
+      bool lost_b = rng.chance(b.loss);
+      if (lost_a && lost_b) {
+        ++result.frames_lost;
+        ++window.lost;
+      } else {
+        Millis rtt = kUnreachableMs;
+        if (!lost_a) rtt = std::min(rtt, a.rtt_ms);
+        if (!lost_b) rtt = std::min(rtt, b.rtt_ms);
+        window.delay_sum_ms += rtt;
+      }
+      continue;
+    }
+
+    PathState s = paths[active]->at(t);
+    if (rng.chance(s.loss)) {
+      ++result.frames_lost;
+      ++window.lost;
+    } else {
+      window.delay_sum_ms += s.rtt_ms;
+    }
+  }
+  if (window.sent > 0) close_window(duration_s);
+
+  if (!result.window_mos.empty()) {
+    double sum = 0.0;
+    std::size_t unsatisfied = 0;
+    for (double mos : result.window_mos) {
+      sum += mos;
+      if (mos < kMosSatisfactionThreshold) ++unsatisfied;
+    }
+    result.mean_mos = sum / static_cast<double>(result.window_mos.size());
+    result.unsatisfied_fraction =
+        static_cast<double>(unsatisfied) / static_cast<double>(result.window_mos.size());
+  }
+  return result;
+}
+
+}  // namespace asap::voip

@@ -1,0 +1,72 @@
+// Path switching and path diversity over dynamic relay paths — the
+// techniques the paper says "can be used in combination with ASAP to
+// transmit voice packets" (Sec. 6.2, citing Liang/Steinbach/Girod,
+// Nguyen & Zakhor, and Tao et al.).
+//
+// A call is simulated frame by frame (20 ms) over one or more PathDynamics
+// instances:
+//   * kStatic        — stay on the primary path for the whole call;
+//   * kSwitching     — monitor windowed quality; when the active path's
+//                      window MOS drops below a threshold and another
+//                      candidate looks better, switch (paying a glitch:
+//                      a brief burst of late/lost frames);
+//   * kDiversity     — send every frame on the two best paths; a frame is
+//                      lost only if both copies are, and plays at the
+//                      earlier arrival (Liang et al.'s packet path
+//                      diversity).
+// The output is a per-window MOS time series plus call-level aggregates.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "voip/dynamics.h"
+#include "voip/emodel.h"
+
+namespace asap::voip {
+
+enum class PathPolicy : std::uint8_t { kStatic = 0, kSwitching = 1, kDiversity = 2 };
+
+constexpr std::string_view policy_name(PathPolicy p) {
+  switch (p) {
+    case PathPolicy::kStatic: return "static";
+    case PathPolicy::kSwitching: return "switching";
+    case PathPolicy::kDiversity: return "diversity";
+  }
+  return "?";
+}
+
+struct CallPolicyParams {
+  double frame_interval_s = 0.02;   // 50 pps
+  double window_s = 1.0;            // quality-evaluation window
+  double switch_mos_threshold = 3.6;  // switch when window MOS drops below
+  // Minimum MOS advantage the alternative must show to justify a switch.
+  double switch_margin = 0.15;
+  // A switch disrupts this long (frames during it count as lost).
+  double switch_glitch_s = 0.15;
+  // Cool-down between switches.
+  double switch_holddown_s = 4.0;
+};
+
+struct CallQualityResult {
+  std::vector<double> window_mos;  // one entry per window
+  double mean_mos = 0.0;
+  double min_window_mos = 5.0;
+  // Fraction of windows below the satisfaction bar (MOS 3.6).
+  double unsatisfied_fraction = 0.0;
+  std::size_t switches = 0;
+  std::size_t frames_sent = 0;
+  std::size_t frames_lost = 0;
+};
+
+// Simulates a call of `duration_s` over `paths` (candidate relay paths,
+// best-estimate first) under `policy`. `paths` must be non-empty;
+// kDiversity uses the first two (or one, degenerating to kStatic). Frame
+// losses are drawn from the path's instantaneous loss probability using
+// `rng` (deterministic per caller-supplied stream).
+CallQualityResult run_call(const std::vector<const PathDynamics*>& paths, PathPolicy policy,
+                           double duration_s, const EModel& emodel,
+                           const CallPolicyParams& params, Rng& rng);
+
+}  // namespace asap::voip

@@ -1,0 +1,20 @@
+// VoIP quality predicates shared by the evaluation harnesses.
+#pragma once
+
+#include "voip/emodel.h"
+#include "common/units.h"
+
+namespace asap::voip {
+
+// The paper calls a relay path a "quality path" when its RTT meets the
+// 300 ms requirement (Sec. 7.1 metric 1).
+[[nodiscard]] constexpr bool is_quality_rtt(Millis rtt_ms) {
+  return rtt_ms < kQualityRttThresholdMs;
+}
+
+// User-satisfaction verdict for a full path (RTT + loss) under a codec.
+[[nodiscard]] inline bool is_satisfactory(const EModel& model, Millis rtt_ms, double loss) {
+  return is_quality_rtt(rtt_ms) && model.mos_for_rtt(rtt_ms, loss) >= kMosSatisfactionThreshold;
+}
+
+}  // namespace asap::voip

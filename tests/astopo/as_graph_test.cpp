@@ -1,0 +1,100 @@
+#include "astopo/as_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace asap::astopo {
+namespace {
+
+TEST(Relationship, ReverseIsInvolution) {
+  for (LinkType t : {LinkType::kToProvider, LinkType::kToCustomer, LinkType::kToPeer,
+                     LinkType::kToSibling}) {
+    EXPECT_EQ(reverse(reverse(t)), t);
+  }
+  EXPECT_EQ(reverse(LinkType::kToProvider), LinkType::kToCustomer);
+  EXPECT_EQ(reverse(LinkType::kToPeer), LinkType::kToPeer);
+}
+
+TEST(Relationship, ValleyFreeTransitions) {
+  PathState next;
+  // Uphill keeps climbing.
+  EXPECT_TRUE(can_extend(PathState::kUp, LinkType::kToProvider, next));
+  EXPECT_EQ(next, PathState::kUp);
+  // One peer crossing allowed from the up phase.
+  EXPECT_TRUE(can_extend(PathState::kUp, LinkType::kToPeer, next));
+  EXPECT_EQ(next, PathState::kPeer);
+  // After a peer link, only downhill.
+  EXPECT_FALSE(can_extend(PathState::kPeer, LinkType::kToPeer, next));
+  EXPECT_FALSE(can_extend(PathState::kPeer, LinkType::kToProvider, next));
+  EXPECT_TRUE(can_extend(PathState::kPeer, LinkType::kToCustomer, next));
+  EXPECT_EQ(next, PathState::kDown);
+  // Once descending, never climb or peer again (no valleys).
+  EXPECT_FALSE(can_extend(PathState::kDown, LinkType::kToProvider, next));
+  EXPECT_FALSE(can_extend(PathState::kDown, LinkType::kToPeer, next));
+  EXPECT_TRUE(can_extend(PathState::kDown, LinkType::kToCustomer, next));
+  // Siblings are transparent in every phase.
+  for (PathState s : {PathState::kUp, PathState::kPeer, PathState::kDown}) {
+    EXPECT_TRUE(can_extend(s, LinkType::kToSibling, next));
+    EXPECT_EQ(next, s);
+  }
+}
+
+TEST(AsGraph, AddAndQuery) {
+  AsGraph g;
+  AsId a = g.add_as(100, AsTier::kTier1);
+  AsId b = g.add_as(200, AsTier::kStub);
+  EXPECT_EQ(g.as_count(), 2u);
+  EXPECT_EQ(g.node(a).asn, 100u);
+  EXPECT_EQ(g.node(b).tier, AsTier::kStub);
+
+  auto edge = g.add_edge(b, a, LinkType::kToProvider);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(a), 1u);
+  EXPECT_EQ(g.degree(b), 1u);
+  EXPECT_EQ(g.edge_endpoints(edge), std::make_pair(b, a));
+}
+
+TEST(AsGraph, AdjacencyIsSymmetricWithReversedTypes) {
+  AsGraph g;
+  AsId a = g.add_as(1);
+  AsId b = g.add_as(2);
+  g.add_edge(a, b, LinkType::kToProvider);
+  ASSERT_EQ(g.neighbors(a).size(), 1u);
+  ASSERT_EQ(g.neighbors(b).size(), 1u);
+  EXPECT_EQ(g.neighbors(a)[0].neighbor, b);
+  EXPECT_EQ(g.neighbors(a)[0].type, LinkType::kToProvider);
+  EXPECT_EQ(g.neighbors(b)[0].neighbor, a);
+  EXPECT_EQ(g.neighbors(b)[0].type, LinkType::kToCustomer);
+  EXPECT_EQ(g.neighbors(a)[0].edge_id, g.neighbors(b)[0].edge_id);
+}
+
+TEST(AsGraph, LinkBetween) {
+  AsGraph g;
+  AsId a = g.add_as(1);
+  AsId b = g.add_as(2);
+  AsId c = g.add_as(3);
+  g.add_edge(a, b, LinkType::kToPeer);
+  EXPECT_EQ(g.link_between(a, b), LinkType::kToPeer);
+  EXPECT_EQ(g.link_between(b, a), LinkType::kToPeer);
+  EXPECT_FALSE(g.link_between(a, c).has_value());
+}
+
+TEST(AsGraph, FindByAsn) {
+  AsGraph g;
+  g.add_as(10);
+  AsId b = g.add_as(20);
+  EXPECT_EQ(g.find_by_asn(20), b);
+  EXPECT_FALSE(g.find_by_asn(99).has_value());
+}
+
+TEST(AsGraph, ValidateAcceptsWellFormed) {
+  AsGraph g;
+  AsId a = g.add_as(1);
+  AsId b = g.add_as(2);
+  AsId c = g.add_as(3);
+  g.add_edge(a, b, LinkType::kToProvider);
+  g.add_edge(b, c, LinkType::kToPeer);
+  EXPECT_TRUE(g.validate());
+}
+
+}  // namespace
+}  // namespace asap::astopo

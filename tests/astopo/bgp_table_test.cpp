@@ -1,0 +1,129 @@
+#include "astopo/bgp_table.h"
+
+#include <gtest/gtest.h>
+
+#include "astopo/topology_gen.h"
+#include "common/rng.h"
+
+namespace asap::astopo {
+namespace {
+
+TEST(BgpRib, SerializeParseRoundTrip) {
+  BgpRib rib;
+  rib.add(RibEntry{*Prefix::parse("10.0.0.0/8"), {100, 200, 300}});
+  rib.add(RibEntry{*Prefix::parse("192.168.0.0/16"), {100, 400}});
+  std::string text = rib.serialize();
+  auto parsed = BgpRib::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->entries()[0].prefix.to_string(), "10.0.0.0/8");
+  EXPECT_EQ(parsed->entries()[0].as_path, (std::vector<std::uint32_t>{100, 200, 300}));
+  EXPECT_EQ(parsed->entries()[1].as_path, (std::vector<std::uint32_t>{100, 400}));
+}
+
+TEST(BgpRib, ParseRejectsMalformed) {
+  EXPECT_FALSE(BgpRib::parse("X|10.0.0.0/8|1 2").has_value());
+  EXPECT_FALSE(BgpRib::parse("R|10.0.0.0/8").has_value());       // no path separator
+  EXPECT_FALSE(BgpRib::parse("R|10.0.0.1/8|1 2").has_value());   // non-canonical prefix
+  EXPECT_FALSE(BgpRib::parse("R|10.0.0.0/8|").has_value());      // empty path
+  EXPECT_FALSE(BgpRib::parse("R|10.0.0.0/8|1 x").has_value());   // bad ASN
+}
+
+TEST(BgpRib, OriginLookupUsesLongestMatch) {
+  BgpRib rib;
+  rib.add(RibEntry{*Prefix::parse("10.0.0.0/8"), {1, 2, 8}});
+  rib.add(RibEntry{*Prefix::parse("10.1.0.0/16"), {1, 3, 16}});
+  EXPECT_EQ(rib.origin_of(Ipv4Addr(10, 1, 2, 3)), 16u);
+  EXPECT_EQ(rib.origin_of(Ipv4Addr(10, 2, 2, 3)), 8u);
+  EXPECT_EQ(rib.origin_of(Ipv4Addr(11, 0, 0, 1)), 0u);
+  EXPECT_EQ(rib.matched_prefix(Ipv4Addr(10, 1, 2, 3))->to_string(), "10.1.0.0/16");
+}
+
+TEST(BgpRib, UpdatesApply) {
+  BgpRib rib;
+  rib.add(RibEntry{*Prefix::parse("10.0.0.0/8"), {1, 8}});
+  // Withdraw removes.
+  rib.apply(BgpUpdate{BgpUpdate::Kind::kWithdraw, *Prefix::parse("10.0.0.0/8"), {}});
+  EXPECT_EQ(rib.size(), 0u);
+  EXPECT_EQ(rib.origin_of(Ipv4Addr(10, 0, 0, 1)), 0u);
+  // Announce inserts.
+  rib.apply(BgpUpdate{BgpUpdate::Kind::kAnnounce, *Prefix::parse("10.0.0.0/8"), {2, 9}});
+  EXPECT_EQ(rib.origin_of(Ipv4Addr(10, 0, 0, 1)), 9u);
+  // Re-announce replaces the path.
+  rib.apply(BgpUpdate{BgpUpdate::Kind::kAnnounce, *Prefix::parse("10.0.0.0/8"), {2, 7}});
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_EQ(rib.origin_of(Ipv4Addr(10, 0, 0, 1)), 7u);
+}
+
+TEST(BgpUpdate, ParseSerializeRoundTrip) {
+  auto announce = parse_update("A|10.0.0.0/8|1 2 3");
+  ASSERT_TRUE(announce.has_value());
+  EXPECT_EQ(announce->kind, BgpUpdate::Kind::kAnnounce);
+  EXPECT_EQ(serialize_update(*announce), "A|10.0.0.0/8|1 2 3");
+
+  auto withdraw = parse_update("W|10.0.0.0/8");
+  ASSERT_TRUE(withdraw.has_value());
+  EXPECT_EQ(withdraw->kind, BgpUpdate::Kind::kWithdraw);
+  EXPECT_EQ(serialize_update(*withdraw), "W|10.0.0.0/8");
+
+  EXPECT_FALSE(parse_update("Z|10.0.0.0/8").has_value());
+  EXPECT_FALSE(parse_update("A|10.0.0.0/8").has_value());
+}
+
+TEST(BgpRib, ExtractLinksDeduplicatesAndCollapsesPrepending) {
+  BgpRib rib;
+  rib.add(RibEntry{*Prefix::parse("10.0.0.0/8"), {1, 2, 2, 2, 3}});  // prepending
+  rib.add(RibEntry{*Prefix::parse("11.0.0.0/8"), {1, 2, 3}});
+  auto links = rib.extract_links();
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0], std::make_pair(1u, 2u));
+  EXPECT_EQ(links[1], std::make_pair(2u, 3u));
+}
+
+TEST(PrefixAllocation, DisjointAndCoversAllAses) {
+  TopologyParams topo_params;
+  topo_params.total_as = 200;
+  Rng rng(3);
+  Topology topo = generate_topology(topo_params, rng);
+  PrefixAllocationParams params;
+  auto alloc = allocate_prefixes(topo.graph, topo.stubs, params, rng);
+
+  // Every AS originates at least one prefix.
+  std::vector<int> count(topo.graph.as_count(), 0);
+  for (const auto& [prefix, as] : alloc.prefixes) ++count[as.value()];
+  for (int c : count) EXPECT_GE(c, params.min_prefixes_per_as);
+
+  // Host ASes get the extra prefixes.
+  EXPECT_GE(count[topo.stubs.front().value()],
+            params.min_prefixes_per_as + params.extra_host_prefixes);
+
+  // Pairwise disjoint (no prefix covers another).
+  for (std::size_t i = 0; i < alloc.prefixes.size(); ++i) {
+    for (std::size_t j = i + 1; j < std::min(alloc.prefixes.size(), i + 50); ++j) {
+      EXPECT_FALSE(alloc.prefixes[i].first.covers(alloc.prefixes[j].first));
+      EXPECT_FALSE(alloc.prefixes[j].first.covers(alloc.prefixes[i].first));
+    }
+  }
+}
+
+TEST(BuildRib, PathsStartAtObserverAndEndAtOrigin) {
+  TopologyParams topo_params;
+  topo_params.total_as = 150;
+  Rng rng(5);
+  Topology topo = generate_topology(topo_params, rng);
+  PrefixAllocationParams params;
+  auto alloc = allocate_prefixes(topo.graph, {}, params, rng);
+  AsId observer = topo.stubs.front();
+  BgpRib rib = build_rib(topo.graph, alloc, observer);
+  EXPECT_GT(rib.size(), 0u);
+  std::uint32_t observer_asn = topo.graph.node(observer).asn;
+  for (const auto& entry : rib.entries()) {
+    ASSERT_FALSE(entry.as_path.empty());
+    // Either the observer originates the prefix itself, or the path starts
+    // at the observer.
+    EXPECT_EQ(entry.as_path.front(), observer_asn);
+  }
+}
+
+}  // namespace
+}  // namespace asap::astopo

@@ -1,0 +1,113 @@
+#include "astopo/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace asap::astopo {
+namespace {
+
+TEST(PrefixTrie, InsertAndExactFind) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(*Prefix::parse("10.0.0.0/8"), 1));
+  EXPECT_TRUE(trie.insert(*Prefix::parse("10.1.0.0/16"), 2));
+  EXPECT_FALSE(trie.insert(*Prefix::parse("10.0.0.0/8"), 3));  // overwrite
+  EXPECT_EQ(trie.size(), 2u);
+  EXPECT_EQ(trie.find_exact(*Prefix::parse("10.0.0.0/8")), 3);
+  EXPECT_EQ(trie.find_exact(*Prefix::parse("10.1.0.0/16")), 2);
+  EXPECT_FALSE(trie.find_exact(*Prefix::parse("10.2.0.0/16")).has_value());
+}
+
+TEST(PrefixTrie, LongestPrefixMatchWins) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 24);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 3)), 24);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 9, 1)), 16);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 9, 9, 9)), 8);
+  EXPECT_FALSE(trie.lookup(Ipv4Addr(11, 0, 0, 1)).has_value());
+}
+
+TEST(PrefixTrie, LookupPrefixReturnsMatchedPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("192.168.0.0/16"), 1);
+  trie.insert(*Prefix::parse("192.168.4.0/22"), 2);
+  auto hit = trie.lookup_prefix(Ipv4Addr(192, 168, 5, 1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first.to_string(), "192.168.4.0/22");
+  EXPECT_EQ(hit->second, 2);
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix(Ipv4Addr(0), 0), 99);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(1, 2, 3, 4)), 99);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(255, 255, 255, 255)), 99);
+}
+
+TEST(PrefixTrie, EraseRemovesValue) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 2);
+  EXPECT_TRUE(trie.erase(*Prefix::parse("10.1.0.0/16")));
+  EXPECT_FALSE(trie.erase(*Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(trie.size(), 1u);
+  // Falls back to the covering prefix.
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 0, 1)), 1);
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInAddressOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("20.0.0.0/8"), 2);
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("10.128.0.0/9"), 3);
+  std::vector<std::string> seen;
+  trie.for_each([&](const Prefix& p, int) { seen.push_back(p.to_string()); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "10.0.0.0/8");
+  EXPECT_EQ(seen[1], "10.128.0.0/9");
+  EXPECT_EQ(seen[2], "20.0.0.0/8");
+}
+
+// Property check: trie LPM agrees with a brute-force scan over random
+// prefixes and random query addresses.
+TEST(PrefixTrie, MatchesBruteForceOnRandomData) {
+  Rng rng(1234);
+  PrefixTrie<std::size_t> trie;
+  std::vector<Prefix> prefixes;
+  for (std::size_t i = 0; i < 300; ++i) {
+    int len = static_cast<int>(rng.range(6, 28));
+    Prefix p(Ipv4Addr(static_cast<std::uint32_t>(rng.next())), len);
+    if (trie.insert(p, i)) prefixes.push_back(p);
+  }
+  // Re-insert ids so values match positions after dedup.
+  trie = PrefixTrie<std::size_t>();
+  for (std::size_t i = 0; i < prefixes.size(); ++i) trie.insert(prefixes[i], i);
+
+  for (int q = 0; q < 2000; ++q) {
+    Ipv4Addr ip(static_cast<std::uint32_t>(rng.next()));
+    // Brute force: longest covering prefix.
+    int best_len = -1;
+    std::size_t best_val = 0;
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      if (prefixes[i].contains(ip) && prefixes[i].length() > best_len) {
+        best_len = prefixes[i].length();
+        best_val = i;
+      }
+    }
+    auto hit = trie.lookup(ip);
+    if (best_len < 0) {
+      EXPECT_FALSE(hit.has_value());
+    } else {
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(*hit, best_val);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asap::astopo

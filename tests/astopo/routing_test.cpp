@@ -1,0 +1,169 @@
+#include "astopo/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "astopo/topology_gen.h"
+#include "astopo/valley_free.h"
+#include "common/rng.h"
+
+namespace asap::astopo {
+namespace {
+
+// Hand-built graph reproducing the paper's Fig. 4 (left): two stubs under
+// separate hierarchies, with valley-free policy forcing the long way round.
+//
+//        T1a ---peer--- T1b
+//         |              |
+//        M1             M2        (tier-2)
+//       /   \          /
+//      A     B        C           (stubs; B multi-homed to M1 and M2)
+struct Fig4Graph {
+  AsGraph g;
+  AsId t1a, t1b, m1, m2, a, b, c;
+
+  Fig4Graph() {
+    t1a = g.add_as(1, AsTier::kTier1);
+    t1b = g.add_as(2, AsTier::kTier1);
+    m1 = g.add_as(10, AsTier::kTier2);
+    m2 = g.add_as(20, AsTier::kTier2);
+    a = g.add_as(100, AsTier::kStub);
+    b = g.add_as(200, AsTier::kStub);
+    c = g.add_as(300, AsTier::kStub);
+    g.add_edge(t1a, t1b, LinkType::kToPeer);
+    g.add_edge(m1, t1a, LinkType::kToProvider);
+    g.add_edge(m2, t1b, LinkType::kToProvider);
+    g.add_edge(a, m1, LinkType::kToProvider);
+    g.add_edge(b, m1, LinkType::kToProvider);
+    g.add_edge(b, m2, LinkType::kToProvider);
+    g.add_edge(c, m2, LinkType::kToProvider);
+  }
+};
+
+TEST(Routing, SelfRouteHasZeroHops) {
+  Fig4Graph f;
+  RouteTable t = compute_routes(f.g, f.a);
+  EXPECT_EQ(t.entry(f.a).cls, RouteClass::kSelf);
+  EXPECT_EQ(t.entry(f.a).hops, 0);
+}
+
+TEST(Routing, CustomerRoutesPreferred) {
+  Fig4Graph f;
+  // Routes toward stub A: its provider M1 learns a customer route.
+  RouteTable t = compute_routes(f.g, f.a);
+  EXPECT_EQ(t.entry(f.m1).cls, RouteClass::kCustomer);
+  EXPECT_EQ(t.entry(f.m1).hops, 1);
+  EXPECT_EQ(t.entry(f.t1a).cls, RouteClass::kCustomer);
+  EXPECT_EQ(t.entry(f.t1a).hops, 2);
+  // T1b only hears it across the peering link.
+  EXPECT_EQ(t.entry(f.t1b).cls, RouteClass::kPeer);
+  EXPECT_EQ(t.entry(f.t1b).hops, 3);
+  // M2 gets it from its provider T1b.
+  EXPECT_EQ(t.entry(f.m2).cls, RouteClass::kProvider);
+  EXPECT_EQ(t.entry(f.m2).hops, 4);
+  EXPECT_EQ(t.entry(f.c).cls, RouteClass::kProvider);
+  EXPECT_EQ(t.entry(f.c).hops, 5);
+}
+
+TEST(Routing, MultiHomedStubReachedViaBothProviders) {
+  Fig4Graph f;
+  RouteTable t = compute_routes(f.g, f.b);
+  // C reaches B through M2 directly (2 hops), not across the backbone.
+  EXPECT_EQ(t.entry(f.c).hops, 2);
+  auto path = t.path(f.c);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], f.c);
+  EXPECT_EQ(path[1], f.m2);
+  EXPECT_EQ(path[2], f.b);
+  // A reaches B inside M1 (2 hops).
+  EXPECT_EQ(t.entry(f.a).hops, 2);
+}
+
+TEST(Routing, PathEndsAtDestination) {
+  Fig4Graph f;
+  RouteTable t = compute_routes(f.g, f.c);
+  auto path = t.path(f.a);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), f.a);
+  EXPECT_EQ(path.back(), f.c);
+  // A -> M1 -> T1a -> T1b -> M2 -> C: 5 AS hops.
+  EXPECT_EQ(path.size(), 6u);
+}
+
+TEST(Routing, UnreachableWithoutAnyRoute) {
+  AsGraph g;
+  AsId a = g.add_as(1);
+  AsId b = g.add_as(2);  // isolated
+  RouteTable t = compute_routes(g, a);
+  EXPECT_FALSE(t.reachable(b));
+  EXPECT_TRUE(t.path(b).empty());
+}
+
+TEST(Routing, PeerRouteNotExportedToPeers) {
+  // X -peer- Y -peer- Z in a row: Z must NOT reach X (peer routes are not
+  // re-exported over peering), unless it has another way.
+  AsGraph g;
+  AsId x = g.add_as(1);
+  AsId y = g.add_as(2);
+  AsId z = g.add_as(3);
+  g.add_edge(x, y, LinkType::kToPeer);
+  g.add_edge(y, z, LinkType::kToPeer);
+  RouteTable t = compute_routes(g, x);
+  EXPECT_EQ(t.entry(y).cls, RouteClass::kPeer);
+  EXPECT_FALSE(t.reachable(z));
+}
+
+TEST(Routing, CustomerDoesNotTransitForProviders) {
+  // P1 and P2 both providers of C; no other connectivity. P1 must not reach
+  // P2 through their shared customer (valley).
+  AsGraph g;
+  AsId p1 = g.add_as(1);
+  AsId p2 = g.add_as(2);
+  AsId c = g.add_as(3);
+  g.add_edge(c, p1, LinkType::kToProvider);
+  g.add_edge(c, p2, LinkType::kToProvider);
+  RouteTable t = compute_routes(g, p2);
+  EXPECT_TRUE(t.reachable(c));
+  EXPECT_FALSE(t.reachable(p1)) << "path P1-C-P2 would be a valley";
+}
+
+// Property: on a generated topology, every selected path is valley-free,
+// loop-free and ends at the destination.
+TEST(Routing, GeneratedTopologyPathsAreValleyFree) {
+  TopologyParams params;
+  params.total_as = 400;
+  Rng rng(99);
+  Topology topo = generate_topology(params, rng);
+  for (std::uint64_t trial = 0; trial < 30; ++trial) {
+    AsId dest(static_cast<std::uint32_t>(rng.below(topo.graph.as_count())));
+    RouteTable t = compute_routes(topo.graph, dest);
+    for (std::uint64_t s = 0; s < 40; ++s) {
+      AsId src(static_cast<std::uint32_t>(rng.below(topo.graph.as_count())));
+      if (!t.reachable(src)) continue;
+      auto path = t.path(src);
+      EXPECT_EQ(path.back(), dest);
+      EXPECT_TRUE(is_valley_free(topo.graph, path))
+          << "policy-selected path must be valley-free";
+      // Loop-free: all entries distinct.
+      std::set<std::uint32_t> seen;
+      for (AsId as : path) EXPECT_TRUE(seen.insert(as.value()).second);
+      // Hop count consistent with path length.
+      EXPECT_EQ(path.size(), static_cast<std::size_t>(t.entry(src).hops) + 1);
+    }
+  }
+}
+
+TEST(Routing, EverythingReachableOnGeneratedTopology) {
+  TopologyParams params;
+  params.total_as = 300;
+  Rng rng(5);
+  Topology topo = generate_topology(params, rng);
+  RouteTable t = compute_routes(topo.graph, topo.stubs.front());
+  std::size_t unreachable = 0;
+  for (std::uint32_t i = 0; i < topo.graph.as_count(); ++i) {
+    if (!t.reachable(AsId(i))) ++unreachable;
+  }
+  EXPECT_EQ(unreachable, 0u) << "hierarchy with a tier-1 clique is fully connected";
+}
+
+}  // namespace
+}  // namespace asap::astopo

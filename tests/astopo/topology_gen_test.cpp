@@ -1,0 +1,130 @@
+#include "astopo/topology_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace asap::astopo {
+namespace {
+
+Topology make(std::uint64_t seed, std::size_t total = 800) {
+  TopologyParams params;
+  params.total_as = total;
+  Rng rng(seed);
+  return generate_topology(params, rng);
+}
+
+TEST(TopologyGen, ProducesRequestedShape) {
+  Topology topo = make(1);
+  TopologyParams defaults;
+  EXPECT_EQ(topo.graph.as_count(), 800u);
+  EXPECT_EQ(topo.tier1.size(), defaults.tier1_count);
+  EXPECT_EQ(topo.tier1.size() + topo.tier2.size() + topo.stubs.size(), 800u);
+  EXPECT_EQ(topo.continent_centers.size(), defaults.continents);
+  EXPECT_TRUE(topo.graph.validate());
+}
+
+TEST(TopologyGen, DeterministicForSameSeed) {
+  Topology a = make(7);
+  Topology b = make(7);
+  ASSERT_EQ(a.graph.as_count(), b.graph.as_count());
+  ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  for (std::uint32_t i = 0; i < a.graph.as_count(); ++i) {
+    EXPECT_EQ(a.graph.node(AsId(i)).asn, b.graph.node(AsId(i)).asn);
+  }
+  for (std::uint32_t e = 0; e < a.graph.edge_count(); ++e) {
+    EXPECT_EQ(a.graph.edge_endpoints(e), b.graph.edge_endpoints(e));
+  }
+}
+
+TEST(TopologyGen, Tier1FormsPeeringClique) {
+  Topology topo = make(3);
+  for (std::size_t i = 0; i < topo.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.tier1.size(); ++j) {
+      auto link = topo.graph.link_between(topo.tier1[i], topo.tier1[j]);
+      ASSERT_TRUE(link.has_value());
+      EXPECT_EQ(*link, LinkType::kToPeer);
+    }
+  }
+}
+
+TEST(TopologyGen, Tier1HasNoProviders) {
+  Topology topo = make(5);
+  for (AsId t1 : topo.tier1) {
+    for (const auto& adj : topo.graph.neighbors(t1)) {
+      EXPECT_NE(adj.type, LinkType::kToProvider)
+          << "tier-1 AS must not be anyone's customer";
+    }
+  }
+}
+
+TEST(TopologyGen, EveryNonTier1HasAProvider) {
+  Topology topo = make(9);
+  for (const auto& group : {topo.tier2, topo.stubs}) {
+    for (AsId as : group) {
+      bool has_provider = false;
+      for (const auto& adj : topo.graph.neighbors(as)) {
+        if (adj.type == LinkType::kToProvider) has_provider = true;
+      }
+      EXPECT_TRUE(has_provider) << "AS " << topo.graph.node(as).asn;
+    }
+  }
+}
+
+TEST(TopologyGen, StubsNeverTransit) {
+  Topology topo = make(11);
+  for (AsId stub : topo.stubs) {
+    for (const auto& adj : topo.graph.neighbors(stub)) {
+      // A stub may have providers and peers, but never customers.
+      EXPECT_NE(adj.type, LinkType::kToCustomer);
+    }
+  }
+}
+
+TEST(TopologyGen, MultiHomedStubsExist) {
+  Topology topo = make(13);
+  std::size_t multihomed = 0;
+  for (AsId stub : topo.stubs) {
+    std::size_t providers = 0;
+    for (const auto& adj : topo.graph.neighbors(stub)) {
+      if (adj.type == LinkType::kToProvider) ++providers;
+    }
+    if (providers >= 2) ++multihomed;
+  }
+  // ~45% configured; allow broad tolerance.
+  double fraction = static_cast<double>(multihomed) / static_cast<double>(topo.stubs.size());
+  EXPECT_GT(fraction, 0.25);
+  EXPECT_LT(fraction, 0.65);
+}
+
+TEST(TopologyGen, AsnsAreUniqueAndPositive) {
+  Topology topo = make(17);
+  std::vector<std::uint32_t> asns;
+  for (std::uint32_t i = 0; i < topo.graph.as_count(); ++i) {
+    asns.push_back(topo.graph.node(AsId(i)).asn);
+    EXPECT_GT(asns.back(), 0u);
+  }
+  std::sort(asns.begin(), asns.end());
+  EXPECT_EQ(std::adjacent_find(asns.begin(), asns.end()), asns.end());
+}
+
+TEST(TopologyGen, DegreeDistributionIsSkewed) {
+  Topology topo = make(19, 2000);
+  std::size_t max_degree = 0;
+  for (std::uint32_t i = 0; i < topo.graph.as_count(); ++i) {
+    max_degree = std::max(max_degree, topo.graph.degree(AsId(i)));
+  }
+  double mean_degree =
+      2.0 * static_cast<double>(topo.graph.edge_count()) /
+      static_cast<double>(topo.graph.as_count());
+  // Preferential attachment: hubs far above the mean.
+  EXPECT_GT(static_cast<double>(max_degree), mean_degree * 10);
+}
+
+TEST(GeoDistance, EuclideanOnTheMap) {
+  EXPECT_DOUBLE_EQ(geo_distance_km({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(geo_distance_km({1, 1}, {1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace asap::astopo

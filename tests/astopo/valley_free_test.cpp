@@ -1,0 +1,137 @@
+#include "astopo/valley_free.h"
+
+#include <gtest/gtest.h>
+
+#include "astopo/routing.h"
+#include "astopo/topology_gen.h"
+#include "common/rng.h"
+
+namespace asap::astopo {
+namespace {
+
+// Chain: A -> P (provider) -> T (provider) ; T -peer- U ; U -> Q (customer)
+// -> B (customer).
+struct ChainGraph {
+  AsGraph g;
+  AsId a, p, t, u, q, b;
+  ChainGraph() {
+    a = g.add_as(1);
+    p = g.add_as(2);
+    t = g.add_as(3);
+    u = g.add_as(4);
+    q = g.add_as(5);
+    b = g.add_as(6);
+    g.add_edge(a, p, LinkType::kToProvider);
+    g.add_edge(p, t, LinkType::kToProvider);
+    g.add_edge(t, u, LinkType::kToPeer);
+    g.add_edge(q, u, LinkType::kToProvider);
+    g.add_edge(b, q, LinkType::kToProvider);
+  }
+};
+
+TEST(ValleyFree, HopsAlongLegalChain) {
+  ChainGraph c;
+  auto hops = valley_free_hops(c.g, c.a, 10);
+  EXPECT_EQ(hops[c.a.value()], 0);
+  EXPECT_EQ(hops[c.p.value()], 1);
+  EXPECT_EQ(hops[c.t.value()], 2);
+  EXPECT_EQ(hops[c.u.value()], 3);
+  EXPECT_EQ(hops[c.q.value()], 4);
+  EXPECT_EQ(hops[c.b.value()], 5);
+}
+
+TEST(ValleyFree, RespectsHopBound) {
+  ChainGraph c;
+  auto hops = valley_free_hops(c.g, c.a, 2);
+  EXPECT_EQ(hops[c.t.value()], 2);
+  EXPECT_EQ(hops[c.u.value()], kVfUnreached);
+  EXPECT_EQ(hops[c.b.value()], kVfUnreached);
+}
+
+TEST(ValleyFree, BlocksValleys) {
+  // B's only route up from A would be A -> P(down? no): build a valley:
+  // A and B both customers of P; C reachable only via B's provider side.
+  AsGraph g;
+  AsId p = g.add_as(1);
+  AsId a = g.add_as(2);
+  AsId b = g.add_as(3);
+  AsId x = g.add_as(4);
+  g.add_edge(a, p, LinkType::kToProvider);
+  g.add_edge(b, p, LinkType::kToProvider);
+  g.add_edge(x, b, LinkType::kToProvider);  // b is x's provider? no: x's provider is b
+  // From X: up to B, then A requires B->P (up) after... X->B is up, B->P is
+  // up, P->A is down: legal. Check instead the illegal shape:
+  // from A: down? A has no customers. A->P up, P->B down, B->X down: legal.
+  auto hops = valley_free_hops(g, a, 8);
+  EXPECT_EQ(hops[x.value()], 3);
+
+  // Illegal: from X via B up to P, down to A, then "up" again to nothing —
+  // construct P2 reachable from A only by climbing after a descent.
+  AsId p2 = g.add_as(5);
+  g.add_edge(a, p2, LinkType::kToProvider);
+  auto hops_x = valley_free_hops(g, x, 8);
+  // X -> B -> P -> A is up,up,down; continuing A -> P2 (up) is a valley.
+  EXPECT_EQ(hops_x[p2.value()], kVfUnreached);
+}
+
+TEST(ValleyFree, AtMostOnePeerCrossing) {
+  AsGraph g;
+  AsId a = g.add_as(1);
+  AsId b = g.add_as(2);
+  AsId c = g.add_as(3);
+  g.add_edge(a, b, LinkType::kToPeer);
+  g.add_edge(b, c, LinkType::kToPeer);
+  auto hops = valley_free_hops(g, a, 8);
+  EXPECT_EQ(hops[b.value()], 1);
+  EXPECT_EQ(hops[c.value()], kVfUnreached) << "two peer links in a row are illegal";
+}
+
+TEST(ValleyFree, UnconstrainedReachesMore) {
+  AsGraph g;
+  AsId a = g.add_as(1);
+  AsId b = g.add_as(2);
+  AsId c = g.add_as(3);
+  g.add_edge(a, b, LinkType::kToPeer);
+  g.add_edge(b, c, LinkType::kToPeer);
+  auto unconstrained = unconstrained_hops(g, a, 8);
+  EXPECT_EQ(unconstrained[c.value()], 2);
+}
+
+TEST(ValleyFree, IsValleyFreePredicate) {
+  ChainGraph c;
+  EXPECT_TRUE(is_valley_free(c.g, {c.a, c.p, c.t, c.u, c.q, c.b}));
+  EXPECT_TRUE(is_valley_free(c.g, {c.a}));
+  EXPECT_TRUE(is_valley_free(c.g, {}));
+  // Reverse of a legal path is also legal here (down,up mirror) — but a
+  // valley is not: P -> A? A has no customer edge to anything, so path
+  // [t, u, t] is non-adjacent... use a real valley: [p, a, p] invalid
+  // (duplicate edges allowed but A->P after P->A is down then up).
+  EXPECT_FALSE(is_valley_free(c.g, {c.t, c.p, c.t}));
+  // Non-adjacent consecutive nodes are invalid.
+  EXPECT_FALSE(is_valley_free(c.g, {c.a, c.b}));
+}
+
+// Property: valley-free hop counts never exceed policy-path hop counts
+// (the BFS explores all valley-free paths; BGP selects one of them), and
+// both agree with is_valley_free.
+TEST(ValleyFree, LowerBoundsPolicyRouting) {
+  TopologyParams params;
+  params.total_as = 300;
+  Rng rng(77);
+  Topology topo = generate_topology(params, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    AsId dest(static_cast<std::uint32_t>(rng.below(topo.graph.as_count())));
+    RouteTable table = compute_routes(topo.graph, dest);
+    auto vf = valley_free_hops(topo.graph, dest, 64);
+    for (std::uint32_t i = 0; i < topo.graph.as_count(); ++i) {
+      AsId src(i);
+      if (!table.reachable(src)) continue;
+      ASSERT_NE(vf[i], kVfUnreached);
+      EXPECT_LE(vf[i], table.entry(src).hops)
+          << "shortest valley-free path cannot be longer than the policy path";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asap::astopo

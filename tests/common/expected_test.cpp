@@ -1,0 +1,44 @@
+#include "common/expected.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace asap {
+namespace {
+
+Expected<int> parse_positive(int x) {
+  if (x <= 0) return make_error("not positive");
+  return x;
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e = parse_positive(5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 5);
+  EXPECT_EQ(*e, 5);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e = parse_positive(-1);
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().message, "not positive");
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> e = std::string("hello");
+  EXPECT_EQ(e->size(), 5u);
+  const Expected<std::string>& ce = e;
+  EXPECT_EQ(ce->size(), 5u);
+  EXPECT_EQ(*ce, "hello");
+}
+
+TEST(Expected, MutableAccess) {
+  Expected<std::string> e = std::string("a");
+  e.value() += "b";
+  EXPECT_EQ(*e, "ab");
+}
+
+}  // namespace
+}  // namespace asap

@@ -1,0 +1,47 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <unordered_set>
+
+namespace asap {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  AsId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, AsId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  HostId h(42);
+  EXPECT_TRUE(h.valid());
+  EXPECT_EQ(h.value(), 42u);
+}
+
+TEST(StrongId, ComparesByValue) {
+  EXPECT_EQ(ClusterId(1), ClusterId(1));
+  EXPECT_NE(ClusterId(1), ClusterId(2));
+  EXPECT_LT(ClusterId(1), ClusterId(2));
+  EXPECT_LE(ClusterId(1), ClusterId(1));
+  EXPECT_GT(ClusterId(3), ClusterId(2));
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<AsId, HostId>);
+  static_assert(!std::is_convertible_v<AsId, HostId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, AsId>);  // explicit ctor
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<HostId> set;
+  set.insert(HostId(1));
+  set.insert(HostId(2));
+  set.insert(HostId(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(HostId(2)));
+}
+
+}  // namespace
+}  // namespace asap

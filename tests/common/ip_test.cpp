@@ -1,0 +1,97 @@
+#include "common/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace asap {
+namespace {
+
+TEST(Ipv4Addr, FormatsDottedQuad) {
+  EXPECT_EQ(Ipv4Addr(192, 168, 0, 1).to_string(), "192.168.0.1");
+  EXPECT_EQ(Ipv4Addr(0).to_string(), "0.0.0.0");
+  EXPECT_EQ(Ipv4Addr(0xFFFFFFFFu).to_string(), "255.255.255.255");
+}
+
+TEST(Ipv4Addr, ParsesValid) {
+  auto addr = Ipv4Addr::parse("10.20.30.40");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, Ipv4Addr(10, 20, 30, 40));
+}
+
+TEST(Ipv4Addr, ParseRoundTripsRandomAddresses) {
+  for (std::uint32_t bits : {0u, 1u, 0x01020304u, 0x7F000001u, 0xC0A80001u, 0xFFFFFFFFu}) {
+    Ipv4Addr addr(bits);
+    auto parsed = Ipv4Addr::parse(addr.to_string());
+    ASSERT_TRUE(parsed.has_value()) << addr.to_string();
+    EXPECT_EQ(*parsed, addr);
+  }
+}
+
+TEST(Ipv4Addr, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse(" 1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4Addr, OrderingFollowsNumericValue) {
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(2, 0, 0, 0));
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(1, 0, 0, 1));
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  Prefix p(Ipv4Addr(10, 1, 2, 3), 8);
+  EXPECT_EQ(p.address(), Ipv4Addr(10, 0, 0, 0));
+  EXPECT_EQ(p.length(), 8);
+}
+
+TEST(Prefix, ContainsItsAddresses) {
+  Prefix p(Ipv4Addr(192, 168, 4, 0), 22);
+  EXPECT_TRUE(p.contains(Ipv4Addr(192, 168, 4, 0)));
+  EXPECT_TRUE(p.contains(Ipv4Addr(192, 168, 7, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(192, 168, 8, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(192, 168, 3, 255)));
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  Prefix p(Ipv4Addr(0), 0);
+  EXPECT_TRUE(p.contains(Ipv4Addr(0)));
+  EXPECT_TRUE(p.contains(Ipv4Addr(0xFFFFFFFFu)));
+}
+
+TEST(Prefix, CoversSubPrefixes) {
+  Prefix wide(Ipv4Addr(10, 0, 0, 0), 8);
+  Prefix narrow(Ipv4Addr(10, 1, 0, 0), 16);
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_TRUE(wide.covers(wide));
+  EXPECT_FALSE(narrow.covers(wide));
+  EXPECT_FALSE(wide.covers(Prefix(Ipv4Addr(11, 0, 0, 0), 16)));
+}
+
+TEST(Prefix, ParsesAndFormats) {
+  auto p = Prefix::parse("172.16.0.0/12");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "172.16.0.0/12");
+  EXPECT_EQ(p->length(), 12);
+}
+
+TEST(Prefix, RejectsNonCanonicalAndMalformed) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.1/8").has_value());  // host bits set
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Prefix::parse("/8").has_value());
+}
+
+TEST(Prefix, Slash32IsASingleHost) {
+  auto p = Prefix::parse("1.2.3.4/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->contains(Ipv4Addr(1, 2, 3, 4)));
+  EXPECT_FALSE(p->contains(Ipv4Addr(1, 2, 3, 5)));
+}
+
+}  // namespace
+}  // namespace asap

@@ -1,0 +1,39 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace asap {
+namespace {
+
+struct LogLevelGuard {
+  LogLevel saved = log_level();
+  ~LogLevelGuard() { set_log_level(saved); }
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, EmittingBelowThresholdIsHarmless) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  // These must be no-ops (verified by not crashing and not changing level).
+  log_debug("dropped");
+  log_info("dropped");
+  log_warn("dropped");
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, EmittingAtThresholdIsHarmless) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  log_error("this goes to stderr during tests; content is not captured");
+}
+
+}  // namespace
+}  // namespace asap

@@ -1,0 +1,183 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace asap {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  Rng parent(7);
+  Rng child = parent.fork(3);
+  std::vector<std::uint64_t> child_seq;
+  for (int i = 0; i < 10; ++i) child_seq.push_back(child.next());
+
+  // Re-fork from an identical parent: same child stream regardless of what
+  // the parent does afterwards.
+  Rng parent2(7);
+  Rng child2 = parent2.fork(3);
+  parent2.next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child2.next(), child_seq[i]);
+}
+
+TEST(Rng, ForkSaltsProduceDistinctStreams) {
+  Rng parent(7);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedianMatches) {
+  Rng rng(17);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.lognormal(8.0, 0.5));
+  std::nth_element(values.begin(), values.begin() + values.size() / 2, values.end());
+  EXPECT_NEAR(values[values.size() / 2], 8.0, 0.3);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(25.0);
+  EXPECT_NEAR(sum / n, 25.0, 0.8);
+}
+
+TEST(Rng, ZipfStaysInRangeAndIsSkewed) {
+  Rng rng(23);
+  const std::uint64_t n = 1000;
+  std::vector<int> counts(n, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    auto k = rng.zipf(n, 1.0);
+    ASSERT_LT(k, n);
+    ++counts[k];
+  }
+  // Rank 0 should dominate and the theoretical ratio P(0)/P(9) = 10.
+  EXPECT_GT(counts[0], counts[9] * 5);
+  EXPECT_LT(counts[0], counts[9] * 20);
+  // Tail must still be populated (no truncation bug).
+  int tail = 0;
+  for (std::uint64_t k = n / 2; k < n; ++k) tail += counts[k];
+  EXPECT_GT(tail, 0);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  Rng rng(29);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.zipf(10, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, draws / 10, draws / 10 * 0.15);
+}
+
+TEST(Rng, ZipfMatchesTheoreticalHeadProbability) {
+  Rng rng(31);
+  const std::uint64_t n = 100;
+  const double s = 0.8;
+  double harmonic = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) harmonic += std::pow(double(k), -s);
+  const int draws = 200000;
+  int head = 0;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.zipf(n, s) == 0) ++head;
+  }
+  EXPECT_NEAR(double(head) / draws, 1.0 / harmonic, 0.01);
+}
+
+TEST(Rng, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(37);
+  for (std::size_t n : {10ul, 100ul, 1000ul}) {
+    for (std::size_t k : {0ul, 1ul, n / 2, n}) {
+      auto sample = rng.sample_indices(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::size_t> distinct(sample.begin(), sample.end());
+      EXPECT_EQ(distinct.size(), k);
+      for (auto idx : sample) EXPECT_LT(idx, n);
+    }
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace asap

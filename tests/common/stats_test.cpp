@@ -1,0 +1,123 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace asap {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(-3.5);
+  EXPECT_EQ(s.mean(), -3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), -3.5);
+  EXPECT_EQ(s.max(), -3.5);
+}
+
+TEST(Percentile, Endpoints) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_EQ(percentile(v, 0), 1.0);
+  EXPECT_EQ(percentile(v, 100), 5.0);
+  EXPECT_EQ(percentile(v, 50), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 50), 7.0);
+  EXPECT_EQ(percentile({7.0}, 100), 7.0);
+}
+
+TEST(Cdf, IsMonotoneAndEndsAtOne) {
+  std::vector<double> v;
+  for (int i = 100; i >= 1; --i) v.push_back(i * 0.5);
+  auto curve = make_cdf(v, 12);
+  ASSERT_FALSE(curve.empty());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].x, curve[i].x);
+    EXPECT_LE(curve[i - 1].y, curve[i].y);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().y, 1.0);
+  EXPECT_EQ(curve.front().x, 0.5);
+  EXPECT_EQ(curve.back().x, 50.0);
+}
+
+TEST(Cdf, EmptyInputYieldsEmptyCurve) {
+  EXPECT_TRUE(make_cdf({}, 10).empty());
+}
+
+TEST(Ccdf, ComplementsCdf) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto cdf = make_cdf(v, 5);
+  auto ccdf = make_ccdf(v, 5);
+  ASSERT_EQ(cdf.size(), ccdf.size());
+  for (std::size_t i = 0; i < cdf.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cdf[i].y + ccdf[i].y, 1.0);
+  }
+}
+
+TEST(FractionAbove, CountsStrictly) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(fraction_above(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_above(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_above(v, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_at_most(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_above({}, 1.0), 0.0);
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to first bin
+  h.add(0.0);
+  h.add(3.0);
+  h.add(9.99);
+  h.add(50.0);   // clamps to last bin
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(LogHistogram, GeometricBins) {
+  LogHistogram h(1.0, 2.0, 6);  // bins [1,2) [2,4) [4,8) [8,16) [16,32) [32,64)
+  h.add(0.5);   // clamps down
+  h.add(1.5);
+  h.add(5.0);
+  h.add(100.0);  // clamps up
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 16.0);
+}
+
+}  // namespace
+}  // namespace asap

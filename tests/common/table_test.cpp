@@ -1,0 +1,46 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace asap {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(out.find("|-------|-------|"), std::string::npos);
+}
+
+TEST(Table, PadsMissingCellsAndDropsExtras) {
+  Table t({"a", "b"});
+  t.add_row({"only"});
+  t.add_row({"x", "y", "dropped"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::fmt_int(-42), "-42");
+  EXPECT_EQ(Table::fmt_pct(0.125, 1), "12.5%");
+  EXPECT_EQ(Table::fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Table, EmptyTableRendersHeaderOnly) {
+  Table t({"h"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("| h |"), std::string::npos);
+  // Exactly two lines: header + separator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace asap

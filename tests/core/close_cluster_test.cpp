@@ -1,0 +1,115 @@
+#include "core/close_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "astopo/valley_free.h"
+
+namespace asap::core {
+namespace {
+
+population::WorldParams small_params() {
+  population::WorldParams params;
+  params.seed = 101;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+struct CloseClusterFixture : public ::testing::Test {
+  void SetUp() override {
+    world = std::make_unique<population::World>(small_params());
+    owner = world->pop().populated_clusters().front();
+  }
+  std::unique_ptr<population::World> world;
+  AsapParams params;
+  ClusterId owner;
+};
+
+TEST_F(CloseClusterFixture, EntriesSatisfyThresholdsAndHopBound) {
+  auto set = construct_close_cluster_set(*world, owner, params);
+  EXPECT_EQ(set.owner, owner);
+  EXPECT_FALSE(set.entries.empty());
+  for (const auto& e : set.entries) {
+    EXPECT_NE(e.cluster, owner);
+    EXPECT_LT(e.rtt_ms, params.lat_threshold_ms);
+    EXPECT_LT(e.loss, params.loss_threshold);
+    EXPECT_LE(e.as_hops, params.k);
+    // The recorded measurements match the world's ground truth ping.
+    EXPECT_NEAR(e.rtt_ms, world->cluster_rtt_ms(owner, e.cluster), 1e-9);
+  }
+}
+
+TEST_F(CloseClusterFixture, EntriesSortedAndFindWorks) {
+  auto set = construct_close_cluster_set(*world, owner, params);
+  for (std::size_t i = 1; i < set.entries.size(); ++i) {
+    EXPECT_LT(set.entries[i - 1].cluster, set.entries[i].cluster);
+  }
+  for (const auto& e : set.entries) {
+    const auto* found = set.find(e.cluster);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->cluster, e.cluster);
+    EXPECT_TRUE(set.contains(e.cluster));
+  }
+  EXPECT_FALSE(set.contains(owner));
+}
+
+TEST_F(CloseClusterFixture, ExcludedClustersAreFarOrOverThreshold) {
+  auto set = construct_close_cluster_set(*world, owner, params);
+  AsId source_as = world->pop().cluster(owner).as;
+  auto hops = astopo::valley_free_hops(world->graph(), source_as, params.k);
+  for (ClusterId c : world->pop().populated_clusters()) {
+    if (c == owner || set.contains(c)) continue;
+    AsId as = world->pop().cluster(c).as;
+    bool too_far = hops[as.value()] == astopo::kVfUnreached;
+    bool over_lat = world->cluster_rtt_ms(owner, c) >= params.lat_threshold_ms;
+    bool over_loss = world->cluster_loss(owner, c) >= params.loss_threshold;
+    EXPECT_TRUE(too_far || over_lat || over_loss)
+        << "cluster " << c.value() << " should have been admitted";
+  }
+}
+
+TEST_F(CloseClusterFixture, DeeperSearchIsSuperset) {
+  AsapParams shallow = params;
+  shallow.k = 2;
+  AsapParams deep = params;
+  deep.k = 5;
+  auto small = construct_close_cluster_set(*world, owner, shallow);
+  auto large = construct_close_cluster_set(*world, owner, deep);
+  EXPECT_GE(large.entries.size(), small.entries.size());
+  for (const auto& e : small.entries) {
+    EXPECT_TRUE(large.contains(e.cluster));
+  }
+}
+
+TEST_F(CloseClusterFixture, UnconstrainedBfsReachesAtLeastAsMuch) {
+  AsapParams vf = params;
+  AsapParams loose = params;
+  loose.valley_free = false;
+  auto constrained = construct_close_cluster_set(*world, owner, vf);
+  auto unconstrained = construct_close_cluster_set(*world, owner, loose);
+  EXPECT_GE(unconstrained.entries.size(), constrained.entries.size());
+}
+
+TEST_F(CloseClusterFixture, ProbeMessagesCountCandidates) {
+  auto set = construct_close_cluster_set(*world, owner, params);
+  // Two messages (ping request/reply) per candidate cluster examined; at
+  // minimum every admitted cluster was probed.
+  EXPECT_GE(set.probe_messages, 2 * set.entries.size());
+  EXPECT_EQ(set.probe_messages % 2, 0u);
+}
+
+TEST_F(CloseClusterFixture, CacheBuildsOnceAndReuses) {
+  CloseSetCache cache(*world, params);
+  const auto& s1 = cache.get(owner);
+  const auto& s2 = cache.get(owner);
+  EXPECT_EQ(&s1, &s2);
+  EXPECT_EQ(cache.built_count(), 1u);
+  ClusterId other = world->pop().populated_clusters()[1];
+  cache.get(other);
+  EXPECT_EQ(cache.built_count(), 2u);
+  EXPECT_GT(cache.total_probe_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace asap::core

@@ -1,0 +1,80 @@
+#include "core/config_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace asap::core {
+namespace {
+
+TEST(ConfigIo, DefaultsWhenEmpty) {
+  auto config = parse_config("");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->world.seed, 20050926ull);
+  EXPECT_EQ(config->asap.k, 4);
+  EXPECT_EQ(config->sessions, 100000u);
+}
+
+TEST(ConfigIo, ParsesKeysCommentsAndWhitespace) {
+  auto config = parse_config(R"(
+# experiment
+seed = 42          # trailing comment
+topo.total_as=1234
+pop.total_peers   =   9999
+asap.k = 3
+asap.lat_threshold_ms = 250.5
+asap.valley_free = false
+pop.nat_enabled = true
+)");
+  ASSERT_TRUE(config.has_value()) << (config ? "" : config.error().message);
+  EXPECT_EQ(config->world.seed, 42u);
+  EXPECT_EQ(config->world.topo.total_as, 1234u);
+  EXPECT_EQ(config->world.pop.total_peers, 9999u);
+  EXPECT_EQ(config->asap.k, 3);
+  EXPECT_DOUBLE_EQ(config->asap.lat_threshold_ms, 250.5);
+  EXPECT_FALSE(config->asap.valley_free);
+  EXPECT_TRUE(config->world.pop.nat_enabled);
+}
+
+TEST(ConfigIo, RejectsUnknownKeyAndBadValues) {
+  auto unknown = parse_config("definitely.a.typo = 1\n");
+  ASSERT_FALSE(unknown.has_value());
+  EXPECT_NE(unknown.error().message.find("unknown key"), std::string::npos);
+
+  EXPECT_FALSE(parse_config("asap.k = banana\n").has_value());
+  EXPECT_FALSE(parse_config("asap.valley_free = maybe\n").has_value());
+  EXPECT_FALSE(parse_config("just some text\n").has_value());
+}
+
+TEST(ConfigIo, SerializeParseRoundTrip) {
+  ExperimentConfig original;
+  original.world.seed = 7;
+  original.world.topo.total_as = 777;
+  original.world.pop.nat_enabled = true;
+  original.asap.k = 5;
+  original.asap.probe_fraction = 0.25;
+  original.sessions = 1234;
+  auto back = parse_config(serialize_config(original));
+  ASSERT_TRUE(back.has_value()) << (back ? "" : back.error().message);
+  EXPECT_EQ(back->world.seed, 7u);
+  EXPECT_EQ(back->world.topo.total_as, 777u);
+  EXPECT_TRUE(back->world.pop.nat_enabled);
+  EXPECT_EQ(back->asap.k, 5);
+  EXPECT_DOUBLE_EQ(back->asap.probe_fraction, 0.25);
+  EXPECT_EQ(back->sessions, 1234u);
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  const char* path = "config_io_test_tmp.conf";
+  ExperimentConfig config;
+  config.world.seed = 99;
+  ASSERT_TRUE(save_config_file(path, config));
+  auto back = load_config_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->world.seed, 99u);
+  std::remove(path);
+  EXPECT_FALSE(load_config_file("does_not_exist.conf").has_value());
+}
+
+}  // namespace
+}  // namespace asap::core

@@ -1,0 +1,184 @@
+#include "core/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "population/session_gen.h"
+
+namespace asap::core {
+namespace {
+
+population::WorldParams small_params() {
+  population::WorldParams params;
+  params.seed = 121;
+  params.topo.total_as = 400;
+  params.pop.host_as_count = 100;
+  params.pop.total_peers = 1500;
+  return params;
+}
+
+struct ProtocolFixture : public ::testing::Test {
+  void SetUp() override {
+    world = std::make_unique<population::World>(small_params());
+    // A lower latency threshold guarantees relay-selection sessions even in
+    // this small test world (which may have no >300 ms pairs).
+    params.lat_threshold_ms = 200.0;
+    system = std::make_unique<AsapSystem>(*world, params, 2);
+    system->join_all();
+    Rng rng = world->fork_rng(2);
+    sessions = population::generate_sessions(*world, 2000, rng);
+    latent = population::latent_sessions(sessions, params.lat_threshold_ms);
+  }
+
+  std::unique_ptr<population::World> world;
+  AsapParams params;
+  std::unique_ptr<AsapSystem> system;
+  std::vector<population::Session> sessions;
+  std::vector<population::Session> latent;
+};
+
+TEST_F(ProtocolFixture, AllHostsJoinViaBootstrap) {
+  for (std::uint32_t i = 0; i < world->pop().peers().size(); ++i) {
+    EXPECT_TRUE(system->is_joined(HostId(i)));
+  }
+  // Join request + reply per host, plus publishes.
+  auto joins = system->counter().count(sim::MessageCategory::kJoin);
+  EXPECT_GE(joins, 2 * world->pop().peers().size());
+  EXPECT_GT(system->counter().count(sim::MessageCategory::kPublish), 0u);
+}
+
+TEST_F(ProtocolFixture, DirectQualityCallSkipsRelaySelection) {
+  // Find a clearly-good direct session.
+  const population::Session* good = nullptr;
+  for (const auto& s : sessions) {
+    if (s.direct_rtt_ms < 0.6 * params.lat_threshold_ms) {
+      good = &s;
+      break;
+    }
+  }
+  ASSERT_NE(good, nullptr);
+  auto outcome = system->call(good->caller, good->callee, 200.0);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_FALSE(outcome.used_relay);
+  // Measured ping approximates ground truth.
+  EXPECT_NEAR(outcome.direct_rtt_ms, good->direct_rtt_ms, 5.0);
+  EXPECT_EQ(outcome.voice_packets_received, outcome.voice_packets_sent);
+  // Voice one-way is about half the RTT.
+  EXPECT_NEAR(outcome.mean_voice_one_way_ms, good->direct_rtt_ms / 2.0, 5.0);
+}
+
+TEST_F(ProtocolFixture, LatentCallUsesRelayAndImproves) {
+  if (latent.empty()) GTEST_SKIP() << "no latent session in this world";
+  const auto& s = latent.front();
+  auto outcome = system->call(s.caller, s.callee, 200.0);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_GT(outcome.direct_rtt_ms, params.lat_threshold_ms * 0.9);
+  if (outcome.used_relay) {
+    EXPECT_TRUE(outcome.relay.relay1.valid());
+    EXPECT_LT(outcome.relay.rtt_ms, s.direct_rtt_ms);
+    // Voice actually flowed through the relay with the modelled delay.
+    EXPECT_EQ(outcome.voice_packets_received, outcome.voice_packets_sent);
+    EXPECT_NEAR(outcome.mean_voice_one_way_ms,
+                world->relay_rtt_ms(s.caller, outcome.relay.relay1, s.callee) / 2.0, 25.0);
+  }
+  EXPECT_GT(outcome.control_messages, 0u);
+}
+
+TEST_F(ProtocolFixture, ProtocolMessagesMatchAlgorithmicAccounting) {
+  // The message-level simulation and the algorithmic layer should agree on
+  // the order of magnitude of per-session control traffic for relay calls.
+  if (latent.empty()) GTEST_SKIP();
+  const auto& s = latent.front();
+
+  CloseSetCache cache(*world, params);
+  Rng rng(3);
+  auto algo = select_close_relay(*world, cache, s, rng);
+
+  auto outcome = system->call(s.caller, s.callee, 100.0);
+  ASSERT_TRUE(outcome.completed);
+  // Protocol adds the initial ping, join-cache effects and close-set
+  // request/reply pairs; both counts must land in the same regime.
+  EXPECT_GT(outcome.control_messages, 2u);
+  EXPECT_LT(outcome.control_messages, algo.messages + 50);
+}
+
+TEST_F(ProtocolFixture, SecondCallReusesCachedCloseSets) {
+  if (latent.size() < 1) GTEST_SKIP();
+  const auto& s = latent.front();
+  auto first = system->call(s.caller, s.callee, 100.0);
+  auto second = system->call(s.caller, s.callee, 100.0);
+  ASSERT_TRUE(first.completed);
+  ASSERT_TRUE(second.completed);
+  EXPECT_LE(second.control_messages, first.control_messages);
+}
+
+TEST_F(ProtocolFixture, SurrogateFailureTriggersElectionAndCallStillWorks) {
+  if (latent.empty()) GTEST_SKIP();
+  // Pick a latent session whose caller's cluster has several members and
+  // whose caller is not the surrogate itself.
+  const population::Session* chosen = nullptr;
+  for (const auto& s : latent) {
+    ClusterId c = world->pop().peer(s.caller).cluster;
+    if (world->pop().cluster(c).members.size() >= 3 &&
+        world->pop().cluster(c).surrogate != s.caller) {
+      chosen = &s;
+      break;
+    }
+  }
+  if (chosen == nullptr) GTEST_SKIP() << "no suitable session";
+
+  ClusterId cluster = world->pop().peer(chosen->caller).cluster;
+  HostId old_surrogate = world->pop().cluster(cluster).surrogate;
+  system->fail_surrogate(cluster);
+  auto outcome = system->call(chosen->caller, chosen->callee, 100.0);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_GE(system->metrics().value("host.surrogate_timeouts"), 1u);
+  EXPECT_GE(system->metrics().value("bootstrap.surrogates_elected"), 1u);
+  EXPECT_NE(world->pop().cluster(cluster).surrogate, old_surrogate);
+  EXPECT_TRUE(world->pop().cluster(cluster).surrogate.valid());
+}
+
+TEST_F(ProtocolFixture, TwoHopExpansionRunsOverTheWire) {
+  if (latent.empty()) GTEST_SKIP();
+  // A huge sizeT forces the two-hop phase for every relay call; the
+  // protocol must fetch OS surrogates' close sets over the network and may
+  // pick a two-hop route, streaming voice through both relays.
+  AsapParams forced = params;
+  forced.size_threshold = std::numeric_limits<std::uint32_t>::max();
+  AsapSystem two_hop_system(*world, forced, 2);
+  two_hop_system.join_all();
+
+  auto before = two_hop_system.counter().count(sim::MessageCategory::kCloseSet);
+  bool saw_two_hop = false;
+  std::size_t calls = 0;
+  for (const auto& s : latent) {
+    if (calls >= 6) break;
+    ++calls;
+    auto outcome = two_hop_system.call(s.caller, s.callee, 200.0);
+    EXPECT_TRUE(outcome.completed);
+    if (outcome.used_relay && outcome.relay.relay2.valid()) {
+      saw_two_hop = true;
+      EXPECT_TRUE(outcome.relay.relay1.valid());
+      // Voice went through two relays: every packet still arrives, and the
+      // mean one-way matches the two-hop path.
+      EXPECT_EQ(outcome.voice_packets_received, outcome.voice_packets_sent);
+      Millis expected = world->relay2_rtt_ms(s.caller, outcome.relay.relay1,
+                                             outcome.relay.relay2, s.callee) / 2.0;
+      EXPECT_NEAR(outcome.mean_voice_one_way_ms, expected, 30.0);
+    }
+  }
+  auto after = two_hop_system.counter().count(sim::MessageCategory::kCloseSet);
+  EXPECT_GT(after, before + 2 * calls)
+      << "two-hop fetches must generate extra close-set traffic";
+  (void)saw_two_hop;  // two-hop winning is world-dependent; traffic is not
+}
+
+TEST_F(ProtocolFixture, VoicePacketsCarrySimulatedLatency) {
+  const auto& s = sessions.front();
+  auto outcome = system->call(s.caller, s.callee, 400.0);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.voice_packets_sent, 20u);  // 400 ms at 50 pps
+  EXPECT_GT(outcome.mean_voice_one_way_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace asap::core

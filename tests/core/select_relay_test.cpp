@@ -1,0 +1,169 @@
+#include "core/select_relay.h"
+
+#include <gtest/gtest.h>
+
+#include "population/session_gen.h"
+
+namespace asap::core {
+namespace {
+
+population::WorldParams small_params() {
+  population::WorldParams params;
+  params.seed = 111;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+struct SelectRelayFixture : public ::testing::Test {
+  void SetUp() override {
+    world = std::make_unique<population::World>(small_params());
+    Rng rng = world->fork_rng(1);
+    sessions = population::generate_sessions(*world, 3000, rng);
+    latent = population::latent_sessions(sessions);
+  }
+  std::unique_ptr<population::World> world;
+  std::vector<population::Session> sessions;
+  std::vector<population::Session> latent;
+};
+
+TEST_F(SelectRelayFixture, AcceptedClustersComeFromBothCloseSets) {
+  AsapParams params;
+  CloseSetCache cache(*world, params);
+  Rng rng(2);
+  ASSERT_FALSE(sessions.empty());
+  const auto& s = sessions.front();
+  auto result = select_close_relay(*world, cache, s, rng);
+  const auto& pop = world->pop();
+  const CloseClusterSet& s1 = cache.get(pop.peer(s.caller).cluster);
+  const CloseClusterSet& s2 = cache.get(pop.peer(s.callee).cluster);
+  for (ClusterId c : result.one_hop_clusters) {
+    EXPECT_TRUE(s1.contains(c));
+    EXPECT_TRUE(s2.contains(c));
+    // relaylat estimate below the threshold.
+    Millis estimate = s1.find(c)->rtt_ms + s2.find(c)->rtt_ms +
+                      2.0 * params.relay_delay_one_way_ms;
+    EXPECT_LT(estimate, params.lat_threshold_ms);
+  }
+}
+
+TEST_F(SelectRelayFixture, OneHopNodesSumClusterSizes) {
+  AsapParams params;
+  CloseSetCache cache(*world, params);
+  Rng rng(3);
+  const auto& s = sessions[1];
+  auto result = select_close_relay(*world, cache, s, rng);
+  std::uint64_t expected = 0;
+  for (ClusterId c : result.one_hop_clusters) {
+    expected += world->pop().cluster(c).members.size();
+  }
+  EXPECT_EQ(result.one_hop_nodes, expected);
+  EXPECT_EQ(result.quality_paths(), result.one_hop_nodes + result.two_hop_pairs);
+}
+
+TEST_F(SelectRelayFixture, TwoHopTriggersExactlyBelowSizeThreshold) {
+  AsapParams params;
+  CloseSetCache cache(*world, params);
+  Rng rng(4);
+  for (std::size_t i = 0; i < std::min<std::size_t>(sessions.size(), 30); ++i) {
+    auto result = select_close_relay(*world, cache, sessions[i], rng);
+    EXPECT_EQ(result.two_hop_triggered, result.one_hop_nodes < params.size_threshold);
+    if (!result.two_hop_triggered) {
+      EXPECT_EQ(result.two_hop_pairs, 0u);
+    }
+  }
+}
+
+TEST_F(SelectRelayFixture, HugeSizeThresholdForcesTwoHopSearch) {
+  AsapParams params;
+  params.size_threshold = std::numeric_limits<std::uint32_t>::max();
+  CloseSetCache cache(*world, params);
+  Rng rng(5);
+  const auto& s = sessions[2];
+  auto result = select_close_relay(*world, cache, s, rng);
+  EXPECT_TRUE(result.two_hop_triggered);
+  // Two-hop fetches cost 2 messages per accepted one-hop cluster.
+  EXPECT_GE(result.messages, 2 + 2 * result.one_hop_clusters.size());
+}
+
+TEST_F(SelectRelayFixture, BestRelayMeetsReportedRtt) {
+  AsapParams params;
+  CloseSetCache cache(*world, params);
+  Rng rng(6);
+  for (const auto& s : latent) {
+    auto result = select_close_relay(*world, cache, s, rng);
+    if (!result.best.found()) continue;
+    Millis actual =
+        result.best.is_two_hop()
+            ? world->relay2_rtt_ms(s.caller, result.best.relay1, result.best.relay2, s.callee)
+            : world->relay_rtt_ms(s.caller, result.best.relay1, s.callee);
+    EXPECT_NEAR(result.best.rtt_ms, actual, 1e-6);
+  }
+}
+
+TEST_F(SelectRelayFixture, MessageAccountingFormula) {
+  AsapParams params;
+  params.probe_fraction = 1.0;
+  params.max_probe_clusters = 0;  // no cap
+  CloseSetCache cache(*world, params);
+  Rng rng(7);
+  const auto& s = sessions[3];
+  auto result = select_close_relay(*world, cache, s, rng);
+  std::uint64_t expected = 2  // close-set exchange with the callee
+                           + 2 * result.one_hop_clusters.size();  // verification probes
+  if (result.two_hop_triggered) {
+    expected += 2 * result.one_hop_clusters.size();  // close-set fetches
+  }
+  EXPECT_EQ(result.messages, expected);
+}
+
+TEST_F(SelectRelayFixture, ProbeCapLimitsMessages) {
+  AsapParams params;
+  params.probe_fraction = 1.0;
+  params.max_probe_clusters = 5;
+  CloseSetCache cache(*world, params);
+  Rng rng(8);
+  // Find a session with plenty of candidates.
+  for (const auto& s : sessions) {
+    auto result = select_close_relay(*world, cache, s, rng);
+    if (result.one_hop_clusters.size() > 10 && !result.two_hop_triggered) {
+      EXPECT_EQ(result.messages, 2u + 2u * 5u);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no session with >10 one-hop clusters in this world";
+}
+
+TEST_F(SelectRelayFixture, LowerLatencyThresholdShrinksResults) {
+  AsapParams strict;
+  strict.lat_threshold_ms = 150.0;
+  AsapParams loose;
+  loose.lat_threshold_ms = 400.0;
+  CloseSetCache strict_cache(*world, strict);
+  CloseSetCache loose_cache(*world, loose);
+  Rng rng(9);
+  std::uint64_t strict_paths = 0;
+  std::uint64_t loose_paths = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(latent.size(), 10); ++i) {
+    strict_paths += select_close_relay(*world, strict_cache, latent[i], rng).quality_paths();
+    loose_paths += select_close_relay(*world, loose_cache, latent[i], rng).quality_paths();
+  }
+  EXPECT_LE(strict_paths, loose_paths);
+}
+
+TEST_F(SelectRelayFixture, BestPathBeatsDirectForMostLatentSessions) {
+  AsapParams params;
+  CloseSetCache cache(*world, params);
+  Rng rng(10);
+  if (latent.empty()) GTEST_SKIP() << "no latent sessions in this small world";
+  std::size_t improved = 0;
+  for (const auto& s : latent) {
+    auto result = select_close_relay(*world, cache, s, rng);
+    if (result.best.found() && result.best.rtt_ms < s.direct_rtt_ms) ++improved;
+  }
+  EXPECT_GT(improved * 2, latent.size()) << "ASAP should help most latent sessions";
+}
+
+}  // namespace
+}  // namespace asap::core

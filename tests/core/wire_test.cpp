@@ -1,0 +1,136 @@
+#include "core/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace asap::core::wire {
+namespace {
+
+std::shared_ptr<CloseClusterSet> sample_set() {
+  auto set = std::make_shared<CloseClusterSet>();
+  set->owner = ClusterId(42);
+  set->entries = {
+      CloseClusterEntry{ClusterId(1), 120.5, 0.004, 3},
+      CloseClusterEntry{ClusterId(7), 88.25, 0.0, 2},
+      CloseClusterEntry{ClusterId(999), 250.0, 0.049, 4},
+  };
+  return set;
+}
+
+std::vector<ProtocolPayload> all_message_kinds() {
+  return {
+      JoinRequest{Ipv4Addr(10, 1, 2, 3)},
+      JoinReply{64512, ClusterId(5), NodeId(77)},
+      CloseSetRequest{},
+      CloseSetReply{sample_set()},
+      PublishInfo{3.75},
+      SurrogateFailureReport{ClusterId(9), NodeId(123)},
+      SurrogateUpdate{ClusterId(9), NodeId(124)},
+      Probe{0xDEADBEEFCAFEULL},
+      ProbeReply{0xDEADBEEFCAFEULL},
+      CallSetup{SessionId(31)},
+      CallAccept{SessionId(31), sample_set()},
+      VoicePacket{SessionId(31), 17, 123.5, {NodeId(3), NodeId(9)}},
+  };
+}
+
+TEST(Wire, RoundTripsEveryMessageKind) {
+  for (const auto& payload : all_message_kinds()) {
+    auto bytes = encode(payload);
+    auto decoded = decode(bytes);
+    ASSERT_TRUE(decoded.has_value()) << "index " << payload.index() << ": "
+                                     << (decoded ? "" : decoded.error().message);
+    EXPECT_EQ(decoded->index(), payload.index());
+  }
+}
+
+TEST(Wire, CloseSetSurvivesRoundTripExactly) {
+  auto original = sample_set();
+  auto bytes = encode(ProtocolPayload{CloseSetReply{original}});
+  auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& reply = std::get<CloseSetReply>(*decoded);
+  ASSERT_NE(reply.set, nullptr);
+  EXPECT_EQ(reply.set->owner, original->owner);
+  ASSERT_EQ(reply.set->entries.size(), original->entries.size());
+  for (std::size_t i = 0; i < original->entries.size(); ++i) {
+    EXPECT_EQ(reply.set->entries[i].cluster, original->entries[i].cluster);
+    EXPECT_FLOAT_EQ(static_cast<float>(reply.set->entries[i].rtt_ms),
+                    static_cast<float>(original->entries[i].rtt_ms));
+    EXPECT_EQ(reply.set->entries[i].as_hops, original->entries[i].as_hops);
+  }
+}
+
+TEST(Wire, VoicePacketRouteRoundTrips) {
+  VoicePacket pkt{SessionId(1), 5, 42.0, {NodeId(10), NodeId(20), NodeId(30)}};
+  auto decoded = decode(encode(ProtocolPayload{pkt}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& back = std::get<VoicePacket>(*decoded);
+  EXPECT_EQ(back.seq, 5u);
+  EXPECT_EQ(back.sent_at_ms, 42.0);
+  ASSERT_EQ(back.route.size(), 3u);
+  EXPECT_EQ(back.route[1], NodeId(20));
+}
+
+TEST(Wire, EncodedSizeMatchesEncodeExactly) {
+  for (const auto& payload : all_message_kinds()) {
+    EXPECT_EQ(encoded_size(payload), encode(payload).size())
+        << "variant index " << payload.index();
+  }
+}
+
+TEST(Wire, RejectsWrongVersionAndUnknownTag) {
+  auto bytes = encode(ProtocolPayload{Probe{1}});
+  auto good = decode(bytes);
+  ASSERT_TRUE(good.has_value());
+  auto bad_version = bytes;
+  bad_version[0] = 99;
+  EXPECT_FALSE(decode(bad_version).has_value());
+  auto bad_tag = bytes;
+  bad_tag[1] = 0xEE;
+  EXPECT_FALSE(decode(bad_tag).has_value());
+}
+
+TEST(Wire, RejectsTruncationAtEveryLength) {
+  for (const auto& payload : all_message_kinds()) {
+    auto bytes = encode(payload);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      std::span<const std::uint8_t> prefix(bytes.data(), len);
+      EXPECT_FALSE(decode(prefix).has_value())
+          << "variant " << payload.index() << " truncated to " << len;
+    }
+  }
+}
+
+TEST(Wire, RejectsTrailingGarbage) {
+  auto bytes = encode(ProtocolPayload{CallSetup{SessionId(1)}});
+  bytes.push_back(0xAB);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Wire, SurvivesRandomMutations) {
+  Rng rng(77);
+  auto kinds = all_message_kinds();
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto bytes = encode(kinds[trial % kinds.size()]);
+    int flips = static_cast<int>(rng.range(1, 4));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.below(bytes.size())] = static_cast<std::uint8_t>(rng.below(256));
+    }
+    (void)decode(bytes);  // must not crash or over-read
+  }
+}
+
+TEST(Wire, RejectsAbsurdCloseSetCount) {
+  auto bytes = encode(ProtocolPayload{CloseSetReply{sample_set()}});
+  // Entry count lives after version(1)+tag(1)+owner(4).
+  bytes[6] = 0xFF;
+  bytes[7] = 0xFF;
+  bytes[8] = 0xFF;
+  bytes[9] = 0x7F;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace asap::core::wire

@@ -1,0 +1,98 @@
+#include "netmodel/king.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "astopo/topology_gen.h"
+#include "common/rng.h"
+
+namespace asap::netmodel {
+namespace {
+
+struct KingFixture : public ::testing::Test {
+  void SetUp() override {
+    astopo::TopologyParams params;
+    params.total_as = 300;
+    Rng topo_rng(31);
+    topo = astopo::generate_topology(params, topo_rng);
+    Rng lat_rng(32);
+    model = std::make_unique<LatencyModel>(topo, LatencyParams{}, lat_rng);
+    oracle = std::make_unique<PathOracle>(topo.graph, *model);
+  }
+
+  astopo::Topology topo;
+  std::unique_ptr<LatencyModel> model;
+  std::unique_ptr<PathOracle> oracle;
+};
+
+TEST_F(KingFixture, DeterministicPerPairAndSymmetric) {
+  KingEstimator king(*oracle, KingParams{}, 777);
+  AsId a = topo.stubs[0];
+  AsId b = topo.stubs[1];
+  auto m1 = king.measure_rtt(a, b);
+  auto m2 = king.measure_rtt(a, b);
+  auto m3 = king.measure_rtt(b, a);
+  EXPECT_EQ(m1.has_value(), m2.has_value());
+  if (m1 && m2) {
+    EXPECT_EQ(*m1, *m2);
+  }
+  EXPECT_EQ(m1.has_value(), m3.has_value());
+  if (m1 && m3) {
+    EXPECT_EQ(*m1, *m3);
+  }
+}
+
+TEST_F(KingFixture, ResponseRateApproximatesConfiguration) {
+  KingParams params;
+  params.response_rate = 0.70;
+  KingEstimator king(*oracle, params, 778);
+  int responded = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < topo.stubs.size(); ++i) {
+    for (std::size_t j = i + 1; j < std::min(topo.stubs.size(), i + 20); ++j) {
+      ++total;
+      if (king.measure_rtt(topo.stubs[i], topo.stubs[j])) ++responded;
+    }
+  }
+  ASSERT_GT(total, 500);
+  EXPECT_NEAR(static_cast<double>(responded) / total, 0.70, 0.06);
+}
+
+TEST_F(KingFixture, EstimatesTrackTruthWithinNoise) {
+  KingParams params;
+  params.response_rate = 1.0;
+  params.noise_sigma = 0.08;
+  KingEstimator king(*oracle, params, 779);
+  double log_err_sum = 0.0;
+  int n = 0;
+  for (std::size_t i = 0; i + 1 < topo.stubs.size() && n < 400; i += 2) {
+    AsId a = topo.stubs[i];
+    AsId b = topo.stubs[i + 1];
+    Millis truth = oracle->rtt_ms(a, b);
+    auto est = king.measure_rtt(a, b);
+    ASSERT_TRUE(est.has_value());
+    // Within a few noise sigmas multiplicatively (plus DNS overhead).
+    EXPECT_GT(*est, truth * 0.7);
+    EXPECT_LT(*est, truth * 1.45 + params.dns_overhead_ms);
+    log_err_sum += std::log(*est / truth);
+    ++n;
+  }
+  // Noise is unbiased in log space (up to the small DNS overhead).
+  EXPECT_NEAR(log_err_sum / n, 0.0, 0.05);
+}
+
+TEST_F(KingFixture, DifferentSeedsGiveDifferentResponsePatterns) {
+  KingEstimator k1(*oracle, KingParams{}, 1);
+  KingEstimator k2(*oracle, KingParams{}, 2);
+  int differ = 0;
+  for (std::size_t i = 0; i + 1 < topo.stubs.size() && i < 100; i += 2) {
+    bool r1 = k1.measure_rtt(topo.stubs[i], topo.stubs[i + 1]).has_value();
+    bool r2 = k2.measure_rtt(topo.stubs[i], topo.stubs[i + 1]).has_value();
+    if (r1 != r2) ++differ;
+  }
+  EXPECT_GT(differ, 0);
+}
+
+}  // namespace
+}  // namespace asap::netmodel

@@ -1,0 +1,123 @@
+#include "netmodel/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace asap::netmodel {
+namespace {
+
+astopo::Topology make_topology(std::uint64_t seed, std::size_t total = 600) {
+  astopo::TopologyParams params;
+  params.total_as = total;
+  Rng rng(seed);
+  return astopo::generate_topology(params, rng);
+}
+
+TEST(LatencyModel, EdgeLatenciesArePositiveAndDistanceDriven) {
+  auto topo = make_topology(1);
+  Rng rng(2);
+  LatencyParams params;
+  LatencyModel model(topo, params, rng);
+  for (std::uint32_t e = 0; e < topo.graph.edge_count(); ++e) {
+    EXPECT_GT(model.edge_latency_ms(e), 0.0);
+    if (model.is_degraded_edge(e)) continue;
+    auto [a, b] = topo.graph.edge_endpoints(e);
+    double km = astopo::geo_distance_km(topo.graph.node(a).geo, topo.graph.node(b).geo);
+    // Latency at least the speed-of-light bound, at most bound * max detour
+    // + base.
+    double lower = km / params.km_per_ms * params.detour_min;
+    double upper = km / params.km_per_ms * params.detour_max + params.edge_base_ms_max;
+    EXPECT_GE(model.edge_latency_ms(e), lower);
+    EXPECT_LE(model.edge_latency_ms(e), upper + 1e-9);
+  }
+}
+
+TEST(LatencyModel, DeterministicGivenSeed) {
+  auto topo = make_topology(3);
+  LatencyParams params;
+  Rng rng1(4);
+  Rng rng2(4);
+  LatencyModel m1(topo, params, rng1);
+  LatencyModel m2(topo, params, rng2);
+  for (std::uint32_t e = 0; e < topo.graph.edge_count(); ++e) {
+    EXPECT_EQ(m1.edge_latency_ms(e), m2.edge_latency_ms(e));
+    EXPECT_EQ(m1.edge_loss(e), m2.edge_loss(e));
+  }
+}
+
+TEST(LatencyModel, CongestionOnlyOnTier2) {
+  auto topo = make_topology(5);
+  LatencyParams params;
+  params.congested_tier2_fraction = 0.5;  // force plenty
+  Rng rng(6);
+  LatencyModel model(topo, params, rng);
+  EXPECT_GT(model.congested_as_count(), 0u);
+  for (std::uint32_t i = 0; i < topo.graph.as_count(); ++i) {
+    AsId as(i);
+    if (model.is_congested(as)) {
+      EXPECT_EQ(topo.graph.node(as).tier, astopo::AsTier::kTier2);
+      EXPECT_GE(model.transit_delay_ms(as), params.congestion_penalty_ms_min);
+      EXPECT_GT(model.transit_loss(as), 0.0);
+    }
+  }
+}
+
+TEST(LatencyModel, BackboneInterconnectsAreDegradedDeterministically) {
+  auto topo = make_topology(7);
+  LatencyParams params;
+  params.broken_edge_fraction = 0.0;  // isolate the interconnect mechanism
+  Rng rng(8);
+  LatencyModel model(topo, params, rng);
+  std::size_t degraded = 0;
+  for (std::uint32_t e = 0; e < topo.graph.edge_count(); ++e) {
+    if (!model.is_degraded_edge(e)) continue;
+    ++degraded;
+    auto [a, b] = topo.graph.edge_endpoints(e);
+    // Interconnects never touch stubs.
+    EXPECT_NE(topo.graph.node(a).tier, astopo::AsTier::kStub);
+    EXPECT_NE(topo.graph.node(b).tier, astopo::AsTier::kStub);
+    EXPECT_GE(model.edge_latency_ms(e), params.backbone_penalty_ms_min);
+  }
+  EXPECT_EQ(degraded, params.congested_backbone_links);
+}
+
+TEST(LatencyModel, BrokenUplinksAreInboundOnly) {
+  auto topo = make_topology(9);
+  LatencyParams params;
+  params.broken_edge_fraction = 1.0;  // break every eligible stub
+  params.congested_backbone_links = 0;
+  Rng rng(10);
+  LatencyModel model(topo, params, rng);
+  std::size_t broken = 0;
+  for (std::uint32_t e = 0; e < topo.graph.edge_count(); ++e) {
+    if (!model.is_degraded_edge(e)) continue;
+    ++broken;
+    auto [a, b] = topo.graph.edge_endpoints(e);
+    AsId stub = topo.graph.node(a).tier == astopo::AsTier::kStub ? a : b;
+    AsId provider = stub == a ? b : a;
+    EXPECT_EQ(topo.graph.node(stub).tier, astopo::AsTier::kStub);
+    // Inbound (toward the stub) is penalized, outbound is not.
+    EXPECT_GE(model.edge_latency_ms(e, stub),
+              model.edge_latency_ms(e) + params.broken_edge_penalty_ms_min);
+    EXPECT_EQ(model.edge_latency_ms(e, provider), model.edge_latency_ms(e));
+  }
+  EXPECT_GT(broken, 0u);
+}
+
+TEST(LatencyModel, LossWithinConfiguredBounds) {
+  auto topo = make_topology(11);
+  LatencyParams params;
+  Rng rng(12);
+  LatencyModel model(topo, params, rng);
+  for (std::uint32_t e = 0; e < topo.graph.edge_count(); ++e) {
+    EXPECT_GE(model.edge_loss(e), 0.0);
+    EXPECT_LE(model.edge_loss(e), 0.5);
+    if (!model.is_degraded_edge(e)) {
+      EXPECT_LE(model.edge_loss(e), params.edge_loss_max);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asap::netmodel

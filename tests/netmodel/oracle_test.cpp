@@ -1,0 +1,142 @@
+#include "netmodel/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "astopo/topology_gen.h"
+#include "common/rng.h"
+
+namespace asap::netmodel {
+namespace {
+
+struct OracleFixture : public ::testing::Test {
+  void SetUp() override {
+    astopo::TopologyParams params;
+    params.total_as = 400;
+    Rng topo_rng(21);
+    topo = astopo::generate_topology(params, topo_rng);
+    Rng lat_rng(22);
+    model = std::make_unique<LatencyModel>(topo, LatencyParams{}, lat_rng);
+    oracle = std::make_unique<PathOracle>(topo.graph, *model);
+  }
+
+  astopo::Topology topo;
+  std::unique_ptr<LatencyModel> model;
+  std::unique_ptr<PathOracle> oracle;
+};
+
+TEST_F(OracleFixture, SelfLatencyIsZero) {
+  AsId a = topo.stubs.front();
+  EXPECT_EQ(oracle->one_way_ms(a, a), 0.0);
+  EXPECT_EQ(oracle->rtt_ms(a, a), 0.0);
+  EXPECT_EQ(oracle->as_hops(a, a), 0);
+  EXPECT_EQ(oracle->one_way_loss(a, a), 0.0);
+}
+
+TEST_F(OracleFixture, OneWayMatchesManualPathSum) {
+  AsId src = topo.stubs.front();
+  AsId dst = topo.stubs.back();
+  auto path = oracle->as_path(src, dst);
+  ASSERT_GE(path.size(), 2u);
+  Millis manual = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    auto link = topo.graph.link_between(path[i], path[i + 1]);
+    ASSERT_TRUE(link.has_value());
+    // Find the edge id between consecutive path nodes.
+    std::uint32_t edge_id = 0;
+    for (const auto& adj : topo.graph.neighbors(path[i])) {
+      if (adj.neighbor == path[i + 1]) edge_id = adj.edge_id;
+    }
+    manual += model->edge_latency_ms(edge_id, path[i + 1]);
+    if (i + 1 < path.size() - 1) manual += model->transit_delay_ms(path[i + 1]);
+  }
+  EXPECT_NEAR(oracle->one_way_ms(src, dst), manual, 0.1);
+}
+
+TEST_F(OracleFixture, RttIsForwardPlusReverse) {
+  AsId a = topo.stubs[0];
+  AsId b = topo.stubs[1];
+  EXPECT_NEAR(oracle->rtt_ms(a, b), oracle->one_way_ms(a, b) + oracle->one_way_ms(b, a),
+              1e-6);
+  EXPECT_NEAR(oracle->rtt_ms(a, b), oracle->rtt_ms(b, a), 1e-6);
+}
+
+TEST_F(OracleFixture, HopsMatchPathLength) {
+  AsId src = topo.stubs[2];
+  AsId dst = topo.stubs[3];
+  auto path = oracle->as_path(src, dst);
+  EXPECT_EQ(path.size(), static_cast<std::size_t>(oracle->as_hops(src, dst)) + 1);
+}
+
+TEST_F(OracleFixture, LossAccumulatesAlongPath) {
+  AsId src = topo.stubs[4];
+  AsId dst = topo.stubs[5];
+  double loss = oracle->one_way_loss(src, dst);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 1.0);
+  // Round-trip loss exceeds either direction's loss.
+  EXPECT_GE(oracle->rtt_loss(src, dst), loss);
+}
+
+TEST_F(OracleFixture, TablesAreCachedPerDestination) {
+  AsId dst = topo.stubs[6];
+  (void)oracle->one_way_ms(topo.stubs[0], dst);
+  auto count = oracle->cached_tables();
+  (void)oracle->one_way_ms(topo.stubs[1], dst);
+  (void)oracle->rtt_ms(topo.stubs[2], dst);  // adds the reverse tables
+  EXPECT_GE(oracle->cached_tables(), count);
+  (void)oracle->one_way_ms(topo.stubs[3], dst);
+  EXPECT_LE(oracle->cached_tables(), count + 3);
+}
+
+TEST_F(OracleFixture, OneWayTableAgreesWithScalarApi) {
+  AsId dst = topo.tier2.front();
+  auto table = oracle->one_way_table(dst);
+  ASSERT_EQ(table.size(), topo.graph.as_count());
+  for (AsId src : {topo.stubs[0], topo.stubs[7], topo.tier1[0]}) {
+    EXPECT_NEAR(table[src.value()], oracle->one_way_ms(src, dst), 0.01);
+  }
+}
+
+TEST_F(OracleFixture, PathologicalDetectionMatchesInjectedState) {
+  // Find a pair crossing a congested AS, if any exists.
+  bool found_pathological = false;
+  for (std::size_t i = 0; i < 50 && !found_pathological; ++i) {
+    for (std::size_t j = 0; j < 50; ++j) {
+      AsId a = topo.stubs[i % topo.stubs.size()];
+      AsId b = topo.stubs[(i + j + 1) % topo.stubs.size()];
+      if (a == b) continue;
+      if (oracle->path_is_pathological(a, b)) {
+        found_pathological = true;
+        break;
+      }
+    }
+  }
+  // The default params always degrade the top interconnects, so some pair
+  // should cross one in 2500 samples.
+  EXPECT_TRUE(found_pathological);
+}
+
+TEST_F(OracleFixture, TriangleInequalityCanFail) {
+  // The whole premise of the paper: policy routing is not latency-optimal,
+  // so some two-leg path beats the direct one. Verify at least one such
+  // triangle exists.
+  bool found = false;
+  const auto& stubs = topo.stubs;
+  for (std::size_t i = 0; i < 40 && !found; ++i) {
+    for (std::size_t j = 0; j < 40 && !found; ++j) {
+      for (std::size_t k = 0; k < 40 && !found; ++k) {
+        AsId a = stubs[i];
+        AsId b = stubs[j];
+        AsId c = stubs[k];
+        if (a == b || b == c || a == c) continue;
+        if (oracle->rtt_ms(a, c) + oracle->rtt_ms(c, b) < oracle->rtt_ms(a, b)) {
+          found = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found) << "policy routing should leave some triangle violations";
+}
+
+}  // namespace
+}  // namespace asap::netmodel

@@ -1,0 +1,106 @@
+#include "population/measurement.h"
+
+#include <gtest/gtest.h>
+
+namespace asap::population {
+namespace {
+
+WorldParams small_params() {
+  WorldParams params;
+  params.seed = 91;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+struct MeasurementFixture : public ::testing::Test {
+  void SetUp() override {
+    world = std::make_unique<World>(small_params());
+    Rng rng(5);
+    sessions = generate_sessions(*world, 200, rng);
+  }
+  std::unique_ptr<World> world;
+  std::vector<Session> sessions;
+};
+
+TEST_F(MeasurementFixture, DelegateRttIsDeterministicAndPlausible) {
+  const auto& clusters = world->pop().populated_clusters();
+  ClusterId a = clusters[0];
+  ClusterId b = clusters[1];
+  auto m1 = measure_delegate_rtt(*world, a, b);
+  auto m2 = measure_delegate_rtt(*world, a, b);
+  EXPECT_EQ(m1.has_value(), m2.has_value());
+  if (m1) {
+    EXPECT_EQ(*m1, *m2);
+    EXPECT_GT(*m1, 0.0);
+  }
+}
+
+TEST_F(MeasurementFixture, SomeDelegatePairsDoNotRespond) {
+  const auto& clusters = world->pop().populated_clusters();
+  int responded = 0;
+  int total = 0;
+  for (std::size_t i = 0; i + 1 < std::min<std::size_t>(clusters.size(), 80); ++i) {
+    for (std::size_t j = i + 1; j < std::min<std::size_t>(clusters.size(), 80); j += 7) {
+      ++total;
+      if (measure_delegate_rtt(*world, clusters[i], clusters[j])) ++responded;
+    }
+  }
+  EXPECT_GT(responded, 0);
+  EXPECT_LT(responded, total) << "~30% of King pairs should be unresponsive";
+}
+
+TEST_F(MeasurementFixture, OptimalOneHopNeverWorseThanAnySingleCandidate) {
+  const auto& pop = world->pop();
+  const Session& s = sessions.front();
+  OptimalOneHop best = optimal_one_hop(*world, s);
+  ASSERT_TRUE(best.relay.valid());
+  for (ClusterId c : pop.populated_clusters()) {
+    if (c == pop.peer(s.caller).cluster || c == pop.peer(s.callee).cluster) continue;
+    Millis rtt = world->relay_rtt_ms(s.caller, pop.cluster(c).delegate, s.callee);
+    EXPECT_LE(best.rtt_ms, rtt + 1e-6);
+  }
+}
+
+TEST_F(MeasurementFixture, ScannerMatchesReferenceImplementation) {
+  OneHopScanner scanner(*world);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const Session& s = sessions[i];
+    OptimalOneHop reference = optimal_one_hop(*world, s);
+    OptimalOneHop fast = scanner.best(s);
+    ASSERT_EQ(fast.relay.valid(), reference.relay.valid());
+    if (reference.relay.valid()) {
+      // Float accumulation differences only.
+      EXPECT_NEAR(fast.rtt_ms, reference.rtt_ms, 0.5);
+    }
+  }
+}
+
+TEST_F(MeasurementFixture, ScannerQualityCountMatchesBruteForce) {
+  OneHopScanner scanner(*world);
+  const auto& pop = world->pop();
+  for (std::size_t i = 0; i < 10; ++i) {
+    const Session& s = sessions[i];
+    std::size_t brute = 0;
+    for (ClusterId c : pop.populated_clusters()) {
+      if (c == pop.peer(s.caller).cluster || c == pop.peer(s.callee).cluster) continue;
+      HostId delegate = pop.cluster(c).delegate;
+      if (delegate == s.caller || delegate == s.callee) continue;
+      if (world->relay_rtt_ms(s.caller, delegate, s.callee) < 300.0) ++brute;
+    }
+    std::size_t fast = scanner.count_quality(s, 300.0);
+    // Allow off-by-small from float rounding near the threshold.
+    EXPECT_NEAR(static_cast<double>(fast), static_cast<double>(brute), 2.0);
+  }
+}
+
+TEST(ReductionRate, Formula) {
+  EXPECT_DOUBLE_EQ(reduction_rate(200.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(reduction_rate(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(reduction_rate(0.0, 100.0), 0.0);
+  EXPECT_LT(reduction_rate(100.0, 150.0), 0.0);
+}
+
+}  // namespace
+}  // namespace asap::population

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "population/world.h"
+
+namespace asap::population {
+namespace {
+
+WorldParams big_cluster_params() {
+  WorldParams params;
+  params.seed = 181;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 8000;  // enough for some >400-member clusters
+  params.pop.cluster_zipf_s = 1.1;
+  return params;
+}
+
+struct MultiSurrogateFixture : public ::testing::Test {
+  void SetUp() override { world = std::make_unique<World>(big_cluster_params()); }
+  std::unique_ptr<World> world;
+
+  ClusterId find_large_cluster(std::size_t min_members) const {
+    for (ClusterId c : world->pop().populated_clusters()) {
+      if (world->pop().cluster(c).members.size() >= min_members) return c;
+    }
+    return ClusterId::invalid();
+  }
+};
+
+TEST_F(MultiSurrogateFixture, SurrogateCountScalesWithClusterSize) {
+  const auto& pop = world->pop();
+  std::size_t per = world->params().pop.members_per_surrogate;
+  for (ClusterId c : pop.populated_clusters()) {
+    const Cluster& cluster = pop.cluster(c);
+    ASSERT_FALSE(cluster.surrogates.empty());
+    std::size_t expected = 1 + (cluster.members.size() - 1) / per;
+    expected = std::min({expected, world->params().pop.max_surrogates_per_cluster,
+                         cluster.members.size()});
+    EXPECT_EQ(cluster.surrogates.size(), expected)
+        << "cluster with " << cluster.members.size() << " members";
+    EXPECT_EQ(cluster.surrogate, cluster.surrogates.front());
+  }
+}
+
+TEST_F(MultiSurrogateFixture, LargeClustersExistAndHaveMultipleSurrogates) {
+  ClusterId big = find_large_cluster(500);
+  ASSERT_TRUE(big.valid()) << "the zipf head should produce a 500+ member cluster";
+  EXPECT_GE(world->pop().cluster(big).surrogates.size(), 2u);
+}
+
+TEST_F(MultiSurrogateFixture, SurrogatesAreTopCapacityMembers) {
+  ClusterId big = find_large_cluster(500);
+  ASSERT_TRUE(big.valid());
+  const auto& pop = world->pop();
+  const Cluster& cluster = pop.cluster(big);
+  double min_surrogate_capacity = 1e18;
+  for (HostId s : cluster.surrogates) {
+    min_surrogate_capacity = std::min(min_surrogate_capacity, pop.peer(s).capacity);
+  }
+  std::size_t better_non_surrogates = 0;
+  for (HostId h : cluster.members) {
+    bool is_surrogate = std::find(cluster.surrogates.begin(), cluster.surrogates.end(), h) !=
+                        cluster.surrogates.end();
+    if (!is_surrogate && pop.peer(h).capacity > min_surrogate_capacity) {
+      ++better_non_surrogates;
+    }
+  }
+  EXPECT_EQ(better_non_surrogates, 0u);
+}
+
+TEST_F(MultiSurrogateFixture, AssignmentShardsAcrossSurrogates) {
+  ClusterId big = find_large_cluster(500);
+  ASSERT_TRUE(big.valid());
+  const auto& pop = world->pop();
+  const Cluster& cluster = pop.cluster(big);
+  std::map<std::uint32_t, std::size_t> load;
+  for (HostId member : cluster.members) {
+    HostId assigned = pop.assigned_surrogate(big, member);
+    ASSERT_TRUE(assigned.valid());
+    // Assignment must point at a real surrogate of this cluster.
+    EXPECT_NE(std::find(cluster.surrogates.begin(), cluster.surrogates.end(), assigned),
+              cluster.surrogates.end());
+    ++load[assigned.value()];
+  }
+  EXPECT_EQ(load.size(), cluster.surrogates.size()) << "every surrogate takes a shard";
+  // Shards are roughly even (static mod-sharding over dense ids).
+  std::size_t max_load = 0;
+  std::size_t min_load = SIZE_MAX;
+  for (const auto& [_, n] : load) {
+    max_load = std::max(max_load, n);
+    min_load = std::min(min_load, n);
+  }
+  EXPECT_LT(max_load, 2 * min_load + 16);
+}
+
+TEST_F(MultiSurrogateFixture, AssignmentIsStable) {
+  ClusterId big = find_large_cluster(500);
+  ASSERT_TRUE(big.valid());
+  const auto& pop = world->pop();
+  HostId member = pop.cluster(big).members[3];
+  EXPECT_EQ(pop.assigned_surrogate(big, member), pop.assigned_surrogate(big, member));
+}
+
+TEST_F(MultiSurrogateFixture, ElectionReplacesFailedSurrogateInSet) {
+  ClusterId big = find_large_cluster(500);
+  ASSERT_TRUE(big.valid());
+  auto& pop = world->pop();
+  Cluster before = pop.cluster(big);  // copy: election mutates the cluster
+  ASSERT_GE(before.surrogates.size(), 2u);
+  HostId secondary = before.surrogates[1];
+  pop.elect_surrogate(big, secondary);
+  const Cluster& after = pop.cluster(big);
+  EXPECT_EQ(after.surrogates.size(), before.surrogates.size());
+  EXPECT_EQ(std::find(after.surrogates.begin(), after.surrogates.end(), secondary),
+            after.surrogates.end())
+      << "failed surrogate must leave the set";
+  // Primary unaffected when a secondary fails.
+  EXPECT_EQ(after.surrogate, before.surrogates.front());
+}
+
+}  // namespace
+}  // namespace asap::population

@@ -1,0 +1,170 @@
+#include "population/nat.h"
+
+#include <gtest/gtest.h>
+
+#include "core/close_cluster.h"
+#include "core/protocol.h"
+#include "core/select_relay.h"
+#include "population/session_gen.h"
+
+namespace asap::population {
+namespace {
+
+TEST(Nat, ConnectivityMatrix) {
+  using enum NatType;
+  // Open talks to everyone.
+  EXPECT_TRUE(can_connect_direct(kOpen, kOpen));
+  EXPECT_TRUE(can_connect_direct(kOpen, kPortRestricted));
+  EXPECT_TRUE(can_connect_direct(kOpen, kSymmetric));
+  EXPECT_TRUE(can_connect_direct(kSymmetric, kOpen));
+  // Hole punching works between port-restricted NATs.
+  EXPECT_TRUE(can_connect_direct(kPortRestricted, kPortRestricted));
+  // Symmetric defeats hole punching.
+  EXPECT_FALSE(can_connect_direct(kSymmetric, kPortRestricted));
+  EXPECT_FALSE(can_connect_direct(kPortRestricted, kSymmetric));
+  EXPECT_FALSE(can_connect_direct(kSymmetric, kSymmetric));
+  // Only open peers can relay.
+  EXPECT_TRUE(can_serve_as_relay(kOpen));
+  EXPECT_FALSE(can_serve_as_relay(kPortRestricted));
+  EXPECT_FALSE(can_serve_as_relay(kSymmetric));
+}
+
+WorldParams nat_world_params() {
+  WorldParams params;
+  params.seed = 201;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 4000;
+  params.pop.nat_enabled = true;
+  return params;
+}
+
+struct NatFixture : public ::testing::Test {
+  void SetUp() override { world = std::make_unique<World>(nat_world_params()); }
+  std::unique_ptr<World> world;
+};
+
+TEST_F(NatFixture, DistributionMatchesConfiguration) {
+  std::size_t open = 0;
+  std::size_t restricted = 0;
+  std::size_t symmetric = 0;
+  for (const auto& peer : world->pop().peers()) {
+    switch (peer.nat) {
+      case NatType::kOpen: ++open; break;
+      case NatType::kPortRestricted: ++restricted; break;
+      case NatType::kSymmetric: ++symmetric; break;
+    }
+  }
+  double n = static_cast<double>(world->pop().peers().size());
+  EXPECT_NEAR(open / n, world->params().pop.nat_open_fraction, 0.03);
+  EXPECT_NEAR(restricted / n, world->params().pop.nat_restricted_fraction, 0.03);
+  EXPECT_GT(symmetric, 0u);
+}
+
+TEST_F(NatFixture, NatDisabledMeansEveryoneOpen) {
+  auto params = nat_world_params();
+  params.pop.nat_enabled = false;
+  World plain(params);
+  for (const auto& peer : plain.pop().peers()) {
+    EXPECT_EQ(peer.nat, NatType::kOpen);
+  }
+  for (ClusterId c : plain.pop().populated_clusters()) {
+    EXPECT_EQ(plain.pop().cluster(c).relay_capable_members,
+              plain.pop().cluster(c).members.size());
+  }
+}
+
+TEST_F(NatFixture, RelayCapableCountMatchesMembers) {
+  for (ClusterId c : world->pop().populated_clusters()) {
+    const Cluster& cluster = world->pop().cluster(c);
+    std::size_t open = 0;
+    for (HostId h : cluster.members) {
+      if (can_serve_as_relay(world->pop().peer(h).nat)) ++open;
+    }
+    EXPECT_EQ(cluster.relay_capable_members, open);
+  }
+}
+
+TEST_F(NatFixture, SurrogatesPreferOpenPeers) {
+  std::size_t clusters_with_open = 0;
+  std::size_t open_surrogates = 0;
+  for (ClusterId c : world->pop().populated_clusters()) {
+    const Cluster& cluster = world->pop().cluster(c);
+    if (cluster.relay_capable_members == 0) continue;
+    ++clusters_with_open;
+    if (can_serve_as_relay(world->pop().peer(cluster.surrogate).nat)) ++open_surrogates;
+  }
+  EXPECT_EQ(open_surrogates, clusters_with_open)
+      << "whenever an open member exists, the surrogate must be open";
+}
+
+TEST_F(NatFixture, AsapCountsOnlyRelayCapableNodes) {
+  Rng rng = world->fork_rng(1);
+  auto sessions = generate_sessions(*world, 3000, rng);
+  core::AsapParams params;
+  core::CloseSetCache cache(*world, params);
+  Rng select_rng(2);
+  const auto& s = sessions.front();
+  auto result = core::select_close_relay(*world, cache, s, select_rng);
+  std::uint64_t expected = 0;
+  for (ClusterId c : result.one_hop_clusters) {
+    expected += world->pop().cluster(c).relay_capable_members;
+    EXPECT_GT(world->pop().cluster(c).relay_capable_members, 0u);
+  }
+  EXPECT_EQ(result.one_hop_nodes, expected);
+}
+
+TEST_F(NatFixture, BlockedCallRelaysRegardlessOfLatency) {
+  // Find a symmetric-symmetric pair in nearby clusters (direct would be
+  // cheap, but NAT forbids it).
+  const auto& pop = world->pop();
+  HostId a = HostId::invalid();
+  HostId b = HostId::invalid();
+  for (std::uint32_t i = 0; i < pop.peers().size() && !b.valid(); ++i) {
+    if (pop.peer(HostId(i)).nat != NatType::kSymmetric) continue;
+    for (std::uint32_t j = i + 1; j < pop.peers().size(); ++j) {
+      if (pop.peer(HostId(j)).nat != NatType::kSymmetric) continue;
+      if (pop.peer(HostId(i)).cluster == pop.peer(HostId(j)).cluster) continue;
+      a = HostId(i);
+      b = HostId(j);
+      break;
+    }
+  }
+  ASSERT_TRUE(a.valid() && b.valid());
+  EXPECT_FALSE(pop.direct_possible(a, b));
+
+  core::AsapParams params;
+  core::AsapSystem system(*const_cast<World*>(world.get()), params, 2);
+  system.join_all();
+  auto outcome = system.call(a, b, 200.0);
+  EXPECT_TRUE(outcome.nat_blocked);
+  if (outcome.completed) {
+    EXPECT_TRUE(outcome.used_relay) << "a NAT-blocked call can only complete via relay";
+    EXPECT_TRUE(can_serve_as_relay(pop.peer(outcome.relay.relay1).nat));
+    EXPECT_EQ(outcome.voice_packets_received, outcome.voice_packets_sent);
+  }
+}
+
+TEST_F(NatFixture, OpenPairStillCallsDirect) {
+  const auto& pop = world->pop();
+  Rng rng = world->fork_rng(3);
+  auto sessions = generate_sessions(*world, 3000, rng);
+  for (const auto& s : sessions) {
+    if (pop.peer(s.caller).nat != NatType::kOpen ||
+        pop.peer(s.callee).nat != NatType::kOpen || s.direct_rtt_ms > 200.0) {
+      continue;
+    }
+    core::AsapParams params;
+    core::AsapSystem system(*world, params, 2);
+    system.join_all();
+    auto outcome = system.call(s.caller, s.callee, 100.0);
+    EXPECT_TRUE(outcome.completed);
+    EXPECT_FALSE(outcome.nat_blocked);
+    EXPECT_FALSE(outcome.used_relay);
+    return;
+  }
+  GTEST_SKIP() << "no good open-open pair found";
+}
+
+}  // namespace
+}  // namespace asap::population

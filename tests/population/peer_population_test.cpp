@@ -1,0 +1,131 @@
+#include "population/peer_population.h"
+
+#include <gtest/gtest.h>
+
+#include "astopo/topology_gen.h"
+
+namespace asap::population {
+namespace {
+
+struct PopFixture : public ::testing::Test {
+  void SetUp() override {
+    astopo::TopologyParams topo_params;
+    topo_params.total_as = 600;
+    Rng topo_rng(61);
+    topo = astopo::generate_topology(topo_params, topo_rng);
+    params.host_as_count = 150;
+    params.total_peers = 4000;
+    Rng pop_rng(62);
+    pop = std::make_unique<PeerPopulation>(topo, params, pop_rng);
+  }
+
+  astopo::Topology topo;
+  PopulationParams params;
+  std::unique_ptr<PeerPopulation> pop;
+};
+
+TEST_F(PopFixture, AllPeersCreatedAndConsistent) {
+  EXPECT_EQ(pop->peers().size(), params.total_peers);
+  for (std::uint32_t i = 0; i < pop->peers().size(); ++i) {
+    const Peer& p = pop->peer(HostId(i));
+    const Cluster& c = pop->cluster(p.cluster);
+    EXPECT_EQ(p.as, c.as);
+    EXPECT_TRUE(c.prefix.contains(p.ip)) << "peer IP must lie in its cluster prefix";
+    EXPECT_GT(p.access_one_way_ms, 0.0);
+  }
+}
+
+TEST_F(PopFixture, ClusterMembershipIsBidirectional) {
+  for (ClusterId c : pop->populated_clusters()) {
+    const Cluster& cluster = pop->cluster(c);
+    EXPECT_FALSE(cluster.members.empty());
+    for (HostId h : cluster.members) {
+      EXPECT_EQ(pop->peer(h).cluster, c);
+    }
+  }
+}
+
+TEST_F(PopFixture, DelegatesAndSurrogatesAreMembers) {
+  for (ClusterId c : pop->populated_clusters()) {
+    const Cluster& cluster = pop->cluster(c);
+    ASSERT_TRUE(cluster.delegate.valid());
+    ASSERT_TRUE(cluster.surrogate.valid());
+    EXPECT_EQ(pop->peer(cluster.delegate).cluster, c);
+    EXPECT_EQ(pop->peer(cluster.surrogate).cluster, c);
+  }
+}
+
+TEST_F(PopFixture, SurrogateHasMaxCapacity) {
+  for (ClusterId c : pop->populated_clusters()) {
+    const Cluster& cluster = pop->cluster(c);
+    double surrogate_capacity = pop->peer(cluster.surrogate).capacity;
+    for (HostId h : cluster.members) {
+      EXPECT_LE(pop->peer(h).capacity, surrogate_capacity);
+    }
+  }
+}
+
+TEST_F(PopFixture, LpmGroupingFindsOwnCluster) {
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const Peer& p = pop->peer(HostId(i));
+    auto cluster = pop->cluster_of_ip(p.ip);
+    ASSERT_TRUE(cluster.has_value());
+    EXPECT_EQ(*cluster, p.cluster);
+  }
+  // An address outside every allocated prefix maps to nothing.
+  EXPECT_FALSE(pop->cluster_of_ip(Ipv4Addr(0, 0, 0, 1)).has_value());
+}
+
+TEST_F(PopFixture, ClustersInAsIndexIsConsistent) {
+  for (AsId as : pop->host_ases()) {
+    const auto& clusters = pop->clusters_in_as(as);
+    EXPECT_FALSE(clusters.empty());
+    for (ClusterId c : clusters) {
+      EXPECT_EQ(pop->cluster(c).as, as);
+    }
+  }
+}
+
+TEST_F(PopFixture, ClusterSizesMatchPaperShape) {
+  // Sec. 6.3: 90% of clusters contain no more than 100 online end hosts.
+  std::size_t small = 0;
+  for (ClusterId c : pop->populated_clusters()) {
+    if (pop->cluster(c).members.size() <= 100) ++small;
+  }
+  double fraction =
+      static_cast<double>(small) / static_cast<double>(pop->populated_clusters().size());
+  EXPECT_GT(fraction, 0.9);
+}
+
+TEST_F(PopFixture, ElectSurrogateSkipsFailedNode) {
+  // Find a cluster with at least 2 members.
+  for (ClusterId c : pop->populated_clusters()) {
+    const Cluster& cluster = pop->cluster(c);
+    if (cluster.members.size() < 2) continue;
+    HostId old_surrogate = cluster.surrogate;
+    HostId replacement = pop->elect_surrogate(c, old_surrogate);
+    ASSERT_TRUE(replacement.valid());
+    EXPECT_NE(replacement, old_surrogate);
+    EXPECT_EQ(pop->cluster(c).surrogate, replacement);
+    // Replacement is the best among the remaining members.
+    for (HostId h : pop->cluster(c).members) {
+      if (h == old_surrogate) continue;
+      EXPECT_LE(pop->peer(h).capacity, pop->peer(replacement).capacity);
+    }
+    return;
+  }
+  FAIL() << "no multi-member cluster found";
+}
+
+TEST_F(PopFixture, DeterministicGivenSeed) {
+  Rng pop_rng(62);
+  PeerPopulation again(topo, params, pop_rng);
+  ASSERT_EQ(again.peers().size(), pop->peers().size());
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(again.peer(HostId(i)).ip, pop->peer(HostId(i)).ip);
+    EXPECT_EQ(again.peer(HostId(i)).cluster, pop->peer(HostId(i)).cluster);
+  }
+}
+
+}  // namespace
+}  // namespace asap::population

@@ -1,0 +1,59 @@
+#include "population/session_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace asap::population {
+namespace {
+
+WorldParams small_params() {
+  WorldParams params;
+  params.seed = 81;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+TEST(SessionGen, GeneratesRequestedCountAcrossClusters) {
+  World world(small_params());
+  Rng rng(1);
+  auto sessions = generate_sessions(world, 500, rng);
+  EXPECT_EQ(sessions.size(), 500u);
+  for (const auto& s : sessions) {
+    EXPECT_NE(s.caller, s.callee);
+    EXPECT_NE(world.pop().peer(s.caller).cluster, world.pop().peer(s.callee).cluster);
+    EXPECT_NEAR(s.direct_rtt_ms, world.host_rtt_ms(s.caller, s.callee), 1e-9);
+    EXPECT_NEAR(s.direct_loss, world.host_loss(s.caller, s.callee), 1e-12);
+  }
+}
+
+TEST(SessionGen, DeterministicGivenRngState) {
+  World world(small_params());
+  Rng rng1(7);
+  Rng rng2(7);
+  auto s1 = generate_sessions(world, 100, rng1);
+  auto s2 = generate_sessions(world, 100, rng2);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(s1[i].caller, s2[i].caller);
+    EXPECT_EQ(s1[i].callee, s2[i].callee);
+  }
+}
+
+TEST(SessionGen, LatentFilterIsStrictThreshold) {
+  World world(small_params());
+  Rng rng(9);
+  auto sessions = generate_sessions(world, 2000, rng);
+  auto latent = latent_sessions(sessions, 300.0);
+  for (const auto& s : latent) EXPECT_GT(s.direct_rtt_ms, 300.0);
+  std::size_t above = 0;
+  for (const auto& s : sessions) {
+    if (s.direct_rtt_ms > 300.0) ++above;
+  }
+  EXPECT_EQ(latent.size(), above);
+  // Custom threshold works too.
+  auto all = latent_sessions(sessions, 0.0);
+  EXPECT_EQ(all.size(), sessions.size());
+}
+
+}  // namespace
+}  // namespace asap::population

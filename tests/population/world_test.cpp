@@ -1,0 +1,123 @@
+#include "population/world.h"
+
+#include <gtest/gtest.h>
+
+namespace asap::population {
+namespace {
+
+WorldParams small_params(std::uint64_t seed = 71) {
+  WorldParams params;
+  params.seed = seed;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+struct WorldFixture : public ::testing::Test {
+  void SetUp() override { world = std::make_unique<World>(small_params()); }
+  std::unique_ptr<World> world;
+
+  HostId host(std::uint32_t i) const { return HostId(i); }
+};
+
+TEST_F(WorldFixture, HostRttComposesPathAndAccess) {
+  const auto& pop = world->pop();
+  // Find a cross-AS pair (almost any, but be robust to collisions).
+  HostId a = host(0);
+  HostId b = host(1);
+  for (std::uint32_t i = 1; pop.peer(a).as == pop.peer(b).as; ++i) b = host(i);
+  Millis expected = world->oracle().rtt_ms(pop.peer(a).as, pop.peer(b).as) +
+                    2.0 * (pop.peer(a).access_one_way_ms + pop.peer(b).access_one_way_ms);
+  EXPECT_NEAR(world->host_rtt_ms(a, b), expected, 0.05);
+}
+
+TEST_F(WorldFixture, HostRttIsSymmetric) {
+  for (std::uint32_t i = 0; i + 1 < 40; i += 2) {
+    EXPECT_NEAR(world->host_rtt_ms(host(i), host(i + 1)),
+                world->host_rtt_ms(host(i + 1), host(i)), 1e-6);
+  }
+}
+
+TEST_F(WorldFixture, RelayRttAddsPenaltyAndLegs) {
+  HostId a = host(0);
+  HostId r = host(5);
+  HostId b = host(1);
+  Millis expected = world->host_rtt_ms(a, r) + world->host_rtt_ms(r, b) +
+                    2.0 * world->params().relay_delay_one_way_ms;
+  EXPECT_NEAR(world->relay_rtt_ms(a, r, b), expected, 0.05);
+}
+
+TEST_F(WorldFixture, TwoHopRelayAddsTwoPenalties) {
+  HostId a = host(0);
+  HostId r1 = host(5);
+  HostId r2 = host(9);
+  HostId b = host(1);
+  Millis expected = world->host_rtt_ms(a, r1) + world->host_rtt_ms(r1, r2) +
+                    world->host_rtt_ms(r2, b) + 4.0 * world->params().relay_delay_one_way_ms;
+  EXPECT_NEAR(world->relay2_rtt_ms(a, r1, r2, b), expected, 0.05);
+}
+
+TEST_F(WorldFixture, RelayNeverBeatsPhysicsByMoreThanPolicySlack) {
+  // Relay paths must always carry the 40 ms penalty: a relay path between
+  // a and b through r is never shorter than both legs' sum minus nothing.
+  HostId a = host(2);
+  HostId b = host(3);
+  for (std::uint32_t i = 10; i < 30; ++i) {
+    Millis relay = world->relay_rtt_ms(a, host(i), b);
+    EXPECT_GE(relay, world->host_rtt_ms(a, host(i)) + kRelayDelayRttMs - 1e-6);
+  }
+}
+
+TEST_F(WorldFixture, LossProbabilitiesAreValid) {
+  for (std::uint32_t i = 0; i + 1 < 40; i += 2) {
+    double loss = world->host_loss(host(i), host(i + 1));
+    EXPECT_GE(loss, 0.0);
+    EXPECT_LE(loss, 1.0);
+    double relay_loss = world->relay_loss(host(i), host(40), host(i + 1));
+    EXPECT_GE(relay_loss + 1e-12, loss * 0.0);  // valid probability
+    EXPECT_LE(relay_loss, 1.0);
+  }
+}
+
+TEST_F(WorldFixture, ClusterRttUsesSurrogates) {
+  const auto& pop = world->pop();
+  ClusterId c1 = pop.populated_clusters()[0];
+  ClusterId c2 = pop.populated_clusters()[1];
+  EXPECT_NEAR(world->cluster_rtt_ms(c1, c2),
+              world->host_rtt_ms(pop.cluster(c1).surrogate, pop.cluster(c2).surrogate),
+              1e-9);
+}
+
+TEST_F(WorldFixture, ForkRngIsDeterministicPerSalt) {
+  Rng a = world->fork_rng(5);
+  Rng b = world->fork_rng(5);
+  Rng c = world->fork_rng(6);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(World, FullyDeterministicAcrossConstructions) {
+  World w1(small_params(123));
+  World w2(small_params(123));
+  EXPECT_EQ(w1.graph().as_count(), w2.graph().as_count());
+  EXPECT_EQ(w1.graph().edge_count(), w2.graph().edge_count());
+  EXPECT_EQ(w1.pop().peers().size(), w2.pop().peers().size());
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(w1.host_rtt_ms(HostId(i), HostId(i + 1)),
+              w2.host_rtt_ms(HostId(i), HostId(i + 1)));
+  }
+}
+
+TEST(World, DifferentSeedsDifferentWorlds) {
+  World w1(small_params(1));
+  World w2(small_params(2));
+  int differing = 0;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    if (w1.pop().peer(HostId(i)).ip != w2.pop().peer(HostId(i)).ip) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+}  // namespace
+}  // namespace asap::population

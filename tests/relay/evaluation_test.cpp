@@ -1,0 +1,116 @@
+#include "relay/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace asap::relay {
+namespace {
+
+population::WorldParams small_params() {
+  population::WorldParams params;
+  params.seed = 141;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+struct EvaluationFixture : public ::testing::Test {
+  void SetUp() override {
+    world = std::make_unique<population::World>(small_params());
+    Rng rng = world->fork_rng(1);
+    auto sessions = population::generate_sessions(*world, 5000, rng);
+    latent = population::latent_sessions(sessions);
+    if (latent.size() > 60) latent.resize(60);
+  }
+  std::unique_ptr<population::World> world;
+  std::vector<population::Session> latent;
+};
+
+TEST_F(EvaluationFixture, SelectorSuiteHasExpectedMethods) {
+  EvaluationConfig config;
+  auto selectors = make_selectors(*world, config);
+  ASSERT_EQ(selectors.size(), 5u);
+  EXPECT_EQ(selectors[0]->name(), "DEDI");
+  EXPECT_EQ(selectors[1]->name(), "RAND");
+  EXPECT_EQ(selectors[2]->name(), "MIX");
+  EXPECT_EQ(selectors[3]->name(), "ASAP");
+  EXPECT_EQ(selectors[4]->name(), "OPT");
+  config.include_opt = false;
+  EXPECT_EQ(make_selectors(*world, config).size(), 4u);
+}
+
+TEST_F(EvaluationFixture, ResultsHaveOneEntryPerSession) {
+  if (latent.empty()) GTEST_SKIP();
+  EvaluationConfig config;
+  auto results = evaluate_methods(*world, latent, config);
+  for (const auto& mr : results) {
+    EXPECT_EQ(mr.quality_paths.size(), latent.size());
+    EXPECT_EQ(mr.shortest_rtt_ms.size(), latent.size());
+    EXPECT_EQ(mr.highest_mos.size(), latent.size());
+    EXPECT_EQ(mr.messages.size(), latent.size());
+    for (double mos : mr.highest_mos) {
+      EXPECT_GE(mos, 1.0);
+      EXPECT_LE(mos, 4.5);
+    }
+  }
+}
+
+TEST_F(EvaluationFixture, ShortestRttNeverExceedsDirect) {
+  if (latent.empty()) GTEST_SKIP();
+  EvaluationConfig config;
+  auto results = evaluate_methods(*world, latent, config);
+  for (const auto& mr : results) {
+    for (std::size_t i = 0; i < latent.size(); ++i) {
+      EXPECT_LE(mr.shortest_rtt_ms[i], latent[i].direct_rtt_ms + 1e-6);
+    }
+  }
+}
+
+TEST_F(EvaluationFixture, PaperOrderingHolds) {
+  // The headline comparative result: ASAP finds orders of magnitude more
+  // quality paths than the fixed/random baselines and tracks OPT's shortest
+  // RTTs.
+  if (latent.size() < 10) GTEST_SKIP();
+  EvaluationConfig config;
+  auto results = evaluate_methods(*world, latent, config);
+  auto median = [](std::vector<double> v) { return percentile(std::move(v), 50); };
+  double asap_paths = 0.0;
+  double baseline_paths = 0.0;
+  double asap_rtt = 0.0;
+  double opt_rtt = 0.0;
+  double dedi_rtt = 0.0;
+  for (const auto& mr : results) {
+    if (mr.method == "ASAP") {
+      asap_paths = median(mr.quality_paths);
+      asap_rtt = median(mr.shortest_rtt_ms);
+    }
+    if (mr.method == "DEDI") {
+      baseline_paths = median(mr.quality_paths);
+      dedi_rtt = median(mr.shortest_rtt_ms);
+    }
+    if (mr.method == "OPT") opt_rtt = median(mr.shortest_rtt_ms);
+  }
+  EXPECT_GT(asap_paths, baseline_paths * 5) << "ASAP must dominate quality-path counts";
+  EXPECT_LE(asap_rtt, dedi_rtt + 1e-6) << "ASAP at least matches DEDI";
+  // OPT iterates cluster delegates while ASAP relays through surrogates
+  // (different hosts, different access delays), so allow a small slack on
+  // "OPT is the lower bound".
+  EXPECT_LE(opt_rtt, asap_rtt * 1.05 + 1.0) << "OPT is the (near) lower bound";
+  EXPECT_LT(asap_rtt, opt_rtt * 1.3) << "ASAP tracks OPT within ~30%";
+}
+
+TEST_F(EvaluationFixture, FixedLossConfigControlsMos) {
+  if (latent.empty()) GTEST_SKIP();
+  EvaluationConfig fixed;
+  fixed.fixed_loss_for_mos = true;
+  fixed.fixed_loss = 0.30;  // absurd loss tanks every MOS
+  auto results = evaluate_methods(*world, latent, fixed);
+  for (const auto& mr : results) {
+    for (double mos : mr.highest_mos) EXPECT_LT(mos, 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace asap::relay

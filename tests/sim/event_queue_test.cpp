@@ -1,0 +1,96 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace asap::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(30.0, [&] { order.push_back(3); });
+  q.at(10.0, [&] { order.push_back(1); });
+  q.at(20.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30.0);
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.at(5.0, [&, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, AfterIsRelativeToNow) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.at(10.0, [&] {
+    q.after(5.0, [&] { fired_at = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(fired_at, 15.0);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.after(1.0, chain);
+  };
+  q.after(0.0, chain);
+  q.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.at(1.0, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunBoundedByMaxEvents) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) q.at(i, [&] { ++fired; });
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.at(1.0, [&] { ++fired; });
+  q.at(2.0, [&] { ++fired; });
+  q.at(10.0, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(5.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 5.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, ClockNeverGoesBackwards) {
+  EventQueue q;
+  double last = -1.0;
+  for (double t : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    q.at(t, [&, t] {
+      EXPECT_GT(q.now(), last);
+      EXPECT_EQ(q.now(), t);
+      last = q.now();
+    });
+  }
+  q.run();
+}
+
+}  // namespace
+}  // namespace asap::sim

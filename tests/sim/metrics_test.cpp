@@ -1,0 +1,33 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace asap::sim {
+namespace {
+
+TEST(MetricsRegistry, UnknownCounterIsZero) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.value("nope"), 0u);
+  EXPECT_TRUE(m.all().empty());
+}
+
+TEST(MetricsRegistry, IncrementAccumulates) {
+  MetricsRegistry m;
+  m.increment("a");
+  m.increment("a");
+  m.increment("b", 10);
+  EXPECT_EQ(m.value("a"), 2u);
+  EXPECT_EQ(m.value("b"), 10u);
+  EXPECT_EQ(m.all().size(), 2u);
+}
+
+TEST(MetricsRegistry, ResetClears) {
+  MetricsRegistry m;
+  m.increment("a", 5);
+  m.reset();
+  EXPECT_EQ(m.value("a"), 0u);
+  EXPECT_TRUE(m.all().empty());
+}
+
+}  // namespace
+}  // namespace asap::sim

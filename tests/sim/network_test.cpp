@@ -1,0 +1,111 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "astopo/topology_gen.h"
+#include "netmodel/latency_model.h"
+#include "netmodel/oracle.h"
+#include "common/rng.h"
+
+namespace asap::sim {
+namespace {
+
+struct NetworkFixture : public ::testing::Test {
+  void SetUp() override {
+    astopo::TopologyParams params;
+    params.total_as = 200;
+    Rng topo_rng(51);
+    topo = astopo::generate_topology(params, topo_rng);
+    Rng lat_rng(52);
+    model = std::make_unique<netmodel::LatencyModel>(topo, netmodel::LatencyParams{}, lat_rng);
+    oracle = std::make_unique<netmodel::PathOracle>(topo.graph, *model);
+  }
+
+  astopo::Topology topo;
+  std::unique_ptr<netmodel::LatencyModel> model;
+  std::unique_ptr<netmodel::PathOracle> oracle;
+};
+
+using StringNetwork = Network<std::string>;
+
+TEST_F(NetworkFixture, DeliversAfterPathLatency) {
+  EventQueue q;
+  StringNetwork net(q, *oracle);
+  std::string received;
+  double received_at = -1.0;
+  NodeId a = net.add_node(topo.stubs[0], 2.0, [](NodeId, const std::string&) {});
+  NodeId b = net.add_node(topo.stubs[1], 3.0,
+                          [&](NodeId from, const std::string& m) {
+                            received = m;
+                            received_at = q.now();
+                            EXPECT_EQ(from.value(), 0u);
+                          });
+  net.send(a, b, MessageCategory::kProbe, "hello");
+  q.run();
+  EXPECT_EQ(received, "hello");
+  Millis expected = oracle->one_way_ms(topo.stubs[0], topo.stubs[1]) + 2.0 + 3.0;
+  EXPECT_NEAR(received_at, expected, 1e-9);
+  EXPECT_NEAR(net.delivery_latency_ms(a, b), expected, 1e-9);
+}
+
+TEST_F(NetworkFixture, SameAsUsesFloorLatency) {
+  EventQueue q;
+  StringNetwork net(q, *oracle);
+  NodeId a = net.add_node(topo.stubs[0], 1.0, [](NodeId, const std::string&) {});
+  NodeId b = net.add_node(topo.stubs[0], 1.0, [](NodeId, const std::string&) {});
+  EXPECT_NEAR(net.delivery_latency_ms(a, b), StringNetwork::kSameAsLatencyMs + 2.0, 1e-9);
+}
+
+TEST_F(NetworkFixture, CountsMessagesByCategory) {
+  EventQueue q;
+  StringNetwork net(q, *oracle);
+  NodeId a = net.add_node(topo.stubs[0], 1.0, [](NodeId, const std::string&) {});
+  NodeId b = net.add_node(topo.stubs[1], 1.0, [](NodeId, const std::string&) {});
+  net.send(a, b, MessageCategory::kProbe, "p");
+  net.send(a, b, MessageCategory::kProbe, "p");
+  net.send(b, a, MessageCategory::kVoice, "v");
+  EXPECT_EQ(net.counter().count(MessageCategory::kProbe), 2u);
+  EXPECT_EQ(net.counter().count(MessageCategory::kVoice), 1u);
+  EXPECT_EQ(net.counter().control_total(), 2u);
+  EXPECT_EQ(net.counter().total(), 3u);
+}
+
+TEST_F(NetworkFixture, SetHandlerReplacesBehavior) {
+  EventQueue q;
+  StringNetwork net(q, *oracle);
+  int old_hits = 0;
+  int new_hits = 0;
+  NodeId a = net.add_node(topo.stubs[0], 1.0, [](NodeId, const std::string&) {});
+  NodeId b = net.add_node(topo.stubs[1], 1.0,
+                          [&](NodeId, const std::string&) { ++old_hits; });
+  net.send(a, b, MessageCategory::kProbe, "1");
+  q.run();
+  net.set_handler(b, [&](NodeId, const std::string&) { ++new_hits; });
+  net.send(a, b, MessageCategory::kProbe, "2");
+  q.run();
+  EXPECT_EQ(old_hits, 1);
+  EXPECT_EQ(new_hits, 1);
+}
+
+TEST(MessageCounter, DiffSince) {
+  MessageCounter a;
+  a.record(MessageCategory::kJoin);
+  MessageCounter snapshot = a;
+  a.record(MessageCategory::kJoin);
+  a.record(MessageCategory::kProbe);
+  MessageCounter diff = a.diff_since(snapshot);
+  EXPECT_EQ(diff.count(MessageCategory::kJoin), 1u);
+  EXPECT_EQ(diff.count(MessageCategory::kProbe), 1u);
+  EXPECT_EQ(diff.total(), 2u);
+}
+
+TEST(MessageCategoryNames, AllNamed) {
+  for (int i = 0; i < static_cast<int>(MessageCategory::kCount); ++i) {
+    EXPECT_NE(category_name(static_cast<MessageCategory>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace asap::sim

@@ -1,0 +1,149 @@
+#include "trace/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "population/session_gen.h"
+#include "trace/skype_model.h"
+
+namespace asap::trace {
+namespace {
+
+// Hand-crafted capture: caller streams voice to relay R1 until t=10, then
+// to R2; probes three nodes. Backward direction is direct.
+TwoSidedCapture synthetic_capture() {
+  TwoSidedCapture cap;
+  cap.caller_ip = Ipv4Addr(10, 0, 0, 1);
+  cap.callee_ip = Ipv4Addr(10, 0, 0, 2);
+  cap.duration_s = 60.0;
+  Ipv4Addr r1(20, 0, 0, 1);
+  Ipv4Addr r2(20, 0, 0, 2);
+  Ipv4Addr probe_only(30, 0, 1, 3);
+
+  // Probes from the caller.
+  for (Ipv4Addr target : {r1, r2, probe_only}) {
+    cap.caller_side.push_back({0.5, cap.caller_ip, target, 21001, 33033, kProbePacketBytes});
+    cap.caller_side.push_back({0.6, target, cap.caller_ip, 33033, 21001, kProbePacketBytes});
+  }
+  // A late probe after stabilization.
+  Ipv4Addr late(30, 0, 2, 4);
+  cap.caller_side.push_back({40.0, cap.caller_ip, late, 21001, 33033, kProbePacketBytes});
+
+  // Forward voice: r1 for t in [1,10), r2 afterwards (r2 is the major).
+  for (double t = 1.0; t < 10.0; t += 1.0) {
+    cap.caller_side.push_back({t, cap.caller_ip, r1, 21001, 30001, kVoicePacketBytes});
+    cap.callee_side.push_back({t + 0.05, r1, cap.callee_ip, 30001, 22001, kVoicePacketBytes});
+  }
+  for (double t = 10.0; t < 60.0; t += 1.0) {
+    cap.caller_side.push_back({t, cap.caller_ip, r2, 21001, 30002, kVoicePacketBytes});
+    cap.callee_side.push_back({t + 0.05, r2, cap.callee_ip, 30002, 22001, kVoicePacketBytes});
+  }
+  // Backward voice: direct callee -> caller.
+  for (double t = 1.0; t < 60.0; t += 1.0) {
+    cap.callee_side.push_back(
+        {t, cap.callee_ip, cap.caller_ip, 22001, 21001, kVoicePacketBytes});
+    cap.caller_side.push_back(
+        {t + 0.05, cap.callee_ip, cap.caller_ip, 22001, 21001, kVoicePacketBytes});
+  }
+  auto by_time = [](const PacketRecord& a, const PacketRecord& b) { return a.t_s < b.t_s; };
+  std::sort(cap.caller_side.begin(), cap.caller_side.end(), by_time);
+  std::sort(cap.callee_side.begin(), cap.callee_side.end(), by_time);
+  return cap;
+}
+
+TEST(Analyzer, RecoversMajorRelayAndShare) {
+  auto analysis = analyze_session(synthetic_capture());
+  ASSERT_FALSE(analysis.forward.usage.empty());
+  EXPECT_EQ(analysis.forward.major().next_hop, Ipv4Addr(20, 0, 0, 2));
+  EXPECT_FALSE(analysis.forward.major().direct);
+  // 50 of 59 packets on the major path.
+  EXPECT_NEAR(analysis.forward.major_share, 50.0 / 59.0, 0.01);
+}
+
+TEST(Analyzer, RecoversStabilizationTime) {
+  auto analysis = analyze_session(synthetic_capture());
+  // The single switch happens at t=10.
+  EXPECT_EQ(analysis.forward.switches, 1u);
+  EXPECT_NEAR(analysis.forward.stabilization_s, 10.0, 0.01);
+  EXPECT_NEAR(analysis.stabilization_s, 10.0, 0.01);
+}
+
+TEST(Analyzer, DetectsAsymmetry) {
+  auto analysis = analyze_session(synthetic_capture());
+  // Forward relayed, backward direct.
+  EXPECT_TRUE(analysis.backward.major().direct);
+  EXPECT_TRUE(analysis.asymmetric);
+}
+
+TEST(Analyzer, CountsProbedNodes) {
+  auto analysis = analyze_session(synthetic_capture());
+  EXPECT_EQ(analysis.probed_nodes, 4u);
+  EXPECT_EQ(analysis.probes_after_stabilization, 1u);
+}
+
+TEST(Analyzer, SameGroupProbes) {
+  auto cap = synthetic_capture();
+  // Group by /24-style "AS": key = top 24 bits. r1, r2 share 20.0.0.x;
+  // probe_only and late are alone.
+  auto groups = same_group_probes(cap, [](Ipv4Addr ip) -> std::uint64_t {
+    return ip.bits() >> 8;
+  });
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].targets.size(), 2u);
+  // Unmapped (key 0) targets are ignored.
+  auto none = same_group_probes(cap, [](Ipv4Addr) -> std::uint64_t { return 0; });
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(Analyzer, EmptyCaptureYieldsEmptyAnalysis) {
+  TwoSidedCapture cap;
+  cap.caller_ip = Ipv4Addr(1, 1, 1, 1);
+  cap.callee_ip = Ipv4Addr(2, 2, 2, 2);
+  auto analysis = analyze_session(cap);
+  EXPECT_TRUE(analysis.forward.usage.empty());
+  EXPECT_EQ(analysis.probed_nodes, 0u);
+  EXPECT_FALSE(analysis.asymmetric);
+}
+
+// End-to-end property: the analyzer's reconstruction matches the
+// generator's ground truth on generated sessions.
+TEST(Analyzer, MatchesGeneratorTruth) {
+  population::WorldParams params;
+  params.seed = 161;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 3000;
+  population::World world(params);
+  Rng rng = world.fork_rng(1);
+  auto sessions = population::generate_sessions(world, 2000, rng);
+  auto latent = population::latent_sessions(sessions);
+  const auto& pair = latent.empty() ? sessions.front() : latent.front();
+
+  SkypeModelParams model_params;
+  model_params.asymmetric_prob = 0.0;
+  model_params.two_hop_prob = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    auto session = generate_skype_session(world, pair.caller, pair.callee, model_params, rng);
+    auto analysis = analyze_session(session.capture);
+
+    // Stabilization: the last true switch time (quantized by the voice
+    // sampling stride).
+    double truth_stab = session.truth.forward_switches.empty()
+                            ? 0.0
+                            : session.truth.forward_switches.back().t_s;
+    EXPECT_NEAR(analysis.forward.stabilization_s, truth_stab, 0.5);
+
+    // Major relay: the relay in force the longest.
+    if (!session.truth.forward_switches.empty() && !analysis.forward.usage.empty()) {
+      EXPECT_GE(analysis.forward.major_share, 0.3);
+    }
+    // Probed node count matches the distinct truth targets.
+    std::set<std::uint32_t> truth_targets;
+    for (const auto& probe : session.truth.probes) {
+      truth_targets.insert(world.pop().peer(probe.target).ip.bits());
+    }
+    EXPECT_EQ(analysis.probed_nodes, truth_targets.size());
+  }
+}
+
+}  // namespace
+}  // namespace asap::trace

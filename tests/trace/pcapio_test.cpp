@@ -1,0 +1,84 @@
+#include "trace/pcapio.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace asap::trace {
+namespace {
+
+std::vector<PacketRecord> sample_records() {
+  return {
+      {0.000, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 21001, 33033, kProbePacketBytes},
+      {0.125, Ipv4Addr(10, 0, 0, 2), Ipv4Addr(10, 0, 0, 1), 33033, 21001, kProbePacketBytes},
+      {1.500, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(172, 16, 0, 9), 21001, 30123,
+       kVoicePacketBytes},
+  };
+}
+
+TEST(PcapIo, RoundTripPreservesRecords) {
+  auto records = sample_records();
+  auto bytes = write_pcap(records, 1000.0);
+  auto back = read_pcap(bytes);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*back)[i].src, records[i].src);
+    EXPECT_EQ((*back)[i].dst, records[i].dst);
+    EXPECT_EQ((*back)[i].sport, records[i].sport);
+    EXPECT_EQ((*back)[i].dport, records[i].dport);
+    EXPECT_EQ((*back)[i].size, records[i].size);
+    EXPECT_NEAR((*back)[i].t_s, 1000.0 + records[i].t_s, 2e-6);
+  }
+}
+
+TEST(PcapIo, GlobalHeaderIsStandard) {
+  auto bytes = write_pcap({}, 0.0);
+  ASSERT_EQ(bytes.size(), 24u);
+  // Little-endian classic pcap magic.
+  EXPECT_EQ(bytes[0], 0xD4);
+  EXPECT_EQ(bytes[1], 0xC3);
+  EXPECT_EQ(bytes[2], 0xB2);
+  EXPECT_EQ(bytes[3], 0xA1);
+  // Version 2.4.
+  EXPECT_EQ(bytes[4], 2);
+  EXPECT_EQ(bytes[6], 4);
+  // Linktype Ethernet.
+  EXPECT_EQ(bytes[20], 1);
+}
+
+TEST(PcapIo, RejectsGarbage) {
+  EXPECT_FALSE(read_pcap({}).has_value());
+  std::vector<std::uint8_t> junk(24, 0xAB);
+  EXPECT_FALSE(read_pcap(junk).has_value());
+}
+
+TEST(PcapIo, RejectsTruncatedFrame) {
+  auto bytes = write_pcap(sample_records(), 0.0);
+  bytes.resize(bytes.size() - 5);
+  EXPECT_FALSE(read_pcap(bytes).has_value());
+}
+
+TEST(PcapIo, SkipsNonUdpFrames) {
+  auto bytes = write_pcap(sample_records(), 0.0);
+  // Patch the first frame's IP protocol field (offset: 24 global + 16 pkthdr
+  // + 14 eth + 9) from UDP(17) to TCP(6).
+  bytes[24 + 16 + 14 + 9] = 6;
+  auto back = read_pcap(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), sample_records().size() - 1);
+}
+
+TEST(PcapIo, FileRoundTrip) {
+  const char* path = "pcapio_test_tmp.pcap";
+  auto records = sample_records();
+  ASSERT_TRUE(write_pcap_file(path, records));
+  auto back = read_pcap_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), records.size());
+  std::remove(path);
+  EXPECT_FALSE(read_pcap_file("does_not_exist.pcap").has_value());
+}
+
+}  // namespace
+}  // namespace asap::trace

@@ -1,0 +1,135 @@
+#include "trace/skype_model.h"
+
+#include <gtest/gtest.h>
+
+#include "population/session_gen.h"
+
+namespace asap::trace {
+namespace {
+
+population::WorldParams small_params() {
+  population::WorldParams params;
+  params.seed = 151;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+struct SkypeModelFixture : public ::testing::Test {
+  void SetUp() override {
+    world = std::make_unique<population::World>(small_params());
+    Rng rng = world->fork_rng(1);
+    auto sessions = population::generate_sessions(*world, 2000, rng);
+    auto latent = population::latent_sessions(sessions);
+    session_pair = latent.empty() ? sessions.front() : latent.front();
+  }
+  std::unique_ptr<population::World> world;
+  population::Session session_pair;
+};
+
+TEST_F(SkypeModelFixture, CaptureIsTimeOrderedAndNonEmpty) {
+  Rng rng(2);
+  SkypeModelParams params;
+  auto session =
+      generate_skype_session(*world, session_pair.caller, session_pair.callee, params, rng);
+  EXPECT_FALSE(session.capture.caller_side.empty());
+  EXPECT_FALSE(session.capture.callee_side.empty());
+  for (const auto* side : {&session.capture.caller_side, &session.capture.callee_side}) {
+    for (std::size_t i = 1; i < side->size(); ++i) {
+      EXPECT_LE((*side)[i - 1].t_s, (*side)[i].t_s);
+    }
+  }
+  EXPECT_EQ(session.capture.caller_ip, world->pop().peer(session_pair.caller).ip);
+}
+
+TEST_F(SkypeModelFixture, ProbesAppearAsSmallPacketPairs) {
+  Rng rng(3);
+  SkypeModelParams params;
+  auto session =
+      generate_skype_session(*world, session_pair.caller, session_pair.callee, params, rng);
+  std::size_t probe_out = 0;
+  std::size_t probe_in = 0;
+  for (const auto& pkt : session.capture.caller_side) {
+    if (pkt.size != kProbePacketBytes) continue;
+    if (pkt.src == session.capture.caller_ip) ++probe_out;
+    if (pkt.dst == session.capture.caller_ip) ++probe_in;
+  }
+  EXPECT_GT(probe_out, 0u);
+  EXPECT_EQ(probe_out, probe_in) << "every probe gets a reply in the capture";
+}
+
+TEST_F(SkypeModelFixture, TruthProbeCountAtLeastBurst) {
+  Rng rng(4);
+  SkypeModelParams params;
+  params.burst_min = 10;
+  auto session =
+      generate_skype_session(*world, session_pair.caller, session_pair.callee, params, rng);
+  EXPECT_GE(session.truth.probes.size(), 10u);
+}
+
+TEST_F(SkypeModelFixture, SymmetricSessionSharesRelayTimeline) {
+  Rng rng(5);
+  SkypeModelParams params;
+  params.asymmetric_prob = 0.0;
+  auto session =
+      generate_skype_session(*world, session_pair.caller, session_pair.callee, params, rng);
+  EXPECT_FALSE(session.truth.asymmetric);
+  ASSERT_EQ(session.truth.forward_switches.size(), session.truth.backward_switches.size());
+  for (std::size_t i = 0; i < session.truth.forward_switches.size(); ++i) {
+    EXPECT_EQ(session.truth.forward_switches[i].relay1,
+              session.truth.backward_switches[i].relay1);
+  }
+}
+
+TEST_F(SkypeModelFixture, VoiceFlowsToCurrentRelay) {
+  Rng rng(6);
+  SkypeModelParams params;
+  params.asymmetric_prob = 0.0;
+  params.two_hop_prob = 0.0;
+  auto session =
+      generate_skype_session(*world, session_pair.caller, session_pair.callee, params, rng);
+  const auto& switches = session.truth.forward_switches;
+  for (const auto& pkt : session.capture.caller_side) {
+    if (pkt.size != kVoicePacketBytes || pkt.src != session.capture.caller_ip) continue;
+    // Determine the relay in force at pkt.t_s.
+    HostId relay = HostId::invalid();
+    for (const auto& sw : switches) {
+      if (sw.t_s <= pkt.t_s) relay = sw.relay1;
+    }
+    Ipv4Addr expected =
+        relay.valid() ? world->pop().peer(relay).ip : session.capture.callee_ip;
+    EXPECT_EQ(pkt.dst, expected) << "voice packet at t=" << pkt.t_s;
+  }
+}
+
+TEST_F(SkypeModelFixture, DeterministicGivenRngState) {
+  SkypeModelParams params;
+  Rng rng1(7);
+  Rng rng2(7);
+  auto s1 =
+      generate_skype_session(*world, session_pair.caller, session_pair.callee, params, rng1);
+  auto s2 =
+      generate_skype_session(*world, session_pair.caller, session_pair.callee, params, rng2);
+  ASSERT_EQ(s1.capture.caller_side.size(), s2.capture.caller_side.size());
+  EXPECT_EQ(s1.capture.caller_side, s2.capture.caller_side);
+  EXPECT_EQ(s1.truth.probes.size(), s2.truth.probes.size());
+}
+
+TEST_F(SkypeModelFixture, RelayBounceHappensForLatentSessions) {
+  // Over several generated sessions, at least one should switch relays more
+  // than once (the bounce behaviour behind the paper's Limit 3).
+  SkypeModelParams params;
+  params.asymmetric_prob = 0.0;
+  Rng rng(8);
+  std::size_t max_switches = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto session = generate_skype_session(*world, session_pair.caller, session_pair.callee,
+                                          params, rng);
+    max_switches = std::max(max_switches, session.truth.forward_switches.size());
+  }
+  EXPECT_GE(max_switches, 2u);
+}
+
+}  // namespace
+}  // namespace asap::trace

@@ -1,0 +1,90 @@
+#include "voip/dynamics.h"
+
+#include <gtest/gtest.h>
+
+namespace asap::voip {
+namespace {
+
+TEST(PathDynamics, BaselineOutsideBursts) {
+  DynamicsParams params;
+  params.good_mean_s = 1e9;           // effectively no loss bursts
+  params.burst_interarrival_s = 1e9;  // no delay bursts
+  PathDynamics path(120.0, 0.004, 300.0, params, 1, 1);
+  for (double t : {0.0, 10.0, 150.0, 299.9}) {
+    PathState s = path.at(t);
+    EXPECT_EQ(s.rtt_ms, 120.0);
+    EXPECT_EQ(s.loss, 0.004);
+    EXPECT_FALSE(s.in_loss_burst);
+    EXPECT_FALSE(s.in_delay_burst);
+  }
+  EXPECT_NEAR(path.mean_loss(), 0.004, 1e-9);
+}
+
+TEST(PathDynamics, DeterministicPerSeedAndSalt) {
+  DynamicsParams params;
+  PathDynamics a(100.0, 0.01, 600.0, params, 42, 7);
+  PathDynamics b(100.0, 0.01, 600.0, params, 42, 7);
+  PathDynamics c(100.0, 0.01, 600.0, params, 42, 8);
+  bool any_difference = false;
+  for (double t = 0.0; t < 600.0; t += 1.0) {
+    EXPECT_EQ(a.at(t).rtt_ms, b.at(t).rtt_ms);
+    EXPECT_EQ(a.at(t).loss, b.at(t).loss);
+    if (a.at(t).rtt_ms != c.at(t).rtt_ms || a.at(t).in_loss_burst != c.at(t).in_loss_burst) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference) << "different salts must give different dynamics";
+}
+
+TEST(PathDynamics, LossBurstsRaiseLoss) {
+  DynamicsParams params;
+  params.good_mean_s = 5.0;  // frequent bursts
+  params.bad_mean_s = 5.0;
+  params.bad_loss = 0.25;
+  PathDynamics path(100.0, 0.002, 600.0, params, 3, 1);
+  bool saw_burst = false;
+  for (double t = 0.0; t < 600.0; t += 0.5) {
+    PathState s = path.at(t);
+    if (s.in_loss_burst) {
+      saw_burst = true;
+      EXPECT_EQ(s.loss, 0.25);
+    } else {
+      EXPECT_EQ(s.loss, 0.002);
+    }
+  }
+  EXPECT_TRUE(saw_burst);
+  // With equal sojourn means, ~half the time is bad.
+  EXPECT_GT(path.mean_loss(), 0.05);
+  EXPECT_LT(path.mean_loss(), 0.20);
+}
+
+TEST(PathDynamics, DelayBurstsAddWithinConfiguredRange) {
+  DynamicsParams params;
+  params.burst_interarrival_s = 10.0;
+  params.burst_duration_s = 5.0;
+  params.burst_amp_min_ms = 50.0;
+  params.burst_amp_max_ms = 60.0;
+  PathDynamics path(100.0, 0.0, 600.0, params, 5, 1);
+  bool saw_burst = false;
+  for (double t = 0.0; t < 600.0; t += 0.25) {
+    PathState s = path.at(t);
+    if (s.in_delay_burst) {
+      saw_burst = true;
+      EXPECT_GE(s.rtt_ms, 150.0);
+      EXPECT_LE(s.rtt_ms, 160.0);
+    } else {
+      EXPECT_EQ(s.rtt_ms, 100.0);
+    }
+  }
+  EXPECT_TRUE(saw_burst);
+}
+
+TEST(PathDynamics, QueriesClampToHorizon) {
+  DynamicsParams params;
+  PathDynamics path(100.0, 0.01, 60.0, params, 7, 1);
+  EXPECT_EQ(path.at(-5.0).rtt_ms, path.at(0.0).rtt_ms);
+  EXPECT_EQ(path.at(1e9).rtt_ms, path.at(60.0).rtt_ms);
+}
+
+}  // namespace
+}  // namespace asap::voip

@@ -1,0 +1,139 @@
+#include "voip/emodel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "voip/quality.h"
+
+namespace asap::voip {
+namespace {
+
+TEST(EModel, MosFromRBoundaries) {
+  EXPECT_DOUBLE_EQ(EModel::mos_from_r(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(EModel::mos_from_r(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(EModel::mos_from_r(100.0), 4.5);
+  EXPECT_DOUBLE_EQ(EModel::mos_from_r(150.0), 4.5);
+  // Known reference point: R = 80 -> MOS ~ 4.03 (G.107 tables).
+  EXPECT_NEAR(EModel::mos_from_r(80.0), 4.03, 0.02);
+  // R = 50 -> MOS ~ 2.58.
+  EXPECT_NEAR(EModel::mos_from_r(50.0), 2.58, 0.03);
+}
+
+TEST(EModel, MosMonotoneInR) {
+  double prev = 0.0;
+  for (double r = 0.0; r <= 100.0; r += 5.0) {
+    double mos = EModel::mos_from_r(r);
+    EXPECT_GE(mos, prev);
+    prev = mos;
+  }
+}
+
+TEST(EModel, DelayImpairmentKneeAt177ms) {
+  EModel model(kG729aVad);
+  // Below the knee, slope 0.024/ms.
+  EXPECT_NEAR(model.delay_impairment(100.0), 2.4, 1e-9);
+  EXPECT_NEAR(model.delay_impairment(177.3), 4.2552, 1e-6);
+  // Above the knee, extra 0.11/ms kicks in.
+  double just_above = model.delay_impairment(277.3);
+  EXPECT_NEAR(just_above, 0.024 * 277.3 + 0.11 * 100.0, 1e-9);
+}
+
+TEST(EModel, LossImpairmentMatchesFormula) {
+  EModel model(kG729aVad);  // Ie = 11, Bpl = 19
+  EXPECT_DOUBLE_EQ(model.loss_impairment(0.0), 11.0);
+  // 1% loss: 11 + 84 * 1 / 20 = 15.2.
+  EXPECT_NEAR(model.loss_impairment(0.01), 15.2, 1e-9);
+  // Loss clamps at 100%.
+  EXPECT_NEAR(model.loss_impairment(2.0), 11.0 + 84.0 * 100.0 / 119.0, 1e-9);
+}
+
+TEST(EModel, G711HandlesLossWorseAtHighRates) {
+  // G.711 (Ie=0, Bpl=4.3) degrades faster per percent than G.729A (Bpl=19).
+  EModel g711(kG711);
+  EModel g729(kG729aVad);
+  double drop_g711 = g711.loss_impairment(0.02) - g711.loss_impairment(0.0);
+  double drop_g729 = g729.loss_impairment(0.02) - g729.loss_impairment(0.0);
+  EXPECT_GT(drop_g711, drop_g729);
+}
+
+TEST(EModel, MosDecreasesWithRttAndLoss) {
+  EModel model(kG729aVad);
+  double prev = 5.0;
+  for (double rtt : {50.0, 150.0, 300.0, 600.0, 1200.0}) {
+    double mos = model.mos_for_rtt(rtt, 0.005);
+    EXPECT_LT(mos, prev);
+    prev = mos;
+  }
+  EXPECT_GT(model.mos_for_rtt(200.0, 0.001), model.mos_for_rtt(200.0, 0.05));
+}
+
+TEST(EModel, PaperOperatingPoints) {
+  // The paper's evaluation: G.729A+VAD, 0.5% loss. ASAP/OPT sessions with
+  // RTT <= 115 ms score above 3.85; paths beyond ~1 s drop below 2.9.
+  EModel model(kG729aVad);
+  EXPECT_GT(model.mos_for_rtt(115.0, 0.005), 3.85);
+  EXPECT_LT(model.mos_for_rtt(1000.0, 0.005), 2.9);
+  // The satisfaction bar (MOS 3.6) sits near the 300 ms quality threshold.
+  EXPECT_GT(model.mos_for_rtt(280.0, 0.005), 3.6);
+}
+
+TEST(EModel, RoughMosLossRuleOfThumb) {
+  // Sec. 2 cites ~1 MOS unit lost per 1% loss (without concealment) for the
+  // classic codecs; check the direction and order of magnitude for G.711.
+  EModel g711(kG711);
+  double at0 = g711.mos_for_rtt(100.0, 0.0);
+  double at2 = g711.mos_for_rtt(100.0, 0.02);
+  EXPECT_GT(at0 - at2, 1.0);
+}
+
+TEST(Quality, RttPredicate) {
+  EXPECT_TRUE(is_quality_rtt(299.9));
+  EXPECT_FALSE(is_quality_rtt(300.0));
+  EXPECT_FALSE(is_quality_rtt(1e9));
+}
+
+TEST(Quality, SatisfactionRequiresBothRttAndMos) {
+  EModel model(kG729aVad);
+  EXPECT_TRUE(is_satisfactory(model, 150.0, 0.005));
+  EXPECT_FALSE(is_satisfactory(model, 400.0, 0.0));    // RTT too high
+  EXPECT_FALSE(is_satisfactory(model, 150.0, 0.20));   // loss kills MOS
+}
+
+struct CodecCase {
+  Codec codec;
+};
+
+class CodecSweep : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecSweep, MosInValidRangeAcrossOperatingSpace) {
+  EModel model(GetParam().codec);
+  for (double rtt = 0.0; rtt <= 3000.0; rtt += 150.0) {
+    for (double loss = 0.0; loss <= 0.3; loss += 0.05) {
+      double mos = model.mos_for_rtt(rtt, loss);
+      EXPECT_GE(mos, 1.0);
+      EXPECT_LE(mos, 4.5);
+    }
+  }
+}
+
+TEST_P(CodecSweep, RFactorClampedTo0To100) {
+  EModel model(GetParam().codec);
+  EXPECT_GE(model.r_factor(0.0, 0.0), 0.0);
+  EXPECT_LE(model.r_factor(0.0, 0.0), 100.0);
+  EXPECT_EQ(model.r_factor(100000.0, 1.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecSweep,
+                         ::testing::Values(CodecCase{kG711}, CodecCase{kG729},
+                                           CodecCase{kG729aVad}, CodecCase{kG7231}),
+                         [](const ::testing::TestParamInfo<CodecCase>& info) {
+                           std::string name(info.param.codec.name);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace asap::voip

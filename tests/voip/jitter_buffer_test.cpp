@@ -1,0 +1,84 @@
+#include "voip/jitter_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace asap::voip {
+namespace {
+
+TEST(JitterBuffer, ZeroJitterNeedsNoBuffer) {
+  JitterParams params;
+  params.jitter_mean_ms = 1e-9;
+  params.spike_fraction = 0.0;
+  Rng rng(1);
+  JitterBufferSim sim(60.0, 0.0, 5000, params, rng);
+  EModel emodel(kG729aVad);
+  auto at_zero = sim.play(0.001, emodel);
+  EXPECT_LT(at_zero.late_loss, 0.01);
+  EXPECT_NEAR(at_zero.mouth_to_ear_ms, 60.0, 0.01);
+}
+
+TEST(JitterBuffer, LateLossDecreasesMonotonicallyWithDepth) {
+  JitterParams params;
+  Rng rng(2);
+  JitterBufferSim sim(60.0, 0.002, 5000, params, rng);
+  EModel emodel(kG729aVad);
+  double prev = 1.0;
+  for (Millis depth : {0.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0}) {
+    auto result = sim.play(depth, emodel);
+    EXPECT_LE(result.late_loss, prev + 1e-12);
+    prev = result.late_loss;
+  }
+  // Deep enough swallows all jitter (spikes included).
+  EXPECT_NEAR(sim.play(1000.0, emodel).late_loss, 0.0, 1e-12);
+}
+
+TEST(JitterBuffer, BestDepthBalancesDelayAndLoss) {
+  JitterParams params;
+  params.jitter_mean_ms = 10.0;
+  params.spike_fraction = 0.02;
+  Rng rng(3);
+  JitterBufferSim sim(80.0, 0.002, 8000, params, rng);
+  EModel emodel(kG729aVad);
+  auto best = sim.best_depth(400.0, 5.0, emodel);
+  // The optimum is neither "no buffer" (heavy late loss) nor "maximum
+  // buffer" (delay impairment for no gain).
+  EXPECT_GT(best.buffer_depth_ms, 5.0);
+  EXPECT_LT(best.buffer_depth_ms, 300.0);
+  EXPECT_GE(best.mos, sim.play(0.0, emodel).mos);
+  EXPECT_GE(best.mos, sim.play(400.0, emodel).mos);
+}
+
+TEST(JitterBuffer, SweepCoversRequestedRange) {
+  JitterParams params;
+  Rng rng(4);
+  JitterBufferSim sim(50.0, 0.0, 1000, params, rng);
+  EModel emodel(kG729aVad);
+  auto sweep = sim.sweep(100.0, 20.0, emodel);
+  ASSERT_EQ(sweep.size(), 6u);
+  EXPECT_EQ(sweep.front().buffer_depth_ms, 0.0);
+  EXPECT_EQ(sweep.back().buffer_depth_ms, 100.0);
+}
+
+TEST(JitterBuffer, HigherBaseDelayLowersMosAtSameDepth) {
+  JitterParams params;
+  Rng rng1(5);
+  Rng rng2(5);
+  EModel emodel(kG729aVad);
+  JitterBufferSim near(40.0, 0.002, 4000, params, rng1);
+  JitterBufferSim far(250.0, 0.002, 4000, params, rng2);
+  EXPECT_GT(near.play(40.0, emodel).mos, far.play(40.0, emodel).mos);
+}
+
+TEST(JitterBuffer, DeterministicPerRngState) {
+  JitterParams params;
+  Rng rng1(6);
+  Rng rng2(6);
+  EModel emodel(kG729aVad);
+  JitterBufferSim a(60.0, 0.01, 2000, params, rng1);
+  JitterBufferSim b(60.0, 0.01, 2000, params, rng2);
+  EXPECT_EQ(a.play(30.0, emodel).late_loss, b.play(30.0, emodel).late_loss);
+  EXPECT_EQ(a.play(30.0, emodel).mos, b.play(30.0, emodel).mos);
+}
+
+}  // namespace
+}  // namespace asap::voip

@@ -1,0 +1,131 @@
+#include "voip/path_switching.h"
+
+#include <gtest/gtest.h>
+
+namespace asap::voip {
+namespace {
+
+DynamicsParams calm() {
+  DynamicsParams p;
+  p.good_mean_s = 1e9;
+  p.burst_interarrival_s = 1e9;
+  return p;
+}
+
+DynamicsParams stormy() {
+  DynamicsParams p;
+  p.good_mean_s = 20.0;
+  p.bad_mean_s = 6.0;
+  p.bad_loss = 0.30;
+  p.burst_interarrival_s = 40.0;
+  p.burst_duration_s = 6.0;
+  p.burst_amp_min_ms = 150.0;
+  p.burst_amp_max_ms = 400.0;
+  return p;
+}
+
+TEST(PathSwitching, StaticCallOnCalmPathIsClean) {
+  PathDynamics path(120.0, 0.002, 120.0, calm(), 1, 1);
+  EModel emodel(kG729aVad);
+  CallPolicyParams params;
+  Rng rng(2);
+  auto result = run_call({&path}, PathPolicy::kStatic, 120.0, emodel, params, rng);
+  EXPECT_EQ(result.switches, 0u);
+  EXPECT_GT(result.mean_mos, 3.9);
+  // An occasional window may catch two random losses and dip below 3.6.
+  EXPECT_LE(result.unsatisfied_fraction, 0.05);
+  EXPECT_EQ(result.frames_sent, 6000u);  // 120 s at 50 pps
+  // ~0.2% loss.
+  EXPECT_LT(result.frames_lost, 40u);
+}
+
+TEST(PathSwitching, WindowCountMatchesDuration) {
+  PathDynamics path(100.0, 0.0, 30.0, calm(), 1, 1);
+  EModel emodel(kG729aVad);
+  CallPolicyParams params;
+  params.window_s = 1.0;
+  Rng rng(3);
+  auto result = run_call({&path}, PathPolicy::kStatic, 30.0, emodel, params, rng);
+  EXPECT_EQ(result.window_mos.size(), 30u);
+}
+
+TEST(PathSwitching, SwitchingEscapesDegradedPrimary) {
+  // Primary turns stormy; backup is calm. Switching should move off the
+  // primary and end with clearly better quality than static.
+  EModel emodel(kG729aVad);
+  CallPolicyParams params;
+  double duration = 300.0;
+  double static_sum = 0.0;
+  double switching_sum = 0.0;
+  std::size_t total_switches = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    PathDynamics primary(140.0, 0.004, duration, stormy(), seed, 1);
+    PathDynamics backup(160.0, 0.004, duration, calm(), seed, 2);
+    Rng rng1(seed * 10);
+    Rng rng2(seed * 10);  // identical loss draws for fairness
+    auto stat = run_call({&primary, &backup}, PathPolicy::kStatic, duration, emodel,
+                         params, rng1);
+    auto sw = run_call({&primary, &backup}, PathPolicy::kSwitching, duration, emodel,
+                       params, rng2);
+    static_sum += stat.unsatisfied_fraction;
+    switching_sum += sw.unsatisfied_fraction;
+    total_switches += sw.switches;
+  }
+  EXPECT_GT(total_switches, 0u);
+  EXPECT_LT(switching_sum, static_sum)
+      << "switching must reduce the unsatisfied-window fraction";
+}
+
+TEST(PathSwitching, HolddownLimitsSwitchRate) {
+  EModel emodel(kG729aVad);
+  CallPolicyParams params;
+  params.switch_holddown_s = 10.0;
+  PathDynamics primary(140.0, 0.004, 120.0, stormy(), 3, 1);
+  PathDynamics backup(150.0, 0.004, 120.0, stormy(), 3, 2);
+  Rng rng(4);
+  auto result = run_call({&primary, &backup}, PathPolicy::kSwitching, 120.0, emodel,
+                         params, rng);
+  EXPECT_LE(result.switches, 12u);  // at most one per holddown period
+}
+
+TEST(PathSwitching, DiversityBeatsStaticUnderBurstyLoss) {
+  EModel emodel(kG729aVad);
+  CallPolicyParams params;
+  double duration = 300.0;
+  double static_lost = 0.0;
+  double diversity_lost = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    // Two paths with independent storm patterns.
+    PathDynamics a(140.0, 0.01, duration, stormy(), seed, 1);
+    PathDynamics b(150.0, 0.01, duration, stormy(), seed, 2);
+    Rng rng1(seed);
+    Rng rng2(seed);
+    auto stat = run_call({&a, &b}, PathPolicy::kStatic, duration, emodel, params, rng1);
+    auto div = run_call({&a, &b}, PathPolicy::kDiversity, duration, emodel, params, rng2);
+    static_lost += static_cast<double>(stat.frames_lost);
+    diversity_lost += static_cast<double>(div.frames_lost);
+  }
+  EXPECT_LT(diversity_lost, static_lost * 0.6)
+      << "duplicate transmission must suppress independent losses";
+}
+
+TEST(PathSwitching, DiversityWithOnePathDegeneratesToStatic) {
+  PathDynamics path(120.0, 0.01, 60.0, calm(), 9, 1);
+  EModel emodel(kG729aVad);
+  CallPolicyParams params;
+  Rng rng1(5);
+  Rng rng2(5);
+  auto stat = run_call({&path}, PathPolicy::kStatic, 60.0, emodel, params, rng1);
+  auto div = run_call({&path}, PathPolicy::kDiversity, 60.0, emodel, params, rng2);
+  EXPECT_EQ(stat.frames_lost, div.frames_lost);
+  EXPECT_EQ(stat.mean_mos, div.mean_mos);
+}
+
+TEST(PathSwitching, PolicyNames) {
+  EXPECT_EQ(policy_name(PathPolicy::kStatic), "static");
+  EXPECT_EQ(policy_name(PathPolicy::kSwitching), "switching");
+  EXPECT_EQ(policy_name(PathPolicy::kDiversity), "diversity");
+}
+
+}  // namespace
+}  // namespace asap::voip
