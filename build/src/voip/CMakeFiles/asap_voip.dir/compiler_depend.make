@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for asap_voip.
+# This may be replaced when dependencies are built.
