@@ -4,6 +4,7 @@
 #include <set>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "population/session_gen.h"
 #include "voip/emodel.h"
@@ -20,8 +21,23 @@ BenchEnv read_env() {
     double scale = std::strtod(s, nullptr);
     if (scale > 0.0 && scale <= 1.0) env.scale = scale;
   }
+  if (const char* s = std::getenv("ASAP_THREADS")) {
+    env.threads = std::strtoull(s, nullptr, 10);
+  }
   env.sessions = static_cast<std::size_t>(static_cast<double>(env.sessions) * env.scale);
   if (env.sessions < 100) env.sessions = 100;
+  return env;
+}
+
+BenchEnv read_env(int argc, char** argv) {
+  BenchEnv env = read_env();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      env.threads = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (supported: --threads N)\n", argv[i]);
+    }
+  }
   return env;
 }
 

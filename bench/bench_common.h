@@ -6,6 +6,9 @@
 //   ASAP_SESSIONS — total sampled sessions (default 100000)
 //   ASAP_SCALE    — fractional scale in (0,1] applied to world & session
 //                   sizes for quick smoke runs (default 1)
+//   ASAP_THREADS  — evaluation worker threads (default 1; 0 = hardware
+//                   concurrency). The figure drivers also accept
+//                   `--threads N`, which overrides the environment.
 #pragma once
 
 #include <cstdint>
@@ -25,9 +28,12 @@ struct BenchEnv {
   std::uint64_t seed = 20050926;
   std::size_t sessions = 100000;
   double scale = 1.0;
+  std::size_t threads = 1;  // 0 = hardware concurrency
 };
 
 BenchEnv read_env();
+// read_env() plus command-line overrides (currently `--threads N`).
+BenchEnv read_env(int argc, char** argv);
 
 // Paper evaluation world: ~6,000 ASes, 1,461 host ASes, 23,366 peers
 // ("23,366 IPs are used in all other figures").

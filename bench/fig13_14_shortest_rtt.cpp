@@ -9,12 +9,13 @@
 
 using namespace asap;
 
-int main() {
-  auto env = bench::read_env();
+int main(int argc, char** argv) {
+  auto env = bench::read_env(argc, argv);
   auto world = bench::build_world(bench::eval_world_params(env), "fig13-14");
   auto workload = bench::sample_sessions(*world, env.sessions);
 
   relay::EvaluationConfig config;
+  config.threads = env.threads;
   auto results = relay::evaluate_methods(*world, workload.latent, config);
 
   bench::print_method_summary("Fig 13: shortest relay RTT per latent session (ms)", results,

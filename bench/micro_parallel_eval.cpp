@@ -1,0 +1,90 @@
+// Throughput of the parallel evaluation driver: runs the Fig. 11-18 session
+// workload through evaluate_methods() at 1/2/4/8 worker threads, reports
+// sessions/sec and speedup per thread count, and cross-checks that every
+// thread count reproduces the single-threaded metric vectors bit-for-bit
+// (the determinism contract of EvaluationConfig::threads).
+//
+// Machine-readable summary on the last stdout line:
+//   BENCH JSON {...}
+// Respects ASAP_SEED / ASAP_SESSIONS / ASAP_SCALE like the figure benches.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench_common.h"
+
+using namespace asap;
+
+namespace {
+
+bool identical(const std::vector<relay::MethodResults>& a,
+               const std::vector<relay::MethodResults>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t m = 0; m < a.size(); ++m) {
+    if (a[m].method != b[m].method) return false;
+    if (a[m].quality_paths != b[m].quality_paths) return false;
+    if (a[m].shortest_rtt_ms != b[m].shortest_rtt_ms) return false;
+    if (a[m].highest_mos != b[m].highest_mos) return false;
+    if (a[m].messages != b[m].messages) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "micro-parallel");
+  auto workload = bench::sample_sessions(*world, env.sessions);
+  const auto& sessions = workload.latent;
+  if (sessions.empty()) {
+    std::printf("no latent sessions; increase ASAP_SESSIONS\n");
+    return 1;
+  }
+
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  std::vector<relay::MethodResults> reference;
+  double base_seconds = 0.0;
+
+  bench::print_section("Parallel evaluation throughput (latent sessions, DEDI/RAND/MIX/ASAP)");
+  Table table({"threads", "seconds", "sessions/sec", "speedup", "identical to 1T"});
+  std::string json = "{\"bench\":\"micro_parallel_eval\",\"seed\":" +
+                     std::to_string(env.seed) +
+                     ",\"sampled_sessions\":" + std::to_string(workload.all.size()) +
+                     ",\"latent_sessions\":" + std::to_string(sessions.size()) +
+                     ",\"hardware_threads\":" +
+                     std::to_string(std::thread::hardware_concurrency()) + ",\"runs\":[";
+  bool all_identical = true;
+  for (std::size_t t = 0; t < std::size(thread_counts); ++t) {
+    relay::EvaluationConfig config;
+    config.include_opt = false;  // the online methods; OPT is offline
+    config.threads = thread_counts[t];
+    auto start = std::chrono::steady_clock::now();
+    auto results = relay::evaluate_methods(*world, sessions, config);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    // Each method evaluates every session once.
+    double per_sec = static_cast<double>(sessions.size() * results.size()) / seconds;
+    bool same = true;
+    if (t == 0) {
+      reference = results;
+      base_seconds = seconds;
+    } else {
+      same = identical(reference, results);
+      all_identical = all_identical && same;
+    }
+    table.add_row({std::to_string(thread_counts[t]), Table::fmt(seconds, 2),
+                   Table::fmt(per_sec, 0), Table::fmt(base_seconds / seconds, 2),
+                   same ? "yes" : "NO"});
+    json += std::string(t == 0 ? "" : ",") + "{\"threads\":" +
+            std::to_string(thread_counts[t]) + ",\"seconds\":" + Table::fmt(seconds, 4) +
+            ",\"sessions_per_sec\":" + Table::fmt(per_sec, 1) +
+            ",\"speedup\":" + Table::fmt(base_seconds / seconds, 3) + "}";
+  }
+  json += "],\"deterministic\":" + std::string(all_identical ? "true" : "false") + "}";
+  table.print();
+  if (!all_identical) std::printf("WARNING: thread counts disagreed — determinism bug\n");
+  std::printf("BENCH JSON %s\n", json.c_str());
+  return all_identical ? 0 : 1;
+}

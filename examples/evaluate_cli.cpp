@@ -5,7 +5,7 @@
 //   evaluate_cli [--config FILE] [--save-config FILE]
 //                [--seed N] [--ases N] [--host-ases N] [--peers N]
 //                [--sessions N] [--k N] [--latt MS] [--sizet N]
-//                [--no-opt] [--all-sessions]
+//                [--threads N] [--no-opt] [--all-sessions]
 //
 // A config file (key = value; see core/config_io.h) is applied first;
 // explicit flags override it. --save-config writes the effective
@@ -35,6 +35,7 @@ struct CliOptions {
   std::size_t peers = 10000;
   std::size_t sessions = 30000;
   core::AsapParams asap;
+  std::size_t threads = 1;  // 0 = hardware concurrency
   bool include_opt = true;
   bool latent_only = true;
   std::string save_config_path;
@@ -46,7 +47,7 @@ void usage(const char* argv0) {
                "usage: %s [--config FILE] [--save-config FILE]\n"
                "          [--seed N] [--ases N] [--host-ases N] [--peers N]\n"
                "          [--sessions N] [--k N] [--latt MS] [--sizet N]\n"
-               "          [--no-opt] [--all-sessions]\n",
+               "          [--threads N] [--no-opt] [--all-sessions]\n",
                argv0);
 }
 
@@ -93,6 +94,8 @@ CliOptions parse_args(int argc, char** argv) {
     } else if (std::strcmp(arg, "--sizet") == 0) {
       opts.asap.size_threshold =
           static_cast<std::uint32_t>(std::strtoul(next_value(i), nullptr, 10));
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      opts.threads = std::strtoull(next_value(i), nullptr, 10);
     } else if (std::strcmp(arg, "--no-opt") == 0) {
       opts.include_opt = false;
     } else if (std::strcmp(arg, "--all-sessions") == 0) {
@@ -153,6 +156,7 @@ int main(int argc, char** argv) {
   relay::EvaluationConfig config;
   config.asap = opts.asap;
   config.include_opt = opts.include_opt;
+  config.threads = opts.threads;
   auto results = relay::evaluate_methods(world, eval_set, config);
 
   Table table({"method", "quality paths p50", "shortest RTT p50 (ms)", "RTT p90",

@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace asap {
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t total = resolve_threads(threads);
+  workers_.reserve(total - 1);
+  for (std::size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_.count = count;
+    batch_.next = 0;
+    // Small chunks keep workers busy near the end of skewed workloads while
+    // bounding lock traffic to ~8 grabs per worker.
+    batch_.chunk = std::max<std::size_t>(1, count / (size() * 8));
+    batch_.in_flight = 0;
+    batch_.fn = &fn;
+    batch_.error = nullptr;
+  }
+  work_ready_.notify_all();
+  drain_batch();
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [this] {
+    return batch_.next >= batch_.count && batch_.in_flight == 0;
+  });
+  batch_.fn = nullptr;
+  if (batch_.error) {
+    std::exception_ptr error = batch_.error;
+    batch_.error = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::drain_batch() {
+  for (;;) {
+    std::size_t begin;
+    std::size_t end;
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (batch_.fn == nullptr || batch_.next >= batch_.count) return;
+      begin = batch_.next;
+      end = std::min(batch_.count, begin + batch_.chunk);
+      batch_.next = end;
+      batch_.in_flight += end - begin;
+      fn = batch_.fn;
+    }
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!batch_.error) batch_.error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch_.in_flight -= end - begin;
+      if (batch_.next >= batch_.count && batch_.in_flight == 0) {
+        batch_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] {
+        return stop_ || (batch_.fn != nullptr && batch_.next < batch_.count);
+      });
+      if (stop_) return;
+    }
+    drain_batch();
+  }
+}
+
+}  // namespace asap

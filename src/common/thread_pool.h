@@ -1,0 +1,66 @@
+// A small fixed-size worker pool for data-parallel loops.
+//
+// The evaluation pipeline shards 100k-session workloads across workers with
+// parallel_for(); determinism is preserved by construction because every
+// item writes to its own output slot and derives any randomness from its
+// item index, never from execution order. The pool itself makes no ordering
+// promises beyond "fn(i) runs exactly once for every i".
+#pragma once
+
+#include <cstddef>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asap {
+
+class ThreadPool {
+ public:
+  // `threads` is the total worker parallelism, including the calling thread
+  // during parallel_for(); 0 means std::thread::hardware_concurrency().
+  // A pool of size 1 spawns no OS threads and runs everything inline.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism (spawned workers + the caller), always >= 1.
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  // Runs fn(i) exactly once for every i in [0, count), spread across the
+  // pool; the calling thread participates. Blocks until all items are done.
+  // If any fn throws, one of the exceptions is rethrown here after the loop
+  // drains. Not reentrant: do not call parallel_for from inside fn.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  // Resolves a user-facing thread-count request: 0 -> hardware concurrency
+  // (at least 1), anything else unchanged.
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  struct Batch {
+    std::size_t count = 0;
+    std::size_t next = 0;       // next item index to hand out
+    std::size_t chunk = 1;      // items per grab
+    std::size_t in_flight = 0;  // items handed out but not finished
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  // Drains items from the current batch; returns when the batch is empty.
+  void drain_batch();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;   // workers wait here for a batch
+  std::condition_variable batch_done_;   // parallel_for waits here
+  Batch batch_;
+  bool stop_ = false;
+};
+
+}  // namespace asap

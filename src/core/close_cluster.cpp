@@ -49,17 +49,28 @@ CloseClusterSet construct_close_cluster_set(const population::World& world, Clus
   return set;
 }
 
+CloseSetCache::CloseSetCache(const population::World& world, const AsapParams& params)
+    : world_(world), params_(params), sets_(world.pop().clusters().size()) {}
+
+CloseSetCache::~CloseSetCache() {
+  for (auto& slot : sets_) delete slot.load(std::memory_order_relaxed);
+}
+
 const CloseClusterSet& CloseSetCache::get(ClusterId c) {
-  if (sets_.size() < world_.pop().clusters().size()) {
-    sets_.resize(world_.pop().clusters().size());
-  }
   auto& slot = sets_[c.value()];
-  if (!slot) {
-    slot = std::make_unique<CloseClusterSet>(construct_close_cluster_set(world_, c, params_));
-    ++built_;
-    probe_messages_ += slot->probe_messages;
+  CloseClusterSet* set = slot.load(std::memory_order_acquire);
+  if (set != nullptr) return *set;
+  std::lock_guard<std::mutex> lock(stripes_[c.value() % kLockStripes]);
+  set = slot.load(std::memory_order_relaxed);
+  if (set == nullptr) {
+    auto built = std::make_unique<CloseClusterSet>(
+        construct_close_cluster_set(world_, c, params_));
+    built_.fetch_add(1, std::memory_order_relaxed);
+    probe_messages_.fetch_add(built->probe_messages, std::memory_order_relaxed);
+    set = built.release();
+    slot.store(set, std::memory_order_release);
   }
-  return *slot;
+  return *set;
 }
 
 }  // namespace asap::core

@@ -6,6 +6,10 @@
 // threshold and below the loss threshold joins the close cluster set.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/params.h"
@@ -39,23 +43,42 @@ CloseClusterSet construct_close_cluster_set(const population::World& world, Clus
 // Lazily-built cache of close cluster sets, shared by the evaluation driver
 // (one set per caller/callee/candidate cluster, reused across sessions just
 // as surrogates amortize construction across their cluster's sessions).
+//
+// Concurrency-safe: get() may be called from many threads at once. The slot
+// array is pre-sized at construction (the world's cluster count is fixed),
+// lookups are a single acquire load, and slot initialization is
+// double-checked under a striped lock so each set is built exactly once —
+// built_count() and total_probe_messages() therefore report the same
+// Fig. 18 overhead numbers regardless of thread count.
 class CloseSetCache {
  public:
-  CloseSetCache(const population::World& world, const AsapParams& params)
-      : world_(world), params_(params) {}
+  CloseSetCache(const population::World& world, const AsapParams& params);
+  ~CloseSetCache();
+
+  CloseSetCache(const CloseSetCache&) = delete;
+  CloseSetCache& operator=(const CloseSetCache&) = delete;
 
   const CloseClusterSet& get(ClusterId c);
 
-  [[nodiscard]] std::size_t built_count() const { return built_; }
-  [[nodiscard]] std::uint64_t total_probe_messages() const { return probe_messages_; }
+  [[nodiscard]] std::size_t built_count() const {
+    return built_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_probe_messages() const {
+    return probe_messages_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const AsapParams& params() const { return params_; }
 
  private:
+  static constexpr std::size_t kLockStripes = 64;
+
   const population::World& world_;
   AsapParams params_;
-  std::vector<std::unique_ptr<CloseClusterSet>> sets_;
-  std::size_t built_ = 0;
-  std::uint64_t probe_messages_ = 0;
+  // Owned; a slot is published exactly once with release ordering and stays
+  // at a stable address for the cache's lifetime.
+  std::vector<std::atomic<CloseClusterSet*>> sets_;
+  std::array<std::mutex, kLockStripes> stripes_;
+  std::atomic<std::size_t> built_{0};
+  std::atomic<std::uint64_t> probe_messages_{0};
 };
 
 }  // namespace asap::core

@@ -1,6 +1,7 @@
 #include "core/select_relay.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/wire.h"
 #include "population/nat.h"
@@ -28,6 +29,14 @@ void intersect(const CloseClusterSet& s1, const CloseClusterSet& s2, Fn&& fn) {
 }
 
 }  // namespace
+
+std::size_t probe_quota(std::size_t accepted, double fraction) {
+  if (fraction >= 1.0) return accepted;
+  if (fraction <= 0.0) return 0;
+  auto count = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(accepted) * fraction));
+  return std::min(count, accepted);
+}
 
 SelectRelayResult select_close_relay(const population::World& world, CloseSetCache& cache,
                                      const population::Session& session, Rng& rng) {
@@ -74,11 +83,7 @@ SelectRelayResult select_close_relay(const population::World& world, CloseSetCac
     if (a.estimate_ms != b.estimate_ms) return a.estimate_ms < b.estimate_ms;
     return a.cluster < b.cluster;
   });
-  std::size_t probe_count = accepted.size();
-  if (params.probe_fraction < 1.0) {
-    probe_count = static_cast<std::size_t>(
-        static_cast<double>(probe_count) * params.probe_fraction + 0.999);
-  }
+  std::size_t probe_count = probe_quota(accepted.size(), params.probe_fraction);
   if (params.max_probe_clusters > 0) {
     probe_count = std::min<std::size_t>(probe_count, params.max_probe_clusters);
   }

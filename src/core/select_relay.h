@@ -51,6 +51,11 @@ struct SelectRelayResult {
   [[nodiscard]] std::uint64_t quality_paths() const { return one_hop_nodes + two_hop_pairs; }
 };
 
+// Number of accepted candidate clusters actually verification-probed for a
+// given probe fraction: ceil(accepted * fraction), clamped to [0, accepted].
+// (Sec. 7.3's overhead-reduction knob; a fraction of 1 probes everything.)
+[[nodiscard]] std::size_t probe_quota(std::size_t accepted, double fraction);
+
 // Runs select-close-relay() for a session using cached close sets. `rng`
 // drives the probe-fraction subsampling (unused when probe_fraction == 1).
 SelectRelayResult select_close_relay(const population::World& world, CloseSetCache& cache,

@@ -1,13 +1,25 @@
 #include "netmodel/oracle.h"
 
 #include <cmath>
+#include <mutex>
 
 namespace asap::netmodel {
 
 const PathOracle::DestTable& PathOracle::table_for(asap::AsId dest) const {
-  auto it = tables_.find(dest.value());
-  if (it != tables_.end()) return *it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(tables_mutex_);
+    auto it = tables_.find(dest.value());
+    if (it != tables_.end()) return *it->second;
+  }
+  // Build outside the lock so distinct destinations build in parallel; a
+  // duplicate build of the same destination is wasted work, not an error.
+  auto table = build_table(dest);
+  std::unique_lock<std::shared_mutex> lock(tables_mutex_);
+  auto [pos, _] = tables_.try_emplace(dest.value(), std::move(table));
+  return *pos->second;
+}
 
+std::unique_ptr<PathOracle::DestTable> PathOracle::build_table(asap::AsId dest) const {
   auto table = std::make_unique<DestTable>(
       DestTable{astopo::compute_routes(graph_, dest), {}, {}});
   const auto n = graph_.as_count();
@@ -40,9 +52,7 @@ const PathOracle::DestTable& PathOracle::table_for(asap::AsId dest) const {
       table->log_survival[y.value()] = logsurv;
     }
   }
-
-  auto [pos, _] = tables_.emplace(dest.value(), std::move(table));
-  return *pos->second;
+  return table;
 }
 
 std::span<const float> PathOracle::one_way_table(asap::AsId dest) const {

@@ -8,11 +8,16 @@
 //
 // Per-destination tables (routes + dynamic-programming latency/loss arrays)
 // are built lazily and cached; in the evaluation only host-bearing ASes are
-// ever destinations, which bounds the cache.
+// ever destinations, which bounds the cache. All query methods are safe to
+// call concurrently: the table cache is guarded by a reader/writer lock, and
+// tables are built outside it (two threads racing on the same destination
+// both build, the first insert wins — table contents are a pure function of
+// the destination, so results are unaffected).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -55,7 +60,10 @@ class PathOracle {
 
   [[nodiscard]] const astopo::AsGraph& graph() const { return graph_; }
   [[nodiscard]] const LatencyModel& model() const { return model_; }
-  [[nodiscard]] std::size_t cached_tables() const { return tables_.size(); }
+  [[nodiscard]] std::size_t cached_tables() const {
+    std::shared_lock<std::shared_mutex> lock(tables_mutex_);
+    return tables_.size();
+  }
 
  private:
   struct DestTable {
@@ -65,9 +73,11 @@ class PathOracle {
   };
 
   const DestTable& table_for(asap::AsId dest) const;
+  std::unique_ptr<DestTable> build_table(asap::AsId dest) const;
 
   const astopo::AsGraph& graph_;
   const LatencyModel& model_;
+  mutable std::shared_mutex tables_mutex_;
   mutable std::unordered_map<std::uint32_t, std::unique_ptr<DestTable>> tables_;
 };
 

@@ -2,14 +2,30 @@
 
 namespace asap::relay {
 
-SelectionResult AsapSelector::select(const population::Session& session) {
-  last_ = core::select_close_relay(world_, cache_, session, rng_);
+namespace {
+
+SelectionResult to_selection(const core::SelectRelayResult& detail) {
   SelectionResult result;
-  result.quality_paths = last_.quality_paths();
-  result.shortest_rtt_ms = last_.best.rtt_ms;
-  result.shortest_loss = last_.best.loss;
-  result.messages = last_.messages;
+  result.quality_paths = detail.quality_paths();
+  result.shortest_rtt_ms = detail.best.rtt_ms;
+  result.shortest_loss = detail.best.loss;
+  result.messages = detail.messages;
   return result;
+}
+
+}  // namespace
+
+SelectionResult AsapSelector::select_session(const population::Session& session,
+                                             std::uint64_t session_index) {
+  Rng rng = base_rng_.fork(session_index);
+  core::SelectRelayResult detail = core::select_close_relay(world_, cache_, session, rng);
+  return to_selection(detail);
+}
+
+SelectionResult AsapSelector::select(const population::Session& session) {
+  Rng rng = base_rng_.fork(serial_index_++);
+  last_ = core::select_close_relay(world_, cache_, session, rng);
+  return to_selection(last_);
 }
 
 }  // namespace asap::relay

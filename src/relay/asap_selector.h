@@ -12,21 +12,27 @@ namespace asap::relay {
 class AsapSelector : public RelaySelector {
  public:
   AsapSelector(const population::World& world, const core::AsapParams& params, Rng rng)
-      : world_(world), cache_(world, params), rng_(rng) {}
+      : world_(world), cache_(world, params), base_rng_(rng) {}
 
   [[nodiscard]] std::string name() const override { return "ASAP"; }
+  // Thread-safe (the close-set cache is concurrent); does not touch
+  // last_detail().
+  SelectionResult select_session(const population::Session& session,
+                                 std::uint64_t session_index) override;
+  // Serial path: additionally records the protocol-level detail below.
   SelectionResult select(const population::Session& session) override;
 
-  // Full protocol-level result of the last select() call (two-hop counts,
-  // accepted clusters, ...), for benches that need more than the common
-  // metrics.
+  // Full protocol-level result of the last serial select() call (two-hop
+  // counts, accepted clusters, ...), for benches that need more than the
+  // common metrics.
   [[nodiscard]] const core::SelectRelayResult& last_detail() const { return last_; }
   [[nodiscard]] core::CloseSetCache& cache() { return cache_; }
 
  private:
   const population::World& world_;
   core::CloseSetCache cache_;
-  Rng rng_;
+  Rng base_rng_;
+  std::uint64_t serial_index_ = 0;  // numbers serial select() calls
   core::SelectRelayResult last_;
 };
 

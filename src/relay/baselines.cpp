@@ -10,19 +10,23 @@ namespace asap::relay {
 DediSelector::DediSelector(const population::World& world, std::size_t node_count)
     : world_(world), pool_(dedicated_nodes(world, node_count)) {}
 
-SelectionResult DediSelector::select(const population::Session& session) {
+SelectionResult DediSelector::select_session(const population::Session& session,
+                                             std::uint64_t session_index) {
+  (void)session_index;  // DEDI probes a fixed pool
   return evaluate_relay_pool(world_, session, pool_);
 }
 
 RandSelector::RandSelector(const population::World& world, std::size_t node_count, Rng rng)
-    : world_(world), node_count_(node_count), rng_(rng) {}
+    : world_(world), node_count_(node_count), base_rng_(rng) {}
 
-SelectionResult RandSelector::select(const population::Session& session) {
+SelectionResult RandSelector::select_session(const population::Session& session,
+                                             std::uint64_t session_index) {
+  Rng rng = base_rng_.fork(session_index);
   const auto& peers = world_.pop().peers();
   std::size_t n = std::min(node_count_, peers.size());
   std::vector<HostId> pool;
   pool.reserve(n);
-  for (auto idx : rng_.sample_indices(peers.size(), n)) {
+  for (auto idx : rng.sample_indices(peers.size(), n)) {
     pool.push_back(HostId(static_cast<std::uint32_t>(idx)));
   }
   return evaluate_relay_pool(world_, session, pool);
@@ -31,13 +35,15 @@ SelectionResult RandSelector::select(const population::Session& session) {
 MixSelector::MixSelector(const population::World& world, std::size_t dedicated,
                          std::size_t random, Rng rng)
     : world_(world), dedicated_(dedicated_nodes(world, dedicated)), random_count_(random),
-      rng_(rng) {}
+      base_rng_(rng) {}
 
-SelectionResult MixSelector::select(const population::Session& session) {
+SelectionResult MixSelector::select_session(const population::Session& session,
+                                            std::uint64_t session_index) {
+  Rng rng = base_rng_.fork(session_index);
   std::vector<HostId> pool = dedicated_;
   const auto& peers = world_.pop().peers();
   std::size_t n = std::min(random_count_, peers.size());
-  for (auto idx : rng_.sample_indices(peers.size(), n)) {
+  for (auto idx : rng.sample_indices(peers.size(), n)) {
     pool.push_back(HostId(static_cast<std::uint32_t>(idx)));
   }
   return evaluate_relay_pool(world_, session, pool);
@@ -47,7 +53,9 @@ OptSelector::OptSelector(const population::World& world, std::size_t two_hop_bea
                          bool enable_two_hop)
     : world_(world), beam_(two_hop_beam), two_hop_(enable_two_hop) {}
 
-SelectionResult OptSelector::select(const population::Session& session) {
+SelectionResult OptSelector::select_session(const population::Session& session,
+                                            std::uint64_t session_index) {
+  (void)session_index;  // OPT is deterministic and offline
   const auto& pop = world_.pop();
   SelectionResult result;
   ClusterId ca = pop.peer(session.caller).cluster;

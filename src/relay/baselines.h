@@ -28,23 +28,29 @@ class DediSelector : public RelaySelector {
  public:
   DediSelector(const population::World& world, std::size_t node_count);
   [[nodiscard]] std::string name() const override { return "DEDI"; }
-  SelectionResult select(const population::Session& session) override;
+  SelectionResult select_session(const population::Session& session,
+                                 std::uint64_t session_index) override;
 
  private:
   const population::World& world_;
   std::vector<HostId> pool_;
 };
 
+// RAND and MIX draw their per-session random pools from a stream forked off
+// the base RNG by session index (base_rng_ itself is never advanced), which
+// makes select_session safe to call concurrently and its result a pure
+// function of (session, index).
 class RandSelector : public RelaySelector {
  public:
   RandSelector(const population::World& world, std::size_t node_count, Rng rng);
   [[nodiscard]] std::string name() const override { return "RAND"; }
-  SelectionResult select(const population::Session& session) override;
+  SelectionResult select_session(const population::Session& session,
+                                 std::uint64_t session_index) override;
 
  private:
   const population::World& world_;
   std::size_t node_count_;
-  Rng rng_;
+  Rng base_rng_;
 };
 
 class MixSelector : public RelaySelector {
@@ -52,13 +58,14 @@ class MixSelector : public RelaySelector {
   MixSelector(const population::World& world, std::size_t dedicated, std::size_t random,
               Rng rng);
   [[nodiscard]] std::string name() const override { return "MIX"; }
-  SelectionResult select(const population::Session& session) override;
+  SelectionResult select_session(const population::Session& session,
+                                 std::uint64_t session_index) override;
 
  private:
   const population::World& world_;
   std::vector<HostId> dedicated_;
   std::size_t random_count_;
-  Rng rng_;
+  Rng base_rng_;
 };
 
 // OPT iterates every populated cluster's delegate as a one-hop relay; for
@@ -74,7 +81,8 @@ class OptSelector : public RelaySelector {
   OptSelector(const population::World& world, std::size_t two_hop_beam,
               bool enable_two_hop = true);
   [[nodiscard]] std::string name() const override { return "OPT"; }
-  SelectionResult select(const population::Session& session) override;
+  SelectionResult select_session(const population::Session& session,
+                                 std::uint64_t session_index) override;
 
  private:
   const population::World& world_;

@@ -1,5 +1,9 @@
 #include "relay/evaluation.h"
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
 namespace asap::relay {
 
 std::vector<std::unique_ptr<RelaySelector>> make_selectors(const population::World& world,
@@ -26,24 +30,32 @@ std::vector<MethodResults> evaluate_methods(const population::World& world,
                                             const EvaluationConfig& config) {
   auto selectors = make_selectors(world, config);
   voip::EModel emodel(config.codec);
+  ThreadPool pool(ThreadPool::resolve_threads(config.threads));
   std::vector<MethodResults> results;
   for (auto& selector : selectors) {
     MethodResults mr;
     mr.method = selector->name();
-    mr.quality_paths.reserve(sessions.size());
-    for (const auto& session : sessions) {
-      SelectionResult r = selector->select(session);
-      mr.quality_paths.push_back(static_cast<double>(r.quality_paths));
+    // Pre-sized, position-indexed outputs: worker scheduling cannot reorder
+    // or interleave them, which keeps results identical for any thread count.
+    mr.quality_paths.resize(sessions.size());
+    mr.shortest_rtt_ms.resize(sessions.size());
+    mr.highest_mos.resize(sessions.size());
+    mr.messages.resize(sessions.size());
+    RelaySelector* sel = selector.get();
+    pool.parallel_for(sessions.size(), [&, sel](std::size_t i) {
+      const auto& session = sessions[i];
+      SelectionResult r = sel->select_session(session, i);
+      mr.quality_paths[i] = static_cast<double>(r.quality_paths);
       // The best available path: the best relay path, or the direct path
       // when no relay improves on it / none was found.
       Millis rtt = std::min(r.shortest_rtt_ms, session.direct_rtt_ms);
-      double loss = r.shortest_rtt_ms <= session.direct_rtt_ms ? r.shortest_loss
-                                                               : session.direct_loss;
-      mr.shortest_rtt_ms.push_back(rtt);
+      double loss = best_path_loss(r.shortest_rtt_ms, r.shortest_loss,
+                                   session.direct_rtt_ms, session.direct_loss);
+      mr.shortest_rtt_ms[i] = rtt;
       double mos_loss = config.fixed_loss_for_mos ? config.fixed_loss : loss;
-      mr.highest_mos.push_back(emodel.mos_for_rtt(rtt, mos_loss));
-      mr.messages.push_back(static_cast<double>(r.messages));
-    }
+      mr.highest_mos[i] = emodel.mos_for_rtt(rtt, mos_loss);
+      mr.messages[i] = static_cast<double>(r.messages);
+    });
     results.push_back(std::move(mr));
   }
   return results;

@@ -33,7 +33,21 @@ struct EvaluationConfig {
   voip::Codec codec = voip::kG729aVad;
   bool include_opt = true;
   std::uint64_t seed_salt = 7;
+  // Worker threads for the per-session loop; 0 = hardware concurrency.
+  // Results are byte-identical for every thread count: outputs are indexed
+  // by session position and each session's RNG stream is forked from the
+  // selector seed + session index, never shared across sessions.
+  std::size_t threads = 1;
 };
+
+// Loss of the best available path: the relay path's when it is strictly
+// faster than the direct path, the direct path's otherwise. Ties go to the
+// direct path — at equal RTT there is no reason to pay for a relay hop, so
+// reporting the relay's loss would skew the loss/MOS curves.
+inline double best_path_loss(Millis relay_rtt_ms, double relay_loss,
+                             Millis direct_rtt_ms, double direct_loss) {
+  return relay_rtt_ms < direct_rtt_ms ? relay_loss : direct_loss;
+}
 
 // Builds the standard selector suite (DEDI, RAND, MIX, ASAP [, OPT]).
 std::vector<std::unique_ptr<RelaySelector>> make_selectors(const population::World& world,

@@ -31,7 +31,23 @@ class RelaySelector {
  public:
   virtual ~RelaySelector() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  virtual SelectionResult select(const population::Session& session) = 0;
+
+  // Thread-safe evaluation entry point: implementations must tolerate
+  // concurrent calls with distinct session indices. Any per-session
+  // randomness is forked from the selector's base stream keyed by
+  // `session_index`, so results depend only on (session, index) — never on
+  // evaluation order or thread count.
+  virtual SelectionResult select_session(const population::Session& session,
+                                         std::uint64_t session_index) = 0;
+
+  // Serial convenience: numbers sessions in call order. Equivalent to
+  // calling select_session with indices 0, 1, 2, ... Not thread-safe.
+  virtual SelectionResult select(const population::Session& session) {
+    return select_session(session, serial_index_++);
+  }
+
+ private:
+  std::uint64_t serial_index_ = 0;
 };
 
 // Shared helper: evaluates a fixed set of one-hop relay hosts against a

@@ -1,0 +1,90 @@
+// Concurrency contract of CloseSetCache: get() may be hammered from many
+// threads, each set is built exactly once, returned references are stable,
+// and the probe-message accounting (the Fig. 18 overhead numbers) matches a
+// serial cache exactly.
+#include "core/close_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace asap::core {
+namespace {
+
+population::WorldParams small_params() {
+  population::WorldParams params;
+  params.seed = 131;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+struct CacheConcurrencyFixture : public ::testing::Test {
+  void SetUp() override {
+    world = std::make_unique<population::World>(small_params());
+    clusters = world->pop().populated_clusters();
+    if (clusters.size() > 40) clusters.resize(40);
+  }
+  std::unique_ptr<population::World> world;
+  std::vector<ClusterId> clusters;
+  AsapParams params;
+};
+
+TEST_F(CacheConcurrencyFixture, HammeredGetBuildsEachSetExactlyOnce) {
+  CloseSetCache cache(*world, params);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  std::vector<std::vector<const CloseClusterSet*>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Every thread requests every cluster repeatedly, from a different
+      // starting offset so first-touches collide across threads.
+      seen[t].resize(clusters.size());
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t i = 0; i < clusters.size(); ++i) {
+          std::size_t at = (i + static_cast<std::size_t>(t)) % clusters.size();
+          const CloseClusterSet& set = cache.get(clusters[at]);
+          EXPECT_EQ(set.owner, clusters[at]);
+          if (round == 0) {
+            seen[t][at] = &set;
+          } else {
+            EXPECT_EQ(seen[t][at], &set) << "reference must be stable";
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Built exactly once per distinct cluster requested, never more.
+  EXPECT_EQ(cache.built_count(), clusters.size());
+  // All threads observed the same set instances.
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+}
+
+TEST_F(CacheConcurrencyFixture, ProbeAccountingMatchesSerialCache) {
+  CloseSetCache concurrent(*world, params);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (ClusterId c : clusters) concurrent.get(c);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  CloseSetCache serial(*world, params);
+  for (ClusterId c : clusters) serial.get(c);
+
+  EXPECT_EQ(concurrent.built_count(), serial.built_count());
+  EXPECT_EQ(concurrent.total_probe_messages(), serial.total_probe_messages());
+  for (ClusterId c : clusters) {
+    EXPECT_EQ(concurrent.get(c).entries.size(), serial.get(c).entries.size());
+  }
+}
+
+}  // namespace
+}  // namespace asap::core

@@ -118,6 +118,27 @@ TEST_F(SelectRelayFixture, MessageAccountingFormula) {
   EXPECT_EQ(result.messages, expected);
 }
 
+TEST(ProbeQuotaTest, MatchesTrueCeilingAtFractionBoundaries) {
+  // Regression: the old `* fraction + 0.999` pseudo-ceil truncated whenever
+  // the product's fractional part was at most 0.001 — accepted=1000 with
+  // fraction=0.0990001 yielded 99 instead of ceil(99.0001) = 100.
+  EXPECT_EQ(probe_quota(1000, 0.0990001), 100u);
+  // Exact products stay exact (no spurious +1 from the ceiling).
+  EXPECT_EQ(probe_quota(1000, 0.1), 100u);
+  EXPECT_EQ(probe_quota(1000, 0.099), 99u);
+  EXPECT_EQ(probe_quota(10, 0.5), 5u);
+  // Tiny fractions still probe at least one candidate.
+  EXPECT_EQ(probe_quota(10, 0.05), 1u);
+  EXPECT_EQ(probe_quota(1, 0.0001), 1u);
+  // Boundary fractions: everything / nothing.
+  EXPECT_EQ(probe_quota(7, 1.0), 7u);
+  EXPECT_EQ(probe_quota(7, 1.5), 7u);
+  EXPECT_EQ(probe_quota(7, 0.0), 0u);
+  EXPECT_EQ(probe_quota(0, 0.5), 0u);
+  // Clamped to the accepted-candidate count.
+  EXPECT_EQ(probe_quota(3, 0.999999), 3u);
+}
+
 TEST_F(SelectRelayFixture, ProbeCapLimitsMessages) {
   AsapParams params;
   params.probe_fraction = 1.0;

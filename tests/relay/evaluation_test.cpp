@@ -101,6 +101,57 @@ TEST_F(EvaluationFixture, PaperOrderingHolds) {
   EXPECT_LT(asap_rtt, opt_rtt * 1.3) << "ASAP tracks OPT within ~30%";
 }
 
+TEST_F(EvaluationFixture, BestPathLossTieBreakFavorsDirect) {
+  // Regression: at equal RTT the direct path is the natural choice, so its
+  // loss must be reported — the old `<=` comparison leaked the relay's loss
+  // into the loss/MOS curves whenever the two paths tied.
+  EXPECT_DOUBLE_EQ(best_path_loss(250.0, 0.04, 250.0, 0.001), 0.001);
+  // Strictly faster relay wins and reports its own loss.
+  EXPECT_DOUBLE_EQ(best_path_loss(200.0, 0.04, 250.0, 0.001), 0.04);
+  // Slower relay (or none found, kUnreachableMs) falls back to direct.
+  EXPECT_DOUBLE_EQ(best_path_loss(300.0, 0.04, 250.0, 0.001), 0.001);
+  EXPECT_DOUBLE_EQ(best_path_loss(kUnreachableMs, 1.0, 250.0, 0.001), 0.001);
+}
+
+TEST_F(EvaluationFixture, ResultsAreBitIdenticalForAnyThreadCount) {
+  if (latent.empty()) GTEST_SKIP();
+  EvaluationConfig config;
+  config.threads = 1;
+  auto serial = evaluate_methods(*world, latent, config);
+  for (std::size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    auto parallel = evaluate_methods(*world, latent, config);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t m = 0; m < serial.size(); ++m) {
+      EXPECT_EQ(parallel[m].method, serial[m].method);
+      // Bit-identical metric vectors: == on doubles, no tolerance.
+      EXPECT_EQ(parallel[m].quality_paths, serial[m].quality_paths)
+          << serial[m].method << " @ " << threads << " threads";
+      EXPECT_EQ(parallel[m].shortest_rtt_ms, serial[m].shortest_rtt_ms)
+          << serial[m].method << " @ " << threads << " threads";
+      EXPECT_EQ(parallel[m].highest_mos, serial[m].highest_mos)
+          << serial[m].method << " @ " << threads << " threads";
+      EXPECT_EQ(parallel[m].messages, serial[m].messages)
+          << serial[m].method << " @ " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(EvaluationFixture, RepeatedRunsAreDeterministic) {
+  if (latent.empty()) GTEST_SKIP();
+  EvaluationConfig config;
+  config.threads = 4;
+  auto a = evaluate_methods(*world, latent, config);
+  auto b = evaluate_methods(*world, latent, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t m = 0; m < a.size(); ++m) {
+    EXPECT_EQ(a[m].quality_paths, b[m].quality_paths);
+    EXPECT_EQ(a[m].shortest_rtt_ms, b[m].shortest_rtt_ms);
+    EXPECT_EQ(a[m].highest_mos, b[m].highest_mos);
+    EXPECT_EQ(a[m].messages, b[m].messages);
+  }
+}
+
 TEST_F(EvaluationFixture, FixedLossConfigControlsMos) {
   if (latent.empty()) GTEST_SKIP();
   EvaluationConfig fixed;
