@@ -1,0 +1,118 @@
+// Single-thread throughput of the batched relay-RTT layer against the
+// scalar World methods it replaces: for each session, score every relay in
+// the RelayDirectory as a one-hop candidate, once via per-candidate
+// relay_rtt_ms() (hash + table lookup per leg) and once via
+// batch_relay_rtts() (endpoint tables hoisted, flat SoA scan). The two
+// paths must agree bitwise on every candidate; the acceptance bar for the
+// batched layer is a >= 3x single-thread speedup.
+//
+// Machine-readable summary on the last stdout line:
+//   BENCH JSON {...}
+// Respects ASAP_SEED / ASAP_SESSIONS / ASAP_SCALE like the figure benches.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "population/relay_directory.h"
+
+using namespace asap;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  auto env = bench::read_env();
+  auto world = bench::build_world(bench::eval_world_params(env), "micro-oracle");
+  // Enough sessions to dominate timer noise but keep the scalar pass short.
+  std::size_t session_count = std::min<std::size_t>(env.sessions, 2000);
+  auto workload = bench::sample_sessions(*world, session_count);
+  const auto& sessions = workload.all;
+  if (sessions.empty()) {
+    std::printf("no sessions; increase ASAP_SESSIONS\n");
+    return 1;
+  }
+
+  const population::RelayDirectory& dir = world->relay_directory();
+  std::span<const HostId> candidates = dir.relays;
+  // Warm every destination table first so both passes measure pure query
+  // throughput, not one-off table builds.
+  {
+    ThreadPool pool(1);
+    world->oracle().prewarm(world->pop().host_ases(), pool);
+  }
+
+  std::vector<Millis> scalar_out(candidates.size());
+  std::vector<Millis> batch_out(candidates.size());
+  std::uint64_t queries = 0;
+  std::uint64_t mismatches = 0;
+
+  // Scalar pass: exactly what evaluate_relay_pool did per candidate before
+  // the batched layer (one hash-map-free oracle lookup per leg, two peer
+  // loads per candidate).
+  auto scalar_start = std::chrono::steady_clock::now();
+  double scalar_sink = 0.0;
+  for (const auto& s : sessions) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      scalar_out[i] = world->relay_rtt_ms(s.caller, candidates[i], s.callee);
+    }
+    scalar_sink += scalar_out[candidates.size() / 2];
+    queries += candidates.size();
+  }
+  double scalar_seconds = seconds_since(scalar_start);
+
+  // Batched pass over the same workload, cross-checked bitwise.
+  auto batch_start = std::chrono::steady_clock::now();
+  double batch_sink = 0.0;
+  for (const auto& s : sessions) {
+    world->batch_relay_rtts(s, candidates, batch_out);
+    batch_sink += batch_out[candidates.size() / 2];
+  }
+  double batch_seconds = seconds_since(batch_start);
+  for (const auto& s : sessions) {
+    world->batch_relay_rtts(s, candidates, batch_out);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (batch_out[i] != world->relay_rtt_ms(s.caller, candidates[i], s.callee)) {
+        ++mismatches;
+      }
+    }
+  }
+
+  double scalar_per_sec = static_cast<double>(queries) / scalar_seconds;
+  double batch_per_sec = static_cast<double>(queries) / batch_seconds;
+  double speedup = scalar_seconds / batch_seconds;
+
+  bench::print_section("Relay-RTT query throughput (single thread, batched vs scalar)");
+  Table table({"path", "seconds", "queries/sec", "speedup"});
+  table.add_row({"scalar", Table::fmt(scalar_seconds, 3), Table::fmt(scalar_per_sec, 0),
+                 "1.00"});
+  table.add_row({"batched", Table::fmt(batch_seconds, 3), Table::fmt(batch_per_sec, 0),
+                 Table::fmt(speedup, 2)});
+  table.print();
+  std::printf("sessions=%zu candidates=%zu mismatches=%llu (sink %.1f/%.1f)\n",
+              sessions.size(), candidates.size(),
+              static_cast<unsigned long long>(mismatches), scalar_sink, batch_sink);
+  if (mismatches != 0) std::printf("WARNING: batched path disagreed with scalar\n");
+
+  std::string json = "{\"bench\":\"micro_oracle_query\",\"seed\":" +
+                     std::to_string(env.seed) +
+                     ",\"sessions\":" + std::to_string(sessions.size()) +
+                     ",\"candidates\":" + std::to_string(candidates.size()) +
+                     ",\"relay_rtt_queries\":" + std::to_string(queries) +
+                     ",\"scalar_seconds\":" + Table::fmt(scalar_seconds, 4) +
+                     ",\"batch_seconds\":" + Table::fmt(batch_seconds, 4) +
+                     ",\"scalar_queries_per_sec\":" + Table::fmt(scalar_per_sec, 1) +
+                     ",\"batch_queries_per_sec\":" + Table::fmt(batch_per_sec, 1) +
+                     ",\"speedup\":" + Table::fmt(speedup, 3) +
+                     ",\"bitwise_identical\":" +
+                     std::string(mismatches == 0 ? "true" : "false") + "}";
+  std::printf("BENCH JSON %s\n", json.c_str());
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Runs the micro-benches that print a "BENCH JSON {...}" summary line and
+# collects the JSON objects into BENCH_micro.json (an array, one element per
+# bench) in the current directory.
+#
+# Usage: bench/run_micro.sh [build-dir]   (default: ./build)
+# Honors the usual bench env knobs (ASAP_SEED / ASAP_SESSIONS / ASAP_SCALE).
+set -eu
+
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+OUT="BENCH_micro.json"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found (build the project first)" >&2
+  exit 1
+fi
+
+BENCHES="micro_oracle_query micro_parallel_eval"
+
+printf '[' > "$OUT"
+first=1
+for bench in $BENCHES; do
+  bin="$BENCH_DIR/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built" >&2
+    exit 1
+  fi
+  echo "== $bench" >&2
+  line=$("$bin" | tee /dev/stderr | sed -n 's/^BENCH JSON //p' | tail -n 1)
+  if [ -z "$line" ]; then
+    echo "error: $bench produced no BENCH JSON line" >&2
+    exit 1
+  fi
+  [ "$first" -eq 1 ] || printf ',' >> "$OUT"
+  printf '\n  %s' "$line" >> "$OUT"
+  first=0
+done
+printf '\n]\n' >> "$OUT"
+echo "wrote $OUT" >&2

@@ -112,12 +112,21 @@ std::uint64_t Rng::zipf(std::uint64_t n, double s) {
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
-  assert(k <= n);
   std::vector<std::size_t> out;
+  sample_indices_into(n, k, out);
+  return out;
+}
+
+void Rng::sample_indices_into(std::size_t n, std::size_t k, std::vector<std::size_t>& out) {
+  assert(k <= n);
+  out.clear();
   out.reserve(k);
   if (k * 3 >= n) {
-    // Dense case: partial Fisher-Yates over an index vector.
-    std::vector<std::size_t> all(n);
+    // Dense case: partial Fisher-Yates over an index vector. The index
+    // vector is per-thread scratch so per-session samplers (RAND/MIX draw
+    // one pool per evaluated session) never reallocate in steady state.
+    static thread_local std::vector<std::size_t> all;
+    all.resize(n);
     for (std::size_t i = 0; i < n; ++i) all[i] = i;
     for (std::size_t i = 0; i < k; ++i) {
       std::size_t j = i + static_cast<std::size_t>(below(n - i));
@@ -125,15 +134,15 @@ std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
       out.push_back(all[i]);
     }
   } else {
-    // Sparse case: rejection with a hash set.
-    std::unordered_set<std::size_t> seen;
+    // Sparse case: rejection with a reused hash set (clear keeps buckets).
+    static thread_local std::unordered_set<std::size_t> seen;
+    seen.clear();
     seen.reserve(k * 2);
     while (out.size() < k) {
       auto candidate = static_cast<std::size_t>(below(n));
       if (seen.insert(candidate).second) out.push_back(candidate);
     }
   }
-  return out;
 }
 
 }  // namespace asap

@@ -84,6 +84,10 @@ class Rng {
 
   // Samples `k` distinct indices from [0, n) (k <= n), in random order.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+  // Allocation-free variant for hot loops: clears `out` and fills it with
+  // the same draws sample_indices would produce (identical RNG consumption
+  // and output order), reusing out's capacity and per-thread scratch.
+  void sample_indices_into(std::size_t n, std::size_t k, std::vector<std::size_t>& out);
 
  private:
   std::uint64_t state_[4];

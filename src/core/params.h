@@ -35,4 +35,21 @@ struct AsapParams {
   bool valley_free = true;
 };
 
+// --- Shared world-model constants (Sec. 3.2 measurement model) -------------
+// These sit alongside the protocol parameters above because they are model
+// inputs of the same evaluation, not derived quantities; they are header-only
+// so lower layers (population::World) can share them without a link edge.
+//
+// Hosts inside one AS never traverse an inter-AS policy path; the paper's
+// same-AS measurements still show a small positive floor (last-hop switching
+// plus the intra-AS hop), modelled as a 2 ms one-way path.
+inline constexpr Millis kIntraAsOneWayMs = 2.0;
+// Round trip over the intra-AS floor, both directions (the former magic
+// `2.0 * 2.0` in World::host_rtt_ms; access delays are added on top).
+inline constexpr Millis kIntraAsRttMs = 2.0 * kIntraAsOneWayMs;
+// Residual round-trip loss between two hosts of the same AS: effectively
+// lossless (0.05%), matching the near-zero loss the paper reports for
+// same-AS probe pairs (the former magic `0.0005` in World::host_loss).
+inline constexpr double kIntraAsRttLoss = 0.0005;
+
 }  // namespace asap::core

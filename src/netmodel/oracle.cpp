@@ -3,20 +3,33 @@
 #include <cmath>
 #include <mutex>
 
+#include "common/thread_pool.h"
+
 namespace asap::netmodel {
 
+PathOracle::~PathOracle() {
+  for (auto& slot : slots_) delete slot.load(std::memory_order_relaxed);
+}
+
 const PathOracle::DestTable& PathOracle::table_for(asap::AsId dest) const {
-  {
-    std::shared_lock<std::shared_mutex> lock(tables_mutex_);
-    auto it = tables_.find(dest.value());
-    if (it != tables_.end()) return *it->second;
+  auto& slot = slots_[dest.value()];
+  DestTable* table = slot.load(std::memory_order_acquire);
+  if (table != nullptr) return *table;
+  // Double-checked init under a striped mutex: distinct destinations build
+  // in parallel (different stripes) while a given destination is built
+  // exactly once — no duplicate work, no insert race.
+  std::lock_guard<std::mutex> lock(build_stripes_[dest.value() % kBuildStripes]);
+  table = slot.load(std::memory_order_relaxed);
+  if (table == nullptr) {
+    table = build_table(dest).release();
+    built_.fetch_add(1, std::memory_order_relaxed);
+    slot.store(table, std::memory_order_release);
   }
-  // Build outside the lock so distinct destinations build in parallel; a
-  // duplicate build of the same destination is wasted work, not an error.
-  auto table = build_table(dest);
-  std::unique_lock<std::shared_mutex> lock(tables_mutex_);
-  auto [pos, _] = tables_.try_emplace(dest.value(), std::move(table));
-  return *pos->second;
+  return *table;
+}
+
+void PathOracle::prewarm(std::span<const asap::AsId> dests, ThreadPool& pool) const {
+  pool.parallel_for(dests.size(), [&](std::size_t i) { (void)table_for(dests[i]); });
 }
 
 std::unique_ptr<PathOracle::DestTable> PathOracle::build_table(asap::AsId dest) const {

@@ -7,31 +7,43 @@
 // on them — the effect peer relays exploit.
 //
 // Per-destination tables (routes + dynamic-programming latency/loss arrays)
-// are built lazily and cached; in the evaluation only host-bearing ASes are
-// ever destinations, which bounds the cache. All query methods are safe to
-// call concurrently: the table cache is guarded by a reader/writer lock, and
-// tables are built outside it (two threads racing on the same destination
-// both build, the first insert wins — table contents are a pure function of
-// the destination, so results are unaffected).
+// are built lazily and cached in a flat slot array indexed by destination AS
+// id; in the evaluation only host-bearing ASes are ever destinations, which
+// bounds the work. All query methods are safe to call concurrently and the
+// steady-state read path is lock-free: a hit is one acquire load plus an
+// array index (no hash, no shared_mutex). A miss takes one of 64 striped
+// build mutexes and re-checks the slot (double-checked init, the same
+// pattern as core::CloseSetCache), so every table is built exactly once.
+// prewarm() builds a set of destination tables up front through a thread
+// pool so bulk evaluations never build under load.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "astopo/routing.h"
 #include "netmodel/latency_model.h"
 #include "common/units.h"
 
+namespace asap {
+class ThreadPool;
+}
+
 namespace asap::netmodel {
 
 class PathOracle {
  public:
   PathOracle(const astopo::AsGraph& graph, const LatencyModel& model)
-      : graph_(graph), model_(model) {}
+      : graph_(graph), model_(model), slots_(graph.as_count()) {}
+  ~PathOracle();
+
+  PathOracle(const PathOracle&) = delete;
+  PathOracle& operator=(const PathOracle&) = delete;
 
   // One-way latency src -> dst along the policy path. kUnreachableMs when no
   // route exists.
@@ -58,11 +70,16 @@ class PathOracle {
   // oracle's lifetime; building it caches the destination table.
   [[nodiscard]] std::span<const float> one_way_table(asap::AsId dest) const;
 
+  // Builds the destination tables of `dests` through `pool` so subsequent
+  // queries (and the batched World scans) hit the lock-free fast path.
+  // Duplicate ids and already-built tables are cheap no-ops; safe to call
+  // concurrently with queries.
+  void prewarm(std::span<const asap::AsId> dests, ThreadPool& pool) const;
+
   [[nodiscard]] const astopo::AsGraph& graph() const { return graph_; }
   [[nodiscard]] const LatencyModel& model() const { return model_; }
   [[nodiscard]] std::size_t cached_tables() const {
-    std::shared_lock<std::shared_mutex> lock(tables_mutex_);
-    return tables_.size();
+    return built_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -72,13 +89,19 @@ class PathOracle {
     std::vector<float> log_survival;  // log(1 - loss), per source AS
   };
 
+  static constexpr std::size_t kBuildStripes = 64;
+
   const DestTable& table_for(asap::AsId dest) const;
   std::unique_ptr<DestTable> build_table(asap::AsId dest) const;
 
   const astopo::AsGraph& graph_;
   const LatencyModel& model_;
-  mutable std::shared_mutex tables_mutex_;
-  mutable std::unordered_map<std::uint32_t, std::unique_ptr<DestTable>> tables_;
+  // Flat per-destination cache: a slot is published exactly once with
+  // release ordering and stays at a stable address for the oracle's
+  // lifetime, so readers never lock.
+  mutable std::vector<std::atomic<DestTable*>> slots_;
+  mutable std::array<std::mutex, kBuildStripes> build_stripes_;
+  mutable std::atomic<std::size_t> built_{0};
 };
 
 }  // namespace asap::netmodel

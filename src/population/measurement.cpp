@@ -1,5 +1,7 @@
 #include "population/measurement.h"
 
+#include "core/params.h"
+
 namespace asap::population {
 
 std::optional<Millis> measure_delegate_rtt(const World& world, ClusterId a, ClusterId b) {
@@ -62,7 +64,8 @@ void OneHopScanner::scan(const Session& session, Fn&& fn) const {
   ClusterId cb = pb.cluster;
   const float* from_a = world_.oracle().one_way_table(pa.as).data();
   const float* from_b = world_.oracle().one_way_table(pb.as).data();
-  const float same_as_path = 4.0F;  // intra-AS floor, both directions
+  const auto same_as_path =
+      static_cast<float>(core::kIntraAsRttMs);  // intra-AS floor, both directions
   const float end_access =
       static_cast<float>(2.0 * (pa.access_one_way_ms + pb.access_one_way_ms));
   const float relay_penalty = static_cast<float>(2.0 * world_.params().relay_delay_one_way_ms);

@@ -1,0 +1,38 @@
+#include "population/relay_directory.h"
+
+#include "population/nat.h"
+#include "population/world.h"
+
+namespace asap::population {
+
+RelayDirectory build_relay_directory(const World& world) {
+  const auto& pop = world.pop();
+  const auto& graph = world.graph();
+  const auto& populated = pop.populated_clusters();
+
+  RelayDirectory dir;
+  dir.clusters.reserve(populated.size());
+  dir.relays.reserve(populated.size());
+  dir.surrogates.reserve(populated.size());
+  dir.relay_as.reserve(populated.size());
+  dir.relay_access_one_way_ms.reserve(populated.size());
+  dir.relay_capable.reserve(populated.size());
+  dir.as_degree.reserve(populated.size());
+
+  for (ClusterId c : populated) {
+    const Cluster& cluster = pop.cluster(c);
+    HostId relay = can_serve_as_relay(pop.peer(cluster.delegate).nat) ? cluster.delegate
+                                                                      : cluster.surrogate;
+    const Peer& relay_peer = pop.peer(relay);
+    dir.clusters.push_back(c);
+    dir.relays.push_back(relay);
+    dir.surrogates.push_back(cluster.surrogate);
+    dir.relay_as.push_back(relay_peer.as.value());
+    dir.relay_access_one_way_ms.push_back(relay_peer.access_one_way_ms);
+    dir.relay_capable.push_back(cluster.relay_capable_members > 0 ? 1 : 0);
+    dir.as_degree.push_back(static_cast<std::uint32_t>(graph.degree(cluster.as)));
+  }
+  return dir;
+}
+
+}  // namespace asap::population

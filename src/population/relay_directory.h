@@ -1,0 +1,55 @@
+// RelayDirectory: a structure-of-arrays snapshot of every populated
+// cluster's relay-relevant facts, built once per World and shared by all
+// relay-selection methods.
+//
+// Before this existed, OptSelector re-derived the same five facts (effective
+// relay host, NAT fallback, relay capability, AS id, access delay) for every
+// populated cluster on *every session*, and dedicated_nodes() re-sorted the
+// cluster list per selector — hundreds of thousands of redundant Peer /
+// Cluster loads per evaluation. The directory hoists them into flat arrays
+// (index-aligned, same order as PeerPopulation::populated_clusters()), so
+// the per-session work collapses to a linear SoA scan that feeds the
+// World::batch_* query layer.
+//
+// The directory is immutable after construction, hence trivially shareable
+// across evaluation worker threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace asap::population {
+
+class World;
+
+struct RelayDirectory {
+  // All arrays are index-aligned with populated_clusters() (entry i
+  // describes populated_clusters()[i]).
+  std::vector<ClusterId> clusters;
+  // The cluster's effective one-hop relay: the delegate when it is openly
+  // reachable, otherwise the surrogate (OptSelector's NAT fallback rule).
+  std::vector<HostId> relays;
+  // The cluster's primary surrogate (DEDI's deployment target).
+  std::vector<HostId> surrogates;
+  // The effective relay's AS id (raw value, ready for table indexing).
+  std::vector<std::uint32_t> relay_as;
+  // The effective relay's one-way last-mile access delay.
+  std::vector<Millis> relay_access_one_way_ms;
+  // Whether the cluster holds at least one relay-capable (open-NAT) member;
+  // clusters with none are skipped by every selection method.
+  std::vector<std::uint8_t> relay_capable;
+  // AS connection degree of the cluster's AS (dedicated_nodes' sort key).
+  std::vector<std::uint32_t> as_degree;
+
+  [[nodiscard]] std::size_t size() const { return clusters.size(); }
+};
+
+// Builds the directory for `world` (one linear pass over the populated
+// clusters). Prefer World::relay_directory(), which builds lazily and
+// caches.
+RelayDirectory build_relay_directory(const World& world);
+
+}  // namespace asap::population

@@ -1,6 +1,30 @@
 #include "population/world.h"
 
+#include "core/params.h"
+#include "population/session_gen.h"
+
 namespace asap::population {
+
+namespace {
+
+// host_rtt_ms(src, dst) with both peers' destination tables hoisted by the
+// caller. `to_dst` is the one-way table toward dst's AS (forward leg lives
+// at index as_src), `to_src` the table toward src's AS (reverse leg at
+// index as_dst). The arithmetic mirrors World::host_rtt_ms operation for
+// operation so results are bitwise identical.
+inline Millis pair_rtt_ms(std::span<const float> to_dst, std::span<const float> to_src,
+                          std::uint32_t as_src, std::uint32_t as_dst, double access_src,
+                          double access_dst) {
+  if (as_src == as_dst) {
+    return core::kIntraAsRttMs + 2.0 * (access_src + access_dst);
+  }
+  Millis fwd = to_dst[as_src];
+  Millis rev = to_src[as_dst];
+  if (fwd >= kUnreachableMs || rev >= kUnreachableMs) return kUnreachableMs;
+  return (fwd + rev) + 2.0 * (access_src + access_dst);
+}
+
+}  // namespace
 
 World::World(const WorldParams& params) : params_(params) {
   Rng root(params.seed);
@@ -14,12 +38,19 @@ World::World(const WorldParams& params) : params_(params) {
   pop_ = std::make_unique<PeerPopulation>(topo_, params.pop, pop_rng);
 }
 
+const RelayDirectory& World::relay_directory() const {
+  std::call_once(directory_once_, [this] {
+    directory_ = std::make_unique<RelayDirectory>(build_relay_directory(*this));
+  });
+  return *directory_;
+}
+
 Millis World::host_rtt_ms(HostId a, HostId b) const {
   const Peer& pa = pop_->peer(a);
   const Peer& pb = pop_->peer(b);
   Millis path;
   if (pa.as == pb.as) {
-    path = 2.0 * 2.0;  // intra-AS floor, both directions
+    path = core::kIntraAsRttMs;  // intra-AS floor, both directions
   } else {
     path = oracle_->rtt_ms(pa.as, pb.as);
     if (path >= kUnreachableMs) return kUnreachableMs;
@@ -30,7 +61,7 @@ Millis World::host_rtt_ms(HostId a, HostId b) const {
 double World::host_loss(HostId a, HostId b) const {
   const Peer& pa = pop_->peer(a);
   const Peer& pb = pop_->peer(b);
-  if (pa.as == pb.as) return 0.0005;
+  if (pa.as == pb.as) return core::kIntraAsRttLoss;
   return oracle_->rtt_loss(pa.as, pb.as);
 }
 
@@ -55,6 +86,72 @@ Millis World::relay2_rtt_ms(HostId a, HostId r1, HostId r2, HostId b) const {
     return kUnreachableMs;
   }
   return leg1 + leg2 + leg3 + 4.0 * params_.relay_delay_one_way_ms;
+}
+
+void World::batch_host_rtts(HostId a, std::span<const HostId> others,
+                            std::span<Millis> out) const {
+  const Peer& pa = pop_->peer(a);
+  std::span<const float> to_a = oracle_->one_way_table(pa.as);
+  const std::uint32_t as_a = pa.as.value();
+  for (std::size_t i = 0; i < others.size(); ++i) {
+    const Peer& px = pop_->peer(others[i]);
+    std::span<const float> to_x = oracle_->one_way_table(px.as);
+    out[i] = pair_rtt_ms(to_x, to_a, as_a, px.as.value(), pa.access_one_way_ms,
+                         px.access_one_way_ms);
+  }
+}
+
+void World::batch_relay_legs(HostId a, HostId b, std::span<const HostId> candidates,
+                             std::span<Millis> legs_a, std::span<Millis> legs_b) const {
+  const Peer& pa = pop_->peer(a);
+  const Peer& pb = pop_->peer(b);
+  std::span<const float> to_a = oracle_->one_way_table(pa.as);
+  std::span<const float> to_b = oracle_->one_way_table(pb.as);
+  const std::uint32_t as_a = pa.as.value();
+  const std::uint32_t as_b = pb.as.value();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Peer& pr = pop_->peer(candidates[i]);
+    std::span<const float> to_r = oracle_->one_way_table(pr.as);
+    const std::uint32_t as_r = pr.as.value();
+    legs_a[i] = pair_rtt_ms(to_r, to_a, as_a, as_r, pa.access_one_way_ms,
+                            pr.access_one_way_ms);
+    legs_b[i] = pair_rtt_ms(to_b, to_r, as_r, as_b, pr.access_one_way_ms,
+                            pb.access_one_way_ms);
+  }
+}
+
+void World::batch_relay_rtts(HostId a, HostId b, std::span<const HostId> candidates,
+                             std::span<Millis> out) const {
+  const Peer& pa = pop_->peer(a);
+  const Peer& pb = pop_->peer(b);
+  std::span<const float> to_a = oracle_->one_way_table(pa.as);
+  std::span<const float> to_b = oracle_->one_way_table(pb.as);
+  const std::uint32_t as_a = pa.as.value();
+  const std::uint32_t as_b = pb.as.value();
+  const Millis relay_penalty = 2.0 * params_.relay_delay_one_way_ms;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Peer& pr = pop_->peer(candidates[i]);
+    std::span<const float> to_r = oracle_->one_way_table(pr.as);
+    const std::uint32_t as_r = pr.as.value();
+    Millis leg1 = pair_rtt_ms(to_r, to_a, as_a, as_r, pa.access_one_way_ms,
+                              pr.access_one_way_ms);
+    if (leg1 >= kUnreachableMs) {
+      out[i] = kUnreachableMs;
+      continue;
+    }
+    Millis leg2 = pair_rtt_ms(to_b, to_r, as_r, as_b, pr.access_one_way_ms,
+                              pb.access_one_way_ms);
+    if (leg2 >= kUnreachableMs) {
+      out[i] = kUnreachableMs;
+      continue;
+    }
+    out[i] = leg1 + leg2 + relay_penalty;
+  }
+}
+
+void World::batch_relay_rtts(const Session& session, std::span<const HostId> candidates,
+                             std::span<Millis> out) const {
+  batch_relay_rtts(session.caller, session.callee, candidates, out);
 }
 
 Millis World::cluster_rtt_ms(ClusterId a, ClusterId b) const {

@@ -5,20 +5,31 @@
 // Host-to-host RTT = policy-path RTT between the hosts' ASes plus both
 // hosts' last-mile access delays in each direction. A relay path adds the
 // paper's 20 ms per-intermediary one-way relay delay (40 ms per RTT).
+//
+// Two query tiers share the same arithmetic (bitwise-identical results):
+//   - scalar helpers (host_rtt_ms, relay_rtt_ms, ...) for one-off queries;
+//   - batch_* scans that hoist the endpoints' peer records and destination
+//     tables out of the candidate loop, for the per-session evaluation hot
+//     path (see DESIGN.md §7).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <span>
 
 #include "astopo/topology_gen.h"
 #include "netmodel/king.h"
 #include "netmodel/latency_model.h"
 #include "netmodel/oracle.h"
 #include "population/peer_population.h"
+#include "population/relay_directory.h"
 #include "common/rng.h"
 #include "common/units.h"
 
 namespace asap::population {
+
+struct Session;
 
 struct WorldParams {
   astopo::TopologyParams topo;
@@ -47,6 +58,10 @@ class World {
   [[nodiscard]] const PeerPopulation& pop() const { return *pop_; }
   [[nodiscard]] PeerPopulation& pop() { return *pop_; }
 
+  // SoA facts of every populated cluster's effective relay, built lazily on
+  // first use (thread-safe) and immutable afterwards.
+  [[nodiscard]] const RelayDirectory& relay_directory() const;
+
   // --- Host-level ground truth ------------------------------------------
   // Direct IP routing RTT between two end hosts.
   [[nodiscard]] Millis host_rtt_ms(HostId a, HostId b) const;
@@ -57,6 +72,28 @@ class World {
   [[nodiscard]] double relay_loss(HostId a, HostId r, HostId b) const;
   // Two-hop relay path RTT: a-r1-r2-b with two relay penalties.
   [[nodiscard]] Millis relay2_rtt_ms(HostId a, HostId r1, HostId r2, HostId b) const;
+
+  // --- Batched host/relay queries ---------------------------------------
+  // Each batch call hoists the fixed endpoints' Peer records and one-way
+  // destination-table spans out of the candidate loop; per candidate the
+  // scan is one Peer load, one lock-free table fetch and a handful of
+  // float loads — no locks, no hashing. Outputs are bitwise identical to
+  // the scalar helpers above. Output spans must be at least as long as the
+  // candidate span.
+  //
+  // host_rtt_ms(a, x) for every x in `others`.
+  void batch_host_rtts(HostId a, std::span<const HostId> others,
+                       std::span<Millis> out) const;
+  // Both one-hop relay legs per candidate r: legs_a[i] = host_rtt_ms(a, r),
+  // legs_b[i] = host_rtt_ms(r, b).
+  void batch_relay_legs(HostId a, HostId b, std::span<const HostId> candidates,
+                        std::span<Millis> legs_a, std::span<Millis> legs_b) const;
+  // Full one-hop relay path RTT per candidate: relay_rtt_ms(a, r, b).
+  void batch_relay_rtts(HostId a, HostId b, std::span<const HostId> candidates,
+                        std::span<Millis> out) const;
+  // Convenience overload for a session's endpoints.
+  void batch_relay_rtts(const Session& session, std::span<const HostId> candidates,
+                        std::span<Millis> out) const;
 
   // --- Cluster-level (surrogate "ping") quantities ------------------------
   // RTT between the surrogates of two clusters (what ASAP's lat() measures).
@@ -73,6 +110,8 @@ class World {
   std::unique_ptr<netmodel::PathOracle> oracle_;
   std::unique_ptr<netmodel::KingEstimator> king_;
   std::unique_ptr<PeerPopulation> pop_;
+  mutable std::once_flag directory_once_;
+  mutable std::unique_ptr<RelayDirectory> directory_;
 };
 
 }  // namespace asap::population

@@ -24,9 +24,15 @@ SelectionResult RandSelector::select_session(const population::Session& session,
   Rng rng = base_rng_.fork(session_index);
   const auto& peers = world_.pop().peers();
   std::size_t n = std::min(node_count_, peers.size());
-  std::vector<HostId> pool;
+  // Per-thread scratch: one pool is drawn per evaluated session, so reusing
+  // the buffers removes two heap round trips from every session without
+  // affecting the draws (sample_indices_into consumes the RNG identically).
+  static thread_local std::vector<std::size_t> indices;
+  static thread_local std::vector<HostId> pool;
+  rng.sample_indices_into(peers.size(), n, indices);
+  pool.clear();
   pool.reserve(n);
-  for (auto idx : rng.sample_indices(peers.size(), n)) {
+  for (auto idx : indices) {
     pool.push_back(HostId(static_cast<std::uint32_t>(idx)));
   }
   return evaluate_relay_pool(world_, session, pool);
@@ -40,10 +46,15 @@ MixSelector::MixSelector(const population::World& world, std::size_t dedicated,
 SelectionResult MixSelector::select_session(const population::Session& session,
                                             std::uint64_t session_index) {
   Rng rng = base_rng_.fork(session_index);
-  std::vector<HostId> pool = dedicated_;
   const auto& peers = world_.pop().peers();
   std::size_t n = std::min(random_count_, peers.size());
-  for (auto idx : rng.sample_indices(peers.size(), n)) {
+  static thread_local std::vector<std::size_t> indices;
+  static thread_local std::vector<HostId> pool;
+  rng.sample_indices_into(peers.size(), n, indices);
+  pool.clear();
+  pool.reserve(dedicated_.size() + n);
+  pool.assign(dedicated_.begin(), dedicated_.end());
+  for (auto idx : indices) {
     pool.push_back(HostId(static_cast<std::uint32_t>(idx)));
   }
   return evaluate_relay_pool(world_, session, pool);
@@ -51,47 +62,66 @@ SelectionResult MixSelector::select_session(const population::Session& session,
 
 OptSelector::OptSelector(const population::World& world, std::size_t two_hop_beam,
                          bool enable_two_hop)
-    : world_(world), beam_(two_hop_beam), two_hop_(enable_two_hop) {}
+    : world_(world), beam_(two_hop_beam), two_hop_(enable_two_hop) {
+  // Force the directory build here (cheap, once per world) so the first
+  // parallel select_session calls start on the lock-free fast path.
+  (void)world.relay_directory();
+}
 
 SelectionResult OptSelector::select_session(const population::Session& session,
                                             std::uint64_t session_index) {
   (void)session_index;  // OPT is deterministic and offline
   const auto& pop = world_.pop();
+  const population::RelayDirectory& dir = world_.relay_directory();
   SelectionResult result;
   ClusterId ca = pop.peer(session.caller).cluster;
   ClusterId cb = pop.peer(session.callee).cluster;
+
+  // One batched sweep computes both relay legs for every populated
+  // cluster's effective relay; the loop below is then pure arithmetic over
+  // the directory's SoA arrays.
+  static thread_local std::vector<Millis> legs_a_ms;
+  static thread_local std::vector<Millis> legs_b_ms;
+  legs_a_ms.resize(dir.size());
+  legs_b_ms.resize(dir.size());
+  world_.batch_relay_legs(session.caller, session.callee, dir.relays, legs_a_ms, legs_b_ms);
 
   struct Leg {
     HostId relay;
     Millis rtt_ms;
   };
-  std::vector<Leg> caller_legs;
-  std::vector<Leg> callee_legs;
-  caller_legs.reserve(pop.populated_clusters().size());
-  callee_legs.reserve(pop.populated_clusters().size());
+  static thread_local std::vector<Leg> caller_legs;
+  static thread_local std::vector<Leg> callee_legs;
+  caller_legs.clear();
+  callee_legs.clear();
+  caller_legs.reserve(dir.size());
+  callee_legs.reserve(dir.size());
 
-  // One-hop: iterate every populated cluster's delegate (falling back to
-  // the surrogate when NAT modelling marks the delegate unreachable).
-  for (ClusterId c : pop.populated_clusters()) {
-    if (c == ca || c == cb) continue;
-    const auto& cluster = pop.cluster(c);
-    if (cluster.relay_capable_members == 0) continue;
-    HostId relay = population::can_serve_as_relay(pop.peer(cluster.delegate).nat)
-                       ? cluster.delegate
-                       : cluster.surrogate;
-    Millis leg_a = world_.host_rtt_ms(session.caller, relay);
-    Millis leg_b = world_.host_rtt_ms(relay, session.callee);
-    caller_legs.push_back(Leg{relay, leg_a});
-    callee_legs.push_back(Leg{relay, leg_b});
+  HostId best_one_hop = HostId::invalid();
+  // One-hop: every populated cluster's effective relay (the delegate,
+  // falling back to the surrogate when NAT modelling marks the delegate
+  // unreachable — precomputed in the directory).
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    if (dir.clusters[i] == ca || dir.clusters[i] == cb) continue;
+    if (dir.relay_capable[i] == 0) continue;
+    Millis leg_a = legs_a_ms[i];
+    Millis leg_b = legs_b_ms[i];
+    // Only reachable legs may enter the two-hop beams: an unreachable leg
+    // can never be part of a finite two-hop path, so keeping it would just
+    // burn a beam slot and a wasted relay2 probe.
+    if (leg_a < kUnreachableMs) caller_legs.push_back(Leg{dir.relays[i], leg_a});
+    if (leg_b < kUnreachableMs) callee_legs.push_back(Leg{dir.relays[i], leg_b});
     if (leg_a >= kUnreachableMs || leg_b >= kUnreachableMs) continue;
     Millis rtt = leg_a + leg_b + kRelayDelayRttMs;
     if (voip::is_quality_rtt(rtt)) ++result.quality_paths;
     if (rtt < result.shortest_rtt_ms) {
       result.shortest_rtt_ms = rtt;
-      result.shortest_loss = world_.relay_loss(session.caller, relay, session.callee);
+      best_one_hop = dir.relays[i];
     }
   }
 
+  HostId best_r1 = HostId::invalid();
+  HostId best_r2 = HostId::invalid();
   if (two_hop_) {
     // Two-hop: combine the best caller-side and callee-side legs.
     auto shortest = [](const Leg& a, const Leg& b) { return a.rtt_ms < b.rtt_ms; };
@@ -101,20 +131,44 @@ SelectionResult OptSelector::select_session(const population::Session& session,
                       shortest);
     std::partial_sort(callee_legs.begin(), callee_legs.begin() + beam_b, callee_legs.end(),
                       shortest);
+    static thread_local std::vector<HostId> beam_relays;
+    static thread_local std::vector<Millis> mid_legs_ms;
+    beam_relays.clear();
+    beam_relays.reserve(beam_b);
+    for (std::size_t j = 0; j < beam_b; ++j) beam_relays.push_back(callee_legs[j].relay);
+    mid_legs_ms.resize(beam_b);
+    const Millis two_hop_penalty = 4.0 * world_.params().relay_delay_one_way_ms;
     for (std::size_t i = 0; i < beam_a; ++i) {
+      HostId r1 = caller_legs[i].relay;
+      Millis leg1 = caller_legs[i].rtt_ms;
+      // Middle legs r1 -> r2 for the whole callee beam in one batched scan
+      // (r1's peer record and destination table are hoisted once).
+      world_.batch_host_rtts(r1, beam_relays, mid_legs_ms);
       for (std::size_t j = 0; j < beam_b; ++j) {
-        HostId r1 = caller_legs[i].relay;
-        HostId r2 = callee_legs[j].relay;
+        HostId r2 = beam_relays[j];
         if (r1 == r2) continue;
-        Millis rtt = world_.relay2_rtt_ms(session.caller, r1, r2, session.callee);
+        Millis leg2 = mid_legs_ms[j];
+        Millis leg3 = callee_legs[j].rtt_ms;
+        if (leg2 >= kUnreachableMs) continue;  // beams hold only reachable leg1/leg3
+        Millis rtt = leg1 + leg2 + leg3 + two_hop_penalty;
         if (rtt < result.shortest_rtt_ms) {
           result.shortest_rtt_ms = rtt;
-          result.shortest_loss =
-              1.0 - (1.0 - world_.relay_loss(session.caller, r1, r2)) *
-                        (1.0 - world_.host_loss(r2, session.callee));
+          best_r1 = r1;
+          best_r2 = r2;
         }
       }
     }
+  }
+
+  // Loss only for the winning path (identical to evaluating it per
+  // improvement: relay_loss is a pure function of the final winner).
+  if (best_r2.valid()) {
+    result.shortest_loss =
+        1.0 - (1.0 - world_.relay_loss(session.caller, best_r1, best_r2)) *
+                  (1.0 - world_.host_loss(best_r2, session.callee));
+  } else if (best_one_hop.valid()) {
+    result.shortest_loss =
+        world_.relay_loss(session.caller, best_one_hop, session.callee);
   }
 
   result.messages = 0;  // offline method

@@ -31,6 +31,10 @@ std::vector<MethodResults> evaluate_methods(const population::World& world,
   auto selectors = make_selectors(world, config);
   voip::EModel emodel(config.codec);
   ThreadPool pool(ThreadPool::resolve_threads(config.threads));
+  // Build every destination table the selectors can touch up front, in
+  // parallel. Afterwards each oracle access in the session loops is a pure
+  // lock-free load — no worker ever stalls on a cold table build.
+  world.oracle().prewarm(world.pop().host_ases(), pool);
   std::vector<MethodResults> results;
   for (auto& selector : selectors) {
     MethodResults mr;

@@ -1,6 +1,7 @@
 #include "relay/selector.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "population/nat.h"
 #include "voip/quality.h"
@@ -9,35 +10,48 @@ namespace asap::relay {
 
 SelectionResult evaluate_relay_pool(const population::World& world,
                                     const population::Session& session,
-                                    const std::vector<HostId>& pool) {
+                                    std::span<const HostId> pool) {
   SelectionResult result;
-  for (HostId relay : pool) {
+  // Per-thread scratch: evaluation workers call this once per session, so
+  // the buffer is reused across the whole shard without reallocation.
+  static thread_local std::vector<Millis> rtts;
+  rtts.resize(pool.size());
+  world.batch_relay_rtts(session, pool, rtts);
+
+  const auto& peers = world.pop().peers();
+  std::size_t best = SIZE_MAX;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    HostId relay = pool[i];
     if (relay == session.caller || relay == session.callee) continue;
     result.messages += 2;  // probe the relay path through this node
     // A NATed candidate cannot accept the relayed flows: the probe is spent
     // but the node yields nothing (the waste AS-unaware probing pays).
-    if (!population::can_serve_as_relay(world.pop().peer(relay).nat)) continue;
-    Millis rtt = world.relay_rtt_ms(session.caller, relay, session.callee);
+    if (!population::can_serve_as_relay(peers[relay.value()].nat)) continue;
+    Millis rtt = rtts[i];
     if (voip::is_quality_rtt(rtt)) ++result.quality_paths;
     if (rtt < result.shortest_rtt_ms) {
       result.shortest_rtt_ms = rtt;
-      result.shortest_loss = world.relay_loss(session.caller, relay, session.callee);
+      best = i;
     }
+  }
+  if (best != SIZE_MAX) {
+    result.shortest_loss = world.relay_loss(session.caller, pool[best], session.callee);
   }
   return result;
 }
 
 std::vector<HostId> dedicated_nodes(const population::World& world, std::size_t count) {
-  const auto& pop = world.pop();
-  const auto& graph = world.graph();
-  std::vector<ClusterId> clusters = pop.populated_clusters();
-  std::stable_sort(clusters.begin(), clusters.end(), [&](ClusterId a, ClusterId b) {
-    return graph.degree(pop.cluster(a).as) > graph.degree(pop.cluster(b).as);
+  const population::RelayDirectory& dir = world.relay_directory();
+  std::vector<std::size_t> order(dir.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return dir.as_degree[a] > dir.as_degree[b];
   });
   std::vector<HostId> nodes;
-  for (ClusterId c : clusters) {
+  nodes.reserve(std::min(count, order.size()));
+  for (std::size_t i : order) {
     if (nodes.size() >= count) break;
-    nodes.push_back(pop.cluster(c).surrogate);
+    nodes.push_back(dir.surrogates[i]);
   }
   return nodes;
 }

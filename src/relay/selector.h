@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,10 +53,12 @@ class RelaySelector {
 
 // Shared helper: evaluates a fixed set of one-hop relay hosts against a
 // session, counting quality paths and tracking the best, with 2 probe
-// messages per evaluated relay.
+// messages per evaluated relay. Runs on World's batched relay-RTT scan
+// (loss is computed once, for the winning relay only); safe to call
+// concurrently from evaluation workers.
 SelectionResult evaluate_relay_pool(const population::World& world,
                                     const population::Session& session,
-                                    const std::vector<HostId>& pool);
+                                    std::span<const HostId> pool);
 
 // The `count` populated clusters with the largest AS connection degrees
 // (DEDI's deployment rule: "80 nodes in 80 clusters with the largest

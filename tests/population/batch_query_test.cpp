@@ -1,0 +1,113 @@
+// The batched World query layer promises *bitwise* agreement with the
+// scalar methods it replaces: batch_host_rtts / batch_relay_legs /
+// batch_relay_rtts mirror host_rtt_ms / relay_rtt_ms operation for
+// operation, and RelayDirectory precomputes exactly what the selectors used
+// to recompute per session. Every comparison below is EXPECT_EQ on doubles
+// — exact equality, not a tolerance.
+#include "population/relay_directory.h"
+
+#include <gtest/gtest.h>
+
+#include "population/nat.h"
+#include "population/session_gen.h"
+#include "population/world.h"
+
+namespace asap::population {
+namespace {
+
+WorldParams params_for_seed(std::uint64_t seed) {
+  WorldParams params;
+  params.seed = seed;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+// Randomized-world sweep: each test runs against several seeds so the
+// equivalence claim is not an artifact of one topology draw.
+class BatchQueryTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    world = std::make_unique<World>(params_for_seed(GetParam()));
+    Rng rng = world->fork_rng(77);
+    sessions = generate_sessions(*world, 200, rng);
+    // A candidate mix that exercises intra-AS, inter-AS, and (on some
+    // seeds) unreachable pairs: every 7th peer.
+    for (std::uint32_t i = 0; i < world->pop().peers().size(); i += 7) {
+      candidates.push_back(HostId(i));
+    }
+  }
+  std::unique_ptr<World> world;
+  std::vector<Session> sessions;
+  std::vector<HostId> candidates;
+};
+
+TEST_P(BatchQueryTest, BatchHostRttsMatchesScalarBitwise) {
+  std::vector<Millis> out(candidates.size());
+  for (std::size_t s = 0; s < 20; ++s) {
+    HostId a = sessions[s].caller;
+    world->batch_host_rtts(a, candidates, out);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      EXPECT_EQ(out[i], world->host_rtt_ms(a, candidates[i]))
+          << "a=" << a.value() << " other=" << candidates[i].value();
+    }
+  }
+}
+
+TEST_P(BatchQueryTest, BatchRelayLegsMatchesScalarBitwise) {
+  std::vector<Millis> legs_a(candidates.size());
+  std::vector<Millis> legs_b(candidates.size());
+  for (std::size_t s = 0; s < 20; ++s) {
+    HostId a = sessions[s].caller;
+    HostId b = sessions[s].callee;
+    world->batch_relay_legs(a, b, candidates, legs_a, legs_b);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      EXPECT_EQ(legs_a[i], world->host_rtt_ms(a, candidates[i]));
+      EXPECT_EQ(legs_b[i], world->host_rtt_ms(candidates[i], b));
+    }
+  }
+}
+
+TEST_P(BatchQueryTest, BatchRelayRttsMatchesScalarBitwise) {
+  std::vector<Millis> out(candidates.size());
+  for (std::size_t s = 0; s < 20; ++s) {
+    const Session& session = sessions[s];
+    world->batch_relay_rtts(session, candidates, out);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      EXPECT_EQ(out[i],
+                world->relay_rtt_ms(session.caller, candidates[i], session.callee));
+    }
+  }
+}
+
+TEST_P(BatchQueryTest, RelayDirectoryMatchesPerSessionRecomputation) {
+  const RelayDirectory& dir = world->relay_directory();
+  const auto& pop = world->pop();
+  const auto& populated = pop.populated_clusters();
+  ASSERT_EQ(dir.size(), populated.size());
+  for (std::size_t i = 0; i < populated.size(); ++i) {
+    ClusterId c = populated[i];
+    const Cluster& cluster = pop.cluster(c);
+    // Exactly the effective relay the old OPT loop derived per session.
+    HostId expected = can_serve_as_relay(pop.peer(cluster.delegate).nat)
+                          ? cluster.delegate
+                          : cluster.surrogate;
+    EXPECT_EQ(dir.clusters[i], c);
+    EXPECT_EQ(dir.relays[i], expected);
+    EXPECT_EQ(dir.surrogates[i], cluster.surrogate);
+    EXPECT_EQ(dir.relay_as[i], pop.peer(expected).as.value());
+    EXPECT_EQ(dir.relay_access_one_way_ms[i], pop.peer(expected).access_one_way_ms);
+    EXPECT_EQ(dir.relay_capable[i], cluster.relay_capable_members > 0 ? 1 : 0);
+    EXPECT_EQ(dir.as_degree[i],
+              static_cast<std::uint32_t>(world->graph().degree(cluster.as)));
+  }
+  // The directory is built once and its reference is stable.
+  EXPECT_EQ(&world->relay_directory(), &dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchQueryTest,
+                         ::testing::Values(131ULL, 20240817ULL, 999331ULL));
+
+}  // namespace
+}  // namespace asap::population

@@ -1,0 +1,229 @@
+// Bitwise equivalence of the batched selector implementations against
+// scalar reference loops (the pre-batching code, reimplemented here on the
+// scalar World methods, which are themselves unchanged). Every metric of
+// every method must match EXACTLY — EXPECT_EQ on doubles, no tolerance —
+// across randomized worlds; this is the contract that keeps Figs. 11-18
+// byte-identical.
+#include "relay/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "population/nat.h"
+#include "relay/asap_selector.h"
+#include "relay/evaluation.h"
+#include "voip/quality.h"
+
+namespace asap::relay {
+namespace {
+
+population::WorldParams params_for_seed(std::uint64_t seed) {
+  population::WorldParams params;
+  params.seed = seed;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+// The pre-batching evaluate_relay_pool, verbatim: scalar relay_rtt_ms per
+// candidate, loss recomputed on every new best.
+SelectionResult scalar_pool_eval(const population::World& world,
+                                 const population::Session& session,
+                                 const std::vector<HostId>& pool) {
+  SelectionResult result;
+  for (HostId relay : pool) {
+    if (relay == session.caller || relay == session.callee) continue;
+    result.messages += 2;
+    if (!population::can_serve_as_relay(world.pop().peer(relay).nat)) continue;
+    Millis rtt = world.relay_rtt_ms(session.caller, relay, session.callee);
+    if (voip::is_quality_rtt(rtt)) ++result.quality_paths;
+    if (rtt < result.shortest_rtt_ms) {
+      result.shortest_rtt_ms = rtt;
+      result.shortest_loss = world.relay_loss(session.caller, relay, session.callee);
+    }
+  }
+  return result;
+}
+
+// The pre-batching dedicated_nodes: stable sort of the populated cluster
+// list by AS degree, surrogates of the top `count`.
+std::vector<HostId> scalar_dedicated_nodes(const population::World& world,
+                                           std::size_t count) {
+  const auto& pop = world.pop();
+  const auto& graph = world.graph();
+  std::vector<ClusterId> clusters = pop.populated_clusters();
+  std::stable_sort(clusters.begin(), clusters.end(), [&](ClusterId a, ClusterId b) {
+    return graph.degree(pop.cluster(a).as) > graph.degree(pop.cluster(b).as);
+  });
+  std::vector<HostId> nodes;
+  for (ClusterId c : clusters) {
+    if (nodes.size() >= count) break;
+    nodes.push_back(pop.cluster(c).surrogate);
+  }
+  return nodes;
+}
+
+// The pre-batching OptSelector::select_session: per-cluster delegate
+// derivation, scalar host_rtt_ms legs (unreachable legs kept in the beam
+// vectors), scalar relay2_rtt_ms for every beam pair.
+SelectionResult scalar_opt(const population::World& world,
+                           const population::Session& session, std::size_t beam,
+                           bool two_hop) {
+  const auto& pop = world.pop();
+  SelectionResult result;
+  ClusterId ca = pop.peer(session.caller).cluster;
+  ClusterId cb = pop.peer(session.callee).cluster;
+
+  struct Leg {
+    HostId relay;
+    Millis rtt_ms;
+  };
+  std::vector<Leg> caller_legs;
+  std::vector<Leg> callee_legs;
+  for (ClusterId c : pop.populated_clusters()) {
+    if (c == ca || c == cb) continue;
+    const auto& cluster = pop.cluster(c);
+    if (cluster.relay_capable_members == 0) continue;
+    HostId relay = population::can_serve_as_relay(pop.peer(cluster.delegate).nat)
+                       ? cluster.delegate
+                       : cluster.surrogate;
+    Millis leg_a = world.host_rtt_ms(session.caller, relay);
+    Millis leg_b = world.host_rtt_ms(relay, session.callee);
+    caller_legs.push_back(Leg{relay, leg_a});
+    callee_legs.push_back(Leg{relay, leg_b});
+    if (leg_a >= kUnreachableMs || leg_b >= kUnreachableMs) continue;
+    Millis rtt = leg_a + leg_b + kRelayDelayRttMs;
+    if (voip::is_quality_rtt(rtt)) ++result.quality_paths;
+    if (rtt < result.shortest_rtt_ms) {
+      result.shortest_rtt_ms = rtt;
+      result.shortest_loss = world.relay_loss(session.caller, relay, session.callee);
+    }
+  }
+
+  if (two_hop) {
+    auto shortest = [](const Leg& a, const Leg& b) { return a.rtt_ms < b.rtt_ms; };
+    std::size_t beam_a = std::min(beam, caller_legs.size());
+    std::size_t beam_b = std::min(beam, callee_legs.size());
+    std::partial_sort(caller_legs.begin(), caller_legs.begin() + beam_a,
+                      caller_legs.end(), shortest);
+    std::partial_sort(callee_legs.begin(), callee_legs.begin() + beam_b,
+                      callee_legs.end(), shortest);
+    for (std::size_t i = 0; i < beam_a; ++i) {
+      for (std::size_t j = 0; j < beam_b; ++j) {
+        HostId r1 = caller_legs[i].relay;
+        HostId r2 = callee_legs[j].relay;
+        if (r1 == r2) continue;
+        Millis rtt = world.relay2_rtt_ms(session.caller, r1, r2, session.callee);
+        if (rtt < result.shortest_rtt_ms) {
+          result.shortest_rtt_ms = rtt;
+          result.shortest_loss =
+              1.0 - (1.0 - world.relay_loss(session.caller, r1, r2)) *
+                        (1.0 - world.host_loss(r2, session.callee));
+        }
+      }
+    }
+  }
+
+  result.messages = 0;
+  return result;
+}
+
+void expect_same(const SelectionResult& got, const SelectionResult& want,
+                 std::size_t session_index) {
+  EXPECT_EQ(got.quality_paths, want.quality_paths) << "session " << session_index;
+  EXPECT_EQ(got.shortest_rtt_ms, want.shortest_rtt_ms) << "session " << session_index;
+  EXPECT_EQ(got.shortest_loss, want.shortest_loss) << "session " << session_index;
+  EXPECT_EQ(got.messages, want.messages) << "session " << session_index;
+}
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    world = std::make_unique<population::World>(params_for_seed(GetParam()));
+    Rng rng = world->fork_rng(1);
+    sessions = population::generate_sessions(*world, 300, rng);
+  }
+  std::unique_ptr<population::World> world;
+  std::vector<population::Session> sessions;
+};
+
+TEST_P(BatchEquivalenceTest, DediMatchesScalarReference) {
+  DediSelector dedi(*world, 40);
+  std::vector<HostId> pool = scalar_dedicated_nodes(*world, 40);
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    expect_same(dedi.select_session(sessions[i], i),
+                scalar_pool_eval(*world, sessions[i], pool), i);
+  }
+}
+
+TEST_P(BatchEquivalenceTest, RandMatchesScalarReference) {
+  Rng base = world->fork_rng(5);
+  RandSelector rand(*world, 120, base);
+  const auto& peers = world->pop().peers();
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    Rng rng = base.fork(i);
+    std::size_t n = std::min<std::size_t>(120, peers.size());
+    std::vector<HostId> pool;
+    for (auto idx : rng.sample_indices(peers.size(), n)) {
+      pool.push_back(HostId(static_cast<std::uint32_t>(idx)));
+    }
+    expect_same(rand.select_session(sessions[i], i),
+                scalar_pool_eval(*world, sessions[i], pool), i);
+  }
+}
+
+TEST_P(BatchEquivalenceTest, MixMatchesScalarReference) {
+  Rng base = world->fork_rng(6);
+  MixSelector mix(*world, 30, 70, base);
+  const auto& peers = world->pop().peers();
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    Rng rng = base.fork(i);
+    std::vector<HostId> pool = scalar_dedicated_nodes(*world, 30);
+    std::size_t n = std::min<std::size_t>(70, peers.size());
+    for (auto idx : rng.sample_indices(peers.size(), n)) {
+      pool.push_back(HostId(static_cast<std::uint32_t>(idx)));
+    }
+    expect_same(mix.select_session(sessions[i], i),
+                scalar_pool_eval(*world, sessions[i], pool), i);
+  }
+}
+
+TEST_P(BatchEquivalenceTest, OptMatchesScalarReference) {
+  OptSelector opt(*world, 64);
+  OptSelector one_hop(*world, 64, false);
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    expect_same(opt.select_session(sessions[i], i),
+                scalar_opt(*world, sessions[i], 64, true), i);
+    expect_same(one_hop.select_session(sessions[i], i),
+                scalar_opt(*world, sessions[i], 64, false), i);
+  }
+}
+
+// All five methods through the real pipeline: results must not depend on
+// the thread count (the batched layer and the prewarmed oracle cache are
+// shared mutable state; position-indexed outputs keep them deterministic).
+TEST_P(BatchEquivalenceTest, EvaluationIsThreadCountInvariant) {
+  EvaluationConfig config;
+  config.include_opt = true;
+  config.threads = 1;
+  auto serial = evaluate_methods(*world, sessions, config);
+  config.threads = 4;
+  auto parallel = evaluate_methods(*world, sessions, config);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), 5u);  // DEDI, RAND, MIX, ASAP, OPT
+  for (std::size_t m = 0; m < serial.size(); ++m) {
+    EXPECT_EQ(serial[m].method, parallel[m].method);
+    EXPECT_EQ(serial[m].quality_paths, parallel[m].quality_paths);
+    EXPECT_EQ(serial[m].shortest_rtt_ms, parallel[m].shortest_rtt_ms);
+    EXPECT_EQ(serial[m].highest_mos, parallel[m].highest_mos);
+    EXPECT_EQ(serial[m].messages, parallel[m].messages);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchEquivalenceTest,
+                         ::testing::Values(131ULL, 424242ULL));
+
+}  // namespace
+}  // namespace asap::relay
