@@ -235,7 +235,14 @@ void print_method_summary(const std::string& title,
     if (metric == "shortest_rtt_ms") values = &mr.shortest_rtt_ms;
     if (metric == "highest_mos") values = &mr.highest_mos;
     if (metric == "messages") values = &mr.messages;
-    if (values == nullptr || values->empty()) continue;
+    if (values == nullptr) continue;
+    if (values->empty()) {
+      // Keep the method visible: a scaled-down run can legitimately produce
+      // zero sessions for a method, and silently dropping the row makes the
+      // table look like the method was never run.
+      table.add_row({mr.method, "(no sessions)", "-", "-", "-", "-", "-"});
+      continue;
+    }
     OnlineStats stats;
     for (double v : *values) stats.add(v);
     table.add_row({mr.method, Table::fmt(stats.min(), 2),

@@ -1,0 +1,196 @@
+// Mid-call failover evaluation (robustness extension; no paper figure):
+// sweeps deterministic active-relay crash rates over relayed calls in the
+// message-level protocol simulation and reports recovery-latency and
+// MOS-degradation distributions plus the message cost of recovery, then
+// measures loss-burst episodes against the same call mix.
+//
+// Every fault is drawn from a seeded fork of the world RNG, so reruns are
+// byte-identical; see src/sim/fault_plan.h.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/protocol.h"
+#include "population/session_gen.h"
+#include "sim/fault_plan.h"
+
+using namespace asap;
+
+namespace {
+
+constexpr Millis kVoiceMs = 3000.0;
+
+struct RateResult {
+  double fault_rate = 0.0;
+  std::size_t calls = 0;
+  std::size_t faulted = 0;
+  std::size_t recovered = 0;
+  std::size_t gave_up = 0;
+  std::size_t unresolved = 0;  // fault struck; call ended still backing off
+  std::vector<double> recovery_latency_ms;
+  std::vector<double> voice_gap_ms;
+  std::vector<double> mos_drop;       // pre-fault MOS - post-failover MOS
+  std::vector<double> lost_packets;
+  OnlineStats probes;                 // failover probes per faulted call
+  OnlineStats control_clean;          // control msgs, fault-free calls
+  OnlineStats control_faulted;        // control msgs, faulted calls
+};
+
+core::AsapParams protocol_params() {
+  core::AsapParams params;
+  params.lat_threshold_ms = 200.0;  // small world: keep relayed sessions common
+  // The default 3 s probe deadline is tuned for call setup; mid-call
+  // recovery needs to discover dead backups faster than the stream ends.
+  params.probe_timeout_ms = 1000.0;
+  return params;
+}
+
+RateResult run_rate(const bench::BenchEnv& env, double fault_rate,
+                    std::size_t calls_target) {
+  auto world = bench::build_world(bench::small_world_params(env.seed), "fig_failover");
+  core::AsapSystem system(*world, protocol_params(), 2);
+  system.join_all();
+
+  Rng rng = world->fork_rng(4242);
+  auto sessions = population::generate_sessions(*world, 4000, rng);
+  auto latent = population::latent_sessions(sessions, 200.0);
+
+  // One RNG stream decides which calls are struck and when; forked per rate
+  // so each sweep point is independent and reproducible.
+  Rng fault_rng = world->fork_rng(0xF0 + static_cast<std::uint64_t>(fault_rate * 100));
+
+  RateResult result;
+  result.fault_rate = fault_rate;
+  for (const auto& s : latent) {
+    if (result.calls >= calls_target) break;
+    bool strike = fault_rate > 0.0 && fault_rng.chance(fault_rate);
+    if (strike) {
+      sim::FaultPlan plan;
+      plan.add({fault_rng.uniform(500.0, 2000.0), sim::FaultKind::kActiveRelayCrash,
+                0, 0.0});
+      system.arm_fault_plan(plan);
+    }
+    auto outcome = system.call(s.caller, s.callee, kVoiceMs);
+    if (!outcome.used_relay) continue;  // direct calls cannot fail over
+    ++result.calls;
+    if (!strike) {
+      result.control_clean.add(static_cast<double>(outcome.control_messages));
+      continue;
+    }
+    ++result.faulted;
+    result.control_faulted.add(static_cast<double>(outcome.control_messages));
+    result.probes.add(static_cast<double>(outcome.failover_probes));
+    result.voice_gap_ms.push_back(outcome.voice_gap_ms);
+    result.lost_packets.push_back(static_cast<double>(outcome.packets_lost_in_failover));
+    if (outcome.failovers > 0) {
+      ++result.recovered;
+      result.recovery_latency_ms.push_back(outcome.failover_latency_ms);
+      if (outcome.mos_pre_fault > 0.0 && outcome.mos_post_failover > 0.0) {
+        result.mos_drop.push_back(outcome.mos_pre_fault - outcome.mos_post_failover);
+      }
+    } else if (outcome.failover_gave_up) {
+      ++result.gave_up;
+    } else {
+      ++result.unresolved;
+    }
+  }
+  return result;
+}
+
+void run_loss_bursts(const bench::BenchEnv& env, std::size_t calls_target) {
+  auto world = bench::build_world(bench::small_world_params(env.seed), "loss_bursts");
+  core::AsapSystem system(*world, protocol_params(), 2);
+  system.join_all();
+  Rng rng = world->fork_rng(4242);
+  auto sessions = population::generate_sessions(*world, 4000, rng);
+  auto latent = population::latent_sessions(sessions, 200.0);
+
+  bench::print_section("Loss-burst episodes (30% drop, 1 s burst mid-call)");
+  Table table({"condition", "calls", "voice delivered", "mean MOS (pre seg)",
+               "spurious failovers"});
+  for (bool burst : {false, true}) {
+    std::size_t calls = 0;
+    std::uint64_t sent = 0, received = 0, failovers = 0;
+    OnlineStats mos;
+    for (const auto& s : latent) {
+      if (calls >= calls_target) break;
+      if (burst) {
+        sim::FaultPlan plan;
+        // Absolute times: armed right before the call, the burst covers the
+        // middle of its voice stream (setup is a few hundred ms).
+        plan.add({1000.0, sim::FaultKind::kLossBurstStart, 0, 0.3});
+        plan.add({2000.0, sim::FaultKind::kLossBurstEnd, 0, 0.0});
+        system.arm_fault_plan(plan);
+      }
+      auto outcome = system.call(s.caller, s.callee, kVoiceMs);
+      if (!outcome.used_relay) continue;
+      ++calls;
+      sent += outcome.voice_packets_sent;
+      received += outcome.voice_packets_received;
+      failovers += outcome.failovers;
+      if (outcome.mos_pre_fault > 0.0) mos.add(outcome.mos_pre_fault);
+    }
+    double delivered = sent ? static_cast<double>(received) / static_cast<double>(sent)
+                            : 0.0;
+    table.add_row({burst ? "burst" : "clean",
+                   Table::fmt_int(static_cast<long long>(calls)),
+                   Table::fmt_pct(delivered, 1), Table::fmt(mos.mean(), 2),
+                   Table::fmt_int(static_cast<long long>(failovers))});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto env = bench::read_env(argc, argv);
+  // Protocol-level calls are far heavier than the algorithmic evaluation;
+  // scale the per-rate call budget down from the session knob.
+  std::size_t calls_target = std::clamp<std::size_t>(env.sessions / 2000, 10, 200);
+
+  bench::print_section("Failover sweep: deterministic active-relay crash rates");
+  std::vector<RateResult> swept;
+  for (double rate : {0.0, 0.25, 0.5, 1.0}) {
+    swept.push_back(run_rate(env, rate, calls_target));
+  }
+
+  Table table({"fault rate", "relayed calls", "faulted", "recovered", "gave up",
+               "unresolved", "p50 recovery (ms)", "p90 recovery (ms)",
+               "mean gap (ms)", "mean lost pkts", "mean probes"});
+  for (const auto& r : swept) {
+    OnlineStats gap, lost;
+    for (double v : r.voice_gap_ms) gap.add(v);
+    for (double v : r.lost_packets) lost.add(v);
+    table.add_row({Table::fmt(r.fault_rate, 2),
+                   Table::fmt_int(static_cast<long long>(r.calls)),
+                   Table::fmt_int(static_cast<long long>(r.faulted)),
+                   Table::fmt_int(static_cast<long long>(r.recovered)),
+                   Table::fmt_int(static_cast<long long>(r.gave_up)),
+                   Table::fmt_int(static_cast<long long>(r.unresolved)),
+                   Table::fmt(percentile(r.recovery_latency_ms, 50), 0),
+                   Table::fmt(percentile(r.recovery_latency_ms, 90), 0),
+                   Table::fmt(gap.mean(), 0), Table::fmt(lost.mean(), 1),
+                   Table::fmt(r.probes.mean(), 1)});
+  }
+  table.print();
+
+  const RateResult& worst = swept.back();
+  bench::print_cdf("Recovery latency CDF (fault rate 1.0)", "latency (ms)",
+                   worst.recovery_latency_ms);
+  bench::print_cdf("MOS degradation CDF (fault rate 1.0, pre - post)", "MOS drop",
+                   worst.mos_drop);
+
+  bench::print_section("Recovery message overhead");
+  for (const auto& r : swept) {
+    double clean = r.control_clean.mean();
+    double faulted = r.control_faulted.mean();
+    std::printf("rate %.2f: control msgs/call clean %.1f vs faulted %.1f "
+                "(+%.1f, incl. failure notices and %.1f backup probes)\n",
+                r.fault_rate, clean, faulted,
+                r.control_faulted.count() ? faulted - clean : 0.0, r.probes.mean());
+  }
+
+  run_loss_bursts(env, calls_target);
+  return 0;
+}

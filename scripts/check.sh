@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Tier-1 gate plus sanitizer passes over the concurrency/robustness tests.
+#
+#   scripts/check.sh [build-dir-prefix]
+#
+# 1. <prefix>        — default config, full ctest suite (the tier-1 gate)
+# 2. <prefix>-asan   — -DASAP_SANITIZE=address, failover/churn/concurrency tests
+# 3. <prefix>-tsan   — -DASAP_SANITIZE=thread, the same subset
+#
+# The sanitizer passes rerun the tests that exercise timers, fault injection
+# and shared caches, where lifetime and data-race bugs would hide.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+PREFIX=${1:-"$ROOT/build-check"}
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+SUBSET='Failover|FaultPlan|Churn|Concurrenc|ThreadPool|EventQueue'
+
+run_pass() {
+  dir=$1
+  shift
+  echo "== configure $dir ($*)"
+  cmake -S "$ROOT" -B "$dir" "$@" >/dev/null
+  echo "== build $dir"
+  cmake --build "$dir" -j "$JOBS" >/dev/null
+}
+
+run_pass "$PREFIX"
+echo "== tier-1: full test suite"
+ctest --test-dir "$PREFIX" --output-on-failure
+
+run_pass "$PREFIX-asan" -DASAP_SANITIZE=address
+echo "== asan: $SUBSET"
+ctest --test-dir "$PREFIX-asan" -R "$SUBSET" --output-on-failure
+
+run_pass "$PREFIX-tsan" -DASAP_SANITIZE=thread
+echo "== tsan: $SUBSET"
+ctest --test-dir "$PREFIX-tsan" -R "$SUBSET" --output-on-failure
+
+echo "== all checks passed"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace asap {
 
@@ -26,8 +27,11 @@ double OnlineStats::variance() const {
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> values, double q) {
-  assert(!values.empty());
   assert(q >= 0.0 && q <= 100.0);
+  // Empty input yields NaN rather than asserting: release benches hit this
+  // legitimately (e.g. a scaled-down run with zero latent sessions), and an
+  // NDEBUG build would otherwise index out of bounds.
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values[0];
   double pos = (q / 100.0) * static_cast<double>(values.size() - 1);

@@ -29,6 +29,7 @@ class OnlineStats {
 };
 
 // Percentile with linear interpolation; q in [0, 100]. Sorts a copy.
+// Returns NaN for an empty input (printable, never out-of-bounds).
 double percentile(std::vector<double> values, double q);
 
 // One (x, y) point of an empirical distribution curve.

@@ -99,8 +99,52 @@ const std::map<std::string, Field, std::less<>>& registry() {
        make_field([](ExperimentConfig& c) -> auto& { return c.asap.max_probe_clusters; })},
       {"asap.valley_free",
        make_field([](ExperimentConfig& c) -> auto& { return c.asap.valley_free; })},
+      {"asap.probe_timeout_ms",
+       make_field([](ExperimentConfig& c) -> auto& { return c.asap.probe_timeout_ms; })},
+      {"asap.keepalive_interval_ms",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.keepalive_interval_ms; })},
+      {"asap.failover_backoff_base_ms",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.failover_backoff_base_ms; })},
+      {"asap.failover_max_retries",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.failover_max_retries; })},
+      {"asap.max_backup_relays",
+       make_field([](ExperimentConfig& c) -> auto& { return c.asap.max_backup_relays; })},
   };
   return fields;
+}
+
+std::string fmt_ms(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+// Cross-field sanity checks for the failover timing knobs; returns an empty
+// string when the config is sound.
+std::string validate(const ExperimentConfig& config) {
+  const AsapParams& a = config.asap;
+  if (a.probe_timeout_ms <= 0.0) {
+    return "config: asap.probe_timeout_ms must be > 0 (got " + fmt_ms(a.probe_timeout_ms) +
+           "); probes could never time out";
+  }
+  if (a.keepalive_interval_ms <= 0.0) {
+    return "config: asap.keepalive_interval_ms must be > 0 (got " +
+           fmt_ms(a.keepalive_interval_ms) + "); gap detection would fire continuously";
+  }
+  if (a.failover_backoff_base_ms <= 0.0) {
+    return "config: asap.failover_backoff_base_ms must be > 0 (got " +
+           fmt_ms(a.failover_backoff_base_ms) + ")";
+  }
+  if (a.failover_backoff_base_ms < a.keepalive_interval_ms) {
+    return "config: asap.failover_backoff_base_ms (" + fmt_ms(a.failover_backoff_base_ms) +
+           ") must be >= asap.keepalive_interval_ms (" + fmt_ms(a.keepalive_interval_ms) +
+           "); backing off for less than one keepalive interval re-probes before "
+           "detection can observe the stream again";
+  }
+  return std::string();
 }
 
 std::string_view trim(std::string_view s) {
@@ -141,6 +185,9 @@ Expected<ExperimentConfig> parse_config(std::string_view text) {
       return make_error("config line " + std::to_string(line_no) + ": bad value '" +
                         std::string(value) + "' for " + std::string(key));
     }
+  }
+  if (std::string problem = validate(config); !problem.empty()) {
+    return make_error(problem);
   }
   return config;
 }

@@ -33,6 +33,26 @@ struct AsapParams {
   std::uint32_t max_two_hop_pairs = 4096;
   // If false, the close-set BFS ignores valley-free constraints (ablation).
   bool valley_free = true;
+
+  // --- Failure detection & mid-call failover (robustness extension) --------
+  // Reply deadline for pings, verification probes and close-set requests
+  // (previously a hard-coded 3000 ms protocol constant).
+  Millis probe_timeout_ms = 3000.0;
+  // Voice keepalive cadence: a relayed stream that should be flowing but has
+  // received nothing for this long is declared broken and failover starts.
+  // Must exceed the voice packet interval (20 ms) by a wide margin.
+  Millis keepalive_interval_ms = 250.0;
+  // Base of the exponential backoff between failover rounds when every
+  // known backup relay is dead; round i waits base * 2^i before refreshing
+  // the close set and re-probing. Must be >= keepalive_interval_ms.
+  Millis failover_backoff_base_ms = 400.0;
+  // Backoff rounds before a failing call gives up and degrades (loses the
+  // remaining voice instead of retrying forever).
+  std::uint32_t failover_max_retries = 4;
+  // Ranked backup relays retained from select_close_relay()'s probed
+  // candidates for instant mid-call switchover (0 = rely on close-set
+  // refresh alone).
+  std::uint32_t max_backup_relays = 3;
 };
 
 // --- Shared world-model constants (Sec. 3.2 measurement model) -------------

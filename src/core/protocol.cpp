@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/wire.h"
+#include "voip/emodel.h"
 
 namespace asap::core {
 
@@ -47,13 +48,51 @@ struct AsapSystem::ActiveCall {
   // Voice accounting.
   Millis first_voice_sent_ms = -1.0;
   double voice_delay_sum_ms = 0.0;
+
+  // --- Mid-call failover state ---------------------------------------------
+  // Current relay chain, mutable mid-call: every voice send reads it at fire
+  // time, so a committed switchover redirects the rest of the stream.
+  std::vector<NodeId> route;
+  // Ranked backup one-hop relays (cluster surrogates), best first; rebuilt
+  // from a fresh close set when exhausted.
+  std::vector<HostId> backups;
+  std::size_t next_backup = 0;
+  bool failover_in_progress = false;  // caller is probing backups
+  bool notice_in_flight = false;      // callee reported, caller not yet acting
+  std::uint32_t failover_rounds = 0;  // backoff rounds spent on current fault
+  // Gap detection reference: last time the receiver heard voice, or the time
+  // it could first legitimately expect to (stream/switchover start + RTT).
+  Millis detect_floor_ms = -1.0;
+  bool any_rx = false;
+  std::uint32_t last_rx_seq = 0;
+  Millis last_voice_rx_ms = -1.0;
+  Millis fault_detected_ms = -1.0;  // first detection (segment boundary)
+  Millis first_switch_ms = -1.0;    // first committed switchover
+  Millis gap_started_ms = -1.0;     // open silence interval, -1 when closed
+  // Segmented voice accounting: the pre-fault segment ends at the last
+  // sequence number the callee received before the gap opened (packets sent
+  // into the dead relay afterwards are the switchover window, not a quality
+  // segment); the post-failover segment is everything stamped after the
+  // first committed switchover.
+  std::uint32_t sent_pre = 0, sent_post = 0;
+  std::uint32_t rcv_pre = 0, rcv_post = 0;
+  double delay_sum_pre = 0.0, delay_sum_post = 0.0;
 };
 
 AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
                        std::size_t bootstrap_count)
-    : world_(world), params_(params), net_(queue_, world.oracle()) {
+    : world_(world), params_(params), net_(queue_, world.oracle()),
+      fault_rng_(world.fork_rng(0xFA177)) {
   net_.set_payload_sizer([](const ProtocolPayload& p) {
     return wire::encoded_size(p) + wire::kPacketOverheadBytes;
+  });
+  // Loss-burst injection: during an armed burst episode, voice packets die
+  // in flight with probability voice_drop_p_. The RNG is only consulted
+  // inside a burst, so fault-free runs draw nothing and stay bit-identical
+  // to pre-fault-injection behaviour.
+  net_.set_drop_fn([this](NodeId, NodeId, sim::MessageCategory cat) {
+    return cat == sim::MessageCategory::kVoice && voice_drop_p_ > 0.0 &&
+           fault_rng_.chance(voice_drop_p_);
   });
   const auto& pop = world_.pop();
   hosts_.resize(pop.peers().size());
@@ -108,7 +147,7 @@ void AsapSystem::send_probe(NodeId from, NodeId to, std::function<void(Millis)> 
   std::uint64_t token = next_token_++;
   pending_probes_[token] = PendingProbe{std::move(on_reply), queue_.now(), false};
   send(from, to, sim::MessageCategory::kProbe, Probe{token});
-  queue_.after(kRequestTimeoutMs, [this, token]() {
+  queue_.after(params_.probe_timeout_ms, [this, token]() {
     auto it = pending_probes_.find(token);
     if (it == pending_probes_.end() || it->second.done) return;
     it->second.done = true;
@@ -151,6 +190,49 @@ void AsapSystem::fail_host(HostId h) {
   metrics_.increment("host.failures_injected");
 }
 
+void AsapSystem::recover_host(HostId h) {
+  if (hosts_[h.value()].alive) return;
+  hosts_[h.value()].alive = true;
+  metrics_.increment("host.recoveries");
+}
+
+void AsapSystem::arm_fault_plan(const sim::FaultPlan& plan) {
+  plan.arm(queue_, [this](const sim::FaultEvent& event) { apply_fault(event); });
+  for (const auto& event : plan.events()) {
+    if (event.kind == sim::FaultKind::kActiveRelayCrash) {
+      pending_call_faults_.push_back(event);
+    }
+  }
+}
+
+void AsapSystem::apply_fault(const sim::FaultEvent& event) {
+  switch (event.kind) {
+    case sim::FaultKind::kHostCrash:
+      if (event.target < hosts_.size()) fail_host(HostId(event.target));
+      break;
+    case sim::FaultKind::kSurrogateCrash:
+      if (event.target < surrogate_sets_.size()) fail_surrogate(ClusterId(event.target));
+      break;
+    case sim::FaultKind::kActiveRelayCrash:
+      // Immediate form (deferred events are armed per call in begin_voice).
+      if (active_call_ && !active_call_->route.empty()) {
+        fail_host(HostId(active_call_->route.front().value()));
+        metrics_.increment("fault.active_relay_crashes");
+      }
+      break;
+    case sim::FaultKind::kHostRecovery:
+      if (event.target < hosts_.size()) recover_host(HostId(event.target));
+      break;
+    case sim::FaultKind::kLossBurstStart:
+      voice_drop_p_ = event.loss;
+      metrics_.increment("fault.loss_bursts");
+      break;
+    case sim::FaultKind::kLossBurstEnd:
+      voice_drop_p_ = 0.0;
+      break;
+  }
+}
+
 void AsapSystem::fetch_close_set(HostId host, std::function<void()> on_ready) {
   HostState& state = hosts_[host.value()];
   if (state.close_set) {
@@ -173,7 +255,7 @@ void AsapSystem::start_close_set_fetch(HostId host) {
     return;
   }
   send(me, state.surrogate, sim::MessageCategory::kCloseSet, CloseSetRequest{});
-  queue_.after(kRequestTimeoutMs, [this, host]() {
+  queue_.after(params_.probe_timeout_ms, [this, host]() {
     HostState& s = hosts_[host.value()];
     if (s.close_set || !s.fetch_in_flight) return;  // reply already arrived
     // Timeout: the surrogate is gone. Report to a bootstrap; it elects a
@@ -189,7 +271,7 @@ void AsapSystem::start_close_set_fetch(HostId host) {
     send(me, bootstraps_.front(), sim::MessageCategory::kJoin,
          SurrogateFailureReport{s.cluster, s.surrogate});
     // Allow time for the SurrogateUpdate to arrive, then retry the fetch.
-    queue_.after(kRequestTimeoutMs, [this, host]() {
+    queue_.after(params_.probe_timeout_ms, [this, host]() {
       if (!hosts_[host.value()].close_set) start_close_set_fetch(host);
     });
   });
@@ -327,8 +409,14 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
       return;
     }
     if (active_call_ && active_call_->session == voice->session) {
-      ++active_call_->outcome.voice_packets_received;
-      active_call_->voice_delay_sum_ms += queue_.now() - voice->sent_at_ms;
+      record_voice_receipt(*voice);
+    }
+    return;
+  }
+  if (const auto* notice = std::get_if<RelayFailureNotice>(&payload)) {
+    if (active_call_ && active_call_->session == notice->session &&
+        HostId(self.value()) == active_call_->caller) {
+      on_relay_failure_notice(*notice);
     }
     return;
   }
@@ -467,7 +555,7 @@ void AsapSystem::maybe_finish_probing() {
       send(me, r1, sim::MessageCategory::kCloseSet, CloseSetRequest{});
     }
     // Deadline: proceed with whatever arrived.
-    queue_.after(kRequestTimeoutMs, [this, session = call.session]() {
+    queue_.after(params_.probe_timeout_ms, [this, session = call.session]() {
       if (!active_call_ || active_call_->session != session) return;
       if (active_call_->two_hop_fetches_outstanding > 0) {
         active_call_->two_hop_fetches_outstanding = 0;
@@ -516,6 +604,40 @@ void AsapSystem::decide_relay() {
 
   bool two_hop_wins = call.best_two_hop_estimate_ms < call.best_one_hop_estimate_ms &&
                       call.two_hop_r1.valid();
+
+  // Retain a ranked backup-relay list from the probed candidates for
+  // mid-call switchover: reachable surrogates ordered by measured estimate,
+  // the winner excluded below once it is known.
+  if (params_.max_backup_relays > 0) {
+    std::vector<std::pair<Millis, HostId>> ranked;
+    for (const auto& cand : call.candidates) {
+      if (cand.caller_leg_rtt_ms >= kUnreachableMs) continue;
+      Millis estimate = cand.caller_leg_rtt_ms + cand.callee_leg_rtt_ms +
+                        2.0 * params_.relay_delay_one_way_ms;
+      HostId surrogate = world_.pop().cluster(cand.cluster).surrogate;
+      if (!surrogate.valid()) continue;
+      ranked.emplace_back(estimate, surrogate);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second.value() < b.second.value();
+    });
+    HostId winner1 = two_hop_wins ? call.two_hop_r1
+                                  : (call.best_one_hop_cluster.valid()
+                                         ? world_.pop().cluster(call.best_one_hop_cluster).surrogate
+                                         : HostId::invalid());
+    HostId winner2 = two_hop_wins ? call.two_hop_r2 : HostId::invalid();
+    for (const auto& [estimate, surrogate] : ranked) {
+      if (call.backups.size() >= params_.max_backup_relays) break;
+      if (surrogate == winner1 || surrogate == winner2) continue;
+      if (std::find(call.backups.begin(), call.backups.end(), surrogate) !=
+          call.backups.end()) {
+        continue;
+      }
+      call.backups.push_back(surrogate);
+    }
+    call.outcome.backup_relays = call.backups;
+  }
   if (two_hop_wins) {
     call.outcome.used_relay = true;
     call.outcome.relay.relay1 = call.two_hop_r1;
@@ -541,6 +663,8 @@ void AsapSystem::decide_relay() {
 void AsapSystem::begin_voice(const std::vector<NodeId>& relay_route) {
   ActiveCall& call = *active_call_;
   call.first_voice_sent_ms = queue_.now();
+  call.route = relay_route;
+  SessionId session = call.session;
   NodeId me(call.caller.value());
   NodeId peer(call.callee.value());
   auto packets = static_cast<std::uint32_t>(call.voice_duration_ms / kVoiceIntervalMs);
@@ -548,25 +672,90 @@ void AsapSystem::begin_voice(const std::vector<NodeId>& relay_route) {
   call.outcome.voice_packets_sent = packets;
   for (std::uint32_t seq = 0; seq < packets; ++seq) {
     queue_.after(static_cast<Millis>(seq) * kVoiceIntervalMs,
-                 [this, me, peer, relay_route, seq]() {
+                 [this, me, peer, seq, session]() {
+                   if (!active_call_ || active_call_->session != session) return;
                    ActiveCall& call = *active_call_;
                    VoicePacket pkt;
                    pkt.session = call.session;
                    pkt.seq = seq;
                    pkt.sent_at_ms = queue_.now();
-                   if (relay_route.empty()) {
+                   // Segment accounting (see ActiveCall comment).
+                   if (call.first_switch_ms >= 0.0 &&
+                       pkt.sent_at_ms >= call.first_switch_ms) {
+                     ++call.sent_post;
+                   }
+                   // The route is read at fire time: a committed switchover
+                   // redirects every subsequent packet.
+                   if (call.route.empty()) {
                      send(me, peer, sim::MessageCategory::kVoice, pkt);
                    } else {
                      // Route: first relay receives the packet with the rest
                      // of the chain (ending at the callee) to forward along.
-                     pkt.route.assign(relay_route.begin() + 1, relay_route.end());
+                     pkt.route.assign(call.route.begin() + 1, call.route.end());
                      pkt.route.push_back(peer);
-                     send(me, relay_route.front(), sim::MessageCategory::kVoice, pkt);
+                     send(me, call.route.front(), sim::MessageCategory::kVoice, pkt);
                    }
                  });
   }
+  // Relayed streams are monitored for mid-call relay death; direct streams
+  // have no alternative path, so a dead endpoint simply loses the voice.
+  if (!call.route.empty()) {
+    Millis allowance = call.outcome.relay.rtt_ms < kUnreachableMs
+                           ? call.outcome.relay.rtt_ms
+                           : params_.lat_threshold_ms;
+    call.detect_floor_ms = call.first_voice_sent_ms + allowance;
+    schedule_keepalive_check();
+  }
+  // Deferred active-relay kill events: their clocks start now.
+  if (!pending_call_faults_.empty()) {
+    std::vector<sim::FaultEvent> faults;
+    faults.swap(pending_call_faults_);
+    for (const auto& event : faults) {
+      queue_.after(event.at_ms, [this, session]() {
+        if (!active_call_ || active_call_->session != session || active_call_->done) return;
+        if (active_call_->route.empty()) return;  // direct call: nothing to kill
+        fail_host(HostId(active_call_->route.front().value()));
+        metrics_.increment("fault.active_relay_crashes");
+      });
+    }
+  }
   // Close the call after the stream plus a generous in-flight allowance.
   queue_.after(call.voice_duration_ms + 10000.0, [this]() { finish_call(); });
+}
+
+void AsapSystem::record_voice_receipt(const VoicePacket& voice) {
+  ActiveCall& call = *active_call_;
+  Millis now = queue_.now();
+  ++call.outcome.voice_packets_received;
+  call.voice_delay_sum_ms += now - voice.sent_at_ms;
+
+  // Close an open silence interval and account the sequence hole it left.
+  if (call.gap_started_ms >= 0.0) {
+    call.outcome.voice_gap_ms =
+        std::max(call.outcome.voice_gap_ms, now - call.gap_started_ms);
+    std::uint32_t expected_next = call.any_rx ? call.last_rx_seq + 1 : 0;
+    if (voice.seq > expected_next) {
+      call.outcome.packets_lost_in_failover += voice.seq - expected_next;
+    }
+    call.gap_started_ms = -1.0;
+  }
+  if (!call.any_rx || voice.seq > call.last_rx_seq) {
+    call.last_rx_seq = voice.seq;
+    call.any_rx = true;
+  }
+  call.last_voice_rx_ms = now;
+  call.detect_floor_ms = now;
+
+  // Segment accounting: everything received before the first detection is
+  // the pre-fault segment (its sent count is frozen at detection time from
+  // the highest sequence heard); post-failover is classified by send stamp.
+  if (call.fault_detected_ms < 0.0) {
+    ++call.rcv_pre;
+    call.delay_sum_pre += now - voice.sent_at_ms;
+  } else if (call.first_switch_ms >= 0.0 && voice.sent_at_ms >= call.first_switch_ms) {
+    ++call.rcv_post;
+    call.delay_sum_post += now - voice.sent_at_ms;
+  }
 }
 
 void AsapSystem::finish_call() {
@@ -579,9 +768,226 @@ void AsapSystem::finish_call() {
     call.outcome.mean_voice_one_way_ms =
         call.voice_delay_sum_ms / call.outcome.voice_packets_received;
   }
+  // A call that gave up (or never recovered) loses the stream tail: the
+  // silence runs from the gap's start to where the stream would have ended.
+  if (call.gap_started_ms >= 0.0) {
+    Millis stream_end = call.first_voice_sent_ms + call.voice_duration_ms;
+    if (stream_end > call.gap_started_ms) {
+      call.outcome.voice_gap_ms =
+          std::max(call.outcome.voice_gap_ms, stream_end - call.gap_started_ms);
+    }
+    std::uint32_t expected_next = call.any_rx ? call.last_rx_seq + 1 : 0;
+    if (call.outcome.voice_packets_sent > expected_next) {
+      call.outcome.packets_lost_in_failover +=
+          call.outcome.voice_packets_sent - expected_next;
+    }
+  }
+  // Segmented E-Model MOS (the paper's Sec. 7.2 quality metric, applied to
+  // the observed stream segments around the fault). A fault-free call has
+  // one segment: the whole stream.
+  if (call.fault_detected_ms < 0.0) call.sent_pre = call.outcome.voice_packets_sent;
+  voip::EModel emodel(voip::kG729aVad);
+  if (call.rcv_pre > 0 && call.sent_pre > 0) {
+    double loss = 1.0 - static_cast<double>(call.rcv_pre) /
+                            static_cast<double>(call.sent_pre);
+    loss = std::clamp(loss, 0.0, 1.0);
+    Millis one_way = call.delay_sum_pre / call.rcv_pre;
+    call.outcome.mos_pre_fault = voip::EModel::mos_from_r(emodel.r_factor(one_way, loss));
+  }
+  if (call.rcv_post > 0 && call.sent_post > 0) {
+    double loss = 1.0 - static_cast<double>(call.rcv_post) /
+                            static_cast<double>(call.sent_post);
+    loss = std::clamp(loss, 0.0, 1.0);
+    Millis one_way = call.delay_sum_post / call.rcv_post;
+    call.outcome.mos_post_failover =
+        voip::EModel::mos_from_r(emodel.r_factor(one_way, loss));
+  }
+  call.outcome.voice_packets_post_failover = call.rcv_post;
   sim::MessageCounter diff = net_.counter().diff_since(call.counter_at_start);
   call.outcome.control_messages = diff.control_total();
   call.outcome.control_bytes = diff.control_bytes();
+}
+
+// --- Mid-call failover state machine ----------------------------------------
+//
+//   stream gap at callee (keepalive check)          [schedule_keepalive_check]
+//     -> RelayFailureNotice to caller               [on_voice_gap_detected]
+//     -> probe next ranked backup                   [try_next_backup]
+//          alive  -> switch the route               [commit_switchover]
+//          dead   -> next backup; list exhausted -> [failover_backoff]
+//     -> exponential backoff, close-set refresh
+//        (re-electing a dead surrogate on the way)  [rebuild_backups_and_retry]
+//     -> retry cap reached                          [give_up_failover]
+
+void AsapSystem::schedule_keepalive_check() {
+  SessionId session = active_call_->session;
+  queue_.after(params_.keepalive_interval_ms, [this, session]() {
+    if (!active_call_ || active_call_->session != session) return;
+    ActiveCall& call = *active_call_;
+    if (call.done || call.outcome.failover_gave_up) return;
+    Millis now = queue_.now();
+    Millis allowance = call.outcome.relay.rtt_ms < kUnreachableMs
+                           ? call.outcome.relay.rtt_ms
+                           : params_.lat_threshold_ms;
+    Millis stream_end = call.first_voice_sent_ms + call.voice_duration_ms;
+    // Once every packet still in flight has had time to land, the silence
+    // is just the stream being over: stop monitoring.
+    if (now > stream_end + allowance + params_.keepalive_interval_ms) return;
+    if (!call.failover_in_progress && !call.notice_in_flight &&
+        now - call.detect_floor_ms > params_.keepalive_interval_ms) {
+      on_voice_gap_detected();
+    }
+    schedule_keepalive_check();
+  });
+}
+
+void AsapSystem::on_voice_gap_detected() {
+  ActiveCall& call = *active_call_;
+  call.notice_in_flight = true;
+  if (call.fault_detected_ms < 0.0) {
+    call.fault_detected_ms = queue_.now();
+    // Freeze the pre-fault segment: packets up to the highest sequence the
+    // callee heard were carried by the healthy relay.
+    call.sent_pre = call.any_rx ? call.last_rx_seq + 1 : 0;
+  }
+  call.gap_started_ms = call.any_rx ? call.last_voice_rx_ms : call.first_voice_sent_ms;
+  metrics_.increment("failover.gaps_detected");
+  // The callee tells the caller out of band (signalling does not ride the
+  // dead relay); the message is real and counted against overhead.
+  send(NodeId(call.callee.value()), NodeId(call.caller.value()),
+       sim::MessageCategory::kCallSignal,
+       RelayFailureNotice{call.session, call.any_rx ? call.last_rx_seq : 0});
+}
+
+void AsapSystem::on_relay_failure_notice(const RelayFailureNotice&) {
+  ActiveCall& call = *active_call_;
+  if (call.done || call.failover_in_progress || call.outcome.failover_gave_up) return;
+  call.notice_in_flight = false;
+  call.failover_in_progress = true;
+  metrics_.increment("failover.notices_received");
+  try_next_backup();
+}
+
+void AsapSystem::try_next_backup() {
+  ActiveCall& call = *active_call_;
+  if (call.next_backup >= call.backups.size()) {
+    failover_backoff();
+    return;
+  }
+  HostId backup = call.backups[call.next_backup++];
+  ++call.outcome.failover_probes;
+  metrics_.increment("failover.probes");
+  SessionId session = call.session;
+  send_probe(NodeId(call.caller.value()), NodeId(backup.value()),
+             [this, session, backup](Millis rtt) {
+               if (!active_call_ || active_call_->session != session) return;
+               if (active_call_->done) return;
+               if (rtt >= kUnreachableMs) {
+                 metrics_.increment("failover.dead_backups");
+                 try_next_backup();
+               } else {
+                 commit_switchover(backup, rtt);
+               }
+             });
+}
+
+void AsapSystem::commit_switchover(HostId backup, Millis /*probed_rtt_ms*/) {
+  ActiveCall& call = *active_call_;
+  call.route = {NodeId(backup.value())};
+  call.outcome.used_relay = true;
+  call.outcome.relay.relay1 = backup;
+  call.outcome.relay.relay2 = HostId::invalid();
+  call.outcome.relay.rtt_ms = world_.relay_rtt_ms(call.caller, backup, call.callee);
+  call.outcome.relay.loss = world_.relay_loss(call.caller, backup, call.callee);
+  ++call.outcome.failovers;
+  metrics_.increment("failover.switchovers");
+  Millis now = queue_.now();
+  if (call.first_switch_ms < 0.0) {
+    call.first_switch_ms = now;
+    call.outcome.failover_latency_ms = now - call.fault_detected_ms;
+  }
+  // Give the new path time to deliver before gap detection re-arms.
+  call.detect_floor_ms = now + call.outcome.relay.rtt_ms;
+  call.failover_in_progress = false;
+  call.failover_rounds = 0;  // a later, distinct fault gets a fresh budget
+}
+
+void AsapSystem::failover_backoff() {
+  ActiveCall& call = *active_call_;
+  if (call.failover_rounds >= params_.failover_max_retries) {
+    give_up_failover();
+    return;
+  }
+  Millis wait =
+      params_.failover_backoff_base_ms * static_cast<double>(1u << call.failover_rounds);
+  ++call.failover_rounds;
+  metrics_.increment("failover.backoffs");
+  SessionId session = call.session;
+  queue_.after(wait, [this, session]() {
+    if (!active_call_ || active_call_->session != session || active_call_->done) return;
+    rebuild_backups_and_retry();
+  });
+}
+
+void AsapSystem::rebuild_backups_and_retry() {
+  ActiveCall& call = *active_call_;
+  metrics_.increment("failover.close_set_refreshes");
+  // Drop the cached close set so a fresh one is fetched; if the caller's
+  // surrogate died too, the fetch times out, reports to a bootstrap and a
+  // replacement surrogate is elected (existing machinery, retry-capped).
+  HostState& caller_state = hosts_[call.caller.value()];
+  caller_state.close_set = nullptr;
+  caller_state.close_set_retries = 0;
+  SessionId session = call.session;
+  fetch_close_set(call.caller, [this, session]() {
+    if (!active_call_ || active_call_->session != session || active_call_->done) return;
+    ActiveCall& call = *active_call_;
+    call.backups.clear();
+    call.next_backup = 0;
+    const HostState& caller_state = hosts_[call.caller.value()];
+    if (caller_state.close_set && call.callee_set) {
+      ClusterId c1 = caller_state.cluster;
+      ClusterId c2 = hosts_[call.callee.value()].cluster;
+      std::vector<std::pair<Millis, HostId>> ranked;
+      for (const auto& e1 : caller_state.close_set->entries) {
+        const CloseClusterEntry* e2 = call.callee_set->find(e1.cluster);
+        if (e2 == nullptr || e1.cluster == c1 || e1.cluster == c2) continue;
+        Millis estimate = e1.rtt_ms + e2->rtt_ms + 2.0 * params_.relay_delay_one_way_ms;
+        if (estimate >= params_.lat_threshold_ms) continue;
+        HostId surrogate = world_.pop().cluster(e1.cluster).surrogate;
+        if (!surrogate.valid()) continue;
+        // Skip whatever is currently (dead) on the route.
+        bool on_route = false;
+        for (NodeId hop : call.route) {
+          if (HostId(hop.value()) == surrogate) on_route = true;
+        }
+        if (on_route) continue;
+        ranked.emplace_back(estimate, surrogate);
+      }
+      std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first < b.first;
+        return a.second.value() < b.second.value();
+      });
+      for (const auto& [estimate, surrogate] : ranked) {
+        if (std::find(call.backups.begin(), call.backups.end(), surrogate) ==
+            call.backups.end()) {
+          call.backups.push_back(surrogate);
+        }
+      }
+    }
+    if (call.backups.empty()) {
+      failover_backoff();
+      return;
+    }
+    try_next_backup();
+  });
+}
+
+void AsapSystem::give_up_failover() {
+  ActiveCall& call = *active_call_;
+  call.outcome.failover_gave_up = true;
+  call.failover_in_progress = false;
+  metrics_.increment("failover.giveups");
 }
 
 }  // namespace asap::core

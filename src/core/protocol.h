@@ -24,8 +24,10 @@
 #include "core/select_relay.h"
 #include "population/world.h"
 #include "sim/event_queue.h"
+#include "sim/fault_plan.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
+#include "common/rng.h"
 
 namespace asap::core {
 
@@ -74,11 +76,17 @@ struct VoicePacket {
   // Remaining forwarding chain; empty => this node is the final receiver.
   std::vector<NodeId> route;
 };
+// Callee -> caller: the relayed voice stream went silent (gap/keepalive
+// detection fired); the caller should switch to a backup relay.
+struct RelayFailureNotice {
+  SessionId session;
+  std::uint32_t last_seq = 0;  // highest voice seq received before the gap
+};
 
 using ProtocolPayload =
     std::variant<JoinRequest, JoinReply, CloseSetRequest, CloseSetReply, PublishInfo,
                  SurrogateFailureReport, SurrogateUpdate, Probe, ProbeReply, CallSetup,
-                 CallAccept, VoicePacket>;
+                 CallAccept, VoicePacket, RelayFailureNotice>;
 using ProtocolNetwork = sim::Network<ProtocolPayload>;
 
 // --- System ------------------------------------------------------------
@@ -97,6 +105,27 @@ struct CallOutcome {
   std::uint32_t voice_packets_sent = 0;
   std::uint32_t voice_packets_received = 0;
   Millis mean_voice_one_way_ms = 0.0;
+
+  // --- Mid-call failover & degradation (robustness extension) -------------
+  std::uint32_t failovers = 0;        // successful relay switchovers
+  std::uint32_t failover_probes = 0;  // probes spent checking backup relays
+  bool failover_gave_up = false;      // backoff budget exhausted, call degraded
+  // Detection (failure notice sent) -> first switchover committed.
+  Millis failover_latency_ms = kUnreachableMs;
+  // Longest silence observed by the receiver between the last pre-fault
+  // packet and the first post-switchover packet (0 when no fault struck).
+  Millis voice_gap_ms = 0.0;
+  // Voice packets that vanished across switchovers (receiver-side sequence
+  // gaps; includes the never-recovered tail when the call gave up).
+  std::uint32_t packets_lost_in_failover = 0;
+  std::uint32_t voice_packets_post_failover = 0;  // received after 1st switch
+  // Segmented E-Model MOS (G.729A+VAD): the stream before the first fault
+  // detection vs. after the failover. 0 when a segment carried no voice;
+  // equals the whole-stream MOS when no fault struck (post stays 0).
+  double mos_pre_fault = 0.0;
+  double mos_post_failover = 0.0;
+  // Ranked backup relays retained from candidate probing (for tests/benches).
+  std::vector<HostId> backup_relays;
 };
 
 class AsapSystem {
@@ -119,7 +148,19 @@ class AsapSystem {
   void fail_surrogate(ClusterId c);
   // Crashes an arbitrary host (drops everything it receives from now on).
   void fail_host(HostId h);
+  // Revives a crashed host (its join state is retained).
+  void recover_host(HostId h);
   [[nodiscard]] bool is_alive(HostId h) const { return hosts_[h.value()].alive; }
+
+  // --- Deterministic fault injection --------------------------------------
+  // Schedules every event of `plan` on the simulation queue, offset from
+  // now. kActiveRelayCrash events are deferred: their clocks start when the
+  // next call's voice stream begins (each fires for exactly one call).
+  void arm_fault_plan(const sim::FaultPlan& plan);
+  // Applies one fault event immediately (also the arm() callback target).
+  void apply_fault(const sim::FaultEvent& event);
+  // Current loss-burst voice drop probability (0 outside bursts).
+  [[nodiscard]] double voice_drop_probability() const { return voice_drop_p_; }
 
   [[nodiscard]] const sim::MessageCounter& counter() const { return net_.counter(); }
   [[nodiscard]] const sim::MetricsRegistry& metrics() const { return metrics_; }
@@ -129,8 +170,8 @@ class AsapSystem {
   [[nodiscard]] bool is_surrogate_of(ClusterId c, NodeId node) const;
   [[nodiscard]] bool is_joined(HostId h) const { return hosts_[h.value()].joined; }
 
-  // Per-protocol constants.
-  static constexpr Millis kRequestTimeoutMs = 3000.0;
+  // Per-protocol constants. Request/probe timeouts live in AsapParams
+  // (probe_timeout_ms) so deployments can tune them; see params.h.
   static constexpr Millis kVoiceIntervalMs = 20.0;  // 50 pps
   // Fan-out cap for two-hop close-set fetches per call.
   static constexpr std::size_t kMaxTwoHopFetches = 16;
@@ -161,6 +202,18 @@ class AsapSystem {
   void decide_relay();
   void begin_voice(const std::vector<NodeId>& relay_route);
   void finish_call();
+  // --- Mid-call failover state machine ------------------------------------
+  // detection (keepalive gap at the callee) -> failure notice -> backup
+  // probing -> switchover | backoff + close-set refresh -> give-up.
+  void schedule_keepalive_check();
+  void on_voice_gap_detected();                     // callee side
+  void on_relay_failure_notice(const RelayFailureNotice& notice);  // caller side
+  void try_next_backup();
+  void commit_switchover(HostId backup, Millis probed_rtt_ms);
+  void failover_backoff();
+  void rebuild_backups_and_retry();
+  void give_up_failover();
+  void record_voice_receipt(const VoicePacket& voice);
   void send(NodeId from, NodeId to, sim::MessageCategory cat, ProtocolPayload payload);
   void send_probe(NodeId from, NodeId to, std::function<void(Millis)> on_reply);
   // Requests the close set of `host`'s surrogate with timeout + failover.
@@ -182,6 +235,14 @@ class AsapSystem {
   std::map<std::uint64_t, PendingProbe> pending_probes_;
   std::uint64_t next_token_ = 1;
   std::uint32_t next_session_ = 1;
+
+  // Fault-injection state: deferred active-relay kills (armed per call at
+  // voice start), the loss-burst drop probability, and the dedicated RNG
+  // stream that decides which burst packets die (forked from the world
+  // seed, so reruns drop the same packets).
+  std::vector<sim::FaultEvent> pending_call_faults_;
+  double voice_drop_p_ = 0.0;
+  Rng fault_rng_;
 
   // Active call state (one call at a time; the driver runs to completion).
   struct ActiveCall;

@@ -19,6 +19,7 @@ enum class Tag : std::uint8_t {
   kCallSetup = 10,
   kCallAccept = 11,
   kVoicePacket = 12,
+  kRelayFailureNotice = 13,
 };
 
 class Writer {
@@ -195,6 +196,10 @@ std::vector<std::uint8_t> encode(const ProtocolPayload& payload) {
           w.f64(msg.sent_at_ms);
           w.u16(static_cast<std::uint16_t>(msg.route.size()));
           for (NodeId hop : msg.route) w.u32(hop.value());
+        } else if constexpr (std::is_same_v<T, RelayFailureNotice>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kRelayFailureNotice));
+          w.u32(msg.session.value());
+          w.u32(msg.last_seq);
         }
       },
       payload);
@@ -297,6 +302,14 @@ Expected<ProtocolPayload> decode(std::span<const std::uint8_t> bytes) {
       }
       return finish(msg);
     }
+    case Tag::kRelayFailureNotice: {
+      std::uint32_t session = 0;
+      std::uint32_t last_seq = 0;
+      if (!r.u32(session) || !r.u32(last_seq)) {
+        return make_error("wire: truncated RelayFailureNotice");
+      }
+      return finish(RelayFailureNotice{SessionId(session), last_seq});
+    }
   }
   return make_error("wire: unknown tag");
 }
@@ -328,6 +341,8 @@ std::size_t encoded_size(const ProtocolPayload& payload) {
           return kHeader + 4 + (msg.callee_set ? close_set_wire_bytes(*msg.callee_set) : 8);
         } else if constexpr (std::is_same_v<T, VoicePacket>) {
           return kHeader + 4 + 4 + 8 + 2 + 4 * msg.route.size();
+        } else if constexpr (std::is_same_v<T, RelayFailureNotice>) {
+          return kHeader + 8;
         }
       },
       payload);

@@ -1,0 +1,78 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+
+namespace asap::sim {
+
+FaultPlan FaultPlan::generate(const FaultPlanParams& params, std::size_t host_count,
+                              std::size_t cluster_count, Rng& rng) {
+  FaultPlan plan;
+
+  // Host crashes first, so recoveries can pair with them below.
+  std::vector<FaultEvent> crashes;
+  crashes.reserve(params.host_crashes);
+  for (std::uint32_t i = 0; i < params.host_crashes && host_count > 0; ++i) {
+    FaultEvent e;
+    e.at_ms = rng.uniform(0.0, params.horizon_ms);
+    e.kind = FaultKind::kHostCrash;
+    e.target = static_cast<std::uint32_t>(rng.below(host_count));
+    crashes.push_back(e);
+  }
+  for (const auto& e : crashes) plan.add(e);
+
+  std::uint32_t recoveries = std::min<std::uint32_t>(
+      params.host_recoveries, static_cast<std::uint32_t>(crashes.size()));
+  for (std::uint32_t i = 0; i < recoveries; ++i) {
+    const FaultEvent& crash = crashes[i];
+    FaultEvent e;
+    e.at_ms = crash.at_ms + rng.exponential(params.recovery_mean_ms);
+    e.kind = FaultKind::kHostRecovery;
+    e.target = crash.target;
+    plan.add(e);
+  }
+
+  for (std::uint32_t i = 0; i < params.surrogate_crashes && cluster_count > 0; ++i) {
+    FaultEvent e;
+    e.at_ms = rng.uniform(0.0, params.horizon_ms);
+    e.kind = FaultKind::kSurrogateCrash;
+    e.target = static_cast<std::uint32_t>(rng.below(cluster_count));
+    plan.add(e);
+  }
+
+  for (std::uint32_t i = 0; i < params.active_relay_crashes; ++i) {
+    FaultEvent e;
+    e.at_ms = rng.uniform(0.0, params.horizon_ms);
+    e.kind = FaultKind::kActiveRelayCrash;
+    plan.add(e);
+  }
+
+  for (std::uint32_t i = 0; i < params.loss_bursts; ++i) {
+    FaultEvent start;
+    start.at_ms = rng.uniform(0.0, params.horizon_ms);
+    start.kind = FaultKind::kLossBurstStart;
+    start.loss = params.loss_burst_drop;
+    FaultEvent end;
+    end.at_ms = start.at_ms + rng.exponential(params.loss_burst_mean_ms);
+    end.kind = FaultKind::kLossBurstEnd;
+    plan.add(start);
+    plan.add(end);
+  }
+
+  return plan;
+}
+
+void FaultPlan::add(FaultEvent event) {
+  auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at_ms < b.at_ms; });
+  events_.insert(pos, event);
+}
+
+void FaultPlan::arm(EventQueue& queue, std::function<void(const FaultEvent&)> apply) const {
+  for (const auto& event : events_) {
+    if (event.kind == FaultKind::kActiveRelayCrash) continue;
+    queue.after(event.at_ms, [event, apply]() { apply(event); });
+  }
+}
+
+}  // namespace asap::sim

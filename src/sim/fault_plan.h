@@ -1,0 +1,96 @@
+// Deterministic fault-injection plans for the discrete-event simulation.
+//
+// A FaultPlan is a time-sorted list of fault events — host crashes,
+// surrogate outages, active-relay kills, host recoveries and loss-burst
+// episodes — generated up front from a seeded RNG (fork the world RNG) so
+// the exact same faults strike at the exact same simulated times on every
+// rerun. The plan itself is protocol-agnostic: `arm()` schedules each event
+// on an EventQueue and hands it to an apply callback; the protocol layer
+// (core::AsapSystem) decides what a "surrogate crash" or "active relay"
+// means. Events of kind kActiveRelayCrash carry times relative to the next
+// call's voice-stream start instead of absolute plan time, because the
+// relay identity only exists once a call has selected one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace asap::sim {
+
+enum class FaultKind : std::uint8_t {
+  kHostCrash = 0,        // target = host index; the host drops all traffic
+  kSurrogateCrash = 1,   // target = cluster index; kills its primary surrogate
+  kActiveRelayCrash = 2, // kills the first relay of the streaming call's route;
+                         // at_ms is relative to that call's voice start
+  kHostRecovery = 3,     // target = host index; revives a crashed host
+  kLossBurstStart = 4,   // begin dropping voice packets with probability `loss`
+  kLossBurstEnd = 5,     // end the loss-burst episode
+};
+
+constexpr std::string_view fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kHostCrash: return "host-crash";
+    case FaultKind::kSurrogateCrash: return "surrogate-crash";
+    case FaultKind::kActiveRelayCrash: return "active-relay-crash";
+    case FaultKind::kHostRecovery: return "host-recovery";
+    case FaultKind::kLossBurstStart: return "loss-burst-start";
+    case FaultKind::kLossBurstEnd: return "loss-burst-end";
+  }
+  return "?";
+}
+
+struct FaultEvent {
+  Millis at_ms = 0.0;  // offset from arm time (or voice start, see above)
+  FaultKind kind = FaultKind::kHostCrash;
+  std::uint32_t target = 0;  // host or cluster index, by kind; else unused
+  double loss = 0.0;         // drop probability for loss bursts
+};
+
+// Expected event counts over a planning horizon; generate() draws the times
+// and targets.
+struct FaultPlanParams {
+  Millis horizon_ms = 60000.0;
+  std::uint32_t host_crashes = 0;
+  std::uint32_t surrogate_crashes = 0;
+  std::uint32_t active_relay_crashes = 0;
+  // Each recovery revives one of the planned host crashes after an
+  // exponential downtime with this mean (capped at host_crashes).
+  std::uint32_t host_recoveries = 0;
+  Millis recovery_mean_ms = 5000.0;
+  // Loss-burst episodes: start uniform in the horizon, duration exponential
+  // with mean `loss_burst_mean_ms`, drop probability `loss_burst_drop`.
+  std::uint32_t loss_bursts = 0;
+  Millis loss_burst_mean_ms = 2000.0;
+  double loss_burst_drop = 0.3;
+};
+
+class FaultPlan {
+ public:
+  // Draws a deterministic plan; identical (params, host_count,
+  // cluster_count, rng state) yield identical plans.
+  static FaultPlan generate(const FaultPlanParams& params, std::size_t host_count,
+                            std::size_t cluster_count, Rng& rng);
+
+  // Appends one event, keeping the list time-sorted (stable for ties).
+  void add(FaultEvent event);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  // Schedules every event at `queue.now() + at_ms` and hands it to `apply`.
+  // kActiveRelayCrash events are *skipped* here — their clock starts at a
+  // call's voice stream, which only the protocol layer knows (see
+  // core::AsapSystem::arm_fault_plan).
+  void arm(EventQueue& queue, std::function<void(const FaultEvent&)> apply) const;
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by at_ms
+};
+
+}  // namespace asap::sim

@@ -62,11 +62,19 @@ class Network {
     sizer_ = std::move(sizer);
   }
 
+  // Optional fault hook: a sent message for which this returns true is
+  // counted (the sender paid for it) but lost in flight. Used by the
+  // fault-injection layer for loss-burst episodes.
+  void set_drop_fn(std::function<bool(NodeId from, NodeId to, MessageCategory)> fn) {
+    drop_fn_ = std::move(fn);
+  }
+
   // Sends a message; it is delivered (handler invoked) after the one-way
   // latency. Messages whose path is unreachable are silently dropped, as on
   // the real network — protocols must use timeouts.
   void send(NodeId from, NodeId to, MessageCategory category, Payload payload) {
     counter_.record(category, sizer_ ? sizer_(payload) : 0);
+    if (drop_fn_ && drop_fn_(from, to, category)) return;
     Millis latency = delivery_latency_ms(from, to);
     if (latency >= kUnreachableMs) return;
     queue_.after(latency, [this, from, to, payload = std::move(payload)]() {
@@ -94,6 +102,7 @@ class Network {
   std::vector<NodeState> nodes_;
   MessageCounter counter_;
   std::function<std::size_t(const Payload&)> sizer_;
+  std::function<bool(NodeId, NodeId, MessageCategory)> drop_fn_;
 };
 
 }  // namespace asap::sim

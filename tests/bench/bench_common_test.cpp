@@ -1,0 +1,49 @@
+// Regression tests for the bench harness helpers with empty session sets:
+// a scaled-down run (e.g. ASAP_SCALE=0.04) can legitimately produce zero
+// latent sessions, and the summary printers used to crash on it (the old
+// percentile() indexed an empty vector under NDEBUG).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_common.h"
+
+namespace asap::bench {
+namespace {
+
+TEST(BenchEmptyInputs, PercentileOnEmptyReturnsNaN) {
+  EXPECT_TRUE(std::isnan(percentile({}, 50)));
+  EXPECT_TRUE(std::isnan(percentile({}, 0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 100)));
+  // Non-empty behaviour unchanged.
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 90), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 3.0}, 50), 2.0);
+}
+
+TEST(BenchEmptyInputs, MethodSummaryHandlesEmptyAndMixedResults) {
+  std::vector<relay::MethodResults> results(2);
+  results[0].method = "empty-method";
+  results[1].method = "live-method";
+  results[1].messages = {10.0, 20.0, 30.0};
+  // Must not crash; the empty method is printed as an explicit
+  // "(no sessions)" row rather than silently dropped.
+  print_method_summary("summary with empty method", results, "messages");
+}
+
+TEST(BenchEmptyInputs, AllMethodsEmptyStillPrints) {
+  std::vector<relay::MethodResults> results(3);
+  results[0].method = "asap";
+  results[1].method = "oracle";
+  results[2].method = "random";
+  print_method_summary("all empty", results, "messages");
+  print_method_summary("all empty (rtt)", results, "shortest_rtt_ms");
+}
+
+TEST(BenchEmptyInputs, CdfPrintersHandleEmptyValues) {
+  print_cdf("empty cdf", "ms", {});
+  print_ccdf("empty ccdf", "ms", {});
+  EXPECT_TRUE(make_cdf({}).empty());
+}
+
+}  // namespace
+}  // namespace asap::bench

@@ -48,31 +48,37 @@ TEST_F(ChurnFixture, DeadCalleeDoesNotHangTheCaller) {
   EXPECT_FALSE(system->is_alive(s.callee));
 }
 
-TEST_F(ChurnFixture, RelayCrashMidCallLosesRemainingVoice) {
-  // Find a latent session that actually relays.
+TEST_F(ChurnFixture, RelayCrashMidCallFailsOverToBackup) {
+  // Find a latent session that relays and retained at least one backup.
   for (const auto& s : latent) {
     auto probe_outcome = system->call(s.caller, s.callee, 100.0);
     if (!probe_outcome.used_relay || !probe_outcome.relay.relay1.valid()) continue;
-    HostId relay = probe_outcome.relay.relay1;
+    if (probe_outcome.backup_relays.empty()) continue;
 
-    // Second call over the same pair: kill the relay shortly after the
-    // voice stream starts.
-    Millis kill_at = system->queue().now() + 1200.0;
-    HostId relay_to_kill = relay;
-    system->queue().at(kill_at, [this, relay_to_kill]() {
-      system->fail_host(relay_to_kill);
-    });
-    auto outcome = system->call(s.caller, s.callee, 3000.0);
+    // Second call over the same pair: a fault plan kills the active relay
+    // one second into the voice stream. The callee's keepalive gap fires,
+    // the caller probes its ranked backups and the stream switches over.
+    sim::FaultPlan plan;
+    plan.add({1000.0, sim::FaultKind::kActiveRelayCrash, 0, 0.0});
+    system->arm_fault_plan(plan);
+    auto outcome = system->call(s.caller, s.callee, 4000.0);
     EXPECT_TRUE(outcome.completed);
-    if (outcome.used_relay && outcome.relay.relay1 == relay_to_kill) {
-      EXPECT_LT(outcome.voice_packets_received, outcome.voice_packets_sent)
-          << "packets relayed after the crash must be lost";
-      EXPECT_GT(outcome.voice_packets_received, 0u)
-          << "packets before the crash went through";
-    }
+    ASSERT_GE(outcome.failovers, 1u) << "the call must switch to a backup relay";
+    EXPECT_FALSE(outcome.failover_gave_up);
+    EXPECT_GT(outcome.voice_packets_post_failover, 0u)
+        << "voice must flow again after the switchover";
+    EXPECT_LT(outcome.failover_latency_ms, kUnreachableMs);
+    EXPECT_GT(outcome.failover_latency_ms, 0.0);
+    EXPECT_GT(outcome.voice_gap_ms, 0.0) << "the crash must have left a gap";
+    EXPECT_GT(outcome.failover_probes, 0u) << "backup probes are real messages";
+    EXPECT_GT(outcome.mos_pre_fault, 1.0);
+    EXPECT_GT(outcome.mos_post_failover, 1.0)
+        << "post-failover segment carries voice, so it has a MOS";
+    EXPECT_LT(outcome.voice_packets_received, outcome.voice_packets_sent)
+        << "packets in the switchover window are still lost";
     return;
   }
-  GTEST_SKIP() << "no relayed session found in this world";
+  GTEST_SKIP() << "no relayed session with backups found in this world";
 }
 
 TEST_F(ChurnFixture, MassSurrogateFailureStillServesCallsDegraded) {

@@ -64,6 +64,52 @@ TEST(ConfigIo, SerializeParseRoundTrip) {
   EXPECT_EQ(back->sessions, 1234u);
 }
 
+TEST(ConfigIo, ParsesFailoverTimingKnobs) {
+  auto config = parse_config(R"(
+asap.probe_timeout_ms = 1500
+asap.keepalive_interval_ms = 120
+asap.failover_backoff_base_ms = 250
+asap.failover_max_retries = 7
+asap.max_backup_relays = 5
+)");
+  ASSERT_TRUE(config.has_value()) << (config ? "" : config.error().message);
+  EXPECT_DOUBLE_EQ(config->asap.probe_timeout_ms, 1500.0);
+  EXPECT_DOUBLE_EQ(config->asap.keepalive_interval_ms, 120.0);
+  EXPECT_DOUBLE_EQ(config->asap.failover_backoff_base_ms, 250.0);
+  EXPECT_EQ(config->asap.failover_max_retries, 7u);
+  EXPECT_EQ(config->asap.max_backup_relays, 5u);
+}
+
+TEST(ConfigIo, RejectsNonPositiveTimeouts) {
+  auto timeout = parse_config("asap.probe_timeout_ms = 0\n");
+  ASSERT_FALSE(timeout.has_value());
+  EXPECT_NE(timeout.error().message.find("probe_timeout_ms"), std::string::npos);
+
+  auto keepalive = parse_config("asap.keepalive_interval_ms = -5\n");
+  ASSERT_FALSE(keepalive.has_value());
+  EXPECT_NE(keepalive.error().message.find("keepalive_interval_ms"), std::string::npos);
+
+  auto backoff = parse_config(
+      "asap.keepalive_interval_ms = 0.0001\n"
+      "asap.failover_backoff_base_ms = 0\n");
+  ASSERT_FALSE(backoff.has_value());
+  EXPECT_NE(backoff.error().message.find("failover_backoff_base_ms"), std::string::npos);
+}
+
+TEST(ConfigIo, RejectsBackoffShorterThanKeepalive) {
+  auto config = parse_config(
+      "asap.keepalive_interval_ms = 500\n"
+      "asap.failover_backoff_base_ms = 100\n");
+  ASSERT_FALSE(config.has_value());
+  // The error must explain the constraint, not just state it.
+  EXPECT_NE(config.error().message.find("keepalive"), std::string::npos);
+  EXPECT_NE(config.error().message.find("500"), std::string::npos);
+  // Equal values are allowed.
+  EXPECT_TRUE(parse_config("asap.keepalive_interval_ms = 500\n"
+                           "asap.failover_backoff_base_ms = 500\n")
+                  .has_value());
+}
+
 TEST(ConfigIo, FileRoundTrip) {
   const char* path = "config_io_test_tmp.conf";
   ExperimentConfig config;

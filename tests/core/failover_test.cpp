@@ -1,0 +1,239 @@
+// Mid-call failover runtime tests: backup-relay switchover, dead-backup
+// backoff exhaustion, surrogate re-election during an active call, and
+// byte-identical determinism of fault-injected runs.
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+#include "population/session_gen.h"
+#include "sim/fault_plan.h"
+
+namespace asap::core {
+namespace {
+
+population::WorldParams small_params(std::uint64_t seed = 191) {
+  population::WorldParams params;
+  params.seed = seed;
+  params.topo.total_as = 400;
+  params.pop.host_as_count = 100;
+  params.pop.total_peers = 1500;
+  params.pop.members_per_surrogate = 40;
+  return params;
+}
+
+// Short protocol timeouts so failure discovery fits well inside the call's
+// finish deadline (voice + 10 s).
+AsapParams fast_failover_params() {
+  AsapParams params;
+  params.lat_threshold_ms = 200.0;  // guarantee relay sessions exist
+  params.probe_timeout_ms = 300.0;
+  params.keepalive_interval_ms = 100.0;
+  params.failover_backoff_base_ms = 100.0;
+  return params;
+}
+
+struct FailoverFixture : public ::testing::Test {
+  void build(const AsapParams& p) {
+    params = p;
+    world = std::make_unique<population::World>(small_params());
+    system = std::make_unique<AsapSystem>(*world, params, 2);
+    system->join_all();
+    Rng rng = world->fork_rng(2);
+    sessions = population::generate_sessions(*world, 2000, rng);
+    latent = population::latent_sessions(sessions, params.lat_threshold_ms);
+  }
+
+  // First latent session that relays (probed with a short call); the probe
+  // also warms every cache so later calls on the pair are repeatable.
+  bool find_relayed_session(population::Session& out, CallOutcome& probe_outcome,
+                            bool need_backups) {
+    for (const auto& s : latent) {
+      auto outcome = system->call(s.caller, s.callee, 100.0);
+      if (!outcome.used_relay || !outcome.relay.relay1.valid()) continue;
+      if (need_backups && outcome.backup_relays.empty()) continue;
+      out = s;
+      probe_outcome = outcome;
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<population::World> world;
+  AsapParams params;
+  std::unique_ptr<AsapSystem> system;
+  std::vector<population::Session> sessions;
+  std::vector<population::Session> latent;
+};
+
+TEST_F(FailoverFixture, AllBackupsDeadExhaustsBackoffAndGivesUp) {
+  AsapParams p = fast_failover_params();
+  p.failover_max_retries = 0;  // no refresh rounds: exhaust the list, give up
+  build(p);
+  population::Session s;
+  CallOutcome probe1;
+  if (!find_relayed_session(s, probe1, /*need_backups=*/true)) {
+    GTEST_SKIP() << "no relayed session with backups found in this world";
+  }
+  // A second warm call measures the (now fully cached) setup time, which the
+  // deterministic rerun below reproduces exactly.
+  auto probe2 = system->call(s.caller, s.callee, 100.0);
+  ASSERT_TRUE(probe2.used_relay);
+  ASSERT_EQ(probe2.relay.relay1, probe1.relay.relay1) << "selection must be repeatable";
+  ASSERT_FALSE(probe2.backup_relays.empty());
+
+  // Kill the backups just after selection completes (voice starts at
+  // setup_time) but before the crash is detected, so they are probed as
+  // live candidates yet dead by the time failover needs them.
+  Millis start = system->queue().now();
+  for (HostId b : probe2.backup_relays) {
+    system->queue().at(start + probe2.setup_time_ms + 200.0,
+                       [this, b]() { system->fail_host(b); });
+  }
+  sim::FaultPlan plan;
+  plan.add({1000.0, sim::FaultKind::kActiveRelayCrash, 0, 0.0});
+  system->arm_fault_plan(plan);
+
+  std::uint64_t dead_before = system->metrics().value("failover.dead_backups");
+  auto outcome = system->call(s.caller, s.callee, 4000.0);
+  EXPECT_TRUE(outcome.completed) << "a failed failover must still terminate";
+  EXPECT_TRUE(outcome.failover_gave_up);
+  EXPECT_EQ(outcome.failovers, 0u);
+  EXPECT_EQ(outcome.failover_probes, probe2.backup_relays.size())
+      << "every dead backup costs exactly one probe before the cap";
+  EXPECT_EQ(system->metrics().value("failover.dead_backups") - dead_before,
+            probe2.backup_relays.size());
+  EXPECT_GT(outcome.voice_gap_ms, 0.0);
+  EXPECT_GT(outcome.packets_lost_in_failover, 0u) << "the stream tail is lost";
+  EXPECT_LT(outcome.voice_packets_received, outcome.voice_packets_sent);
+  EXPECT_EQ(outcome.mos_post_failover, 0.0) << "no post-failover segment exists";
+  EXPECT_EQ(system->metrics().value("failover.giveups"), 1u);
+}
+
+TEST_F(FailoverFixture, NoBackupsZeroRetriesGivesUpImmediately) {
+  AsapParams p = fast_failover_params();
+  p.max_backup_relays = 0;
+  p.failover_max_retries = 0;
+  build(p);
+  population::Session s;
+  CallOutcome probe;
+  if (!find_relayed_session(s, probe, /*need_backups=*/false)) {
+    GTEST_SKIP() << "no relayed session found in this world";
+  }
+  EXPECT_TRUE(probe.backup_relays.empty()) << "max_backup_relays=0 retains none";
+
+  sim::FaultPlan plan;
+  plan.add({1000.0, sim::FaultKind::kActiveRelayCrash, 0, 0.0});
+  system->arm_fault_plan(plan);
+  auto outcome = system->call(s.caller, s.callee, 3000.0);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_TRUE(outcome.failover_gave_up);
+  EXPECT_EQ(outcome.failovers, 0u);
+  EXPECT_EQ(outcome.failover_probes, 0u);
+  EXPECT_EQ(outcome.failover_latency_ms, kUnreachableMs);
+}
+
+TEST_F(FailoverFixture, SurrogateDeathMidCallTriggersReelectionAndRecovery) {
+  // With no retained backups the caller must refresh its close set to
+  // recover; killing its surrogate too forces the timeout -> bootstrap
+  // report -> re-election path while the call is live.
+  AsapParams p = fast_failover_params();
+  p.max_backup_relays = 0;
+  p.failover_max_retries = 6;
+  build(p);
+  const auto& pop = world->pop();
+  for (const auto& s : latent) {
+    ClusterId cluster = pop.peer(s.caller).cluster;
+    HostId surrogate = pop.assigned_surrogate(cluster, s.caller);
+    if (!surrogate.valid() || surrogate == s.caller) continue;  // self-serving caller
+    auto probe = system->call(s.caller, s.callee, 100.0);
+    if (!probe.used_relay || !probe.relay.relay1.valid()) continue;
+    if (probe.relay.relay1 == surrogate) continue;  // crash would kill both roles
+
+    sim::FaultPlan plan;
+    plan.add({1000.0, sim::FaultKind::kActiveRelayCrash, 0, 0.0});
+    system->arm_fault_plan(plan);
+    system->fail_host(surrogate);  // dies before the refresh needs it
+
+    std::uint64_t elected_before = system->metrics().value("bootstrap.surrogates_elected");
+    auto outcome = system->call(s.caller, s.callee, 5000.0);
+    EXPECT_TRUE(outcome.completed);
+    if (outcome.failover_gave_up) {
+      // The refreshed close set can rank only dead relays in a small world;
+      // the machinery still must have attempted the re-election.
+      EXPECT_GE(system->metrics().value("failover.close_set_refreshes"), 1u);
+      return;
+    }
+    EXPECT_GE(outcome.failovers, 1u);
+    EXPECT_GT(outcome.voice_packets_post_failover, 0u);
+    EXPECT_GE(system->metrics().value("bootstrap.surrogates_elected"), elected_before + 1)
+        << "the dead surrogate must have been replaced mid-call";
+    EXPECT_GE(system->metrics().value("failover.close_set_refreshes"), 1u);
+    return;
+  }
+  GTEST_SKIP() << "no suitable session found in this world";
+}
+
+TEST(FailoverDeterminism, SameSeedSamePlanYieldsIdenticalOutcomes) {
+  // Two independently built worlds/systems with identical seeds, fault plans
+  // (host crashes, recoveries, a loss burst, an active-relay kill) and call
+  // sequences must produce bit-identical CallOutcomes.
+  auto run = []() {
+    auto world = std::make_unique<population::World>(small_params(777));
+    AsapParams params;
+    params.lat_threshold_ms = 200.0;
+    auto system = std::make_unique<AsapSystem>(*world, params, 2);
+    system->join_all();
+    Rng rng = world->fork_rng(2);
+    auto sessions = population::generate_sessions(*world, 500, rng);
+    auto latent = population::latent_sessions(sessions, params.lat_threshold_ms);
+
+    sim::FaultPlanParams fp;
+    fp.horizon_ms = 4000.0;
+    fp.host_crashes = 5;
+    fp.host_recoveries = 2;
+    fp.surrogate_crashes = 2;
+    fp.active_relay_crashes = 1;
+    fp.loss_bursts = 1;
+    fp.loss_burst_drop = 0.5;
+    Rng fault_rng = world->fork_rng(0xFEED);
+    sim::FaultPlan plan = sim::FaultPlan::generate(
+        fp, world->pop().peers().size(), world->pop().populated_clusters().size(),
+        fault_rng);
+    system->arm_fault_plan(plan);
+
+    std::vector<CallOutcome> outcomes;
+    std::size_t calls = std::min<std::size_t>(latent.size(), 3);
+    for (std::size_t i = 0; i < calls; ++i) {
+      outcomes.push_back(system->call(latent[i].caller, latent[i].callee, 2000.0));
+    }
+    return outcomes;
+  };
+
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty()) << "world has no latent sessions to exercise";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("call " + std::to_string(i));
+    EXPECT_EQ(a[i].completed, b[i].completed);
+    EXPECT_EQ(a[i].used_relay, b[i].used_relay);
+    EXPECT_EQ(a[i].relay.relay1, b[i].relay.relay1);
+    EXPECT_EQ(a[i].failovers, b[i].failovers);
+    EXPECT_EQ(a[i].failover_probes, b[i].failover_probes);
+    EXPECT_EQ(a[i].failover_gave_up, b[i].failover_gave_up);
+    EXPECT_EQ(a[i].failover_latency_ms, b[i].failover_latency_ms);
+    EXPECT_EQ(a[i].voice_gap_ms, b[i].voice_gap_ms);
+    EXPECT_EQ(a[i].packets_lost_in_failover, b[i].packets_lost_in_failover);
+    EXPECT_EQ(a[i].voice_packets_sent, b[i].voice_packets_sent);
+    EXPECT_EQ(a[i].voice_packets_received, b[i].voice_packets_received);
+    EXPECT_EQ(a[i].voice_packets_post_failover, b[i].voice_packets_post_failover);
+    EXPECT_EQ(a[i].mos_pre_fault, b[i].mos_pre_fault);
+    EXPECT_EQ(a[i].mos_post_failover, b[i].mos_post_failover);
+    EXPECT_EQ(a[i].mean_voice_one_way_ms, b[i].mean_voice_one_way_ms);
+    EXPECT_EQ(a[i].control_messages, b[i].control_messages);
+    EXPECT_EQ(a[i].control_bytes, b[i].control_bytes);
+    EXPECT_EQ(a[i].backup_relays, b[i].backup_relays);
+  }
+}
+
+}  // namespace
+}  // namespace asap::core

@@ -32,6 +32,7 @@ std::vector<ProtocolPayload> all_message_kinds() {
       CallSetup{SessionId(31)},
       CallAccept{SessionId(31), sample_set()},
       VoicePacket{SessionId(31), 17, 123.5, {NodeId(3), NodeId(9)}},
+      RelayFailureNotice{SessionId(31), 16},
   };
 }
 
@@ -101,6 +102,15 @@ TEST(Wire, RejectsTruncationAtEveryLength) {
           << "variant " << payload.index() << " truncated to " << len;
     }
   }
+}
+
+TEST(Wire, RelayFailureNoticeRoundTripsExactly) {
+  RelayFailureNotice notice{SessionId(1234), 567};
+  auto decoded = decode(encode(ProtocolPayload{notice}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& back = std::get<RelayFailureNotice>(*decoded);
+  EXPECT_EQ(back.session, SessionId(1234));
+  EXPECT_EQ(back.last_seq, 567u);
 }
 
 TEST(Wire, RejectsTrailingGarbage) {
