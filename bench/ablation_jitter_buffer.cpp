@@ -15,6 +15,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("ablation_jitter_buffer", env);
   auto world = bench::build_world(bench::eval_world_params(env), "jitter");
   auto workload = bench::sample_sessions(*world, env.sessions);
 
@@ -48,6 +49,10 @@ int main() {
   voip::EModel emodel(voip::kG729aVad);
   voip::JitterParams jitter;
   Rng rng = world->fork_rng(901);
+  std::unique_ptr<voip::PlayoutCounters> playout;
+  if (run.metrics() != nullptr) {
+    playout = std::make_unique<voip::PlayoutCounters>(*run.metrics());
+  }
 
   for (const auto& profile : profiles) {
     voip::JitterBufferSim sim(profile.one_way_ms, profile.loss, 20000, jitter, rng);
@@ -55,7 +60,7 @@ int main() {
     std::printf("base one-way %.1f ms, network loss %.2f%%\n", profile.one_way_ms,
                 100.0 * profile.loss);
     Table table({"buffer depth (ms)", "late loss", "mouth-to-ear (ms)", "MOS"});
-    for (const auto& r : sim.sweep(160.0, 20.0, emodel)) {
+    for (const auto& r : sim.sweep(160.0, 20.0, emodel, playout.get())) {
       table.add_row({Table::fmt(r.buffer_depth_ms, 0), Table::fmt_pct(r.late_loss, 2),
                      Table::fmt(r.mouth_to_ear_ms, 0), Table::fmt(r.mos, 2)});
     }

@@ -10,6 +10,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("ablation_k_hops", env);
   auto world = bench::build_world(bench::eval_world_params(env), "ablation-k");
   auto workload = bench::sample_sessions(*world, env.sessions);
   // Subsample latent sessions: each k re-builds every close set.
@@ -37,6 +38,7 @@ int main() {
                "max shortest RTT (ms)", "p90 messages", "close-set p50 size"});
   for (std::uint8_t k = 1; k <= 6; ++k) {
     relay::EvaluationConfig config;
+    config.metrics = run.metrics();
     config.asap.k = k;
     relay::AsapSelector selector(*world, config.asap, world->fork_rng(1000 + k));
     std::vector<double> paths;

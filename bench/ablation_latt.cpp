@@ -10,6 +10,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("ablation_latt", env);
   auto world = bench::build_world(bench::eval_world_params(env), "ablation-latT");
   auto workload = bench::sample_sessions(*world, env.sessions);
   std::vector<population::Session> sessions = workload.latent;
@@ -20,6 +21,7 @@ int main() {
                "p90 messages", "two-hop sessions"});
   for (double lat : {150.0, 200.0, 250.0, 300.0, 400.0}) {
     relay::EvaluationConfig config;
+    config.metrics = run.metrics();
     config.asap.lat_threshold_ms = lat;
     relay::AsapSelector selector(*world, config.asap,
                                  world->fork_rng(2000 + static_cast<std::uint64_t>(lat)));

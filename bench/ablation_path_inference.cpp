@@ -16,11 +16,12 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("ablation_path_inference", env);
   auto world = bench::build_world(bench::eval_world_params(env), "path-inference");
   Rng rng = world->fork_rng(800);
   const auto& hosts = world->pop().host_ases();
 
-  Histogram error(0.0, 5.0, 5);  // policy hops - inferred hops
+  LinearHistogram error(0.0, 5.0, 5);  // policy hops - inferred hops
   std::size_t exact = 0;
   std::size_t within1 = 0;
   std::size_t total = 0;

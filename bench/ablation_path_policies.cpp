@@ -17,6 +17,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("ablation_path_policies", env);
   auto world = bench::build_world(bench::eval_world_params(env), "path-policies");
   auto workload = bench::sample_sessions(*world, env.sessions);
   std::vector<population::Session> sessions = workload.latent;

@@ -9,6 +9,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("ablation_relay_delay", env);
 
   bench::print_section("Ablation: relay delay per intermediary node");
   Table table({"relay delay one-way (ms)", "p50 quality paths", "p50 shortest RTT (ms)",
@@ -22,6 +23,7 @@ int main() {
     if (sessions.size() > 300) sessions.resize(300);
 
     relay::EvaluationConfig config;
+    config.metrics = run.metrics();
     config.asap.relay_delay_one_way_ms = delay;
     relay::AsapSelector selector(*world, config.asap,
                                  world->fork_rng(4000 + static_cast<std::uint64_t>(delay)));

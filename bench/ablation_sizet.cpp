@@ -10,6 +10,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("ablation_sizet", env);
   auto world = bench::build_world(bench::eval_world_params(env), "ablation-sizeT");
   auto workload = bench::sample_sessions(*world, env.sessions);
   std::vector<population::Session> sessions = workload.latent;
@@ -20,6 +21,7 @@ int main() {
                "p90 messages", "max messages"});
   for (std::uint32_t size_t_param : {0u, 100u, 300u, 1000u, 5000u}) {
     relay::EvaluationConfig config;
+    config.metrics = run.metrics();
     config.asap.size_threshold = size_t_param;
     relay::AsapSelector selector(*world, config.asap, world->fork_rng(3000 + size_t_param));
     std::vector<double> paths;

@@ -63,6 +63,7 @@ Outcome evaluate(const population::World& planning, const population::World& act
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("ablation_staleness", env);
   auto params_epoch0 = bench::eval_world_params(env);
   auto params_epoch1 = params_epoch0;
   params_epoch1.latency_epoch = 1;

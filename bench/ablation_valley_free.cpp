@@ -12,6 +12,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("ablation_valley_free", env);
   auto world = bench::build_world(bench::eval_world_params(env), "ablation-vf");
   auto workload = bench::sample_sessions(*world, env.sessions);
   std::vector<population::Session> sessions = workload.latent;
@@ -22,6 +23,7 @@ int main() {
                "construction probes / cluster"});
   for (bool valley_free : {true, false}) {
     relay::EvaluationConfig config;
+    config.metrics = run.metrics();
     config.asap.valley_free = valley_free;
     relay::AsapSelector selector(*world, config.asap,
                                  world->fork_rng(5000 + (valley_free ? 1 : 0)));

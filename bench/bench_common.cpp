@@ -24,6 +24,13 @@ BenchEnv read_env() {
   if (const char* s = std::getenv("ASAP_THREADS")) {
     env.threads = std::strtoull(s, nullptr, 10);
   }
+  if (const char* s = std::getenv("ASAP_METRICS")) {
+    std::string v = s;
+    if (!v.empty() && v != "0") {
+      env.metrics = true;
+      if (v != "1" && v != "on" && v != "true") env.metrics_dir = v;
+    }
+  }
   env.sessions = static_cast<std::size_t>(static_cast<double>(env.sessions) * env.scale);
   if (env.sessions < 100) env.sessions = 100;
   return env;
@@ -34,14 +41,26 @@ BenchEnv read_env(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       env.threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      env.metrics = true;
+      env.metrics_out = argv[++i];
     } else {
-      std::fprintf(stderr, "unknown argument: %s (supported: --threads N)\n", argv[i]);
+      std::fprintf(stderr, "unknown argument: %s (supported: --threads N, --metrics-out FILE)\n",
+                   argv[i]);
     }
   }
   return env;
 }
 
 namespace {
+
+// The run whose observer is installed; build_world/sample_sessions record
+// world-shape gauges into it. Benches are single-threaded at this level.
+BenchRun* g_active_run = nullptr;
+
+void hash_output(std::string_view bytes, void* ctx) {
+  static_cast<Fnv1a64*>(ctx)->update(bytes);
+}
 
 population::WorldParams base_params(const BenchEnv& env) {
   population::WorldParams params;
@@ -78,6 +97,63 @@ population::WorldParams small_world_params(std::uint64_t seed) {
   return params;
 }
 
+BenchRun::BenchRun(std::string name, const BenchEnv& env)
+    : name_(std::move(name)), env_(env) {
+  if (!env_.metrics) return;
+  registry_ = std::make_unique<MetricsRegistry>();
+  trace_ = std::make_unique<TraceRecorder>();
+  trace_->enable(/*sample_every=*/16);
+  set_output_observer(&hash_output, &output_hash_);
+  g_active_run = this;
+}
+
+BenchRun::~BenchRun() {
+  if (registry_ == nullptr) return;
+  g_active_run = nullptr;
+  set_output_observer(nullptr, nullptr);
+  std::string path = env_.metrics_out;
+  if (path.empty()) {
+    path = env_.metrics_dir.empty() ? name_ + ".digest.json"
+                                    : env_.metrics_dir + "/" + name_ + ".digest.json";
+  }
+  std::string digest = digest_json();
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fputs(digest.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "[digest] %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[digest] cannot write %s\n", path.c_str());
+  }
+}
+
+relay::EvaluationConfig BenchRun::eval_config() const {
+  relay::EvaluationConfig config;
+  config.threads = env_.threads;
+  config.metrics = registry_.get();
+  return config;
+}
+
+std::string BenchRun::digest_json() const {
+  // Deterministic by construction: fixed key order, integer-exact counters,
+  // round-trip doubles, no wall-clock values, and no thread count — the
+  // same run produces the same bytes on any machine with any worker count.
+  std::string out = "{\"bench\":\"" + json_escape(name_) + "\",\"schema\":1";
+  out += ",\"params\":{\"scale\":" + json_number(env_.scale);
+  out += ",\"seed\":" + std::to_string(env_.seed);
+  out += ",\"sessions\":" + std::to_string(env_.sessions) + "}";
+  out += ",\"metrics\":" + metrics_to_json(*registry_);
+  out += ",\"trace_spans\":{";
+  for (std::size_t s = 0; s < static_cast<std::size_t>(TraceSpan::kCount); ++s) {
+    if (s != 0) out += ",";
+    out += "\"" + std::string(trace_span_name(static_cast<TraceSpan>(s))) + "\":";
+    out += std::to_string(trace_->span_count(static_cast<TraceSpan>(s)));
+  }
+  out += "}";
+  out += ",\"output_fnv1a64\":\"" + output_hash_.hex() + "\"}";
+  return out;
+}
+
 std::unique_ptr<population::World> build_world(const population::WorldParams& params,
                                                const std::string& label) {
   auto start = std::chrono::steady_clock::now();
@@ -91,6 +167,16 @@ std::unique_ptr<population::World> build_world(const population::WorldParams& pa
                world->pop().host_ases().size(), world->pop().populated_clusters().size(),
                world->pop().peers().size(), world->latency_model().congested_as_count(),
                world->latency_model().broken_edge_count(), elapsed.count());
+  if (g_active_run != nullptr && g_active_run->metrics() != nullptr) {
+    MetricsRegistry& m = *g_active_run->metrics();
+    m.gauge("world." + label + ".ases").set(static_cast<double>(world->graph().as_count()));
+    m.gauge("world." + label + ".links")
+        .set(static_cast<double>(world->graph().edge_count()));
+    m.gauge("world." + label + ".peers")
+        .set(static_cast<double>(world->pop().peers().size()));
+    m.gauge("world." + label + ".clusters")
+        .set(static_cast<double>(world->pop().populated_clusters().size()));
+  }
   return world;
 }
 
@@ -104,6 +190,11 @@ SessionWorkload sample_sessions(const population::World& world, std::size_t coun
                workload.all.size(), workload.latent.size(),
                100.0 * static_cast<double>(workload.latent.size()) /
                    static_cast<double>(workload.all.size()));
+  if (g_active_run != nullptr && g_active_run->metrics() != nullptr) {
+    MetricsRegistry& m = *g_active_run->metrics();
+    m.gauge("workload.sessions").set(static_cast<double>(workload.all.size()));
+    m.gauge("workload.latent").set(static_cast<double>(workload.latent.size()));
+  }
   return workload;
 }
 

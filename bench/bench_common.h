@@ -9,6 +9,13 @@
 //   ASAP_THREADS  — evaluation worker threads (default 1; 0 = hardware
 //                   concurrency). The figure drivers also accept
 //                   `--threads N`, which overrides the environment.
+//   ASAP_METRICS  — run-digest switch. Unset or "0": off (the default; the
+//                   printed figures are byte-identical to a build without
+//                   the observability layer). "1": write
+//                   `<bench>.digest.json` into the working directory. Any
+//                   other value: treated as a directory to write the digest
+//                   into. `--metrics-out FILE` turns metrics on and names
+//                   the digest file directly.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,7 @@
 #include "population/session_gen.h"
 #include "population/world.h"
 #include "relay/evaluation.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "common/table.h"
 
@@ -29,11 +37,45 @@ struct BenchEnv {
   std::size_t sessions = 100000;
   double scale = 1.0;
   std::size_t threads = 1;  // 0 = hardware concurrency
+  bool metrics = false;     // ASAP_METRICS / --metrics-out
+  std::string metrics_out;  // explicit digest path (--metrics-out)
+  std::string metrics_dir;  // directory form of ASAP_METRICS
 };
 
 BenchEnv read_env();
-// read_env() plus command-line overrides (currently `--threads N`).
+// read_env() plus command-line overrides (`--threads N`, `--metrics-out F`).
 BenchEnv read_env(int argc, char** argv);
+
+// One bench run's observability scope. When `env.metrics` is set it owns a
+// MetricsRegistry and a TraceRecorder (sampling 1-in-16 sessions), hashes
+// every table/section the bench prints, and on destruction writes the run
+// digest: a small deterministic JSON file with the run parameters, every
+// counter/gauge/histogram, trace span counts and the FNV-1a 64 fingerprint
+// of the rendered output. `threads` is deliberately excluded from the
+// digest so it is bit-identical for any worker count — the property
+// scripts/golden.sh gates on. When metrics are off every accessor returns
+// nullptr and the bench runs exactly as before.
+class BenchRun {
+ public:
+  BenchRun(std::string name, const BenchEnv& env);
+  ~BenchRun();
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  [[nodiscard]] MetricsRegistry* metrics() { return registry_.get(); }
+  [[nodiscard]] TraceRecorder* trace() { return trace_.get(); }
+  // Default evaluation config with threads + metrics sink pre-wired.
+  [[nodiscard]] relay::EvaluationConfig eval_config() const;
+  // The digest document (also what the destructor writes), for tests.
+  [[nodiscard]] std::string digest_json() const;
+
+ private:
+  std::string name_;
+  BenchEnv env_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<TraceRecorder> trace_;
+  Fnv1a64 output_hash_;
+};
 
 // Paper evaluation world: ~6,000 ASes, 1,461 host ASes, 23,366 peers
 // ("23,366 IPs are used in all other figures").

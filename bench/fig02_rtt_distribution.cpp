@@ -13,6 +13,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("fig02_rtt_distribution", env);
   auto world = bench::build_world(bench::eval_world_params(env), "fig02");
   auto workload = bench::sample_sessions(*world, env.sessions);
 

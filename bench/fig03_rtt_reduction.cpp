@@ -11,6 +11,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("fig03_rtt_reduction", env);
   auto world = bench::build_world(bench::eval_world_params(env), "fig03");
   auto workload = bench::sample_sessions(*world, env.sessions);
   population::OneHopScanner scanner(*world);
@@ -25,7 +26,7 @@ int main() {
   }
   bench::print_section("Fig 3(a): optimal 1-hop RTT reduction rate (improved sessions)");
   {
-    Histogram hist(0.0, 1.0, 10);
+    LinearHistogram hist(0.0, 1.0, 10);
     for (double r : reductions) hist.add(r);
     Table table({"reduction rate bin", "sessions", "fraction"});
     for (std::size_t i = 0; i < hist.bins(); ++i) {

@@ -14,6 +14,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("fig06_skype_timeseries", env);
   auto world = bench::build_world(bench::eval_world_params(env), "fig06");
   auto study = bench::make_skype_study(*world);
   Rng rng = world->fork_rng(561);

@@ -13,6 +13,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("fig07_stabilization", env);
   auto world = bench::build_world(bench::eval_world_params(env), "fig07");
   auto study = bench::make_skype_study(*world);
   Rng rng = world->fork_rng(562);

@@ -10,12 +10,12 @@ using namespace asap;
 
 int main(int argc, char** argv) {
   auto env = bench::read_env(argc, argv);
+  bench::BenchRun run("fig11_12_quality_paths", env);
   auto world = bench::build_world(bench::eval_world_params(env), "fig11-12");
   auto workload = bench::sample_sessions(*world, env.sessions);
 
-  relay::EvaluationConfig config;
+  auto config = run.eval_config();
   config.include_opt = false;  // OPT does not appear in the quality-path figures
-  config.threads = env.threads;
   auto results = relay::evaluate_methods(*world, workload.latent, config);
 
   bench::print_method_summary("Fig 11: quality paths per latent session", results,

@@ -11,11 +11,11 @@ using namespace asap;
 
 int main(int argc, char** argv) {
   auto env = bench::read_env(argc, argv);
+  bench::BenchRun run("fig13_14_shortest_rtt", env);
   auto world = bench::build_world(bench::eval_world_params(env), "fig13-14");
   auto workload = bench::sample_sessions(*world, env.sessions);
 
-  relay::EvaluationConfig config;
-  config.threads = env.threads;
+  auto config = run.eval_config();
   auto results = relay::evaluate_methods(*world, workload.latent, config);
 
   bench::print_method_summary("Fig 13: shortest relay RTT per latent session (ms)", results,

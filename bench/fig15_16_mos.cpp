@@ -10,11 +10,11 @@ using namespace asap;
 
 int main(int argc, char** argv) {
   auto env = bench::read_env(argc, argv);
+  bench::BenchRun run("fig15_16_mos", env);
   auto world = bench::build_world(bench::eval_world_params(env), "fig15-16");
   auto workload = bench::sample_sessions(*world, env.sessions);
 
-  relay::EvaluationConfig config;  // defaults: G.729A+VAD, fixed 0.5% loss
-  config.threads = env.threads;
+  auto config = run.eval_config();  // defaults: G.729A+VAD, fixed 0.5% loss
   auto results = relay::evaluate_methods(*world, workload.latent, config);
 
   bench::print_method_summary("Fig 15: highest MOS per latent session", results,

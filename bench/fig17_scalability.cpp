@@ -12,12 +12,12 @@ using namespace asap;
 
 int main(int argc, char** argv) {
   auto env = bench::read_env(argc, argv);
+  bench::BenchRun run("fig17_scalability", env);
 
   auto small = bench::build_world(bench::eval_world_params(env), "fig17-base");
   auto small_sessions = bench::sample_sessions(*small, env.sessions);
-  relay::EvaluationConfig config;
+  auto config = run.eval_config();
   config.include_opt = false;
-  config.threads = env.threads;
   auto base_results = relay::evaluate_methods(*small, small_sessions.latent, config);
 
   auto big = bench::build_world(bench::scaled_world_params(env), "fig17-scaled");

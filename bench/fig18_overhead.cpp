@@ -9,12 +9,13 @@
 
 using namespace asap;
 
-int main() {
-  auto env = bench::read_env();
+int main(int argc, char** argv) {
+  auto env = bench::read_env(argc, argv);
+  bench::BenchRun run("fig18_overhead", env);
   auto world = bench::build_world(bench::eval_world_params(env), "fig18");
   auto workload = bench::sample_sessions(*world, env.sessions);
 
-  relay::EvaluationConfig config;
+  auto config = run.eval_config();
   config.include_opt = false;  // OPT is offline: no messages
   auto results = relay::evaluate_methods(*world, workload.latent, config);
 

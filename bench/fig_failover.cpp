@@ -47,9 +47,10 @@ core::AsapParams protocol_params() {
 }
 
 RateResult run_rate(const bench::BenchEnv& env, double fault_rate,
-                    std::size_t calls_target) {
+                    std::size_t calls_target, bench::BenchRun& run) {
   auto world = bench::build_world(bench::small_world_params(env.seed), "fig_failover");
-  core::AsapSystem system(*world, protocol_params(), 2);
+  core::AsapSystem system(*world, protocol_params(), 2, run.metrics());
+  system.set_trace(run.trace());
   system.join_all();
 
   Rng rng = world->fork_rng(4242);
@@ -98,9 +99,11 @@ RateResult run_rate(const bench::BenchEnv& env, double fault_rate,
   return result;
 }
 
-void run_loss_bursts(const bench::BenchEnv& env, std::size_t calls_target) {
+void run_loss_bursts(const bench::BenchEnv& env, std::size_t calls_target,
+                     bench::BenchRun& run) {
   auto world = bench::build_world(bench::small_world_params(env.seed), "loss_bursts");
-  core::AsapSystem system(*world, protocol_params(), 2);
+  core::AsapSystem system(*world, protocol_params(), 2, run.metrics());
+  system.set_trace(run.trace());
   system.join_all();
   Rng rng = world->fork_rng(4242);
   auto sessions = population::generate_sessions(*world, 4000, rng);
@@ -145,6 +148,7 @@ void run_loss_bursts(const bench::BenchEnv& env, std::size_t calls_target) {
 
 int main(int argc, char** argv) {
   auto env = bench::read_env(argc, argv);
+  bench::BenchRun run("fig_failover", env);
   // Protocol-level calls are far heavier than the algorithmic evaluation;
   // scale the per-rate call budget down from the session knob.
   std::size_t calls_target = std::clamp<std::size_t>(env.sessions / 2000, 10, 200);
@@ -152,7 +156,7 @@ int main(int argc, char** argv) {
   bench::print_section("Failover sweep: deterministic active-relay crash rates");
   std::vector<RateResult> swept;
   for (double rate : {0.0, 0.25, 0.5, 1.0}) {
-    swept.push_back(run_rate(env, rate, calls_target));
+    swept.push_back(run_rate(env, rate, calls_target, run));
   }
 
   Table table({"fault rate", "relayed calls", "faulted", "recovered", "gave up",
@@ -191,6 +195,6 @@ int main(int argc, char** argv) {
                 r.control_faulted.count() ? faulted - clean : 0.0, r.probes.mean());
   }
 
-  run_loss_bursts(env, calls_target);
+  run_loss_bursts(env, calls_target, run);
   return 0;
 }

@@ -30,6 +30,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("micro_oracle_query", env);
   auto world = bench::build_world(bench::eval_world_params(env), "micro-oracle");
   // Enough sessions to dominate timer noise but keep the scalar pass short.
   std::size_t session_count = std::min<std::size_t>(env.sessions, 2000);

@@ -35,6 +35,7 @@ bool identical(const std::vector<relay::MethodResults>& a,
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("micro_parallel_eval", env);
   auto world = bench::build_world(bench::eval_world_params(env), "micro-parallel");
   auto workload = bench::sample_sessions(*world, env.sessions);
   const auto& sessions = workload.latent;
@@ -58,6 +59,7 @@ int main() {
   bool all_identical = true;
   for (std::size_t t = 0; t < std::size(thread_counts); ++t) {
     relay::EvaluationConfig config;
+    config.metrics = run.metrics();
     config.include_opt = false;  // the online methods; OPT is offline
     config.threads = thread_counts[t];
     auto start = std::chrono::steady_clock::now();

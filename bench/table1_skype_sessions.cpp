@@ -10,6 +10,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("table1_skype_sessions", env);
   auto world = bench::build_world(bench::eval_world_params(env), "table1");
   auto study = bench::make_skype_study(*world);
 

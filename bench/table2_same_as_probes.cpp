@@ -14,6 +14,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("table2_same_as_probes", env);
   auto world = bench::build_world(bench::eval_world_params(env), "table2");
   auto study = bench::make_skype_study(*world);
   Rng rng = world->fork_rng(563);

@@ -12,6 +12,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("table_nat_connectivity", env);
   auto params = bench::eval_world_params(env);
   params.pop.nat_enabled = true;
   auto world = bench::build_world(params, "nat");
@@ -58,6 +59,7 @@ int main() {
     if (blocked_sessions.size() >= 400) break;
   }
   relay::EvaluationConfig config;
+  config.metrics = run.metrics();
   config.include_opt = false;
   auto results = relay::evaluate_methods(*world, blocked_sessions, config);
 

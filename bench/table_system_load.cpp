@@ -16,6 +16,7 @@ using namespace asap;
 
 int main() {
   auto env = bench::read_env();
+  bench::BenchRun run("table_system_load", env);
   auto world = bench::build_world(bench::eval_world_params(env), "sysload");
   const auto& pop = world->pop();
 

@@ -1,40 +1,75 @@
 #!/usr/bin/env sh
 # Tier-1 gate plus sanitizer passes over the concurrency/robustness tests.
 #
-#   scripts/check.sh [build-dir-prefix]
+#   scripts/check.sh [--mode release|asan|tsan|all] [build-dir-prefix]
 #
-# 1. <prefix>        — default config, full ctest suite (the tier-1 gate)
-# 2. <prefix>-asan   — -DASAP_SANITIZE=address, failover/churn/concurrency tests
-# 3. <prefix>-tsan   — -DASAP_SANITIZE=thread, the same subset
+#   release — default config, full ctest suite (the tier-1 gate)
+#   asan    — -DASAP_SANITIZE=address, the `sanitize`-labeled tests
+#   tsan    — -DASAP_SANITIZE=thread, the same label
+#   all     — the three passes in sequence (the default)
 #
 # The sanitizer passes rerun the tests that exercise timers, fault injection
-# and shared caches, where lifetime and data-race bugs would hide.
+# and shared caches, where lifetime and data-race bugs would hide; the
+# subset is selected structurally via `ctest -L sanitize` (the label set in
+# tests/CMakeLists.txt), not by test-name regex.
+#
+# Environment:
+#   ASAP_WERROR=1       — configure every pass with -DASAP_WERROR=ON
+#   CMAKE_CXX_COMPILER_LAUNCHER=ccache — forwarded when set (CI cache)
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+MODE=all
+case "${1:-}" in
+  --mode)
+    MODE=$2
+    shift 2
+    ;;
+esac
+case "$MODE" in
+  release|asan|tsan|all) ;;
+  *)
+    echo "unknown mode: $MODE (release|asan|tsan|all)" >&2
+    exit 2
+    ;;
+esac
 PREFIX=${1:-"$ROOT/build-check"}
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
-SUBSET='Failover|FaultPlan|Churn|Concurrenc|ThreadPool|EventQueue'
+
+EXTRA_FLAGS=""
+if [ "${ASAP_WERROR:-0}" = "1" ]; then
+  EXTRA_FLAGS="-DASAP_WERROR=ON"
+fi
+if [ -n "${CMAKE_CXX_COMPILER_LAUNCHER:-}" ]; then
+  EXTRA_FLAGS="$EXTRA_FLAGS -DCMAKE_CXX_COMPILER_LAUNCHER=${CMAKE_CXX_COMPILER_LAUNCHER}"
+fi
 
 run_pass() {
   dir=$1
   shift
   echo "== configure $dir ($*)"
-  cmake -S "$ROOT" -B "$dir" "$@" >/dev/null
+  # shellcheck disable=SC2086 — EXTRA_FLAGS is a flag list by construction
+  cmake -S "$ROOT" -B "$dir" $EXTRA_FLAGS "$@" >/dev/null
   echo "== build $dir"
   cmake --build "$dir" -j "$JOBS" >/dev/null
 }
 
-run_pass "$PREFIX"
-echo "== tier-1: full test suite"
-ctest --test-dir "$PREFIX" --output-on-failure
+if [ "$MODE" = "release" ] || [ "$MODE" = "all" ]; then
+  run_pass "$PREFIX"
+  echo "== tier-1: full test suite"
+  ctest --test-dir "$PREFIX" --output-on-failure
+fi
 
-run_pass "$PREFIX-asan" -DASAP_SANITIZE=address
-echo "== asan: $SUBSET"
-ctest --test-dir "$PREFIX-asan" -R "$SUBSET" --output-on-failure
+if [ "$MODE" = "asan" ] || [ "$MODE" = "all" ]; then
+  run_pass "$PREFIX-asan" -DASAP_SANITIZE=address
+  echo "== asan: ctest -L sanitize"
+  ctest --test-dir "$PREFIX-asan" -L sanitize --output-on-failure
+fi
 
-run_pass "$PREFIX-tsan" -DASAP_SANITIZE=thread
-echo "== tsan: $SUBSET"
-ctest --test-dir "$PREFIX-tsan" -R "$SUBSET" --output-on-failure
+if [ "$MODE" = "tsan" ] || [ "$MODE" = "all" ]; then
+  run_pass "$PREFIX-tsan" -DASAP_SANITIZE=thread
+  echo "== tsan: ctest -L sanitize"
+  ctest --test-dir "$PREFIX-tsan" -L sanitize --output-on-failure
+fi
 
-echo "== all checks passed"
+echo "== checks passed (mode: $MODE)"

@@ -1,0 +1,90 @@
+#!/usr/bin/env sh
+# Golden run-digest gate.
+#
+#   scripts/golden.sh [--refresh] [build-dir]
+#
+# Runs the figure benches at a small deterministic scale (ASAP_SCALE=0.05,
+# one worker thread) with run digests enabled, merges the per-bench digest
+# files into one JSON document, and fails when it drifts from the committed
+# tests/golden/digests.json. Every value in a digest is deterministic —
+# counters, fixed-point histogram sums and the FNV-1a fingerprint of the
+# rendered tables; no wall-clock times and no thread count — so any diff is
+# a real behaviour change, not noise.
+#
+# After an intentional change, refresh with:
+#
+#   scripts/golden.sh --refresh
+#
+# and commit the updated tests/golden/digests.json with the change itself.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+REFRESH=0
+if [ "${1:-}" = "--refresh" ]; then
+  REFRESH=1
+  shift
+fi
+BUILD=${1:-"$ROOT/build"}
+GOLDEN="$ROOT/tests/golden/digests.json"
+BENCHES="fig11_12_quality_paths fig13_14_shortest_rtt fig15_16_mos \
+fig17_scalability fig18_overhead fig_failover"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "no bench binaries under $BUILD — build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 2
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+for b in $BENCHES; do
+  echo "== $b"
+  ASAP_SCALE=0.05 ASAP_THREADS=1 ASAP_METRICS="$TMP" "$BUILD/bench/$b" \
+    >/dev/null 2>"$TMP/$b.err" || {
+    echo "bench $b failed:" >&2
+    cat "$TMP/$b.err" >&2
+    exit 1
+  }
+done
+
+# Merge the digests verbatim (no JSON re-serialization, so the merged bytes
+# are exactly as deterministic as the digests themselves).
+{
+  printf '{\n'
+  first=1
+  for b in $BENCHES; do
+    [ $first -eq 0 ] && printf ',\n'
+    first=0
+    printf '"%s": ' "$b"
+    tr -d '\n' < "$TMP/$b.digest.json"
+  done
+  printf '\n}\n'
+} > "$TMP/digests.json"
+
+# CI uploads the run's digests as build artifacts; point ASAP_GOLDEN_KEEP at
+# a directory to keep a copy of the per-bench and merged digest files.
+if [ -n "${ASAP_GOLDEN_KEEP:-}" ]; then
+  mkdir -p "$ASAP_GOLDEN_KEEP"
+  cp "$TMP"/*.digest.json "$TMP/digests.json" "$ASAP_GOLDEN_KEEP"/
+fi
+
+if [ "$REFRESH" = "1" ]; then
+  mkdir -p "$(dirname "$GOLDEN")"
+  cp "$TMP/digests.json" "$GOLDEN"
+  echo "== refreshed $GOLDEN"
+  exit 0
+fi
+
+if [ ! -f "$GOLDEN" ]; then
+  echo "missing $GOLDEN — generate it with scripts/golden.sh --refresh" >&2
+  exit 1
+fi
+
+if cmp -s "$GOLDEN" "$TMP/digests.json"; then
+  echo "== golden digests match"
+else
+  echo "== golden digest drift:" >&2
+  diff -u "$GOLDEN" "$TMP/digests.json" >&2 || true
+  echo "if the change is intentional: scripts/golden.sh --refresh" >&2
+  exit 1
+fi

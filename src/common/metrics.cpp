@@ -1,0 +1,246 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace asap {
+
+void Histogram::observe(double v) const {
+  if (cell_ == nullptr) return;
+  const auto& bounds = cell_->bounds;
+  std::size_t i = std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin();
+  cell_->buckets[i].fetch_add(1, std::memory_order_relaxed);
+  cell_->count.fetch_add(1, std::memory_order_relaxed);
+  // Fixed-point accumulation: integer adds commute exactly, so the exported
+  // sum is identical for any worker interleaving.
+  cell_->sum_milli.fetch_add(std::llround(v * 1000.0), std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  return cell_ == nullptr ? 0 : cell_->count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  if (cell_ == nullptr || i >= cell_->buckets.size()) return 0;
+  return cell_->buckets[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  if (cell_ == nullptr) return 0.0;
+  return static_cast<double>(cell_->sum_milli.load(std::memory_order_relaxed)) / 1000.0;
+}
+
+const std::vector<double>* Histogram::bounds() const {
+  return cell_ == nullptr ? nullptr : &cell_->bounds;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_by_name_.find(name);
+  if (it == counters_by_name_.end()) {
+    counter_cells_.emplace_back(0);
+    it = counters_by_name_.emplace(std::string(name), &counter_cells_.back()).first;
+  }
+  return Counter(it->second);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_by_name_.find(name);
+  if (it == gauges_by_name_.end()) {
+    gauge_cells_.emplace_back(0.0);
+    it = gauges_by_name_.emplace(std::string(name), &gauge_cells_.back()).first;
+  }
+  return Gauge(it->second);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  assert(std::is_sorted(bounds.begin(), bounds.end()));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_by_name_.find(name);
+  if (it == histograms_by_name_.end()) {
+    histogram_cells_.emplace_back();
+    Histogram::Cell& cell = histogram_cells_.back();
+    cell.bounds = std::move(bounds);
+    // buckets are atomics: size the deque in place, one per bound + overflow.
+    for (std::size_t i = 0; i < cell.bounds.size() + 1; ++i) cell.buckets.emplace_back(0);
+    it = histograms_by_name_.emplace(std::string(name), &cell).first;
+  }
+  return Histogram(it->second);
+}
+
+std::uint64_t MetricsRegistry::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_by_name_.find(name);
+  if (it == counters_by_name_.end()) return 0;
+  return it->second->load(std::memory_order_relaxed);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& cell : counter_cells_) cell.store(0, std::memory_order_relaxed);
+  for (auto& cell : gauge_cells_) cell.store(0.0, std::memory_order_relaxed);
+  for (auto& cell : histogram_cells_) {
+    for (auto& bucket : cell.buckets) bucket.store(0, std::memory_order_relaxed);
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum_milli.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_by_name_.size());
+  for (const auto& [name, cell] : counters_by_name_) {
+    out.emplace_back(name, cell->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_by_name_.size());
+  for (const auto& [name, cell] : gauges_by_name_) {
+    out.emplace_back(name, cell->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral values print without a fraction; everything else with enough
+  // digits to round-trip, so equal doubles always print equal strings.
+  if (v == std::floor(v) && std::abs(v) < 1.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, cell] : counters_by_name_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << cell->load(std::memory_order_relaxed);
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, cell] : gauges_by_name_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name)
+        << "\":" << json_number(cell->load(std::memory_order_relaxed));
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, cell] : histograms_by_name_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < cell->bounds.size(); ++i) {
+      if (i > 0) out << ',';
+      out << json_number(cell->bounds[i]);
+    }
+    out << "],\"buckets\":[";
+    for (std::size_t i = 0; i < cell->buckets.size(); ++i) {
+      if (i > 0) out << ',';
+      out << cell->buckets[i].load(std::memory_order_relaxed);
+    }
+    out << "],\"count\":" << cell->count.load(std::memory_order_relaxed)
+        << ",\"sum_milli\":" << cell->sum_milli.load(std::memory_order_relaxed) << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string metrics_to_json(const MetricsRegistry& registry) { return registry.to_json(); }
+
+std::string_view trace_span_name(TraceSpan span) {
+  switch (span) {
+    case TraceSpan::kCallStart: return "call-start";
+    case TraceSpan::kProbeSent: return "probe-sent";
+    case TraceSpan::kProbeAnswered: return "probe-answered";
+    case TraceSpan::kRelaySelected: return "relay-selected";
+    case TraceSpan::kKeepaliveGap: return "keepalive-gap";
+    case TraceSpan::kFailoverRound: return "failover-round";
+    case TraceSpan::kRouteSwitch: return "route-switch";
+    case TraceSpan::kFaultInjected: return "fault-injected";
+    case TraceSpan::kCallEnd: return "call-end";
+    case TraceSpan::kCount: break;
+  }
+  return "?";
+}
+
+std::size_t TraceRecorder::span_count(TraceSpan span) const {
+  std::size_t n = 0;
+  for (const auto& event : events_) {
+    if (event.span == span) ++n;
+  }
+  return n;
+}
+
+std::string trace_to_json(const TraceRecorder& recorder) {
+  std::ostringstream out;
+  out << "{\"events\":[";
+  bool first = true;
+  for (const auto& event : recorder.events()) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"t_ms\":" << json_number(event.t_ms) << ",\"span\":\""
+        << trace_span_name(event.span) << "\",\"session\":" << event.session
+        << ",\"a\":" << event.a << ",\"b\":" << event.b << '}';
+  }
+  out << "],\"span_counts\":{";
+  first = true;
+  for (std::size_t s = 0; s < static_cast<std::size_t>(TraceSpan::kCount); ++s) {
+    std::size_t n = recorder.span_count(static_cast<TraceSpan>(s));
+    if (n == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << trace_span_name(static_cast<TraceSpan>(s)) << "\":" << n;
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string Fnv1a64::hex() const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(hash_));
+  return buf;
+}
+
+}  // namespace asap

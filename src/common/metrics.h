@@ -1,0 +1,260 @@
+// Structured observability: counters, gauges, fixed-bucket histograms and
+// per-session trace spans, with deterministic JSON export.
+//
+// Design (DESIGN.md §9):
+//  - A MetricsRegistry is an instance, never a global: whoever owns a run
+//    (AsapSystem, a bench harness, a test) owns its registry and wires it
+//    down explicitly. Layers that take no registry record nothing.
+//  - Handles (Counter/Gauge/Histogram) are registered once, up front, and
+//    are plain pointers into registry-owned cells: the hot path is a single
+//    relaxed atomic add — no map lookup, no lock. A default-constructed
+//    handle is detached and every operation on it is a no-op, so call sites
+//    never branch on "metrics enabled".
+//  - Everything recorded is order-independent (integer atomic adds;
+//    histogram sums kept in fixed-point milli-units), so a multi-threaded
+//    run exports byte-identical JSON for any thread count — the property
+//    the golden run digests gate on in CI.
+//  - TraceRecorder captures timestamped span events for 1-in-N sessions.
+//    It is single-threaded by design (the protocol simulation is a
+//    discrete-event loop) and compiles to a no-op when ASAP_DISABLE_TRACING
+//    is defined (-DASAP_DISABLE_TRACING, CMake option of the same name).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+
+namespace asap {
+
+class MetricsRegistry;
+
+// Monotonic event count. Detached (default-constructed) handles no-op.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t by) const {
+    if (cell_ != nullptr) cell_->fetch_add(by, std::memory_order_relaxed);
+  }
+  void inc() const { add(1); }
+  [[nodiscard]] std::uint64_t value() const {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool attached() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
+// Last-written (or running-max) level, e.g. a queue depth high-water mark.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(double v) const {
+    if (cell_ != nullptr) cell_->store(v, std::memory_order_relaxed);
+  }
+  // Raises the gauge to `v` if `v` is larger (atomic running maximum).
+  void max_of(double v) const {
+    if (cell_ == nullptr) return;
+    double cur = cell_->load(std::memory_order_relaxed);
+    while (v > cur &&
+           !cell_->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return cell_ == nullptr ? 0.0 : cell_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool attached() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<double>* cell) : cell_(cell) {}
+  std::atomic<double>* cell_ = nullptr;
+};
+
+// Fixed-bucket distribution. Bucket i counts observations <= bounds[i]; one
+// implicit overflow bucket catches the rest. The running sum is kept in
+// integer milli-units so concurrent observation order cannot change the
+// exported value (floating-point addition does not commute bitwise).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void observe(double v) const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;  // incl. overflow
+  [[nodiscard]] double sum() const;  // milli-unit sum scaled back
+  [[nodiscard]] const std::vector<double>* bounds() const;
+  [[nodiscard]] bool attached() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  struct Cell;
+  explicit Histogram(Cell* cell) : cell_(cell) {}
+  Cell* cell_ = nullptr;
+};
+
+// Handle factory + storage. Registration (by name) takes a lock and is meant
+// for setup paths; the returned handles are lock-free. Re-registering a name
+// returns the existing cell, so independent subsystems can share series.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  // `bounds` must be strictly ascending; a histogram name keeps the bounds
+  // it was first registered with.
+  Histogram histogram(std::string_view name, std::vector<double> bounds);
+
+  // String-keyed convenience API (kept for the sim-layer tests and one-off
+  // call sites; registers on first use — not for hot paths).
+  void increment(const std::string& name, std::uint64_t by = 1) {
+    counter(name).add(by);
+  }
+  [[nodiscard]] std::uint64_t value(const std::string& name) const;
+
+  // Zeroes every cell; registrations (and handed-out handles) stay valid.
+  void reset();
+
+  // Deterministic export: objects sorted by name, integer-exact counters,
+  // gauges/bounds printed with round-trip precision.
+  [[nodiscard]] std::string to_json() const;
+
+  // Sorted (name, value) snapshots, for digests and tests.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
+
+ private:
+  friend class Histogram;
+
+  mutable std::mutex mu_;
+  // deques: cell addresses must survive future registrations.
+  std::deque<std::atomic<std::uint64_t>> counter_cells_;
+  std::deque<std::atomic<double>> gauge_cells_;
+  std::deque<Histogram::Cell> histogram_cells_;
+  std::map<std::string, std::atomic<std::uint64_t>*, std::less<>> counters_by_name_;
+  std::map<std::string, std::atomic<double>*, std::less<>> gauges_by_name_;
+  std::map<std::string, Histogram::Cell*, std::less<>> histograms_by_name_;
+};
+
+struct Histogram::Cell {
+  std::vector<double> bounds;                        // ascending upper bounds
+  std::deque<std::atomic<std::uint64_t>> buckets;    // bounds.size() + 1
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::int64_t> sum_milli{0};
+};
+
+[[nodiscard]] std::string metrics_to_json(const MetricsRegistry& registry);
+
+// Escapes `s` for inclusion in a JSON string literal (no surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+// Round-trip double formatting used by every JSON emitter in the repo, so
+// digests never differ by formatting.
+[[nodiscard]] std::string json_number(double v);
+
+// --- Trace spans ------------------------------------------------------------
+
+enum class TraceSpan : std::uint8_t {
+  kCallStart = 0,
+  kProbeSent,
+  kProbeAnswered,
+  kRelaySelected,
+  kKeepaliveGap,
+  kFailoverRound,
+  kRouteSwitch,
+  kFaultInjected,
+  kCallEnd,
+  kCount,
+};
+
+[[nodiscard]] std::string_view trace_span_name(TraceSpan span);
+
+struct TraceEvent {
+  Millis t_ms = 0.0;  // simulated time
+  TraceSpan span = TraceSpan::kCallStart;
+  std::uint32_t session = 0;
+  // Span-specific operands (relay/host id, rtt in micro-ms, ...); meaning is
+  // documented at the record site.
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+// Per-session span timeline with 1-in-N session sampling. Not thread-safe:
+// one recorder belongs to one single-threaded simulation loop.
+class TraceRecorder {
+ public:
+#ifdef ASAP_DISABLE_TRACING
+  static constexpr bool kCompiledIn = false;
+#else
+  static constexpr bool kCompiledIn = true;
+#endif
+
+  // Record sessions whose id is a multiple of `sample_every` (1 = all).
+  void enable(std::uint32_t sample_every = 1) {
+    if constexpr (!kCompiledIn) return;
+    enabled_ = true;
+    sample_every_ = sample_every == 0 ? 1 : sample_every;
+  }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return kCompiledIn && enabled_; }
+
+  // Whether events of `session` should be recorded (the sampling gate;
+  // callers cache this per session).
+  [[nodiscard]] bool sampled(std::uint32_t session) const {
+    if constexpr (!kCompiledIn) return false;
+    return enabled_ && session % sample_every_ == 0;
+  }
+
+  void record(std::uint32_t session, TraceSpan span, Millis t_ms, std::uint64_t a = 0,
+              std::uint64_t b = 0) {
+    if constexpr (!kCompiledIn) return;
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{t_ms, span, session, a, b});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t span_count(TraceSpan span) const;
+  void clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::uint32_t sample_every_ = 1;
+  std::vector<TraceEvent> events_;
+};
+
+[[nodiscard]] std::string trace_to_json(const TraceRecorder& recorder);
+
+// --- Output digesting -------------------------------------------------------
+
+// FNV-1a 64-bit running hash; the run digests use it to fingerprint the
+// rendered bench output (tables and section banners).
+class Fnv1a64 {
+ public:
+  void update(std::string_view bytes) {
+    for (unsigned char c : bytes) {
+      hash_ ^= c;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+  // "0x"-prefixed lower-case hex, fixed width.
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace asap

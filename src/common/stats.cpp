@@ -73,12 +73,12 @@ double fraction_at_most(const std::vector<double>& values, double threshold) {
   return 1.0 - fraction_above(values, threshold);
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   assert(hi > lo && bins > 0);
 }
 
-void Histogram::add(double x) {
+void LinearHistogram::add(double x) {
   double frac = (x - lo_) / (hi_ - lo_);
   auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
   idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
@@ -86,11 +86,11 @@ void Histogram::add(double x) {
   ++total_;
 }
 
-double Histogram::bin_lo(std::size_t i) const {
+double LinearHistogram::bin_lo(std::size_t i) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
 }
 
-double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+double LinearHistogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
 
 LogHistogram::LogHistogram(double lo, double ratio, std::size_t bins)
     : lo_(lo), ratio_(ratio), counts_(bins, 0) {

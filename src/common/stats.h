@@ -50,9 +50,9 @@ double fraction_above(const std::vector<double>& values, double threshold);
 double fraction_at_most(const std::vector<double>& values, double threshold);
 
 // Fixed-bin histogram over [lo, hi); values outside clamp to edge bins.
-class Histogram {
+class LinearHistogram {
  public:
-  Histogram(double lo, double hi, std::size_t bins);
+  LinearHistogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
   [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_[i]; }

@@ -1,5 +1,6 @@
 #include "common/table.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -53,11 +54,33 @@ std::string Table::render() const {
   return out.str();
 }
 
-void Table::print() const { std::fputs(render().c_str(), stdout); }
+namespace {
+OutputObserver g_observer = nullptr;
+void* g_observer_ctx = nullptr;
+
+void observe(std::string_view bytes) {
+  if (g_observer != nullptr) g_observer(bytes, g_observer_ctx);
+}
+}  // namespace
+
+void set_output_observer(OutputObserver fn, void* ctx) {
+  g_observer = fn;
+  g_observer_ctx = ctx;
+}
+
+void Table::print() const {
+  std::string rendered = render();
+  std::fputs(rendered.c_str(), stdout);
+  observe(rendered);
+}
 
 void print_section(const std::string& title) {
   std::string bar(title.size() + 8, '=');
-  std::printf("\n%s\n=== %s ===\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
+  char buf[256];
+  int n = std::snprintf(buf, sizeof buf, "\n%s\n=== %s ===\n%s\n", bar.c_str(),
+                        title.c_str(), bar.c_str());
+  std::fputs(buf, stdout);
+  if (n > 0) observe(std::string_view(buf, std::min<std::size_t>(n, sizeof buf - 1)));
 }
 
 }  // namespace asap

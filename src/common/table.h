@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace asap {
@@ -32,5 +33,13 @@ class Table {
 
 // Prints a titled section banner around bench output blocks.
 void print_section(const std::string& title);
+
+// Observer over the rendered bench output. When set, every Table::print()
+// and print_section() also feeds the exact bytes it wrote to stdout to `fn`
+// — the run digests hash this stream to fingerprint a bench's figures
+// without touching what gets printed. Pass nullptr to detach. Not
+// thread-safe; benches print from one thread.
+using OutputObserver = void (*)(std::string_view bytes, void* ctx);
+void set_output_observer(OutputObserver fn, void* ctx);
 
 }  // namespace asap

@@ -8,6 +8,57 @@
 
 namespace asap::core {
 
+std::string_view wire_kind_name(std::size_t variant_index) {
+  // Order matches the ProtocolPayload variant declaration.
+  static constexpr std::string_view kNames[] = {
+      "join_request",      "join_reply",     "close_set_request",
+      "close_set_reply",   "publish_info",   "surrogate_failure_report",
+      "surrogate_update",  "probe",          "probe_reply",
+      "call_setup",        "call_accept",    "voice_packet",
+      "relay_failure_notice"};
+  static_assert(std::size(kNames) == std::variant_size_v<ProtocolPayload>);
+  return variant_index < std::size(kNames) ? kNames[variant_index] : "?";
+}
+
+ProtocolCounters::ProtocolCounters(MetricsRegistry& registry)
+    : close_sets_built(registry.counter("surrogate.close_sets_built")),
+      construction_probes(registry.counter("surrogate.construction_probes")),
+      surrogate_failures_injected(registry.counter("surrogate.failures_injected")),
+      host_failures_injected(registry.counter("host.failures_injected")),
+      host_recoveries(registry.counter("host.recoveries")),
+      active_relay_crashes(registry.counter("fault.active_relay_crashes")),
+      loss_bursts(registry.counter("fault.loss_bursts")),
+      burst_voice_drops(registry.counter("fault.burst_voice_drops")),
+      fault_events_applied(registry.counter("fault.events_applied")),
+      close_set_giveups(registry.counter("host.close_set_giveups")),
+      surrogate_timeouts(registry.counter("host.surrogate_timeouts")),
+      surrogates_elected(registry.counter("bootstrap.surrogates_elected")),
+      publishes_received(registry.counter("surrogate.publishes_received")),
+      probes_sent(registry.counter("probe.sent")),
+      probes_answered(registry.counter("probe.answered")),
+      probe_timeouts(registry.counter("probe.timeouts")),
+      gaps_detected(registry.counter("failover.gaps_detected")),
+      notices_received(registry.counter("failover.notices_received")),
+      failover_probes(registry.counter("failover.probes")),
+      dead_backups(registry.counter("failover.dead_backups")),
+      switchovers(registry.counter("failover.switchovers")),
+      backoffs(registry.counter("failover.backoffs")),
+      close_set_refreshes(registry.counter("failover.close_set_refreshes")),
+      giveups(registry.counter("failover.giveups")),
+      queue_peak_depth(registry.gauge("sim.queue_peak_depth")),
+      setup_time_ms(registry.histogram(
+          "call.setup_time_ms", {50.0, 100.0, 200.0, 300.0, 500.0, 1000.0, 2000.0, 5000.0})),
+      failover_latency_ms(registry.histogram(
+          "failover.latency_ms", {100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0})),
+      mos_pre_fault(registry.histogram("voip.mos_pre_fault",
+                                       {1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5})),
+      mos_post_failover(registry.histogram("voip.mos_post_failover",
+                                           {1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5})) {
+  for (std::size_t k = 0; k < wire_by_kind.size(); ++k) {
+    wire_by_kind[k] = registry.counter("wire." + std::string(wire_kind_name(k)));
+  }
+}
+
 // State machine of one in-flight call, driven by message handlers.
 struct AsapSystem::ActiveCall {
   SessionId session;
@@ -19,6 +70,7 @@ struct AsapSystem::ActiveCall {
 
   CallOutcome outcome;
   bool done = false;
+  bool traced = false;  // trace sampling gate, fixed at call start
 
   // Relay candidate probing.
   struct Candidate {
@@ -80,9 +132,11 @@ struct AsapSystem::ActiveCall {
 };
 
 AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
-                       std::size_t bootstrap_count)
+                       std::size_t bootstrap_count, MetricsRegistry* metrics)
     : world_(world), params_(params), net_(queue_, world.oracle()),
-      fault_rng_(world.fork_rng(0xFA177)) {
+      owned_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
+      metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
+      counters_(*metrics_), fault_rng_(world.fork_rng(0xFA177)) {
   net_.set_payload_sizer([](const ProtocolPayload& p) {
     return wire::encoded_size(p) + wire::kPacketOverheadBytes;
   });
@@ -91,8 +145,10 @@ AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
   // inside a burst, so fault-free runs draw nothing and stay bit-identical
   // to pre-fault-injection behaviour.
   net_.set_drop_fn([this](NodeId, NodeId, sim::MessageCategory cat) {
-    return cat == sim::MessageCategory::kVoice && voice_drop_p_ > 0.0 &&
-           fault_rng_.chance(voice_drop_p_);
+    bool drop = cat == sim::MessageCategory::kVoice && voice_drop_p_ > 0.0 &&
+                fault_rng_.chance(voice_drop_p_);
+    if (drop) counters_.burst_voice_drops.inc();
+    return drop;
   });
   const auto& pop = world_.pop();
   hosts_.resize(pop.peers().size());
@@ -140,17 +196,24 @@ bool AsapSystem::is_surrogate_of(ClusterId c, NodeId node) const {
 void AsapSystem::send(NodeId from, NodeId to, sim::MessageCategory cat,
                       ProtocolPayload payload) {
   if (!to.valid()) return;
+  counters_.wire_by_kind[payload.index()].inc();
   net_.send(from, to, cat, std::move(payload));
 }
 
 void AsapSystem::send_probe(NodeId from, NodeId to, std::function<void(Millis)> on_reply) {
   std::uint64_t token = next_token_++;
+  counters_.probes_sent.inc();
+  if (trace_ && active_call_ && active_call_->traced) {
+    trace_->record(active_call_->session.value(), TraceSpan::kProbeSent, queue_.now(),
+                   to.value(), token);
+  }
   pending_probes_[token] = PendingProbe{std::move(on_reply), queue_.now(), false};
   send(from, to, sim::MessageCategory::kProbe, Probe{token});
   queue_.after(params_.probe_timeout_ms, [this, token]() {
     auto it = pending_probes_.find(token);
     if (it == pending_probes_.end() || it->second.done) return;
     it->second.done = true;
+    counters_.probe_timeouts.inc();
     auto cb = std::move(it->second.on_reply);
     pending_probes_.erase(it);
     cb(kUnreachableMs);
@@ -162,8 +225,8 @@ std::shared_ptr<const CloseClusterSet> AsapSystem::surrogate_close_set(ClusterId
   if (!slot) {
     slot = std::make_shared<CloseClusterSet>(
         construct_close_cluster_set(world_, c, params_));
-    metrics_.increment("surrogate.close_sets_built");
-    metrics_.increment("surrogate.construction_probes", slot->probe_messages);
+    counters_.close_sets_built.inc();
+    counters_.construction_probes.add(slot->probe_messages);
   }
   return slot;
 }
@@ -182,18 +245,18 @@ void AsapSystem::fail_surrogate(ClusterId c) {
   NodeId s = surrogate_node(c);
   if (!s.valid()) return;
   hosts_[s.value()].alive = false;
-  metrics_.increment("surrogate.failures_injected");
+  counters_.surrogate_failures_injected.inc();
 }
 
 void AsapSystem::fail_host(HostId h) {
   hosts_[h.value()].alive = false;
-  metrics_.increment("host.failures_injected");
+  counters_.host_failures_injected.inc();
 }
 
 void AsapSystem::recover_host(HostId h) {
   if (hosts_[h.value()].alive) return;
   hosts_[h.value()].alive = true;
-  metrics_.increment("host.recoveries");
+  counters_.host_recoveries.inc();
 }
 
 void AsapSystem::arm_fault_plan(const sim::FaultPlan& plan) {
@@ -206,6 +269,11 @@ void AsapSystem::arm_fault_plan(const sim::FaultPlan& plan) {
 }
 
 void AsapSystem::apply_fault(const sim::FaultEvent& event) {
+  counters_.fault_events_applied.inc();
+  if (trace_ && active_call_ && active_call_->traced) {
+    trace_->record(active_call_->session.value(), TraceSpan::kFaultInjected,
+                   queue_.now(), static_cast<std::uint64_t>(event.kind), event.target);
+  }
   switch (event.kind) {
     case sim::FaultKind::kHostCrash:
       if (event.target < hosts_.size()) fail_host(HostId(event.target));
@@ -217,7 +285,7 @@ void AsapSystem::apply_fault(const sim::FaultEvent& event) {
       // Immediate form (deferred events are armed per call in begin_voice).
       if (active_call_ && !active_call_->route.empty()) {
         fail_host(HostId(active_call_->route.front().value()));
-        metrics_.increment("fault.active_relay_crashes");
+        counters_.active_relay_crashes.inc();
       }
       break;
     case sim::FaultKind::kHostRecovery:
@@ -225,7 +293,7 @@ void AsapSystem::apply_fault(const sim::FaultEvent& event) {
       break;
     case sim::FaultKind::kLossBurstStart:
       voice_drop_p_ = event.loss;
-      metrics_.increment("fault.loss_bursts");
+      counters_.loss_bursts.inc();
       break;
     case sim::FaultKind::kLossBurstEnd:
       voice_drop_p_ = 0.0;
@@ -261,12 +329,12 @@ void AsapSystem::start_close_set_fetch(HostId host) {
     // Timeout: the surrogate is gone. Report to a bootstrap; it elects a
     // replacement and tells us. Retry (bounded), then give up degraded.
     if (s.close_set_retries >= 3) {
-      metrics_.increment("host.close_set_giveups");
+      counters_.close_set_giveups.inc();
       deliver_close_set(host);
       return;
     }
     ++s.close_set_retries;
-    metrics_.increment("host.surrogate_timeouts");
+    counters_.surrogate_timeouts.inc();
     NodeId me(host.value());
     send(me, bootstraps_.front(), sim::MessageCategory::kJoin,
          SurrogateFailureReport{s.cluster, s.surrogate});
@@ -305,7 +373,7 @@ void AsapSystem::handle_bootstrap(NodeId self, NodeId from, const ProtocolPayloa
     if (report->failed.valid() && is_surrogate_of(report->cluster, report->failed)) {
       HostId replacement =
           pop.elect_surrogate(report->cluster, HostId(report->failed.value()));
-      metrics_.increment("bootstrap.surrogates_elected");
+      counters_.surrogates_elected.inc();
       if (replacement.valid()) {
         NodeId new_node(replacement.value());
         send(self, new_node, sim::MessageCategory::kJoin,
@@ -360,7 +428,7 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
     return;
   }
   if (std::get_if<PublishInfo>(&payload)) {
-    metrics_.increment("surrogate.publishes_received");
+    counters_.publishes_received.inc();
     return;
   }
   if (const auto* update = std::get_if<SurrogateUpdate>(&payload)) {
@@ -376,6 +444,12 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
     if (it == pending_probes_.end() || it->second.done) return;
     it->second.done = true;
     Millis rtt = queue_.now() - it->second.sent_at_ms;
+    counters_.probes_answered.inc();
+    if (trace_ && active_call_ && active_call_->traced) {
+      trace_->record(active_call_->session.value(), TraceSpan::kProbeAnswered,
+                     queue_.now(), reply->token,
+                     static_cast<std::uint64_t>(rtt * 1000.0));
+    }
     auto cb = std::move(it->second.on_reply);
     pending_probes_.erase(it);
     cb(rtt);
@@ -432,6 +506,11 @@ CallOutcome AsapSystem::call(HostId caller, HostId callee, Millis voice_duration
   call.voice_duration_ms = voice_duration_ms;
   call.started_at_ms = queue_.now();
   call.counter_at_start = net_.counter();
+  call.traced = trace_ != nullptr && trace_->sampled(call.session.value());
+  if (call.traced) {
+    trace_->record(call.session.value(), TraceSpan::kCallStart, queue_.now(),
+                   caller.value(), callee.value());
+  }
 
   NodeId me(caller.value());
   NodeId peer(callee.value());
@@ -601,6 +680,11 @@ void AsapSystem::decide_relay() {
   ActiveCall& call = *active_call_;
   if (call.relay_decided) return;
   call.relay_decided = true;
+  if (trace_ && call.traced) {
+    // a = best one-hop cluster (or invalid), b = candidate count.
+    trace_->record(call.session.value(), TraceSpan::kRelaySelected, queue_.now(),
+                   call.best_one_hop_cluster.value(), call.candidates.size());
+  }
 
   bool two_hop_wins = call.best_two_hop_estimate_ms < call.best_one_hop_estimate_ms &&
                       call.two_hop_r1.valid();
@@ -715,7 +799,7 @@ void AsapSystem::begin_voice(const std::vector<NodeId>& relay_route) {
         if (!active_call_ || active_call_->session != session || active_call_->done) return;
         if (active_call_->route.empty()) return;  // direct call: nothing to kill
         fail_host(HostId(active_call_->route.front().value()));
-        metrics_.increment("fault.active_relay_crashes");
+        counters_.active_relay_crashes.inc();
       });
     }
   }
@@ -806,6 +890,24 @@ void AsapSystem::finish_call() {
   sim::MessageCounter diff = net_.counter().diff_since(call.counter_at_start);
   call.outcome.control_messages = diff.control_total();
   call.outcome.control_bytes = diff.control_bytes();
+
+  // Observability: per-call distributions and the event-queue high-water
+  // mark (single adds on pre-registered handles; see ProtocolCounters).
+  counters_.setup_time_ms.observe(call.outcome.setup_time_ms);
+  if (call.outcome.failover_latency_ms < kUnreachableMs) {
+    counters_.failover_latency_ms.observe(call.outcome.failover_latency_ms);
+  }
+  if (call.outcome.mos_pre_fault > 0.0) {
+    counters_.mos_pre_fault.observe(call.outcome.mos_pre_fault);
+  }
+  if (call.outcome.mos_post_failover > 0.0) {
+    counters_.mos_post_failover.observe(call.outcome.mos_post_failover);
+  }
+  counters_.queue_peak_depth.max_of(static_cast<double>(queue_.peak_pending()));
+  if (trace_ && call.traced) {
+    trace_->record(call.session.value(), TraceSpan::kCallEnd, queue_.now(),
+                   call.outcome.voice_packets_received, call.outcome.failovers);
+  }
 }
 
 // --- Mid-call failover state machine ----------------------------------------
@@ -851,7 +953,11 @@ void AsapSystem::on_voice_gap_detected() {
     call.sent_pre = call.any_rx ? call.last_rx_seq + 1 : 0;
   }
   call.gap_started_ms = call.any_rx ? call.last_voice_rx_ms : call.first_voice_sent_ms;
-  metrics_.increment("failover.gaps_detected");
+  counters_.gaps_detected.inc();
+  if (trace_ && call.traced) {
+    trace_->record(call.session.value(), TraceSpan::kKeepaliveGap, queue_.now(),
+                   call.last_rx_seq, 0);
+  }
   // The callee tells the caller out of band (signalling does not ride the
   // dead relay); the message is real and counted against overhead.
   send(NodeId(call.callee.value()), NodeId(call.caller.value()),
@@ -864,7 +970,7 @@ void AsapSystem::on_relay_failure_notice(const RelayFailureNotice&) {
   if (call.done || call.failover_in_progress || call.outcome.failover_gave_up) return;
   call.notice_in_flight = false;
   call.failover_in_progress = true;
-  metrics_.increment("failover.notices_received");
+  counters_.notices_received.inc();
   try_next_backup();
 }
 
@@ -876,14 +982,14 @@ void AsapSystem::try_next_backup() {
   }
   HostId backup = call.backups[call.next_backup++];
   ++call.outcome.failover_probes;
-  metrics_.increment("failover.probes");
+  counters_.failover_probes.inc();
   SessionId session = call.session;
   send_probe(NodeId(call.caller.value()), NodeId(backup.value()),
              [this, session, backup](Millis rtt) {
                if (!active_call_ || active_call_->session != session) return;
                if (active_call_->done) return;
                if (rtt >= kUnreachableMs) {
-                 metrics_.increment("failover.dead_backups");
+                 counters_.dead_backups.inc();
                  try_next_backup();
                } else {
                  commit_switchover(backup, rtt);
@@ -900,7 +1006,12 @@ void AsapSystem::commit_switchover(HostId backup, Millis /*probed_rtt_ms*/) {
   call.outcome.relay.rtt_ms = world_.relay_rtt_ms(call.caller, backup, call.callee);
   call.outcome.relay.loss = world_.relay_loss(call.caller, backup, call.callee);
   ++call.outcome.failovers;
-  metrics_.increment("failover.switchovers");
+  counters_.switchovers.inc();
+  if (trace_ && call.traced) {
+    trace_->record(call.session.value(), TraceSpan::kRouteSwitch, queue_.now(),
+                   backup.value(),
+                   static_cast<std::uint64_t>(call.outcome.relay.rtt_ms * 1000.0));
+  }
   Millis now = queue_.now();
   if (call.first_switch_ms < 0.0) {
     call.first_switch_ms = now;
@@ -921,7 +1032,11 @@ void AsapSystem::failover_backoff() {
   Millis wait =
       params_.failover_backoff_base_ms * static_cast<double>(1u << call.failover_rounds);
   ++call.failover_rounds;
-  metrics_.increment("failover.backoffs");
+  counters_.backoffs.inc();
+  if (trace_ && call.traced) {
+    trace_->record(call.session.value(), TraceSpan::kFailoverRound, queue_.now(),
+                   call.failover_rounds, static_cast<std::uint64_t>(wait));
+  }
   SessionId session = call.session;
   queue_.after(wait, [this, session]() {
     if (!active_call_ || active_call_->session != session || active_call_->done) return;
@@ -931,7 +1046,7 @@ void AsapSystem::failover_backoff() {
 
 void AsapSystem::rebuild_backups_and_retry() {
   ActiveCall& call = *active_call_;
-  metrics_.increment("failover.close_set_refreshes");
+  counters_.close_set_refreshes.inc();
   // Drop the cached close set so a fresh one is fetched; if the caller's
   // surrogate died too, the fetch times out, reports to a bootstrap and a
   // replacement surrogate is elected (existing machinery, retry-capped).
@@ -987,7 +1102,7 @@ void AsapSystem::give_up_failover() {
   ActiveCall& call = *active_call_;
   call.outcome.failover_gave_up = true;
   call.failover_in_progress = false;
-  metrics_.increment("failover.giveups");
+  counters_.giveups.inc();
 }
 
 }  // namespace asap::core

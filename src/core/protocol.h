@@ -11,11 +11,13 @@
 // tests assert the two layers agree.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -89,6 +91,30 @@ using ProtocolPayload =
                  CallAccept, VoicePacket, RelayFailureNotice>;
 using ProtocolNetwork = sim::Network<ProtocolPayload>;
 
+// Snake-case metric suffix of a payload alternative ("wire.join_request",
+// ...); index is the ProtocolPayload variant index.
+[[nodiscard]] std::string_view wire_kind_name(std::size_t variant_index);
+
+// Pre-registered observability handles for the protocol runtime: every
+// hot-path record is a single relaxed atomic add on a handle resolved once
+// here, never a by-name map lookup (common/metrics.h contract). Counter
+// names keep the historical string-keyed spellings, so existing tests and
+// dashboards read the same series.
+struct ProtocolCounters {
+  explicit ProtocolCounters(MetricsRegistry& registry);
+
+  Counter close_sets_built, construction_probes, surrogate_failures_injected,
+      host_failures_injected, host_recoveries, active_relay_crashes, loss_bursts,
+      burst_voice_drops, fault_events_applied, close_set_giveups, surrogate_timeouts,
+      surrogates_elected, publishes_received, probes_sent, probes_answered,
+      probe_timeouts, gaps_detected, notices_received, failover_probes, dead_backups,
+      switchovers, backoffs, close_set_refreshes, giveups;
+  // Wire messages by payload kind, indexed by ProtocolPayload variant index.
+  std::array<Counter, std::variant_size_v<ProtocolPayload>> wire_by_kind;
+  Gauge queue_peak_depth;
+  Histogram setup_time_ms, failover_latency_ms, mos_pre_fault, mos_post_failover;
+};
+
 // --- System ------------------------------------------------------------
 
 struct CallOutcome {
@@ -130,8 +156,10 @@ struct CallOutcome {
 
 class AsapSystem {
  public:
+  // `metrics`, when given, is an external registry (e.g. a bench harness's
+  // run-digest registry) the system records into; otherwise it owns one.
   AsapSystem(population::World& world, const AsapParams& params,
-             std::size_t bootstrap_count = 2);
+             std::size_t bootstrap_count = 2, MetricsRegistry* metrics = nullptr);
   ~AsapSystem();  // out of line: ActiveCall is incomplete here
 
   // Joins every peer (bootstrap round trips + surrogate discovery) and runs
@@ -163,7 +191,11 @@ class AsapSystem {
   [[nodiscard]] double voice_drop_probability() const { return voice_drop_p_; }
 
   [[nodiscard]] const sim::MessageCounter& counter() const { return net_.counter(); }
-  [[nodiscard]] const sim::MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] const sim::MetricsRegistry& metrics() const { return *metrics_; }
+  // Attaches a span recorder; it samples 1-in-N sessions (TraceRecorder
+  // config) and records the call timeline: probes, relay selection,
+  // keepalive gaps, failover rounds, route switches. Pass nullptr to detach.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
   [[nodiscard]] sim::EventQueue& queue() { return queue_; }
   [[nodiscard]] NodeId node_of(HostId h) const { return NodeId(h.value()); }
   [[nodiscard]] NodeId surrogate_node(ClusterId c) const;
@@ -226,7 +258,10 @@ class AsapSystem {
   AsapParams params_;
   sim::EventQueue queue_;
   ProtocolNetwork net_;
-  sim::MetricsRegistry metrics_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // null when external
+  MetricsRegistry* metrics_;
+  ProtocolCounters counters_;
+  TraceRecorder* trace_ = nullptr;
 
   std::vector<HostState> hosts_;
   std::vector<NodeId> bootstraps_;

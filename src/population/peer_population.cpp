@@ -29,7 +29,8 @@ PeerPopulation::PeerPopulation(const astopo::Topology& topo, const PopulationPar
   for (const auto& [prefix, as] : alloc_.prefixes) {
     if (!is_host[as.value()]) continue;
     ClusterId id(static_cast<std::uint32_t>(clusters_.size()));
-    clusters_.push_back(Cluster{prefix, as, {}, HostId::invalid(), HostId::invalid()});
+    clusters_.push_back(
+        Cluster{prefix, as, {}, HostId::invalid(), HostId::invalid(), 0, {}});
     trie_.insert(prefix, id);
   }
 

@@ -39,6 +39,22 @@ std::vector<MethodResults> evaluate_methods(const population::World& world,
   for (auto& selector : selectors) {
     MethodResults mr;
     mr.method = selector->name();
+    // Per-method observability handles, resolved once before the loop so the
+    // worker-side records are single relaxed atomic adds (detached no-op
+    // handles when config.metrics is null).
+    Counter m_sessions, m_messages, m_relay_wins;
+    Histogram m_rtt, m_mos;
+    if (config.metrics != nullptr) {
+      const std::string prefix = "eval." + mr.method;
+      m_sessions = config.metrics->counter(prefix + ".sessions");
+      m_messages = config.metrics->counter(prefix + ".messages");
+      m_relay_wins = config.metrics->counter(prefix + ".relay_wins");
+      m_rtt = config.metrics->histogram(
+          prefix + ".best_rtt_ms",
+          {50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0, 600.0, 1000.0});
+      m_mos = config.metrics->histogram(prefix + ".mos",
+                                        {1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5});
+    }
     // Pre-sized, position-indexed outputs: worker scheduling cannot reorder
     // or interleave them, which keeps results identical for any thread count.
     mr.quality_paths.resize(sessions.size());
@@ -59,6 +75,11 @@ std::vector<MethodResults> evaluate_methods(const population::World& world,
       double mos_loss = config.fixed_loss_for_mos ? config.fixed_loss : loss;
       mr.highest_mos[i] = emodel.mos_for_rtt(rtt, mos_loss);
       mr.messages[i] = static_cast<double>(r.messages);
+      m_sessions.inc();
+      m_messages.add(r.messages);
+      if (r.shortest_rtt_ms < session.direct_rtt_ms) m_relay_wins.inc();
+      if (rtt < kUnreachableMs) m_rtt.observe(rtt);
+      m_mos.observe(mr.highest_mos[i]);
     });
     results.push_back(std::move(mr));
   }

@@ -12,6 +12,7 @@
 #include "relay/baselines.h"
 #include "relay/selector.h"
 #include "voip/emodel.h"
+#include "common/metrics.h"
 
 namespace asap::relay {
 
@@ -38,6 +39,11 @@ struct EvaluationConfig {
   // by session position and each session's RNG stream is forked from the
   // selector seed + session index, never shared across sessions.
   std::size_t threads = 1;
+  // Optional observability sink. Handles are registered once per method
+  // before the session loop; each worker record is one relaxed atomic add,
+  // and everything recorded is order-independent, so enabling metrics
+  // changes neither the results nor their thread-count determinism.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Loss of the best available path: the relay path's when it is strictly

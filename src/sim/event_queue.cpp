@@ -8,6 +8,7 @@ namespace asap::sim {
 void EventQueue::at(Millis time_ms, Callback fn) {
   assert(time_ms >= now_);
   heap_.push(Event{time_ms, next_seq_++, std::move(fn)});
+  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
 }
 
 void EventQueue::after(Millis delay_ms, Callback fn) {

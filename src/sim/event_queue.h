@@ -31,6 +31,10 @@ class EventQueue {
   [[nodiscard]] Millis now() const { return now_; }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  // High-water mark of pending events since construction (or the last
+  // reset_peak_pending()); the observability layer exports it as a gauge.
+  [[nodiscard]] std::size_t peak_pending() const { return peak_pending_; }
+  void reset_peak_pending() { peak_pending_ = heap_.size(); }
 
  private:
   struct Event {
@@ -48,6 +52,7 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   Millis now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 }  // namespace asap::sim

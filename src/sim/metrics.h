@@ -1,28 +1,14 @@
-// Named counters for simulation-level bookkeeping (surrogate elections,
-// relay switches, probe timeouts, ...). Header-only.
+// Simulation-level metrics: absorbed into the structured observability
+// subsystem (common/metrics.h). The sim-layer alias survives so existing
+// includes and the `sim::MetricsRegistry` spelling keep working; new code
+// should pre-register Counter/Gauge/Histogram handles instead of using the
+// string-keyed convenience API.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <string>
+#include "common/metrics.h"
 
 namespace asap::sim {
 
-class MetricsRegistry {
- public:
-  void increment(const std::string& name, std::uint64_t by = 1) { counters_[name] += by; }
-
-  [[nodiscard]] std::uint64_t value(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
-  }
-
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const { return counters_; }
-
-  void reset() { counters_.clear(); }
-
- private:
-  std::map<std::string, std::uint64_t> counters_;
-};
+using MetricsRegistry = asap::MetricsRegistry;
 
 }  // namespace asap::sim

@@ -19,7 +19,14 @@ JitterBufferSim::JitterBufferSim(Millis base_one_way_ms, double network_loss,
   }
 }
 
-PlayoutResult JitterBufferSim::play(Millis depth_ms, const EModel& emodel) const {
+PlayoutCounters::PlayoutCounters(MetricsRegistry& metrics)
+    : playouts(metrics.counter("voip.playouts")),
+      stalled_packets(metrics.counter("voip.playout.stalled_packets")),
+      lost_packets(metrics.counter("voip.playout.lost_packets")),
+      mos(metrics.histogram("voip.playout.mos", {1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5})) {}
+
+PlayoutResult JitterBufferSim::play(Millis depth_ms, const EModel& emodel,
+                                    const PlayoutCounters* counters) const {
   PlayoutResult result;
   result.buffer_depth_ms = depth_ms;
   std::size_t late = 0;
@@ -44,14 +51,21 @@ PlayoutResult JitterBufferSim::play(Millis depth_ms, const EModel& emodel) const
   EModel explicit_buffer(emodel.codec(), ep);
   result.mos =
       EModel::mos_from_r(explicit_buffer.r_factor(result.mouth_to_ear_ms, total_loss));
+  if (counters != nullptr) {
+    counters->playouts.inc();
+    counters->stalled_packets.add(late);
+    counters->lost_packets.add(network_lost);
+    counters->mos.observe(result.mos);
+  }
   return result;
 }
 
 std::vector<PlayoutResult> JitterBufferSim::sweep(Millis max_depth_ms, Millis step_ms,
-                                                  const EModel& emodel) const {
+                                                  const EModel& emodel,
+                                                  const PlayoutCounters* counters) const {
   std::vector<PlayoutResult> results;
   for (Millis d = 0.0; d <= max_depth_ms + 1e-9; d += step_ms) {
-    results.push_back(play(d, emodel));
+    results.push_back(play(d, emodel, counters));
   }
   return results;
 }

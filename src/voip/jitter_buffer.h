@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "voip/emodel.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 
 namespace asap::voip {
@@ -35,6 +36,18 @@ struct PlayoutResult {
   double mos = 1.0;              // E-Model MOS incl. late + network loss
 };
 
+// Pre-registered playout observability handles (see common/metrics.h); a
+// stall is a packet that arrived after its playout instant and was
+// discarded. Pass to play()/sweep() to count across runs.
+struct PlayoutCounters {
+  Counter playouts;         // voip.playouts — streams played
+  Counter stalled_packets;  // voip.playout.stalled_packets — late discards
+  Counter lost_packets;     // voip.playout.lost_packets — network losses
+  Histogram mos;            // voip.playout.mos
+
+  explicit PlayoutCounters(MetricsRegistry& metrics);
+};
+
 class JitterBufferSim {
  public:
   // Pre-draws `packets` arrival offsets for a path with the given base
@@ -42,12 +55,15 @@ class JitterBufferSim {
   JitterBufferSim(Millis base_one_way_ms, double network_loss, std::size_t packets,
                   const JitterParams& params, Rng& rng);
 
-  // Plays the stream through a buffer of depth `depth_ms`.
-  [[nodiscard]] PlayoutResult play(Millis depth_ms, const EModel& emodel) const;
+  // Plays the stream through a buffer of depth `depth_ms`. When `counters`
+  // is given, records the playout and its stalled/lost packet counts.
+  [[nodiscard]] PlayoutResult play(Millis depth_ms, const EModel& emodel,
+                                   const PlayoutCounters* counters = nullptr) const;
 
   // Sweeps depths [0, max_depth] in `step` increments.
   [[nodiscard]] std::vector<PlayoutResult> sweep(Millis max_depth_ms, Millis step_ms,
-                                                 const EModel& emodel) const;
+                                                 const EModel& emodel,
+                                                 const PlayoutCounters* counters = nullptr) const;
 
   // The depth with the highest MOS over the sweep.
   [[nodiscard]] PlayoutResult best_depth(Millis max_depth_ms, Millis step_ms,

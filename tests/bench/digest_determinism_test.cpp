@@ -1,0 +1,81 @@
+// The property the golden run digests gate on: everything the metrics layer
+// records during an evaluation is order-independent, so the exported JSON is
+// bit-identical for any worker-thread count, and turning metrics on changes
+// no evaluation result.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace asap {
+namespace {
+
+class DigestDeterminism : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    population::WorldParams params = bench::small_world_params(7);
+    world_ = new population::World(params);
+    Rng rng = world_->fork_rng(42);
+    sessions_ = population::generate_sessions(*world_, 400, rng);
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static population::World* world_;
+  static std::vector<population::Session> sessions_;
+};
+
+population::World* DigestDeterminism::world_ = nullptr;
+std::vector<population::Session> DigestDeterminism::sessions_;
+
+std::string eval_metrics_json(std::size_t threads) {
+  MetricsRegistry registry;
+  relay::EvaluationConfig config;
+  config.threads = threads;
+  config.metrics = &registry;
+  auto results =
+      relay::evaluate_methods(*DigestDeterminism::world_,
+                              DigestDeterminism::sessions_, config);
+  EXPECT_FALSE(results.empty());
+  return registry.to_json();
+}
+
+TEST_F(DigestDeterminism, MetricsJsonBitIdenticalAcrossThreadCounts) {
+  std::string one = eval_metrics_json(1);
+  std::string four = eval_metrics_json(4);
+  std::string eight = eval_metrics_json(8);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, eight);
+  // Sanity: the export is not trivially empty.
+  EXPECT_NE(one.find("eval.ASAP.sessions"), std::string::npos);
+}
+
+TEST_F(DigestDeterminism, MetricsOnDoesNotChangeResults) {
+  relay::EvaluationConfig off;
+  off.threads = 2;
+  auto base = relay::evaluate_methods(*world_, sessions_, off);
+
+  MetricsRegistry registry;
+  relay::EvaluationConfig on = off;
+  on.metrics = &registry;
+  auto observed = relay::evaluate_methods(*world_, sessions_, on);
+
+  ASSERT_EQ(base.size(), observed.size());
+  for (std::size_t m = 0; m < base.size(); ++m) {
+    EXPECT_EQ(base[m].method, observed[m].method);
+    EXPECT_EQ(base[m].quality_paths, observed[m].quality_paths);
+    EXPECT_EQ(base[m].shortest_rtt_ms, observed[m].shortest_rtt_ms);
+    EXPECT_EQ(base[m].highest_mos, observed[m].highest_mos);
+    EXPECT_EQ(base[m].messages, observed[m].messages);
+  }
+  // And the counters actually saw the run.
+  EXPECT_EQ(registry.value("eval.ASAP.sessions"), sessions_.size());
+}
+
+}  // namespace
+}  // namespace asap

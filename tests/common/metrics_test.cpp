@@ -1,0 +1,209 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace asap {
+namespace {
+
+TEST(Metrics, DetachedHandlesNoOp) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.attached());
+  EXPECT_FALSE(g.attached());
+  EXPECT_FALSE(h.attached());
+  c.inc();
+  g.set(3.0);
+  g.max_of(5.0);
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bounds(), nullptr);
+}
+
+TEST(Metrics, ReRegistrationSharesTheSeries) {
+  MetricsRegistry m;
+  Counter a = m.counter("x");
+  Counter b = m.counter("x");
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(m.value("x"), 5u);
+
+  Gauge g1 = m.gauge("depth");
+  Gauge g2 = m.gauge("depth");
+  g1.set(4.0);
+  EXPECT_EQ(g2.value(), 4.0);
+  g2.max_of(2.0);  // lower: no change
+  EXPECT_EQ(g1.value(), 4.0);
+  g2.max_of(9.0);
+  EXPECT_EQ(g1.value(), 9.0);
+
+  // A histogram keeps the bounds it was first registered with.
+  Histogram h1 = m.histogram("h", {1.0, 2.0});
+  Histogram h2 = m.histogram("h", {10.0, 20.0, 30.0});
+  ASSERT_NE(h1.bounds(), nullptr);
+  EXPECT_EQ(h1.bounds(), h2.bounds());
+  EXPECT_EQ(h1.bounds()->size(), 2u);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  MetricsRegistry m;
+  Histogram h = m.histogram("rtt", {10.0, 20.0});
+  h.observe(10.0);   // on the bound: bucket 0 (counts v <= bounds[0])
+  h.observe(10.5);   // bucket 1
+  h.observe(20.0);   // bucket 1
+  h.observe(25.0);   // overflow bucket
+  h.observe(-1.0);   // bucket 0
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.sum(), 64.5, 1e-9);
+}
+
+TEST(Metrics, ResetZeroesWithoutInvalidatingHandles) {
+  MetricsRegistry m;
+  Counter c = m.counter("c");
+  Histogram h = m.histogram("h", {1.0});
+  c.add(7);
+  h.observe(0.5);
+  m.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.inc();  // handle still live after reset
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Metrics, JsonExportIsDeterministic) {
+  MetricsRegistry m;
+  m.counter("b.count").add(2);
+  m.counter("a.count").add(1);
+  m.gauge("depth").set(3.5);
+  m.histogram("lat", {1.0, 2.0}).observe(1.5);
+  const std::string expected =
+      "{\"counters\":{\"a.count\":1,\"b.count\":2},"
+      "\"gauges\":{\"depth\":3.5},"
+      "\"histograms\":{\"lat\":{\"bounds\":[1,2],\"buckets\":[0,1,0],"
+      "\"count\":1,\"sum_milli\":1500}}}";
+  EXPECT_EQ(m.to_json(), expected);
+  EXPECT_EQ(metrics_to_json(m), expected);
+}
+
+// Round-trip: every value fed in is recoverable from the JSON export. The
+// repo has no JSON parser, so this uses a minimal key scanner — enough to
+// prove the export carries the exact numbers.
+TEST(Metrics, JsonRoundTrip) {
+  MetricsRegistry m;
+  m.counter("big").add(1234567890123ULL);
+  m.gauge("g").set(0.1);  // needs round-trip double formatting
+  std::string json = m.to_json();
+  auto field = [&](const std::string& key) {
+    auto pos = json.find("\"" + key + "\":");
+    EXPECT_NE(pos, std::string::npos) << key << " missing in " << json;
+    pos += key.size() + 3;
+    auto end = json.find_first_of(",}", pos);
+    return json.substr(pos, end - pos);
+  };
+  EXPECT_EQ(field("big"), "1234567890123");
+  EXPECT_EQ(std::stod(field("g")), 0.1);
+}
+
+TEST(Metrics, JsonEscapeAndNumber) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json_number(5.0), "5");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  EXPECT_EQ(std::stod(json_number(0.1)), 0.1);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry m;
+  Counter c = m.counter("hits");
+  Gauge g = m.gauge("peak");
+  Histogram h = m.histogram("v", {64.0, 128.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        g.max_of(static_cast<double>(t * kPerThread + i));
+        h.observe(static_cast<double>(i % 200));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(g.value(), static_cast<double>(kThreads * kPerThread - 1));
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Fixed-point sum: exactly sum(i % 200) per thread, no FP drift.
+  std::int64_t per_thread = 0;
+  for (int i = 0; i < kPerThread; ++i) per_thread += i % 200;
+  EXPECT_NEAR(h.sum(), static_cast<double>(per_thread * kThreads), 1e-6);
+}
+
+TEST(Metrics, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry m;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        m.counter("shared." + std::to_string(i)).inc();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.value("shared." + std::to_string(i)),
+              static_cast<std::uint64_t>(kThreads));
+  }
+}
+
+TEST(Trace, SamplingGate) {
+  TraceRecorder trace;
+  EXPECT_FALSE(trace.enabled());
+  EXPECT_FALSE(trace.sampled(0));
+  trace.enable(4);
+  if (!TraceRecorder::kCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  EXPECT_TRUE(trace.sampled(0));
+  EXPECT_FALSE(trace.sampled(1));
+  EXPECT_TRUE(trace.sampled(8));
+  trace.record(0, TraceSpan::kCallStart, 1.0, 7, 9);
+  trace.record(0, TraceSpan::kCallEnd, 2.5);
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.span_count(TraceSpan::kCallStart), 1u);
+  EXPECT_EQ(trace.span_count(TraceSpan::kProbeSent), 0u);
+  EXPECT_EQ(trace.events()[0].a, 7u);
+  std::string json = trace_to_json(trace);
+  EXPECT_NE(json.find("\"call-start\""), std::string::npos);
+  EXPECT_NE(json.find("\"call-end\""), std::string::npos);
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Fnv1a64, KnownVectors) {
+  Fnv1a64 empty;
+  EXPECT_EQ(empty.value(), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(empty.hex(), "0xcbf29ce484222325");
+  Fnv1a64 h;
+  h.update("a");
+  EXPECT_EQ(h.value(), 0xaf63dc4c8601ec8cULL);
+  // Incremental updates hash the concatenation.
+  Fnv1a64 ab1, ab2;
+  ab1.update("ab");
+  ab2.update("a");
+  ab2.update("b");
+  EXPECT_EQ(ab1.value(), ab2.value());
+}
+
+}  // namespace
+}  // namespace asap

@@ -90,8 +90,8 @@ TEST(FractionAbove, CountsStrictly) {
   EXPECT_DOUBLE_EQ(fraction_above({}, 1.0), 0.0);
 }
 
-TEST(Histogram, BinsAndClamps) {
-  Histogram h(0.0, 10.0, 5);
+TEST(LinearHistogram, BinsAndClamps) {
+  LinearHistogram h(0.0, 10.0, 5);
   h.add(-1.0);   // clamps to first bin
   h.add(0.0);
   h.add(3.0);

@@ -235,5 +235,53 @@ TEST(FailoverDeterminism, SameSeedSamePlanYieldsIdenticalOutcomes) {
   }
 }
 
+TEST(ProtocolObservability, ExternalRegistryAndTraceSpansCaptureACall) {
+  auto world = std::make_unique<population::World>(small_params(191));
+  AsapParams params;
+  params.lat_threshold_ms = 200.0;
+  MetricsRegistry registry;
+  TraceRecorder trace;
+  trace.enable(/*sample_every=*/1);
+  AsapSystem system(*world, params, 2, &registry);
+  system.set_trace(&trace);
+  system.join_all();
+
+  Rng rng = world->fork_rng(2);
+  auto sessions = population::generate_sessions(*world, 2000, rng);
+  auto latent = population::latent_sessions(sessions, params.lat_threshold_ms);
+  CallOutcome relayed;
+  bool found = false;
+  std::size_t calls = 0;
+  for (const auto& s : latent) {
+    auto outcome = system.call(s.caller, s.callee, 200.0);
+    ++calls;
+    if (outcome.used_relay) {
+      relayed = outcome;
+      found = true;
+      break;
+    }
+  }
+  if (!found) GTEST_SKIP() << "no relayed session found in this world";
+
+  // Counters land in the caller-owned registry, not a protocol-internal one.
+  EXPECT_GT(registry.value("probe.sent"), 0u);
+  EXPECT_GT(registry.value("wire.probe"), 0u);
+  EXPECT_EQ(registry.value("wire.probe"), registry.value("probe.sent"));
+  EXPECT_GT(registry.value("wire.voice_packet"), 0u);
+  EXPECT_GT(registry.value("surrogate.publishes_received"), 0u);
+
+  if (!TraceRecorder::kCompiledIn) return;
+  // Sampling 1-in-1: every call start/end is on the timeline, and the
+  // relayed call recorded its selection.
+  EXPECT_EQ(trace.span_count(TraceSpan::kCallStart), calls);
+  EXPECT_EQ(trace.span_count(TraceSpan::kCallEnd), calls);
+  EXPECT_GE(trace.span_count(TraceSpan::kRelaySelected), 1u);
+  EXPECT_GT(trace.span_count(TraceSpan::kProbeSent), 0u);
+  // Events carry simulated (monotone) timestamps.
+  for (std::size_t i = 1; i < trace.events().size(); ++i) {
+    EXPECT_LE(trace.events()[i - 1].t_ms, trace.events()[i].t_ms);
+  }
+}
+
 }  // namespace
 }  // namespace asap::core

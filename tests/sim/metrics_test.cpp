@@ -8,7 +8,7 @@ namespace {
 TEST(MetricsRegistry, UnknownCounterIsZero) {
   MetricsRegistry m;
   EXPECT_EQ(m.value("nope"), 0u);
-  EXPECT_TRUE(m.all().empty());
+  EXPECT_TRUE(m.counters().empty());
 }
 
 TEST(MetricsRegistry, IncrementAccumulates) {
@@ -18,15 +18,17 @@ TEST(MetricsRegistry, IncrementAccumulates) {
   m.increment("b", 10);
   EXPECT_EQ(m.value("a"), 2u);
   EXPECT_EQ(m.value("b"), 10u);
-  EXPECT_EQ(m.all().size(), 2u);
+  EXPECT_EQ(m.counters().size(), 2u);
 }
 
-TEST(MetricsRegistry, ResetClears) {
+TEST(MetricsRegistry, ResetClearsValuesButKeepsSeries) {
   MetricsRegistry m;
   m.increment("a", 5);
   m.reset();
   EXPECT_EQ(m.value("a"), 0u);
-  EXPECT_TRUE(m.all().empty());
+  // Registrations (and handed-out handles) survive a reset.
+  ASSERT_EQ(m.counters().size(), 1u);
+  EXPECT_EQ(m.counters()[0].second, 0u);
 }
 
 }  // namespace
