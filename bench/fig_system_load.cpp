@@ -1,0 +1,145 @@
+// System-load evaluation of the concurrent multi-session protocol runtime
+// (no paper figure; extends Sec. 7's scalability axis to overlapping
+// calls): sweeps the offered call arrival rate with Poisson arrivals over
+// the message-level simulation with the relay-capacity model enabled, and
+// reports setup time, relay-rejection (ProbeBusy) incidence, contention
+// sheds/reroutes and the MOS distribution as relays saturate.
+//
+// Arrival times come from a seeded fork of the world RNG and the protocol
+// simulation itself is single-threaded discrete-event execution, so the
+// digest is byte-identical at any ASAP_THREADS setting.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/protocol.h"
+#include "population/session_gen.h"
+#include "sim/arrivals.h"
+
+using namespace asap;
+
+namespace {
+
+constexpr Millis kVoiceMs = 2000.0;
+
+core::AsapParams protocol_params() {
+  core::AsapParams params;
+  params.lat_threshold_ms = 200.0;  // small world: keep relayed sessions common
+  params.probe_timeout_ms = 1000.0;
+  // Capacity model on: a relay carries ~capacity/2 concurrent streams
+  // (floored at 1), so popular surrogates saturate under load and refuse
+  // relay-check probes with ProbeBusy.
+  params.relay_streams_per_capacity = 0.5;
+  return params;
+}
+
+struct LoadResult {
+  double rate_per_s = 0.0;
+  std::size_t calls = 0;
+  std::size_t completed = 0;
+  std::size_t relayed = 0;
+  std::size_t busy_rejected_calls = 0;  // >= 1 ProbeBusy answer seen
+  std::uint64_t busy_rejections = 0;
+  std::uint64_t sheds = 0;
+  std::size_t peak_concurrent = 0;
+  std::vector<double> setup_ms;  // completed calls
+  std::vector<double> mos;       // completed calls with voice
+  OnlineStats control_msgs;
+};
+
+LoadResult run_rate(population::World& world, double rate_per_s,
+                    std::span<const population::Session> calls, bench::BenchRun& run) {
+  core::AsapSystem system(world, protocol_params(), 2, run.metrics());
+  system.set_trace(run.trace());
+  system.join_all();
+
+  // Fork per rate: every sweep point draws its own arrival schedule, and
+  // reruns place every call at the same instant.
+  Rng arrival_rng =
+      world.fork_rng(0x10AD + static_cast<std::uint64_t>(rate_per_s * 10.0));
+  std::vector<Millis> arrivals = sim::exponential_arrivals(
+      calls.size(), rate_per_s, arrival_rng, system.queue().now());
+
+  std::vector<core::CallHandle> handles;
+  handles.reserve(calls.size());
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    core::CallSpec spec;
+    spec.caller = calls[i].caller;
+    spec.callee = calls[i].callee;
+    spec.start_at_ms = arrivals[i];
+    spec.voice_duration_ms = kVoiceMs;
+    handles.push_back(system.place_call(spec));
+  }
+  system.run_until_idle();
+
+  LoadResult result;
+  result.rate_per_s = rate_per_s;
+  result.calls = calls.size();
+  result.peak_concurrent = system.peak_concurrent_sessions();
+  for (core::CallHandle handle : handles) {
+    core::CallOutcome outcome = system.take_outcome(handle);
+    if (outcome.completed) {
+      ++result.completed;
+      result.setup_ms.push_back(outcome.setup_time_ms);
+      if (outcome.mos_pre_fault > 0.0) result.mos.push_back(outcome.mos_pre_fault);
+    }
+    if (outcome.used_relay) ++result.relayed;
+    if (outcome.relay_busy_rejections > 0) ++result.busy_rejected_calls;
+    result.busy_rejections += outcome.relay_busy_rejections;
+    result.sheds += outcome.capacity_sheds;
+    result.control_msgs.add(static_cast<double>(outcome.control_messages));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto env = bench::read_env(argc, argv);
+  bench::BenchRun run("fig_system_load", env);
+
+  auto world = bench::build_world(bench::small_world_params(env.seed), "fig_system_load");
+  Rng rng = world->fork_rng(4242);
+  auto sessions = population::generate_sessions(*world, 4000, rng);
+  auto latent = population::latent_sessions(sessions, 200.0);
+  // At least 64 overlapping calls per sweep point (the acceptance floor);
+  // the session knob can raise it.
+  std::size_t calls_target = std::clamp<std::size_t>(env.sessions / 75, 64, 256);
+  if (latent.size() > calls_target) latent.resize(calls_target);
+
+  bench::print_section("System load sweep: Poisson call arrivals, capacity model on");
+  std::printf("calls per rate: %zu, voice %.0f ms, relay_streams_per_capacity %.2f\n",
+              latent.size(), kVoiceMs, protocol_params().relay_streams_per_capacity);
+
+  std::vector<LoadResult> swept;
+  for (double rate : {2.0, 5.0, 10.0, 20.0, 50.0}) {
+    swept.push_back(run_rate(*world, rate, latent, run));
+  }
+
+  Table table({"arrivals/s", "calls", "completed", "relayed", "peak concurrent",
+               "busy-rejected calls", "busy answers", "sheds", "p50 setup (ms)",
+               "p90 setup (ms)", "mean MOS", "control msgs/call"});
+  for (const auto& r : swept) {
+    OnlineStats mos;
+    for (double v : r.mos) mos.add(v);
+    table.add_row({Table::fmt(r.rate_per_s, 0),
+                   Table::fmt_int(static_cast<long long>(r.calls)),
+                   Table::fmt_int(static_cast<long long>(r.completed)),
+                   Table::fmt_int(static_cast<long long>(r.relayed)),
+                   Table::fmt_int(static_cast<long long>(r.peak_concurrent)),
+                   Table::fmt_int(static_cast<long long>(r.busy_rejected_calls)),
+                   Table::fmt_int(static_cast<long long>(r.busy_rejections)),
+                   Table::fmt_int(static_cast<long long>(r.sheds)),
+                   Table::fmt(percentile(r.setup_ms, 50), 0),
+                   Table::fmt(percentile(r.setup_ms, 90), 0), Table::fmt(mos.mean(), 2),
+                   Table::fmt(r.control_msgs.mean(), 1)});
+  }
+  table.print();
+
+  const LoadResult& worst = swept.back();
+  bench::print_cdf("Setup time CDF (highest arrival rate)", "setup (ms)",
+                   worst.setup_ms);
+  bench::print_cdf("MOS CDF (highest arrival rate)", "MOS", worst.mos);
+  return 0;
+}

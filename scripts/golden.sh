@@ -27,7 +27,7 @@ fi
 BUILD=${1:-"$ROOT/build"}
 GOLDEN="$ROOT/tests/golden/digests.json"
 BENCHES="fig11_12_quality_paths fig13_14_shortest_rtt fig15_16_mos \
-fig17_scalability fig18_overhead fig_failover"
+fig17_scalability fig18_overhead fig_failover fig_system_load"
 
 if [ ! -d "$BUILD/bench" ]; then
   echo "no bench binaries under $BUILD — build first: cmake -B build -S . && cmake --build build -j" >&2
@@ -82,9 +82,33 @@ fi
 
 if cmp -s "$GOLDEN" "$TMP/digests.json"; then
   echo "== golden digests match"
-else
-  echo "== golden digest drift:" >&2
-  diff -u "$GOLDEN" "$TMP/digests.json" >&2 || true
-  echo "if the change is intentional: scripts/golden.sh --refresh" >&2
-  exit 1
+  exit 0
 fi
+
+# Drift: name the benches whose digest changed and show a key-level diff
+# (each digest is one line of "key":value pairs, so splitting on commas
+# yields one digest key per line) instead of a bare non-zero exit.
+echo "== golden digest drift:" >&2
+for b in $BENCHES; do
+  grep "^\"$b\":" "$GOLDEN" > "$TMP/want.line" || : > "$TMP/want.line"
+  grep "^\"$b\":" "$TMP/digests.json" > "$TMP/got.line" || : > "$TMP/got.line"
+  if ! cmp -s "$TMP/want.line" "$TMP/got.line"; then
+    if [ ! -s "$TMP/want.line" ]; then
+      echo "-- $b: not in $GOLDEN (new bench)" >&2
+      continue
+    fi
+    echo "-- $b: drifted digest keys:" >&2
+    tr ',' '\n' < "$TMP/want.line" > "$TMP/want.keys"
+    tr ',' '\n' < "$TMP/got.line" > "$TMP/got.keys"
+    diff -u "$TMP/want.keys" "$TMP/got.keys" >&2 || true
+  fi
+done
+# Benches committed in the golden file but no longer in the run.
+sed -n 's/^"\([A-Za-z0-9_]*\)": .*/\1/p' "$GOLDEN" | while read -r b; do
+  case " $BENCHES " in
+    *" $b "*) ;;
+    *) echo "-- $b: in $GOLDEN but not run (removed bench?)" >&2 ;;
+  esac
+done
+echo "if the change is intentional: scripts/golden.sh --refresh" >&2
+exit 1

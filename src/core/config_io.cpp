@@ -112,6 +112,13 @@ const std::map<std::string, Field, std::less<>>& registry() {
            [](ExperimentConfig& c) -> auto& { return c.asap.failover_max_retries; })},
       {"asap.max_backup_relays",
        make_field([](ExperimentConfig& c) -> auto& { return c.asap.max_backup_relays; })},
+      {"asap.relay_streams_per_capacity",
+       make_field([](ExperimentConfig& c) -> auto& {
+         return c.asap.relay_streams_per_capacity;
+       })},
+      {"asap.relay_min_streams",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.relay_min_streams; })},
   };
   return fields;
 }
@@ -143,6 +150,15 @@ std::string validate(const ExperimentConfig& config) {
            ") must be >= asap.keepalive_interval_ms (" + fmt_ms(a.keepalive_interval_ms) +
            "); backing off for less than one keepalive interval re-probes before "
            "detection can observe the stream again";
+  }
+  if (a.relay_streams_per_capacity < 0.0) {
+    return "config: asap.relay_streams_per_capacity must be >= 0 (got " +
+           fmt_ms(a.relay_streams_per_capacity) + "); 0 disables the capacity model";
+  }
+  if (a.relay_min_streams < 1) {
+    return "config: asap.relay_min_streams must be >= 1 (got " +
+           std::to_string(a.relay_min_streams) +
+           "); a selected relay must sustain at least one stream";
   }
   return std::string();
 }

@@ -53,6 +53,18 @@ struct AsapParams {
   // candidates for instant mid-call switchover (0 = rely on close-set
   // refresh alone).
   std::uint32_t max_backup_relays = 3;
+
+  // --- Relay-capacity contention (multi-session runtime) -------------------
+  // Concurrent forwarded voice streams a relay host sustains per unit of
+  // its abstract capability score (Peer::capacity, Sec. 6's nodal
+  // information): cap(h) = max(relay_min_streams,
+  // floor(capacity * relay_streams_per_capacity)). 0 disables the capacity
+  // model entirely — no reservations, no ProbeBusy — which keeps
+  // single-call workloads bit-identical to the pre-contention runtime.
+  double relay_streams_per_capacity = 0.0;
+  // Floor on any enabled relay's stream cap: a host selected as relay must
+  // sustain at least one bidirectional stream to be a relay at all.
+  std::uint32_t relay_min_streams = 1;
 };
 
 // --- Shared world-model constants (Sec. 3.2 measurement model) -------------

@@ -15,12 +15,12 @@ std::string_view wire_kind_name(std::size_t variant_index) {
       "close_set_reply",   "publish_info",   "surrogate_failure_report",
       "surrogate_update",  "probe",          "probe_reply",
       "call_setup",        "call_accept",    "voice_packet",
-      "relay_failure_notice"};
+      "relay_failure_notice", "probe_busy"};
   static_assert(std::size(kNames) == std::variant_size_v<ProtocolPayload>);
   return variant_index < std::size(kNames) ? kNames[variant_index] : "?";
 }
 
-ProtocolCounters::ProtocolCounters(MetricsRegistry& registry)
+ProtocolCounters::ProtocolCounters(MetricsRegistry& registry, bool capacity_metrics)
     : close_sets_built(registry.counter("surrogate.close_sets_built")),
       construction_probes(registry.counter("surrogate.construction_probes")),
       surrogate_failures_injected(registry.counter("surrogate.failures_injected")),
@@ -54,7 +54,18 @@ ProtocolCounters::ProtocolCounters(MetricsRegistry& registry)
                                        {1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5})),
       mos_post_failover(registry.histogram("voip.mos_post_failover",
                                            {1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5})) {
+  if (capacity_metrics) {
+    capacity_probe_rejections = registry.counter("capacity.probe_rejections");
+    capacity_reservations = registry.counter("capacity.reservations");
+    capacity_releases = registry.counter("capacity.releases");
+    capacity_sheds = registry.counter("capacity.sheds");
+    capacity_reroutes = registry.counter("capacity.reroutes");
+    relay_peak_streams = registry.gauge("capacity.peak_relay_streams");
+  }
   for (std::size_t k = 0; k < wire_by_kind.size(); ++k) {
+    // ProbeBusy frames only exist under the capacity model; keep the series
+    // out of capacity-off digests.
+    if (!capacity_metrics && wire_kind_name(k) == "probe_busy") continue;
     wire_by_kind[k] = registry.counter("wire." + std::string(wire_kind_name(k)));
   }
 }
@@ -65,6 +76,7 @@ struct AsapSystem::ActiveCall {
   HostId caller;
   HostId callee;
   Millis voice_duration_ms = 0.0;
+  voip::Codec codec = voip::kG729aVad;
   Millis started_at_ms = 0.0;
   sim::MessageCounter counter_at_start;
 
@@ -105,6 +117,9 @@ struct AsapSystem::ActiveCall {
   // Current relay chain, mutable mid-call: every voice send reads it at fire
   // time, so a committed switchover redirects the rest of the stream.
   std::vector<NodeId> route;
+  // Relay hops currently holding a capacity-slot reservation for this call
+  // (empty when the capacity model is off).
+  std::vector<NodeId> reserved_route;
   // Ranked backup one-hop relays (cluster surrogates), best first; rebuilt
   // from a fresh close set when exhausted.
   std::vector<HostId> backups;
@@ -136,7 +151,8 @@ AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
     : world_(world), params_(params), net_(queue_, world.oracle()),
       owned_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
       metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
-      counters_(*metrics_), fault_rng_(world.fork_rng(0xFA177)) {
+      counters_(*metrics_, params.relay_streams_per_capacity > 0.0),
+      fault_rng_(world.fork_rng(0xFA177)) {
   net_.set_payload_sizer([](const ProtocolPayload& p) {
     return wire::encoded_size(p) + wire::kPacketOverheadBytes;
   });
@@ -153,6 +169,21 @@ AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
   const auto& pop = world_.pop();
   hosts_.resize(pop.peers().size());
   surrogate_sets_.resize(pop.clusters().size());
+
+  // Relay-capacity model: a host's concurrent-stream cap is its abstract
+  // capability score scaled by the knob, floored so every host can carry at
+  // least relay_min_streams (paper Sec. 6: a selected relay must sustain
+  // one bidirectional stream).
+  capacity_enabled_ = params_.relay_streams_per_capacity > 0.0;
+  if (capacity_enabled_) {
+    relay_stream_cap_.resize(pop.peers().size());
+    relay_streams_.assign(pop.peers().size(), 0u);
+    for (std::uint32_t i = 0; i < pop.peers().size(); ++i) {
+      double scaled = pop.peer(HostId(i)).capacity * params_.relay_streams_per_capacity;
+      relay_stream_cap_[i] = std::max<std::uint32_t>(params_.relay_min_streams,
+                                                     static_cast<std::uint32_t>(scaled));
+    }
+  }
 
   // One network node per peer, ids aligned with HostId.
   for (std::uint32_t i = 0; i < pop.peers().size(); ++i) {
@@ -193,6 +224,11 @@ bool AsapSystem::is_surrogate_of(ClusterId c, NodeId node) const {
   return false;
 }
 
+AsapSystem::ActiveCall* AsapSystem::find_session(SessionId session) {
+  auto it = sessions_.find(session.value());
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
 void AsapSystem::send(NodeId from, NodeId to, sim::MessageCategory cat,
                       ProtocolPayload payload) {
   if (!to.valid()) return;
@@ -200,14 +236,18 @@ void AsapSystem::send(NodeId from, NodeId to, sim::MessageCategory cat,
   net_.send(from, to, cat, std::move(payload));
 }
 
-void AsapSystem::send_probe(NodeId from, NodeId to, std::function<void(Millis)> on_reply) {
+void AsapSystem::send_probe(NodeId from, NodeId to, ActiveCall* call, bool relay_check,
+                            std::function<void(Millis)> on_reply) {
   std::uint64_t token = next_token_++;
+  if (relay_check) token |= kRelayCheckTokenBit;
   counters_.probes_sent.inc();
-  if (trace_ && active_call_ && active_call_->traced) {
-    trace_->record(active_call_->session.value(), TraceSpan::kProbeSent, queue_.now(),
+  if (trace_ && call != nullptr && call->traced) {
+    trace_->record(call->session.value(), TraceSpan::kProbeSent, queue_.now(),
                    to.value(), token);
   }
-  pending_probes_[token] = PendingProbe{std::move(on_reply), queue_.now(), false};
+  pending_probes_[token] =
+      PendingProbe{std::move(on_reply), queue_.now(), false,
+                   call != nullptr ? call->session : SessionId::invalid()};
   send(from, to, sim::MessageCategory::kProbe, Probe{token});
   queue_.after(params_.probe_timeout_ms, [this, token]() {
     auto it = pending_probes_.find(token);
@@ -241,22 +281,41 @@ void AsapSystem::join_all() {
   queue_.run();
 }
 
-void AsapSystem::fail_surrogate(ClusterId c) {
+// --- Fault injection ---------------------------------------------------------
+// apply_fault() is the single entry point; the legacy fail_*/recover_host
+// methods are wrappers that synthesize the equivalent FaultEvent (kept for
+// tests and ad-hoc churn drivers). The crash_*/revive_* impls below hold the
+// actual state flips so internal paths (deferred relay kills) can bypass the
+// per-event accounting exactly as before.
+
+void AsapSystem::crash_surrogate(ClusterId c) {
   NodeId s = surrogate_node(c);
   if (!s.valid()) return;
   hosts_[s.value()].alive = false;
   counters_.surrogate_failures_injected.inc();
 }
 
-void AsapSystem::fail_host(HostId h) {
+void AsapSystem::crash_host(HostId h) {
   hosts_[h.value()].alive = false;
   counters_.host_failures_injected.inc();
 }
 
-void AsapSystem::recover_host(HostId h) {
+void AsapSystem::revive_host(HostId h) {
   if (hosts_[h.value()].alive) return;
   hosts_[h.value()].alive = true;
   counters_.host_recoveries.inc();
+}
+
+void AsapSystem::fail_surrogate(ClusterId c) {
+  apply_fault(sim::FaultEvent{queue_.now(), sim::FaultKind::kSurrogateCrash, c.value(), 0.0});
+}
+
+void AsapSystem::fail_host(HostId h) {
+  apply_fault(sim::FaultEvent{queue_.now(), sim::FaultKind::kHostCrash, h.value(), 0.0});
+}
+
+void AsapSystem::recover_host(HostId h) {
+  apply_fault(sim::FaultEvent{queue_.now(), sim::FaultKind::kHostRecovery, h.value(), 0.0});
 }
 
 void AsapSystem::arm_fault_plan(const sim::FaultPlan& plan) {
@@ -270,26 +329,35 @@ void AsapSystem::arm_fault_plan(const sim::FaultPlan& plan) {
 
 void AsapSystem::apply_fault(const sim::FaultEvent& event) {
   counters_.fault_events_applied.inc();
-  if (trace_ && active_call_ && active_call_->traced) {
-    trace_->record(active_call_->session.value(), TraceSpan::kFaultInjected,
-                   queue_.now(), static_cast<std::uint64_t>(event.kind), event.target);
+  if (trace_) {
+    // Attribute the span to the oldest traced in-flight call (the single
+    // active call, in sequential use).
+    for (const auto& [sid, call] : sessions_) {
+      if (!call->traced) continue;
+      trace_->record(sid, TraceSpan::kFaultInjected, queue_.now(),
+                     static_cast<std::uint64_t>(event.kind), event.target);
+      break;
+    }
   }
   switch (event.kind) {
     case sim::FaultKind::kHostCrash:
-      if (event.target < hosts_.size()) fail_host(HostId(event.target));
+      if (event.target < hosts_.size()) crash_host(HostId(event.target));
       break;
     case sim::FaultKind::kSurrogateCrash:
-      if (event.target < surrogate_sets_.size()) fail_surrogate(ClusterId(event.target));
+      if (event.target < surrogate_sets_.size()) crash_surrogate(ClusterId(event.target));
       break;
     case sim::FaultKind::kActiveRelayCrash:
-      // Immediate form (deferred events are armed per call in begin_voice).
-      if (active_call_ && !active_call_->route.empty()) {
-        fail_host(HostId(active_call_->route.front().value()));
+      // Immediate form (deferred events are armed per call in begin_voice):
+      // kill the first relay of the oldest call that is actually relaying.
+      for (auto& [sid, call] : sessions_) {
+        if (call->route.empty()) continue;
+        crash_host(HostId(call->route.front().value()));
         counters_.active_relay_crashes.inc();
+        break;
       }
       break;
     case sim::FaultKind::kHostRecovery:
-      if (event.target < hosts_.size()) recover_host(HostId(event.target));
+      if (event.target < hosts_.size()) revive_host(HostId(event.target));
       break;
     case sim::FaultKind::kLossBurstStart:
       voice_drop_p_ = event.loss;
@@ -299,6 +367,47 @@ void AsapSystem::apply_fault(const sim::FaultEvent& event) {
       voice_drop_p_ = 0.0;
       break;
   }
+}
+
+// --- Relay-capacity bookkeeping ----------------------------------------------
+
+std::uint32_t AsapSystem::relay_stream_capacity(HostId h) const {
+  return capacity_enabled_ ? relay_stream_cap_[h.value()] : 0u;
+}
+
+std::uint32_t AsapSystem::relay_streams_in_use(HostId h) const {
+  return capacity_enabled_ ? relay_streams_[h.value()] : 0u;
+}
+
+bool AsapSystem::relay_at_capacity(HostId h) const {
+  return capacity_enabled_ && relay_streams_[h.value()] >= relay_stream_cap_[h.value()];
+}
+
+bool AsapSystem::try_reserve_route(ActiveCall& call, const std::vector<NodeId>& route) {
+  if (!capacity_enabled_) return true;
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    if (relay_at_capacity(HostId(route[i].value()))) {
+      for (std::size_t j = 0; j < i; ++j) --relay_streams_[route[j].value()];
+      return false;
+    }
+    ++relay_streams_[route[i].value()];
+  }
+  for (NodeId hop : route) {
+    counters_.capacity_reservations.inc();
+    counters_.relay_peak_streams.max_of(static_cast<double>(relay_streams_[hop.value()]));
+  }
+  call.reserved_route = route;
+  return true;
+}
+
+void AsapSystem::release_route(ActiveCall& call) {
+  if (!capacity_enabled_) return;
+  for (NodeId hop : call.reserved_route) {
+    assert(relay_streams_[hop.value()] > 0);
+    --relay_streams_[hop.value()];
+    counters_.capacity_releases.inc();
+  }
+  call.reserved_route.clear();
 }
 
 void AsapSystem::fetch_close_set(HostId host, std::function<void()> on_ready) {
@@ -369,10 +478,10 @@ void AsapSystem::handle_bootstrap(NodeId self, NodeId from, const ProtocolPayloa
     return;
   }
   if (const auto* report = std::get_if<SurrogateFailureReport>(&payload)) {
-    auto& pop = world_.pop();
+    const auto& pop = world_.pop();
     if (report->failed.valid() && is_surrogate_of(report->cluster, report->failed)) {
       HostId replacement =
-          pop.elect_surrogate(report->cluster, HostId(report->failed.value()));
+          world_.elect_surrogate(report->cluster, HostId(report->failed.value()));
       counters_.surrogates_elected.inc();
       if (replacement.valid()) {
         NodeId new_node(replacement.value());
@@ -412,16 +521,19 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
   }
   if (const auto* reply = std::get_if<CloseSetReply>(&payload)) {
     // A reply can be (a) this host's own close set (join/call setup) or
-    // (b) another surrogate's set fetched during the caller's two-hop
-    // expansion. The two-hop case is recognizable: the active caller
-    // already holds its own set.
-    bool two_hop_reply = active_call_ && active_call_->two_hop_phase &&
-                         HostId(self.value()) == active_call_->caller &&
-                         state.close_set != nullptr && reply->set != nullptr &&
-                         reply->set->owner != state.cluster;
-    if (two_hop_reply) {
-      on_two_hop_close_set(reply->set->owner, reply->set);
-      return;
+    // (b) another surrogate's set fetched during a caller's two-hop
+    // expansion. The two-hop case is recognizable: the expanding caller
+    // already holds its own set and the reply carries a foreign owner. The
+    // fetches are not tokened on the wire, so a foreign set is routed to
+    // this host's oldest call still in its two-hop phase.
+    if (state.close_set != nullptr && reply->set != nullptr &&
+        reply->set->owner != state.cluster) {
+      for (auto& [sid, call] : sessions_) {
+        if (call->caller == HostId(self.value()) && call->two_hop_phase) {
+          on_two_hop_close_set(*call, reply->set->owner, reply->set);
+          return;
+        }
+      }
     }
     state.close_set = reply->set;
     deliver_close_set(HostId(self.value()));
@@ -436,7 +548,15 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
     return;
   }
   if (const auto* probe = std::get_if<Probe>(&payload)) {
-    send(self, from, sim::MessageCategory::kProbe, ProbeReply{probe->token});
+    // An at-capacity relay refuses relay-check probes (it cannot take
+    // another stream); plain pings are always answered.
+    if ((probe->token & kRelayCheckTokenBit) != 0 &&
+        relay_at_capacity(HostId(self.value()))) {
+      counters_.capacity_probe_rejections.inc();
+      send(self, from, sim::MessageCategory::kProbe, ProbeBusy{probe->token});
+    } else {
+      send(self, from, sim::MessageCategory::kProbe, ProbeReply{probe->token});
+    }
     return;
   }
   if (const auto* reply = std::get_if<ProbeReply>(&payload)) {
@@ -445,14 +565,25 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
     it->second.done = true;
     Millis rtt = queue_.now() - it->second.sent_at_ms;
     counters_.probes_answered.inc();
-    if (trace_ && active_call_ && active_call_->traced) {
-      trace_->record(active_call_->session.value(), TraceSpan::kProbeAnswered,
-                     queue_.now(), reply->token,
-                     static_cast<std::uint64_t>(rtt * 1000.0));
+    if (trace_ && it->second.session.valid()) {
+      ActiveCall* call = find_session(it->second.session);
+      if (call != nullptr && call->traced) {
+        trace_->record(call->session.value(), TraceSpan::kProbeAnswered, queue_.now(),
+                       reply->token, static_cast<std::uint64_t>(rtt * 1000.0));
+      }
     }
     auto cb = std::move(it->second.on_reply);
     pending_probes_.erase(it);
     cb(rtt);
+    return;
+  }
+  if (const auto* busy = std::get_if<ProbeBusy>(&payload)) {
+    auto it = pending_probes_.find(busy->token);
+    if (it == pending_probes_.end() || it->second.done) return;
+    it->second.done = true;
+    auto cb = std::move(it->second.on_reply);
+    pending_probes_.erase(it);
+    cb(kRelayBusyMs);
     return;
   }
   if (const auto* setup = std::get_if<CallSetup>(&payload)) {
@@ -466,8 +597,8 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
     return;
   }
   if (const auto* accept = std::get_if<CallAccept>(&payload)) {
-    if (active_call_ && active_call_->session == accept->session) {
-      on_call_accept(*accept);
+    if (ActiveCall* call = find_session(accept->session)) {
+      on_call_accept(*call, *accept);
     }
     return;
   }
@@ -482,77 +613,159 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
       });
       return;
     }
-    if (active_call_ && active_call_->session == voice->session) {
-      record_voice_receipt(*voice);
+    if (ActiveCall* call = find_session(voice->session)) {
+      record_voice_receipt(*call, *voice);
     }
     return;
   }
   if (const auto* notice = std::get_if<RelayFailureNotice>(&payload)) {
-    if (active_call_ && active_call_->session == notice->session &&
-        HostId(self.value()) == active_call_->caller) {
-      on_relay_failure_notice(*notice);
+    ActiveCall* call = find_session(notice->session);
+    if (call != nullptr && HostId(self.value()) == call->caller) {
+      on_relay_failure_notice(*call);
     }
     return;
   }
 }
 
-CallOutcome AsapSystem::call(HostId caller, HostId callee, Millis voice_duration_ms) {
-  assert(!active_call_);
-  active_call_ = std::make_unique<ActiveCall>();
-  ActiveCall& call = *active_call_;
-  call.session = SessionId(next_session_++);
-  call.caller = caller;
-  call.callee = callee;
-  call.voice_duration_ms = voice_duration_ms;
+// --- Session scheduling ------------------------------------------------------
+
+CallHandle AsapSystem::place_call(const CallSpec& spec) {
+  SessionId session(next_session_++);
+  if (spec.start_at_ms > queue_.now()) {
+    queue_.at(spec.start_at_ms,
+              [this, session, spec]() { start_session(session, spec); });
+  } else {
+    start_session(session, spec);
+  }
+  return CallHandle(session);
+}
+
+void AsapSystem::start_session(SessionId session, const CallSpec& spec) {
+  auto owned = std::make_unique<ActiveCall>();
+  ActiveCall& call = *owned;
+  call.session = session;
+  call.caller = spec.caller;
+  call.callee = spec.callee;
+  call.voice_duration_ms = spec.voice_duration_ms;
+  call.codec = spec.codec;
   call.started_at_ms = queue_.now();
   call.counter_at_start = net_.counter();
-  call.traced = trace_ != nullptr && trace_->sampled(call.session.value());
+  call.traced = trace_ != nullptr && trace_->sampled(session.value());
+  sessions_.emplace(session.value(), std::move(owned));
+  peak_concurrent_sessions_ = std::max(peak_concurrent_sessions_, sessions_.size());
   if (call.traced) {
-    trace_->record(call.session.value(), TraceSpan::kCallStart, queue_.now(),
-                   caller.value(), callee.value());
+    trace_->record(session.value(), TraceSpan::kCallStart, queue_.now(),
+                   spec.caller.value(), spec.callee.value());
   }
 
-  NodeId me(caller.value());
-  NodeId peer(callee.value());
+  NodeId me(spec.caller.value());
+  NodeId peer(spec.callee.value());
 
   // NAT gate: when no direct UDP session can be established at all, skip
   // the ping and go straight to relay selection — this is the Skype-era
   // reason relays exist in the first place.
-  if (!world_.pop().direct_possible(caller, callee)) {
+  if (!world_.pop().direct_possible(spec.caller, spec.callee)) {
     call.outcome.nat_blocked = true;
-    fetch_close_set(call.caller, [this, me, peer]() {
-      send(me, peer, sim::MessageCategory::kCallSignal,
-           CallSetup{active_call_->session});
+    fetch_close_set(call.caller, [this, me, peer, session]() {
+      send(me, peer, sim::MessageCategory::kCallSignal, CallSetup{session});
     });
   } else {
     // Step 1: measure the direct IP routing RTT with a ping.
-    send_probe(me, peer, [this, me, peer](Millis rtt) {
-      ActiveCall& call = *active_call_;
-      call.outcome.direct_rtt_ms = rtt;
-      if (rtt < params_.lat_threshold_ms) {
-        // Direct path meets the requirement: no relay selection needed.
-        begin_voice({});
-        return;
-      }
-      // Step 2: relay selection. Fetch our close set, then ask the callee.
-      fetch_close_set(call.caller, [this, me, peer]() {
-        send(me, peer, sim::MessageCategory::kCallSignal,
-             CallSetup{active_call_->session});
-      });
-    });
+    send_probe(me, peer, &call, /*relay_check=*/false,
+               [this, me, peer, session](Millis rtt) {
+                 ActiveCall* call = find_session(session);
+                 if (call == nullptr) return;
+                 call->outcome.direct_rtt_ms = rtt;
+                 if (rtt < params_.lat_threshold_ms) {
+                   // Direct path meets the requirement: no relay needed.
+                   begin_voice(*call, {});
+                   return;
+                 }
+                 // Step 2: relay selection. Fetch our close set, then ask
+                 // the callee.
+                 fetch_close_set(call->caller, [this, me, peer, session]() {
+                   send(me, peer, sim::MessageCategory::kCallSignal, CallSetup{session});
+                 });
+               });
   }
-
-  // Drive the simulation until the call completes (or the queue drains,
-  // which means something timed out without recovery).
-  while (!call.done && queue_.step()) {
-  }
-  CallOutcome outcome = call.outcome;
-  active_call_.reset();
-  return outcome;
 }
 
-void AsapSystem::on_call_accept(const CallAccept& accept) {
-  ActiveCall& call = *active_call_;
+CallOutcome AsapSystem::call(HostId caller, HostId callee, Millis voice_duration_ms) {
+  CallSpec spec;
+  spec.caller = caller;
+  spec.callee = callee;
+  spec.start_at_ms = queue_.now();  // not in the future: starts synchronously
+  spec.voice_duration_ms = voice_duration_ms;
+  CallHandle handle = place_call(spec);
+  // Drive the simulation until the call completes (or the queue drains,
+  // which means something timed out without recovery).
+  while (!finished(handle) && queue_.step()) {
+  }
+  return take_outcome(handle);
+}
+
+void AsapSystem::run_until_idle() {
+  queue_.run();
+  // Sessions still in flight after the queue drained are stalled for good
+  // (nothing left can wake them): finalize them, oldest first, as
+  // incomplete calls — the concurrent equivalent of the legacy blocking
+  // call() returning when the queue ran dry.
+  while (!sessions_.empty()) {
+    auto it = sessions_.begin();
+    std::uint32_t sid = it->first;
+    std::unique_ptr<ActiveCall> call = std::move(it->second);
+    sessions_.erase(it);
+    release_route(*call);
+    auto [slot, inserted] = completed_.emplace(sid, std::move(call->outcome));
+    (void)inserted;
+    if (on_complete_) on_complete_(CallHandle(SessionId(sid)), slot->second);
+  }
+}
+
+void AsapSystem::run_until(Millis until_ms) { queue_.run_until(until_ms); }
+
+bool AsapSystem::finished(CallHandle handle) const {
+  return handle.valid() && completed_.count(handle.session().value()) != 0;
+}
+
+const CallOutcome* AsapSystem::outcome(CallHandle handle) const {
+  if (!handle.valid()) return nullptr;
+  auto it = completed_.find(handle.session().value());
+  return it == completed_.end() ? nullptr : &it->second;
+}
+
+CallOutcome AsapSystem::take_outcome(CallHandle handle) {
+  if (!handle.valid()) return CallOutcome{};
+  auto done = completed_.find(handle.session().value());
+  if (done != completed_.end()) {
+    CallOutcome outcome = std::move(done->second);
+    completed_.erase(done);
+    return outcome;
+  }
+  auto live = sessions_.find(handle.session().value());
+  if (live != sessions_.end()) {
+    // Stalled in flight (the queue drained under it): surface the partial
+    // outcome as an incomplete call.
+    std::unique_ptr<ActiveCall> call = std::move(live->second);
+    sessions_.erase(live);
+    release_route(*call);
+    return std::move(call->outcome);
+  }
+  return CallOutcome{};
+}
+
+void AsapSystem::complete_session(ActiveCall& call) {
+  std::uint32_t sid = call.session.value();
+  auto it = sessions_.find(sid);
+  assert(it != sessions_.end() && it->second.get() == &call);
+  std::unique_ptr<ActiveCall> owned = std::move(it->second);
+  sessions_.erase(it);
+  auto [slot, inserted] = completed_.emplace(sid, std::move(owned->outcome));
+  (void)inserted;
+  if (on_complete_) on_complete_(CallHandle(SessionId(sid)), slot->second);
+}
+
+void AsapSystem::on_call_accept(ActiveCall& call, const CallAccept& accept) {
   call.callee_set = accept.callee_set;
   const auto& pop = world_.pop();
   HostState& caller_state = hosts_[call.caller.value()];
@@ -560,7 +773,7 @@ void AsapSystem::on_call_accept(const CallAccept& accept) {
   if (!caller_state.close_set || !call.callee_set) {
     // Degraded: no close sets available. Falling back to the direct path is
     // only possible when NAT permits it; otherwise the call fails cleanly.
-    if (!call.outcome.nat_blocked) begin_voice({});
+    if (!call.outcome.nat_blocked) begin_voice(call, {});
     return;
   }
 
@@ -581,7 +794,7 @@ void AsapSystem::on_call_accept(const CallAccept& accept) {
   }
 
   if (call.candidates.empty()) {
-    if (!call.outcome.nat_blocked) begin_voice({});
+    if (!call.outcome.nat_blocked) begin_voice(call, {});
     return;
   }
 
@@ -592,20 +805,22 @@ void AsapSystem::on_call_accept(const CallAccept& accept) {
   }
   call.probes_outstanding = to_probe;
   NodeId me(call.caller.value());
+  SessionId session = call.session;
   for (std::size_t i = 0; i < to_probe; ++i) {
     ClusterId cluster = call.candidates[i].cluster;
     NodeId relay = surrogate_node(cluster);
-    send_probe(me, relay, [this, i](Millis rtt) {
-      ActiveCall& call = *active_call_;
-      call.candidates[i].caller_leg_rtt_ms = rtt;
-      --call.probes_outstanding;
-      maybe_finish_probing();
+    send_probe(me, relay, &call, /*relay_check=*/true, [this, i, session](Millis rtt) {
+      ActiveCall* call = find_session(session);
+      if (call == nullptr) return;
+      if (rtt == kRelayBusyMs) ++call->outcome.relay_busy_rejections;
+      call->candidates[i].caller_leg_rtt_ms = rtt;
+      --call->probes_outstanding;
+      maybe_finish_probing(*call);
     });
   }
 }
 
-void AsapSystem::maybe_finish_probing() {
-  ActiveCall& call = *active_call_;
+void AsapSystem::maybe_finish_probing(ActiveCall& call) {
   if (call.probes_outstanding > 0) return;
 
   // Pick the one-hop relay with the lowest measured caller leg + advertised
@@ -635,20 +850,20 @@ void AsapSystem::maybe_finish_probing() {
     }
     // Deadline: proceed with whatever arrived.
     queue_.after(params_.probe_timeout_ms, [this, session = call.session]() {
-      if (!active_call_ || active_call_->session != session) return;
-      if (active_call_->two_hop_fetches_outstanding > 0) {
-        active_call_->two_hop_fetches_outstanding = 0;
-        decide_relay();
+      ActiveCall* call = find_session(session);
+      if (call == nullptr) return;
+      if (call->two_hop_fetches_outstanding > 0) {
+        call->two_hop_fetches_outstanding = 0;
+        decide_relay(*call);
       }
     });
     return;
   }
-  decide_relay();
+  decide_relay(call);
 }
 
-void AsapSystem::on_two_hop_close_set(ClusterId r1_cluster,
+void AsapSystem::on_two_hop_close_set(ActiveCall& call, ClusterId r1_cluster,
                                       const std::shared_ptr<const CloseClusterSet>& os1) {
-  ActiveCall& call = *active_call_;
   if (call.two_hop_fetches_outstanding == 0) return;
   --call.two_hop_fetches_outstanding;
 
@@ -673,11 +888,10 @@ void AsapSystem::on_two_hop_close_set(ClusterId r1_cluster,
       }
     }
   }
-  if (call.two_hop_fetches_outstanding == 0) decide_relay();
+  if (call.two_hop_fetches_outstanding == 0) decide_relay(call);
 }
 
-void AsapSystem::decide_relay() {
-  ActiveCall& call = *active_call_;
+void AsapSystem::decide_relay(ActiveCall& call) {
   if (call.relay_decided) return;
   call.relay_decided = true;
   if (trace_ && call.traced) {
@@ -728,11 +942,11 @@ void AsapSystem::decide_relay() {
     call.outcome.relay.relay2 = call.two_hop_r2;
     call.outcome.relay.rtt_ms =
         world_.relay2_rtt_ms(call.caller, call.two_hop_r1, call.two_hop_r2, call.callee);
-    begin_voice({NodeId(call.two_hop_r1.value()), NodeId(call.two_hop_r2.value())});
+    begin_voice(call, {NodeId(call.two_hop_r1.value()), NodeId(call.two_hop_r2.value())});
     return;
   }
   if (!call.best_one_hop_cluster.valid()) {
-    if (!call.outcome.nat_blocked) begin_voice({});
+    if (!call.outcome.nat_blocked) begin_voice(call, {});
     return;
   }
   HostId relay = world_.pop().cluster(call.best_one_hop_cluster).surrogate;
@@ -741,11 +955,54 @@ void AsapSystem::decide_relay() {
   call.outcome.relay.rtt_ms =
       world_.relay_rtt_ms(call.caller, relay, call.callee);
   call.outcome.relay.loss = world_.relay_loss(call.caller, relay, call.callee);
-  begin_voice({NodeId(relay.value())});
+  begin_voice(call, {NodeId(relay.value())});
 }
 
-void AsapSystem::begin_voice(const std::vector<NodeId>& relay_route) {
-  ActiveCall& call = *active_call_;
+void AsapSystem::try_next_setup_relay(ActiveCall& call) {
+  if (call.next_backup >= call.backups.size()) {
+    // No relay has a free stream slot: degrade to the direct path when NAT
+    // allows it; otherwise the call stalls and finalizes incomplete.
+    call.outcome.used_relay = false;
+    call.outcome.relay = RelayChoice{};
+    if (!call.outcome.nat_blocked) begin_voice(call, {});
+    return;
+  }
+  HostId backup = call.backups[call.next_backup++];
+  SessionId session = call.session;
+  send_probe(NodeId(call.caller.value()), NodeId(backup.value()), &call,
+             /*relay_check=*/true, [this, session, backup](Millis rtt) {
+               ActiveCall* call = find_session(session);
+               if (call == nullptr || call->done) return;
+               if (rtt == kRelayBusyMs) {
+                 ++call->outcome.relay_busy_rejections;
+                 try_next_setup_relay(*call);
+               } else if (rtt >= kUnreachableMs) {
+                 counters_.dead_backups.inc();
+                 try_next_setup_relay(*call);
+               } else {
+                 call->outcome.used_relay = true;
+                 call->outcome.relay.relay1 = backup;
+                 call->outcome.relay.relay2 = HostId::invalid();
+                 call->outcome.relay.rtt_ms =
+                     world_.relay_rtt_ms(call->caller, backup, call->callee);
+                 call->outcome.relay.loss =
+                     world_.relay_loss(call->caller, backup, call->callee);
+                 counters_.capacity_reroutes.inc();
+                 begin_voice(*call, {NodeId(backup.value())});
+               }
+             });
+}
+
+void AsapSystem::begin_voice(ActiveCall& call, const std::vector<NodeId>& relay_route) {
+  if (!relay_route.empty() && !try_reserve_route(call, relay_route)) {
+    // The probed winner filled up between its probe reply and this commit
+    // (another session took its last stream slot): shed the newest stream —
+    // this call — onto the ranked backups instead of overloading the relay.
+    ++call.outcome.capacity_sheds;
+    counters_.capacity_sheds.inc();
+    try_next_setup_relay(call);
+    return;
+  }
   call.first_voice_sent_ms = queue_.now();
   call.route = relay_route;
   SessionId session = call.session;
@@ -757,27 +1014,27 @@ void AsapSystem::begin_voice(const std::vector<NodeId>& relay_route) {
   for (std::uint32_t seq = 0; seq < packets; ++seq) {
     queue_.after(static_cast<Millis>(seq) * kVoiceIntervalMs,
                  [this, me, peer, seq, session]() {
-                   if (!active_call_ || active_call_->session != session) return;
-                   ActiveCall& call = *active_call_;
+                   ActiveCall* call = find_session(session);
+                   if (call == nullptr) return;
                    VoicePacket pkt;
-                   pkt.session = call.session;
+                   pkt.session = call->session;
                    pkt.seq = seq;
                    pkt.sent_at_ms = queue_.now();
                    // Segment accounting (see ActiveCall comment).
-                   if (call.first_switch_ms >= 0.0 &&
-                       pkt.sent_at_ms >= call.first_switch_ms) {
-                     ++call.sent_post;
+                   if (call->first_switch_ms >= 0.0 &&
+                       pkt.sent_at_ms >= call->first_switch_ms) {
+                     ++call->sent_post;
                    }
                    // The route is read at fire time: a committed switchover
                    // redirects every subsequent packet.
-                   if (call.route.empty()) {
+                   if (call->route.empty()) {
                      send(me, peer, sim::MessageCategory::kVoice, pkt);
                    } else {
                      // Route: first relay receives the packet with the rest
                      // of the chain (ending at the callee) to forward along.
-                     pkt.route.assign(call.route.begin() + 1, call.route.end());
+                     pkt.route.assign(call->route.begin() + 1, call->route.end());
                      pkt.route.push_back(peer);
-                     send(me, call.route.front(), sim::MessageCategory::kVoice, pkt);
+                     send(me, call->route.front(), sim::MessageCategory::kVoice, pkt);
                    }
                  });
   }
@@ -788,7 +1045,7 @@ void AsapSystem::begin_voice(const std::vector<NodeId>& relay_route) {
                            ? call.outcome.relay.rtt_ms
                            : params_.lat_threshold_ms;
     call.detect_floor_ms = call.first_voice_sent_ms + allowance;
-    schedule_keepalive_check();
+    schedule_keepalive_check(call);
   }
   // Deferred active-relay kill events: their clocks start now.
   if (!pending_call_faults_.empty()) {
@@ -796,19 +1053,21 @@ void AsapSystem::begin_voice(const std::vector<NodeId>& relay_route) {
     faults.swap(pending_call_faults_);
     for (const auto& event : faults) {
       queue_.after(event.at_ms, [this, session]() {
-        if (!active_call_ || active_call_->session != session || active_call_->done) return;
-        if (active_call_->route.empty()) return;  // direct call: nothing to kill
-        fail_host(HostId(active_call_->route.front().value()));
+        ActiveCall* call = find_session(session);
+        if (call == nullptr || call->done) return;
+        if (call->route.empty()) return;  // direct call: nothing to kill
+        crash_host(HostId(call->route.front().value()));
         counters_.active_relay_crashes.inc();
       });
     }
   }
   // Close the call after the stream plus a generous in-flight allowance.
-  queue_.after(call.voice_duration_ms + 10000.0, [this]() { finish_call(); });
+  queue_.after(call.voice_duration_ms + 10000.0, [this, session]() {
+    if (ActiveCall* call = find_session(session)) finish_call(*call);
+  });
 }
 
-void AsapSystem::record_voice_receipt(const VoicePacket& voice) {
-  ActiveCall& call = *active_call_;
+void AsapSystem::record_voice_receipt(ActiveCall& call, const VoicePacket& voice) {
   Millis now = queue_.now();
   ++call.outcome.voice_packets_received;
   call.voice_delay_sum_ms += now - voice.sent_at_ms;
@@ -842,8 +1101,7 @@ void AsapSystem::record_voice_receipt(const VoicePacket& voice) {
   }
 }
 
-void AsapSystem::finish_call() {
-  ActiveCall& call = *active_call_;
+void AsapSystem::finish_call(ActiveCall& call) {
   if (call.done) return;
   call.done = true;
   call.outcome.completed = true;
@@ -870,7 +1128,7 @@ void AsapSystem::finish_call() {
   // the observed stream segments around the fault). A fault-free call has
   // one segment: the whole stream.
   if (call.fault_detected_ms < 0.0) call.sent_pre = call.outcome.voice_packets_sent;
-  voip::EModel emodel(voip::kG729aVad);
+  voip::EModel emodel(call.codec);
   if (call.rcv_pre > 0 && call.sent_pre > 0) {
     double loss = 1.0 - static_cast<double>(call.rcv_pre) /
                             static_cast<double>(call.sent_pre);
@@ -908,6 +1166,8 @@ void AsapSystem::finish_call() {
     trace_->record(call.session.value(), TraceSpan::kCallEnd, queue_.now(),
                    call.outcome.voice_packets_received, call.outcome.failovers);
   }
+  release_route(call);
+  complete_session(call);  // `call` is dead after this line
 }
 
 // --- Mid-call failover state machine ----------------------------------------
@@ -921,30 +1181,29 @@ void AsapSystem::finish_call() {
 //        (re-electing a dead surrogate on the way)  [rebuild_backups_and_retry]
 //     -> retry cap reached                          [give_up_failover]
 
-void AsapSystem::schedule_keepalive_check() {
-  SessionId session = active_call_->session;
+void AsapSystem::schedule_keepalive_check(ActiveCall& call) {
+  SessionId session = call.session;
   queue_.after(params_.keepalive_interval_ms, [this, session]() {
-    if (!active_call_ || active_call_->session != session) return;
-    ActiveCall& call = *active_call_;
-    if (call.done || call.outcome.failover_gave_up) return;
+    ActiveCall* call = find_session(session);
+    if (call == nullptr) return;
+    if (call->done || call->outcome.failover_gave_up) return;
     Millis now = queue_.now();
-    Millis allowance = call.outcome.relay.rtt_ms < kUnreachableMs
-                           ? call.outcome.relay.rtt_ms
+    Millis allowance = call->outcome.relay.rtt_ms < kUnreachableMs
+                           ? call->outcome.relay.rtt_ms
                            : params_.lat_threshold_ms;
-    Millis stream_end = call.first_voice_sent_ms + call.voice_duration_ms;
+    Millis stream_end = call->first_voice_sent_ms + call->voice_duration_ms;
     // Once every packet still in flight has had time to land, the silence
     // is just the stream being over: stop monitoring.
     if (now > stream_end + allowance + params_.keepalive_interval_ms) return;
-    if (!call.failover_in_progress && !call.notice_in_flight &&
-        now - call.detect_floor_ms > params_.keepalive_interval_ms) {
-      on_voice_gap_detected();
+    if (!call->failover_in_progress && !call->notice_in_flight &&
+        now - call->detect_floor_ms > params_.keepalive_interval_ms) {
+      on_voice_gap_detected(*call);
     }
-    schedule_keepalive_check();
+    schedule_keepalive_check(*call);
   });
 }
 
-void AsapSystem::on_voice_gap_detected() {
-  ActiveCall& call = *active_call_;
+void AsapSystem::on_voice_gap_detected(ActiveCall& call) {
   call.notice_in_flight = true;
   if (call.fault_detected_ms < 0.0) {
     call.fault_detected_ms = queue_.now();
@@ -965,41 +1224,52 @@ void AsapSystem::on_voice_gap_detected() {
        RelayFailureNotice{call.session, call.any_rx ? call.last_rx_seq : 0});
 }
 
-void AsapSystem::on_relay_failure_notice(const RelayFailureNotice&) {
-  ActiveCall& call = *active_call_;
+void AsapSystem::on_relay_failure_notice(ActiveCall& call) {
   if (call.done || call.failover_in_progress || call.outcome.failover_gave_up) return;
   call.notice_in_flight = false;
   call.failover_in_progress = true;
   counters_.notices_received.inc();
-  try_next_backup();
+  try_next_backup(call);
 }
 
-void AsapSystem::try_next_backup() {
-  ActiveCall& call = *active_call_;
+void AsapSystem::try_next_backup(ActiveCall& call) {
   if (call.next_backup >= call.backups.size()) {
-    failover_backoff();
+    failover_backoff(call);
     return;
   }
   HostId backup = call.backups[call.next_backup++];
   ++call.outcome.failover_probes;
   counters_.failover_probes.inc();
   SessionId session = call.session;
-  send_probe(NodeId(call.caller.value()), NodeId(backup.value()),
-             [this, session, backup](Millis rtt) {
-               if (!active_call_ || active_call_->session != session) return;
-               if (active_call_->done) return;
-               if (rtt >= kUnreachableMs) {
+  send_probe(NodeId(call.caller.value()), NodeId(backup.value()), &call,
+             /*relay_check=*/true, [this, session, backup](Millis rtt) {
+               ActiveCall* call = find_session(session);
+               if (call == nullptr || call->done) return;
+               if (rtt == kRelayBusyMs) {
+                 ++call->outcome.relay_busy_rejections;
+                 try_next_backup(*call);
+               } else if (rtt >= kUnreachableMs) {
                  counters_.dead_backups.inc();
-                 try_next_backup();
+                 try_next_backup(*call);
                } else {
-                 commit_switchover(backup, rtt);
+                 commit_switchover(*call, backup, rtt);
                }
              });
 }
 
-void AsapSystem::commit_switchover(HostId backup, Millis /*probed_rtt_ms*/) {
-  ActiveCall& call = *active_call_;
-  call.route = {NodeId(backup.value())};
+void AsapSystem::commit_switchover(ActiveCall& call, HostId backup, Millis /*probed_rtt_ms*/) {
+  // The dead route's stream slots free up first; the backup must then still
+  // have one at commit time (it answered the probe a moment ago, but
+  // another session may have taken its last slot since).
+  release_route(call);
+  std::vector<NodeId> new_route = {NodeId(backup.value())};
+  if (!try_reserve_route(call, new_route)) {
+    ++call.outcome.capacity_sheds;
+    counters_.capacity_sheds.inc();
+    try_next_backup(call);
+    return;
+  }
+  call.route = std::move(new_route);
   call.outcome.used_relay = true;
   call.outcome.relay.relay1 = backup;
   call.outcome.relay.relay2 = HostId::invalid();
@@ -1023,10 +1293,9 @@ void AsapSystem::commit_switchover(HostId backup, Millis /*probed_rtt_ms*/) {
   call.failover_rounds = 0;  // a later, distinct fault gets a fresh budget
 }
 
-void AsapSystem::failover_backoff() {
-  ActiveCall& call = *active_call_;
+void AsapSystem::failover_backoff(ActiveCall& call) {
   if (call.failover_rounds >= params_.failover_max_retries) {
-    give_up_failover();
+    give_up_failover(call);
     return;
   }
   Millis wait =
@@ -1039,13 +1308,13 @@ void AsapSystem::failover_backoff() {
   }
   SessionId session = call.session;
   queue_.after(wait, [this, session]() {
-    if (!active_call_ || active_call_->session != session || active_call_->done) return;
-    rebuild_backups_and_retry();
+    ActiveCall* call = find_session(session);
+    if (call == nullptr || call->done) return;
+    rebuild_backups_and_retry(*call);
   });
 }
 
-void AsapSystem::rebuild_backups_and_retry() {
-  ActiveCall& call = *active_call_;
+void AsapSystem::rebuild_backups_and_retry(ActiveCall& call) {
   counters_.close_set_refreshes.inc();
   // Drop the cached close set so a fresh one is fetched; if the caller's
   // surrogate died too, the fetch times out, reports to a bootstrap and a
@@ -1055,17 +1324,17 @@ void AsapSystem::rebuild_backups_and_retry() {
   caller_state.close_set_retries = 0;
   SessionId session = call.session;
   fetch_close_set(call.caller, [this, session]() {
-    if (!active_call_ || active_call_->session != session || active_call_->done) return;
-    ActiveCall& call = *active_call_;
-    call.backups.clear();
-    call.next_backup = 0;
-    const HostState& caller_state = hosts_[call.caller.value()];
-    if (caller_state.close_set && call.callee_set) {
+    ActiveCall* call = find_session(session);
+    if (call == nullptr || call->done) return;
+    call->backups.clear();
+    call->next_backup = 0;
+    const HostState& caller_state = hosts_[call->caller.value()];
+    if (caller_state.close_set && call->callee_set) {
       ClusterId c1 = caller_state.cluster;
-      ClusterId c2 = hosts_[call.callee.value()].cluster;
+      ClusterId c2 = hosts_[call->callee.value()].cluster;
       std::vector<std::pair<Millis, HostId>> ranked;
       for (const auto& e1 : caller_state.close_set->entries) {
-        const CloseClusterEntry* e2 = call.callee_set->find(e1.cluster);
+        const CloseClusterEntry* e2 = call->callee_set->find(e1.cluster);
         if (e2 == nullptr || e1.cluster == c1 || e1.cluster == c2) continue;
         Millis estimate = e1.rtt_ms + e2->rtt_ms + 2.0 * params_.relay_delay_one_way_ms;
         if (estimate >= params_.lat_threshold_ms) continue;
@@ -1073,7 +1342,7 @@ void AsapSystem::rebuild_backups_and_retry() {
         if (!surrogate.valid()) continue;
         // Skip whatever is currently (dead) on the route.
         bool on_route = false;
-        for (NodeId hop : call.route) {
+        for (NodeId hop : call->route) {
           if (HostId(hop.value()) == surrogate) on_route = true;
         }
         if (on_route) continue;
@@ -1084,22 +1353,21 @@ void AsapSystem::rebuild_backups_and_retry() {
         return a.second.value() < b.second.value();
       });
       for (const auto& [estimate, surrogate] : ranked) {
-        if (std::find(call.backups.begin(), call.backups.end(), surrogate) ==
-            call.backups.end()) {
-          call.backups.push_back(surrogate);
+        if (std::find(call->backups.begin(), call->backups.end(), surrogate) ==
+            call->backups.end()) {
+          call->backups.push_back(surrogate);
         }
       }
     }
-    if (call.backups.empty()) {
-      failover_backoff();
+    if (call->backups.empty()) {
+      failover_backoff(*call);
       return;
     }
-    try_next_backup();
+    try_next_backup(*call);
   });
 }
 
-void AsapSystem::give_up_failover() {
-  ActiveCall& call = *active_call_;
+void AsapSystem::give_up_failover(ActiveCall& call) {
   call.outcome.failover_gave_up = true;
   call.failover_in_progress = false;
   counters_.giveups.inc();

@@ -9,6 +9,19 @@
 // (select_close_relay) for scale; this layer exists so the protocol's
 // timing, failover and message counts are *observed* in a running system —
 // tests assert the two layers agree.
+//
+// The runtime is a concurrent multi-session scheduler: any number of calls
+// can be in flight at once, each a per-session state machine keyed by
+// SessionId and driven by the shared event queue. place_call() schedules a
+// call (possibly in the future), run_until_idle()/run_until() drive the
+// simulation, and outcomes are harvested through handles or a completion
+// callback. The legacy blocking call() survives as a thin shim with its
+// historical semantics intact. When the relay-capacity model is enabled
+// (AsapParams::relay_streams_per_capacity > 0), every relay host carries at
+// most a capability-derived number of concurrent forwarded streams: an
+// at-capacity relay refuses relay-check probes with ProbeBusy, and a
+// winner that fills up between probing and route commit sheds the newest
+// stream to the caller's ranked backups.
 #pragma once
 
 #include <array>
@@ -27,8 +40,9 @@
 #include "population/world.h"
 #include "sim/event_queue.h"
 #include "sim/fault_plan.h"
-#include "sim/metrics.h"
 #include "sim/network.h"
+#include "voip/codec.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 
 namespace asap::core {
@@ -84,12 +98,31 @@ struct RelayFailureNotice {
   SessionId session;
   std::uint32_t last_seq = 0;  // highest voice seq received before the gap
 };
+// Relay -> prober: the probed host is already forwarding its full
+// complement of voice streams and refuses to be selected. Only sent in
+// answer to relay-check probes (token bit 63) when the capacity model is
+// enabled; a plain ping is always answered with ProbeReply.
+struct ProbeBusy {
+  std::uint64_t token;
+};
 
 using ProtocolPayload =
     std::variant<JoinRequest, JoinReply, CloseSetRequest, CloseSetReply, PublishInfo,
                  SurrogateFailureReport, SurrogateUpdate, Probe, ProbeReply, CallSetup,
-                 CallAccept, VoicePacket, RelayFailureNotice>;
+                 CallAccept, VoicePacket, RelayFailureNotice, ProbeBusy>;
 using ProtocolNetwork = sim::Network<ProtocolPayload>;
+
+// Probe tokens carry the probe's intent in their top bit: relay-check
+// probes (candidate/backup selection) may be refused by an at-capacity
+// relay, plain pings never are. Keeping the flag inside the existing token
+// field leaves the wire format — and therefore every call's control-byte
+// accounting — unchanged.
+inline constexpr std::uint64_t kRelayCheckTokenBit = 1ull << 63;
+
+// Sentinel RTT a probe callback receives when the relay answered "busy"
+// instead of replying. Above kUnreachableMs so every reachability filter
+// discards busy relays exactly like dead ones.
+inline constexpr Millis kRelayBusyMs = 2.0 * kUnreachableMs;
 
 // Snake-case metric suffix of a payload alternative ("wire.join_request",
 // ...); index is the ProtocolPayload variant index.
@@ -99,9 +132,12 @@ using ProtocolNetwork = sim::Network<ProtocolPayload>;
 // hot-path record is a single relaxed atomic add on a handle resolved once
 // here, never a by-name map lookup (common/metrics.h contract). Counter
 // names keep the historical string-keyed spellings, so existing tests and
-// dashboards read the same series.
+// dashboards read the same series. The capacity.* series (and the
+// wire.probe_busy counter) are registered only when the relay-capacity
+// model is on: registered handles appear in run digests even at zero, so
+// capacity-off runs must export exactly the historical key set.
 struct ProtocolCounters {
-  explicit ProtocolCounters(MetricsRegistry& registry);
+  ProtocolCounters(MetricsRegistry& registry, bool capacity_metrics);
 
   Counter close_sets_built, construction_probes, surrogate_failures_injected,
       host_failures_injected, host_recoveries, active_relay_crashes, loss_bursts,
@@ -109,9 +145,13 @@ struct ProtocolCounters {
       surrogates_elected, publishes_received, probes_sent, probes_answered,
       probe_timeouts, gaps_detected, notices_received, failover_probes, dead_backups,
       switchovers, backoffs, close_set_refreshes, giveups;
+  // Relay-capacity contention (detached when the model is off).
+  Counter capacity_probe_rejections, capacity_reservations, capacity_releases,
+      capacity_sheds, capacity_reroutes;
   // Wire messages by payload kind, indexed by ProtocolPayload variant index.
   std::array<Counter, std::variant_size_v<ProtocolPayload>> wire_by_kind;
   Gauge queue_peak_depth;
+  Gauge relay_peak_streams;  // detached when the capacity model is off
   Histogram setup_time_ms, failover_latency_ms, mos_pre_fault, mos_post_failover;
 };
 
@@ -145,13 +185,50 @@ struct CallOutcome {
   // gaps; includes the never-recovered tail when the call gave up).
   std::uint32_t packets_lost_in_failover = 0;
   std::uint32_t voice_packets_post_failover = 0;  // received after 1st switch
-  // Segmented E-Model MOS (G.729A+VAD): the stream before the first fault
-  // detection vs. after the failover. 0 when a segment carried no voice;
-  // equals the whole-stream MOS when no fault struck (post stays 0).
+  // Segmented E-Model MOS (the call's codec, G.729A+VAD by default): the
+  // stream before the first fault detection vs. after the failover. 0 when
+  // a segment carried no voice; equals the whole-stream MOS when no fault
+  // struck (post stays 0).
   double mos_pre_fault = 0.0;
   double mos_post_failover = 0.0;
   // Ranked backup relays retained from candidate probing (for tests/benches).
   std::vector<HostId> backup_relays;
+
+  // --- Relay-capacity contention (multi-session runtime) ------------------
+  // Relay-check probes this call had answered with ProbeBusy (candidate
+  // probing, setup fallback and failover rounds).
+  std::uint32_t relay_busy_rejections = 0;
+  // Times the probed winner lost its last stream slot between the probe
+  // reply and the route commit, shedding this call onto its backups.
+  std::uint32_t capacity_sheds = 0;
+};
+
+// Everything place_call() needs to know about one call.
+struct CallSpec {
+  HostId caller;
+  HostId callee;
+  // Absolute simulation time at which signalling starts. A time at or
+  // before the current queue time starts the call synchronously inside
+  // place_call() (exactly the legacy call() sequencing); later times are
+  // scheduled on the event queue.
+  Millis start_at_ms = 0.0;
+  Millis voice_duration_ms = 400.0;
+  voip::Codec codec = voip::kG729aVad;
+};
+
+// Opaque ticket for a placed call; pass it back to finished()/outcome()/
+// take_outcome() to track and harvest the result.
+class CallHandle {
+ public:
+  CallHandle() = default;
+  [[nodiscard]] SessionId session() const { return session_; }
+  [[nodiscard]] bool valid() const { return session_.valid(); }
+  friend bool operator==(CallHandle a, CallHandle b) { return a.session_ == b.session_; }
+
+ private:
+  friend class AsapSystem;
+  explicit CallHandle(SessionId session) : session_(session) {}
+  SessionId session_ = SessionId::invalid();
 };
 
 class AsapSystem {
@@ -166,9 +243,49 @@ class AsapSystem {
   // the queue to quiescence. Must be called before placing calls.
   void join_all();
 
-  // Places one call and runs the simulation until it completes. Voice is
-  // streamed for `voice_duration_ms` at 50 packets/s.
+  // --- Concurrent session scheduling --------------------------------------
+  // Registers a call; it starts at spec.start_at_ms (immediately when that
+  // is not in the future) and runs whenever the queue is driven. Any number
+  // of calls may be in flight at once. Voice is streamed for
+  // spec.voice_duration_ms at 50 packets/s.
+  CallHandle place_call(const CallSpec& spec);
+  // Drives the simulation until the event queue drains, then finalizes any
+  // session still in flight as an incomplete call (nothing left on the
+  // queue can ever wake it). Completion callbacks fired by this final
+  // sweep must not place new calls — place them before the next drive.
+  void run_until_idle();
+  // Drives the simulation up to absolute time `until_ms`; in-flight calls
+  // stay in flight.
+  void run_until(Millis until_ms);
+  // True once the call's outcome is available (finished() never becomes
+  // true for a stalled call until run_until_idle() finalizes it).
+  [[nodiscard]] bool finished(CallHandle handle) const;
+  // Borrowed view of a finished call's outcome; null while in flight.
+  [[nodiscard]] const CallOutcome* outcome(CallHandle handle) const;
+  // Removes and returns the outcome. A still-in-flight session is finalized
+  // as incomplete (legacy drained-queue semantics); an unknown handle
+  // returns a default outcome.
+  CallOutcome take_outcome(CallHandle handle);
+  // Invoked from inside the simulation whenever a call finishes. The
+  // reference is valid for the duration of the callback; copy it or call
+  // take_outcome() to keep it.
+  using CompletionFn = std::function<void(CallHandle, const CallOutcome&)>;
+  void set_on_complete(CompletionFn fn) { on_complete_ = std::move(fn); }
+  [[nodiscard]] std::size_t calls_in_flight() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t peak_concurrent_sessions() const {
+    return peak_concurrent_sessions_;
+  }
+
+  // Places one call and runs the simulation until it completes
+  // (compatibility shim over place_call: identical message sequence and
+  // outcome for sequential use).
   CallOutcome call(HostId caller, HostId callee, Millis voice_duration_ms = 400.0);
+
+  // --- Relay-capacity model ------------------------------------------------
+  // Stream cap of a host when the capacity model is enabled (0 = uncapped).
+  [[nodiscard]] std::uint32_t relay_stream_capacity(HostId h) const;
+  // Concurrent voice streams the host is currently forwarding.
+  [[nodiscard]] std::uint32_t relay_streams_in_use(HostId h) const;
 
   // Crashes the surrogate of `c`: it stops answering. The next close-set
   // request from a cluster member times out, is reported to a bootstrap,
@@ -185,13 +302,15 @@ class AsapSystem {
   // now. kActiveRelayCrash events are deferred: their clocks start when the
   // next call's voice stream begins (each fires for exactly one call).
   void arm_fault_plan(const sim::FaultPlan& plan);
-  // Applies one fault event immediately (also the arm() callback target).
+  // Applies one fault event immediately. The single fault entry point: the
+  // arm() callback, and the fail_*/recover_host wrappers above, all land
+  // here.
   void apply_fault(const sim::FaultEvent& event);
   // Current loss-burst voice drop probability (0 outside bursts).
   [[nodiscard]] double voice_drop_probability() const { return voice_drop_p_; }
 
   [[nodiscard]] const sim::MessageCounter& counter() const { return net_.counter(); }
-  [[nodiscard]] const sim::MetricsRegistry& metrics() const { return *metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return *metrics_; }
   // Attaches a span recorder; it samples 1-in-N sessions (TraceRecorder
   // config) and records the call timeline: probes, relay selection,
   // keepalive gaps, failover rounds, route switches. Pass nullptr to detach.
@@ -223,31 +342,53 @@ class AsapSystem {
     std::function<void(Millis rtt_ms)> on_reply;
     Millis sent_at_ms = 0.0;
     bool done = false;
+    SessionId session = SessionId::invalid();  // owning call (trace gating)
   };
+  struct ActiveCall;
 
   void handle_message(NodeId self, NodeId from, const ProtocolPayload& payload);
   void handle_bootstrap(NodeId self, NodeId from, const ProtocolPayload& payload);
-  void on_call_accept(const CallAccept& accept);
-  void maybe_finish_probing();
-  void on_two_hop_close_set(ClusterId r1_cluster,
+  // Session-table plumbing.
+  ActiveCall* find_session(SessionId session);
+  void start_session(SessionId session, const CallSpec& spec);
+  // Moves the outcome into the finished table, drops the session and fires
+  // the completion callback. `call` is dead after this returns.
+  void complete_session(ActiveCall& call);
+  void on_call_accept(ActiveCall& call, const CallAccept& accept);
+  void maybe_finish_probing(ActiveCall& call);
+  void on_two_hop_close_set(ActiveCall& call, ClusterId r1_cluster,
                             const std::shared_ptr<const CloseClusterSet>& os1);
-  void decide_relay();
-  void begin_voice(const std::vector<NodeId>& relay_route);
-  void finish_call();
+  void decide_relay(ActiveCall& call);
+  void begin_voice(ActiveCall& call, const std::vector<NodeId>& relay_route);
+  void finish_call(ActiveCall& call);
   // --- Mid-call failover state machine ------------------------------------
   // detection (keepalive gap at the callee) -> failure notice -> backup
   // probing -> switchover | backoff + close-set refresh -> give-up.
-  void schedule_keepalive_check();
-  void on_voice_gap_detected();                     // callee side
-  void on_relay_failure_notice(const RelayFailureNotice& notice);  // caller side
-  void try_next_backup();
-  void commit_switchover(HostId backup, Millis probed_rtt_ms);
-  void failover_backoff();
-  void rebuild_backups_and_retry();
-  void give_up_failover();
-  void record_voice_receipt(const VoicePacket& voice);
+  void schedule_keepalive_check(ActiveCall& call);
+  void on_voice_gap_detected(ActiveCall& call);                     // callee side
+  void on_relay_failure_notice(ActiveCall& call);                   // caller side
+  void try_next_backup(ActiveCall& call);
+  void commit_switchover(ActiveCall& call, HostId backup, Millis probed_rtt_ms);
+  void failover_backoff(ActiveCall& call);
+  void rebuild_backups_and_retry(ActiveCall& call);
+  void give_up_failover(ActiveCall& call);
+  // Setup-time fallback when the probed winner lost its last capacity slot
+  // before the route commit: walk the ranked backups, else degrade direct.
+  void try_next_setup_relay(ActiveCall& call);
+  void record_voice_receipt(ActiveCall& call, const VoicePacket& voice);
+  // --- Relay-capacity bookkeeping ------------------------------------------
+  [[nodiscard]] bool relay_at_capacity(HostId h) const;
+  // All-or-nothing slot reservation for every hop of `route`; records the
+  // reservation in the call so release_route can undo it.
+  bool try_reserve_route(ActiveCall& call, const std::vector<NodeId>& route);
+  void release_route(ActiveCall& call);
+  // --- Fault impls (shared by apply_fault and the legacy wrappers) ---------
+  void crash_host(HostId h);
+  void crash_surrogate(ClusterId c);
+  void revive_host(HostId h);
   void send(NodeId from, NodeId to, sim::MessageCategory cat, ProtocolPayload payload);
-  void send_probe(NodeId from, NodeId to, std::function<void(Millis)> on_reply);
+  void send_probe(NodeId from, NodeId to, ActiveCall* call, bool relay_check,
+                  std::function<void(Millis)> on_reply);
   // Requests the close set of `host`'s surrogate with timeout + failover.
   void fetch_close_set(HostId host, std::function<void()> on_ready);
   void start_close_set_fetch(HostId host);
@@ -279,9 +420,20 @@ class AsapSystem {
   double voice_drop_p_ = 0.0;
   Rng fault_rng_;
 
-  // Active call state (one call at a time; the driver runs to completion).
-  struct ActiveCall;
-  std::unique_ptr<ActiveCall> active_call_;
+  // Session table: every in-flight call's state machine, keyed by session
+  // id. std::map keeps iteration in session order, so cross-session sweeps
+  // (stalled-call finalization, fault attribution) are deterministic.
+  std::map<std::uint32_t, std::unique_ptr<ActiveCall>> sessions_;
+  // Finished outcomes awaiting harvest via outcome()/take_outcome().
+  std::map<std::uint32_t, CallOutcome> completed_;
+  CompletionFn on_complete_;
+  std::size_t peak_concurrent_sessions_ = 0;
+
+  // Relay-capacity model (sized only when enabled): per-host stream caps
+  // derived from Peer::capacity and the live forwarded-stream counts.
+  bool capacity_enabled_ = false;
+  std::vector<std::uint32_t> relay_stream_cap_;
+  std::vector<std::uint32_t> relay_streams_;
 };
 
 }  // namespace asap::core

@@ -20,6 +20,7 @@ enum class Tag : std::uint8_t {
   kCallAccept = 11,
   kVoicePacket = 12,
   kRelayFailureNotice = 13,
+  kProbeBusy = 14,
 };
 
 class Writer {
@@ -200,6 +201,9 @@ std::vector<std::uint8_t> encode(const ProtocolPayload& payload) {
           w.u8(static_cast<std::uint8_t>(Tag::kRelayFailureNotice));
           w.u32(msg.session.value());
           w.u32(msg.last_seq);
+        } else if constexpr (std::is_same_v<T, ProbeBusy>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kProbeBusy));
+          w.u64(msg.token);
         }
       },
       payload);
@@ -310,6 +314,11 @@ Expected<ProtocolPayload> decode(std::span<const std::uint8_t> bytes) {
       }
       return finish(RelayFailureNotice{SessionId(session), last_seq});
     }
+    case Tag::kProbeBusy: {
+      ProbeBusy msg{};
+      if (!r.u64(msg.token)) return make_error("wire: truncated ProbeBusy");
+      return finish(msg);
+    }
   }
   return make_error("wire: unknown tag");
 }
@@ -333,7 +342,8 @@ std::size_t encoded_size(const ProtocolPayload& payload) {
           return kHeader + 8;
         } else if constexpr (std::is_same_v<T, SurrogateUpdate>) {
           return kHeader + 8;
-        } else if constexpr (std::is_same_v<T, Probe> || std::is_same_v<T, ProbeReply>) {
+        } else if constexpr (std::is_same_v<T, Probe> || std::is_same_v<T, ProbeReply> ||
+                             std::is_same_v<T, ProbeBusy>) {
           return kHeader + 8;
         } else if constexpr (std::is_same_v<T, CallSetup>) {
           return kHeader + 4;

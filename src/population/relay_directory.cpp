@@ -16,6 +16,7 @@ RelayDirectory build_relay_directory(const World& world) {
   dir.surrogates.reserve(populated.size());
   dir.relay_as.reserve(populated.size());
   dir.relay_access_one_way_ms.reserve(populated.size());
+  dir.relay_capability.reserve(populated.size());
   dir.relay_capable.reserve(populated.size());
   dir.as_degree.reserve(populated.size());
 
@@ -29,6 +30,7 @@ RelayDirectory build_relay_directory(const World& world) {
     dir.surrogates.push_back(cluster.surrogate);
     dir.relay_as.push_back(relay_peer.as.value());
     dir.relay_access_one_way_ms.push_back(relay_peer.access_one_way_ms);
+    dir.relay_capability.push_back(relay_peer.capacity);
     dir.relay_capable.push_back(cluster.relay_capable_members > 0 ? 1 : 0);
     dir.as_degree.push_back(static_cast<std::uint32_t>(graph.degree(cluster.as)));
   }

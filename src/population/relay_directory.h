@@ -38,6 +38,10 @@ struct RelayDirectory {
   std::vector<std::uint32_t> relay_as;
   // The effective relay's one-way last-mile access delay.
   std::vector<Millis> relay_access_one_way_ms;
+  // The effective relay's abstract capability score (Peer::capacity) —
+  // feeds the protocol runtime's concurrent-stream caps and any
+  // capability-weighted selection policy.
+  std::vector<double> relay_capability;
   // Whether the cluster holds at least one relay-capable (open-NAT) member;
   // clusters with none are skipped by every selection method.
   std::vector<std::uint8_t> relay_capable;

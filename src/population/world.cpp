@@ -38,6 +38,10 @@ World::World(const WorldParams& params) : params_(params) {
   pop_ = std::make_unique<PeerPopulation>(topo_, params.pop, pop_rng);
 }
 
+HostId World::elect_surrogate(ClusterId c, HostId failed) {
+  return pop_->elect_surrogate(c, failed);
+}
+
 const RelayDirectory& World::relay_directory() const {
   std::call_once(directory_once_, [this] {
     directory_ = std::make_unique<RelayDirectory>(build_relay_directory(*this));

@@ -55,8 +55,18 @@ class World {
   [[nodiscard]] const netmodel::LatencyModel& latency_model() const { return *latency_; }
   [[nodiscard]] const netmodel::PathOracle& oracle() const { return *oracle_; }
   [[nodiscard]] const netmodel::KingEstimator& king() const { return *king_; }
+  // A constructed World is immutable and safely shared across threads and
+  // concurrent protocol sessions; all accessors are const. The one sanctioned
+  // mutation — surrogate re-election after a crash — goes through
+  // elect_surrogate() below.
   [[nodiscard]] const PeerPopulation& pop() const { return *pop_; }
-  [[nodiscard]] PeerPopulation& pop() { return *pop_; }
+
+  // Re-elects the surrogate of cluster `c` after `failed` crashed (forwards
+  // to PeerPopulation::elect_surrogate). Returns the new surrogate, or an
+  // invalid id when the cluster has no eligible member left. NOT thread-safe
+  // against concurrent readers: only call from single-threaded protocol
+  // simulations (the evaluation layer never mutates).
+  HostId elect_surrogate(ClusterId c, HostId failed);
 
   // SoA facts of every populated cluster's effective relay, built lazily on
   // first use (thread-safe) and immutable afterwards.

@@ -1,0 +1,21 @@
+#include "sim/arrivals.h"
+
+#include <cassert>
+
+namespace asap::sim {
+
+std::vector<Millis> exponential_arrivals(std::size_t count, double rate_per_s, Rng& rng,
+                                         Millis start_ms) {
+  assert(rate_per_s > 0.0);
+  const double mean_gap_ms = 1000.0 / rate_per_s;
+  std::vector<Millis> arrivals;
+  arrivals.reserve(count);
+  Millis t = start_ms;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.exponential(mean_gap_ms);
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace asap::sim

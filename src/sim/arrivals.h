@@ -1,0 +1,22 @@
+// Deterministic Poisson call-arrival schedules for load experiments: the
+// offered load of a system-load sweep is a rate of independent call starts,
+// modelled as exponential inter-arrival gaps drawn from a caller-supplied
+// RNG stream (fork the world RNG so reruns place every call at the same
+// instant).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace asap::sim {
+
+// `count` absolute arrival times starting at `start_ms`, with i.i.d.
+// exponential gaps of mean 1000/rate_per_s milliseconds. Strictly
+// non-decreasing; rate_per_s must be > 0.
+std::vector<Millis> exponential_arrivals(std::size_t count, double rate_per_s, Rng& rng,
+                                         Millis start_ms = 0.0);
+
+}  // namespace asap::sim

@@ -1,0 +1,248 @@
+// Concurrent multi-session runtime: overlapping calls are deterministic,
+// the async API matches the legacy blocking shim for sequential workloads,
+// and the relay-capacity model rejects streams past a relay's cap and
+// recovers the caller via its ranked backups.
+#include "core/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "population/session_gen.h"
+
+namespace asap::core {
+namespace {
+
+population::WorldParams small_params() {
+  population::WorldParams params;
+  params.seed = 121;
+  params.topo.total_as = 400;
+  params.pop.host_as_count = 100;
+  params.pop.total_peers = 1500;
+  return params;
+}
+
+AsapParams protocol_params(bool capacity) {
+  AsapParams params;
+  params.lat_threshold_ms = 200.0;  // small world: keep relayed sessions common
+  if (capacity) {
+    // Tiny scale => every relay's stream cap collapses to the floor of 1,
+    // so any two overlapping streams contend.
+    params.relay_streams_per_capacity = 1e-9;
+  }
+  return params;
+}
+
+// `bitwise`: identical runs must agree to the bit. Cross-sequencing
+// comparisons (legacy call() vs place_call at different absolute times) run
+// the same message sequence at shifted clock values, so (now - stamp)
+// subtractions may round differently in the last ulp of the clock
+// magnitude — those get a sub-nanosecond tolerance while every discrete
+// field stays exact.
+void expect_outcomes_identical(const CallOutcome& a, const CallOutcome& b,
+                               bool bitwise = true) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.nat_blocked, b.nat_blocked);
+  EXPECT_EQ(a.used_relay, b.used_relay);
+  EXPECT_EQ(a.relay.relay1, b.relay.relay1);
+  EXPECT_EQ(a.relay.relay2, b.relay.relay2);
+  EXPECT_EQ(a.relay.rtt_ms, b.relay.rtt_ms);
+  EXPECT_EQ(a.control_messages, b.control_messages);
+  EXPECT_EQ(a.control_bytes, b.control_bytes);
+  EXPECT_EQ(a.voice_packets_sent, b.voice_packets_sent);
+  EXPECT_EQ(a.voice_packets_received, b.voice_packets_received);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.failover_probes, b.failover_probes);
+  EXPECT_EQ(a.failover_gave_up, b.failover_gave_up);
+  EXPECT_EQ(a.backup_relays, b.backup_relays);
+  EXPECT_EQ(a.relay_busy_rejections, b.relay_busy_rejections);
+  EXPECT_EQ(a.capacity_sheds, b.capacity_sheds);
+  if (bitwise) {
+    EXPECT_EQ(a.direct_rtt_ms, b.direct_rtt_ms);
+    EXPECT_EQ(a.setup_time_ms, b.setup_time_ms);
+    EXPECT_EQ(a.mean_voice_one_way_ms, b.mean_voice_one_way_ms);
+    EXPECT_EQ(a.voice_gap_ms, b.voice_gap_ms);
+    EXPECT_EQ(a.mos_pre_fault, b.mos_pre_fault);
+    EXPECT_EQ(a.mos_post_failover, b.mos_post_failover);
+  } else {
+    // Sub-nanosecond agreement: the only allowed divergence is rounding of
+    // (now - stamp) subtractions at shifted clock magnitudes.
+    constexpr double kClockUlpMs = 1e-6;
+    EXPECT_NEAR(a.direct_rtt_ms, b.direct_rtt_ms, kClockUlpMs);
+    EXPECT_NEAR(a.setup_time_ms, b.setup_time_ms, kClockUlpMs);
+    EXPECT_NEAR(a.mean_voice_one_way_ms, b.mean_voice_one_way_ms, kClockUlpMs);
+    EXPECT_NEAR(a.voice_gap_ms, b.voice_gap_ms, kClockUlpMs);
+    EXPECT_NEAR(a.mos_pre_fault, b.mos_pre_fault, 1e-9);
+    EXPECT_NEAR(a.mos_post_failover, b.mos_post_failover, 1e-9);
+  }
+}
+
+struct ConcurrentSessionFixture : public ::testing::Test {
+  void SetUp() override {
+    world = std::make_unique<population::World>(small_params());
+    Rng rng = world->fork_rng(2);
+    sessions = population::generate_sessions(*world, 2000, rng);
+    latent = population::latent_sessions(sessions, 200.0);
+  }
+
+  // Places `count` staggered overlapping calls and returns their outcomes.
+  std::vector<CallOutcome> run_overlapping(AsapSystem& system, std::size_t count) {
+    system.join_all();
+    std::vector<CallHandle> handles;
+    Millis start = system.queue().now();
+    for (std::size_t i = 0; i < count && i < latent.size(); ++i) {
+      CallSpec spec;
+      spec.caller = latent[i].caller;
+      spec.callee = latent[i].callee;
+      spec.start_at_ms = start + static_cast<Millis>(i) * 300.0;
+      spec.voice_duration_ms = 1500.0;  // every window overlaps its neighbors
+      handles.push_back(system.place_call(spec));
+    }
+    EXPECT_GT(system.peak_concurrent_sessions(), 0u);
+    system.run_until_idle();
+    std::vector<CallOutcome> outcomes;
+    outcomes.reserve(handles.size());
+    for (CallHandle h : handles) {
+      EXPECT_TRUE(system.finished(h));
+      outcomes.push_back(system.take_outcome(h));
+    }
+    return outcomes;
+  }
+
+  std::unique_ptr<population::World> world;
+  std::vector<population::Session> sessions;
+  std::vector<population::Session> latent;
+};
+
+TEST_F(ConcurrentSessionFixture, OverlappingCallsAreBitIdenticalAcrossRuns) {
+  ASSERT_GE(latent.size(), 8u);
+  AsapSystem first(*world, protocol_params(/*capacity=*/true));
+  AsapSystem second(*world, protocol_params(/*capacity=*/true));
+  auto a = run_overlapping(first, 8);
+  auto b = run_overlapping(second, 8);
+  ASSERT_EQ(a.size(), 8u);
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_outcomes_identical(a[i], b[i]);
+    if (a[i].completed) ++completed;
+  }
+  EXPECT_GT(completed, 0u);
+  // The calls really overlapped.
+  EXPECT_GT(first.peak_concurrent_sessions(), 1u);
+  EXPECT_EQ(first.peak_concurrent_sessions(), second.peak_concurrent_sessions());
+  EXPECT_EQ(first.calls_in_flight(), 0u);
+}
+
+TEST_F(ConcurrentSessionFixture, PlaceCallMatchesLegacyCallWhenNotOverlapping) {
+  ASSERT_GE(latent.size(), 4u);
+  // Legacy blocking API: four sequential calls.
+  AsapSystem legacy(*world, protocol_params(/*capacity=*/false));
+  legacy.join_all();
+  std::vector<CallOutcome> blocking;
+  for (std::size_t i = 0; i < 4; ++i) {
+    blocking.push_back(legacy.call(latent[i].caller, latent[i].callee, 400.0));
+  }
+
+  // Async API with windows spaced far beyond call lifetime (voice 400 ms +
+  // close allowance 10 s < 30 s spacing): never concurrent, so the message
+  // sequences per call are the same as the blocking runs.
+  AsapSystem async(*world, protocol_params(/*capacity=*/false));
+  async.join_all();
+  std::size_t callbacks = 0;
+  async.set_on_complete([&callbacks](CallHandle, const CallOutcome&) { ++callbacks; });
+  std::vector<CallHandle> handles;
+  Millis start = async.queue().now();
+  for (std::size_t i = 0; i < 4; ++i) {
+    CallSpec spec;
+    spec.caller = latent[i].caller;
+    spec.callee = latent[i].callee;
+    spec.start_at_ms = start + static_cast<Millis>(i) * 30000.0;
+    spec.voice_duration_ms = 400.0;
+    handles.push_back(async.place_call(spec));
+    EXPECT_FALSE(async.finished(handles.back()));
+    EXPECT_EQ(async.outcome(handles.back()), nullptr);
+  }
+  async.run_until_idle();
+  EXPECT_EQ(callbacks, 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    SCOPED_TRACE(i);
+    const CallOutcome* peeked = async.outcome(handles[i]);
+    ASSERT_NE(peeked, nullptr);
+    expect_outcomes_identical(blocking[i], *peeked, /*bitwise=*/false);
+    expect_outcomes_identical(blocking[i], async.take_outcome(handles[i]),
+                              /*bitwise=*/false);
+  }
+}
+
+TEST_F(ConcurrentSessionFixture, AtCapacityRelayRejectsAndCallerRecoversViaBackups) {
+  // Find a session whose solo call relays and retains backups.
+  AsapSystem probe(*world, protocol_params(/*capacity=*/true));
+  probe.join_all();
+  const population::Session* chosen = nullptr;
+  for (const auto& s : latent) {
+    auto outcome = probe.call(s.caller, s.callee, 200.0);
+    if (outcome.completed && outcome.used_relay && !outcome.backup_relays.empty()) {
+      chosen = &s;
+      break;
+    }
+  }
+  ASSERT_NE(chosen, nullptr) << "no relayed session with backups in this world";
+
+  AsapSystem system(*world, protocol_params(/*capacity=*/true));
+  system.join_all();
+  Millis start = system.queue().now();
+  // Call A holds its relay's only stream slot for 5 s.
+  CallSpec spec_a;
+  spec_a.caller = chosen->caller;
+  spec_a.callee = chosen->callee;
+  spec_a.start_at_ms = start;
+  spec_a.voice_duration_ms = 5000.0;
+  CallHandle a = system.place_call(spec_a);
+  // Call B (same endpoints, same candidate relays) starts mid-stream.
+  CallSpec spec_b = spec_a;
+  spec_b.start_at_ms = start + 2500.0;
+  spec_b.voice_duration_ms = 1000.0;
+  CallHandle b = system.place_call(spec_b);
+
+  // While only A is up, its relay is exactly at its cap-1 limit.
+  system.run_until(start + 2000.0);
+  ASSERT_FALSE(system.finished(a));
+  const CallOutcome* a_mid = system.outcome(a);
+  EXPECT_EQ(a_mid, nullptr);
+  EXPECT_EQ(system.calls_in_flight(), 1u);
+
+  system.run_until_idle();
+  CallOutcome out_a = system.take_outcome(a);
+  CallOutcome out_b = system.take_outcome(b);
+  ASSERT_TRUE(out_a.completed);
+  ASSERT_TRUE(out_b.completed);
+  ASSERT_TRUE(out_a.used_relay);
+  EXPECT_EQ(system.relay_stream_capacity(out_a.relay.relay1), 1u);
+
+  // B probed A's occupied relay, was refused, and recovered elsewhere.
+  EXPECT_GT(out_b.relay_busy_rejections, 0u);
+  if (out_b.used_relay) {
+    EXPECT_NE(out_b.relay.relay1, out_a.relay.relay1);
+  }
+  EXPECT_EQ(out_b.voice_packets_received, out_b.voice_packets_sent);
+
+  // Every reserved slot was released when the streams ended.
+  EXPECT_EQ(system.relay_streams_in_use(out_a.relay.relay1), 0u);
+  if (out_b.used_relay) {
+    EXPECT_EQ(system.relay_streams_in_use(out_b.relay.relay1), 0u);
+  }
+}
+
+TEST_F(ConcurrentSessionFixture, CapacityModelOffNeverRejects) {
+  ASSERT_GE(latent.size(), 4u);
+  AsapSystem system(*world, protocol_params(/*capacity=*/false));
+  auto outcomes = run_overlapping(system, 4);
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.relay_busy_rejections, 0u);
+    EXPECT_EQ(outcome.capacity_sheds, 0u);
+  }
+  EXPECT_EQ(system.relay_stream_capacity(HostId(0)), 0u);
+}
+
+}  // namespace
+}  // namespace asap::core

@@ -104,11 +104,11 @@ TEST_F(MultiSurrogateFixture, AssignmentIsStable) {
 TEST_F(MultiSurrogateFixture, ElectionReplacesFailedSurrogateInSet) {
   ClusterId big = find_large_cluster(500);
   ASSERT_TRUE(big.valid());
-  auto& pop = world->pop();
+  const auto& pop = world->pop();
   Cluster before = pop.cluster(big);  // copy: election mutates the cluster
   ASSERT_GE(before.surrogates.size(), 2u);
   HostId secondary = before.surrogates[1];
-  pop.elect_surrogate(big, secondary);
+  world->elect_surrogate(big, secondary);
   const Cluster& after = pop.cluster(big);
   EXPECT_EQ(after.surrogates.size(), before.surrogates.size());
   EXPECT_EQ(std::find(after.surrogates.begin(), after.surrogates.end(), secondary),

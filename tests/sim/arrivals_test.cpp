@@ -1,0 +1,44 @@
+#include "sim/arrivals.h"
+
+#include <gtest/gtest.h>
+
+namespace asap::sim {
+namespace {
+
+TEST(Arrivals, DeterministicPerSeed) {
+  Rng a(77), b(77);
+  auto first = exponential_arrivals(100, 5.0, a);
+  auto second = exponential_arrivals(100, 5.0, b);
+  ASSERT_EQ(first.size(), 100u);
+  EXPECT_EQ(first, second);
+
+  Rng c(78);
+  auto other_seed = exponential_arrivals(100, 5.0, c);
+  EXPECT_NE(first, other_seed);
+}
+
+TEST(Arrivals, MonotoneAndOffsetByStart) {
+  Rng rng(1);
+  auto arrivals = exponential_arrivals(500, 10.0, rng, 2500.0);
+  ASSERT_EQ(arrivals.size(), 500u);
+  EXPECT_GT(arrivals.front(), 2500.0);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i], arrivals[i - 1]);
+  }
+}
+
+TEST(Arrivals, MeanGapMatchesRate) {
+  Rng rng(42);
+  const double rate = 20.0;  // 50 ms mean gap
+  auto arrivals = exponential_arrivals(20000, rate, rng);
+  double mean_gap = arrivals.back() / static_cast<double>(arrivals.size());
+  EXPECT_NEAR(mean_gap, 1000.0 / rate, 2.0);
+}
+
+TEST(Arrivals, EmptyCount) {
+  Rng rng(9);
+  EXPECT_TRUE(exponential_arrivals(0, 1.0, rng).empty());
+}
+
+}  // namespace
+}  // namespace asap::sim

@@ -1,8 +1,8 @@
-#include "sim/metrics.h"
+#include "common/metrics.h"
 
 #include <gtest/gtest.h>
 
-namespace asap::sim {
+namespace asap {
 namespace {
 
 TEST(MetricsRegistry, UnknownCounterIsZero) {
@@ -32,4 +32,4 @@ TEST(MetricsRegistry, ResetClearsValuesButKeepsSeries) {
 }
 
 }  // namespace
-}  // namespace asap::sim
+}  // namespace asap
