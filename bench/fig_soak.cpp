@@ -1,0 +1,294 @@
+// Living-world soak of the concurrent protocol runtime (no paper figure;
+// extends the Sec. 7 evaluation to a world that changes underneath the
+// overlay): each sweep row runs a diurnal Poisson call mix with gold /
+// silver / bronze service classes over a world subjected to peer churn and
+// BGP-level route flaps, with the relay-capacity model and class-of-service
+// admission control enabled. Reported per row: per-class completion, MOS
+// and one-way latency, preemptions and class sheds, PathOracle
+// invalidations and close-set evictions with their observed staleness.
+//
+// Each row builds a fresh world: route flaps mutate the topology in place,
+// so rows must not inherit a predecessor's scars. Outcomes are collected in
+// a completion callback under OutcomeRetention::kDiscardAfterCallback — the
+// finished table stays empty over the whole soak (printed as "pending" per
+// row), demonstrating the bounded-memory harvest path.
+//
+// Arrival times, churn plans and class assignment all come from seeded
+// forks of the world RNG and the protocol simulation is single-threaded
+// discrete-event execution, so the digest is byte-identical at any
+// ASAP_THREADS setting.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/protocol.h"
+#include "population/session_gen.h"
+#include "sim/arrivals.h"
+#include "sim/churn_plan.h"
+
+using namespace asap;
+
+namespace {
+
+constexpr Millis kVoiceMs = 4000.0;
+constexpr Millis kHorizonMs = 60000.0;
+constexpr std::size_t kClassCount = 3;
+
+const char* kClassNames[kClassCount] = {"bronze", "silver", "gold"};
+
+core::AsapParams protocol_params() {
+  core::AsapParams params;
+  params.lat_threshold_ms = 200.0;  // small world: keep relayed sessions common
+  params.probe_timeout_ms = 1000.0;
+  params.relay_streams_per_capacity = 0.5;
+  params.admission_control = true;
+  return params;
+}
+
+struct SoakConfig {
+  const char* label;
+  std::uint32_t peer_leaves = 0;
+  std::uint32_t peer_joins = 0;
+  std::uint32_t link_fails = 0;
+  std::uint32_t link_recoveries = 0;
+  std::uint32_t policy_changes = 0;
+  double diurnal_amplitude = 0.0;
+  // Offered-load multiplier on the base arrival rate; the stress row runs
+  // hot enough that relays saturate and admission control actually acts.
+  double rate_x = 1.0;
+};
+
+struct ClassStats {
+  std::size_t calls = 0;
+  std::size_t completed = 0;
+  std::size_t preempted = 0;
+  std::vector<double> mos;
+  std::vector<double> one_way_ms;
+};
+
+struct SoakResult {
+  SoakConfig config;
+  std::size_t calls = 0;
+  std::size_t completed = 0;
+  std::size_t relayed = 0;
+  std::uint64_t busy_rejections = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t sheds_by_class[kClassCount] = {0, 0, 0};
+  std::uint64_t oracle_evictions = 0;
+  std::uint64_t close_sets_invalidated = 0;
+  std::uint64_t peer_leaves = 0;
+  std::uint64_t peer_joins = 0;
+  std::uint64_t churn_skipped = 0;
+  double staleness_mean_ms = 0.0;  // NaN when no eviction observed staleness
+  std::size_t outcomes_pending = 0;
+  ClassStats per_class[kClassCount];
+};
+
+std::uint64_t delta(const MetricsRegistry& reg, const std::string& name,
+                    std::map<std::string, std::uint64_t>& before) {
+  std::uint64_t now = reg.value(name);
+  std::uint64_t prev = before[name];
+  before[name] = now;
+  return now - prev;
+}
+
+SoakResult run_soak(const SoakConfig& config, const bench::BenchEnv& env,
+                    bench::BenchRun& run, MetricsRegistry& registry,
+                    std::map<std::string, std::uint64_t>& counter_base,
+                    std::uint64_t& staleness_count_base, double& staleness_sum_base) {
+  // Fresh world per row: fail_link/flip_policy permanently rewrite the
+  // AS graph, and a soak row must start from the unscarred Internet.
+  auto world = bench::build_world(bench::small_world_params(env.seed), config.label);
+  core::AsapSystem system(*world, protocol_params(), 2, &registry);
+  system.set_trace(run.trace());
+  system.join_all();
+
+  // Same cell the protocol's ChurnCounters will bind to (a histogram name
+  // keeps its first registration), letting the bench read staleness
+  // regardless of whether the digest layer is on.
+  Histogram staleness = registry.histogram(
+      "churn.close_set_staleness_ms",
+      {100.0, 500.0, 1000.0, 5000.0, 10000.0, 30000.0, 60000.0});
+
+  Rng rng = world->fork_rng(0x50AC);
+  auto sessions = population::generate_sessions(*world, 4000, rng);
+  auto latent = population::latent_sessions(sessions, 200.0);
+
+  // Diurnal arrival schedule: one compressed "day" spanning the soak
+  // horizon, sized so the expected call count tracks the session knob.
+  std::size_t calls_target = std::clamp<std::size_t>(env.sessions / 75, 64, 256);
+  double base_rate =
+      config.rate_x * static_cast<double>(calls_target) / (kHorizonMs / 1000.0);
+  auto profile = sim::diurnal_rate_profile(base_rate, config.diurnal_amplitude,
+                                           kHorizonMs, 12);
+  Rng arrival_rng = world->fork_rng(0xD1A7);
+  std::vector<Millis> arrivals =
+      sim::piecewise_poisson_arrivals(profile, kHorizonMs, arrival_rng);
+
+  // Churn plan over the same horizon, from the populated cluster sizes.
+  sim::ChurnPlanParams churn;
+  churn.horizon_ms = kHorizonMs;
+  churn.peer_leaves = config.peer_leaves;
+  churn.peer_joins = config.peer_joins;
+  churn.link_fails = config.link_fails;
+  churn.link_recoveries = config.link_recoveries;
+  churn.policy_changes = config.policy_changes;
+  std::vector<std::size_t> cluster_sizes;
+  cluster_sizes.reserve(world->pop().clusters().size());
+  for (const auto& cluster : world->pop().clusters()) {
+    cluster_sizes.push_back(cluster.members.size());
+  }
+  Rng churn_rng = world->fork_rng(0xC4B2);
+  sim::ChurnPlan plan = sim::ChurnPlan::generate(churn, cluster_sizes,
+                                                 world->graph().edge_count(), churn_rng);
+  system.arm_churn_plan(plan);
+
+  SoakResult result;
+  result.config = config;
+
+  // Fire-and-forget harvest: outcomes land in the callback and are dropped,
+  // so the finished table stays empty for the entire soak.
+  std::map<std::uint32_t, std::size_t> class_of;  // session id -> class index
+  system.set_outcome_retention(core::AsapSystem::OutcomeRetention::kDiscardAfterCallback);
+  system.set_on_complete([&](core::CallHandle handle, const core::CallOutcome& outcome) {
+    std::size_t cls = class_of.at(handle.session().value());
+    ClassStats& stats = result.per_class[cls];
+    if (outcome.completed) {
+      ++result.completed;
+      ++stats.completed;
+      if (outcome.mos_pre_fault > 0.0) stats.mos.push_back(outcome.mos_pre_fault);
+      if (outcome.voice_packets_received > 0) {
+        stats.one_way_ms.push_back(outcome.mean_voice_one_way_ms);
+      }
+    }
+    if (outcome.used_relay) ++result.relayed;
+    if (outcome.was_preempted) ++stats.preempted;
+    result.busy_rejections += outcome.relay_busy_rejections;
+  });
+
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const auto& session = latent[i % latent.size()];
+    core::CallSpec spec;
+    spec.caller = session.caller;
+    spec.callee = session.callee;
+    spec.start_at_ms = arrivals[i];
+    spec.voice_duration_ms = kVoiceMs;
+    // Deterministic class mix: one gold and one silver per three calls.
+    spec.service_class = static_cast<core::ServiceClass>(i % kClassCount);
+    core::CallHandle handle = system.place_call(spec);
+    class_of[handle.session().value()] = i % kClassCount;
+    ++result.per_class[i % kClassCount].calls;
+  }
+  result.calls = arrivals.size();
+  system.run_until_idle();
+  result.outcomes_pending = system.outcomes_pending();
+
+  result.preemptions = delta(registry, "admission.preemptions", counter_base);
+  result.sheds_by_class[0] = delta(registry, "admission.sheds_bronze", counter_base);
+  result.sheds_by_class[1] = delta(registry, "admission.sheds_silver", counter_base);
+  result.sheds_by_class[2] = delta(registry, "admission.sheds_gold", counter_base);
+  result.close_sets_invalidated =
+      delta(registry, "churn.close_sets_invalidated", counter_base);
+  result.peer_leaves = delta(registry, "churn.peer_leaves", counter_base);
+  result.peer_joins = delta(registry, "churn.peer_joins", counter_base);
+  result.churn_skipped = delta(registry, "churn.events_skipped", counter_base);
+  result.oracle_evictions = world->oracle().invalidated_tables();
+  std::uint64_t stale_n = staleness.count() - staleness_count_base;
+  double stale_sum = staleness.sum() - staleness_sum_base;
+  staleness_count_base = staleness.count();
+  staleness_sum_base = staleness.sum();
+  result.staleness_mean_ms = stale_n > 0
+                                 ? stale_sum / static_cast<double>(stale_n)
+                                 : std::numeric_limits<double>::quiet_NaN();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto env = bench::read_env(argc, argv);
+  bench::BenchRun run("fig_soak", env);
+  // The soak reads admission/churn counters back per row, so it always
+  // records into a registry it can see — the digest registry when metrics
+  // are on, a local one otherwise (identical printed output either way).
+  MetricsRegistry local_registry;
+  MetricsRegistry& registry = run.metrics() != nullptr ? *run.metrics() : local_registry;
+
+  const std::vector<SoakConfig> rows = {
+      {"calm", 0, 0, 0, 0, 0, 0.0, 1.0},
+      {"churn", 30, 20, 0, 0, 0, 0.3, 1.0},
+      {"flaps", 0, 0, 12, 8, 4, 0.3, 1.0},
+      {"stress", 40, 28, 20, 12, 6, 0.6, 14.0},
+  };
+
+  bench::print_section(
+      "Living-world soak: churn x route flaps x diurnal load, admission on");
+  std::printf("horizon %.0f s, voice %.0f ms, classes bronze/silver/gold (1:1:1), "
+              "retention discard-after-callback\n",
+              kHorizonMs / 1000.0, kVoiceMs);
+
+  std::map<std::string, std::uint64_t> counter_base;
+  std::uint64_t staleness_count_base = 0;
+  double staleness_sum_base = 0.0;
+  std::vector<SoakResult> swept;
+  for (const auto& config : rows) {
+    swept.push_back(run_soak(config, env, run, registry, counter_base,
+                             staleness_count_base, staleness_sum_base));
+  }
+
+  Table table({"world", "calls", "completed", "relayed", "busy answers", "preempted",
+               "sheds b/s/g", "leaves/joins/skip", "oracle evictions", "sets evicted",
+               "staleness (ms)", "pending"});
+  for (const auto& r : swept) {
+    std::string sheds = std::to_string(r.sheds_by_class[0]) + "/" +
+                        std::to_string(r.sheds_by_class[1]) + "/" +
+                        std::to_string(r.sheds_by_class[2]);
+    std::string churn_counts = std::to_string(r.peer_leaves) + "/" +
+                               std::to_string(r.peer_joins) + "/" +
+                               std::to_string(r.churn_skipped);
+    table.add_row({r.config.label, Table::fmt_int(static_cast<long long>(r.calls)),
+                   Table::fmt_int(static_cast<long long>(r.completed)),
+                   Table::fmt_int(static_cast<long long>(r.relayed)),
+                   Table::fmt_int(static_cast<long long>(r.busy_rejections)),
+                   Table::fmt_int(static_cast<long long>(r.preemptions)),
+                   sheds, churn_counts,
+                   Table::fmt_int(static_cast<long long>(r.oracle_evictions)),
+                   Table::fmt_int(static_cast<long long>(r.close_sets_invalidated)),
+                   Table::fmt(r.staleness_mean_ms, 0),
+                   Table::fmt_int(static_cast<long long>(r.outcomes_pending))});
+  }
+  table.print();
+
+  Table classes({"world/class", "calls", "completed", "preempted", "p50 one-way (ms)",
+                 "p90 one-way (ms)", "mean MOS"});
+  for (const auto& r : swept) {
+    for (std::size_t c = 0; c < kClassCount; ++c) {
+      const ClassStats& stats = r.per_class[c];
+      OnlineStats mos;
+      for (double v : stats.mos) mos.add(v);
+      classes.add_row({std::string(r.config.label) + "/" + kClassNames[c],
+                       Table::fmt_int(static_cast<long long>(stats.calls)),
+                       Table::fmt_int(static_cast<long long>(stats.completed)),
+                       Table::fmt_int(static_cast<long long>(stats.preempted)),
+                       Table::fmt(percentile(stats.one_way_ms, 50), 0),
+                       Table::fmt(percentile(stats.one_way_ms, 90), 0),
+                       Table::fmt(mos.mean(), 2)});
+    }
+  }
+  classes.print();
+
+  const SoakResult& stress = swept.back();
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    bench::print_cdf("MOS CDF (stress row, " + std::string(kClassNames[c]) + ")",
+                     "MOS", stress.per_class[c].mos);
+    bench::print_cdf(
+        "Voice one-way CDF (stress row, " + std::string(kClassNames[c]) + ")",
+        "one-way (ms)", stress.per_class[c].one_way_ms);
+  }
+  return 0;
+}

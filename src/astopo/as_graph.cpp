@@ -21,6 +21,33 @@ std::uint32_t AsGraph::add_edge(AsId a, AsId b, LinkType type_from_a) {
   return edge_id;
 }
 
+void AsGraph::set_edge_enabled(std::uint32_t edge_id, bool enabled) {
+  assert(edge_id < edge_endpoints_.size());
+  if (edge_enabled_.empty()) edge_enabled_.assign(edge_endpoints_.size(), 1);
+  // add_edge after the first flap keeps the vector in step.
+  edge_enabled_.resize(edge_endpoints_.size(), 1);
+  edge_enabled_[edge_id] = enabled ? 1 : 0;
+}
+
+void AsGraph::set_edge_type(std::uint32_t edge_id, LinkType type_from_a) {
+  assert(edge_id < edge_endpoints_.size());
+  auto [a, b] = edge_endpoints_[edge_id];
+  for (auto& adj : adjacency_[a.value()]) {
+    if (adj.edge_id == edge_id) adj.type = type_from_a;
+  }
+  for (auto& adj : adjacency_[b.value()]) {
+    if (adj.edge_id == edge_id) adj.type = reverse(type_from_a);
+  }
+}
+
+LinkType AsGraph::edge_type(std::uint32_t edge_id) const {
+  auto [a, b] = edge_endpoints_[edge_id];
+  for (const auto& adj : adjacency_[a.value()]) {
+    if (adj.edge_id == edge_id) return adj.type;
+  }
+  return LinkType::kToPeer;  // unreachable: every edge has an adjacency entry
+}
+
 std::optional<AsId> AsGraph::find_by_asn(std::uint32_t asn) const {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].asn == asn) return AsId(static_cast<std::uint32_t>(i));

@@ -60,6 +60,27 @@ class AsGraph {
     return edge_endpoints_[edge_id];
   }
 
+  // --- BGP-level route flaps (living-world soak runtime) --------------------
+  // A disabled edge stays in the adjacency lists but is skipped by route
+  // computation (compute_routes) and the valley-free BFS — the session-level
+  // view of a withdrawn BGP adjacency. All edges start enabled, and a graph
+  // that never disables an edge behaves bitwise identically to one without
+  // the feature. Mutations are NOT thread-safe against concurrent readers:
+  // only call from single-threaded protocol simulations, and invalidate any
+  // PathOracle built over this graph afterwards (see
+  // netmodel::PathOracle::invalidate_*).
+  void set_edge_enabled(std::uint32_t edge_id, bool enabled);
+  [[nodiscard]] bool edge_enabled(std::uint32_t edge_id) const {
+    return edge_enabled_.empty() || edge_enabled_[edge_id] != 0;
+  }
+  // Rewrites the commercial relationship of an existing edge (a policy
+  // change): `type_from_a` is the new type seen from the edge's first
+  // endpoint; the mirror adjacency entry gets the reversed type. Same
+  // thread-safety and invalidation caveats as set_edge_enabled.
+  void set_edge_type(std::uint32_t edge_id, LinkType type_from_a);
+  // Relationship of an edge as seen from its first endpoint.
+  [[nodiscard]] LinkType edge_type(std::uint32_t edge_id) const;
+
   // Linear scan lookup by wire ASN (used by parsers; O(n)).
   [[nodiscard]] std::optional<AsId> find_by_asn(std::uint32_t asn) const;
 
@@ -75,6 +96,9 @@ class AsGraph {
   std::vector<AsNode> nodes_;
   std::vector<std::vector<AsAdjacency>> adjacency_;
   std::vector<std::pair<AsId, AsId>> edge_endpoints_;
+  // Lazily sized on the first set_edge_enabled(): empty means every edge is
+  // enabled, so graphs that never flap pay nothing.
+  std::vector<std::uint8_t> edge_enabled_;
 };
 
 }  // namespace asap::astopo

@@ -37,6 +37,7 @@ RouteTable compute_routes(const AsGraph& graph, AsId dest) {
     AsId x = queue.front();
     queue.pop_front();
     for (const auto& adj : graph.neighbors(x)) {
+      if (!graph.edge_enabled(adj.edge_id)) continue;  // withdrawn (route flap)
       if (adj.type != LinkType::kToProvider && adj.type != LinkType::kToSibling) continue;
       AsId y = adj.neighbor;
       if (cls(y) != RouteClass::kUnreachable) continue;
@@ -54,6 +55,7 @@ RouteTable compute_routes(const AsGraph& graph, AsId dest) {
     if (cls(y) != RouteClass::kUnreachable) continue;
     std::uint8_t best = 0xFF;
     for (const auto& adj : graph.neighbors(y)) {
+      if (!graph.edge_enabled(adj.edge_id)) continue;
       if (adj.type != LinkType::kToPeer) continue;
       RouteClass xc = cls(adj.neighbor);
       if (xc != RouteClass::kSelf && xc != RouteClass::kCustomer) continue;
@@ -78,6 +80,7 @@ RouteTable compute_routes(const AsGraph& graph, AsId dest) {
       AsId x = buckets[h][qi];
       if (hops(x) != h) continue;  // stale bucket entry
       for (const auto& adj : graph.neighbors(x)) {
+        if (!graph.edge_enabled(adj.edge_id)) continue;
         if (adj.type != LinkType::kToCustomer && adj.type != LinkType::kToSibling) continue;
         AsId y = adj.neighbor;
         auto candidate = static_cast<std::uint8_t>(h + 1);
@@ -100,6 +103,7 @@ RouteTable compute_routes(const AsGraph& graph, AsId dest) {
     if (ye.cls == RouteClass::kUnreachable || ye.cls == RouteClass::kSelf) continue;
     std::uint32_t best_asn = 0xFFFFFFFFu;
     for (const auto& adj : graph.neighbors(y)) {
+      if (!graph.edge_enabled(adj.edge_id)) continue;
       AsId x = adj.neighbor;
       const RouteEntry& xe = entries[x.value()];
       if (xe.cls == RouteClass::kUnreachable) continue;

@@ -26,6 +26,7 @@ std::vector<std::uint8_t> valley_free_hops(const AsGraph& graph, AsId source,
     std::uint8_t d = state_dist[idx(as, state)];
     if (d >= max_hops) continue;
     for (const auto& adj : graph.neighbors(as)) {
+      if (!graph.edge_enabled(adj.edge_id)) continue;  // withdrawn (route flap)
       PathState next_state;
       if (!can_extend(state, adj.type, next_state)) continue;
       std::size_t i = idx(adj.neighbor, next_state);
@@ -51,6 +52,7 @@ std::vector<std::uint8_t> unconstrained_hops(const AsGraph& graph, AsId source,
     std::uint8_t d = dist[as.value()];
     if (d >= max_hops) continue;
     for (const auto& adj : graph.neighbors(as)) {
+      if (!graph.edge_enabled(adj.edge_id)) continue;
       if (dist[adj.neighbor.value()] != kVfUnreached) continue;
       dist[adj.neighbor.value()] = static_cast<std::uint8_t>(d + 1);
       queue.push_back(adj.neighbor);

@@ -3,12 +3,16 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
 namespace asap {
 
-// Welford online mean/variance plus min/max.
+// Welford online mean/variance plus min/max. An empty accumulator reports
+// NaN for min()/max() — the same "no samples" convention percentile() uses —
+// so summary rows cannot silently print fake zeros (Table::fmt renders NaN
+// as "(no samples)").
 class OnlineStats {
  public:
   void add(double x);
@@ -24,8 +28,8 @@ class OnlineStats {
   std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = std::numeric_limits<double>::quiet_NaN();
+  double max_ = std::numeric_limits<double>::quiet_NaN();
 };
 
 // Percentile with linear interpolation; q in [0, 100]. Sorts a copy.

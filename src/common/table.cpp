@@ -1,6 +1,7 @@
 #include "common/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -14,6 +15,9 @@ void Table::add_row(std::vector<std::string> cells) {
 }
 
 std::string Table::fmt(double value, int decimals) {
+  // NaN is the repo-wide "no samples" sentinel (empty percentile() input,
+  // empty OnlineStats min/max); print it as words, not printf's "nan".
+  if (std::isnan(value)) return "(no samples)";
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
   return buf;

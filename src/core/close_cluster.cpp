@@ -73,4 +73,32 @@ const CloseClusterSet& CloseSetCache::get(ClusterId c) {
   return *set;
 }
 
+std::size_t CloseSetCache::invalidate_ases(std::span<const AsId> ases) {
+  const auto& pop = world_.pop();
+  // Flag the affected ASes once so the per-set scan is O(entries).
+  std::vector<std::uint8_t> affected;
+  if (!ases.empty()) {
+    affected.assign(world_.graph().as_count(), 0);
+    for (AsId as : ases) affected[as.value()] = 1;
+  }
+  std::size_t evicted = 0;
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    CloseClusterSet* set = sets_[i].load(std::memory_order_relaxed);
+    if (set == nullptr) continue;
+    bool stale = ases.empty() || affected[pop.cluster(ClusterId(i)).as.value()] != 0;
+    for (std::size_t j = 0; !stale && j < set->entries.size(); ++j) {
+      stale = affected[pop.cluster(set->entries[j].cluster).as.value()] != 0;
+    }
+    if (!stale) continue;
+    // probe_messages_ stays cumulative: the lazy rebuild spends fresh probes,
+    // and that repeated cost is exactly the churn overhead fig_soak reports.
+    sets_[i].store(nullptr, std::memory_order_relaxed);
+    delete set;
+    built_.fetch_sub(1, std::memory_order_relaxed);
+    invalidated_.fetch_add(1, std::memory_order_relaxed);
+    ++evicted;
+  }
+  return evicted;
+}
+
 }  // namespace asap::core

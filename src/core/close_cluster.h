@@ -8,8 +8,10 @@
 
 #include <array>
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "core/params.h"
@@ -60,6 +62,20 @@ class CloseSetCache {
 
   const CloseClusterSet& get(ClusterId c);
 
+  // --- Incremental maintenance (route flaps / churn) -----------------------
+  // Evicts every built set that can observe a routing change in the given
+  // ASes: sets owned by a cluster in an affected AS, and sets holding an
+  // entry whose cluster sits in an affected AS (its measured rtt/loss rode
+  // the invalidated routes). An empty span evicts every built set. Evicted
+  // sets rebuild lazily on the next get(). Returns the number of sets
+  // evicted. NOT thread-safe against concurrent get(): the evicted sets are
+  // deleted immediately, so only call from single-threaded simulations
+  // (matching the World mutation hooks that produce the AS list).
+  std::size_t invalidate_ases(std::span<const AsId> ases);
+  [[nodiscard]] std::uint64_t invalidated_count() const {
+    return invalidated_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::size_t built_count() const {
     return built_.load(std::memory_order_relaxed);
   }
@@ -79,6 +95,7 @@ class CloseSetCache {
   std::array<std::mutex, kLockStripes> stripes_;
   std::atomic<std::size_t> built_{0};
   std::atomic<std::uint64_t> probe_messages_{0};
+  std::atomic<std::uint64_t> invalidated_{0};
 };
 
 }  // namespace asap::core

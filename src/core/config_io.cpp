@@ -119,6 +119,9 @@ const std::map<std::string, Field, std::less<>>& registry() {
       {"asap.relay_min_streams",
        make_field(
            [](ExperimentConfig& c) -> auto& { return c.asap.relay_min_streams; })},
+      {"asap.admission_control",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.admission_control; })},
   };
   return fields;
 }
@@ -159,6 +162,11 @@ std::string validate(const ExperimentConfig& config) {
     return "config: asap.relay_min_streams must be >= 1 (got " +
            std::to_string(a.relay_min_streams) +
            "); a selected relay must sustain at least one stream";
+  }
+  if (a.admission_control && a.relay_streams_per_capacity <= 0.0) {
+    return "config: asap.admission_control requires the relay-capacity model "
+           "(asap.relay_streams_per_capacity > 0); class-of-service admission "
+           "only acts when routes can be saturated";
   }
   return std::string();
 }

@@ -65,6 +65,15 @@ struct AsapParams {
   // Floor on any enabled relay's stream cap: a host selected as relay must
   // sustain at least one bidirectional stream to be a relay at all.
   std::uint32_t relay_min_streams = 1;
+
+  // --- Class-of-service admission control (living-world soak runtime) ------
+  // When true (requires the capacity model above), relay-capacity shedding
+  // becomes policy-driven: calls carry a ServiceClass (gold/silver/bronze),
+  // sheds are counted per class, and a higher-class call that cannot reserve
+  // a route may preempt the newest strictly-lower-class stream occupying a
+  // saturated hop (the victim reroutes through the mid-call failover path).
+  // Off by default: every existing workload is bit-identical with it off.
+  bool admission_control = false;
 };
 
 // --- Shared world-model constants (Sec. 3.2 measurement model) -------------

@@ -20,7 +20,8 @@ std::string_view wire_kind_name(std::size_t variant_index) {
   return variant_index < std::size(kNames) ? kNames[variant_index] : "?";
 }
 
-ProtocolCounters::ProtocolCounters(MetricsRegistry& registry, bool capacity_metrics)
+ProtocolCounters::ProtocolCounters(MetricsRegistry& registry, bool capacity_metrics,
+                                   bool admission_metrics)
     : close_sets_built(registry.counter("surrogate.close_sets_built")),
       construction_probes(registry.counter("surrogate.construction_probes")),
       surrogate_failures_injected(registry.counter("surrogate.failures_injected")),
@@ -62,6 +63,12 @@ ProtocolCounters::ProtocolCounters(MetricsRegistry& registry, bool capacity_metr
     capacity_reroutes = registry.counter("capacity.reroutes");
     relay_peak_streams = registry.gauge("capacity.peak_relay_streams");
   }
+  if (admission_metrics) {
+    admission_preemptions = registry.counter("admission.preemptions");
+    admission_sheds_bronze = registry.counter("admission.sheds_bronze");
+    admission_sheds_silver = registry.counter("admission.sheds_silver");
+    admission_sheds_gold = registry.counter("admission.sheds_gold");
+  }
   for (std::size_t k = 0; k < wire_by_kind.size(); ++k) {
     // ProbeBusy frames only exist under the capacity model; keep the series
     // out of capacity-off digests.
@@ -70,6 +77,19 @@ ProtocolCounters::ProtocolCounters(MetricsRegistry& registry, bool capacity_metr
   }
 }
 
+ChurnCounters::ChurnCounters(MetricsRegistry& registry)
+    : peer_leaves(registry.counter("churn.peer_leaves")),
+      peer_joins(registry.counter("churn.peer_joins")),
+      link_fails(registry.counter("churn.link_fails")),
+      link_recoveries(registry.counter("churn.link_recoveries")),
+      policy_changes(registry.counter("churn.policy_changes")),
+      events_skipped(registry.counter("churn.events_skipped")),
+      oracle_evictions(registry.counter("churn.oracle_evictions")),
+      close_sets_invalidated(registry.counter("churn.close_sets_invalidated")),
+      close_set_staleness_ms(registry.histogram(
+          "churn.close_set_staleness_ms",
+          {100.0, 500.0, 1000.0, 5000.0, 10000.0, 30000.0, 60000.0})) {}
+
 // State machine of one in-flight call, driven by message handlers.
 struct AsapSystem::ActiveCall {
   SessionId session;
@@ -77,6 +97,7 @@ struct AsapSystem::ActiveCall {
   HostId callee;
   Millis voice_duration_ms = 0.0;
   voip::Codec codec = voip::kG729aVad;
+  ServiceClass service_class = ServiceClass::kBronze;
   Millis started_at_ms = 0.0;
   sim::MessageCounter counter_at_start;
 
@@ -151,8 +172,9 @@ AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
     : world_(world), params_(params), net_(queue_, world.oracle()),
       owned_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
       metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
-      counters_(*metrics_, params.relay_streams_per_capacity > 0.0),
-      fault_rng_(world.fork_rng(0xFA177)) {
+      counters_(*metrics_, params.relay_streams_per_capacity > 0.0,
+                params.admission_control && params.relay_streams_per_capacity > 0.0),
+      fault_rng_(world.fork_rng(0xFA177)), churn_rng_(world.fork_rng(0xC402E)) {
   net_.set_payload_sizer([](const ProtocolPayload& p) {
     return wire::encoded_size(p) + wire::kPacketOverheadBytes;
   });
@@ -175,6 +197,7 @@ AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
   // least relay_min_streams (paper Sec. 6: a selected relay must sustain
   // one bidirectional stream).
   capacity_enabled_ = params_.relay_streams_per_capacity > 0.0;
+  admission_enabled_ = capacity_enabled_ && params_.admission_control;
   if (capacity_enabled_) {
     relay_stream_cap_.resize(pop.peers().size());
     relay_streams_.assign(pop.peers().size(), 0u);
@@ -267,6 +290,10 @@ std::shared_ptr<const CloseClusterSet> AsapSystem::surrogate_close_set(ClusterId
         construct_close_cluster_set(world_, c, params_));
     counters_.close_sets_built.inc();
     counters_.construction_probes.add(slot->probe_messages);
+    // Staleness bookkeeping is only sized once a churn plan is armed.
+    if (!surrogate_set_built_ms_.empty()) {
+      surrogate_set_built_ms_[c.value()] = queue_.now();
+    }
   }
   return slot;
 }
@@ -369,6 +396,148 @@ void AsapSystem::apply_fault(const sim::FaultEvent& event) {
   }
 }
 
+// --- Living-world churn ------------------------------------------------------
+// Peer events flip host state (the same alive/joined flags the fault layer
+// uses) and replay the real join flow on return; route flaps mutate the world
+// through its invalidation hooks and evict every close set that could observe
+// the change. All state is sized lazily here so workloads that never arm a
+// churn plan pay nothing and export the historical digest key set.
+
+void AsapSystem::arm_churn_plan(const sim::ChurnPlan& plan) {
+  if (!churn_counters_) churn_counters_.emplace(*metrics_);
+  if (departed_.empty()) departed_.resize(surrogate_sets_.size());
+  if (surrogate_set_built_ms_.empty()) {
+    surrogate_set_built_ms_.assign(surrogate_sets_.size(), 0.0);
+    // Sets built before arming are stamped with the current time: their
+    // observed staleness starts now, not at a fictitious t=0 build.
+    for (std::size_t c = 0; c < surrogate_sets_.size(); ++c) {
+      if (surrogate_sets_[c]) surrogate_set_built_ms_[c] = queue_.now();
+    }
+  }
+  plan.arm(queue_, [this](const sim::ChurnEvent& event) { apply_churn(event); });
+}
+
+void AsapSystem::apply_churn(const sim::ChurnEvent& event) {
+  assert(churn_counters_.has_value());  // only reachable through arm_churn_plan
+  ChurnCounters& cc = *churn_counters_;
+  const auto& pop = world_.pop();
+  switch (event.kind) {
+    case sim::ChurnKind::kPeerLeave: {
+      if (event.target >= pop.clusters().size()) {
+        cc.events_skipped.inc();
+        return;
+      }
+      // A departing member must be present and must not be serving as a
+      // surrogate (surrogate death is the fault layer's story, with its
+      // re-election machinery; churn models ordinary members coming and
+      // going).
+      const auto& cluster = pop.cluster(ClusterId(event.target));
+      std::vector<HostId> eligible;
+      for (HostId m : cluster.members) {
+        const HostState& s = hosts_[m.value()];
+        if (!s.joined || !s.alive) continue;
+        if (is_surrogate_of(ClusterId(event.target), NodeId(m.value()))) continue;
+        eligible.push_back(m);
+      }
+      if (eligible.empty()) {
+        cc.events_skipped.inc();
+        return;
+      }
+      HostId leaver = eligible[churn_rng_.below(eligible.size())];
+      hosts_[leaver.value()].alive = false;
+      hosts_[leaver.value()].joined = false;
+      departed_[event.target].push_back(leaver);
+      cc.peer_leaves.inc();
+      return;
+    }
+    case sim::ChurnKind::kPeerJoin: {
+      if (event.target >= departed_.size() || departed_[event.target].empty()) {
+        cc.events_skipped.inc();
+        return;
+      }
+      HostId joiner = departed_[event.target].back();
+      departed_[event.target].pop_back();
+      hosts_[joiner.value()].alive = true;
+      // Rejoining replays the real join flow — bootstrap round trip,
+      // surrogate discovery, info publish — so the overlay re-integrates
+      // the host the same way join_all() integrated it.
+      NodeId me(joiner.value());
+      send(me, bootstraps_[joiner.value() % bootstraps_.size()],
+           sim::MessageCategory::kJoin, JoinRequest{pop.peer(joiner).ip});
+      cc.peer_joins.inc();
+      return;
+    }
+    case sim::ChurnKind::kLinkFail: {
+      if (world_.graph().edge_count() == 0) {
+        cc.events_skipped.inc();
+        return;
+      }
+      auto evicted = world_.fail_link(event.target);
+      cc.link_fails.inc();
+      cc.oracle_evictions.add(evicted.size());
+      invalidate_close_sets(evicted);
+      return;
+    }
+    case sim::ChurnKind::kLinkRecover: {
+      if (world_.graph().edge_count() == 0) {
+        cc.events_skipped.inc();
+        return;
+      }
+      auto evicted = world_.recover_link(event.target);
+      cc.link_recoveries.inc();
+      cc.oracle_evictions.add(evicted.size());
+      invalidate_close_sets({});  // restored routes can improve sets anywhere
+      return;
+    }
+    case sim::ChurnKind::kPolicyChange: {
+      if (world_.graph().edge_count() == 0) {
+        cc.events_skipped.inc();
+        return;
+      }
+      auto evicted = world_.flip_policy(event.target);
+      cc.policy_changes.inc();
+      cc.oracle_evictions.add(evicted.size());
+      if (!evicted.empty()) invalidate_close_sets({});
+      return;
+    }
+  }
+}
+
+void AsapSystem::invalidate_close_sets(std::span<const AsId> ases) {
+  ChurnCounters& cc = *churn_counters_;
+  const auto& pop = world_.pop();
+  std::vector<std::uint8_t> affected;
+  if (!ases.empty()) {
+    affected.assign(world_.graph().as_count(), 0);
+    for (AsId as : ases) affected[as.value()] = 1;
+  }
+  // Pass 1: evict stale surrogate caches. A set is stale when its owner's
+  // AS routes changed (every measured leg rode those tables) or any entry's
+  // cluster sits in an affected AS (that leg's rtt/loss is now fiction).
+  std::vector<std::uint8_t> owner_evicted(surrogate_sets_.size(), 0);
+  for (std::size_t c = 0; c < surrogate_sets_.size(); ++c) {
+    const auto& set = surrogate_sets_[c];
+    if (!set) continue;
+    bool stale = ases.empty() || affected[pop.cluster(ClusterId(c)).as.value()] != 0;
+    for (std::size_t j = 0; !stale && j < set->entries.size(); ++j) {
+      stale = affected[pop.cluster(set->entries[j].cluster).as.value()] != 0;
+    }
+    if (!stale) continue;
+    cc.close_sets_invalidated.inc();
+    cc.close_set_staleness_ms.observe(queue_.now() - surrogate_set_built_ms_[c]);
+    surrogate_sets_[c] = nullptr;  // members holding the shared_ptr keep theirs
+    owner_evicted[c] = 1;
+  }
+  // Pass 2: drop per-host copies of evicted sets so the next fetch pulls a
+  // fresh one instead of serving the stale snapshot forever.
+  for (auto& host : hosts_) {
+    if (host.close_set && host.close_set->owner.value() < owner_evicted.size() &&
+        owner_evicted[host.close_set->owner.value()] != 0) {
+      host.close_set = nullptr;
+    }
+  }
+}
+
 // --- Relay-capacity bookkeeping ----------------------------------------------
 
 std::uint32_t AsapSystem::relay_stream_capacity(HostId h) const {
@@ -408,6 +577,63 @@ void AsapSystem::release_route(ActiveCall& call) {
     counters_.capacity_releases.inc();
   }
   call.reserved_route.clear();
+}
+
+bool AsapSystem::reserve_or_preempt(ActiveCall& call, const std::vector<NodeId>& route) {
+  // Each pass either reserves or evicts a strictly lower-class victim from
+  // the saturated hop; the class chain strictly decreases, so the loop is
+  // bounded by the number of service classes.
+  while (true) {
+    if (try_reserve_route(call, route)) return true;
+    if (!admission_enabled_ || call.service_class == ServiceClass::kBronze) return false;
+    NodeId full = NodeId::invalid();
+    for (NodeId hop : route) {
+      if (relay_at_capacity(HostId(hop.value()))) {
+        full = hop;
+        break;
+      }
+    }
+    if (!full.valid()) return false;
+    // Victim policy: lowest class first, then the newest stream (highest
+    // session id) — the call that displaced the least established work.
+    ActiveCall* victim = nullptr;
+    for (auto& [sid, other] : sessions_) {
+      if (other.get() == &call || other->service_class >= call.service_class) continue;
+      if (std::find(other->reserved_route.begin(), other->reserved_route.end(), full) ==
+          other->reserved_route.end()) {
+        continue;
+      }
+      if (victim == nullptr || other->service_class < victim->service_class ||
+          (other->service_class == victim->service_class && sid > victim->session.value())) {
+        victim = other.get();
+      }
+    }
+    if (victim == nullptr) return false;  // hop saturated by equal/higher classes
+    preempt(*victim);
+  }
+}
+
+void AsapSystem::preempt(ActiveCall& victim) {
+  // Make-before-break: only the reservation is taken now. The victim keeps
+  // streaming over its old route (a brief, deliberate grace overload of the
+  // relay) until the scheduled failover below commits a new one.
+  release_route(victim);
+  victim.outcome.was_preempted = true;
+  counters_.admission_preemptions.inc();
+  if (trace_ && victim.traced) {
+    trace_->record(victim.session.value(), TraceSpan::kRouteSwitch, queue_.now(),
+                   static_cast<std::uint64_t>(victim.service_class), 1);
+  }
+  SessionId session = victim.session;
+  queue_.after(0.0, [this, session]() {
+    ActiveCall* call = find_session(session);
+    if (call == nullptr || call->done || call->failover_in_progress ||
+        call->outcome.failover_gave_up) {
+      return;
+    }
+    call->failover_in_progress = true;
+    try_next_backup(*call);
+  });
 }
 
 void AsapSystem::fetch_close_set(HostId host, std::function<void()> on_ready) {
@@ -648,6 +874,7 @@ void AsapSystem::start_session(SessionId session, const CallSpec& spec) {
   call.callee = spec.callee;
   call.voice_duration_ms = spec.voice_duration_ms;
   call.codec = spec.codec;
+  call.service_class = spec.service_class;
   call.started_at_ms = queue_.now();
   call.counter_at_start = net_.counter();
   call.traced = trace_ != nullptr && trace_->sampled(session.value());
@@ -716,9 +943,7 @@ void AsapSystem::run_until_idle() {
     std::unique_ptr<ActiveCall> call = std::move(it->second);
     sessions_.erase(it);
     release_route(*call);
-    auto [slot, inserted] = completed_.emplace(sid, std::move(call->outcome));
-    (void)inserted;
-    if (on_complete_) on_complete_(CallHandle(SessionId(sid)), slot->second);
+    finalize_outcome(sid, std::move(call->outcome));
   }
 }
 
@@ -744,8 +969,12 @@ CallOutcome AsapSystem::take_outcome(CallHandle handle) {
   }
   auto live = sessions_.find(handle.session().value());
   if (live != sessions_.end()) {
-    // Stalled in flight (the queue drained under it): surface the partial
-    // outcome as an incomplete call.
+    // A live session may only be finalized when the queue has drained —
+    // then nothing can ever wake it and it is stalled for good. While
+    // events remain, harvesting early must not erase the session (that
+    // used to kill the call and leak its route reservation): report
+    // "not finished yet" and leave it running.
+    if (!queue_.empty()) return CallOutcome{};
     std::unique_ptr<ActiveCall> call = std::move(live->second);
     sessions_.erase(live);
     release_route(*call);
@@ -760,7 +989,19 @@ void AsapSystem::complete_session(ActiveCall& call) {
   assert(it != sessions_.end() && it->second.get() == &call);
   std::unique_ptr<ActiveCall> owned = std::move(it->second);
   sessions_.erase(it);
-  auto [slot, inserted] = completed_.emplace(sid, std::move(owned->outcome));
+  finalize_outcome(sid, std::move(owned->outcome));
+}
+
+void AsapSystem::finalize_outcome(std::uint32_t sid, CallOutcome&& outcome) {
+  // Fire-and-forget retention: hand the outcome to the callback and drop
+  // it, keeping the finished table empty over long soaks. Without a
+  // callback the outcome is stored regardless — it is never silently lost.
+  if (retention_ == OutcomeRetention::kDiscardAfterCallback && on_complete_) {
+    CallOutcome local = std::move(outcome);
+    on_complete_(CallHandle(SessionId(sid)), local);
+    return;
+  }
+  auto [slot, inserted] = completed_.emplace(sid, std::move(outcome));
   (void)inserted;
   if (on_complete_) on_complete_(CallHandle(SessionId(sid)), slot->second);
 }
@@ -961,7 +1202,15 @@ void AsapSystem::decide_relay(ActiveCall& call) {
 void AsapSystem::try_next_setup_relay(ActiveCall& call) {
   if (call.next_backup >= call.backups.size()) {
     // No relay has a free stream slot: degrade to the direct path when NAT
-    // allows it; otherwise the call stalls and finalizes incomplete.
+    // allows it; otherwise the call stalls and finalizes incomplete. Under
+    // admission control the shed is attributed to the call's class.
+    if (admission_enabled_) {
+      switch (call.service_class) {
+        case ServiceClass::kBronze: counters_.admission_sheds_bronze.inc(); break;
+        case ServiceClass::kSilver: counters_.admission_sheds_silver.inc(); break;
+        case ServiceClass::kGold: counters_.admission_sheds_gold.inc(); break;
+      }
+    }
     call.outcome.used_relay = false;
     call.outcome.relay = RelayChoice{};
     if (!call.outcome.nat_blocked) begin_voice(call, {});
@@ -994,7 +1243,7 @@ void AsapSystem::try_next_setup_relay(ActiveCall& call) {
 }
 
 void AsapSystem::begin_voice(ActiveCall& call, const std::vector<NodeId>& relay_route) {
-  if (!relay_route.empty() && !try_reserve_route(call, relay_route)) {
+  if (!relay_route.empty() && !reserve_or_preempt(call, relay_route)) {
     // The probed winner filled up between its probe reply and this commit
     // (another session took its last stream slot): shed the newest stream —
     // this call — onto the ranked backups instead of overloading the relay.
@@ -1263,7 +1512,7 @@ void AsapSystem::commit_switchover(ActiveCall& call, HostId backup, Millis /*pro
   // another session may have taken its last slot since).
   release_route(call);
   std::vector<NodeId> new_route = {NodeId(backup.value())};
-  if (!try_reserve_route(call, new_route)) {
+  if (!reserve_or_preempt(call, new_route)) {
     ++call.outcome.capacity_sheds;
     counters_.capacity_sheds.inc();
     try_next_backup(call);

@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <variant>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "core/params.h"
 #include "core/select_relay.h"
 #include "population/world.h"
+#include "sim/churn_plan.h"
 #include "sim/event_queue.h"
 #include "sim/fault_plan.h"
 #include "sim/network.h"
@@ -137,7 +139,8 @@ inline constexpr Millis kRelayBusyMs = 2.0 * kUnreachableMs;
 // model is on: registered handles appear in run digests even at zero, so
 // capacity-off runs must export exactly the historical key set.
 struct ProtocolCounters {
-  ProtocolCounters(MetricsRegistry& registry, bool capacity_metrics);
+  ProtocolCounters(MetricsRegistry& registry, bool capacity_metrics,
+                   bool admission_metrics);
 
   Counter close_sets_built, construction_probes, surrogate_failures_injected,
       host_failures_injected, host_recoveries, active_relay_crashes, loss_bursts,
@@ -148,6 +151,9 @@ struct ProtocolCounters {
   // Relay-capacity contention (detached when the model is off).
   Counter capacity_probe_rejections, capacity_reservations, capacity_releases,
       capacity_sheds, capacity_reroutes;
+  // Class-of-service admission (detached unless admission control is on).
+  Counter admission_preemptions, admission_sheds_bronze, admission_sheds_silver,
+      admission_sheds_gold;
   // Wire messages by payload kind, indexed by ProtocolPayload variant index.
   std::array<Counter, std::variant_size_v<ProtocolPayload>> wire_by_kind;
   Gauge queue_peak_depth;
@@ -155,7 +161,36 @@ struct ProtocolCounters {
   Histogram setup_time_ms, failover_latency_ms, mos_pre_fault, mos_post_failover;
 };
 
+// Observability for the living-world churn runtime (churn.* series).
+// Constructed lazily the first time a churn plan is armed, so workloads that
+// never arm one export exactly the historical key set (registered handles
+// appear in run digests even at zero).
+struct ChurnCounters {
+  explicit ChurnCounters(MetricsRegistry& registry);
+
+  Counter peer_leaves, peer_joins, link_fails, link_recoveries, policy_changes,
+      events_skipped, oracle_evictions, close_sets_invalidated;
+  // Age of each surrogate close set at the moment a route flap evicted it —
+  // how stale the knowledge the overlay was serving had become.
+  Histogram close_set_staleness_ms;
+};
+
 // --- System ------------------------------------------------------------
+
+// Class-of-service tier of a call under admission control: when relay
+// capacity runs out, bronze calls shed first and a gold call may preempt a
+// strictly lower-class stream from a saturated relay (the victim reroutes
+// through the mid-call failover path).
+enum class ServiceClass : std::uint8_t { kBronze = 0, kSilver = 1, kGold = 2 };
+
+constexpr std::string_view service_class_name(ServiceClass c) {
+  switch (c) {
+    case ServiceClass::kBronze: return "bronze";
+    case ServiceClass::kSilver: return "silver";
+    case ServiceClass::kGold: return "gold";
+  }
+  return "?";
+}
 
 struct CallOutcome {
   bool completed = false;
@@ -201,6 +236,9 @@ struct CallOutcome {
   // Times the probed winner lost its last stream slot between the probe
   // reply and the route commit, shedding this call onto its backups.
   std::uint32_t capacity_sheds = 0;
+  // A higher-class call evicted this stream from a saturated relay
+  // (admission control); the call rerouted through the failover path.
+  bool was_preempted = false;
 };
 
 // Everything place_call() needs to know about one call.
@@ -214,6 +252,8 @@ struct CallSpec {
   Millis start_at_ms = 0.0;
   Millis voice_duration_ms = 400.0;
   voip::Codec codec = voip::kG729aVad;
+  // Only consulted when AsapParams::admission_control is on.
+  ServiceClass service_class = ServiceClass::kBronze;
 };
 
 // Opaque ticket for a placed call; pass it back to finished()/outcome()/
@@ -263,14 +303,30 @@ class AsapSystem {
   // Borrowed view of a finished call's outcome; null while in flight.
   [[nodiscard]] const CallOutcome* outcome(CallHandle handle) const;
   // Removes and returns the outcome. A still-in-flight session is finalized
-  // as incomplete (legacy drained-queue semantics); an unknown handle
-  // returns a default outcome.
+  // as incomplete only when the event queue has drained (nothing left can
+  // ever wake it — the legacy drained-queue semantics); harvesting a live
+  // session while events remain is a no-op that returns a default outcome
+  // (completed == false) and leaves the call running, so an early harvest
+  // can never change the call's eventual result. An unknown handle returns
+  // a default outcome.
   CallOutcome take_outcome(CallHandle handle);
   // Invoked from inside the simulation whenever a call finishes. The
   // reference is valid for the duration of the callback; copy it or call
   // take_outcome() to keep it.
   using CompletionFn = std::function<void(CallHandle, const CallOutcome&)>;
   void set_on_complete(CompletionFn fn) { on_complete_ = std::move(fn); }
+  // Outcome retention policy. kKeepAll (default, historical behaviour)
+  // stores every finished outcome until harvested — a fire-and-forget
+  // workload that only reads results in its completion callback grows the
+  // finished table without bound. kDiscardAfterCallback hands the outcome to
+  // the callback and drops it, keeping memory flat over arbitrarily long
+  // soaks; finished()/outcome()/take_outcome() then never see it, and with
+  // no callback installed outcomes are stored regardless (never silently
+  // lost).
+  enum class OutcomeRetention : std::uint8_t { kKeepAll = 0, kDiscardAfterCallback = 1 };
+  void set_outcome_retention(OutcomeRetention policy) { retention_ = policy; }
+  // Finished outcomes currently held for harvest (bounded-memory checks).
+  [[nodiscard]] std::size_t outcomes_pending() const { return completed_.size(); }
   [[nodiscard]] std::size_t calls_in_flight() const { return sessions_.size(); }
   [[nodiscard]] std::size_t peak_concurrent_sessions() const {
     return peak_concurrent_sessions_;
@@ -308,6 +364,19 @@ class AsapSystem {
   void apply_fault(const sim::FaultEvent& event);
   // Current loss-burst voice drop probability (0 outside bursts).
   [[nodiscard]] double voice_drop_probability() const { return voice_drop_p_; }
+
+  // --- Living-world churn (peer join/leave, BGP route flaps) ---------------
+  // Schedules every event of `plan` on the simulation queue, offset from
+  // now, and lazily registers the churn.* metric series (workloads that
+  // never arm a plan keep the historical digest key set). Route-flap events
+  // mutate the world through its fail_link/recover_link/flip_policy hooks,
+  // which invalidate PathOracle tables; the affected close sets (surrogate
+  // caches and per-host copies) are evicted here and rebuilt lazily — the
+  // overlay re-learns the changed Internet instead of serving stale routes.
+  // Single-threaded simulations only (same contract as the world hooks).
+  void arm_churn_plan(const sim::ChurnPlan& plan);
+  // Applies one churn event immediately (the arm() callback lands here).
+  void apply_churn(const sim::ChurnEvent& event);
 
   [[nodiscard]] const sim::MessageCounter& counter() const { return net_.counter(); }
   [[nodiscard]] const MetricsRegistry& metrics() const { return *metrics_; }
@@ -382,6 +451,18 @@ class AsapSystem {
   // reservation in the call so release_route can undo it.
   bool try_reserve_route(ActiveCall& call, const std::vector<NodeId>& route);
   void release_route(ActiveCall& call);
+  // try_reserve_route plus admission policy: on failure, a non-bronze call
+  // may evict the newest strictly-lower-class stream from the saturated hop
+  // and retry (the victim reroutes via the failover machinery). Identical
+  // to try_reserve_route when admission control is off.
+  bool reserve_or_preempt(ActiveCall& call, const std::vector<NodeId>& route);
+  void preempt(ActiveCall& victim);
+  // Stores (or, under kDiscardAfterCallback, hands off) one finished
+  // outcome and fires the completion callback.
+  void finalize_outcome(std::uint32_t sid, CallOutcome&& outcome);
+  // Evicts every cached close set (surrogate + per-host copies) that could
+  // observe a routing change in `ases`; empty span = evict all built.
+  void invalidate_close_sets(std::span<const AsId> ases);
   // --- Fault impls (shared by apply_fault and the legacy wrappers) ---------
   void crash_host(HostId h);
   void crash_surrogate(ClusterId c);
@@ -420,6 +501,16 @@ class AsapSystem {
   double voice_drop_p_ = 0.0;
   Rng fault_rng_;
 
+  // Living-world churn state, sized lazily by arm_churn_plan (zero cost for
+  // workloads that never arm one): the dedicated RNG picking which member
+  // departs, per-cluster stacks of departed hosts awaiting rejoin, the
+  // build timestamp of each surrogate close set (staleness observation at
+  // eviction) and the churn.* metric handles.
+  Rng churn_rng_;
+  std::vector<std::vector<HostId>> departed_;
+  std::vector<Millis> surrogate_set_built_ms_;
+  std::optional<ChurnCounters> churn_counters_;
+
   // Session table: every in-flight call's state machine, keyed by session
   // id. std::map keeps iteration in session order, so cross-session sweeps
   // (stalled-call finalization, fault attribution) are deterministic.
@@ -427,11 +518,13 @@ class AsapSystem {
   // Finished outcomes awaiting harvest via outcome()/take_outcome().
   std::map<std::uint32_t, CallOutcome> completed_;
   CompletionFn on_complete_;
+  OutcomeRetention retention_ = OutcomeRetention::kKeepAll;
   std::size_t peak_concurrent_sessions_ = 0;
 
   // Relay-capacity model (sized only when enabled): per-host stream caps
   // derived from Peer::capacity and the live forwarded-stream counts.
   bool capacity_enabled_ = false;
+  bool admission_enabled_ = false;
   std::vector<std::uint32_t> relay_stream_cap_;
   std::vector<std::uint32_t> relay_streams_;
 };

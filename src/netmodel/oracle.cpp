@@ -28,6 +28,45 @@ const PathOracle::DestTable& PathOracle::table_for(asap::AsId dest) const {
   return *table;
 }
 
+std::vector<asap::AsId> PathOracle::invalidate_routes_through(std::uint32_t edge_id) {
+  std::vector<asap::AsId> evicted;
+  const auto n = graph_.as_count();
+  for (std::uint32_t d = 0; d < slots_.size(); ++d) {
+    DestTable* table = slots_[d].load(std::memory_order_relaxed);
+    if (table == nullptr) continue;
+    bool uses_edge = false;
+    for (std::uint32_t s = 0; s < n && !uses_edge; ++s) {
+      const auto& e = table->routes.entry(asap::AsId(s));
+      if (e.cls == astopo::RouteClass::kUnreachable ||
+          e.cls == astopo::RouteClass::kSelf) {
+        continue;
+      }
+      uses_edge = e.next_edge == edge_id;
+    }
+    if (!uses_edge) continue;
+    slots_[d].store(nullptr, std::memory_order_relaxed);
+    delete table;
+    built_.fetch_sub(1, std::memory_order_relaxed);
+    invalidated_.fetch_add(1, std::memory_order_relaxed);
+    evicted.push_back(asap::AsId(d));
+  }
+  return evicted;
+}
+
+std::vector<asap::AsId> PathOracle::invalidate_all() {
+  std::vector<asap::AsId> evicted;
+  for (std::uint32_t d = 0; d < slots_.size(); ++d) {
+    DestTable* table = slots_[d].load(std::memory_order_relaxed);
+    if (table == nullptr) continue;
+    slots_[d].store(nullptr, std::memory_order_relaxed);
+    delete table;
+    built_.fetch_sub(1, std::memory_order_relaxed);
+    invalidated_.fetch_add(1, std::memory_order_relaxed);
+    evicted.push_back(asap::AsId(d));
+  }
+  return evicted;
+}
+
 void PathOracle::prewarm(std::span<const asap::AsId> dests, ThreadPool& pool) const {
   pool.parallel_for(dests.size(), [&](std::size_t i) { (void)table_for(dests[i]); });
 }

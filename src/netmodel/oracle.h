@@ -82,6 +82,29 @@ class PathOracle {
     return built_.load(std::memory_order_relaxed);
   }
 
+  // --- Incremental invalidation (BGP route flaps) --------------------------
+  // After the graph withdraws an edge (AsGraph::set_edge_enabled(e, false)),
+  // only destination tables whose selected route tree crosses `e` can
+  // change: removing an edge shrinks the candidate route set, so a table
+  // that never selected the edge rebuilds bitwise identically. This scans
+  // the built tables, evicts exactly the affected ones (lazy rebuild on the
+  // next query) and returns their destination ASes so higher layers can
+  // invalidate dependent caches (close sets). Edge *recovery* and policy
+  // changes can improve routes anywhere, so they must go through
+  // invalidate_all().
+  //
+  // NOT thread-safe against concurrent queries: evicted tables are deleted
+  // immediately, so readers holding spans would dangle. Only call from
+  // single-threaded protocol simulations (the soak runtime), never during a
+  // threaded evaluation sweep.
+  std::vector<asap::AsId> invalidate_routes_through(std::uint32_t edge_id);
+  // Evicts every built table; returns their destination ASes.
+  std::vector<asap::AsId> invalidate_all();
+  // Tables evicted by either invalidation entry point since construction.
+  [[nodiscard]] std::uint64_t invalidated_tables() const {
+    return invalidated_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct DestTable {
     astopo::RouteTable routes;
@@ -102,6 +125,7 @@ class PathOracle {
   mutable std::vector<std::atomic<DestTable*>> slots_;
   mutable std::array<std::mutex, kBuildStripes> build_stripes_;
   mutable std::atomic<std::size_t> built_{0};
+  std::atomic<std::uint64_t> invalidated_{0};
 };
 
 }  // namespace asap::netmodel

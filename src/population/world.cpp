@@ -42,6 +42,30 @@ HostId World::elect_surrogate(ClusterId c, HostId failed) {
   return pop_->elect_surrogate(c, failed);
 }
 
+std::vector<AsId> World::fail_link(std::uint32_t edge_id) {
+  topo_.graph.set_edge_enabled(edge_id, false);
+  return oracle_->invalidate_routes_through(edge_id);
+}
+
+std::vector<AsId> World::recover_link(std::uint32_t edge_id) {
+  topo_.graph.set_edge_enabled(edge_id, true);
+  return oracle_->invalidate_all();
+}
+
+std::vector<AsId> World::flip_policy(std::uint32_t edge_id) {
+  using astopo::LinkType;
+  LinkType from_a = topo_.graph.edge_type(edge_id);
+  LinkType flipped = from_a;
+  switch (from_a) {
+    case LinkType::kToProvider: flipped = LinkType::kToCustomer; break;
+    case LinkType::kToCustomer: flipped = LinkType::kToProvider; break;
+    case LinkType::kToPeer: flipped = LinkType::kToCustomer; break;
+    case LinkType::kToSibling: return {};  // same organization: no contract to flip
+  }
+  topo_.graph.set_edge_type(edge_id, flipped);
+  return oracle_->invalidate_all();
+}
+
 const RelayDirectory& World::relay_directory() const {
   std::call_once(directory_once_, [this] {
     directory_ = std::make_unique<RelayDirectory>(build_relay_directory(*this));

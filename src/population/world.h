@@ -68,6 +68,23 @@ class World {
   // simulations (the evaluation layer never mutates).
   HostId elect_surrogate(ClusterId c, HostId failed);
 
+  // --- BGP route-flap hooks (living-world soak runtime) -------------------
+  // Withdraws / restores an inter-AS adjacency, or flips its commercial
+  // relationship, then invalidates exactly the PathOracle destination
+  // tables the change can affect: targeted eviction on withdrawal (only
+  // tables whose selected route tree crossed the edge; the rest rebuild
+  // bitwise identically), full eviction on restore and policy change (route
+  // *improvements* can appear anywhere). Returns the destination ASes whose
+  // tables were evicted so callers can invalidate dependent caches (close
+  // sets). Same thread-safety contract as elect_surrogate(): NOT safe
+  // against concurrent readers — single-threaded protocol simulations only.
+  std::vector<AsId> fail_link(std::uint32_t edge_id);
+  std::vector<AsId> recover_link(std::uint32_t edge_id);
+  // Policy change: a peer link becomes provider/customer (the edge's first
+  // endpoint turns provider); a provider/customer link flips direction;
+  // sibling links are organizational and never flip (returns empty).
+  std::vector<AsId> flip_policy(std::uint32_t edge_id);
+
   // SoA facts of every populated cluster's effective relay, built lazily on
   // first use (thread-safe) and immutable afterwards.
   [[nodiscard]] const RelayDirectory& relay_directory() const;

@@ -1,6 +1,7 @@
 #include "sim/arrivals.h"
 
 #include <cassert>
+#include <cmath>
 
 namespace asap::sim {
 
@@ -16,6 +17,49 @@ std::vector<Millis> exponential_arrivals(std::size_t count, double rate_per_s, R
     arrivals.push_back(t);
   }
   return arrivals;
+}
+
+std::vector<Millis> piecewise_poisson_arrivals(const std::vector<RateSegment>& segments,
+                                               Millis horizon_ms, Rng& rng) {
+  std::vector<Millis> arrivals;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const RateSegment& seg = segments[s];
+    Millis seg_end = s + 1 < segments.size() ? segments[s + 1].start_ms : horizon_ms;
+    seg_end = std::min(seg_end, horizon_ms);
+    if (seg.rate_per_s <= 0.0 || seg.start_ms >= seg_end) continue;
+    const double mean_gap_ms = 1000.0 / seg.rate_per_s;
+    // Memoryless restart at the boundary: the time to the first arrival
+    // inside the segment is itself exponential, so the truncated draws
+    // below sample the inhomogeneous process exactly.
+    Millis t = seg.start_ms + rng.exponential(mean_gap_ms);
+    while (t < seg_end) {
+      arrivals.push_back(t);
+      t += rng.exponential(mean_gap_ms);
+    }
+  }
+  return arrivals;
+}
+
+std::vector<RateSegment> diurnal_rate_profile(double base_rate_per_s, double amplitude,
+                                              Millis period_ms, std::size_t segments_per_day,
+                                              std::size_t days, Millis start_ms) {
+  assert(base_rate_per_s >= 0.0 && amplitude >= 0.0 && amplitude < 1.0);
+  assert(period_ms > 0.0 && segments_per_day > 0);
+  std::vector<RateSegment> profile;
+  profile.reserve(days * segments_per_day);
+  const Millis seg_len = period_ms / static_cast<double>(segments_per_day);
+  for (std::size_t d = 0; d < days; ++d) {
+    for (std::size_t i = 0; i < segments_per_day; ++i) {
+      Millis seg_start = start_ms + static_cast<double>(d) * period_ms +
+                         static_cast<double>(i) * seg_len;
+      constexpr double kTwoPi = 6.283185307179586;
+      Millis mid = (static_cast<double>(i) + 0.5) * seg_len;
+      double rate =
+          base_rate_per_s * (1.0 + amplitude * std::sin(kTwoPi * mid / period_ms));
+      profile.push_back(RateSegment{seg_start, rate});
+    }
+  }
+  return profile;
 }
 
 }  // namespace asap::sim

@@ -3,6 +3,14 @@
 // modelled as exponential inter-arrival gaps drawn from a caller-supplied
 // RNG stream (fork the world RNG so reruns place every call at the same
 // instant).
+//
+// Two schedule shapes:
+//  - exponential_arrivals(): constant-rate Poisson (the PR-5 load sweeps);
+//  - piecewise_poisson_arrivals(): piecewise-constant-rate Poisson over
+//    RateSegments, for diurnal soak runs. By memorylessness, restarting the
+//    exponential-gap draw at each segment boundary samples the
+//    inhomogeneous process exactly (no thinning, no approximation).
+// diurnal_rate_profile() builds the classic day/night sinusoid as segments.
 #pragma once
 
 #include <cstddef>
@@ -18,5 +26,31 @@ namespace asap::sim {
 // non-decreasing; rate_per_s must be > 0.
 std::vector<Millis> exponential_arrivals(std::size_t count, double rate_per_s, Rng& rng,
                                          Millis start_ms = 0.0);
+
+// One constant-rate stretch of a piecewise schedule: arrivals occur at
+// `rate_per_s` from `start_ms` until the next segment begins (or the
+// horizon ends). A rate of 0 is a silent stretch.
+struct RateSegment {
+  Millis start_ms = 0.0;
+  double rate_per_s = 0.0;
+};
+
+// Absolute arrival times of a piecewise-constant-rate Poisson process over
+// `segments` (sorted by start_ms; the first segment's start is the schedule
+// origin), truncated at `horizon_ms` (absolute). The draw restarts at every
+// segment boundary — exact for piecewise-constant rates — and consumes RNG
+// draws in schedule order, so identical (segments, horizon, rng state)
+// yield identical schedules.
+std::vector<Millis> piecewise_poisson_arrivals(const std::vector<RateSegment>& segments,
+                                               Millis horizon_ms, Rng& rng);
+
+// Diurnal rate profile: a day of `period_ms` sampled into `segments_per_day`
+// equal RateSegments tracing base_rate * (1 + amplitude * sin(2*pi*t/period))
+// (midpoint-sampled), repeated for `days`. amplitude in [0, 1): amplitude 0
+// is a flat profile identical to a constant-rate schedule; negative rates
+// cannot occur. Feed the result to piecewise_poisson_arrivals().
+std::vector<RateSegment> diurnal_rate_profile(double base_rate_per_s, double amplitude,
+                                              Millis period_ms, std::size_t segments_per_day,
+                                              std::size_t days = 1, Millis start_ms = 0.0);
 
 }  // namespace asap::sim

@@ -1,0 +1,93 @@
+#include "sim/churn_plan.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace asap::sim {
+
+ChurnPlan ChurnPlan::generate(const ChurnPlanParams& params,
+                              std::span<const std::size_t> cluster_sizes,
+                              std::size_t edge_count, Rng& rng) {
+  ChurnPlan plan;
+
+  // Rank clusters by size, descending; ties rank the lower index first so
+  // the ordering (and therefore the Zipf draws) is stable across reruns.
+  std::vector<std::uint32_t> by_rank(cluster_sizes.size());
+  std::iota(by_rank.begin(), by_rank.end(), 0u);
+  std::stable_sort(by_rank.begin(), by_rank.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return cluster_sizes[a] > cluster_sizes[b];
+                   });
+
+  // Leaves first, so joins can pair with them below (same cluster: the
+  // departed member later returns).
+  std::vector<ChurnEvent> leaves;
+  leaves.reserve(params.peer_leaves);
+  for (std::uint32_t i = 0; i < params.peer_leaves && !by_rank.empty(); ++i) {
+    ChurnEvent e;
+    e.at_ms = rng.uniform(0.0, params.horizon_ms);
+    e.kind = ChurnKind::kPeerLeave;
+    e.target = by_rank[rng.zipf(by_rank.size(), params.cluster_zipf_s)];
+    leaves.push_back(e);
+  }
+  for (const auto& e : leaves) plan.add(e);
+
+  std::uint32_t joins = std::min<std::uint32_t>(
+      params.peer_joins, static_cast<std::uint32_t>(leaves.size()));
+  for (std::uint32_t i = 0; i < joins; ++i) {
+    const ChurnEvent& leave = leaves[i];
+    ChurnEvent e;
+    e.at_ms = leave.at_ms + rng.exponential(params.rejoin_mean_ms);
+    e.kind = ChurnKind::kPeerJoin;
+    e.target = leave.target;
+    plan.add(e);
+  }
+
+  // Route flaps: fails first so recoveries can pair with them.
+  std::vector<ChurnEvent> fails;
+  fails.reserve(params.link_fails);
+  for (std::uint32_t i = 0; i < params.link_fails && edge_count > 0; ++i) {
+    ChurnEvent e;
+    e.at_ms = rng.uniform(0.0, params.horizon_ms);
+    e.kind = ChurnKind::kLinkFail;
+    e.target = static_cast<std::uint32_t>(rng.below(edge_count));
+    fails.push_back(e);
+  }
+  for (const auto& e : fails) plan.add(e);
+
+  std::uint32_t recoveries = std::min<std::uint32_t>(
+      params.link_recoveries, static_cast<std::uint32_t>(fails.size()));
+  for (std::uint32_t i = 0; i < recoveries; ++i) {
+    const ChurnEvent& fail = fails[i];
+    ChurnEvent e;
+    e.at_ms = fail.at_ms + rng.exponential(params.link_downtime_mean_ms);
+    e.kind = ChurnKind::kLinkRecover;
+    e.target = fail.target;
+    plan.add(e);
+  }
+
+  for (std::uint32_t i = 0; i < params.policy_changes && edge_count > 0; ++i) {
+    ChurnEvent e;
+    e.at_ms = rng.uniform(0.0, params.horizon_ms);
+    e.kind = ChurnKind::kPolicyChange;
+    e.target = static_cast<std::uint32_t>(rng.below(edge_count));
+    plan.add(e);
+  }
+
+  return plan;
+}
+
+void ChurnPlan::add(ChurnEvent event) {
+  auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const ChurnEvent& a, const ChurnEvent& b) { return a.at_ms < b.at_ms; });
+  events_.insert(pos, event);
+}
+
+void ChurnPlan::arm(EventQueue& queue, std::function<void(const ChurnEvent&)> apply) const {
+  for (const auto& event : events_) {
+    queue.after(event.at_ms, [event, apply]() { apply(event); });
+  }
+}
+
+}  // namespace asap::sim

@@ -1,0 +1,101 @@
+// Deterministic churn plans for the living-world soak runtime.
+//
+// A ChurnPlan is the population/topology counterpart of a FaultPlan: a
+// time-sorted list of peer join/leave events and BGP-level route flaps
+// (link withdrawal/restoration, policy change) generated up front from a
+// seeded RNG so identical seeds replay identical worlds. Like FaultPlan it
+// is protocol-agnostic — `arm()` schedules each event on an EventQueue and
+// hands it to an apply callback; the protocol layer (core::AsapSystem)
+// decides what "a peer leaves cluster 7" or "edge 42 fails" means (host
+// state flips, PathOracle invalidation, close-set eviction).
+//
+// Peer events target clusters drawn from a Zipf distribution over cluster
+// *size rank* — big clusters see proportionally more churn, matching the
+// heavy-tailed membership the population generator produces. The sim layer
+// cannot see population::PeerPopulation (layering: population sits above
+// sim), so generate() takes the cluster sizes as a plain span plus the AS
+// graph's edge count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace asap::sim {
+
+enum class ChurnKind : std::uint8_t {
+  kPeerLeave = 0,     // target = cluster index; one member departs
+  kPeerJoin = 1,      // target = cluster index; a departed member returns
+  kLinkFail = 2,      // target = AS-graph edge id; the adjacency is withdrawn
+  kLinkRecover = 3,   // target = AS-graph edge id; the adjacency is restored
+  kPolicyChange = 4,  // target = AS-graph edge id; commercial relationship flips
+};
+
+constexpr std::string_view churn_kind_name(ChurnKind k) {
+  switch (k) {
+    case ChurnKind::kPeerLeave: return "peer-leave";
+    case ChurnKind::kPeerJoin: return "peer-join";
+    case ChurnKind::kLinkFail: return "link-fail";
+    case ChurnKind::kLinkRecover: return "link-recover";
+    case ChurnKind::kPolicyChange: return "policy-change";
+  }
+  return "?";
+}
+
+struct ChurnEvent {
+  Millis at_ms = 0.0;  // offset from arm time
+  ChurnKind kind = ChurnKind::kPeerLeave;
+  std::uint32_t target = 0;  // cluster index or edge id, by kind
+};
+
+// Expected event counts over a planning horizon; generate() draws the times
+// and targets.
+struct ChurnPlanParams {
+  Millis horizon_ms = 60000.0;
+  // Peer churn: leaves strike Zipf(size-rank)-selected clusters; each join
+  // revives one of the planned leaves (same cluster) after an exponential
+  // off-time with mean `rejoin_mean_ms` (joins capped at leave count).
+  std::uint32_t peer_leaves = 0;
+  std::uint32_t peer_joins = 0;
+  double cluster_zipf_s = 0.9;
+  Millis rejoin_mean_ms = 8000.0;
+  // Route flaps: fails strike uniform edges; each recovery restores one of
+  // the planned fails after an exponential downtime with mean
+  // `link_downtime_mean_ms` (recoveries capped at fail count). Policy
+  // changes strike uniform edges at uniform times.
+  std::uint32_t link_fails = 0;
+  std::uint32_t link_recoveries = 0;
+  Millis link_downtime_mean_ms = 5000.0;
+  std::uint32_t policy_changes = 0;
+};
+
+class ChurnPlan {
+ public:
+  // Draws a deterministic plan; identical (params, cluster_sizes, edge_count,
+  // rng state) yield identical plans. `cluster_sizes[i]` is the member count
+  // of cluster i — only the size *ranking* matters (ties broken by lower
+  // index ranking first, so the ordering is stable across reruns).
+  static ChurnPlan generate(const ChurnPlanParams& params,
+                            std::span<const std::size_t> cluster_sizes,
+                            std::size_t edge_count, Rng& rng);
+
+  // Appends one event, keeping the list time-sorted (stable for ties).
+  void add(ChurnEvent event);
+
+  [[nodiscard]] const std::vector<ChurnEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  // Schedules every event at `queue.now() + at_ms` and hands it to `apply`.
+  void arm(EventQueue& queue, std::function<void(const ChurnEvent&)> apply) const;
+
+ private:
+  std::vector<ChurnEvent> events_;  // sorted by at_ms
+};
+
+}  // namespace asap::sim

@@ -14,6 +14,23 @@ TEST(OnlineStats, EmptyIsZero) {
   EXPECT_EQ(s.variance(), 0.0);
 }
 
+TEST(OnlineStats, EmptyMinMaxAreNaN) {
+  // Like percentile() on empty input: NaN, never a fake 0.0 that renders as
+  // a plausible summary value.
+  OnlineStats s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(OnlineStats, NegativeOnlySamplesKeepTrueMax) {
+  // The old zero-initialized max_ would report 0.0 here.
+  OnlineStats s;
+  s.add(-7.0);
+  s.add(-2.0);
+  EXPECT_EQ(s.min(), -7.0);
+  EXPECT_EQ(s.max(), -2.0);
+}
+
 TEST(OnlineStats, MatchesClosedForm) {
   OnlineStats s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);

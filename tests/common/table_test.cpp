@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace asap {
 namespace {
 
@@ -32,6 +34,15 @@ TEST(Table, NumberFormatting) {
   EXPECT_EQ(Table::fmt_int(-42), "-42");
   EXPECT_EQ(Table::fmt_pct(0.125, 1), "12.5%");
   EXPECT_EQ(Table::fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Table, NaNRendersAsNoSamples) {
+  // Empty-accumulator summaries (OnlineStats::min()/max(), percentile() on
+  // no input) flow NaN into tables; render it as an explicit marker instead
+  // of locale-dependent "nan" or a fake number.
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(Table::fmt(nan, 2), "(no samples)");
+  EXPECT_EQ(Table::fmt(nan, 0), "(no samples)");
 }
 
 TEST(Table, EmptyTableRendersHeaderOnly) {

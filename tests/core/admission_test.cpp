@@ -1,0 +1,154 @@
+// Class-of-service admission control under forced relay pressure: gold and
+// silver calls may preempt strictly lower classes from saturated relays,
+// preemption never strikes upward, victims recover through the mid-call
+// failover path, and the whole policy is deterministic and off by default.
+#include "core/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "population/session_gen.h"
+
+namespace asap::core {
+namespace {
+
+population::WorldParams small_params() {
+  population::WorldParams params;
+  params.seed = 121;
+  params.topo.total_as = 400;
+  params.pop.host_as_count = 100;
+  params.pop.total_peers = 1500;
+  return params;
+}
+
+AsapParams protocol_params(bool admission) {
+  AsapParams params;
+  params.lat_threshold_ms = 200.0;  // small world: keep relayed sessions common
+  // Every relay's stream cap collapses to the floor of 1, so overlapping
+  // relayed calls always contend for the same hops.
+  params.relay_streams_per_capacity = 1e-9;
+  // Probe every candidate: each session then deterministically selects the
+  // same globally-best relay instead of a per-session random subset, which
+  // is what forces the simultaneous batch onto one contended hop.
+  params.probe_fraction = 1.0;
+  params.admission_control = admission;
+  return params;
+}
+
+struct AdmissionFixture : public ::testing::Test {
+  void SetUp() override {
+    world = std::make_unique<population::World>(small_params());
+    Rng rng = world->fork_rng(2);
+    auto sessions = population::generate_sessions(*world, 2000, rng);
+    latent = population::latent_sessions(sessions, 200.0);
+    ASSERT_GE(latent.size(), 12u);
+  }
+
+  // Places `count` *simultaneous* calls between the same latent pair with
+  // classes cycling bronze, silver, gold and returns (outcome, class)
+  // pairs. Same pair + same instant forces every call onto the same best
+  // relay: the relay-check probes all answer "free" before anyone has
+  // reserved, so the cap-1 hop is contended at reservation time — exactly
+  // the race admission control arbitrates.
+  std::vector<std::pair<CallOutcome, ServiceClass>> run_mixed(AsapSystem& system,
+                                                              std::size_t count) {
+    system.join_all();
+    std::vector<CallHandle> handles;
+    Millis start = system.queue().now();
+    for (std::size_t i = 0; i < count; ++i) {
+      CallSpec spec;
+      spec.caller = latent[0].caller;
+      spec.callee = latent[0].callee;
+      spec.start_at_ms = start;
+      spec.voice_duration_ms = 2500.0;
+      spec.service_class = static_cast<ServiceClass>(i % 3);
+      handles.push_back(system.place_call(spec));
+    }
+    system.run_until_idle();
+    std::vector<std::pair<CallOutcome, ServiceClass>> out;
+    out.reserve(handles.size());
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      out.emplace_back(system.take_outcome(handles[i]),
+                       static_cast<ServiceClass>(i % 3));
+    }
+    return out;
+  }
+
+  std::unique_ptr<population::World> world;
+  std::vector<population::Session> latent;
+};
+
+TEST_F(AdmissionFixture, PreemptionFiresAndNeverStrikesUpward) {
+  MetricsRegistry registry;
+  AsapSystem system(*world, protocol_params(/*admission=*/true), 2, &registry);
+  auto outcomes = run_mixed(system, 12);
+
+  // The saturated world really exercised the policy.
+  EXPECT_GT(registry.value("admission.preemptions"), 0u);
+  std::size_t preempted = 0;
+  for (const auto& [outcome, service_class] : outcomes) {
+    if (!outcome.was_preempted) continue;
+    ++preempted;
+    // Preemption only ever evicts a strictly lower class, so the top class
+    // can never be a victim.
+    EXPECT_NE(service_class, ServiceClass::kGold);
+  }
+  EXPECT_GT(preempted, 0u);
+}
+
+TEST_F(AdmissionFixture, PreemptedVictimsRecoverViaFailover) {
+  MetricsRegistry registry;
+  AsapSystem system(*world, protocol_params(/*admission=*/true), 2, &registry);
+  auto outcomes = run_mixed(system, 12);
+  std::size_t recovered = 0;
+  for (const auto& [outcome, service_class] : outcomes) {
+    (void)service_class;
+    if (outcome.was_preempted && outcome.completed) ++recovered;
+  }
+  // Make-before-break: eviction reroutes the victim, it does not kill the
+  // call outright.
+  EXPECT_GT(recovered, 0u);
+}
+
+TEST_F(AdmissionFixture, MixedClassRunsAreDeterministic) {
+  MetricsRegistry first_registry;
+  MetricsRegistry second_registry;
+  AsapSystem first(*world, protocol_params(/*admission=*/true), 2, &first_registry);
+  AsapSystem second(*world, protocol_params(/*admission=*/true), 2, &second_registry);
+  auto a = run_mixed(first, 12);
+  auto b = run_mixed(second, 12);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].first.completed, b[i].first.completed);
+    EXPECT_EQ(a[i].first.was_preempted, b[i].first.was_preempted);
+    EXPECT_EQ(a[i].first.control_messages, b[i].first.control_messages);
+    EXPECT_EQ(a[i].first.mean_voice_one_way_ms, b[i].first.mean_voice_one_way_ms);
+  }
+  EXPECT_EQ(first_registry.value("admission.preemptions"),
+            second_registry.value("admission.preemptions"));
+  EXPECT_EQ(first_registry.value("admission.sheds_bronze"),
+            second_registry.value("admission.sheds_bronze"));
+}
+
+TEST_F(AdmissionFixture, DisabledAdmissionNeverPreempts) {
+  // Same saturated workload with the feature off: arrival-order shedding
+  // only, no evictions, and the admission.* series are never registered.
+  MetricsRegistry registry;
+  AsapSystem system(*world, protocol_params(/*admission=*/false), 2, &registry);
+  auto outcomes = run_mixed(system, 12);
+  for (const auto& [outcome, service_class] : outcomes) {
+    (void)service_class;
+    EXPECT_FALSE(outcome.was_preempted);
+  }
+  EXPECT_EQ(registry.value("admission.preemptions"), 0u);
+}
+
+TEST_F(AdmissionFixture, ServiceClassNamesAreStable) {
+  EXPECT_EQ(service_class_name(ServiceClass::kBronze), "bronze");
+  EXPECT_EQ(service_class_name(ServiceClass::kSilver), "silver");
+  EXPECT_EQ(service_class_name(ServiceClass::kGold), "gold");
+}
+
+}  // namespace
+}  // namespace asap::core

@@ -110,6 +110,20 @@ TEST(ConfigIo, RejectsBackoffShorterThanKeepalive) {
                   .has_value());
 }
 
+TEST(ConfigIo, AdmissionControlRequiresCapacityModel) {
+  // Class-of-service admission only acts through relay-capacity pressure;
+  // enabling it with the capacity model off is a configuration error.
+  auto bad = parse_config("asap.admission_control = 1\n");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_NE(bad.error().message.find("admission_control"), std::string::npos);
+
+  auto good = parse_config(
+      "asap.admission_control = 1\n"
+      "asap.relay_streams_per_capacity = 0.5\n");
+  ASSERT_TRUE(good.has_value()) << (good ? "" : good.error().message);
+  EXPECT_TRUE(good->asap.admission_control);
+}
+
 TEST(ConfigIo, FileRoundTrip) {
   const char* path = "config_io_test_tmp.conf";
   ExperimentConfig config;

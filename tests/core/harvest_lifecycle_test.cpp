@@ -1,0 +1,161 @@
+// Session-harvest lifecycle: harvesting a live call early must not finalize
+// it mid-flight (the regression this PR fixes), and the opt-in
+// discard-after-callback retention keeps the finished table empty for
+// fire-and-forget soak workloads.
+#include "core/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "population/session_gen.h"
+
+namespace asap::core {
+namespace {
+
+population::WorldParams small_params() {
+  population::WorldParams params;
+  params.seed = 121;
+  params.topo.total_as = 400;
+  params.pop.host_as_count = 100;
+  params.pop.total_peers = 1500;
+  return params;
+}
+
+AsapParams protocol_params() {
+  AsapParams params;
+  params.lat_threshold_ms = 200.0;  // small world: keep relayed sessions common
+  // Capacity model on: an early-harvest bug that drops a live session also
+  // leaks its route reservation, which this configuration would surface as
+  // spurious busy rejections in the undisturbed-twin comparison.
+  params.relay_streams_per_capacity = 0.5;
+  return params;
+}
+
+struct HarvestFixture : public ::testing::Test {
+  void SetUp() override {
+    world = std::make_unique<population::World>(small_params());
+    Rng rng = world->fork_rng(2);
+    auto sessions = population::generate_sessions(*world, 2000, rng);
+    latent = population::latent_sessions(sessions, 200.0);
+    ASSERT_GE(latent.size(), 4u);
+  }
+
+  CallSpec spec_for(std::size_t i, Millis start) const {
+    CallSpec spec;
+    spec.caller = latent[i].caller;
+    spec.callee = latent[i].callee;
+    spec.start_at_ms = start;
+    spec.voice_duration_ms = 1500.0;
+    return spec;
+  }
+
+  std::unique_ptr<population::World> world;
+  std::vector<population::Session> latent;
+};
+
+TEST_F(HarvestFixture, EarlyTakeOutcomeLeavesLiveSessionUntouched) {
+  AsapSystem disturbed(*world, protocol_params());
+  AsapSystem control(*world, protocol_params());
+  disturbed.join_all();
+  control.join_all();
+
+  CallHandle dh = disturbed.place_call(spec_for(0, disturbed.queue().now()));
+  CallHandle ch = control.place_call(spec_for(0, control.queue().now()));
+
+  // Run partway: the session is alive and events are still queued.
+  for (int i = 0; i < 40 && !disturbed.queue().empty(); ++i) disturbed.queue().step();
+  ASSERT_FALSE(disturbed.queue().empty());
+  ASSERT_EQ(disturbed.calls_in_flight(), 1u);
+  ASSERT_FALSE(disturbed.finished(dh));
+
+  // The regression: this used to finalize the in-flight call (erasing its
+  // session and leaking its route reservation). It must be a no-op harvest.
+  CallOutcome early = disturbed.take_outcome(dh);
+  EXPECT_FALSE(early.completed);
+  EXPECT_EQ(early.control_messages, 0u);
+  EXPECT_EQ(disturbed.calls_in_flight(), 1u) << "early harvest killed the session";
+  EXPECT_FALSE(disturbed.finished(dh));
+  EXPECT_FALSE(disturbed.queue().empty());
+
+  // Let both worlds finish: the disturbed call's final outcome must be
+  // bit-identical to the undisturbed twin's.
+  disturbed.run_until_idle();
+  control.run_until_idle();
+  ASSERT_TRUE(disturbed.finished(dh));
+  CallOutcome got = disturbed.take_outcome(dh);
+  CallOutcome want = control.take_outcome(ch);
+  EXPECT_TRUE(got.completed);
+  EXPECT_EQ(got.completed, want.completed);
+  EXPECT_EQ(got.used_relay, want.used_relay);
+  EXPECT_EQ(got.control_messages, want.control_messages);
+  EXPECT_EQ(got.control_bytes, want.control_bytes);
+  EXPECT_EQ(got.voice_packets_received, want.voice_packets_received);
+  EXPECT_EQ(got.setup_time_ms, want.setup_time_ms);
+  EXPECT_EQ(got.mean_voice_one_way_ms, want.mean_voice_one_way_ms);
+  EXPECT_EQ(got.mos_pre_fault, want.mos_pre_fault);
+  EXPECT_EQ(got.relay_busy_rejections, want.relay_busy_rejections);
+}
+
+TEST_F(HarvestFixture, TakeOutcomeOnIdleLiveSessionStillFinalizes) {
+  // The pre-existing stall-finalize path must survive the fix: once the
+  // queue has fully drained, harvesting a still-registered session forces
+  // its outcome out instead of returning an empty one.
+  AsapSystem system(*world, protocol_params());
+  system.join_all();
+  CallHandle h = system.place_call(spec_for(0, system.queue().now()));
+  system.queue().run();
+  ASSERT_TRUE(system.queue().empty());
+  CallOutcome outcome = system.take_outcome(h);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(system.calls_in_flight(), 0u);
+}
+
+TEST_F(HarvestFixture, KeepAllRetentionStoresEveryOutcome) {
+  AsapSystem system(*world, protocol_params());
+  system.join_all();
+  std::vector<CallHandle> handles;
+  Millis start = system.queue().now();
+  for (std::size_t i = 0; i < 4; ++i) {
+    handles.push_back(system.place_call(spec_for(i, start + 200.0 * i)));
+  }
+  system.run_until_idle();
+  EXPECT_EQ(system.outcomes_pending(), 4u);  // unbounded growth without harvest
+  for (CallHandle h : handles) EXPECT_TRUE(system.finished(h));
+}
+
+TEST_F(HarvestFixture, DiscardAfterCallbackKeepsFinishedTableEmpty) {
+  AsapSystem system(*world, protocol_params());
+  system.set_outcome_retention(AsapSystem::OutcomeRetention::kDiscardAfterCallback);
+  std::size_t delivered = 0;
+  std::size_t completed = 0;
+  system.set_on_complete([&](CallHandle, const CallOutcome& outcome) {
+    ++delivered;
+    if (outcome.completed) ++completed;
+  });
+  system.join_all();
+  std::vector<CallHandle> handles;
+  Millis start = system.queue().now();
+  for (std::size_t i = 0; i < 4; ++i) {
+    handles.push_back(system.place_call(spec_for(i, start + 200.0 * i)));
+  }
+  system.run_until_idle();
+  // Every outcome went through the callback and none were retained.
+  EXPECT_EQ(delivered, 4u);
+  EXPECT_GT(completed, 0u);
+  EXPECT_EQ(system.outcomes_pending(), 0u);
+  for (CallHandle h : handles) EXPECT_FALSE(system.finished(h));
+}
+
+TEST_F(HarvestFixture, DiscardWithoutCallbackStillStores) {
+  // Discard mode only applies when a callback exists; with none installed
+  // outcomes are stored regardless, never silently lost.
+  AsapSystem system(*world, protocol_params());
+  system.set_outcome_retention(AsapSystem::OutcomeRetention::kDiscardAfterCallback);
+  system.join_all();
+  CallHandle h = system.place_call(spec_for(0, system.queue().now()));
+  system.run_until_idle();
+  EXPECT_EQ(system.outcomes_pending(), 1u);
+  EXPECT_TRUE(system.finished(h));
+}
+
+}  // namespace
+}  // namespace asap::core

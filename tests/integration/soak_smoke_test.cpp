@@ -1,0 +1,158 @@
+// Living-world soak smoke: churn, route flaps, diurnal arrivals and
+// class-of-service admission all running together end to end, finishing
+// quickly, staying deterministic across identically-seeded worlds, and
+// keeping the harvest table bounded under discard-after-callback retention.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/protocol.h"
+#include "common/metrics.h"
+#include "population/session_gen.h"
+#include "sim/arrivals.h"
+#include "sim/churn_plan.h"
+
+namespace asap {
+namespace {
+
+population::WorldParams world_params() {
+  population::WorldParams params;
+  params.seed = 909;
+  params.topo.total_as = 400;
+  params.pop.host_as_count = 100;
+  params.pop.total_peers = 1500;
+  return params;
+}
+
+core::AsapParams protocol_params() {
+  core::AsapParams params;
+  params.lat_threshold_ms = 200.0;
+  params.probe_timeout_ms = 1000.0;
+  params.relay_streams_per_capacity = 0.5;
+  params.admission_control = true;
+  return params;
+}
+
+struct SoakRun {
+  std::vector<core::CallOutcome> outcomes;  // by placement order
+  std::uint64_t peer_leaves = 0;
+  std::uint64_t peer_joins = 0;
+  std::uint64_t link_fails = 0;
+  std::uint64_t link_recoveries = 0;
+  std::uint64_t policy_changes = 0;
+  std::uint64_t close_sets_invalidated = 0;
+  std::uint64_t oracle_evictions = 0;
+  std::size_t outcomes_pending = 0;
+};
+
+// One full soak over a freshly built world (flaps scar the topology, so
+// each run needs its own copy).
+SoakRun run_soak() {
+  population::World world(world_params());
+  MetricsRegistry registry;
+  core::AsapSystem system(world, protocol_params(), 2, &registry);
+  system.join_all();
+
+  constexpr Millis kHorizonMs = 20000.0;
+  sim::ChurnPlanParams churn;
+  churn.horizon_ms = kHorizonMs;
+  churn.peer_leaves = 12;
+  churn.peer_joins = 8;
+  churn.link_fails = 8;
+  churn.link_recoveries = 5;
+  churn.policy_changes = 3;
+  std::vector<std::size_t> cluster_sizes;
+  for (const auto& cluster : world.pop().clusters()) {
+    cluster_sizes.push_back(cluster.members.size());
+  }
+  Rng churn_rng = world.fork_rng(0xC4B2);
+  sim::ChurnPlan plan = sim::ChurnPlan::generate(churn, cluster_sizes,
+                                                 world.graph().edge_count(), churn_rng);
+  system.arm_churn_plan(plan);
+
+  Rng rng = world.fork_rng(2);
+  auto sessions = population::generate_sessions(world, 2000, rng);
+  auto latent = population::latent_sessions(sessions, 200.0);
+  EXPECT_GE(latent.size(), 8u);
+
+  auto profile = sim::diurnal_rate_profile(2.0, 0.5, kHorizonMs, 8);
+  Rng arrival_rng = world.fork_rng(0xD1A7);
+  auto arrivals = sim::piecewise_poisson_arrivals(profile, kHorizonMs, arrival_rng);
+  EXPECT_GT(arrivals.size(), 8u);
+
+  SoakRun result;
+  std::map<std::uint32_t, std::size_t> order;  // session id -> placement index
+  result.outcomes.resize(arrivals.size());
+  system.set_outcome_retention(
+      core::AsapSystem::OutcomeRetention::kDiscardAfterCallback);
+  system.set_on_complete(
+      [&](core::CallHandle handle, const core::CallOutcome& outcome) {
+        result.outcomes[order.at(handle.session().value())] = outcome;
+      });
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    core::CallSpec spec;
+    spec.caller = latent[i % latent.size()].caller;
+    spec.callee = latent[i % latent.size()].callee;
+    spec.start_at_ms = arrivals[i];
+    spec.voice_duration_ms = 2000.0;
+    spec.service_class = static_cast<core::ServiceClass>(i % 3);
+    order[system.place_call(spec).session().value()] = i;
+  }
+  system.run_until_idle();
+
+  result.outcomes_pending = system.outcomes_pending();
+  result.peer_leaves = registry.value("churn.peer_leaves");
+  result.peer_joins = registry.value("churn.peer_joins");
+  result.link_fails = registry.value("churn.link_fails");
+  result.link_recoveries = registry.value("churn.link_recoveries");
+  result.policy_changes = registry.value("churn.policy_changes");
+  result.close_sets_invalidated = registry.value("churn.close_sets_invalidated");
+  result.oracle_evictions = world.oracle().invalidated_tables();
+  return result;
+}
+
+TEST(SoakSmoke, LivingWorldRunsChurnsFlapsAndStaysBounded) {
+  SoakRun run = run_soak();
+
+  // Every flavor of world mutation actually applied.
+  EXPECT_GT(run.peer_leaves, 0u);
+  EXPECT_GT(run.peer_joins, 0u);
+  EXPECT_EQ(run.link_fails, 8u);
+  EXPECT_EQ(run.link_recoveries, 5u);
+  EXPECT_EQ(run.policy_changes, 3u);
+  // Flaps rippled into the caches.
+  EXPECT_GT(run.oracle_evictions, 0u);
+  EXPECT_GT(run.close_sets_invalidated, 0u);
+
+  // Discard-after-callback kept the harvest table empty, and calls still
+  // completed through the maelstrom.
+  EXPECT_EQ(run.outcomes_pending, 0u);
+  std::size_t completed = 0;
+  for (const auto& outcome : run.outcomes) {
+    if (outcome.completed) ++completed;
+  }
+  EXPECT_GT(completed, run.outcomes.size() / 2);
+}
+
+TEST(SoakSmoke, IdenticalSeedsReplayIdenticalSoaks) {
+  SoakRun a = run_soak();
+  SoakRun b = run_soak();
+  EXPECT_EQ(a.peer_leaves, b.peer_leaves);
+  EXPECT_EQ(a.peer_joins, b.peer_joins);
+  EXPECT_EQ(a.close_sets_invalidated, b.close_sets_invalidated);
+  EXPECT_EQ(a.oracle_evictions, b.oracle_evictions);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a.outcomes[i].completed, b.outcomes[i].completed);
+    EXPECT_EQ(a.outcomes[i].used_relay, b.outcomes[i].used_relay);
+    EXPECT_EQ(a.outcomes[i].was_preempted, b.outcomes[i].was_preempted);
+    EXPECT_EQ(a.outcomes[i].control_messages, b.outcomes[i].control_messages);
+    EXPECT_EQ(a.outcomes[i].mean_voice_one_way_ms, b.outcomes[i].mean_voice_one_way_ms);
+    EXPECT_EQ(a.outcomes[i].mos_pre_fault, b.outcomes[i].mos_pre_fault);
+  }
+}
+
+}  // namespace
+}  // namespace asap

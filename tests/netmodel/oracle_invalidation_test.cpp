@@ -1,0 +1,149 @@
+// Incremental PathOracle invalidation: after a route flap, evicted tables
+// lazily rebuild to exactly what a fresh oracle computes over the mutated
+// graph, and tables untouched by a withdrawal are not evicted at all.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "astopo/topology_gen.h"
+#include "netmodel/oracle.h"
+#include "common/rng.h"
+
+namespace asap::netmodel {
+namespace {
+
+struct InvalidationFixture : public ::testing::Test {
+  void SetUp() override {
+    astopo::TopologyParams params;
+    params.total_as = 400;
+    Rng topo_rng(21);
+    topo = astopo::generate_topology(params, topo_rng);
+    Rng lat_rng(22);
+    model = std::make_unique<LatencyModel>(topo, LatencyParams{}, lat_rng);
+    oracle = std::make_unique<PathOracle>(topo.graph, *model);
+  }
+
+  // Builds every destination table (stub ASes are the only destinations the
+  // evaluation ever queries, but build all for exhaustiveness).
+  void build_all(const PathOracle& o) {
+    for (std::uint32_t d = 0; d < topo.graph.as_count(); ++d) {
+      (void)o.one_way_table(AsId(d));
+    }
+  }
+
+  // Ground truth for the eviction scan: table `d` is affected by edge `e`
+  // exactly when some source's selected FIRST hop toward `d` crosses `e`.
+  // Walking every (src, dst) policy path and recording the first-hop edge
+  // per destination reconstructs that relation from the public API.
+  std::map<std::uint32_t, std::set<std::uint32_t>> dests_by_first_edge() {
+    std::map<std::uint32_t, std::set<std::uint32_t>> out;
+    for (std::uint32_t d = 0; d < topo.graph.as_count(); ++d) {
+      for (std::uint32_t s = 0; s < topo.graph.as_count(); ++s) {
+        auto path = oracle->as_path(AsId(s), AsId(d));
+        if (path.size() < 2) continue;
+        for (const auto& adj : topo.graph.neighbors(path[0])) {
+          if (adj.neighbor == path[1]) {
+            out[adj.edge_id].insert(d);
+            break;
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  // An edge on some selected route whose withdrawal must NOT flush the
+  // whole cache: both endpoints are multihomed enough that only part of
+  // the destination set routes a first hop across it. (An edge touching a
+  // single-homed stub is every one of that stub's first hops, so it
+  // legitimately affects all tables — useless for a partial-eviction test.)
+  std::uint32_t partial_edge(const std::map<std::uint32_t, std::set<std::uint32_t>>& use) {
+    for (const auto& [edge, dests] : use) {
+      if (!dests.empty() && dests.size() < topo.graph.as_count() / 2) return edge;
+    }
+    ADD_FAILURE() << "no partially-used edge in topology";
+    return 0;
+  }
+
+  astopo::Topology topo;
+  std::unique_ptr<LatencyModel> model;
+  std::unique_ptr<PathOracle> oracle;
+};
+
+TEST_F(InvalidationFixture, RebuildAfterFailMatchesFreshOracleBitwise) {
+  build_all(*oracle);
+  std::uint32_t edge = partial_edge(dests_by_first_edge());
+
+  topo.graph.set_edge_enabled(edge, false);
+  auto evicted = oracle->invalidate_routes_through(edge);
+  EXPECT_FALSE(evicted.empty());
+  EXPECT_EQ(oracle->invalidated_tables(), evicted.size());
+
+  // A second oracle over the already-mutated graph is the ground truth.
+  PathOracle fresh(topo.graph, *model);
+  for (std::uint32_t d = 0; d < topo.graph.as_count(); ++d) {
+    auto got = oracle->one_way_table(AsId(d));
+    auto want = fresh.one_way_table(AsId(d));
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      // Bitwise: float latencies must agree exactly, including the
+      // unreachable sentinel (NaN-free, so == is sound).
+      ASSERT_EQ(got[s], want[s]) << "dest " << d << " src " << s;
+    }
+  }
+}
+
+TEST_F(InvalidationFixture, UntouchedTablesAreNotEvicted) {
+  build_all(*oracle);
+  std::size_t built = oracle->cached_tables();
+  auto use = dests_by_first_edge();
+  std::uint32_t edge = partial_edge(use);
+
+  topo.graph.set_edge_enabled(edge, false);
+  auto evicted = oracle->invalidate_routes_through(edge);
+
+  // Targeted, not a flush: exactly the tables whose route trees crossed the
+  // edge go, everything else survives.
+  EXPECT_FALSE(evicted.empty());
+  EXPECT_LT(evicted.size(), built);
+  EXPECT_EQ(oracle->cached_tables(), built - evicted.size());
+  std::set<std::uint32_t> got;
+  for (AsId d : evicted) got.insert(d.value());
+  EXPECT_EQ(got, use[edge]);
+
+  // Tables whose route tree never crossed the edge keep their slot: the
+  // span's backing address is unchanged (no rebuild happened).
+  std::vector<bool> was_evicted(topo.graph.as_count(), false);
+  for (AsId d : evicted) was_evicted[d.value()] = true;
+  for (std::uint32_t d = 0; d < topo.graph.as_count(); ++d) {
+    if (was_evicted[d]) continue;
+    auto before = oracle->one_way_table(AsId(d));
+    auto after = oracle->one_way_table(AsId(d));
+    EXPECT_EQ(before.data(), after.data());
+  }
+}
+
+TEST_F(InvalidationFixture, RecoveryInvalidatesEverything) {
+  build_all(*oracle);
+  std::uint32_t edge = partial_edge(dests_by_first_edge());
+  topo.graph.set_edge_enabled(edge, false);
+  std::size_t targeted = oracle->invalidate_routes_through(edge).size();
+
+  // Re-enabling can improve routes anywhere: every built table goes.
+  topo.graph.set_edge_enabled(edge, true);
+  auto evicted = oracle->invalidate_all();
+  EXPECT_EQ(evicted.size(), oracle->graph().as_count() - targeted);
+  EXPECT_EQ(oracle->cached_tables(), 0u);
+
+  // After the fail/recover round trip the graph is back to its original
+  // state, so the lazily rebuilt tables match a pristine oracle.
+  PathOracle pristine(topo.graph, *model);
+  AsId src = topo.stubs.front();
+  AsId dst = topo.stubs.back();
+  EXPECT_EQ(oracle->one_way_ms(src, dst), pristine.one_way_ms(src, dst));
+  EXPECT_EQ(oracle->rtt_loss(src, dst), pristine.rtt_loss(src, dst));
+}
+
+}  // namespace
+}  // namespace asap::netmodel

@@ -1,0 +1,140 @@
+// ChurnPlan generation and arming: deterministic draws, time-sorted event
+// lists, join/leave and fail/recover pairing, Zipf bias toward large
+// clusters, and EventQueue application in timestamp order.
+#include "sim/churn_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace asap::sim {
+namespace {
+
+ChurnPlanParams full_params() {
+  ChurnPlanParams params;
+  params.horizon_ms = 10000.0;
+  params.peer_leaves = 12;
+  params.peer_joins = 8;
+  params.link_fails = 6;
+  params.link_recoveries = 4;
+  params.policy_changes = 3;
+  return params;
+}
+
+// A heavy-tailed membership: cluster 0 is by far the largest.
+std::vector<std::size_t> sizes() { return {500, 120, 60, 30, 10, 5, 1, 0}; }
+
+TEST(ChurnPlan, SameSeedSamePlan) {
+  auto cluster_sizes = sizes();
+  Rng a(77);
+  Rng b(77);
+  ChurnPlan first = ChurnPlan::generate(full_params(), cluster_sizes, 40, a);
+  ChurnPlan second = ChurnPlan::generate(full_params(), cluster_sizes, 40, b);
+  ASSERT_EQ(first.events().size(), second.events().size());
+  for (std::size_t i = 0; i < first.events().size(); ++i) {
+    EXPECT_EQ(first.events()[i].at_ms, second.events()[i].at_ms);
+    EXPECT_EQ(first.events()[i].kind, second.events()[i].kind);
+    EXPECT_EQ(first.events()[i].target, second.events()[i].target);
+  }
+}
+
+TEST(ChurnPlan, EventsAreTimeSortedAndCounted) {
+  auto cluster_sizes = sizes();
+  Rng rng(31);
+  ChurnPlan plan = ChurnPlan::generate(full_params(), cluster_sizes, 40, rng);
+  std::map<ChurnKind, std::size_t> by_kind;
+  Millis prev = 0.0;
+  for (const auto& e : plan.events()) {
+    EXPECT_GE(e.at_ms, prev);
+    prev = e.at_ms;
+    ++by_kind[e.kind];
+  }
+  EXPECT_EQ(by_kind[ChurnKind::kPeerLeave], 12u);
+  EXPECT_EQ(by_kind[ChurnKind::kPeerJoin], 8u);
+  EXPECT_EQ(by_kind[ChurnKind::kLinkFail], 6u);
+  EXPECT_EQ(by_kind[ChurnKind::kLinkRecover], 4u);
+  EXPECT_EQ(by_kind[ChurnKind::kPolicyChange], 3u);
+}
+
+TEST(ChurnPlan, JoinsReviveAClusterALeaveStruck) {
+  // Every join targets a cluster some earlier leave hit, never a fresh one.
+  auto cluster_sizes = sizes();
+  Rng rng(97);
+  ChurnPlan plan = ChurnPlan::generate(full_params(), cluster_sizes, 40, rng);
+  std::map<std::uint32_t, int> leave_balance;  // leaves seen minus joins used
+  for (const auto& e : plan.events()) {
+    if (e.kind == ChurnKind::kPeerLeave) ++leave_balance[e.target];
+  }
+  for (const auto& e : plan.events()) {
+    if (e.kind == ChurnKind::kPeerJoin) {
+      auto it = leave_balance.find(e.target);
+      ASSERT_NE(it, leave_balance.end());
+      EXPECT_GT(it->second--, 0);
+    }
+  }
+}
+
+TEST(ChurnPlan, RecoveriesRestoreAFailedEdgeLater) {
+  auto cluster_sizes = sizes();
+  Rng rng(55);
+  ChurnPlan plan = ChurnPlan::generate(full_params(), cluster_sizes, 40, rng);
+  // In time order, a recovery of edge e must follow a failure of edge e.
+  std::map<std::uint32_t, int> down;
+  for (const auto& e : plan.events()) {
+    if (e.kind == ChurnKind::kLinkFail) ++down[e.target];
+    if (e.kind == ChurnKind::kLinkRecover) {
+      auto it = down.find(e.target);
+      ASSERT_NE(it, down.end());
+      EXPECT_GT(it->second--, 0);
+    }
+  }
+}
+
+TEST(ChurnPlan, ZipfFavorsLargeClusters) {
+  // With s = 0.9 over an 8-cluster ranking, the biggest cluster should
+  // absorb a clear plurality of a large leave draw.
+  auto cluster_sizes = sizes();
+  ChurnPlanParams params;
+  params.horizon_ms = 1000.0;
+  params.peer_leaves = 400;
+  Rng rng(13);
+  ChurnPlan plan = ChurnPlan::generate(params, cluster_sizes, 0, rng);
+  std::map<std::uint32_t, std::size_t> hits;
+  for (const auto& e : plan.events()) ++hits[e.target];
+  std::size_t biggest = hits[0];  // cluster 0 has size 500, rank 0
+  for (const auto& [cluster, count] : hits) {
+    EXPECT_GE(biggest, count) << "cluster " << cluster;
+  }
+  EXPECT_GT(biggest, 400u / 8u);  // strictly better than uniform
+}
+
+TEST(ChurnPlan, EmptyWorldYieldsEmptyPlan) {
+  // No clusters and no edges: nothing to churn, nothing to flap.
+  ChurnPlanParams params = full_params();
+  Rng rng(5);
+  ChurnPlan plan = ChurnPlan::generate(params, {}, 0, rng);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(ChurnPlan, ArmAppliesEveryEventAtItsTimestamp) {
+  ChurnPlan plan;
+  plan.add({250.0, ChurnKind::kLinkFail, 7});
+  plan.add({100.0, ChurnKind::kPeerLeave, 3});
+  plan.add({100.0, ChurnKind::kPeerJoin, 3});  // tie: insertion order kept
+  EventQueue queue;
+  std::vector<std::pair<Millis, ChurnKind>> applied;
+  plan.arm(queue, [&](const ChurnEvent& e) {
+    applied.emplace_back(queue.now(), e.kind);
+  });
+  queue.run();
+  ASSERT_EQ(applied.size(), 3u);
+  EXPECT_EQ(applied[0], (std::pair<Millis, ChurnKind>{100.0, ChurnKind::kPeerLeave}));
+  EXPECT_EQ(applied[1], (std::pair<Millis, ChurnKind>{100.0, ChurnKind::kPeerJoin}));
+  EXPECT_EQ(applied[2], (std::pair<Millis, ChurnKind>{250.0, ChurnKind::kLinkFail}));
+}
+
+}  // namespace
+}  // namespace asap::sim
