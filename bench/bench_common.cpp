@@ -97,6 +97,49 @@ population::WorldParams small_world_params(std::uint64_t seed) {
   return params;
 }
 
+population::WorldParams xl_world_params(const BenchEnv& env, std::size_t peers) {
+  population::WorldParams params;
+  params.seed = env.seed;
+  params.pop.total_peers = peers;
+  // Grow the graph with the population: ~12k ASes and ~4k host ASes per
+  // million peers keeps ~100k clusters of ~10 peers — paper-shaped cluster
+  // geometry — instead of thousand-member clusters in the Fig. 17 footprint.
+  const double m = static_cast<double>(peers) / 1.0e6;
+  params.topo.total_as = static_cast<std::size_t>(12000 * m);
+  if (params.topo.total_as < 2000) params.topo.total_as = 2000;
+  params.pop.host_as_count = static_cast<std::size_t>(4000 * m);
+  if (params.pop.host_as_count < 700) params.pop.host_as_count = 700;
+  // Wider prefix allocation (~25 clusters per host AS) so the member arena,
+  // not per-cluster overhead, dominates bytes/peer.
+  params.pop.prefix_alloc = astopo::PrefixAllocationParams{
+      /*min_prefixes_per_as=*/1, /*max_prefixes_per_as=*/2,
+      /*extra_host_prefixes=*/24, /*min_prefix_len=*/18, /*max_prefix_len=*/24};
+  params.pop.sharded_generation = true;
+  params.pop.generation_threads = env.threads;
+  return params;
+}
+
+std::size_t read_peak_rss_kb() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0) {
+        std::fclose(f);
+        return static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      }
+    }
+    std::fclose(f);
+  }
+#endif
+  return 0;
+}
+
+void BenchRun::record_world_memory(std::size_t model_bytes, std::size_t peers) {
+  model_bytes_ += model_bytes;
+  model_peers_ += peers;
+}
+
 BenchRun::BenchRun(std::string name, const BenchEnv& env)
     : name_(std::move(name)), env_(env) {
   if (!env_.metrics) return;
@@ -117,6 +160,16 @@ BenchRun::~BenchRun() {
                                     : env_.metrics_dir + "/" + name_ + ".digest.json";
   }
   std::string digest = digest_json();
+  // The memory tail is machine-dependent (peak RSS), so it goes only into
+  // the *written* file — digest_json() stays deterministic and
+  // scripts/golden.sh strips `,"memory":{...}` before comparing digests.
+  std::string tail = ",\"memory\":{\"peak_rss_kb\":" + std::to_string(read_peak_rss_kb());
+  tail += ",\"model_bytes\":" + std::to_string(model_bytes_);
+  double bpp = model_peers_ == 0 ? 0.0
+                                 : static_cast<double>(model_bytes_) /
+                                       static_cast<double>(model_peers_);
+  tail += ",\"bytes_per_peer\":" + json_number(bpp) + "}";
+  digest.insert(digest.size() - 1, tail);
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
     std::fputs(digest.c_str(), f);
     std::fputc('\n', f);
@@ -165,7 +218,7 @@ std::unique_ptr<population::World> build_world(const population::WorldParams& pa
                label.c_str(), static_cast<unsigned long long>(params.seed),
                world->graph().as_count(), world->graph().edge_count(),
                world->pop().host_ases().size(), world->pop().populated_clusters().size(),
-               world->pop().peers().size(), world->latency_model().congested_as_count(),
+               world->pop().peer_count(), world->latency_model().congested_as_count(),
                world->latency_model().broken_edge_count(), elapsed.count());
   if (g_active_run != nullptr && g_active_run->metrics() != nullptr) {
     MetricsRegistry& m = *g_active_run->metrics();
@@ -173,9 +226,14 @@ std::unique_ptr<population::World> build_world(const population::WorldParams& pa
     m.gauge("world." + label + ".links")
         .set(static_cast<double>(world->graph().edge_count()));
     m.gauge("world." + label + ".peers")
-        .set(static_cast<double>(world->pop().peers().size()));
+        .set(static_cast<double>(world->pop().peer_count()));
     m.gauge("world." + label + ".clusters")
         .set(static_cast<double>(world->pop().populated_clusters().size()));
+    // Memory goes into the written digest's stripped tail, not the gauges:
+    // byte counts vary with allocator/platform-independent sizing but peak
+    // RSS does not, and golden digests must stay machine-independent.
+    g_active_run->record_world_memory(world->pop().memory_bytes(),
+                                      world->pop().peer_count());
   }
   return world;
 }
@@ -221,7 +279,7 @@ SkypeStudy make_skype_study(const population::World& world, std::uint64_t salt) 
 
   auto pick_on = [&](std::size_t continent) {
     for (int tries = 0; tries < 100000; ++tries) {
-      HostId h(static_cast<std::uint32_t>(rng.below(pop.peers().size())));
+      HostId h(static_cast<std::uint32_t>(rng.below(pop.peer_count())));
       if (continent_of(h) == continent) return h;
     }
     return HostId(0);

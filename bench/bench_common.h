@@ -66,8 +66,12 @@ class BenchRun {
   [[nodiscard]] TraceRecorder* trace() { return trace_.get(); }
   // Default evaluation config with threads + metrics sink pre-wired.
   [[nodiscard]] relay::EvaluationConfig eval_config() const;
-  // The digest document (also what the destructor writes), for tests.
+  // The digest document (also the machine-independent part of what the
+  // destructor writes), for tests.
   [[nodiscard]] std::string digest_json() const;
+  // Model-side memory footprint for the written digest's memory tail
+  // (build_world() records the population bytes automatically).
+  void record_world_memory(std::size_t model_bytes, std::size_t peers);
 
  private:
   std::string name_;
@@ -75,7 +79,15 @@ class BenchRun {
   std::unique_ptr<MetricsRegistry> registry_;
   std::unique_ptr<TraceRecorder> trace_;
   Fnv1a64 output_hash_;
+  std::size_t model_bytes_ = 0;
+  std::size_t model_peers_ = 0;
 };
+
+// Peak resident set size of this process in KiB (VmHWM from
+// /proc/self/status); 0 on platforms without procfs. Machine-dependent by
+// nature, so it only ever appears in the written digest's `"memory"` tail,
+// which scripts/golden.sh strips before comparing digests.
+[[nodiscard]] std::size_t read_peak_rss_kb();
 
 // Paper evaluation world: ~6,000 ASes, 1,461 host ASes, 23,366 peers
 // ("23,366 IPs are used in all other figures").
@@ -84,6 +96,13 @@ population::WorldParams eval_world_params(const BenchEnv& env);
 population::WorldParams scaled_world_params(const BenchEnv& env);
 // Small world for micro-benches and quick demos.
 population::WorldParams small_world_params(std::uint64_t seed);
+// Million-peer-class world for fig_scalability_xl: the AS graph, host-AS
+// pool and prefix allocation all grow with `peers` (~10 peers per cluster,
+// ~12k ASes per million peers) so cluster geometry stays paper-shaped
+// instead of packing everything into the Fig. 17 footprint. Enables
+// sharded generation; the oracle cache budget/compaction is the caller's
+// choice via the returned params' `oracle_cache`.
+population::WorldParams xl_world_params(const BenchEnv& env, std::size_t peers);
 
 // Builds a world and logs build time + basic shape to stderr.
 std::unique_ptr<population::World> build_world(const population::WorldParams& params,

@@ -24,10 +24,10 @@ int main(int argc, char** argv) {
   auto big_sessions = bench::sample_sessions(*big, env.sessions);
   auto scaled_results = relay::evaluate_methods(*big, big_sessions.latent, config);
 
-  double ratio = static_cast<double>(big->pop().peers().size()) /
-                 static_cast<double>(small->pop().peers().size());
-  std::printf("population ratio: %zu / %zu = %.3f\n", big->pop().peers().size(),
-              small->pop().peers().size(), ratio);
+  double ratio = static_cast<double>(big->pop().peer_count()) /
+                 static_cast<double>(small->pop().peer_count());
+  std::printf("population ratio: %zu / %zu = %.3f\n", big->pop().peer_count(),
+              small->pop().peer_count(), ratio);
 
   for (std::size_t m = 0; m < scaled_results.size(); ++m) {
     std::vector<double> per_capita = scaled_results[m].quality_paths;

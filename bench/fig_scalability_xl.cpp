@@ -1,0 +1,234 @@
+// fig_scalability_xl: million-peer memory/scalability sweep (DESIGN.md §12).
+//
+// Not a paper figure: the paper stops at 103,625 peers (Fig. 17). This
+// bench exercises the memory architecture those figures never stress —
+// SoA/arena population storage, sharded world generation and the bounded
+// oracle table cache — by building worlds of 100k/500k/1M peers and
+// streaming up to 10M relay-selection sessions through each within a fixed
+// oracle-cache byte budget.
+//
+// Sessions are processed in chunks; each chunk draws its own RNG stream
+// (fork by chunk index) so results are deterministic for any thread count,
+// and retired oracle tables are purged at every chunk boundary (the
+// quiescent point the bounded cache needs). Per world the bench reports
+// peak RSS, population bytes/peer, oracle cache hit/build/eviction counts
+// and end-to-end sessions/sec as one machine-readable "BENCH JSON" line.
+//
+// Arguments (beyond the common --threads / --metrics-out):
+//   --peers LIST             comma-separated sweep (default 100000,500000,1000000)
+//   --sessions N             sessions per world (default 10 x peers)
+//   --chunk N                sessions per streaming chunk (default 8192)
+//   --cache-budget-mb N      oracle table budget (default 1024; 0 = unbounded)
+//   --no-compact             float tables instead of quantized u16
+//   --candidates K           relay candidates scored per session (default 16)
+//   --assert-bytes-per-peer B  exit 4 when population bytes/peer exceeds B
+//
+// The run also fails (exit 5) if the resident oracle bytes ever exceed the
+// budget at a chunk boundary — the property the CLOCK eviction guarantees.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace asap;
+
+namespace {
+
+struct XlArgs {
+  std::vector<std::size_t> peers = {100000, 500000, 1000000};
+  std::size_t sessions = 0;  // 0 = 10 x peers
+  std::size_t chunk = 8192;
+  // Default sized to hold a 1M-peer world's ~768 MB working set (4000
+  // host-AS tables x ~192 KB compact): a smaller budget exercises eviction
+  // but every miss pays a full table rebuild, so sweeps meant to finish
+  // should keep the working set resident and let eviction trim the edges.
+  std::size_t cache_budget_mb = 1024;
+  bool compact = true;
+  std::size_t candidates = 16;
+  double assert_bytes_per_peer = 0.0;  // 0 = no gate
+};
+
+// Retired tables are freed only at purge points; under a thrashing budget
+// the scoring loop can evict hundreds of tables per second, so purge every
+// few hundred sessions (the loop holds no table spans across sessions).
+constexpr std::size_t kPurgeEverySessions = 256;
+
+std::vector<std::size_t> parse_size_list(const char* s) {
+  std::vector<std::size_t> out;
+  while (*s != '\0') {
+    char* end = nullptr;
+    out.push_back(std::strtoull(s, &end, 10));
+    s = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::read_env();
+  XlArgs args;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      env.threads = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      env.metrics = true;
+      env.metrics_out = value();
+    } else if (std::strcmp(argv[i], "--peers") == 0) {
+      args.peers = parse_size_list(value());
+    } else if (std::strcmp(argv[i], "--sessions") == 0) {
+      args.sessions = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--chunk") == 0) {
+      args.chunk = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--cache-budget-mb") == 0) {
+      args.cache_budget_mb = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-compact") == 0) {
+      args.compact = false;
+    } else if (std::strcmp(argv[i], "--candidates") == 0) {
+      args.candidates = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--assert-bytes-per-peer") == 0) {
+      args.assert_bytes_per_peer = std::strtod(value(), nullptr);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (args.chunk == 0) args.chunk = 8192;
+  if (args.candidates == 0) args.candidates = 1;
+
+  bench::BenchRun run("fig_scalability_xl", env);
+
+  bench::print_section("XL scalability: peers sweep under a bounded oracle cache");
+  Table table({"peers", "clusters", "pop MB", "B/peer", "sessions", "hit %", "evictions",
+               "sess/s", "peak RSS MB"});
+
+  int rc = 0;
+  for (std::size_t peers : args.peers) {
+    population::WorldParams wp = bench::xl_world_params(env, peers);
+    wp.pop.generation_threads = env.threads;
+    wp.oracle_cache.budget_bytes = args.cache_budget_mb * std::size_t(1) << 20;
+    wp.oracle_cache.compact_tables = args.compact;
+    auto world = bench::build_world(wp, "xl-" + std::to_string(peers));
+    const population::RelayDirectory& dir = world->relay_directory();
+
+    // Candidate pool: every relay-capable cluster's effective relay.
+    std::vector<HostId> pool;
+    pool.reserve(dir.size());
+    for (std::size_t i = 0; i < dir.size(); ++i) {
+      if (dir.relay_capable[i] != 0) pool.push_back(dir.relays[i]);
+    }
+    if (pool.empty()) {
+      std::fprintf(stderr, "no relay-capable clusters at %zu peers\n", peers);
+      return 2;
+    }
+
+    const std::size_t total = args.sessions != 0 ? args.sessions : 10 * peers;
+    // Integer aggregation (milli-ms units) so sums are exact and
+    // order-independent across chunk sizes.
+    std::uint64_t relay_wins = 0, quality = 0, unreachable = 0;
+    std::uint64_t best_rtt_sum_micro_ms = 0;
+    std::vector<HostId> candidates(args.candidates);
+    std::vector<Millis> rtts(args.candidates);
+    auto start = std::chrono::steady_clock::now();
+    std::size_t done = 0;
+    for (std::size_t chunk_idx = 0; done < total; ++chunk_idx) {
+      const std::size_t n = std::min(args.chunk, total - done);
+      Rng session_rng = world->fork_rng(4242).fork(chunk_idx);
+      Rng cand_rng = world->fork_rng(4243).fork(chunk_idx);
+      auto sessions =
+          population::generate_sessions_parallel(*world, n, session_rng, env.threads);
+      // Generation itself queries the oracle (direct RTT/loss per session);
+      // free whatever it evicted before the scoring scan.
+      world->oracle().purge_retired();
+      std::size_t since_purge = 0;
+      for (const auto& s : sessions) {
+        if (++since_purge == kPurgeEverySessions) {
+          world->oracle().purge_retired();
+          since_purge = 0;
+        }
+        for (std::size_t k = 0; k < args.candidates; ++k) {
+          candidates[k] = pool[cand_rng.below(pool.size())];
+        }
+        world->batch_relay_rtts(s, candidates, rtts);
+        Millis best_relay = *std::min_element(rtts.begin(), rtts.end());
+        Millis best = std::min(best_relay, s.direct_rtt_ms);
+        if (best >= kUnreachableMs) {
+          ++unreachable;
+          continue;
+        }
+        if (best_relay < s.direct_rtt_ms) ++relay_wins;
+        if (best <= kQualityRttThresholdMs) ++quality;
+        best_rtt_sum_micro_ms += static_cast<std::uint64_t>(best * 1000.0 + 0.5);
+      }
+      done += n;
+      // Chunk boundary = quiescent point: free evicted tables, then check
+      // the residency invariant the CLOCK sweep maintains.
+      world->oracle().purge_retired();
+      auto cs = world->oracle().cache_stats();
+      if (wp.oracle_cache.budget_bytes != 0 &&
+          cs.cached_bytes > wp.oracle_cache.budget_bytes) {
+        std::fprintf(stderr,
+                     "oracle cache over budget at chunk %zu: %zu > %zu bytes\n",
+                     chunk_idx, cs.cached_bytes, wp.oracle_cache.budget_bytes);
+        rc = 5;
+      }
+      if (chunk_idx % 16 == 0) {
+        std::fprintf(stderr, "[xl-%zu] %zu/%zu sessions, rss=%zu MB\n", peers, done,
+                     total, bench::read_peak_rss_kb() >> 10);
+      }
+    }
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    auto cs = world->oracle().cache_stats();
+    const std::size_t pop_bytes = world->pop().memory_bytes();
+    const double bpp = static_cast<double>(pop_bytes) / static_cast<double>(peers);
+    const std::size_t rss_kb = bench::read_peak_rss_kb();
+    const double reached = static_cast<double>(total - unreachable);
+    const double sps = elapsed > 0.0 ? static_cast<double>(total) / elapsed : 0.0;
+    const double hit_pct =
+        cs.hits + cs.builds > 0
+            ? 100.0 * static_cast<double>(cs.hits) /
+                  static_cast<double>(cs.hits + cs.builds)
+            : 0.0;
+
+    table.add_row({std::to_string(peers), std::to_string(dir.size()),
+                   Table::fmt(static_cast<double>(pop_bytes) / (1024.0 * 1024.0), 1),
+                   Table::fmt(bpp, 1), std::to_string(total), Table::fmt(hit_pct, 2),
+                   std::to_string(cs.evictions), Table::fmt(sps, 0),
+                   Table::fmt(static_cast<double>(rss_kb) / 1024.0, 1)});
+
+    std::printf(
+        "BENCH JSON: {\"bench\":\"fig_scalability_xl\",\"peers\":%zu,\"clusters\":%zu,"
+        "\"sessions\":%zu,\"chunk\":%zu,\"candidates\":%zu,\"cache_budget_bytes\":%zu,"
+        "\"compact\":%s,\"pop_bytes\":%zu,\"bytes_per_peer\":%.2f,\"peak_rss_kb\":%zu,"
+        "\"oracle_builds\":%llu,\"oracle_hits\":%llu,\"oracle_evictions\":%llu,"
+        "\"oracle_cached_tables\":%zu,\"oracle_cached_bytes\":%zu,"
+        "\"relay_win_frac\":%.4f,\"quality_frac\":%.4f,\"unreachable\":%llu,"
+        "\"mean_best_rtt_ms\":%.3f,\"elapsed_s\":%.2f,\"sessions_per_sec\":%.0f}\n",
+        peers, dir.size(), total, args.chunk, args.candidates,
+        wp.oracle_cache.budget_bytes, args.compact ? "true" : "false", pop_bytes, bpp,
+        rss_kb, static_cast<unsigned long long>(cs.builds),
+        static_cast<unsigned long long>(cs.hits),
+        static_cast<unsigned long long>(cs.evictions), cs.cached_tables, cs.cached_bytes,
+        static_cast<double>(relay_wins) / static_cast<double>(total),
+        static_cast<double>(quality) / static_cast<double>(total),
+        static_cast<unsigned long long>(unreachable),
+        reached > 0.0 ? static_cast<double>(best_rtt_sum_micro_ms) / 1000.0 / reached
+                      : 0.0,
+        elapsed, sps);
+
+    if (args.assert_bytes_per_peer > 0.0 && bpp > args.assert_bytes_per_peer) {
+      std::fprintf(stderr, "bytes/peer gate failed: %.2f > %.2f\n", bpp,
+                   args.assert_bytes_per_peer);
+      rc = 4;
+    }
+  }
+  table.print();
+  return rc;
+}

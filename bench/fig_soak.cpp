@@ -139,9 +139,9 @@ SoakResult run_soak(const SoakConfig& config, const bench::BenchEnv& env,
   churn.link_recoveries = config.link_recoveries;
   churn.policy_changes = config.policy_changes;
   std::vector<std::size_t> cluster_sizes;
-  cluster_sizes.reserve(world->pop().clusters().size());
-  for (const auto& cluster : world->pop().clusters()) {
-    cluster_sizes.push_back(cluster.members.size());
+  cluster_sizes.reserve(world->pop().cluster_count());
+  for (std::uint32_t c = 0; c < world->pop().cluster_count(); ++c) {
+    cluster_sizes.push_back(world->pop().cluster_members(ClusterId(c)).size());
   }
   Rng churn_rng = world->fork_rng(0xC4B2);
   sim::ChurnPlan plan = sim::ChurnPlan::generate(churn, cluster_sizes,

@@ -51,8 +51,8 @@ void BM_PrefixTrieLookup(benchmark::State& state) {
   Rng rng(99);
   std::vector<Ipv4Addr> queries;
   for (int i = 0; i < 1024; ++i) {
-    const auto& peers = world.pop().peers();
-    queries.push_back(peers[rng.index_of(peers)].ip);
+    HostId h(static_cast<std::uint32_t>(rng.below(world.pop().peer_count())));
+    queries.push_back(world.pop().peer_ip(h));
   }
   std::size_t i = 0;
   for (auto _ : state) {

@@ -48,14 +48,24 @@ int main() {
   std::vector<relay::MethodResults> reference;
   double base_seconds = 0.0;
 
+  // On a single-core box every worker count time-slices one CPU, so the
+  // speedup column measures scheduler noise, not scaling. Flag it rather
+  // than report misleading numbers (bench/run_micro.sh --min-cores N can
+  // refuse to run at all).
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  const bool speedup_valid = hw_threads >= 2;
+  std::printf("hardware threads: %u%s\n", hw_threads,
+              speedup_valid ? "" : " — speedups are NOT meaningful on this machine");
+
   bench::print_section("Parallel evaluation throughput (latent sessions, DEDI/RAND/MIX/ASAP)");
   Table table({"threads", "seconds", "sessions/sec", "speedup", "identical to 1T"});
   std::string json = "{\"bench\":\"micro_parallel_eval\",\"seed\":" +
                      std::to_string(env.seed) +
                      ",\"sampled_sessions\":" + std::to_string(workload.all.size()) +
                      ",\"latent_sessions\":" + std::to_string(sessions.size()) +
-                     ",\"hardware_threads\":" +
-                     std::to_string(std::thread::hardware_concurrency()) + ",\"runs\":[";
+                     ",\"hardware_threads\":" + std::to_string(hw_threads) +
+                     ",\"speedup_valid\":" + (speedup_valid ? "true" : "false") +
+                     ",\"runs\":[";
   bool all_identical = true;
   for (std::size_t t = 0; t < std::size(thread_counts); ++t) {
     relay::EvaluationConfig config;

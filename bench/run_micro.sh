@@ -3,13 +3,32 @@
 # collects the JSON objects into BENCH_micro.json (an array, one element per
 # bench) in the current directory.
 #
-# Usage: bench/run_micro.sh [build-dir]   (default: ./build)
+# Usage: bench/run_micro.sh [--min-cores N] [build-dir]   (default: ./build)
 # Honors the usual bench env knobs (ASAP_SEED / ASAP_SESSIONS / ASAP_SCALE).
+#
+# --min-cores N refuses to run (exit 3) on machines with fewer than N
+# hardware threads: micro_parallel_eval's speedup numbers are meaningless
+# when every worker count time-slices one CPU, so CI jobs that gate on
+# scaling should pass --min-cores 2.
 set -eu
+
+MIN_CORES=0
+if [ "${1:-}" = "--min-cores" ]; then
+  MIN_CORES="${2:?--min-cores needs a value}"
+  shift 2
+fi
 
 BUILD_DIR="${1:-build}"
 BENCH_DIR="$BUILD_DIR/bench"
 OUT="BENCH_micro.json"
+
+if [ "$MIN_CORES" -gt 0 ]; then
+  CORES=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)
+  if [ "$CORES" -lt "$MIN_CORES" ]; then
+    echo "error: $CORES hardware thread(s) < --min-cores $MIN_CORES — speedup numbers would be meaningless" >&2
+    exit 3
+  fi
+fi
 
 if [ ! -d "$BENCH_DIR" ]; then
   echo "error: $BENCH_DIR not found (build the project first)" >&2

@@ -21,14 +21,15 @@ int main() {
   bench::print_section("NAT mix and connectivity");
   {
     std::size_t counts[3] = {0, 0, 0};
-    for (const auto& peer : pop.peers()) ++counts[static_cast<int>(peer.nat)];
+    for (std::uint32_t i = 0; i < pop.peer_count(); ++i)
+      ++counts[static_cast<int>(pop.peer_nat(HostId(i)))];
     Table table({"NAT type", "peers", "fraction"});
     for (int t = 0; t < 3; ++t) {
       table.add_row({std::string(population::nat_type_name(
                          static_cast<population::NatType>(t))),
                      Table::fmt_int(static_cast<long long>(counts[t])),
                      Table::fmt_pct(static_cast<double>(counts[t]) /
-                                        static_cast<double>(pop.peers().size()),
+                                        static_cast<double>(pop.peer_count()),
                                     1)});
     }
     table.print();

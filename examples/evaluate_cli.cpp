@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
   std::printf("world: seed=%llu ases=%zu links=%zu clusters=%zu peers=%zu\n",
               static_cast<unsigned long long>(opts.seed), world.graph().as_count(),
               world.graph().edge_count(), world.pop().populated_clusters().size(),
-              world.pop().peers().size());
+              world.pop().peer_count());
 
   Rng rng = world.fork_rng(42);
   auto sessions = population::generate_sessions(world, opts.sessions, rng);

@@ -27,7 +27,7 @@ int main() {
   params.pop.host_as_count = 300;
   params.pop.total_peers = 8000;
   population::World world(params);
-  std::printf("[crawl] %zu peer IPs collected\n", world.pop().peers().size());
+  std::printf("[crawl] %zu peer IPs collected\n", world.pop().peer_count());
 
   astopo::BgpRib rib = astopo::build_rib(world.graph(), world.pop().prefix_allocation(),
                                          world.topo().stubs.front());
@@ -37,11 +37,11 @@ int main() {
   // Stage 3: group the IP pool by longest matched prefix (the paper: of
   // 269,413 IPs, 103,625 matched prefixes in 1,461 ASes).
   std::size_t matched = 0;
-  for (const auto& peer : world.pop().peers()) {
-    if (rib.origin_of(peer.ip) != 0) ++matched;
+  for (std::uint32_t i = 0; i < world.pop().peer_count(); ++i) {
+    if (rib.origin_of(world.pop().peer_ip(HostId(i))) != 0) ++matched;
   }
   std::printf("[grouping] %zu/%zu IPs matched a RIB prefix -> %zu clusters in %zu ASes\n",
-              matched, world.pop().peers().size(),
+              matched, world.pop().peer_count(),
               world.pop().populated_clusters().size(), world.pop().host_ases().size());
 
   // Stage 4: one delegate per cluster; King-style pairwise measurements.

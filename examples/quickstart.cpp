@@ -22,7 +22,7 @@ int main() {
   population::World world(params);
   std::printf("world: %zu ASes, %zu links, %zu clusters, %zu peers\n",
               world.graph().as_count(), world.graph().edge_count(),
-              world.pop().populated_clusters().size(), world.pop().peers().size());
+              world.pop().populated_clusters().size(), world.pop().peer_count());
 
   // 2. A workload: random calling sessions; keep one whose direct IP path
   //    misses the 300 ms VoIP quality bar.

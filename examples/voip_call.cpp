@@ -21,7 +21,7 @@ int main() {
   core::AsapParams asap_params;
   core::AsapSystem system(world, asap_params, /*bootstrap_count=*/2);
   system.join_all();
-  std::printf("joined %zu peers; join+publish messages: %llu\n", world.pop().peers().size(),
+  std::printf("joined %zu peers; join+publish messages: %llu\n", world.pop().peer_count(),
               static_cast<unsigned long long>(
                   system.counter().count(sim::MessageCategory::kJoin) +
                   system.counter().count(sim::MessageCategory::kPublish)));

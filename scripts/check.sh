@@ -1,12 +1,17 @@
 #!/usr/bin/env sh
 # Tier-1 gate plus sanitizer passes over the concurrency/robustness tests.
 #
-#   scripts/check.sh [--mode release|asan|tsan|all] [build-dir-prefix]
+#   scripts/check.sh [--mode release|asan|tsan|memory|all] [build-dir-prefix]
 #
 #   release — default config, full ctest suite (the tier-1 gate)
 #   asan    — -DASAP_SANITIZE=address, the `sanitize`-labeled tests
 #   tsan    — -DASAP_SANITIZE=thread, the same label
-#   all     — the three passes in sequence (the default)
+#   memory  — small fig_scalability_xl run under a deliberately tight
+#             oracle-cache budget; fails when population bytes/peer exceed
+#             the ceiling or the cache overruns its budget. RSS is printed
+#             but never gated on (machine-dependent) and never enters the
+#             golden digests.
+#   all     — release + asan + tsan in sequence (the default)
 #
 # The sanitizer passes rerun the tests that exercise timers, fault injection
 # and shared caches, where lifetime and data-race bugs would hide; the
@@ -27,9 +32,9 @@ case "${1:-}" in
     ;;
 esac
 case "$MODE" in
-  release|asan|tsan|all) ;;
+  release|asan|tsan|memory|all) ;;
   *)
-    echo "unknown mode: $MODE (release|asan|tsan|all)" >&2
+    echo "unknown mode: $MODE (release|asan|tsan|memory|all)" >&2
     exit 2
     ;;
 esac
@@ -70,6 +75,16 @@ if [ "$MODE" = "tsan" ] || [ "$MODE" = "all" ]; then
   run_pass "$PREFIX-tsan" -DASAP_SANITIZE=thread
   echo "== tsan: ctest -L sanitize"
   ctest --test-dir "$PREFIX-tsan" -L sanitize --output-on-failure
+fi
+
+if [ "$MODE" = "memory" ]; then
+  run_pass "$PREFIX"
+  echo "== memory: fig_scalability_xl smoke (tight budget, bytes/peer gate)"
+  # 20k peers, 40k sessions, 8 MB budget: small enough for CI, tight enough
+  # that the CLOCK sweep must evict continuously. The 120 B/peer ceiling
+  # bounds the SoA population (measured ~70 B/peer; AoS storage was ~3x).
+  "$PREFIX/bench/fig_scalability_xl" --peers 20000 --sessions 40000 \
+    --cache-budget-mb 8 --assert-bytes-per-peer 120
 fi
 
 echo "== checks passed (mode: $MODE)"

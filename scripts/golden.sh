@@ -48,7 +48,9 @@ for b in $BENCHES; do
 done
 
 # Merge the digests verbatim (no JSON re-serialization, so the merged bytes
-# are exactly as deterministic as the digests themselves).
+# are exactly as deterministic as the digests themselves). The written files
+# carry a machine-dependent `"memory"` tail (peak RSS); strip it so the
+# golden comparison only sees deterministic values.
 {
   printf '{\n'
   first=1
@@ -56,7 +58,7 @@ done
     [ $first -eq 0 ] && printf ',\n'
     first=0
     printf '"%s": ' "$b"
-    tr -d '\n' < "$TMP/$b.digest.json"
+    tr -d '\n' < "$TMP/$b.digest.json" | sed 's/,"memory":{[^}]*}//'
   done
   printf '\n}\n'
 } > "$TMP/digests.json"

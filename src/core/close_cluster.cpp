@@ -50,7 +50,7 @@ CloseClusterSet construct_close_cluster_set(const population::World& world, Clus
 }
 
 CloseSetCache::CloseSetCache(const population::World& world, const AsapParams& params)
-    : world_(world), params_(params), sets_(world.pop().clusters().size()) {}
+    : world_(world), params_(params), sets_(world.pop().cluster_count()) {}
 
 CloseSetCache::~CloseSetCache() {
   for (auto& slot : sets_) delete slot.load(std::memory_order_relaxed);

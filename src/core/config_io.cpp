@@ -83,6 +83,20 @@ const std::map<std::string, Field, std::less<>>& registry() {
        make_field([](ExperimentConfig& c) -> auto& { return c.world.pop.cluster_zipf_s; })},
       {"pop.nat_enabled",
        make_field([](ExperimentConfig& c) -> auto& { return c.world.pop.nat_enabled; })},
+      {"pop.sharded_generation",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.world.pop.sharded_generation; })},
+      {"pop.generation_threads",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.world.pop.generation_threads; })},
+      {"oracle.cache_budget_bytes",
+       make_field([](ExperimentConfig& c) -> auto& {
+         return c.world.oracle_cache.budget_bytes;
+       })},
+      {"oracle.compact_tables",
+       make_field([](ExperimentConfig& c) -> auto& {
+         return c.world.oracle_cache.compact_tables;
+       })},
       {"relay_delay_one_way_ms",
        make_field(
            [](ExperimentConfig& c) -> auto& { return c.world.relay_delay_one_way_ms; })},

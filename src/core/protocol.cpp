@@ -189,8 +189,8 @@ AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
     return drop;
   });
   const auto& pop = world_.pop();
-  hosts_.resize(pop.peers().size());
-  surrogate_sets_.resize(pop.clusters().size());
+  hosts_.resize(pop.peer_count());
+  surrogate_sets_.resize(pop.cluster_count());
 
   // Relay-capacity model: a host's concurrent-stream cap is its abstract
   // capability score scaled by the knob, floored so every host can carry at
@@ -199,9 +199,9 @@ AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
   capacity_enabled_ = params_.relay_streams_per_capacity > 0.0;
   admission_enabled_ = capacity_enabled_ && params_.admission_control;
   if (capacity_enabled_) {
-    relay_stream_cap_.resize(pop.peers().size());
-    relay_streams_.assign(pop.peers().size(), 0u);
-    for (std::uint32_t i = 0; i < pop.peers().size(); ++i) {
+    relay_stream_cap_.resize(pop.peer_count());
+    relay_streams_.assign(pop.peer_count(), 0u);
+    for (std::uint32_t i = 0; i < pop.peer_count(); ++i) {
       double scaled = pop.peer(HostId(i)).capacity * params_.relay_streams_per_capacity;
       relay_stream_cap_[i] = std::max<std::uint32_t>(params_.relay_min_streams,
                                                      static_cast<std::uint32_t>(scaled));
@@ -209,7 +209,7 @@ AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
   }
 
   // One network node per peer, ids aligned with HostId.
-  for (std::uint32_t i = 0; i < pop.peers().size(); ++i) {
+  for (std::uint32_t i = 0; i < pop.peer_count(); ++i) {
     const auto& peer = pop.peer(HostId(i));
     NodeId id = net_.add_node(peer.as, peer.access_one_way_ms,
                               [this, i](NodeId from, const ProtocolPayload& p) {
@@ -240,7 +240,7 @@ NodeId AsapSystem::surrogate_node(ClusterId c) const {
 }
 
 bool AsapSystem::is_surrogate_of(ClusterId c, NodeId node) const {
-  const auto& surrogates = world_.pop().cluster(c).surrogates;
+  const auto surrogates = world_.pop().cluster_surrogates(c);
   for (HostId s : surrogates) {
     if (NodeId(s.value()) == node) return true;
   }
@@ -300,7 +300,7 @@ std::shared_ptr<const CloseClusterSet> AsapSystem::surrogate_close_set(ClusterId
 
 void AsapSystem::join_all() {
   const auto& pop = world_.pop();
-  for (std::uint32_t i = 0; i < pop.peers().size(); ++i) {
+  for (std::uint32_t i = 0; i < pop.peer_count(); ++i) {
     NodeId me(i);
     NodeId bootstrap = bootstraps_[i % bootstraps_.size()];
     send(me, bootstrap, sim::MessageCategory::kJoin, JoinRequest{pop.peer(HostId(i)).ip});
@@ -423,7 +423,7 @@ void AsapSystem::apply_churn(const sim::ChurnEvent& event) {
   const auto& pop = world_.pop();
   switch (event.kind) {
     case sim::ChurnKind::kPeerLeave: {
-      if (event.target >= pop.clusters().size()) {
+      if (event.target >= pop.cluster_count()) {
         cc.events_skipped.inc();
         return;
       }

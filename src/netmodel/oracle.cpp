@@ -1,5 +1,6 @@
 #include "netmodel/oracle.h"
 
+#include <cassert>
 #include <cmath>
 #include <mutex>
 
@@ -7,25 +8,121 @@
 
 namespace asap::netmodel {
 
+namespace {
+
+std::uint16_t encode_rtt_quant(float ms) {
+  if (ms >= static_cast<float>(kUnreachableMs)) return kQuantUnreachable;
+  long units = std::lround(ms / kRttQuantStepMs);
+  if (units < 0) units = 0;
+  // 0xFFFE is the largest *reachable* code (~2047.97 ms); 0xFFFF is the
+  // unreachable sentinel.
+  if (units >= kQuantUnreachable) units = kQuantUnreachable - 1;
+  return static_cast<std::uint16_t>(units);
+}
+
+std::uint16_t encode_log_survival_quant(float log_survival) {
+  long units = std::lround(-log_survival / kLogSurvQuantStep);
+  if (units < 0) units = 0;
+  if (units > 0xFFFF) units = 0xFFFF;  // survival floor e^-16 ~ total loss
+  return static_cast<std::uint16_t>(units);
+}
+
+}  // namespace
+
+PathOracle::PathOracle(const astopo::AsGraph& graph, const LatencyModel& model,
+                       const OracleCacheParams& cache)
+    : graph_(graph), model_(model), cache_(cache), slots_(graph.as_count()),
+      ref_bits_(cache.budget_bytes > 0 ? graph.as_count() : 0) {}
+
 PathOracle::~PathOracle() {
   for (auto& slot : slots_) delete slot.load(std::memory_order_relaxed);
+  purge_retired();
 }
 
 const PathOracle::DestTable& PathOracle::table_for(asap::AsId dest) const {
   auto& slot = slots_[dest.value()];
   DestTable* table = slot.load(std::memory_order_acquire);
-  if (table != nullptr) return *table;
+  if (table != nullptr) {
+    if (bounded()) {
+      // CLOCK touch: one relaxed byte store; only the bounded configuration
+      // pays it, the default fast path stays a bare acquire load.
+      ref_bits_[dest.value()].store(1, std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *table;
+  }
   // Double-checked init under a striped mutex: distinct destinations build
   // in parallel (different stripes) while a given destination is built
-  // exactly once — no duplicate work, no insert race.
+  // exactly once per residency — no duplicate work, no insert race.
   std::lock_guard<std::mutex> lock(build_stripes_[dest.value() % kBuildStripes]);
   table = slot.load(std::memory_order_relaxed);
   if (table == nullptr) {
     table = build_table(dest).release();
     built_.fetch_add(1, std::memory_order_relaxed);
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    cached_bytes_.fetch_add(table->bytes, std::memory_order_relaxed);
+    if (bounded()) ref_bits_[dest.value()].store(1, std::memory_order_relaxed);
     slot.store(table, std::memory_order_release);
+    if (bounded() && cached_bytes_.load(std::memory_order_relaxed) > cache_.budget_bytes) {
+      evict_to_budget(dest.value());
+    }
   }
   return *table;
+}
+
+void PathOracle::evict_to_budget(std::uint32_t protect) const {
+  std::lock_guard<std::mutex> lock(evict_mutex_);
+  const std::size_t n = slots_.size();
+  // Bounded sweep: two passes at most (one to strip ref bits, one to evict)
+  // so a budget smaller than a single table terminates instead of spinning.
+  std::size_t swept = 0;
+  while (cached_bytes_.load(std::memory_order_relaxed) > cache_.budget_bytes &&
+         swept < 2 * n) {
+    const std::uint32_t d = clock_hand_;
+    clock_hand_ = static_cast<std::uint32_t>((clock_hand_ + 1) % n);
+    ++swept;
+    if (d == protect) continue;
+    if (slots_[d].load(std::memory_order_relaxed) == nullptr) continue;
+    if (ref_bits_[d].exchange(0, std::memory_order_relaxed) != 0) continue;  // second chance
+    DestTable* table = slots_[d].exchange(nullptr, std::memory_order_acq_rel);
+    if (table == nullptr) continue;
+    // Concurrent readers may still hold spans into this table: retire it
+    // (freed at the next purge_retired() quiescent point), never delete.
+    retired_.push_back(table);
+    retired_bytes_ += table->bytes;
+    cached_bytes_.fetch_sub(table->bytes, std::memory_order_relaxed);
+    built_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PathOracle::purge_retired() const {
+  std::lock_guard<std::mutex> lock(evict_mutex_);
+  for (DestTable* table : retired_) delete table;
+  retired_.clear();
+  retired_bytes_ = 0;
+}
+
+OracleCacheStats PathOracle::cache_stats() const {
+  OracleCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.builds = builds_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.cached_tables = built_.load(std::memory_order_relaxed);
+  stats.cached_bytes = cached_bytes_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(evict_mutex_);
+    stats.retired_bytes = retired_bytes_;
+  }
+  return stats;
+}
+
+void PathOracle::drop_table_locked(std::uint32_t d, DestTable* table) {
+  slots_[d].store(nullptr, std::memory_order_relaxed);
+  cached_bytes_.fetch_sub(table->bytes, std::memory_order_relaxed);
+  delete table;
+  built_.fetch_sub(1, std::memory_order_relaxed);
+  invalidated_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<asap::AsId> PathOracle::invalidate_routes_through(std::uint32_t edge_id) {
@@ -44,10 +141,7 @@ std::vector<asap::AsId> PathOracle::invalidate_routes_through(std::uint32_t edge
       uses_edge = e.next_edge == edge_id;
     }
     if (!uses_edge) continue;
-    slots_[d].store(nullptr, std::memory_order_relaxed);
-    delete table;
-    built_.fetch_sub(1, std::memory_order_relaxed);
-    invalidated_.fetch_add(1, std::memory_order_relaxed);
+    drop_table_locked(d, table);
     evicted.push_back(asap::AsId(d));
   }
   return evicted;
@@ -58,10 +152,7 @@ std::vector<asap::AsId> PathOracle::invalidate_all() {
   for (std::uint32_t d = 0; d < slots_.size(); ++d) {
     DestTable* table = slots_[d].load(std::memory_order_relaxed);
     if (table == nullptr) continue;
-    slots_[d].store(nullptr, std::memory_order_relaxed);
-    delete table;
-    built_.fetch_sub(1, std::memory_order_relaxed);
-    invalidated_.fetch_add(1, std::memory_order_relaxed);
+    drop_table_locked(d, table);
     evicted.push_back(asap::AsId(d));
   }
   return evicted;
@@ -73,7 +164,7 @@ void PathOracle::prewarm(std::span<const asap::AsId> dests, ThreadPool& pool) co
 
 std::unique_ptr<PathOracle::DestTable> PathOracle::build_table(asap::AsId dest) const {
   auto table = std::make_unique<DestTable>(
-      DestTable{astopo::compute_routes(graph_, dest), {}, {}});
+      DestTable{astopo::compute_routes(graph_, dest), {}, {}, {}, {}, 0});
   const auto n = graph_.as_count();
   table->one_way_ms.assign(n, static_cast<float>(kUnreachableMs));
   table->log_survival.assign(n, 0.0f);
@@ -104,17 +195,49 @@ std::unique_ptr<PathOracle::DestTable> PathOracle::build_table(asap::AsId dest) 
       table->log_survival[y.value()] = logsurv;
     }
   }
+
+  if (cache_.compact_tables) {
+    // Quantize the DP result to u16 and drop the float arrays: the DP
+    // itself always accumulates in float so full and compact mode agree to
+    // within the quantization step.
+    table->one_way_q.resize(n);
+    table->log_survival_q.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      table->one_way_q[i] = table->routes.reachable(asap::AsId(i))
+                                ? encode_rtt_quant(table->one_way_ms[i])
+                                : kQuantUnreachable;
+      table->log_survival_q[i] = encode_log_survival_quant(table->log_survival[i]);
+    }
+    std::vector<float>().swap(table->one_way_ms);
+    std::vector<float>().swap(table->log_survival);
+  }
+
+  // Deterministic size accounting (element arithmetic, not allocator
+  // introspection) so budget behavior is machine-independent.
+  table->bytes = sizeof(DestTable) +
+                 table->routes.size() * sizeof(astopo::RouteEntry) +
+                 table->one_way_ms.size() * sizeof(float) +
+                 table->log_survival.size() * sizeof(float) +
+                 table->one_way_q.size() * sizeof(std::uint16_t) +
+                 table->log_survival_q.size() * sizeof(std::uint16_t);
   return table;
 }
 
 std::span<const float> PathOracle::one_way_table(asap::AsId dest) const {
+  assert(!cache_.compact_tables && "use one_way_table_q() in compact mode");
   return table_for(dest).one_way_ms;
+}
+
+std::span<const std::uint16_t> PathOracle::one_way_table_q(asap::AsId dest) const {
+  assert(cache_.compact_tables && "use one_way_table() in full mode");
+  return table_for(dest).one_way_q;
 }
 
 Millis PathOracle::one_way_ms(asap::AsId src, asap::AsId dst) const {
   if (src == dst) return 0.0;
   const auto& t = table_for(dst);
   if (!t.routes.reachable(src)) return kUnreachableMs;
+  if (cache_.compact_tables) return decode_rtt_quant(t.one_way_q[src.value()]);
   return t.one_way_ms[src.value()];
 }
 
@@ -129,6 +252,9 @@ double PathOracle::one_way_loss(asap::AsId src, asap::AsId dst) const {
   if (src == dst) return 0.0;
   const auto& t = table_for(dst);
   if (!t.routes.reachable(src)) return 1.0;
+  if (cache_.compact_tables) {
+    return 1.0 - std::exp(decode_log_survival_quant(t.log_survival_q[src.value()]));
+  }
   return 1.0 - std::exp(static_cast<double>(t.log_survival[src.value()]));
 }
 

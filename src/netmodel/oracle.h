@@ -13,9 +13,24 @@
 // steady-state read path is lock-free: a hit is one acquire load plus an
 // array index (no hash, no shared_mutex). A miss takes one of 64 striped
 // build mutexes and re-checks the slot (double-checked init, the same
-// pattern as core::CloseSetCache), so every table is built exactly once.
-// prewarm() builds a set of destination tables up front through a thread
-// pool so bulk evaluations never build under load.
+// pattern as core::CloseSetCache), so every table is built exactly once per
+// residency. prewarm() builds a set of destination tables up front through a
+// thread pool so bulk evaluations never build under load.
+//
+// Million-peer worlds (100k+ host ASes over 10k+ AS graphs) cannot keep
+// every table resident, so the cache is optionally *bounded*: give
+// OracleCacheParams a byte budget and a CLOCK sweep (one ref bit per slot,
+// second-chance) evicts cold tables whenever a build pushes the resident
+// set over budget. Evicted tables are not freed inline — concurrent readers
+// may still hold one_way_table() spans — but parked on a retired list that
+// purge_retired() frees at quiescent points. A re-touched destination
+// rebuilds exactly once through the same striped double-checked path, and a
+// rebuild is bitwise identical to the evicted table as long as the topology
+// has not changed. compact_tables additionally stores the per-source arrays
+// as quantized u16 (RTT in 1/32 ms units, log-survival in 1/4096 nat units)
+// halving table bytes at a documented ±1/64 ms per-leg tolerance; both knobs
+// default off, preserving the historical unbounded float behavior bit for
+// bit. See DESIGN.md §12.
 #pragma once
 
 #include <array>
@@ -36,10 +51,49 @@ class ThreadPool;
 
 namespace asap::netmodel {
 
+struct OracleCacheParams {
+  // Byte budget for resident destination tables; 0 = unbounded (the
+  // historical default). When a build pushes the resident bytes over the
+  // budget, a CLOCK sweep evicts cold tables down to it.
+  std::size_t budget_bytes = 0;
+  // Store per-source latency/loss as quantized u16 instead of float,
+  // halving table bytes. RTT decode error is at most 1/64 ms per one-way
+  // leg (clamped at ~2047.97 ms, far beyond the 300 ms quality bar).
+  // Default off: float tables are byte-identical to the historical oracle.
+  bool compact_tables = false;
+};
+
+// Cumulative cache accounting; hits are only counted in bounded mode so the
+// unbounded fast path stays a single acquire load.
+struct OracleCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t builds = 0;     // total builds, rebuilds included
+  std::uint64_t evictions = 0;  // CLOCK evictions (invalidations not included)
+  std::size_t cached_tables = 0;
+  std::size_t cached_bytes = 0;
+  std::size_t retired_bytes = 0;  // evicted but not yet purged
+};
+
+// --- u16 quantization (compact tables) -------------------------------------
+inline constexpr float kRttQuantStepMs = 1.0f / 32.0f;
+inline constexpr float kLogSurvQuantStep = 1.0f / 4096.0f;
+inline constexpr std::uint16_t kQuantUnreachable = 0xFFFF;
+
+// Decodes exactly: q/32 and q/4096 are dyadic rationals representable in
+// float for every u16 q, so scalar and batched decoders agree bitwise.
+[[nodiscard]] inline double decode_rtt_quant(std::uint16_t q) {
+  return q == kQuantUnreachable
+             ? kUnreachableMs
+             : static_cast<double>(static_cast<float>(q) * kRttQuantStepMs);
+}
+[[nodiscard]] inline double decode_log_survival_quant(std::uint16_t q) {
+  return -static_cast<double>(static_cast<float>(q) * kLogSurvQuantStep);
+}
+
 class PathOracle {
  public:
-  PathOracle(const astopo::AsGraph& graph, const LatencyModel& model)
-      : graph_(graph), model_(model), slots_(graph.as_count()) {}
+  PathOracle(const astopo::AsGraph& graph, const LatencyModel& model,
+             const OracleCacheParams& cache = {});
   ~PathOracle();
 
   PathOracle(const PathOracle&) = delete;
@@ -66,9 +120,16 @@ class PathOracle {
 
   // Performance API for all-pairs scans: borrowed view of the one-way
   // latencies toward `dest`, indexed by source AS id (kUnreachableMs cast
-  // to float for unreachable sources). The span stays valid for the
-  // oracle's lifetime; building it caches the destination table.
+  // to float for unreachable sources). Building it caches the destination
+  // table. In unbounded mode the span stays valid for the oracle's
+  // lifetime; in bounded mode it stays valid until the next
+  // purge_retired() (eviction only retires tables, it never frees them
+  // under a reader). Only valid with compact_tables off; the compact
+  // variant below is the u16 view.
   [[nodiscard]] std::span<const float> one_way_table(asap::AsId dest) const;
+  // Compact-mode equivalent: RTT in 1/32 ms units, kQuantUnreachable
+  // sentinel. Decode with decode_rtt_quant().
+  [[nodiscard]] std::span<const std::uint16_t> one_way_table_q(asap::AsId dest) const;
 
   // Builds the destination tables of `dests` through `pool` so subsequent
   // queries (and the batched World scans) hit the lock-free fast path.
@@ -78,9 +139,20 @@ class PathOracle {
 
   [[nodiscard]] const astopo::AsGraph& graph() const { return graph_; }
   [[nodiscard]] const LatencyModel& model() const { return model_; }
+  [[nodiscard]] bool compact_tables() const { return cache_.compact_tables; }
+  [[nodiscard]] bool bounded() const { return cache_.budget_bytes > 0; }
+  [[nodiscard]] const OracleCacheParams& cache_params() const { return cache_; }
   [[nodiscard]] std::size_t cached_tables() const {
     return built_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] OracleCacheStats cache_stats() const;
+
+  // Frees every table evicted by the CLOCK sweep. Evicted tables stay
+  // readable (retired, not deleted) so concurrent queries holding spans or
+  // DestTable references never dangle; freeing them is only legal at a
+  // quiescent point — no in-flight queries — which the caller asserts by
+  // calling this (evaluation end, bench chunk boundary, destruction).
+  void purge_retired() const;
 
   // --- Incremental invalidation (BGP route flaps) --------------------------
   // After the graph withdraws an edge (AsGraph::set_edge_enabled(e, false)),
@@ -108,24 +180,44 @@ class PathOracle {
  private:
   struct DestTable {
     astopo::RouteTable routes;
-    std::vector<float> one_way_ms;    // per source AS
-    std::vector<float> log_survival;  // log(1 - loss), per source AS
+    std::vector<float> one_way_ms;    // per source AS (full mode)
+    std::vector<float> log_survival;  // log(1 - loss), per source AS (full mode)
+    std::vector<std::uint16_t> one_way_q;      // compact mode
+    std::vector<std::uint16_t> log_survival_q; // compact mode
+    std::size_t bytes = 0;  // deterministic size accounting for the budget
   };
 
   static constexpr std::size_t kBuildStripes = 64;
 
   const DestTable& table_for(asap::AsId dest) const;
   std::unique_ptr<DestTable> build_table(asap::AsId dest) const;
+  // CLOCK second-chance sweep toward the budget; `protect` (the slot just
+  // built) is skipped so a build can never evict its own result.
+  void evict_to_budget(std::uint32_t protect) const;
+  void drop_table_locked(std::uint32_t d, DestTable* table);
 
   const astopo::AsGraph& graph_;
   const LatencyModel& model_;
-  // Flat per-destination cache: a slot is published exactly once with
-  // release ordering and stays at a stable address for the oracle's
-  // lifetime, so readers never lock.
+  const OracleCacheParams cache_;
+  // Flat per-destination cache: a slot is published with release ordering
+  // and keeps a stable address while resident; under a byte budget a cold
+  // slot can be retired (exchange to nullptr) by the CLOCK sweep and later
+  // rebuilt through the same striped double-checked path.
   mutable std::vector<std::atomic<DestTable*>> slots_;
+  // CLOCK reference bits (second chance), set on hit/build in bounded mode.
+  mutable std::vector<std::atomic<std::uint8_t>> ref_bits_;
   mutable std::array<std::mutex, kBuildStripes> build_stripes_;
   mutable std::atomic<std::size_t> built_{0};
+  mutable std::atomic<std::uint64_t> builds_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::size_t> cached_bytes_{0};
   std::atomic<std::uint64_t> invalidated_{0};
+  // Eviction state: hand + retired list, all under evict_mutex_.
+  mutable std::mutex evict_mutex_;
+  mutable std::uint32_t clock_hand_ = 0;
+  mutable std::vector<DestTable*> retired_;
+  mutable std::size_t retired_bytes_ = 0;
 };
 
 }  // namespace asap::netmodel

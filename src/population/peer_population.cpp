@@ -2,8 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
+
+#include "common/thread_pool.h"
 
 namespace asap::population {
+
+namespace {
+
+// Sharded-generation contract: peer draws come from one forked stream per
+// fixed-size block of kGenShardSize peer ids, cluster-official draws from
+// one forked stream per cluster id. Both depend only on ids, never on
+// thread count or execution order, so any `generation_threads` value
+// (including 1) produces the identical world.
+constexpr std::size_t kGenShardSize = 8192;
+constexpr std::uint64_t kPeerStreamSalt = 0x70656572;     // "peer"
+constexpr std::uint64_t kClusterStreamSalt = 0x636C7573;  // "clus"
+
+}  // namespace
 
 PeerPopulation::PeerPopulation(const astopo::Topology& topo, const PopulationParams& params,
                                Rng& rng) {
@@ -28,102 +44,186 @@ PeerPopulation::PeerPopulation(const astopo::Topology& topo, const PopulationPar
   for (AsId a : chosen) is_host[a.value()] = true;
   for (const auto& [prefix, as] : alloc_.prefixes) {
     if (!is_host[as.value()]) continue;
-    ClusterId id(static_cast<std::uint32_t>(clusters_.size()));
-    clusters_.push_back(
-        Cluster{prefix, as, {}, HostId::invalid(), HostId::invalid(), 0, {}});
+    ClusterId id(static_cast<std::uint32_t>(cluster_as_.size()));
+    cluster_prefix_.push_back(prefix);
+    cluster_as_.push_back(as);
     trie_.insert(prefix, id);
   }
+  const std::size_t clusters = cluster_as_.size();
+  cluster_delegate_.assign(clusters, HostId::invalid());
+  cluster_surrogate_.assign(clusters, HostId::invalid());
+  cluster_relay_capable_.assign(clusters, 0);
 
   // Zipf weights over a shuffled cluster order (so big clusters are not
   // correlated with allocation order).
-  std::vector<std::size_t> order(clusters_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::size_t> order(clusters);
+  std::iota(order.begin(), order.end(), std::size_t{0});
   rng.shuffle(order);
 
-  peers_.reserve(params.total_peers);
-  for (std::size_t p = 0; p < params.total_peers; ++p) {
-    std::size_t rank = rng.zipf(order.size(), params.cluster_zipf_s);
-    ClusterId c(static_cast<std::uint32_t>(order[rank]));
-    Cluster& cluster = clusters_[c.value()];
-    // Host address: random host bits inside the cluster prefix.
-    std::uint32_t host_bits = 0;
-    int free_bits = 32 - cluster.prefix.length();
-    if (free_bits > 0) {
-      host_bits = static_cast<std::uint32_t>(rng.below(std::uint64_t{1} << free_bits));
-    }
-    Peer peer;
-    peer.ip = Ipv4Addr(cluster.prefix.address().bits() | host_bits);
-    peer.cluster = c;
-    peer.as = cluster.as;
-    peer.access_one_way_ms =
-        rng.chance(params.slow_host_fraction)
-            ? rng.uniform(params.slow_access_min_ms, params.slow_access_max_ms)
-            : rng.lognormal(params.access_median_ms, params.access_sigma);
-    peer.capacity = rng.lognormal(1.0, 1.0);
-    if (params.nat_enabled) {
-      double draw = rng.uniform();
-      if (draw < params.nat_open_fraction) {
-        peer.nat = NatType::kOpen;
-      } else if (draw < params.nat_open_fraction + params.nat_restricted_fraction) {
-        peer.nat = NatType::kPortRestricted;
-      } else {
-        peer.nat = NatType::kSymmetric;
+  const std::size_t n = params.total_peers;
+  peer_ip_.resize(n);
+  peer_cluster_.resize(n);
+  peer_as_.resize(n);
+  peer_access_.resize(n);
+  peer_capacity_.resize(n);
+  peer_nat_.assign(n, NatType::kOpen);
+
+  if (params.sharded_generation) {
+    ThreadPool gen_pool(params.generation_threads);
+    const Rng peer_base = rng.fork(kPeerStreamSalt);
+    const std::size_t shards = (n + kGenShardSize - 1) / kGenShardSize;
+    gen_pool.parallel_for(shards, [&](std::size_t s) {
+      Rng shard_rng = peer_base.fork(s);
+      const std::size_t end = std::min(n, (s + 1) * kGenShardSize);
+      for (std::size_t p = s * kGenShardSize; p < end; ++p) {
+        draw_peer(static_cast<std::uint32_t>(p), params, order, shard_rng);
       }
+    });
+    build_member_arena();
+    plan_surrogate_slots(params);
+    const Rng cluster_base = rng.fork(kClusterStreamSalt);
+    gen_pool.parallel_for(populated_clusters_.size(), [&](std::size_t i) {
+      ClusterId c = populated_clusters_[i];
+      Rng cluster_rng = cluster_base.fork(c.value());
+      thread_local std::vector<HostId> scratch;
+      elect_officials_for(c, cluster_rng, scratch);
+    });
+  } else {
+    // Legacy sequential stream: one draw sequence shared by every peer and
+    // cluster, byte-for-byte identical to the historical AoS generator.
+    for (std::size_t p = 0; p < n; ++p) {
+      draw_peer(static_cast<std::uint32_t>(p), params, order, rng);
     }
-    HostId h(static_cast<std::uint32_t>(peers_.size()));
-    peers_.push_back(peer);
-    cluster.members.push_back(h);
+    build_member_arena();
+    plan_surrogate_slots(params);
+    std::vector<HostId> scratch;
+    for (ClusterId c : populated_clusters_) elect_officials_for(c, rng, scratch);
   }
 
-  // Delegates, surrogates, per-AS cluster index, host-AS list.
-  clusters_by_as_.resize(graph.as_count());
+  // Per-AS populated-cluster CSR index + host-AS list (first-seen order over
+  // ascending cluster id, matching the historical push_back construction).
+  std::vector<std::uint32_t> as_counts(graph.as_count(), 0);
   std::vector<bool> as_seen(graph.as_count(), false);
-  for (std::uint32_t ci = 0; ci < clusters_.size(); ++ci) {
-    Cluster& c = clusters_[ci];
-    if (c.members.empty()) continue;
-    ClusterId id(ci);
-    populated_clusters_.push_back(id);
-    clusters_by_as_[c.as.value()].push_back(id);
-    if (!as_seen[c.as.value()]) {
-      as_seen[c.as.value()] = true;
-      host_ases_.push_back(c.as);
+  for (ClusterId c : populated_clusters_) {
+    const AsId as = cluster_as_[c.value()];
+    ++as_counts[as.value()];
+    if (!as_seen[as.value()]) {
+      as_seen[as.value()] = true;
+      host_ases_.push_back(as);
     }
-    c.delegate = c.members[rng.index_of(c.members)];
-    c.relay_capable_members = static_cast<std::size_t>(
-        std::count_if(c.members.begin(), c.members.end(), [this](HostId h) {
-          return can_serve_as_relay(peers_[h.value()].nat);
-        }));
-    // Surrogates: the top-capacity members, one per `members_per_surrogate`
-    // hosts (at least one; capped). Openly reachable peers come first —
-    // a NATed surrogate could not accept close-set requests — with a
-    // capacity fallback when the whole cluster is NATed.
-    std::size_t surrogate_count =
-        1 + (c.members.size() - 1) / std::max<std::size_t>(params.members_per_surrogate, 1);
-    surrogate_count = std::min({surrogate_count, params.max_surrogates_per_cluster,
-                                c.members.size()});
-    std::vector<HostId> by_capacity = c.members;
-    std::partial_sort(by_capacity.begin(), by_capacity.begin() + surrogate_count,
-                      by_capacity.end(), [this](HostId a, HostId b) {
-                        bool ra = can_serve_as_relay(peers_[a.value()].nat);
-                        bool rb = can_serve_as_relay(peers_[b.value()].nat);
-                        if (ra != rb) return ra;
-                        return peers_[a.value()].capacity > peers_[b.value()].capacity;
-                      });
-    c.surrogates.assign(by_capacity.begin(), by_capacity.begin() + surrogate_count);
-    c.surrogate = c.surrogates.front();
   }
+  clusters_by_as_off_.assign(graph.as_count() + 1, 0);
+  for (std::size_t a = 0; a < as_counts.size(); ++a) {
+    clusters_by_as_off_[a + 1] = clusters_by_as_off_[a] + as_counts[a];
+  }
+  clusters_by_as_list_.resize(populated_clusters_.size());
+  {
+    std::vector<std::uint32_t> cursor(clusters_by_as_off_.begin(),
+                                      clusters_by_as_off_.end() - 1);
+    for (ClusterId c : populated_clusters_) {
+      clusters_by_as_list_[cursor[cluster_as_[c.value()].value()]++] = c;
+    }
+  }
+}
+
+void PeerPopulation::draw_peer(std::uint32_t p, const PopulationParams& params,
+                               const std::vector<std::size_t>& order, Rng& rng) {
+  std::size_t rank = rng.zipf(order.size(), params.cluster_zipf_s);
+  ClusterId c(static_cast<std::uint32_t>(order[rank]));
+  const Prefix& prefix = cluster_prefix_[c.value()];
+  // Host address: random host bits inside the cluster prefix.
+  std::uint32_t host_bits = 0;
+  int free_bits = 32 - prefix.length();
+  if (free_bits > 0) {
+    host_bits = static_cast<std::uint32_t>(rng.below(std::uint64_t{1} << free_bits));
+  }
+  peer_ip_[p] = Ipv4Addr(prefix.address().bits() | host_bits);
+  peer_cluster_[p] = c;
+  peer_as_[p] = cluster_as_[c.value()];
+  peer_access_[p] =
+      rng.chance(params.slow_host_fraction)
+          ? rng.uniform(params.slow_access_min_ms, params.slow_access_max_ms)
+          : rng.lognormal(params.access_median_ms, params.access_sigma);
+  peer_capacity_[p] = rng.lognormal(1.0, 1.0);
+  if (params.nat_enabled) {
+    double draw = rng.uniform();
+    if (draw < params.nat_open_fraction) {
+      peer_nat_[p] = NatType::kOpen;
+    } else if (draw < params.nat_open_fraction + params.nat_restricted_fraction) {
+      peer_nat_[p] = NatType::kPortRestricted;
+    } else {
+      peer_nat_[p] = NatType::kSymmetric;
+    }
+  }
+}
+
+void PeerPopulation::build_member_arena() {
+  const std::size_t clusters = cluster_as_.size();
+  member_off_.assign(clusters + 1, 0);
+  for (ClusterId c : peer_cluster_) ++member_off_[c.value() + 1];
+  for (std::size_t i = 1; i <= clusters; ++i) member_off_[i] += member_off_[i - 1];
+  member_arena_.resize(peer_cluster_.size());
+  std::vector<std::uint32_t> cursor(member_off_.begin(), member_off_.end() - 1);
+  for (std::uint32_t p = 0; p < peer_cluster_.size(); ++p) {
+    member_arena_[cursor[peer_cluster_[p].value()]++] = HostId(p);
+  }
+  populated_clusters_.reserve(clusters);
+  for (std::uint32_t ci = 0; ci < clusters; ++ci) {
+    if (member_off_[ci + 1] > member_off_[ci]) populated_clusters_.push_back(ClusterId(ci));
+  }
+}
+
+void PeerPopulation::plan_surrogate_slots(const PopulationParams& params) {
+  const std::size_t clusters = cluster_as_.size();
+  surrogate_off_.assign(clusters, 0);
+  surrogate_len_.assign(clusters, 0);
+  std::uint32_t total = 0;
+  for (std::uint32_t ci = 0; ci < clusters; ++ci) {
+    surrogate_off_[ci] = total;
+    const std::size_t members = member_off_[ci + 1] - member_off_[ci];
+    if (members == 0) continue;
+    // Sec. 6.3: one surrogate per `members_per_surrogate` hosts (at least
+    // one; capped by policy and by the cluster size itself).
+    std::size_t count =
+        1 + (members - 1) / std::max<std::size_t>(params.members_per_surrogate, 1);
+    count = std::min({count, params.max_surrogates_per_cluster, members});
+    surrogate_len_[ci] = static_cast<std::uint32_t>(count);
+    total += static_cast<std::uint32_t>(count);
+  }
+  surrogate_arena_.assign(total, HostId::invalid());
+}
+
+void PeerPopulation::elect_officials_for(ClusterId c, Rng& rng,
+                                         std::vector<HostId>& scratch) {
+  const std::uint32_t ci = c.value();
+  const std::span<const HostId> members = cluster_members(c);
+  cluster_delegate_[ci] = members[rng.index_of(members)];
+  cluster_relay_capable_[ci] = static_cast<std::uint32_t>(
+      std::count_if(members.begin(), members.end(),
+                    [this](HostId h) { return can_serve_as_relay(peer_nat_[h.value()]); }));
+  // Surrogates: the top-capacity members. Openly reachable peers come first —
+  // a NATed surrogate could not accept close-set requests — with a capacity
+  // fallback when the whole cluster is NATed.
+  const std::uint32_t count = surrogate_len_[ci];
+  scratch.assign(members.begin(), members.end());
+  std::partial_sort(scratch.begin(), scratch.begin() + count, scratch.end(),
+                    [this](HostId a, HostId b) {
+                      bool ra = can_serve_as_relay(peer_nat_[a.value()]);
+                      bool rb = can_serve_as_relay(peer_nat_[b.value()]);
+                      if (ra != rb) return ra;
+                      return peer_capacity_[a.value()] > peer_capacity_[b.value()];
+                    });
+  std::copy(scratch.begin(), scratch.begin() + count,
+            surrogate_arena_.begin() + surrogate_off_[ci]);
+  cluster_surrogate_[ci] = surrogate_arena_[surrogate_off_[ci]];
 }
 
 HostId PeerPopulation::assigned_surrogate(ClusterId c, HostId member) const {
-  const Cluster& cluster = clusters_[c.value()];
-  if (cluster.surrogates.empty()) return HostId::invalid();
+  const std::span<const HostId> surrogates = cluster_surrogates(c);
+  if (surrogates.empty()) return HostId::invalid();
   // Stable shard: members hash over the surrogate set.
-  std::size_t shard = member.value() % cluster.surrogates.size();
-  return cluster.surrogates[shard];
-}
-
-const std::vector<ClusterId>& PeerPopulation::clusters_in_as(AsId as) const {
-  return clusters_by_as_[as.value()];
+  std::size_t shard = member.value() % surrogates.size();
+  return surrogates[shard];
 }
 
 std::optional<ClusterId> PeerPopulation::cluster_of_ip(Ipv4Addr ip) const {
@@ -131,37 +231,49 @@ std::optional<ClusterId> PeerPopulation::cluster_of_ip(Ipv4Addr ip) const {
 }
 
 HostId PeerPopulation::elect_surrogate(ClusterId c, HostId failed) {
-  Cluster& cluster = clusters_[c.value()];
+  const std::uint32_t ci = c.value();
+  const std::span<const HostId> members = cluster_members(c);
+  HostId* surr = surrogate_arena_.data() + surrogate_off_[ci];
+  std::uint32_t& len = surrogate_len_[ci];
   HostId best = HostId::invalid();
   double best_capacity = -1.0;
-  for (HostId h : cluster.members) {
+  for (HostId h : members) {
     if (h == failed) continue;
     // Prefer hosts not already serving as surrogates.
-    bool already = std::find(cluster.surrogates.begin(), cluster.surrogates.end(), h) !=
-                   cluster.surrogates.end();
-    if (already && h != failed) continue;
-    if (peers_[h.value()].capacity > best_capacity) {
-      best_capacity = peers_[h.value()].capacity;
+    bool already = std::find(surr, surr + len, h) != surr + len;
+    if (already) continue;
+    if (peer_capacity_[h.value()] > best_capacity) {
+      best_capacity = peer_capacity_[h.value()];
       best = h;
     }
   }
-  // Replace the failed entry in the surrogate set (or shrink it).
-  for (auto& s : cluster.surrogates) {
-    if (s == failed) {
-      if (best.valid()) {
-        s = best;
-      } else {
-        cluster.surrogates.erase(
-            std::remove(cluster.surrogates.begin(), cluster.surrogates.end(), failed),
-            cluster.surrogates.end());
-      }
-      break;
+  // Replace the failed entry in the surrogate slice (or shrink its length;
+  // the arena slot past `len` simply goes unused).
+  for (std::uint32_t i = 0; i < len; ++i) {
+    if (surr[i] != failed) continue;
+    if (best.valid()) {
+      surr[i] = best;
+    } else {
+      for (std::uint32_t j = i + 1; j < len; ++j) surr[j - 1] = surr[j];
+      --len;
     }
+    break;
   }
-  if (cluster.surrogate == failed) {
-    cluster.surrogate = cluster.surrogates.empty() ? best : cluster.surrogates.front();
+  if (cluster_surrogate_[ci] == failed) {
+    cluster_surrogate_[ci] = (len == 0) ? best : surr[0];
   }
-  return cluster.surrogate;
+  return cluster_surrogate_[ci];
+}
+
+std::size_t PeerPopulation::memory_bytes() const {
+  auto bytes = [](const auto& v) { return v.size() * sizeof(v[0]); };
+  return bytes(peer_ip_) + bytes(peer_cluster_) + bytes(peer_as_) + bytes(peer_access_) +
+         bytes(peer_capacity_) + bytes(peer_nat_) + bytes(cluster_prefix_) +
+         bytes(cluster_as_) + bytes(cluster_delegate_) + bytes(cluster_surrogate_) +
+         bytes(cluster_relay_capable_) + bytes(member_arena_) + bytes(member_off_) +
+         bytes(surrogate_arena_) + bytes(surrogate_off_) + bytes(surrogate_len_) +
+         bytes(populated_clusters_) + bytes(host_ases_) + bytes(clusters_by_as_off_) +
+         bytes(clusters_by_as_list_);
 }
 
 }  // namespace asap::population

@@ -7,10 +7,20 @@
 // are spread over clusters with a Zipf-like skew reproducing the measured
 // cluster-size distribution (Sec. 6.3: 90% of clusters hold <= 100 online
 // hosts, the largest approach 1,000).
+//
+// Storage is structure-of-arrays: each peer attribute lives in its own
+// column and every cluster's member/surrogate list is a span into one
+// shared arena (offset + length), so a million-peer world costs ~40 bytes
+// per peer instead of two heap vectors per cluster plus AoS padding. The
+// historical accessors survive as thin value-returning shims: `peer()`
+// assembles a `Peer` from the columns and `cluster()` returns a `Cluster`
+// view whose member/surrogate lists are `std::span`s over the arena (see
+// DESIGN.md §12).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "astopo/bgp_table.h"
@@ -52,8 +62,18 @@ struct PopulationParams {
   astopo::PrefixAllocationParams prefix_alloc{
       /*min_prefixes_per_as=*/1, /*max_prefixes_per_as=*/2,
       /*extra_host_prefixes=*/3, /*min_prefix_len=*/18, /*max_prefix_len=*/24};
+  // Sharded generation (opt-in): the per-peer draws come from fixed-size
+  // shard RNG streams (forked by shard index) and per-cluster streams
+  // (forked by cluster id) instead of one sequential stream, so generation
+  // parallelizes and the world is bit-identical for ANY
+  // `generation_threads` value — including 1. The sharded stream differs
+  // from the legacy sequential stream, so the flag defaults to off and
+  // every historical seed (and golden digest) is unchanged.
+  bool sharded_generation = false;
+  std::size_t generation_threads = 0;  // 0 = hardware concurrency
 };
 
+// Value view of one peer, assembled from the SoA columns on access.
 struct Peer {
   Ipv4Addr ip;
   ClusterId cluster;
@@ -66,10 +86,14 @@ struct Peer {
   NatType nat = NatType::kOpen;
 };
 
+// Value view of one cluster; `members`/`surrogates` are borrowed spans into
+// the population's arena, valid for the population's lifetime. The spans
+// observe later surrogate re-elections (they alias the live arena), so
+// snapshot them into a vector before mutating if you need the old state.
 struct Cluster {
   Prefix prefix;
   AsId as;
-  std::vector<HostId> members;
+  std::span<const HostId> members;
   HostId delegate = HostId::invalid();   // measurement representative
   HostId surrogate = HostId::invalid();  // primary (highest-capacity member)
   // Members able to serve as relays (open NAT); == members.size() when NAT
@@ -77,24 +101,61 @@ struct Cluster {
   std::size_t relay_capable_members = 0;
   // All serving surrogates, capacity-ordered; surrogates[0] == surrogate.
   // Large clusters get several to share close-set request load (Sec. 6.3).
-  std::vector<HostId> surrogates;
+  std::span<const HostId> surrogates;
 };
 
 class PeerPopulation {
  public:
   PeerPopulation(const astopo::Topology& topo, const PopulationParams& params, Rng& rng);
 
-  [[nodiscard]] const std::vector<Peer>& peers() const { return peers_; }
-  [[nodiscard]] const std::vector<Cluster>& clusters() const { return clusters_; }
-  [[nodiscard]] const Peer& peer(HostId h) const { return peers_[h.value()]; }
-  [[nodiscard]] const Cluster& cluster(ClusterId c) const { return clusters_[c.value()]; }
+  [[nodiscard]] std::size_t peer_count() const { return peer_ip_.size(); }
+  [[nodiscard]] std::size_t cluster_count() const { return cluster_as_.size(); }
+
+  // Assembled value views (bind fine to `const Peer&` / `const Cluster&`).
+  [[nodiscard]] Peer peer(HostId h) const {
+    const auto i = h.value();
+    return Peer{peer_ip_[i],       peer_cluster_[i],  peer_as_[i],
+                peer_access_[i],   peer_capacity_[i], peer_nat_[i]};
+  }
+  [[nodiscard]] Cluster cluster(ClusterId c) const {
+    const auto i = c.value();
+    return Cluster{cluster_prefix_[i],        cluster_as_[i],
+                   cluster_members(c),        cluster_delegate_[i],
+                   cluster_surrogate_[i],     cluster_relay_capable_[i],
+                   cluster_surrogates(c)};
+  }
+
+  // --- Hot-path column accessors (no struct assembly) ---------------------
+  [[nodiscard]] Ipv4Addr peer_ip(HostId h) const { return peer_ip_[h.value()]; }
+  [[nodiscard]] ClusterId peer_cluster(HostId h) const { return peer_cluster_[h.value()]; }
+  [[nodiscard]] AsId peer_as(HostId h) const { return peer_as_[h.value()]; }
+  [[nodiscard]] Millis peer_access_ms(HostId h) const { return peer_access_[h.value()]; }
+  [[nodiscard]] double peer_capacity(HostId h) const { return peer_capacity_[h.value()]; }
+  [[nodiscard]] NatType peer_nat(HostId h) const { return peer_nat_[h.value()]; }
+
+  [[nodiscard]] std::span<const HostId> cluster_members(ClusterId c) const {
+    const auto i = c.value();
+    return {member_arena_.data() + member_off_[i], member_off_[i + 1] - member_off_[i]};
+  }
+  [[nodiscard]] std::span<const HostId> cluster_surrogates(ClusterId c) const {
+    const auto i = c.value();
+    return {surrogate_arena_.data() + surrogate_off_[i], surrogate_len_[i]};
+  }
+  [[nodiscard]] HostId cluster_surrogate(ClusterId c) const {
+    return cluster_surrogate_[c.value()];
+  }
+  [[nodiscard]] AsId cluster_as(ClusterId c) const { return cluster_as_[c.value()]; }
 
   // Clusters with at least one member.
   [[nodiscard]] const std::vector<ClusterId>& populated_clusters() const {
     return populated_clusters_;
   }
-  // Populated clusters located in a given AS.
-  [[nodiscard]] const std::vector<ClusterId>& clusters_in_as(AsId as) const;
+  // Populated clusters located in a given AS (view into the CSR index).
+  [[nodiscard]] std::span<const ClusterId> clusters_in_as(AsId as) const {
+    const auto i = as.value();
+    return {clusters_by_as_list_.data() + clusters_by_as_off_[i],
+            clusters_by_as_off_[i + 1] - clusters_by_as_off_[i]};
+  }
   // ASes that contain at least one peer.
   [[nodiscard]] const std::vector<AsId>& host_ases() const { return host_ases_; }
 
@@ -114,16 +175,66 @@ class PeerPopulation {
   // Whether a direct session between two peers can be established at all
   // (always true when NAT modelling is off).
   [[nodiscard]] bool direct_possible(HostId a, HostId b) const {
-    return can_connect_direct(peers_[a.value()].nat, peers_[b.value()].nat);
+    return can_connect_direct(peer_nat_[a.value()], peer_nat_[b.value()]);
   }
 
+  // Exact resident footprint of the population's own storage (columns,
+  // arenas, indices; excludes the prefix allocation/trie shared with the
+  // BGP layer). Deterministic — pure element-size arithmetic, no allocator
+  // or machine dependence — so benches can gate a bytes/peer ceiling on it.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
+  // Draws one peer's attributes into the columns at index `p` (identical
+  // draw sequence to the historical AoS loop body).
+  void draw_peer(std::uint32_t p, const PopulationParams& params,
+                 const std::vector<std::size_t>& order, Rng& rng);
+  // Counting sort of peers into the member arena (reproduces push_back
+  // order: peers appear in HostId order within each cluster) and the
+  // populated-cluster list.
+  void build_member_arena();
+  // Sizes every cluster's surrogate-arena slice (count depends only on the
+  // member count, so slices can be laid out before election runs).
+  void plan_surrogate_slots(const PopulationParams& params);
+  // Delegate draw + relay-capable count + surrogate election for one
+  // populated cluster; fills the precomputed surrogate-arena slice.
+  void elect_officials_for(ClusterId c, Rng& rng, std::vector<HostId>& scratch);
+
   astopo::PrefixAllocation alloc_;
-  std::vector<Peer> peers_;
-  std::vector<Cluster> clusters_;
+
+  // Peer columns (index = HostId).
+  std::vector<Ipv4Addr> peer_ip_;
+  std::vector<ClusterId> peer_cluster_;
+  std::vector<AsId> peer_as_;
+  std::vector<double> peer_access_;
+  std::vector<double> peer_capacity_;
+  std::vector<NatType> peer_nat_;
+
+  // Cluster columns (index = ClusterId).
+  std::vector<Prefix> cluster_prefix_;
+  std::vector<AsId> cluster_as_;
+  std::vector<HostId> cluster_delegate_;
+  std::vector<HostId> cluster_surrogate_;
+  std::vector<std::uint32_t> cluster_relay_capable_;
+
+  // Member arena: cluster c's members live at
+  // member_arena_[member_off_[c] .. member_off_[c+1]), in HostId order
+  // (identical to the historical push_back order). Immutable after build.
+  std::vector<HostId> member_arena_;
+  std::vector<std::uint32_t> member_off_;
+  // Surrogate arena: offset + live length per cluster. Mutable: surrogate
+  // re-election edits entries in place and can shrink a cluster's length,
+  // never grow it past the initially elected count.
+  std::vector<HostId> surrogate_arena_;
+  std::vector<std::uint32_t> surrogate_off_;
+  std::vector<std::uint32_t> surrogate_len_;
+
   std::vector<ClusterId> populated_clusters_;
   std::vector<AsId> host_ases_;
-  std::vector<std::vector<ClusterId>> clusters_by_as_;
+  // CSR index of populated clusters per AS (offset + list), replacing the
+  // per-AS vector-of-vectors.
+  std::vector<std::uint32_t> clusters_by_as_off_;
+  std::vector<ClusterId> clusters_by_as_list_;
   astopo::PrefixTrie<ClusterId> trie_;
 };
 

@@ -1,18 +1,40 @@
 #include "population/session_gen.h"
 
+#include "common/thread_pool.h"
+
 namespace asap::population {
 
 std::vector<Session> generate_sessions(const World& world, std::size_t count, Rng& rng) {
-  const auto& peers = world.pop().peers();
+  const auto& pop = world.pop();
   std::vector<Session> sessions;
   sessions.reserve(count);
   while (sessions.size() < count) {
-    HostId a(static_cast<std::uint32_t>(rng.below(peers.size())));
-    HostId b(static_cast<std::uint32_t>(rng.below(peers.size())));
-    if (a == b || peers[a.value()].cluster == peers[b.value()].cluster) continue;
+    HostId a(static_cast<std::uint32_t>(rng.below(pop.peer_count())));
+    HostId b(static_cast<std::uint32_t>(rng.below(pop.peer_count())));
+    if (a == b || pop.peer_cluster(a) == pop.peer_cluster(b)) continue;
     Session s{a, b, world.host_rtt_ms(a, b), world.host_loss(a, b)};
     sessions.push_back(s);
   }
+  return sessions;
+}
+
+std::vector<Session> generate_sessions_parallel(const World& world, std::size_t count,
+                                                const Rng& rng, std::size_t threads) {
+  const auto& pop = world.pop();
+  std::vector<Session> sessions(count);
+  ThreadPool pool(ThreadPool::resolve_threads(threads));
+  pool.parallel_for(count, [&](std::size_t i) {
+    // Each slot owns stream fork(i): the rejection loop stays inside it, so
+    // slot outputs are independent of scheduling and thread count.
+    Rng slot = rng.fork(i);
+    for (;;) {
+      HostId a(static_cast<std::uint32_t>(slot.below(pop.peer_count())));
+      HostId b(static_cast<std::uint32_t>(slot.below(pop.peer_count())));
+      if (a == b || pop.peer_cluster(a) == pop.peer_cluster(b)) continue;
+      sessions[i] = Session{a, b, world.host_rtt_ms(a, b), world.host_loss(a, b)};
+      return;
+    }
+  });
   return sessions;
 }
 

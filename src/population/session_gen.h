@@ -22,6 +22,14 @@ struct Session {
 // the direct IP routing RTT/loss precomputed.
 std::vector<Session> generate_sessions(const World& world, std::size_t count, Rng& rng);
 
+// Thread-count-invariant parallel variant for XL workloads: session i is
+// drawn from `rng.fork(i)` (rejection-sampling inside its own stream), so
+// the output depends only on `rng`'s state — NOT on `threads` — but the
+// session sequence differs from the sequential generate_sessions() stream.
+// `threads` = 0 means hardware concurrency.
+std::vector<Session> generate_sessions_parallel(const World& world, std::size_t count,
+                                                const Rng& rng, std::size_t threads = 0);
+
 // Sessions whose direct RTT exceeds `threshold_ms` (default: the paper's
 // 300 ms quality bar).
 std::vector<Session> latent_sessions(const std::vector<Session>& sessions,

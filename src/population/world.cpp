@@ -7,12 +7,36 @@ namespace asap::population {
 
 namespace {
 
+// One-way destination-table views the batch kernels index by source AS.
+// FloatTable (default mode) yields the float entry widened to double —
+// exactly the arithmetic of the historical kernels, so results stay bitwise
+// identical. QuantTable (compact mode) decodes the u16 code through the
+// shared decoder, matching the oracle's scalar queries bitwise.
+struct FloatTable {
+  std::span<const float> t;
+  double operator[](std::uint32_t i) const { return t[i]; }
+};
+struct QuantTable {
+  std::span<const std::uint16_t> t;
+  double operator[](std::uint32_t i) const { return netmodel::decode_rtt_quant(t[i]); }
+};
+
+struct FloatFetch {
+  const netmodel::PathOracle* oracle;
+  FloatTable operator()(AsId as) const { return FloatTable{oracle->one_way_table(as)}; }
+};
+struct QuantFetch {
+  const netmodel::PathOracle* oracle;
+  QuantTable operator()(AsId as) const { return QuantTable{oracle->one_way_table_q(as)}; }
+};
+
 // host_rtt_ms(src, dst) with both peers' destination tables hoisted by the
 // caller. `to_dst` is the one-way table toward dst's AS (forward leg lives
 // at index as_src), `to_src` the table toward src's AS (reverse leg at
 // index as_dst). The arithmetic mirrors World::host_rtt_ms operation for
 // operation so results are bitwise identical.
-inline Millis pair_rtt_ms(std::span<const float> to_dst, std::span<const float> to_src,
+template <typename Table>
+inline Millis pair_rtt_ms(const Table& to_dst, const Table& to_src,
                           std::uint32_t as_src, std::uint32_t as_dst, double access_src,
                           double access_dst) {
   if (as_src == as_dst) {
@@ -24,6 +48,70 @@ inline Millis pair_rtt_ms(std::span<const float> to_dst, std::span<const float> 
   return (fwd + rev) + 2.0 * (access_src + access_dst);
 }
 
+// Kernel bodies shared by both table encodings. `fetch(AsId)` returns the
+// destination-table view; per candidate the scan is one column load, one
+// lock-free table fetch and a handful of element loads.
+template <typename Fetch>
+inline void batch_host_rtts_impl(const PeerPopulation& pop, Fetch fetch, HostId a,
+                                 std::span<const HostId> others, std::span<Millis> out) {
+  const AsId as_a = pop.peer_as(a);
+  const double access_a = pop.peer_access_ms(a);
+  const auto to_a = fetch(as_a);
+  for (std::size_t i = 0; i < others.size(); ++i) {
+    const AsId as_x = pop.peer_as(others[i]);
+    const auto to_x = fetch(as_x);
+    out[i] = pair_rtt_ms(to_x, to_a, as_a.value(), as_x.value(), access_a,
+                         pop.peer_access_ms(others[i]));
+  }
+}
+
+template <typename Fetch>
+inline void batch_relay_legs_impl(const PeerPopulation& pop, Fetch fetch, HostId a,
+                                  HostId b, std::span<const HostId> candidates,
+                                  std::span<Millis> legs_a, std::span<Millis> legs_b) {
+  const AsId as_a = pop.peer_as(a);
+  const AsId as_b = pop.peer_as(b);
+  const double access_a = pop.peer_access_ms(a);
+  const double access_b = pop.peer_access_ms(b);
+  const auto to_a = fetch(as_a);
+  const auto to_b = fetch(as_b);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const AsId as_r = pop.peer_as(candidates[i]);
+    const double access_r = pop.peer_access_ms(candidates[i]);
+    const auto to_r = fetch(as_r);
+    legs_a[i] = pair_rtt_ms(to_r, to_a, as_a.value(), as_r.value(), access_a, access_r);
+    legs_b[i] = pair_rtt_ms(to_b, to_r, as_r.value(), as_b.value(), access_r, access_b);
+  }
+}
+
+template <typename Fetch>
+inline void batch_relay_rtts_impl(const PeerPopulation& pop, Fetch fetch, HostId a,
+                                  HostId b, std::span<const HostId> candidates,
+                                  std::span<Millis> out, Millis relay_penalty) {
+  const AsId as_a = pop.peer_as(a);
+  const AsId as_b = pop.peer_as(b);
+  const double access_a = pop.peer_access_ms(a);
+  const double access_b = pop.peer_access_ms(b);
+  const auto to_a = fetch(as_a);
+  const auto to_b = fetch(as_b);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const AsId as_r = pop.peer_as(candidates[i]);
+    const double access_r = pop.peer_access_ms(candidates[i]);
+    const auto to_r = fetch(as_r);
+    Millis leg1 = pair_rtt_ms(to_r, to_a, as_a.value(), as_r.value(), access_a, access_r);
+    if (leg1 >= kUnreachableMs) {
+      out[i] = kUnreachableMs;
+      continue;
+    }
+    Millis leg2 = pair_rtt_ms(to_b, to_r, as_r.value(), as_b.value(), access_r, access_b);
+    if (leg2 >= kUnreachableMs) {
+      out[i] = kUnreachableMs;
+      continue;
+    }
+    out[i] = leg1 + leg2 + relay_penalty;
+  }
+}
+
 }  // namespace
 
 World::World(const WorldParams& params) : params_(params) {
@@ -33,7 +121,8 @@ World::World(const WorldParams& params) : params_(params) {
   Rng pop_rng = root.fork(3);
   topo_ = astopo::generate_topology(params.topo, topo_rng);
   latency_ = std::make_unique<netmodel::LatencyModel>(topo_, params.latency, lat_rng);
-  oracle_ = std::make_unique<netmodel::PathOracle>(topo_.graph, *latency_);
+  oracle_ = std::make_unique<netmodel::PathOracle>(topo_.graph, *latency_,
+                                                   params.oracle_cache);
   king_ = std::make_unique<netmodel::KingEstimator>(*oracle_, params.king, root.fork(4).next());
   pop_ = std::make_unique<PeerPopulation>(topo_, params.pop, pop_rng);
 }
@@ -118,62 +207,33 @@ Millis World::relay2_rtt_ms(HostId a, HostId r1, HostId r2, HostId b) const {
 
 void World::batch_host_rtts(HostId a, std::span<const HostId> others,
                             std::span<Millis> out) const {
-  const Peer& pa = pop_->peer(a);
-  std::span<const float> to_a = oracle_->one_way_table(pa.as);
-  const std::uint32_t as_a = pa.as.value();
-  for (std::size_t i = 0; i < others.size(); ++i) {
-    const Peer& px = pop_->peer(others[i]);
-    std::span<const float> to_x = oracle_->one_way_table(px.as);
-    out[i] = pair_rtt_ms(to_x, to_a, as_a, px.as.value(), pa.access_one_way_ms,
-                         px.access_one_way_ms);
+  if (oracle_->compact_tables()) {
+    batch_host_rtts_impl(*pop_, QuantFetch{oracle_.get()}, a, others, out);
+  } else {
+    batch_host_rtts_impl(*pop_, FloatFetch{oracle_.get()}, a, others, out);
   }
 }
 
 void World::batch_relay_legs(HostId a, HostId b, std::span<const HostId> candidates,
                              std::span<Millis> legs_a, std::span<Millis> legs_b) const {
-  const Peer& pa = pop_->peer(a);
-  const Peer& pb = pop_->peer(b);
-  std::span<const float> to_a = oracle_->one_way_table(pa.as);
-  std::span<const float> to_b = oracle_->one_way_table(pb.as);
-  const std::uint32_t as_a = pa.as.value();
-  const std::uint32_t as_b = pb.as.value();
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const Peer& pr = pop_->peer(candidates[i]);
-    std::span<const float> to_r = oracle_->one_way_table(pr.as);
-    const std::uint32_t as_r = pr.as.value();
-    legs_a[i] = pair_rtt_ms(to_r, to_a, as_a, as_r, pa.access_one_way_ms,
-                            pr.access_one_way_ms);
-    legs_b[i] = pair_rtt_ms(to_b, to_r, as_r, as_b, pr.access_one_way_ms,
-                            pb.access_one_way_ms);
+  if (oracle_->compact_tables()) {
+    batch_relay_legs_impl(*pop_, QuantFetch{oracle_.get()}, a, b, candidates, legs_a,
+                          legs_b);
+  } else {
+    batch_relay_legs_impl(*pop_, FloatFetch{oracle_.get()}, a, b, candidates, legs_a,
+                          legs_b);
   }
 }
 
 void World::batch_relay_rtts(HostId a, HostId b, std::span<const HostId> candidates,
                              std::span<Millis> out) const {
-  const Peer& pa = pop_->peer(a);
-  const Peer& pb = pop_->peer(b);
-  std::span<const float> to_a = oracle_->one_way_table(pa.as);
-  std::span<const float> to_b = oracle_->one_way_table(pb.as);
-  const std::uint32_t as_a = pa.as.value();
-  const std::uint32_t as_b = pb.as.value();
   const Millis relay_penalty = 2.0 * params_.relay_delay_one_way_ms;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const Peer& pr = pop_->peer(candidates[i]);
-    std::span<const float> to_r = oracle_->one_way_table(pr.as);
-    const std::uint32_t as_r = pr.as.value();
-    Millis leg1 = pair_rtt_ms(to_r, to_a, as_a, as_r, pa.access_one_way_ms,
-                              pr.access_one_way_ms);
-    if (leg1 >= kUnreachableMs) {
-      out[i] = kUnreachableMs;
-      continue;
-    }
-    Millis leg2 = pair_rtt_ms(to_b, to_r, as_r, as_b, pr.access_one_way_ms,
-                              pb.access_one_way_ms);
-    if (leg2 >= kUnreachableMs) {
-      out[i] = kUnreachableMs;
-      continue;
-    }
-    out[i] = leg1 + leg2 + relay_penalty;
+  if (oracle_->compact_tables()) {
+    batch_relay_rtts_impl(*pop_, QuantFetch{oracle_.get()}, a, b, candidates, out,
+                          relay_penalty);
+  } else {
+    batch_relay_rtts_impl(*pop_, FloatFetch{oracle_.get()}, a, b, candidates, out,
+                          relay_penalty);
   }
 }
 

@@ -36,6 +36,9 @@ struct WorldParams {
   netmodel::LatencyParams latency;
   netmodel::KingParams king;
   PopulationParams pop;
+  // Oracle table-cache policy (byte budget + u16 quantization); defaults to
+  // unbounded float tables, the historical behavior.
+  netmodel::OracleCacheParams oracle_cache;
   Millis relay_delay_one_way_ms = kRelayDelayOneWayMs;
   std::uint64_t seed = 20050926;  // the paper's BGP snapshot date
   // Latency epoch: worlds sharing a seed but differing in epoch have the

@@ -22,14 +22,14 @@ RandSelector::RandSelector(const population::World& world, std::size_t node_coun
 SelectionResult RandSelector::select_session(const population::Session& session,
                                              std::uint64_t session_index) {
   Rng rng = base_rng_.fork(session_index);
-  const auto& peers = world_.pop().peers();
-  std::size_t n = std::min(node_count_, peers.size());
+  const std::size_t peer_count = world_.pop().peer_count();
+  std::size_t n = std::min(node_count_, peer_count);
   // Per-thread scratch: one pool is drawn per evaluated session, so reusing
   // the buffers removes two heap round trips from every session without
   // affecting the draws (sample_indices_into consumes the RNG identically).
   static thread_local std::vector<std::size_t> indices;
   static thread_local std::vector<HostId> pool;
-  rng.sample_indices_into(peers.size(), n, indices);
+  rng.sample_indices_into(peer_count, n, indices);
   pool.clear();
   pool.reserve(n);
   for (auto idx : indices) {
@@ -46,11 +46,11 @@ MixSelector::MixSelector(const population::World& world, std::size_t dedicated,
 SelectionResult MixSelector::select_session(const population::Session& session,
                                             std::uint64_t session_index) {
   Rng rng = base_rng_.fork(session_index);
-  const auto& peers = world_.pop().peers();
-  std::size_t n = std::min(random_count_, peers.size());
+  const std::size_t peer_count = world_.pop().peer_count();
+  std::size_t n = std::min(random_count_, peer_count);
   static thread_local std::vector<std::size_t> indices;
   static thread_local std::vector<HostId> pool;
-  rng.sample_indices_into(peers.size(), n, indices);
+  rng.sample_indices_into(peer_count, n, indices);
   pool.clear();
   pool.reserve(dedicated_.size() + n);
   pool.assign(dedicated_.begin(), dedicated_.end());

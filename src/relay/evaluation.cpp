@@ -83,6 +83,10 @@ std::vector<MethodResults> evaluate_methods(const population::World& world,
     });
     results.push_back(std::move(mr));
   }
+  // Quiescent point: every worker has joined, so tables evicted by the
+  // bounded cache during the sweep can finally be freed (no-op when the
+  // cache is unbounded or nothing was evicted).
+  world.oracle().purge_retired();
   return results;
 }
 

@@ -18,7 +18,7 @@ SelectionResult evaluate_relay_pool(const population::World& world,
   rtts.resize(pool.size());
   world.batch_relay_rtts(session, pool, rtts);
 
-  const auto& peers = world.pop().peers();
+  const auto& pop = world.pop();
   std::size_t best = SIZE_MAX;
   for (std::size_t i = 0; i < pool.size(); ++i) {
     HostId relay = pool[i];
@@ -26,7 +26,7 @@ SelectionResult evaluate_relay_pool(const population::World& world,
     result.messages += 2;  // probe the relay path through this node
     // A NATed candidate cannot accept the relayed flows: the probe is spent
     // but the node yields nothing (the waste AS-unaware probing pays).
-    if (!population::can_serve_as_relay(peers[relay.value()].nat)) continue;
+    if (!population::can_serve_as_relay(pop.peer_nat(relay))) continue;
     Millis rtt = rtts[i];
     if (voip::is_quality_rtt(rtt)) ++result.quality_paths;
     if (rtt < result.shortest_rtt_ms) {

@@ -60,12 +60,12 @@ SkypeSession generate_skype_session(const population::World& world, HostId calle
   auto pick_candidate = [&]() -> HostId {
     if (!probed_clusters.empty() && rng.chance(params.herding_prob)) {
       ClusterId c = probed_clusters[rng.index_of(probed_clusters)];
-      const auto& members = pop.cluster(c).members;
+      const auto members = pop.cluster_members(c);
       HostId h = members[rng.index_of(members)];
       if (h != caller && h != callee) return h;
     }
     for (;;) {
-      HostId h(static_cast<std::uint32_t>(rng.below(pop.peers().size())));
+      HostId h(static_cast<std::uint32_t>(rng.below(pop.peer_count())));
       if (h != caller && h != callee) return h;
     }
   };

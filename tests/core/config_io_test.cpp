@@ -54,6 +54,10 @@ TEST(ConfigIo, SerializeParseRoundTrip) {
   original.asap.k = 5;
   original.asap.probe_fraction = 0.25;
   original.sessions = 1234;
+  original.world.pop.sharded_generation = true;
+  original.world.pop.generation_threads = 4;
+  original.world.oracle_cache.budget_bytes = 256u << 20;
+  original.world.oracle_cache.compact_tables = true;
   auto back = parse_config(serialize_config(original));
   ASSERT_TRUE(back.has_value()) << (back ? "" : back.error().message);
   EXPECT_EQ(back->world.seed, 7u);
@@ -62,6 +66,30 @@ TEST(ConfigIo, SerializeParseRoundTrip) {
   EXPECT_EQ(back->asap.k, 5);
   EXPECT_DOUBLE_EQ(back->asap.probe_fraction, 0.25);
   EXPECT_EQ(back->sessions, 1234u);
+  EXPECT_TRUE(back->world.pop.sharded_generation);
+  EXPECT_EQ(back->world.pop.generation_threads, 4u);
+  EXPECT_EQ(back->world.oracle_cache.budget_bytes, 256u << 20);
+  EXPECT_TRUE(back->world.oracle_cache.compact_tables);
+}
+
+TEST(ConfigIo, ParsesMemoryArchitectureKnobs) {
+  auto config = parse_config(R"(
+oracle.cache_budget_bytes = 1048576
+oracle.compact_tables = true
+pop.sharded_generation = true
+pop.generation_threads = 2
+)");
+  ASSERT_TRUE(config.has_value()) << (config ? "" : config.error().message);
+  EXPECT_EQ(config->world.oracle_cache.budget_bytes, 1048576u);
+  EXPECT_TRUE(config->world.oracle_cache.compact_tables);
+  EXPECT_TRUE(config->world.pop.sharded_generation);
+  EXPECT_EQ(config->world.pop.generation_threads, 2u);
+  // Defaults stay off: historical configs keep the unbounded float cache.
+  auto defaults = parse_config("");
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_EQ(defaults->world.oracle_cache.budget_bytes, 0u);
+  EXPECT_FALSE(defaults->world.oracle_cache.compact_tables);
+  EXPECT_FALSE(defaults->world.pop.sharded_generation);
 }
 
 TEST(ConfigIo, ParsesFailoverTimingKnobs) {

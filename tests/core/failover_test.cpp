@@ -196,7 +196,7 @@ TEST(FailoverDeterminism, SameSeedSamePlanYieldsIdenticalOutcomes) {
     fp.loss_burst_drop = 0.5;
     Rng fault_rng = world->fork_rng(0xFEED);
     sim::FaultPlan plan = sim::FaultPlan::generate(
-        fp, world->pop().peers().size(), world->pop().populated_clusters().size(),
+        fp, world->pop().peer_count(), world->pop().populated_clusters().size(),
         fault_rng);
     system->arm_fault_plan(plan);
 

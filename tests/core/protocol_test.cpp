@@ -37,12 +37,12 @@ struct ProtocolFixture : public ::testing::Test {
 };
 
 TEST_F(ProtocolFixture, AllHostsJoinViaBootstrap) {
-  for (std::uint32_t i = 0; i < world->pop().peers().size(); ++i) {
+  for (std::uint32_t i = 0; i < world->pop().peer_count(); ++i) {
     EXPECT_TRUE(system->is_joined(HostId(i)));
   }
   // Join request + reply per host, plus publishes.
   auto joins = system->counter().count(sim::MessageCategory::kJoin);
-  EXPECT_GE(joins, 2 * world->pop().peers().size());
+  EXPECT_GE(joins, 2 * world->pop().peer_count());
   EXPECT_GT(system->counter().count(sim::MessageCategory::kPublish), 0u);
 }
 

@@ -63,8 +63,8 @@ SoakRun run_soak() {
   churn.link_recoveries = 5;
   churn.policy_changes = 3;
   std::vector<std::size_t> cluster_sizes;
-  for (const auto& cluster : world.pop().clusters()) {
-    cluster_sizes.push_back(cluster.members.size());
+  for (std::uint32_t c = 0; c < world.pop().cluster_count(); ++c) {
+    cluster_sizes.push_back(world.pop().cluster_members(ClusterId(c)).size());
   }
   Rng churn_rng = world.fork_rng(0xC4B2);
   sim::ChurnPlan plan = sim::ChurnPlan::generate(churn, cluster_sizes,

@@ -1,0 +1,201 @@
+// Bounded oracle-cache contract (DESIGN.md §12): CLOCK eviction keeps the
+// resident bytes at or under the budget, an evicted destination rebuilds
+// exactly once through the striped double-checked path and bitwise equal to
+// an unbounded oracle's table, concurrent queries survive eviction churn
+// (retired tables stay readable until purge_retired()), and the bounded
+// cache composes with invalidate_routes_through(). Runs in test_concurrency
+// (`-L sanitize`) so ASan/TSan cover the retire/purge lifetime.
+#include "netmodel/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "population/world.h"
+
+namespace asap::netmodel {
+namespace {
+
+population::WorldParams small_params() {
+  population::WorldParams params;
+  params.seed = 131;
+  params.topo.total_as = 500;
+  params.pop.host_as_count = 120;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+// A budget that holds roughly a third of the host-AS tables, forcing the
+// CLOCK sweep to churn when every destination is touched.
+population::WorldParams bounded_params(bool compact = false) {
+  population::WorldParams params = small_params();
+  params.oracle_cache.budget_bytes = 40 * 9000;  // ~40 of ~120 tables
+  params.oracle_cache.compact_tables = compact;
+  return params;
+}
+
+TEST(OracleBoundedCache, EvictionKeepsResidentBytesAtBudget) {
+  population::World world(bounded_params());
+  const PathOracle& oracle = world.oracle();
+  const auto dests = world.pop().host_ases();
+  for (AsId d : dests) (void)oracle.one_way_table(d);
+  OracleCacheStats stats = oracle.cache_stats();
+  EXPECT_LE(stats.cached_bytes, world.params().oracle_cache.budget_bytes);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.builds, dests.size());  // first pass: every miss builds once
+  EXPECT_GT(stats.retired_bytes, 0u);     // evicted, not yet freed
+  oracle.purge_retired();
+  EXPECT_EQ(oracle.cache_stats().retired_bytes, 0u);
+}
+
+TEST(OracleBoundedCache, EvictedTableRebuildsBitwiseEqualToUnbounded) {
+  population::World bounded(bounded_params());
+  population::World unbounded(small_params());
+  const auto dests = bounded.pop().host_ases();
+  // Touch everything twice: pass two re-touches destinations pass one
+  // evicted, so many tables are second-generation rebuilds.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (AsId d : dests) (void)bounded.oracle().one_way_table(d);
+    bounded.oracle().purge_retired();
+  }
+  EXPECT_GT(bounded.oracle().cache_stats().builds, dests.size());
+  for (AsId d : dests) {
+    std::span<const float> got = bounded.oracle().one_way_table(d);
+    std::span<const float> want = unbounded.oracle().one_way_table(d);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "dest=" << d.value() << " src=" << i;
+    }
+  }
+}
+
+TEST(OracleBoundedCache, HitDoesNotRebuildAndCountsAsHit) {
+  // Budget far above the working set: after the first pass every query hits.
+  population::WorldParams params = small_params();
+  params.oracle_cache.budget_bytes = std::size_t(1) << 30;
+  population::World world(params);
+  const auto dests = world.pop().host_ases();
+  for (AsId d : dests) (void)world.oracle().one_way_table(d);
+  OracleCacheStats first = world.oracle().cache_stats();
+  EXPECT_EQ(first.builds, dests.size());
+  EXPECT_EQ(first.evictions, 0u);
+  for (AsId d : dests) (void)world.oracle().one_way_table(d);
+  OracleCacheStats second = world.oracle().cache_stats();
+  EXPECT_EQ(second.builds, dests.size());  // exactly once per destination
+  EXPECT_GE(second.hits, dests.size());
+}
+
+TEST(OracleBoundedCache, ConcurrentQueriesSurviveEvictionChurn) {
+  population::World world(bounded_params());
+  const PathOracle& oracle = world.oracle();
+  const auto dests = world.pop().host_ases();
+  // Four threads sweep all destinations in rotated orders, continuously
+  // evicting each other's tables. Spans read during the churn must stay
+  // valid (eviction retires, purge is deferred to the quiescent point) and
+  // every read must be a plausible table of the right size.
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int pass = 0; pass < 3; ++pass) {
+        for (std::size_t i = 0; i < dests.size(); ++i) {
+          AsId d = dests[(i + static_cast<std::size_t>(t) * 31) % dests.size()];
+          std::span<const float> table = oracle.one_way_table(d);
+          ASSERT_EQ(table.size(), oracle.graph().as_count());
+          // Read through the span: TSan/ASan flag a dangling table here.
+          double sum = 0.0;
+          for (float v : table) sum += v;
+          ASSERT_GT(sum, 0.0);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  OracleCacheStats stats = oracle.cache_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.cached_bytes, world.params().oracle_cache.budget_bytes);
+  oracle.purge_retired();
+  EXPECT_EQ(oracle.cache_stats().retired_bytes, 0u);
+  // Quiescent again: tables still queryable after the purge.
+  for (AsId d : dests) {
+    ASSERT_EQ(oracle.one_way_table(d).size(), oracle.graph().as_count());
+  }
+}
+
+TEST(OracleBoundedCache, ComposesWithRouteInvalidation) {
+  population::World bounded(bounded_params());
+  const auto dests = bounded.pop().host_ases();
+  for (AsId d : dests) (void)bounded.oracle().one_way_table(d);
+  bounded.oracle().purge_retired();
+
+  // Withdraw one edge through the world hook; the bounded cache must evict
+  // exactly the affected resident tables and rebuild them to the same
+  // values as an unbounded world that saw the same withdrawal.
+  const std::uint32_t edge = 7;
+  auto evicted = bounded.fail_link(edge);
+  population::World unbounded(small_params());
+  for (AsId d : dests) (void)unbounded.oracle().one_way_table(d);
+  auto evicted_unbounded = unbounded.fail_link(edge);
+
+  // The bounded oracle may hold fewer resident tables, so its eviction list
+  // is a subset of the unbounded one.
+  for (AsId d : evicted) {
+    EXPECT_NE(std::find(evicted_unbounded.begin(), evicted_unbounded.end(), d),
+              evicted_unbounded.end())
+        << "bounded evicted a table the unbounded oracle did not";
+  }
+  for (AsId d : dests) {
+    std::span<const float> got = bounded.oracle().one_way_table(d);
+    std::span<const float> want = unbounded.oracle().one_way_table(d);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "dest=" << d.value() << " src=" << i;
+    }
+  }
+  EXPECT_GT(bounded.oracle().invalidated_tables(), 0u);
+}
+
+TEST(OracleBoundedCache, CompactTablesDecodeWithinQuantTolerance) {
+  population::World compact(bounded_params(/*compact=*/true));
+  population::World full(small_params());
+  const auto dests = compact.pop().host_ases();
+  const double tol = kRttQuantStepMs / 2.0 + 1e-9;  // round-to-nearest
+  for (AsId d : dests) {
+    std::span<const std::uint16_t> q = compact.oracle().one_way_table_q(d);
+    std::span<const float> f = full.oracle().one_way_table(d);
+    ASSERT_EQ(q.size(), f.size());
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      double got = decode_rtt_quant(q[i]);
+      double want = f[i];
+      if (want >= kUnreachableMs) {
+        EXPECT_EQ(q[i], kQuantUnreachable);
+      } else {
+        ASSERT_NEAR(got, want, tol) << "dest=" << d.value() << " src=" << i;
+      }
+    }
+  }
+  // Scalar queries decode through the same tables: identical to the batch
+  // decode and within tolerance of the float oracle.
+  AsId a = dests[1], b = dests[2];
+  EXPECT_NEAR(compact.oracle().one_way_ms(a, b), full.oracle().one_way_ms(a, b), tol);
+  EXPECT_NEAR(compact.oracle().rtt_ms(a, b), full.oracle().rtt_ms(a, b), 2.0 * tol);
+}
+
+TEST(OracleBoundedCache, CompactModeBatchMatchesScalarBitwise) {
+  population::World world(bounded_params(/*compact=*/true));
+  const auto& pop = world.pop();
+  std::vector<HostId> hosts;
+  for (std::uint32_t h = 0; h < 64 && h < pop.peer_count(); ++h) hosts.emplace_back(h);
+  HostId a(100);
+  std::vector<Millis> batch(hosts.size());
+  world.batch_host_rtts(a, hosts, batch);
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    EXPECT_EQ(batch[i], world.host_rtt_ms(a, hosts[i])) << "host " << i;
+  }
+}
+
+}  // namespace
+}  // namespace asap::netmodel

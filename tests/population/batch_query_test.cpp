@@ -34,7 +34,7 @@ class BatchQueryTest : public ::testing::TestWithParam<std::uint64_t> {
     sessions = generate_sessions(*world, 200, rng);
     // A candidate mix that exercises intra-AS, inter-AS, and (on some
     // seeds) unreachable pairs: every 7th peer.
-    for (std::uint32_t i = 0; i < world->pop().peers().size(); i += 7) {
+    for (std::uint32_t i = 0; i < world->pop().peer_count(); i += 7) {
       candidates.push_back(HostId(i));
     }
   }

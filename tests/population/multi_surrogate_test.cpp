@@ -105,17 +105,20 @@ TEST_F(MultiSurrogateFixture, ElectionReplacesFailedSurrogateInSet) {
   ClusterId big = find_large_cluster(500);
   ASSERT_TRUE(big.valid());
   const auto& pop = world->pop();
-  Cluster before = pop.cluster(big);  // copy: election mutates the cluster
-  ASSERT_GE(before.surrogates.size(), 2u);
-  HostId secondary = before.surrogates[1];
+  // Snapshot: cluster() returns spans aliasing the live arena, so election
+  // would mutate the view in place.
+  const auto before_span = pop.cluster_surrogates(big);
+  std::vector<HostId> before(before_span.begin(), before_span.end());
+  ASSERT_GE(before.size(), 2u);
+  HostId secondary = before[1];
   world->elect_surrogate(big, secondary);
-  const Cluster& after = pop.cluster(big);
-  EXPECT_EQ(after.surrogates.size(), before.surrogates.size());
+  const Cluster after = pop.cluster(big);
+  EXPECT_EQ(after.surrogates.size(), before.size());
   EXPECT_EQ(std::find(after.surrogates.begin(), after.surrogates.end(), secondary),
             after.surrogates.end())
       << "failed surrogate must leave the set";
   // Primary unaffected when a secondary fails.
-  EXPECT_EQ(after.surrogate, before.surrogates.front());
+  EXPECT_EQ(after.surrogate, before.front());
 }
 
 }  // namespace

@@ -48,14 +48,14 @@ TEST_F(NatFixture, DistributionMatchesConfiguration) {
   std::size_t open = 0;
   std::size_t restricted = 0;
   std::size_t symmetric = 0;
-  for (const auto& peer : world->pop().peers()) {
-    switch (peer.nat) {
+  for (std::uint32_t i = 0; i < world->pop().peer_count(); ++i) {
+    switch (world->pop().peer_nat(HostId(i))) {
       case NatType::kOpen: ++open; break;
       case NatType::kPortRestricted: ++restricted; break;
       case NatType::kSymmetric: ++symmetric; break;
     }
   }
-  double n = static_cast<double>(world->pop().peers().size());
+  double n = static_cast<double>(world->pop().peer_count());
   EXPECT_NEAR(open / n, world->params().pop.nat_open_fraction, 0.03);
   EXPECT_NEAR(restricted / n, world->params().pop.nat_restricted_fraction, 0.03);
   EXPECT_GT(symmetric, 0u);
@@ -65,8 +65,8 @@ TEST_F(NatFixture, NatDisabledMeansEveryoneOpen) {
   auto params = nat_world_params();
   params.pop.nat_enabled = false;
   World plain(params);
-  for (const auto& peer : plain.pop().peers()) {
-    EXPECT_EQ(peer.nat, NatType::kOpen);
+  for (std::uint32_t i = 0; i < plain.pop().peer_count(); ++i) {
+    EXPECT_EQ(plain.pop().peer_nat(HostId(i)), NatType::kOpen);
   }
   for (ClusterId c : plain.pop().populated_clusters()) {
     EXPECT_EQ(plain.pop().cluster(c).relay_capable_members,
@@ -120,9 +120,9 @@ TEST_F(NatFixture, BlockedCallRelaysRegardlessOfLatency) {
   const auto& pop = world->pop();
   HostId a = HostId::invalid();
   HostId b = HostId::invalid();
-  for (std::uint32_t i = 0; i < pop.peers().size() && !b.valid(); ++i) {
+  for (std::uint32_t i = 0; i < pop.peer_count() && !b.valid(); ++i) {
     if (pop.peer(HostId(i)).nat != NatType::kSymmetric) continue;
-    for (std::uint32_t j = i + 1; j < pop.peers().size(); ++j) {
+    for (std::uint32_t j = i + 1; j < pop.peer_count(); ++j) {
       if (pop.peer(HostId(j)).nat != NatType::kSymmetric) continue;
       if (pop.peer(HostId(i)).cluster == pop.peer(HostId(j)).cluster) continue;
       a = HostId(i);

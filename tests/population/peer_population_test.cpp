@@ -25,8 +25,8 @@ struct PopFixture : public ::testing::Test {
 };
 
 TEST_F(PopFixture, AllPeersCreatedAndConsistent) {
-  EXPECT_EQ(pop->peers().size(), params.total_peers);
-  for (std::uint32_t i = 0; i < pop->peers().size(); ++i) {
+  EXPECT_EQ(pop->peer_count(), params.total_peers);
+  for (std::uint32_t i = 0; i < pop->peer_count(); ++i) {
     const Peer& p = pop->peer(HostId(i));
     const Cluster& c = pop->cluster(p.cluster);
     EXPECT_EQ(p.as, c.as);
@@ -120,7 +120,7 @@ TEST_F(PopFixture, ElectSurrogateSkipsFailedNode) {
 TEST_F(PopFixture, DeterministicGivenSeed) {
   Rng pop_rng(62);
   PeerPopulation again(topo, params, pop_rng);
-  ASSERT_EQ(again.peers().size(), pop->peers().size());
+  ASSERT_EQ(again.peer_count(), pop->peer_count());
   for (std::uint32_t i = 0; i < 200; ++i) {
     EXPECT_EQ(again.peer(HostId(i)).ip, pop->peer(HostId(i)).ip);
     EXPECT_EQ(again.peer(HostId(i)).cluster, pop->peer(HostId(i)).cluster);

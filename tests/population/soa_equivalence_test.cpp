@@ -1,0 +1,106 @@
+// SoA/arena equivalence: the column/arena PeerPopulation must generate
+// byte-for-byte the world the historical AoS implementation produced, and
+// the opt-in sharded generator must be bit-identical at any thread count.
+//
+// The two fingerprint constants below were captured from the pre-refactor
+// AoS implementation (same serialization as world_fingerprint.h) on the
+// golden small worlds; they pin every peer column, every cluster's
+// membership order, delegate, surrogate set, and index structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "population/world.h"
+#include "world_fingerprint.h"
+
+namespace asap::population {
+namespace {
+
+WorldParams small_params(std::uint64_t seed) {
+  WorldParams params;
+  params.seed = seed;
+  params.topo.total_as = 600;
+  params.pop.host_as_count = 150;
+  params.pop.total_peers = 3000;
+  return params;
+}
+
+// Captured from the pre-refactor AoS PeerPopulation (seed 123).
+constexpr std::uint64_t kLegacySmallFingerprint = 0xbeee4f9a65b80229ULL;
+// Captured from the pre-refactor AoS PeerPopulation (seed 777, NAT world).
+constexpr std::uint64_t kLegacyNatFingerprint = 0x8675a0a8f9e91fedULL;
+
+TEST(SoaEquivalence, LegacyStreamMatchesPreRefactorFingerprint) {
+  World world(small_params(123));
+  EXPECT_EQ(world_population_fingerprint(world), kLegacySmallFingerprint);
+}
+
+TEST(SoaEquivalence, LegacyStreamMatchesPreRefactorNatFingerprint) {
+  WorldParams params = small_params(777);
+  params.pop.nat_enabled = true;
+  params.pop.members_per_surrogate = 40;
+  World world(params);
+  EXPECT_EQ(world_population_fingerprint(world), kLegacyNatFingerprint);
+}
+
+TEST(SoaEquivalence, ShardedGenerationIsThreadCountInvariant) {
+  WorldParams params = small_params(99);
+  params.pop.sharded_generation = true;
+  params.pop.generation_threads = 1;
+  World one(params);
+  params.pop.generation_threads = 4;
+  World four(params);
+  EXPECT_EQ(world_population_fingerprint(one), world_population_fingerprint(four));
+}
+
+TEST(SoaEquivalence, ShardedGenerationPreservesStructuralInvariants) {
+  WorldParams params = small_params(41);
+  params.pop.sharded_generation = true;
+  World world(params);
+  const PeerPopulation& pop = world.pop();
+  EXPECT_EQ(pop.peer_count(), params.pop.total_peers);
+  for (ClusterId c : pop.populated_clusters()) {
+    const Cluster cluster = pop.cluster(c);
+    ASSERT_FALSE(cluster.members.empty());
+    ASSERT_TRUE(cluster.delegate.valid());
+    ASSERT_TRUE(cluster.surrogate.valid());
+    EXPECT_EQ(cluster.surrogate, cluster.surrogates.front());
+    EXPECT_EQ(pop.peer_cluster(cluster.delegate), c);
+    for (HostId h : cluster.members) EXPECT_EQ(pop.peer_cluster(h), c);
+  }
+}
+
+TEST(SoaEquivalence, MemberArenaIsContiguousAndComplete) {
+  World world(small_params(123));
+  const PeerPopulation& pop = world.pop();
+  std::size_t total_members = 0;
+  std::vector<bool> seen(pop.peer_count(), false);
+  for (std::uint32_t c = 0; c < pop.cluster_count(); ++c) {
+    const auto members = pop.cluster_members(ClusterId(c));
+    total_members += members.size();
+    for (HostId h : members) {
+      EXPECT_FALSE(seen[h.value()]) << "peer in two clusters";
+      seen[h.value()] = true;
+    }
+    // Members appear in HostId order (the historical push_back order).
+    EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+  }
+  EXPECT_EQ(total_members, pop.peer_count());
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(SoaEquivalence, MemoryBytesIsDeterministicAndPlausible) {
+  World w1(small_params(123));
+  World w2(small_params(123));
+  EXPECT_EQ(w1.pop().memory_bytes(), w2.pop().memory_bytes());
+  // Column arithmetic: ip(4) + cluster(4) + as(4) + access(8) + capacity(8)
+  // + nat(1) + member arena(4) = 33 B/peer plus cluster columns/indices.
+  const double per_peer = static_cast<double>(w1.pop().memory_bytes()) /
+                          static_cast<double>(w1.pop().peer_count());
+  EXPECT_GT(per_peer, 33.0);
+  EXPECT_LT(per_peer, 200.0) << "cluster overhead should stay modest";
+}
+
+}  // namespace
+}  // namespace asap::population

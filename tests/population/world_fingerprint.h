@@ -1,0 +1,56 @@
+// Content fingerprint of a PeerPopulation: every peer column, every
+// cluster's identity, membership, delegate and surrogate set, in id order.
+// Used by the SoA/arena equivalence test to pin the generated world to the
+// exact bytes the pre-refactor AoS implementation produced.
+#pragma once
+
+#include <cstring>
+#include <string_view>
+
+#include "population/world.h"
+#include "common/metrics.h"
+
+namespace asap::population {
+
+inline void fingerprint_bytes(Fnv1a64& h, const void* p, std::size_t n) {
+  h.update(std::string_view(static_cast<const char*>(p), n));
+}
+
+template <typename T>
+inline void fingerprint_value(Fnv1a64& h, T v) {
+  fingerprint_bytes(h, &v, sizeof(v));
+}
+
+inline std::uint64_t world_population_fingerprint(const World& world) {
+  const PeerPopulation& pop = world.pop();
+  Fnv1a64 h;
+  fingerprint_value(h, static_cast<std::uint64_t>(pop.peer_count()));
+  for (std::uint32_t i = 0; i < pop.peer_count(); ++i) {
+    const Peer p = pop.peer(HostId(i));
+    fingerprint_value(h, p.ip.bits());
+    fingerprint_value(h, p.cluster.value());
+    fingerprint_value(h, p.as.value());
+    fingerprint_value(h, p.access_one_way_ms);
+    fingerprint_value(h, p.capacity);
+    fingerprint_value(h, static_cast<std::uint8_t>(p.nat));
+  }
+  fingerprint_value(h, static_cast<std::uint64_t>(pop.cluster_count()));
+  for (std::uint32_t c = 0; c < pop.cluster_count(); ++c) {
+    const Cluster cl = pop.cluster(ClusterId(c));
+    fingerprint_value(h, cl.prefix.address().bits());
+    fingerprint_value(h, static_cast<std::uint8_t>(cl.prefix.length()));
+    fingerprint_value(h, cl.as.value());
+    fingerprint_value(h, cl.delegate.value());
+    fingerprint_value(h, cl.surrogate.value());
+    fingerprint_value(h, static_cast<std::uint64_t>(cl.relay_capable_members));
+    fingerprint_value(h, static_cast<std::uint64_t>(cl.members.size()));
+    for (HostId m : cl.members) fingerprint_value(h, m.value());
+    fingerprint_value(h, static_cast<std::uint64_t>(cl.surrogates.size()));
+    for (HostId s : cl.surrogates) fingerprint_value(h, s.value());
+  }
+  for (AsId as : pop.host_ases()) fingerprint_value(h, as.value());
+  for (ClusterId c : pop.populated_clusters()) fingerprint_value(h, c.value());
+  return h.value();
+}
+
+}  // namespace asap::population

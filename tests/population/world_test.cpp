@@ -102,7 +102,7 @@ TEST(World, FullyDeterministicAcrossConstructions) {
   World w2(small_params(123));
   EXPECT_EQ(w1.graph().as_count(), w2.graph().as_count());
   EXPECT_EQ(w1.graph().edge_count(), w2.graph().edge_count());
-  EXPECT_EQ(w1.pop().peers().size(), w2.pop().peers().size());
+  EXPECT_EQ(w1.pop().peer_count(), w2.pop().peer_count());
   for (std::uint32_t i = 0; i < 50; ++i) {
     EXPECT_EQ(w1.host_rtt_ms(HostId(i), HostId(i + 1)),
               w2.host_rtt_ms(HostId(i), HostId(i + 1)));

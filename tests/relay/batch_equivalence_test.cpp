@@ -161,12 +161,12 @@ TEST_P(BatchEquivalenceTest, DediMatchesScalarReference) {
 TEST_P(BatchEquivalenceTest, RandMatchesScalarReference) {
   Rng base = world->fork_rng(5);
   RandSelector rand(*world, 120, base);
-  const auto& peers = world->pop().peers();
+  const std::size_t peer_count = world->pop().peer_count();
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     Rng rng = base.fork(i);
-    std::size_t n = std::min<std::size_t>(120, peers.size());
+    std::size_t n = std::min<std::size_t>(120, peer_count);
     std::vector<HostId> pool;
-    for (auto idx : rng.sample_indices(peers.size(), n)) {
+    for (auto idx : rng.sample_indices(peer_count, n)) {
       pool.push_back(HostId(static_cast<std::uint32_t>(idx)));
     }
     expect_same(rand.select_session(sessions[i], i),
@@ -177,12 +177,12 @@ TEST_P(BatchEquivalenceTest, RandMatchesScalarReference) {
 TEST_P(BatchEquivalenceTest, MixMatchesScalarReference) {
   Rng base = world->fork_rng(6);
   MixSelector mix(*world, 30, 70, base);
-  const auto& peers = world->pop().peers();
+  const std::size_t peer_count = world->pop().peer_count();
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     Rng rng = base.fork(i);
     std::vector<HostId> pool = scalar_dedicated_nodes(*world, 30);
-    std::size_t n = std::min<std::size_t>(70, peers.size());
-    for (auto idx : rng.sample_indices(peers.size(), n)) {
+    std::size_t n = std::min<std::size_t>(70, peer_count);
+    for (auto idx : rng.sample_indices(peer_count, n)) {
       pool.push_back(HostId(static_cast<std::uint32_t>(idx)));
     }
     expect_same(mix.select_session(sessions[i], i),
