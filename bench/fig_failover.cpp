@@ -69,7 +69,7 @@ RateResult run_rate(const bench::BenchEnv& env, double fault_rate,
     if (strike) {
       sim::FaultPlan plan;
       plan.add({fault_rng.uniform(500.0, 2000.0), sim::FaultKind::kActiveRelayCrash,
-                0, 0.0});
+                0, 0.0, {}});
       system.arm_fault_plan(plan);
     }
     auto outcome = system.call(s.caller, s.callee, kVoiceMs);
@@ -122,8 +122,8 @@ void run_loss_bursts(const bench::BenchEnv& env, std::size_t calls_target,
         sim::FaultPlan plan;
         // Absolute times: armed right before the call, the burst covers the
         // middle of its voice stream (setup is a few hundred ms).
-        plan.add({1000.0, sim::FaultKind::kLossBurstStart, 0, 0.3});
-        plan.add({2000.0, sim::FaultKind::kLossBurstEnd, 0, 0.0});
+        plan.add({1000.0, sim::FaultKind::kLossBurstStart, 0, 0.3, {}});
+        plan.add({2000.0, sim::FaultKind::kLossBurstEnd, 0, 0.0, {}});
         system.arm_fault_plan(plan);
       }
       auto outcome = system.call(s.caller, s.callee, kVoiceMs);

@@ -1,0 +1,259 @@
+// Gray-failure evaluation (robustness extension; no paper figure): a relay
+// that stays alive but goes gray — dropping, delaying and jittering the
+// voice it forwards — defeats the hard keepalive detector, which only sees
+// total silence. This bench sweeps degradation severity and detector
+// thresholds over the receiver-side quality monitor and reports the numbers
+// the detector must be judged on: the false-failover rate on a healthy
+// world (gated at exactly zero), time-to-evacuate a gray relay, route-flap
+// counts under oscillating degradation, and the segmented pre/post-switch
+// MOS against a detector-off baseline that rides the gray relay down.
+//
+// Every degradation episode is drawn from a seeded fork of the world RNG,
+// so reruns are byte-identical; see src/sim/fault_plan.h.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/protocol.h"
+#include "population/session_gen.h"
+#include "sim/fault_plan.h"
+
+using namespace asap;
+
+namespace {
+
+constexpr Millis kVoiceMs = 5000.0;
+// Strike offset into the voice stream: late enough that the pre-fault MOS
+// segment has settled, early enough that detection + evacuation + a clean
+// post-switch segment all fit in the stream.
+constexpr Millis kStrikeMs = 600.0;
+
+struct Severity {
+  const char* name;
+  sim::DegradeProfile profile;
+};
+
+std::vector<Severity> severities() {
+  std::vector<Severity> out;
+  Severity mild{"mild", {}};
+  mild.profile.loss = 0.15;
+  mild.profile.jitter_ms = 10.0;
+  out.push_back(mild);
+  Severity moderate{"moderate", {}};
+  moderate.profile.loss = 0.35;
+  moderate.profile.jitter_ms = 20.0;
+  moderate.profile.latency_add_ms = 40.0;
+  out.push_back(moderate);
+  Severity severe{"severe", {}};
+  severe.profile.loss = 0.6;
+  severe.profile.jitter_ms = 30.0;
+  severe.profile.latency_add_ms = 80.0;
+  out.push_back(severe);
+  // Expire each episode inside its own call's event-queue drain so a struck
+  // relay does not stay gray into later calls on the same system.
+  for (auto& s : out) s.profile.duration_ms = kVoiceMs;
+  return out;
+}
+
+core::AsapParams detector_params(bool enabled, double trigger_mos = 2.8) {
+  core::AsapParams params;
+  params.lat_threshold_ms = 200.0;  // small world: keep relayed sessions common
+  params.probe_timeout_ms = 1000.0;
+  params.quality_failover = enabled;
+  params.quality_trigger_mos = trigger_mos;
+  params.quality_recover_mos = trigger_mos + 0.5;
+  return params;
+}
+
+struct SweepResult {
+  std::size_t calls = 0;     // relayed calls measured
+  std::size_t fired = 0;     // calls with >= 1 quality trigger
+  std::size_t switched = 0;  // calls with >= 1 committed switchover
+  std::vector<double> evacuate_ms;  // strike -> first quality trigger
+  OnlineStats flaps;                // quality triggers per call
+  OnlineStats mos_pre;   // pre-detection segment (whole stream, detector off)
+  OnlineStats mos_post;  // post-switch segment (empty when never switched)
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+};
+
+// One world, one detector configuration, `calls_target` relayed calls; when
+// `strike` is set every call's active relay goes gray kStrikeMs into the
+// stream (the deferred kActiveRelayDegrade form, so the fault lands on
+// whatever relay the call actually selected).
+SweepResult run_world(const bench::BenchEnv& env, const std::string& label,
+                      const core::AsapParams& params,
+                      const sim::DegradeProfile* strike,
+                      std::size_t calls_target, bench::BenchRun& run) {
+  auto world = bench::build_world(bench::small_world_params(env.seed), label);
+  core::AsapSystem system(*world, params, 2, run.metrics());
+  system.set_trace(run.trace());
+  system.join_all();
+  Rng rng = world->fork_rng(4242);
+  auto sessions = population::generate_sessions(*world, 4000, rng);
+  auto latent = population::latent_sessions(sessions, 200.0);
+
+  SweepResult result;
+  for (const auto& s : latent) {
+    if (result.calls >= calls_target) break;
+    if (strike != nullptr) {
+      sim::FaultPlan plan;
+      sim::FaultEvent event;
+      event.at_ms = kStrikeMs;
+      event.kind = sim::FaultKind::kActiveRelayDegrade;
+      event.degrade = *strike;
+      plan.add(event);
+      system.arm_fault_plan(plan);
+    }
+    auto outcome = system.call(s.caller, s.callee, kVoiceMs);
+    if (!outcome.used_relay) continue;  // direct calls have no relay to lose
+    ++result.calls;
+    result.sent += outcome.voice_packets_sent;
+    result.received += outcome.voice_packets_received;
+    result.flaps.add(static_cast<double>(outcome.quality_failovers));
+    if (outcome.quality_failovers > 0) {
+      ++result.fired;
+      result.evacuate_ms.push_back(outcome.quality_detection_ms - kStrikeMs);
+    }
+    if (outcome.failovers > 0) ++result.switched;
+    if (outcome.mos_pre_fault > 0.0) result.mos_pre.add(outcome.mos_pre_fault);
+    if (outcome.mos_post_failover > 0.0) {
+      result.mos_post.add(outcome.mos_post_failover);
+    }
+  }
+  return result;
+}
+
+void add_sweep_row(Table& table, const std::string& head, const char* detector,
+                   const SweepResult& r) {
+  double delivered =
+      r.sent ? static_cast<double>(r.received) / static_cast<double>(r.sent) : 0.0;
+  table.add_row({head, detector, Table::fmt_int(static_cast<long long>(r.calls)),
+                 Table::fmt_int(static_cast<long long>(r.fired)),
+                 Table::fmt_int(static_cast<long long>(r.switched)),
+                 Table::fmt(percentile(r.evacuate_ms, 50), 0),
+                 Table::fmt(percentile(r.evacuate_ms, 90), 0),
+                 Table::fmt(r.flaps.mean(), 2), Table::fmt_pct(delivered, 1),
+                 Table::fmt(r.mos_pre.mean(), 2), Table::fmt(r.mos_post.mean(), 2)});
+}
+
+// Oscillating path-level degradation: 400 ms gray bursts at 50% loss with
+// healthy gaps, hitting whatever route each call is on. The hysteresis and
+// per-call cooldown must keep the route from flapping once per burst.
+void run_flapping(const bench::BenchEnv& env, std::size_t calls_target,
+                  bench::BenchRun& run) {
+  bench::print_section("Oscillating degradation: cooldown bounds route flapping");
+  auto world =
+      bench::build_world(bench::small_world_params(env.seed), "grayfail_flap");
+  core::AsapParams params = detector_params(true);
+  core::AsapSystem system(*world, params, 2, run.metrics());
+  system.set_trace(run.trace());
+  system.join_all();
+  Rng rng = world->fork_rng(4242);
+  auto sessions = population::generate_sessions(*world, 4000, rng);
+  auto latent = population::latent_sessions(sessions, 200.0);
+
+  constexpr Millis kFlapVoiceMs = 7000.0;
+  std::size_t calls = 0;
+  OnlineStats flaps;
+  std::uint32_t worst = 0;
+  for (const auto& s : latent) {
+    if (calls >= calls_target) break;
+    sim::FaultPlan plan;
+    for (int burst = 0; burst < 6; ++burst) {
+      sim::FaultEvent start;
+      start.at_ms = 1000.0 + 800.0 * burst;  // absolute: armed right before
+      start.kind = sim::FaultKind::kNodeDegradeStart;
+      start.target = sim::kDegradeAllTraffic;
+      start.degrade.loss = 0.5;
+      plan.add(start);
+      sim::FaultEvent end = start;
+      end.at_ms = start.at_ms + 400.0;
+      end.kind = sim::FaultKind::kNodeDegradeEnd;
+      plan.add(end);
+    }
+    system.arm_fault_plan(plan);
+    auto outcome = system.call(s.caller, s.callee, kFlapVoiceMs);
+    if (!outcome.used_relay) continue;
+    ++calls;
+    flaps.add(static_cast<double>(outcome.quality_failovers));
+    worst = std::max(worst, outcome.quality_failovers);
+  }
+  // Six bursts, but at most one trigger per cooldown window: the route can
+  // flap at most ceil(stream / cooldown) times, never once per burst.
+  std::printf("relayed calls %zu over 6 gray bursts: mean flaps %.2f, worst %u "
+              "(cooldown bound ceil(%.0f / %.0f) = %.0f)\n",
+              calls, flaps.mean(), worst, kFlapVoiceMs, params.quality_cooldown_ms,
+              std::ceil(kFlapVoiceMs / params.quality_cooldown_ms));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto env = bench::read_env(argc, argv);
+  bench::BenchRun run("fig_grayfail", env);
+  // Protocol-level calls are far heavier than the algorithmic evaluation;
+  // scale the per-configuration call budget down from the session knob.
+  std::size_t calls_target = std::clamp<std::size_t>(env.sessions / 2000, 10, 200);
+
+  bench::print_section("Healthy world: false-failover gate (detector on)");
+  auto healthy = run_world(env, "grayfail_healthy", detector_params(true), nullptr,
+                           calls_target, run);
+  std::printf("relayed calls %zu, quality failovers %zu (must be 0), "
+              "hard failovers %zu\n",
+              healthy.calls, healthy.fired, healthy.switched);
+  if (healthy.fired != 0 || healthy.switched != 0) {
+    std::fprintf(stderr,
+                 "FALSE FAILOVER: %zu quality triggers / %zu switchovers on a "
+                 "healthy world\n",
+                 healthy.fired, healthy.switched);
+    return 1;
+  }
+
+  bench::print_section("Gray-relay severity sweep: detector off vs on");
+  Table table({"severity", "detector", "calls", "fired", "switched",
+               "p50 evac (ms)", "p90 evac (ms)", "mean flaps", "delivered",
+               "MOS pre/whole", "MOS post-switch"});
+  std::vector<double> severe_evacuations;
+  for (const auto& sev : severities()) {
+    for (bool detector : {false, true}) {
+      std::string label =
+          std::string("grayfail_") + sev.name + (detector ? "_on" : "_off");
+      auto r = run_world(env, label, detector_params(detector), &sev.profile,
+                         calls_target, run);
+      add_sweep_row(table, sev.name, detector ? "on" : "off", r);
+      if (detector && std::string(sev.name) == "severe") {
+        severe_evacuations = r.evacuate_ms;
+      }
+    }
+  }
+  table.print();
+  bench::print_cdf("Time-to-evacuate CDF (severe, detector on)",
+                   "evacuation (ms)", severe_evacuations);
+
+  bench::print_section("Detector threshold sweep (severe gray relay)");
+  const sim::DegradeProfile severe = severities().back().profile;
+  Table thresholds({"trigger MOS", "calls", "fired", "switched", "p50 evac (ms)",
+                    "p90 evac (ms)", "mean flaps"});
+  for (double trigger : {2.5, 2.8, 3.1}) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "grayfail_t%02d",
+                  static_cast<int>(trigger * 10.0 + 0.5));
+    auto r = run_world(env, label, detector_params(true, trigger), &severe,
+                       calls_target, run);
+    thresholds.add_row({Table::fmt(trigger, 1),
+                        Table::fmt_int(static_cast<long long>(r.calls)),
+                        Table::fmt_int(static_cast<long long>(r.fired)),
+                        Table::fmt_int(static_cast<long long>(r.switched)),
+                        Table::fmt(percentile(r.evacuate_ms, 50), 0),
+                        Table::fmt(percentile(r.evacuate_ms, 90), 0),
+                        Table::fmt(r.flaps.mean(), 2)});
+  }
+  thresholds.print();
+
+  run_flapping(env, calls_target, run);
+  return 0;
+}

@@ -1,17 +1,21 @@
 #!/usr/bin/env sh
 # Tier-1 gate plus sanitizer passes over the concurrency/robustness tests.
 #
-#   scripts/check.sh [--mode release|asan|tsan|memory|all] [build-dir-prefix]
+#   scripts/check.sh [--mode release|asan|ubsan|tsan|memory|all] [build-dir-prefix]
 #
 #   release — default config, full ctest suite (the tier-1 gate)
 #   asan    — -DASAP_SANITIZE=address, the `sanitize`-labeled tests
+#   ubsan   — -DASAP_SANITIZE=undefined, the same label (built with
+#             -fno-sanitize-recover so the first UB report fails the test);
+#             primarily the wire-fuzz smoke, where a hostile frame would
+#             surface as an invalid enum load or shift
 #   tsan    — -DASAP_SANITIZE=thread, the same label
 #   memory  — small fig_scalability_xl run under a deliberately tight
 #             oracle-cache budget; fails when population bytes/peer exceed
 #             the ceiling or the cache overruns its budget. RSS is printed
 #             but never gated on (machine-dependent) and never enters the
 #             golden digests.
-#   all     — release + asan + tsan in sequence (the default)
+#   all     — release + asan + ubsan + tsan in sequence (the default)
 #
 # The sanitizer passes rerun the tests that exercise timers, fault injection
 # and shared caches, where lifetime and data-race bugs would hide; the
@@ -32,9 +36,9 @@ case "${1:-}" in
     ;;
 esac
 case "$MODE" in
-  release|asan|tsan|memory|all) ;;
+  release|asan|ubsan|tsan|memory|all) ;;
   *)
-    echo "unknown mode: $MODE (release|asan|tsan|memory|all)" >&2
+    echo "unknown mode: $MODE (release|asan|ubsan|tsan|memory|all)" >&2
     exit 2
     ;;
 esac
@@ -69,6 +73,12 @@ if [ "$MODE" = "asan" ] || [ "$MODE" = "all" ]; then
   run_pass "$PREFIX-asan" -DASAP_SANITIZE=address
   echo "== asan: ctest -L sanitize"
   ctest --test-dir "$PREFIX-asan" -L sanitize --output-on-failure
+fi
+
+if [ "$MODE" = "ubsan" ] || [ "$MODE" = "all" ]; then
+  run_pass "$PREFIX-ubsan" -DASAP_SANITIZE=undefined
+  echo "== ubsan: ctest -L sanitize"
+  ctest --test-dir "$PREFIX-ubsan" -L sanitize --output-on-failure
 fi
 
 if [ "$MODE" = "tsan" ] || [ "$MODE" = "all" ]; then

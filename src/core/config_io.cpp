@@ -126,6 +126,27 @@ const std::map<std::string, Field, std::less<>>& registry() {
            [](ExperimentConfig& c) -> auto& { return c.asap.failover_max_retries; })},
       {"asap.max_backup_relays",
        make_field([](ExperimentConfig& c) -> auto& { return c.asap.max_backup_relays; })},
+      {"asap.quality_failover.enabled",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.quality_failover; })},
+      {"asap.quality_failover.trigger_mos",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.quality_trigger_mos; })},
+      {"asap.quality_failover.recover_mos",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.quality_recover_mos; })},
+      {"asap.quality_failover.window_ms",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.quality_window_ms; })},
+      {"asap.quality_failover.cooldown_ms",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.quality_cooldown_ms; })},
+      {"asap.quality_failover.ewma_alpha",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.quality_ewma_alpha; })},
+      {"asap.quality_failover.min_packets",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.quality_min_packets; })},
       {"asap.relay_streams_per_capacity",
        make_field([](ExperimentConfig& c) -> auto& {
          return c.asap.relay_streams_per_capacity;
@@ -181,6 +202,40 @@ std::string validate(const ExperimentConfig& config) {
     return "config: asap.admission_control requires the relay-capacity model "
            "(asap.relay_streams_per_capacity > 0); class-of-service admission "
            "only acts when routes can be saturated";
+  }
+  if (a.quality_failover) {
+    if (a.quality_trigger_mos >= a.quality_recover_mos) {
+      return "config: asap.quality_failover.trigger_mos (" +
+             fmt_ms(a.quality_trigger_mos) +
+             ") must be < asap.quality_failover.recover_mos (" +
+             fmt_ms(a.quality_recover_mos) +
+             "); without the hysteresis band a path oscillating around one "
+             "threshold flaps the route";
+    }
+    if (a.quality_window_ms < a.keepalive_interval_ms) {
+      return "config: asap.quality_failover.window_ms (" + fmt_ms(a.quality_window_ms) +
+             ") must be >= asap.keepalive_interval_ms (" +
+             fmt_ms(a.keepalive_interval_ms) +
+             "); a shorter observation window races the hard gap detector on "
+             "the same silence";
+    }
+    if (a.quality_cooldown_ms < a.failover_backoff_base_ms) {
+      return "config: asap.quality_failover.cooldown_ms (" +
+             fmt_ms(a.quality_cooldown_ms) +
+             ") must be >= asap.failover_backoff_base_ms (" +
+             fmt_ms(a.failover_backoff_base_ms) +
+             "); a cooldown shorter than one backoff round can re-trigger "
+             "while the previous switchover is still settling";
+    }
+    if (a.quality_ewma_alpha <= 0.0 || a.quality_ewma_alpha > 1.0) {
+      return "config: asap.quality_failover.ewma_alpha must be in (0, 1] (got " +
+             fmt_ms(a.quality_ewma_alpha) + ")";
+    }
+    if (a.quality_min_packets < 1) {
+      return "config: asap.quality_failover.min_packets must be >= 1 (got " +
+             std::to_string(a.quality_min_packets) +
+             "); a verdict needs at least one observation";
+    }
   }
   return std::string();
 }

@@ -54,6 +54,36 @@ struct AsapParams {
   // refresh alone).
   std::uint32_t max_backup_relays = 3;
 
+  // --- Quality-triggered failover (gray-failure resilience) ----------------
+  // When true, the callee runs a receiver-side quality monitor over the
+  // relayed voice stream: windowed EWMA loss (sequence gaps) plus an EWMA
+  // one-way-delay estimate feed the call's E-Model, and a stream whose
+  // estimated MOS stays below quality_trigger_mos for quality_window_ms
+  // evacuates onto the ranked backup relays through the existing failover
+  // machinery — a relay that is alive but gray no longer holds the call
+  // hostage. Off by default: every existing workload is bit-identical with
+  // it off.
+  bool quality_failover = false;
+  // Hysteresis thresholds: estimated MOS below `trigger` (sustained for the
+  // observation window) fires a failover; only MOS at or above `recover`
+  // closes the below-floor episode. trigger < recover, so a path oscillating
+  // between them cannot flap the route.
+  double quality_trigger_mos = 2.8;
+  double quality_recover_mos = 3.3;
+  // Minimum time the estimate must stay below the trigger before a failover
+  // fires. Must be >= keepalive_interval_ms (shorter windows would race the
+  // hard gap detector on the same silence).
+  Millis quality_window_ms = 500.0;
+  // Per-call cooldown between quality-triggered failovers. Must be >=
+  // failover_backoff_base_ms (a cooldown shorter than one backoff round
+  // could re-trigger while the previous switchover is still settling).
+  Millis quality_cooldown_ms = 2000.0;
+  // EWMA smoothing factor for the loss and delay estimators, in (0, 1].
+  double quality_ewma_alpha = 0.1;
+  // Packets the estimators must absorb (after stream start or a committed
+  // switchover) before a verdict counts.
+  std::uint32_t quality_min_packets = 10;
+
   // --- Relay-capacity contention (multi-session runtime) -------------------
   // Concurrent forwarded voice streams a relay host sustains per unit of
   // its abstract capability score (Peer::capacity, Sec. 6's nodal

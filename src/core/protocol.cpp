@@ -77,6 +77,23 @@ ProtocolCounters::ProtocolCounters(MetricsRegistry& registry, bool capacity_metr
   }
 }
 
+GrayFailCounters::GrayFailCounters(MetricsRegistry& registry)
+    : degrade_drops(registry.counter("net.degrade_drops")),
+      reordered(registry.counter("net.reordered")),
+      duplicated(registry.counter("net.duplicated")),
+      corrupted(registry.counter("net.corrupted")),
+      unknown_kind(registry.counter("wire.unknown_kind")),
+      decode_errors(registry.counter("wire.decode_errors")),
+      unknown_session(registry.counter("wire.unknown_session")),
+      invalid_field(registry.counter("wire.invalid_field")),
+      node_degrades(registry.counter("fault.node_degrades")),
+      quality_triggers(registry.counter("quality_failover.triggers")),
+      quality_cooldown_suppressed(registry.counter("quality_failover.cooldown_suppressed")),
+      quality_recoveries(registry.counter("quality_failover.recoveries")),
+      quality_detection_ms(registry.histogram(
+          "quality_failover.detection_ms",
+          {100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0})) {}
+
 ChurnCounters::ChurnCounters(MetricsRegistry& registry)
     : peer_leaves(registry.counter("churn.peer_leaves")),
       peer_joins(registry.counter("churn.peer_joins")),
@@ -165,6 +182,21 @@ struct AsapSystem::ActiveCall {
   std::uint32_t sent_pre = 0, sent_post = 0;
   std::uint32_t rcv_pre = 0, rcv_post = 0;
   double delay_sum_pre = 0.0, delay_sum_post = 0.0;
+
+  // --- Gray-failure resilience state ---------------------------------------
+  // Receiver-side dedup/reorder filter: one flag per expected sequence slot,
+  // sized when the stream starts. Frames outside the range (corrupted or
+  // forged) are dropped before they can touch the accounting.
+  std::vector<std::uint8_t> rx_seen;
+  // Quality monitor (only driven when AsapParams::quality_failover): EWMA
+  // loss/one-way-delay estimators, the hysteresis window and the per-call
+  // trigger cooldown reference.
+  double q_loss_ewma = 0.0;
+  Millis q_delay_ewma_ms = 0.0;
+  std::uint32_t q_samples = 0;
+  Millis q_below_since_ms = -1.0;   // start of the current below-floor episode
+  Millis q_last_trigger_ms = -1.0;  // cooldown reference, -1 = never fired
+  bool q_cooldown_counted = false;  // one suppression count per episode
 };
 
 AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
@@ -181,13 +213,25 @@ AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
   // Loss-burst injection: during an armed burst episode, voice packets die
   // in flight with probability voice_drop_p_. The RNG is only consulted
   // inside a burst, so fault-free runs draw nothing and stay bit-identical
-  // to pre-fault-injection behaviour.
-  net_.set_drop_fn([this](NodeId, NodeId, sim::MessageCategory cat) {
+  // to pre-fault-injection behaviour. Degradation episodes extend the same
+  // hook (ramped gray loss) plus the perturbation/corruption hooks below;
+  // all of them no-op — zero RNG draws — while no episode is active.
+  net_.set_drop_fn([this](NodeId from, NodeId to, sim::MessageCategory cat) {
     bool drop = cat == sim::MessageCategory::kVoice && voice_drop_p_ > 0.0 &&
                 fault_rng_.chance(voice_drop_p_);
-    if (drop) counters_.burst_voice_drops.inc();
-    return drop;
+    if (drop) {
+      counters_.burst_voice_drops.inc();
+      return true;
+    }
+    return degrade_drop(from, to, cat);
   });
+  net_.set_perturb_fn([this](NodeId from, NodeId to, sim::MessageCategory cat) {
+    return perturb_message(from, to, cat);
+  });
+  net_.set_mutate_fn(
+      [this](NodeId from, NodeId to, sim::MessageCategory cat, ProtocolPayload& p) {
+        return mutate_message(from, to, cat, p);
+      });
   const auto& pop = world_.pop();
   hosts_.resize(pop.peer_count());
   surrogate_sets_.resize(pop.cluster_count());
@@ -230,6 +274,11 @@ AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
     });
     bootstraps_.push_back(id);
   }
+
+  // Quality-failover workloads export the grayfail series from the start
+  // (the detector may legitimately count nothing on a healthy world, but
+  // the zeroes must be visible); everything else registers lazily.
+  if (params_.quality_failover) grayfail();
 }
 
 AsapSystem::~AsapSystem() = default;
@@ -334,22 +383,30 @@ void AsapSystem::revive_host(HostId h) {
 }
 
 void AsapSystem::fail_surrogate(ClusterId c) {
-  apply_fault(sim::FaultEvent{queue_.now(), sim::FaultKind::kSurrogateCrash, c.value(), 0.0});
+  apply_fault(sim::FaultEvent{queue_.now(), sim::FaultKind::kSurrogateCrash, c.value(), 0.0, {}});
 }
 
 void AsapSystem::fail_host(HostId h) {
-  apply_fault(sim::FaultEvent{queue_.now(), sim::FaultKind::kHostCrash, h.value(), 0.0});
+  apply_fault(sim::FaultEvent{queue_.now(), sim::FaultKind::kHostCrash, h.value(), 0.0, {}});
 }
 
 void AsapSystem::recover_host(HostId h) {
-  apply_fault(sim::FaultEvent{queue_.now(), sim::FaultKind::kHostRecovery, h.value(), 0.0});
+  apply_fault(sim::FaultEvent{queue_.now(), sim::FaultKind::kHostRecovery, h.value(), 0.0, {}});
 }
 
 void AsapSystem::arm_fault_plan(const sim::FaultPlan& plan) {
   plan.arm(queue_, [this](const sim::FaultEvent& event) { apply_fault(event); });
   for (const auto& event : plan.events()) {
-    if (event.kind == sim::FaultKind::kActiveRelayCrash) {
+    if (event.kind == sim::FaultKind::kActiveRelayCrash ||
+        event.kind == sim::FaultKind::kActiveRelayDegrade) {
       pending_call_faults_.push_back(event);
+    }
+    // Register the grayfail series up front so detector-off degradation runs
+    // still export the net.* effect counters.
+    if (event.kind == sim::FaultKind::kNodeDegradeStart ||
+        event.kind == sim::FaultKind::kNodeDegradeEnd ||
+        event.kind == sim::FaultKind::kActiveRelayDegrade) {
+      grayfail();
     }
   }
 }
@@ -393,7 +450,157 @@ void AsapSystem::apply_fault(const sim::FaultEvent& event) {
     case sim::FaultKind::kLossBurstEnd:
       voice_drop_p_ = 0.0;
       break;
+    case sim::FaultKind::kNodeDegradeStart:
+      if (event.target == sim::kDegradeAllTraffic || event.target < hosts_.size()) {
+        start_degrade(event.target, event.degrade);
+      }
+      break;
+    case sim::FaultKind::kNodeDegradeEnd:
+      end_degrade(event.target);
+      break;
+    case sim::FaultKind::kActiveRelayDegrade:
+      // Immediate form (deferred events are armed per call in begin_voice):
+      // degrade the first relay of the oldest call that is actually relaying.
+      for (auto& [sid, call] : sessions_) {
+        if (call->route.empty()) continue;
+        std::uint32_t target = call->route.front().value();
+        start_degrade(target, event.degrade);
+        if (event.degrade.duration_ms > 0.0) {
+          queue_.after(event.degrade.duration_ms,
+                       [this, target]() { end_degrade(target); });
+        }
+        break;
+      }
+      break;
   }
+}
+
+// --- Gray-failure machinery --------------------------------------------------
+// Degradation episodes live in `degrades_` (keyed by node index, or
+// sim::kDegradeAllTraffic for a path-level episode). The network hooks below
+// consult the table on every send but draw randomness only while at least
+// one episode is active, so fault-free runs stay bit-identical.
+
+GrayFailCounters& AsapSystem::grayfail() {
+  if (!grayfail_counters_) grayfail_counters_.emplace(*metrics_);
+  return *grayfail_counters_;
+}
+
+void AsapSystem::start_degrade(std::uint32_t target, const sim::DegradeProfile& profile) {
+  grayfail().node_degrades.inc();
+  degrades_[target] = ActiveDegrade{profile, queue_.now()};
+}
+
+void AsapSystem::end_degrade(std::uint32_t target) { degrades_.erase(target); }
+
+bool AsapSystem::degrade_drop(NodeId from, NodeId to, sim::MessageCategory cat) {
+  if (degrades_.empty()) return false;
+  Millis now = queue_.now();
+  auto dies = [&](const ActiveDegrade& d) {
+    double p = d.profile.loss;
+    if (p <= 0.0) return false;
+    // Loss ramps linearly from 0 at episode start to full severity: the
+    // canonical slow-burn gray failure a binary detector cannot see early.
+    if (d.profile.ramp_ms > 0.0) {
+      p *= std::clamp((now - d.started_ms) / d.profile.ramp_ms, 0.0, 1.0);
+    }
+    return p > 0.0 && fault_rng_.chance(p);
+  };
+  bool drop = false;
+  // A path-level episode grays voice only (like loss bursts); a per-node
+  // episode grays everything through that node.
+  if (auto g = degrades_.find(sim::kDegradeAllTraffic);
+      g != degrades_.end() && cat == sim::MessageCategory::kVoice) {
+    drop = dies(g->second);
+  }
+  if (!drop) {
+    if (auto it = degrades_.find(from.value()); it != degrades_.end()) {
+      drop = dies(it->second);
+    }
+  }
+  if (!drop && to != from) {
+    if (auto it = degrades_.find(to.value()); it != degrades_.end()) {
+      drop = dies(it->second);
+    }
+  }
+  if (drop) grayfail().degrade_drops.inc();
+  return drop;
+}
+
+ProtocolNetwork::Perturbation AsapSystem::perturb_message(NodeId from, NodeId to,
+                                                          sim::MessageCategory cat) {
+  ProtocolNetwork::Perturbation p;
+  if (degrades_.empty()) return p;
+  auto apply = [&](const ActiveDegrade& d) {
+    const sim::DegradeProfile& prof = d.profile;
+    p.extra_delay_ms += prof.latency_add_ms;
+    if (prof.jitter_ms > 0.0) p.extra_delay_ms += fault_rng_.exponential(prof.jitter_ms);
+    if (prof.reorder > 0.0 && fault_rng_.chance(prof.reorder)) {
+      // Hold the packet past its successors: a few voice intervals of lag.
+      p.extra_delay_ms += kVoiceIntervalMs * (2.0 + 2.0 * fault_rng_.uniform());
+    }
+    if (prof.duplicate > 0.0 && fault_rng_.chance(prof.duplicate)) {
+      p.duplicate = true;
+      p.duplicate_lag_ms += fault_rng_.uniform(0.0, kVoiceIntervalMs);
+    }
+  };
+  if (auto g = degrades_.find(sim::kDegradeAllTraffic);
+      g != degrades_.end() && cat == sim::MessageCategory::kVoice) {
+    apply(g->second);
+  }
+  if (auto it = degrades_.find(from.value()); it != degrades_.end()) apply(it->second);
+  if (to != from) {
+    if (auto it = degrades_.find(to.value()); it != degrades_.end()) apply(it->second);
+  }
+  return p;
+}
+
+bool AsapSystem::mutate_message(NodeId from, NodeId to, sim::MessageCategory cat,
+                                ProtocolPayload& payload) {
+  if (degrades_.empty()) return true;
+  auto corrupt_p = [&](std::uint32_t key) {
+    auto it = degrades_.find(key);
+    return it == degrades_.end() ? 0.0 : it->second.profile.corrupt;
+  };
+  double p = corrupt_p(from.value());
+  if (to != from) p = std::max(p, corrupt_p(to.value()));
+  if (cat == sim::MessageCategory::kVoice) {
+    p = std::max(p, corrupt_p(sim::kDegradeAllTraffic));
+  }
+  if (p <= 0.0 || !fault_rng_.chance(p)) return true;
+  // Real corruption: flip one seeded bit of the encoded frame and decode it
+  // back. An undecodable frame is dropped (counted); a frame that survives
+  // decoding is delivered *mutated*, which is exactly the hostile input the
+  // wire-hardening layer must absorb.
+  grayfail().corrupted.inc();
+  std::vector<std::uint8_t> bytes = wire::encode(payload);
+  if (bytes.empty()) return false;
+  bytes[fault_rng_.below(bytes.size())] ^=
+      static_cast<std::uint8_t>(1u << fault_rng_.below(8));
+  auto decoded = wire::decode(bytes);
+  if (!decoded) return false;
+  payload = std::move(*decoded);
+  return true;
+}
+
+void AsapSystem::deliver_wire(NodeId self, NodeId from,
+                              std::span<const std::uint8_t> bytes) {
+  GrayFailCounters& gf = grayfail();
+  auto decoded = wire::decode(bytes);
+  if (!decoded) {
+    if (decoded.error().message.find("unknown tag") != std::string::npos) {
+      gf.unknown_kind.inc();
+    } else {
+      gf.decode_errors.inc();
+    }
+    return;
+  }
+  if (self.value() >= hosts_.size()) {
+    gf.invalid_field.inc();
+    return;
+  }
+  counters_.wire_by_kind[decoded->index()].inc();
+  handle_message(self, from, *decoded);
 }
 
 // --- Living-world churn ------------------------------------------------------
@@ -825,6 +1032,8 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
   if (const auto* accept = std::get_if<CallAccept>(&payload)) {
     if (ActiveCall* call = find_session(accept->session)) {
       on_call_accept(*call, *accept);
+    } else if (grayfail_active()) {
+      grayfail().unknown_session.inc();
     }
     return;
   }
@@ -841,6 +1050,10 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
     }
     if (ActiveCall* call = find_session(voice->session)) {
       record_voice_receipt(*call, *voice);
+    } else if (grayfail_active()) {
+      // Finalized or never-opened session id (stale in-flight packet, or a
+      // corrupted session field): dropped, never dereferenced.
+      grayfail().unknown_session.inc();
     }
     return;
   }
@@ -848,6 +1061,8 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
     ActiveCall* call = find_session(notice->session);
     if (call != nullptr && HostId(self.value()) == call->caller) {
       on_relay_failure_notice(*call);
+    } else if (call == nullptr && grayfail_active()) {
+      grayfail().unknown_session.inc();
     }
     return;
   }
@@ -1260,6 +1475,9 @@ void AsapSystem::begin_voice(ActiveCall& call, const std::vector<NodeId>& relay_
   auto packets = static_cast<std::uint32_t>(call.voice_duration_ms / kVoiceIntervalMs);
   packets = std::max<std::uint32_t>(packets, 1);
   call.outcome.voice_packets_sent = packets;
+  // Per-sequence receipt bitmap: exact loss accounting stays correct when a
+  // degraded path reorders or duplicates packets (one byte per 20 ms frame).
+  call.rx_seen.assign(packets, 0);
   for (std::uint32_t seq = 0; seq < packets; ++seq) {
     queue_.after(static_cast<Millis>(seq) * kVoiceIntervalMs,
                  [this, me, peer, seq, session]() {
@@ -1296,17 +1514,28 @@ void AsapSystem::begin_voice(ActiveCall& call, const std::vector<NodeId>& relay_
     call.detect_floor_ms = call.first_voice_sent_ms + allowance;
     schedule_keepalive_check(call);
   }
-  // Deferred active-relay kill events: their clocks start now.
+  // Deferred active-relay fault events: their clocks start now.
   if (!pending_call_faults_.empty()) {
     std::vector<sim::FaultEvent> faults;
     faults.swap(pending_call_faults_);
     for (const auto& event : faults) {
-      queue_.after(event.at_ms, [this, session]() {
+      queue_.after(event.at_ms, [this, session, event]() {
         ActiveCall* call = find_session(session);
         if (call == nullptr || call->done) return;
-        if (call->route.empty()) return;  // direct call: nothing to kill
-        crash_host(HostId(call->route.front().value()));
-        counters_.active_relay_crashes.inc();
+        if (call->route.empty()) return;  // direct call: nothing to hit
+        std::uint32_t target = call->route.front().value();
+        if (event.kind == sim::FaultKind::kActiveRelayDegrade) {
+          // The relay stays alive but goes gray: keepalives flow, quality
+          // rots. Only the quality monitor can evacuate the call.
+          start_degrade(target, event.degrade);
+          if (event.degrade.duration_ms > 0.0) {
+            queue_.after(event.degrade.duration_ms,
+                         [this, target]() { end_degrade(target); });
+          }
+        } else {
+          crash_host(HostId(target));
+          counters_.active_relay_crashes.inc();
+        }
       });
     }
   }
@@ -1318,20 +1547,51 @@ void AsapSystem::begin_voice(ActiveCall& call, const std::vector<NodeId>& relay_
 
 void AsapSystem::record_voice_receipt(ActiveCall& call, const VoicePacket& voice) {
   Millis now = queue_.now();
+  // Wire hardening: a sequence number past the stream length can only come
+  // from in-flight corruption — count it, never index with it.
+  if (voice.seq >= call.rx_seen.size()) {
+    if (grayfail_active()) grayfail().invalid_field.inc();
+    return;
+  }
+  // Dedup: a duplicated copy of an already-heard frame carries no new audio
+  // and must not inflate the receive count (loss would go negative).
+  if (call.rx_seen[voice.seq] != 0) {
+    ++call.outcome.duplicate_voice_packets;
+    if (grayfail_active()) grayfail().duplicated.inc();
+    return;
+  }
+  call.rx_seen[voice.seq] = 1;
+  // A fresh frame at or below the receive frontier arrived out of order
+  // (held back by a degraded path, or raced through a dying route during a
+  // make-before-break switch). It is real audio — count it — but it must
+  // not move the frontier backwards.
+  bool reordered = call.any_rx && voice.seq <= call.last_rx_seq;
+  if (reordered) {
+    ++call.outcome.reordered_voice_packets;
+    if (grayfail_active()) grayfail().reordered.inc();
+  }
   ++call.outcome.voice_packets_received;
   call.voice_delay_sum_ms += now - voice.sent_at_ms;
+
+  // Slots between the frontier and this frame that no packet ever filled.
+  // (Slots above last_rx_seq can never have been seen — the frontier is the
+  // maximum heard sequence — so the bitmap scan counts exactly the frames
+  // the old arithmetic `seq - expected_next` did, and stays exact if a
+  // reordered frame later fills one.)
+  std::uint32_t expected_next = call.any_rx ? call.last_rx_seq + 1 : 0;
+  std::uint32_t hole_slots = 0;
+  for (std::uint32_t s = expected_next; s < voice.seq; ++s) {
+    if (call.rx_seen[s] == 0) ++hole_slots;
+  }
 
   // Close an open silence interval and account the sequence hole it left.
   if (call.gap_started_ms >= 0.0) {
     call.outcome.voice_gap_ms =
         std::max(call.outcome.voice_gap_ms, now - call.gap_started_ms);
-    std::uint32_t expected_next = call.any_rx ? call.last_rx_seq + 1 : 0;
-    if (voice.seq > expected_next) {
-      call.outcome.packets_lost_in_failover += voice.seq - expected_next;
-    }
+    call.outcome.packets_lost_in_failover += hole_slots;
     call.gap_started_ms = -1.0;
   }
-  if (!call.any_rx || voice.seq > call.last_rx_seq) {
+  if (!reordered) {
     call.last_rx_seq = voice.seq;
     call.any_rx = true;
   }
@@ -1348,6 +1608,111 @@ void AsapSystem::record_voice_receipt(ActiveCall& call, const VoicePacket& voice
     ++call.rcv_post;
     call.delay_sum_post += now - voice.sent_at_ms;
   }
+
+  if (params_.quality_failover && !call.route.empty()) {
+    update_quality_monitor(call, voice, reordered ? 0 : hole_slots);
+  }
+}
+
+// --- Receiver-side quality monitor (gray-failure detection) ------------------
+//
+// The hard keepalive detector only sees total silence; a relay that is alive
+// but gray (rising loss, inflating delay) keeps the keepalives flowing while
+// the call rots. The callee therefore estimates its own listening quality
+// from the stream itself: an EWMA over sequence holes approximates loss, an
+// EWMA over (arrival - sent_at) approximates one-way delay, and the two feed
+// the call codec's E-Model. A MOS estimate that stays below the trigger
+// floor for the full observation window evacuates the call through the
+// existing failover machinery (notice -> ranked backups -> switchover).
+
+void AsapSystem::update_quality_monitor(ActiveCall& call, const VoicePacket& voice,
+                                        std::uint32_t gap_slots) {
+  const double alpha = params_.quality_ewma_alpha;
+  // Every never-filled slot before this frame drags the loss estimate toward
+  // 1; the frame itself drags it toward 0. A reordered frame that fills an
+  // old hole contributes only the receipt (gap_slots = 0).
+  for (std::uint32_t i = 0; i < gap_slots; ++i) {
+    call.q_loss_ewma = (1.0 - alpha) * call.q_loss_ewma + alpha;
+  }
+  call.q_loss_ewma *= 1.0 - alpha;
+  Millis delay = queue_.now() - voice.sent_at_ms;
+  call.q_delay_ewma_ms = call.q_samples == 0
+                             ? delay
+                             : (1.0 - alpha) * call.q_delay_ewma_ms + alpha * delay;
+  ++call.q_samples;
+  // The estimators must absorb a minimum of evidence (after stream start or
+  // an estimator reset) before any verdict counts.
+  if (call.q_samples < params_.quality_min_packets) return;
+
+  voip::EModel emodel(call.codec);
+  double mos = voip::EModel::mos_from_r(
+      emodel.r_factor(call.q_delay_ewma_ms, std::clamp(call.q_loss_ewma, 0.0, 1.0)));
+  Millis now = queue_.now();
+  if (mos >= params_.quality_recover_mos) {
+    // Hysteresis: only the higher recover threshold closes a below-floor
+    // episode, so a path oscillating around the trigger cannot flap.
+    if (call.q_below_since_ms >= 0.0) {
+      call.q_below_since_ms = -1.0;
+      call.q_cooldown_counted = false;
+      grayfail().quality_recoveries.inc();
+    }
+    return;
+  }
+  if (mos >= params_.quality_trigger_mos) return;  // inside the band: hold state
+  if (call.q_below_since_ms < 0.0) {
+    call.q_below_since_ms = now;
+    return;
+  }
+  if (now - call.q_below_since_ms < params_.quality_window_ms) return;
+  on_quality_degraded(call);
+}
+
+void AsapSystem::on_quality_degraded(ActiveCall& call) {
+  // The hard-gap machinery owns the call while a notice or probe round is in
+  // flight, and a given-up call stays put.
+  if (call.done || call.failover_in_progress || call.notice_in_flight ||
+      call.outcome.failover_gave_up) {
+    return;
+  }
+  Millis now = queue_.now();
+  if (call.q_last_trigger_ms >= 0.0 &&
+      now - call.q_last_trigger_ms < params_.quality_cooldown_ms) {
+    // One suppression count per below-floor episode, not per packet.
+    if (!call.q_cooldown_counted) {
+      call.q_cooldown_counted = true;
+      grayfail().quality_cooldown_suppressed.inc();
+    }
+    return;
+  }
+  call.q_last_trigger_ms = now;
+  grayfail().quality_triggers.inc();
+  ++call.outcome.quality_failovers;
+  if (call.outcome.quality_detection_ms >= kUnreachableMs) {
+    call.outcome.quality_detection_ms = now - call.first_voice_sent_ms;
+    grayfail().quality_detection_ms.observe(call.outcome.quality_detection_ms);
+  }
+  // The verdict is spent: the post-switch path starts with fresh estimators
+  // and must re-earn quality_min_packets of evidence.
+  call.q_loss_ewma = 0.0;
+  call.q_delay_ewma_ms = 0.0;
+  call.q_samples = 0;
+  call.q_below_since_ms = -1.0;
+  call.q_cooldown_counted = false;
+  if (call.fault_detected_ms < 0.0) {
+    call.fault_detected_ms = now;
+    // Freeze the pre-fault segment exactly as the hard detector does.
+    call.sent_pre = call.any_rx ? call.last_rx_seq + 1 : 0;
+  }
+  // Unlike a hard gap, the stream is still (poorly) flowing: no silence
+  // interval opens here — voice_gap_ms keeps measuring true silence only.
+  if (trace_ && call.traced) {
+    trace_->record(call.session.value(), TraceSpan::kKeepaliveGap, queue_.now(),
+                   call.last_rx_seq, /*detail=*/1);  // 1 = quality-triggered
+  }
+  call.notice_in_flight = true;
+  send(NodeId(call.callee.value()), NodeId(call.caller.value()),
+       sim::MessageCategory::kCallSignal,
+       RelayFailureNotice{call.session, call.any_rx ? call.last_rx_seq : 0});
 }
 
 void AsapSystem::finish_call(ActiveCall& call) {
@@ -1368,9 +1733,10 @@ void AsapSystem::finish_call(ActiveCall& call) {
           std::max(call.outcome.voice_gap_ms, stream_end - call.gap_started_ms);
     }
     std::uint32_t expected_next = call.any_rx ? call.last_rx_seq + 1 : 0;
-    if (call.outcome.voice_packets_sent > expected_next) {
-      call.outcome.packets_lost_in_failover +=
-          call.outcome.voice_packets_sent - expected_next;
+    std::uint32_t tail_end = std::min(call.outcome.voice_packets_sent,
+                                      static_cast<std::uint32_t>(call.rx_seen.size()));
+    for (std::uint32_t s = expected_next; s < tail_end; ++s) {
+      if (call.rx_seen[s] == 0) ++call.outcome.packets_lost_in_failover;
     }
   }
   // Segmented E-Model MOS (the paper's Sec. 7.2 quality metric, applied to

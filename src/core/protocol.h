@@ -161,6 +161,27 @@ struct ProtocolCounters {
   Histogram setup_time_ms, failover_latency_ms, mos_pre_fault, mos_post_failover;
 };
 
+// Observability for the gray-failure resilience layer: in-flight
+// degradation effects (net.*), wire-hardening drops (wire.*) and the
+// quality-failover detector (quality_failover.*). Constructed lazily the
+// first time the layer can act — quality failover enabled, a fault plan
+// with degradation events armed, or raw frames delivered through
+// deliver_wire() — so workloads that never exercise gray failures export
+// exactly the historical digest key set.
+struct GrayFailCounters {
+  explicit GrayFailCounters(MetricsRegistry& registry);
+
+  // In-flight degradation effects applied by the perturbation hooks.
+  Counter degrade_drops, reordered, duplicated, corrupted;
+  // Wire hardening: frames dropped instead of corrupting session state.
+  Counter unknown_kind, decode_errors, unknown_session, invalid_field;
+  // Degradation fault events applied (start/end pairs count once each).
+  Counter node_degrades;
+  // Quality-triggered failover detector.
+  Counter quality_triggers, quality_cooldown_suppressed, quality_recoveries;
+  Histogram quality_detection_ms;
+};
+
 // Observability for the living-world churn runtime (churn.* series).
 // Constructed lazily the first time a churn plan is armed, so workloads that
 // never arm one export exactly the historical key set (registered handles
@@ -228,6 +249,19 @@ struct CallOutcome {
   double mos_post_failover = 0.0;
   // Ranked backup relays retained from candidate probing (for tests/benches).
   std::vector<HostId> backup_relays;
+
+  // --- Gray-failure resilience (quality monitor + wire hardening) ----------
+  // Failovers fired by the receiver-side quality monitor (a subset of
+  // `failovers` when the switch committed; a trigger whose probing failed
+  // still counts here).
+  std::uint32_t quality_failovers = 0;
+  // Stream start -> first quality trigger (kUnreachableMs when the monitor
+  // never fired); benches derive time-to-evacuate from it.
+  Millis quality_detection_ms = kUnreachableMs;
+  // Receiver-side stream hygiene: duplicated copies discarded by the dedup
+  // filter and packets that arrived behind a newer sequence.
+  std::uint32_t duplicate_voice_packets = 0;
+  std::uint32_t reordered_voice_packets = 0;
 
   // --- Relay-capacity contention (multi-session runtime) ------------------
   // Relay-check probes this call had answered with ProbeBusy (candidate
@@ -378,6 +412,14 @@ class AsapSystem {
   // Applies one churn event immediately (the arm() callback lands here).
   void apply_churn(const sim::ChurnEvent& event);
 
+  // --- Wire-layer entry point (hardening / fuzzing) -------------------------
+  // Decodes a raw wire frame as `self` and dispatches it through the normal
+  // message handlers. Malformed frames are counted and dropped
+  // (wire.unknown_kind for unknown tags, wire.decode_errors otherwise),
+  // never undefined behaviour or session-state corruption. Lazily registers
+  // the grayfail metric series (wire.*, net.*, quality_failover.*).
+  void deliver_wire(NodeId self, NodeId from, std::span<const std::uint8_t> bytes);
+
   [[nodiscard]] const sim::MessageCounter& counter() const { return net_.counter(); }
   [[nodiscard]] const MetricsRegistry& metrics() const { return *metrics_; }
   // Attaches a span recorder; it samples 1-in-N sessions (TraceRecorder
@@ -441,6 +483,25 @@ class AsapSystem {
   void failover_backoff(ActiveCall& call);
   void rebuild_backups_and_retry(ActiveCall& call);
   void give_up_failover(ActiveCall& call);
+  // --- Gray-failure machinery ----------------------------------------------
+  // Lazy accessor for the grayfail metric series (see GrayFailCounters).
+  GrayFailCounters& grayfail();
+  [[nodiscard]] bool grayfail_active() const { return grayfail_counters_.has_value(); }
+  // Perturbation/corruption hooks installed on the network; no-ops (and no
+  // RNG draws) while no degradation episode is active.
+  ProtocolNetwork::Perturbation perturb_message(NodeId from, NodeId to,
+                                                sim::MessageCategory cat);
+  bool degrade_drop(NodeId from, NodeId to, sim::MessageCategory cat);
+  bool mutate_message(NodeId from, NodeId to, sim::MessageCategory cat,
+                      ProtocolPayload& payload);
+  void start_degrade(std::uint32_t target, const sim::DegradeProfile& profile);
+  void end_degrade(std::uint32_t target);
+  // Receiver-side quality monitor: EWMA loss/delay -> E-Model MOS with
+  // hysteresis; `gap` is the count of sequence slots skipped since the last
+  // in-order packet (each one an observed loss).
+  void update_quality_monitor(ActiveCall& call, const VoicePacket& voice,
+                              std::uint32_t gap);
+  void on_quality_degraded(ActiveCall& call);  // callee side, like gap detection
   // Setup-time fallback when the probed winner lost its last capacity slot
   // before the route commit: walk the ranked backups, else degrade direct.
   void try_next_setup_relay(ActiveCall& call);
@@ -510,6 +571,17 @@ class AsapSystem {
   std::vector<std::vector<HostId>> departed_;
   std::vector<Millis> surrogate_set_built_ms_;
   std::optional<ChurnCounters> churn_counters_;
+
+  // Gray-failure state: the active degradation episodes keyed by node index
+  // (sim::kDegradeAllTraffic = path-level), and the lazily registered
+  // grayfail metric series. Both stay empty for workloads that never see a
+  // gray fault, keeping their digests and RNG streams untouched.
+  struct ActiveDegrade {
+    sim::DegradeProfile profile;
+    Millis started_ms = 0.0;  // loss ramp reference
+  };
+  std::map<std::uint32_t, ActiveDegrade> degrades_;
+  std::optional<GrayFailCounters> grayfail_counters_;
 
   // Session table: every in-flight call's state machine, keyed by session
   // id. std::map keeps iteration in session order, so cross-session sweeps

@@ -58,6 +58,31 @@ FaultPlan FaultPlan::generate(const FaultPlanParams& params, std::size_t host_co
     plan.add(end);
   }
 
+  for (std::uint32_t i = 0; i < params.node_degrades && host_count > 0; ++i) {
+    FaultEvent start;
+    start.at_ms = rng.uniform(0.0, params.horizon_ms);
+    start.kind = FaultKind::kNodeDegradeStart;
+    start.target = static_cast<std::uint32_t>(rng.below(host_count));
+    start.degrade = params.degrade_profile;
+    FaultEvent end;
+    end.at_ms = start.at_ms + rng.exponential(params.degrade_mean_ms);
+    end.kind = FaultKind::kNodeDegradeEnd;
+    end.target = start.target;
+    plan.add(start);
+    plan.add(end);
+  }
+
+  for (std::uint32_t i = 0; i < params.active_relay_degrades; ++i) {
+    FaultEvent e;
+    e.at_ms = rng.uniform(0.0, params.horizon_ms);
+    e.kind = FaultKind::kActiveRelayDegrade;
+    e.degrade = params.degrade_profile;
+    if (e.degrade.duration_ms <= 0.0) {
+      e.degrade.duration_ms = rng.exponential(params.degrade_mean_ms);
+    }
+    plan.add(e);
+  }
+
   return plan;
 }
 
@@ -70,7 +95,10 @@ void FaultPlan::add(FaultEvent event) {
 
 void FaultPlan::arm(EventQueue& queue, std::function<void(const FaultEvent&)> apply) const {
   for (const auto& event : events_) {
-    if (event.kind == FaultKind::kActiveRelayCrash) continue;
+    if (event.kind == FaultKind::kActiveRelayCrash ||
+        event.kind == FaultKind::kActiveRelayDegrade) {
+      continue;
+    }
     queue.after(event.at_ms, [event, apply]() { apply(event); });
   }
 }

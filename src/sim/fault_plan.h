@@ -31,7 +31,19 @@ enum class FaultKind : std::uint8_t {
   kHostRecovery = 3,     // target = host index; revives a crashed host
   kLossBurstStart = 4,   // begin dropping voice packets with probability `loss`
   kLossBurstEnd = 5,     // end the loss-burst episode
+  // --- Gray failures: the node stays alive and responsive but its traffic
+  // degrades (loss ramp, latency inflation, jitter, reorder/dup/corrupt).
+  kNodeDegradeStart = 6, // target = host index (kDegradeAllTraffic = every
+                         // message on the wire, i.e. a path-level degradation)
+  kNodeDegradeEnd = 7,   // target must match the start event
+  kActiveRelayDegrade = 8, // degrades the first relay of the next streaming
+                           // call's route; at_ms is relative to that call's
+                           // voice start, duration in degrade.duration_ms
 };
+
+// Wildcard target for kNodeDegradeStart/End: the degradation applies to all
+// traffic instead of one node (a path-level gray failure).
+inline constexpr std::uint32_t kDegradeAllTraffic = 0xFFFFFFFFu;
 
 constexpr std::string_view fault_kind_name(FaultKind k) {
   switch (k) {
@@ -41,15 +53,33 @@ constexpr std::string_view fault_kind_name(FaultKind k) {
     case FaultKind::kHostRecovery: return "host-recovery";
     case FaultKind::kLossBurstStart: return "loss-burst-start";
     case FaultKind::kLossBurstEnd: return "loss-burst-end";
+    case FaultKind::kNodeDegradeStart: return "node-degrade-start";
+    case FaultKind::kNodeDegradeEnd: return "node-degrade-end";
+    case FaultKind::kActiveRelayDegrade: return "active-relay-degrade";
   }
   return "?";
 }
+
+// Severity profile of one gray-failure episode. All fields default to zero:
+// a default profile perturbs nothing.
+struct DegradeProfile {
+  double loss = 0.0;          // per-packet drop probability at full ramp
+  Millis ramp_ms = 0.0;       // loss ramps linearly 0 -> `loss` over this time
+  Millis latency_add_ms = 0.0; // flat one-way latency inflation
+  Millis jitter_ms = 0.0;      // mean of an exponential per-packet jitter term
+  double reorder = 0.0;        // probability a packet is delayed past successors
+  double duplicate = 0.0;      // probability a packet is delivered twice
+  double corrupt = 0.0;        // probability a packet is corrupted in flight
+  Millis duration_ms = 0.0;    // kActiveRelayDegrade: auto-end after this long
+                               // (0 = degraded for the rest of the call)
+};
 
 struct FaultEvent {
   Millis at_ms = 0.0;  // offset from arm time (or voice start, see above)
   FaultKind kind = FaultKind::kHostCrash;
   std::uint32_t target = 0;  // host or cluster index, by kind; else unused
   double loss = 0.0;         // drop probability for loss bursts
+  DegradeProfile degrade;    // only read for the degrade kinds
 };
 
 // Expected event counts over a planning horizon; generate() draws the times
@@ -68,6 +98,14 @@ struct FaultPlanParams {
   std::uint32_t loss_bursts = 0;
   Millis loss_burst_mean_ms = 2000.0;
   double loss_burst_drop = 0.3;
+  // Gray-failure degradation episodes: per-node episodes start uniform in
+  // the horizon and last exponential(degrade_mean_ms); active-relay
+  // degradations defer to the next call's voice start like
+  // kActiveRelayCrash. Every episode carries `degrade_profile`.
+  std::uint32_t node_degrades = 0;
+  std::uint32_t active_relay_degrades = 0;
+  Millis degrade_mean_ms = 2000.0;
+  DegradeProfile degrade_profile;
 };
 
 class FaultPlan {
@@ -84,9 +122,9 @@ class FaultPlan {
   [[nodiscard]] bool empty() const { return events_.empty(); }
 
   // Schedules every event at `queue.now() + at_ms` and hands it to `apply`.
-  // kActiveRelayCrash events are *skipped* here — their clock starts at a
-  // call's voice stream, which only the protocol layer knows (see
-  // core::AsapSystem::arm_fault_plan).
+  // kActiveRelayCrash and kActiveRelayDegrade events are *skipped* here —
+  // their clocks start at a call's voice stream, which only the protocol
+  // layer knows (see core::AsapSystem::arm_fault_plan).
   void arm(EventQueue& queue, std::function<void(const FaultEvent&)> apply) const;
 
  private:

@@ -69,14 +69,52 @@ class Network {
     drop_fn_ = std::move(fn);
   }
 
+  // In-flight perturbation of one message, decided per send by the
+  // perturbation hook. A default-constructed Perturbation delivers exactly
+  // like an unhooked network.
+  struct Perturbation {
+    Millis extra_delay_ms = 0.0;  // latency inflation / jitter / reorder lag
+    bool duplicate = false;       // deliver a second copy
+    Millis duplicate_lag_ms = 0.0;  // extra delay of the duplicate copy
+  };
+  // Optional gray-failure hook: consulted after the drop hook, it can
+  // inflate a message's delivery latency (latency/jitter/reordering) and
+  // duplicate it. Off by default; installers must draw randomness only when
+  // a degradation is actually active so unhooked behaviour stays
+  // bit-identical.
+  void set_perturb_fn(
+      std::function<Perturbation(NodeId from, NodeId to, MessageCategory)> fn) {
+    perturb_fn_ = std::move(fn);
+  }
+  // Optional corruption hook: may mutate the payload in flight. Returning
+  // false drops the message (corruption destroyed the frame); returning true
+  // delivers the (possibly mutated) payload. Runs once per send, after the
+  // perturbation hook; a duplicate carries the same (mutated) payload.
+  void set_mutate_fn(
+      std::function<bool(NodeId from, NodeId to, MessageCategory, Payload&)> fn) {
+    mutate_fn_ = std::move(fn);
+  }
+
   // Sends a message; it is delivered (handler invoked) after the one-way
   // latency. Messages whose path is unreachable are silently dropped, as on
-  // the real network — protocols must use timeouts.
+  // the real network — protocols must use timeouts. Out-of-range node ids
+  // (possible when a forwarding chain was corrupted in flight) are dropped
+  // the same way.
   void send(NodeId from, NodeId to, MessageCategory category, Payload payload) {
     counter_.record(category, sizer_ ? sizer_(payload) : 0);
+    if (from.value() >= nodes_.size() || to.value() >= nodes_.size()) return;
     if (drop_fn_ && drop_fn_(from, to, category)) return;
     Millis latency = delivery_latency_ms(from, to);
     if (latency >= kUnreachableMs) return;
+    Perturbation p;
+    if (perturb_fn_) p = perturb_fn_(from, to, category);
+    if (mutate_fn_ && !mutate_fn_(from, to, category, payload)) return;
+    latency += p.extra_delay_ms;
+    if (p.duplicate) {
+      queue_.after(latency + p.duplicate_lag_ms, [this, from, to, payload]() {
+        nodes_[to.value()].handler(from, payload);
+      });
+    }
     queue_.after(latency, [this, from, to, payload = std::move(payload)]() {
       nodes_[to.value()].handler(from, payload);
     });
@@ -103,6 +141,8 @@ class Network {
   MessageCounter counter_;
   std::function<std::size_t(const Payload&)> sizer_;
   std::function<bool(NodeId, NodeId, MessageCategory)> drop_fn_;
+  std::function<Perturbation(NodeId, NodeId, MessageCategory)> perturb_fn_;
+  std::function<bool(NodeId, NodeId, MessageCategory, Payload&)> mutate_fn_;
 };
 
 }  // namespace asap::sim

@@ -19,6 +19,26 @@ JitterBufferSim::JitterBufferSim(Millis base_one_way_ms, double network_loss,
   }
 }
 
+JitterBufferSim::JitterBufferSim(Millis base_one_way_ms, std::vector<double> extra_delay_ms)
+    : base_one_way_ms_(base_one_way_ms), extra_delay_ms_(std::move(extra_delay_ms)) {
+  auto lost = static_cast<double>(std::count_if(extra_delay_ms_.begin(),
+                                                extra_delay_ms_.end(),
+                                                [](double d) { return d < 0.0; }));
+  network_loss_ =
+      extra_delay_ms_.empty() ? 0.0 : lost / static_cast<double>(extra_delay_ms_.size());
+}
+
+std::vector<double> JitterBufferSim::collapse_arrivals(
+    std::size_t packets, const std::vector<ArrivalEvent>& events) {
+  std::vector<double> slots(packets, -1.0);
+  for (const ArrivalEvent& event : events) {
+    if (event.seq >= packets || event.extra_delay_ms < 0.0) continue;
+    double& slot = slots[event.seq];
+    if (slot < 0.0 || event.extra_delay_ms < slot) slot = event.extra_delay_ms;
+  }
+  return slots;
+}
+
 PlayoutCounters::PlayoutCounters(MetricsRegistry& metrics)
     : playouts(metrics.counter("voip.playouts")),
       stalled_packets(metrics.counter("voip.playout.stalled_packets")),

@@ -48,12 +48,34 @@ struct PlayoutCounters {
   explicit PlayoutCounters(MetricsRegistry& metrics);
 };
 
+// One observed copy of one frame on the receive path. A degraded network can
+// deliver the same sequence twice (duplication) or out of order (reordering);
+// the playout buffer cares only about the earliest copy of each slot.
+struct ArrivalEvent {
+  std::uint32_t seq = 0;
+  double extra_delay_ms = 0.0;  // beyond the base one-way delay
+};
+
 class JitterBufferSim {
  public:
   // Pre-draws `packets` arrival offsets for a path with the given base
   // one-way delay and network loss. Deterministic per rng state.
   JitterBufferSim(Millis base_one_way_ms, double network_loss, std::size_t packets,
                   const JitterParams& params, Rng& rng);
+
+  // Explicit-arrivals form: per-slot extra delays as produced by
+  // collapse_arrivals() (negative = the frame never arrived). Lets callers
+  // feed a real observed arrival log instead of the synthetic jitter model.
+  JitterBufferSim(Millis base_one_way_ms, std::vector<double> extra_delay_ms);
+
+  // Collapses a raw arrival log — possibly duplicated and out of order — to
+  // per-slot earliest arrivals: slot i holds the smallest extra delay any
+  // copy of frame i achieved, or -1.0 when no copy arrived. Duplicates can
+  // therefore never double-count a receipt (or mask a loss), and a late
+  // reordered copy only matters if it beats the copy already heard.
+  // Events whose seq is out of range are ignored (corrupted header).
+  static std::vector<double> collapse_arrivals(std::size_t packets,
+                                               const std::vector<ArrivalEvent>& events);
 
   // Plays the stream through a buffer of depth `depth_ms`. When `counters`
   // is given, records the playout and its stalled/lost packet counts.

@@ -59,7 +59,7 @@ TEST_F(ChurnFixture, RelayCrashMidCallFailsOverToBackup) {
     // one second into the voice stream. The callee's keepalive gap fires,
     // the caller probes its ranked backups and the stream switches over.
     sim::FaultPlan plan;
-    plan.add({1000.0, sim::FaultKind::kActiveRelayCrash, 0, 0.0});
+    plan.add({1000.0, sim::FaultKind::kActiveRelayCrash, 0, 0.0, {}});
     system->arm_fault_plan(plan);
     auto outcome = system->call(s.caller, s.callee, 4000.0);
     EXPECT_TRUE(outcome.completed);

@@ -138,6 +138,100 @@ TEST(ConfigIo, RejectsBackoffShorterThanKeepalive) {
                   .has_value());
 }
 
+TEST(ConfigIo, ParsesQualityFailoverKnobs) {
+  auto config = parse_config(R"(
+asap.quality_failover.enabled = true
+asap.quality_failover.trigger_mos = 2.5
+asap.quality_failover.recover_mos = 3.1
+asap.quality_failover.window_ms = 600
+asap.quality_failover.cooldown_ms = 2500
+asap.quality_failover.ewma_alpha = 0.2
+asap.quality_failover.min_packets = 25
+)");
+  ASSERT_TRUE(config.has_value()) << (config ? "" : config.error().message);
+  EXPECT_TRUE(config->asap.quality_failover);
+  EXPECT_DOUBLE_EQ(config->asap.quality_trigger_mos, 2.5);
+  EXPECT_DOUBLE_EQ(config->asap.quality_recover_mos, 3.1);
+  EXPECT_DOUBLE_EQ(config->asap.quality_window_ms, 600.0);
+  EXPECT_DOUBLE_EQ(config->asap.quality_cooldown_ms, 2500.0);
+  EXPECT_DOUBLE_EQ(config->asap.quality_ewma_alpha, 0.2);
+  EXPECT_EQ(config->asap.quality_min_packets, 25u);
+  // Round-trips through serialize like every other key.
+  auto back = parse_config(serialize_config(*config));
+  ASSERT_TRUE(back.has_value()) << (back ? "" : back.error().message);
+  EXPECT_TRUE(back->asap.quality_failover);
+  EXPECT_DOUBLE_EQ(back->asap.quality_window_ms, 600.0);
+  EXPECT_EQ(back->asap.quality_min_packets, 25u);
+  // Off by default.
+  auto defaults = parse_config("");
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_FALSE(defaults->asap.quality_failover);
+}
+
+TEST(ConfigIo, RejectsInvertedQualityHysteresis) {
+  // trigger >= recover removes the hysteresis band: a path oscillating
+  // around one threshold would flap the route.
+  auto bad = parse_config(
+      "asap.quality_failover.enabled = 1\n"
+      "asap.quality_failover.trigger_mos = 3.5\n"
+      "asap.quality_failover.recover_mos = 3.0\n");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_NE(bad.error().message.find("trigger_mos"), std::string::npos);
+  EXPECT_NE(bad.error().message.find("hysteresis"), std::string::npos);
+  // Equal thresholds are rejected too (no band at all).
+  EXPECT_FALSE(parse_config("asap.quality_failover.enabled = 1\n"
+                            "asap.quality_failover.trigger_mos = 3.0\n"
+                            "asap.quality_failover.recover_mos = 3.0\n")
+                   .has_value());
+  // With the detector off the same values are inert and accepted.
+  EXPECT_TRUE(parse_config("asap.quality_failover.trigger_mos = 3.5\n"
+                           "asap.quality_failover.recover_mos = 3.0\n")
+                  .has_value());
+}
+
+TEST(ConfigIo, RejectsQualityWindowShorterThanKeepalive) {
+  auto bad = parse_config(
+      "asap.quality_failover.enabled = 1\n"
+      "asap.keepalive_interval_ms = 400\n"
+      "asap.failover_backoff_base_ms = 400\n"
+      "asap.quality_failover.window_ms = 200\n");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_NE(bad.error().message.find("window_ms"), std::string::npos);
+  EXPECT_NE(bad.error().message.find("keepalive"), std::string::npos);
+  // Equal is the boundary and allowed.
+  EXPECT_TRUE(parse_config("asap.quality_failover.enabled = 1\n"
+                           "asap.keepalive_interval_ms = 400\n"
+                           "asap.failover_backoff_base_ms = 400\n"
+                           "asap.quality_failover.window_ms = 400\n")
+                  .has_value());
+}
+
+TEST(ConfigIo, RejectsQualityCooldownShorterThanBackoff) {
+  auto bad = parse_config(
+      "asap.quality_failover.enabled = 1\n"
+      "asap.failover_backoff_base_ms = 1000\n"
+      "asap.quality_failover.cooldown_ms = 500\n");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_NE(bad.error().message.find("cooldown_ms"), std::string::npos);
+  EXPECT_NE(bad.error().message.find("backoff"), std::string::npos);
+}
+
+TEST(ConfigIo, RejectsBadQualityEstimatorKnobs) {
+  EXPECT_FALSE(parse_config("asap.quality_failover.enabled = 1\n"
+                            "asap.quality_failover.ewma_alpha = 0\n")
+                   .has_value());
+  EXPECT_FALSE(parse_config("asap.quality_failover.enabled = 1\n"
+                            "asap.quality_failover.ewma_alpha = 1.5\n")
+                   .has_value());
+  EXPECT_FALSE(parse_config("asap.quality_failover.enabled = 1\n"
+                            "asap.quality_failover.min_packets = 0\n")
+                   .has_value());
+  // alpha = 1 (no smoothing) is the boundary and allowed.
+  EXPECT_TRUE(parse_config("asap.quality_failover.enabled = 1\n"
+                           "asap.quality_failover.ewma_alpha = 1\n")
+                  .has_value());
+}
+
 TEST(ConfigIo, AdmissionControlRequiresCapacityModel) {
   // Class-of-service admission only acts through relay-capacity pressure;
   // enabling it with the capacity model off is a configuration error.

@@ -89,7 +89,7 @@ TEST_F(FailoverFixture, AllBackupsDeadExhaustsBackoffAndGivesUp) {
                        [this, b]() { system->fail_host(b); });
   }
   sim::FaultPlan plan;
-  plan.add({1000.0, sim::FaultKind::kActiveRelayCrash, 0, 0.0});
+  plan.add({1000.0, sim::FaultKind::kActiveRelayCrash, 0, 0.0, {}});
   system->arm_fault_plan(plan);
 
   std::uint64_t dead_before = system->metrics().value("failover.dead_backups");
@@ -121,7 +121,7 @@ TEST_F(FailoverFixture, NoBackupsZeroRetriesGivesUpImmediately) {
   EXPECT_TRUE(probe.backup_relays.empty()) << "max_backup_relays=0 retains none";
 
   sim::FaultPlan plan;
-  plan.add({1000.0, sim::FaultKind::kActiveRelayCrash, 0, 0.0});
+  plan.add({1000.0, sim::FaultKind::kActiveRelayCrash, 0, 0.0, {}});
   system->arm_fault_plan(plan);
   auto outcome = system->call(s.caller, s.callee, 3000.0);
   EXPECT_TRUE(outcome.completed);
@@ -149,7 +149,7 @@ TEST_F(FailoverFixture, SurrogateDeathMidCallTriggersReelectionAndRecovery) {
     if (probe.relay.relay1 == surrogate) continue;  // crash would kill both roles
 
     sim::FaultPlan plan;
-    plan.add({1000.0, sim::FaultKind::kActiveRelayCrash, 0, 0.0});
+    plan.add({1000.0, sim::FaultKind::kActiveRelayCrash, 0, 0.0, {}});
     system->arm_fault_plan(plan);
     system->fail_host(surrogate);  // dies before the refresh needs it
 

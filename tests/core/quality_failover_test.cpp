@@ -1,0 +1,298 @@
+// Gray-failure resilience: quality-triggered failover and stream hygiene
+// under adversarial network conditions.
+//
+// The hard keepalive detector only reacts to total silence; these tests pin
+// the receiver-side quality monitor's contract instead: a relay that stays
+// alive but goes gray (heavy loss, inflated delay) is evacuated onto the
+// ranked backups, a healthy world never triggers a false failover, the
+// hysteresis/cooldown bound route flapping, and duplicated/reordered voice
+// never corrupts the loss accounting.
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+#include "population/session_gen.h"
+#include "sim/fault_plan.h"
+
+namespace asap::core {
+namespace {
+
+population::WorldParams small_params(std::uint64_t seed = 191) {
+  population::WorldParams params;
+  params.seed = seed;
+  params.topo.total_as = 400;
+  params.pop.host_as_count = 100;
+  params.pop.total_peers = 1500;
+  params.pop.members_per_surrogate = 40;
+  return params;
+}
+
+AsapParams detector_params(bool enabled) {
+  AsapParams params;
+  params.lat_threshold_ms = 200.0;  // guarantee relay sessions exist
+  params.quality_failover = enabled;
+  params.quality_window_ms = 300.0;
+  params.quality_cooldown_ms = 2000.0;
+  params.quality_min_packets = 10;
+  return params;
+}
+
+// A relay that stays up but drops half its traffic: keepalive-style gap
+// detection (default 250 ms ≈ 12 consecutive losses) essentially never
+// fires, which is exactly the gray failure the quality monitor exists for.
+sim::DegradeProfile gray_profile() {
+  sim::DegradeProfile profile;
+  profile.loss = 0.5;
+  return profile;
+}
+
+struct QualityFailoverFixture : public ::testing::Test {
+  void build(const AsapParams& p, std::uint64_t seed = 191) {
+    params = p;
+    world = std::make_unique<population::World>(small_params(seed));
+    system = std::make_unique<AsapSystem>(*world, params, 2);
+    system->join_all();
+    Rng rng = world->fork_rng(2);
+    sessions = population::generate_sessions(*world, 2000, rng);
+    latent = population::latent_sessions(sessions, params.lat_threshold_ms);
+  }
+
+  bool find_relayed_session(population::Session& out) {
+    for (const auto& s : latent) {
+      auto outcome = system->call(s.caller, s.callee, 100.0);
+      if (!outcome.used_relay || !outcome.relay.relay1.valid()) continue;
+      if (outcome.backup_relays.empty()) continue;
+      out = s;
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<population::World> world;
+  AsapParams params;
+  std::unique_ptr<AsapSystem> system;
+  std::vector<population::Session> sessions;
+  std::vector<population::Session> latent;
+};
+
+TEST_F(QualityFailoverFixture, HealthyWorldNeverTriggersFalseFailover) {
+  build(detector_params(true));
+  std::size_t calls = 0;
+  for (const auto& s : latent) {
+    auto outcome = system->call(s.caller, s.callee, 1000.0);
+    EXPECT_EQ(outcome.quality_failovers, 0u)
+        << "healthy stream evacuated between " << s.caller.value() << " and "
+        << s.callee.value();
+    EXPECT_EQ(outcome.failovers, 0u);
+    if (++calls == 15) break;
+  }
+  ASSERT_GT(calls, 0u) << "world has no latent sessions to exercise";
+  EXPECT_EQ(system->metrics().value("quality_failover.triggers"), 0u);
+}
+
+TEST_F(QualityFailoverFixture, DetectorOffMatchesHistoricalOutcomesBitForBit) {
+  // The monitor must be purely observational until it fires: on a healthy
+  // world, detector-on and detector-off runs are byte-identical.
+  auto run = [](bool enabled) {
+    auto world = std::make_unique<population::World>(small_params(777));
+    AsapParams params = detector_params(enabled);
+    auto system = std::make_unique<AsapSystem>(*world, params, 2);
+    system->join_all();
+    Rng rng = world->fork_rng(2);
+    auto sessions = population::generate_sessions(*world, 500, rng);
+    auto latent = population::latent_sessions(sessions, params.lat_threshold_ms);
+    std::vector<CallOutcome> outcomes;
+    for (std::size_t i = 0; i < std::min<std::size_t>(latent.size(), 5); ++i) {
+      outcomes.push_back(system->call(latent[i].caller, latent[i].callee, 800.0));
+    }
+    return outcomes;
+  };
+  auto off = run(false);
+  auto on = run(true);
+  ASSERT_EQ(off.size(), on.size());
+  ASSERT_FALSE(off.empty());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    SCOPED_TRACE("call " + std::to_string(i));
+    EXPECT_EQ(off[i].relay.relay1, on[i].relay.relay1);
+    EXPECT_EQ(off[i].voice_packets_received, on[i].voice_packets_received);
+    EXPECT_EQ(off[i].mean_voice_one_way_ms, on[i].mean_voice_one_way_ms);
+    EXPECT_EQ(off[i].mos_pre_fault, on[i].mos_pre_fault);
+    EXPECT_EQ(off[i].control_bytes, on[i].control_bytes);
+    EXPECT_EQ(on[i].quality_failovers, 0u);
+  }
+}
+
+TEST_F(QualityFailoverFixture, GrayRelayIsEvacuatedOntoBackups) {
+  build(detector_params(true));
+  population::Session s;
+  if (!find_relayed_session(s)) {
+    GTEST_SKIP() << "no relayed session with backups found in this world";
+  }
+  sim::FaultPlan plan;
+  sim::FaultEvent degrade;
+  degrade.at_ms = 400.0;  // strike after the stream settles
+  degrade.kind = sim::FaultKind::kActiveRelayDegrade;
+  degrade.degrade = gray_profile();
+  plan.add(degrade);
+  system->arm_fault_plan(plan);
+
+  auto outcome = system->call(s.caller, s.callee, 4000.0);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_GE(outcome.quality_failovers, 1u) << "the monitor never fired on 50% loss";
+  EXPECT_GE(outcome.failovers, 1u) << "the trigger must commit a switchover";
+  EXPECT_LT(outcome.quality_detection_ms, 4000.0);
+  EXPECT_GT(outcome.voice_packets_post_failover, 0u)
+      << "the evacuated stream must flow again";
+  EXPECT_GE(system->metrics().value("quality_failover.triggers"), 1u);
+  EXPECT_GT(system->metrics().value("net.degrade_drops"), 0u);
+  // Post-switch segment rides a clean backup: near-lossless MOS.
+  EXPECT_GT(outcome.mos_post_failover, 0.0);
+}
+
+TEST_F(QualityFailoverFixture, DetectorOffRidesTheGrayRelayDown) {
+  build(detector_params(false));
+  population::Session s;
+  if (!find_relayed_session(s)) {
+    GTEST_SKIP() << "no relayed session with backups found in this world";
+  }
+  sim::FaultPlan plan;
+  sim::FaultEvent degrade;
+  degrade.at_ms = 400.0;
+  degrade.kind = sim::FaultKind::kActiveRelayDegrade;
+  degrade.degrade = gray_profile();
+  plan.add(degrade);
+  system->arm_fault_plan(plan);
+
+  auto outcome = system->call(s.caller, s.callee, 4000.0);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.quality_failovers, 0u);
+  // The hard detector sees keepalive-length silences only; at 50% loss the
+  // stream essentially never goes silent for 12 packet slots, so the call
+  // stays on the gray relay and loses roughly half its post-strike voice.
+  EXPECT_LT(outcome.voice_packets_received, outcome.voice_packets_sent);
+  EXPECT_GT(system->metrics().value("net.degrade_drops"), 0u);
+  EXPECT_EQ(system->metrics().value("quality_failover.triggers"), 0u);
+}
+
+TEST_F(QualityFailoverFixture, CooldownAndHysteresisBoundFlapping) {
+  AsapParams p = detector_params(true);
+  p.quality_cooldown_ms = 2000.0;
+  build(p);
+  population::Session s;
+  if (!find_relayed_session(s)) {
+    GTEST_SKIP() << "no relayed session with backups found in this world";
+  }
+  // Oscillating path-level degradation: 400 ms gray bursts at 50% loss with
+  // healthy gaps between them, hitting whatever route the call is on.
+  sim::FaultPlan plan;
+  for (int burst = 0; burst < 6; ++burst) {
+    sim::FaultEvent start;
+    start.at_ms = 500.0 + 800.0 * burst;
+    start.kind = sim::FaultKind::kNodeDegradeStart;
+    start.target = sim::kDegradeAllTraffic;
+    start.degrade = gray_profile();
+    plan.add(start);
+    sim::FaultEvent end = start;
+    end.at_ms = start.at_ms + 400.0;
+    end.kind = sim::FaultKind::kNodeDegradeEnd;
+    plan.add(end);
+  }
+  system->arm_fault_plan(plan);
+
+  auto outcome = system->call(s.caller, s.callee, 6000.0);
+  EXPECT_TRUE(outcome.completed);
+  // Six bursts, but at most one trigger per cooldown window: the route can
+  // flap at most ceil(stream / cooldown) times, not once per burst.
+  EXPECT_LE(outcome.quality_failovers, 3u);
+  EXPECT_EQ(system->metrics().value("quality_failover.triggers"),
+            outcome.quality_failovers);
+}
+
+TEST_F(QualityFailoverFixture, DuplicatedAndReorderedVoiceKeepsAccountingExact) {
+  build(detector_params(true));
+  ASSERT_FALSE(latent.empty());
+  // Path-level dup/reorder with zero loss: every frame eventually arrives.
+  sim::FaultEvent start;
+  start.kind = sim::FaultKind::kNodeDegradeStart;
+  start.target = sim::kDegradeAllTraffic;
+  start.degrade.duplicate = 0.4;
+  start.degrade.reorder = 0.25;
+  system->apply_fault(start);
+
+  bool exercised = false;
+  for (std::size_t i = 0; i < std::min<std::size_t>(latent.size(), 3); ++i) {
+    auto outcome = system->call(latent[i].caller, latent[i].callee, 2000.0);
+    EXPECT_TRUE(outcome.completed);
+    // Dedup: duplicates never inflate the receive count past the send count,
+    // and with zero loss every unique frame lands exactly once.
+    EXPECT_EQ(outcome.voice_packets_received, outcome.voice_packets_sent);
+    EXPECT_EQ(outcome.packets_lost_in_failover, 0u)
+        << "reordering must not be double-counted as loss";
+    EXPECT_EQ(outcome.quality_failovers, 0u)
+        << "lossless dup/reorder is not a quality failure";
+    exercised |= outcome.duplicate_voice_packets > 0 &&
+                 outcome.reordered_voice_packets > 0;
+  }
+  EXPECT_TRUE(exercised) << "the adversarial path never duplicated+reordered";
+  EXPECT_GT(system->metrics().value("net.duplicated"), 0u);
+  EXPECT_GT(system->metrics().value("net.reordered"), 0u);
+
+  sim::FaultEvent end = start;
+  end.kind = sim::FaultKind::kNodeDegradeEnd;
+  system->apply_fault(end);
+}
+
+TEST(QualityFailoverDeterminism, GrayRunsAreBitIdentical) {
+  auto run = []() {
+    auto world = std::make_unique<population::World>(small_params(424242));
+    AsapParams params;
+    params.lat_threshold_ms = 200.0;
+    params.quality_failover = true;
+    params.quality_window_ms = 300.0;
+    auto system = std::make_unique<AsapSystem>(*world, params, 2);
+    system->join_all();
+    Rng rng = world->fork_rng(2);
+    auto sessions = population::generate_sessions(*world, 500, rng);
+    auto latent = population::latent_sessions(sessions, params.lat_threshold_ms);
+
+    sim::FaultPlanParams fp;
+    fp.horizon_ms = 3000.0;
+    fp.node_degrades = 3;
+    fp.active_relay_degrades = 1;
+    fp.degrade_profile.loss = 0.4;
+    fp.degrade_profile.jitter_ms = 15.0;
+    fp.degrade_profile.duplicate = 0.1;
+    fp.degrade_profile.reorder = 0.1;
+    fp.degrade_profile.corrupt = 0.05;
+    Rng fault_rng = world->fork_rng(0xFEED);
+    sim::FaultPlan plan = sim::FaultPlan::generate(
+        fp, world->pop().peer_count(), world->pop().populated_clusters().size(),
+        fault_rng);
+    system->arm_fault_plan(plan);
+
+    std::vector<CallOutcome> outcomes;
+    for (std::size_t i = 0; i < std::min<std::size_t>(latent.size(), 3); ++i) {
+      outcomes.push_back(system->call(latent[i].caller, latent[i].callee, 2000.0));
+    }
+    return outcomes;
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("call " + std::to_string(i));
+    EXPECT_EQ(a[i].quality_failovers, b[i].quality_failovers);
+    EXPECT_EQ(a[i].quality_detection_ms, b[i].quality_detection_ms);
+    EXPECT_EQ(a[i].duplicate_voice_packets, b[i].duplicate_voice_packets);
+    EXPECT_EQ(a[i].reordered_voice_packets, b[i].reordered_voice_packets);
+    EXPECT_EQ(a[i].failovers, b[i].failovers);
+    EXPECT_EQ(a[i].voice_packets_received, b[i].voice_packets_received);
+    EXPECT_EQ(a[i].packets_lost_in_failover, b[i].packets_lost_in_failover);
+    EXPECT_EQ(a[i].mos_pre_fault, b[i].mos_pre_fault);
+    EXPECT_EQ(a[i].mos_post_failover, b[i].mos_post_failover);
+    EXPECT_EQ(a[i].control_bytes, b[i].control_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace asap::core

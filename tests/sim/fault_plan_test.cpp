@@ -62,6 +62,9 @@ TEST(FaultPlan, EventsAreTimeSortedAndCountsMatch) {
       case FaultKind::kActiveRelayCrash: ++relay; break;
       case FaultKind::kLossBurstStart: ++bursts; break;
       case FaultKind::kLossBurstEnd: break;
+      case FaultKind::kNodeDegradeStart: break;
+      case FaultKind::kNodeDegradeEnd: break;
+      case FaultKind::kActiveRelayDegrade: break;
     }
   }
   EXPECT_EQ(crashes, params.host_crashes);
@@ -95,10 +98,10 @@ TEST(FaultPlan, RecoveriesFollowTheirCrashes) {
 
 TEST(FaultPlan, AddKeepsOrderAndArmSkipsRelayCrashes) {
   FaultPlan plan;
-  plan.add({500.0, FaultKind::kHostCrash, 3, 0.0});
-  plan.add({100.0, FaultKind::kLossBurstStart, 0, 0.4});
-  plan.add({300.0, FaultKind::kActiveRelayCrash, 0, 0.0});
-  plan.add({200.0, FaultKind::kLossBurstEnd, 0, 0.0});
+  plan.add({500.0, FaultKind::kHostCrash, 3, 0.0, {}});
+  plan.add({100.0, FaultKind::kLossBurstStart, 0, 0.4, {}});
+  plan.add({300.0, FaultKind::kActiveRelayCrash, 0, 0.0, {}});
+  plan.add({200.0, FaultKind::kLossBurstEnd, 0, 0.0, {}});
   ASSERT_EQ(plan.events().size(), 4u);
   EXPECT_EQ(plan.events()[0].kind, FaultKind::kLossBurstStart);
   EXPECT_EQ(plan.events()[3].kind, FaultKind::kHostCrash);
@@ -118,6 +121,79 @@ TEST(FaultPlan, KindNamesAreStable) {
   EXPECT_EQ(fault_kind_name(FaultKind::kHostCrash), "host-crash");
   EXPECT_EQ(fault_kind_name(FaultKind::kActiveRelayCrash), "active-relay-crash");
   EXPECT_EQ(fault_kind_name(FaultKind::kLossBurstEnd), "loss-burst-end");
+  EXPECT_EQ(fault_kind_name(FaultKind::kNodeDegradeStart), "node-degrade-start");
+  EXPECT_EQ(fault_kind_name(FaultKind::kNodeDegradeEnd), "node-degrade-end");
+  EXPECT_EQ(fault_kind_name(FaultKind::kActiveRelayDegrade), "active-relay-degrade");
+}
+
+TEST(FaultPlan, DegradeEpisodesPairStartAndEndOnOneTarget) {
+  Rng rng(21);
+  FaultPlanParams params;
+  params.horizon_ms = 10000.0;
+  params.node_degrades = 5;
+  params.degrade_mean_ms = 1500.0;
+  params.degrade_profile.loss = 0.4;
+  params.degrade_profile.ramp_ms = 500.0;
+  params.degrade_profile.jitter_ms = 25.0;
+  FaultPlan plan = FaultPlan::generate(params, 200, 10, rng);
+
+  std::vector<const FaultEvent*> starts;
+  std::vector<const FaultEvent*> ends;
+  for (const auto& e : plan.events()) {
+    if (e.kind == FaultKind::kNodeDegradeStart) starts.push_back(&e);
+    if (e.kind == FaultKind::kNodeDegradeEnd) ends.push_back(&e);
+  }
+  ASSERT_EQ(starts.size(), params.node_degrades);
+  ASSERT_EQ(ends.size(), params.node_degrades);
+  for (const FaultEvent* start : starts) {
+    EXPECT_LT(start->target, 200u);
+    // The profile rides on the start event, verbatim.
+    EXPECT_DOUBLE_EQ(start->degrade.loss, 0.4);
+    EXPECT_DOUBLE_EQ(start->degrade.ramp_ms, 500.0);
+    EXPECT_DOUBLE_EQ(start->degrade.jitter_ms, 25.0);
+    // Some end event for the same target strictly after the start.
+    bool ended = false;
+    for (const FaultEvent* end : ends) {
+      ended |= end->target == start->target && end->at_ms > start->at_ms;
+    }
+    EXPECT_TRUE(ended) << "degrade of host " << start->target << " never ends";
+  }
+}
+
+TEST(FaultPlan, ActiveRelayDegradesDrawAFiniteDuration) {
+  Rng rng(22);
+  FaultPlanParams params;
+  params.active_relay_degrades = 3;
+  params.degrade_profile.loss = 0.6;  // duration_ms left 0: generator draws it
+  FaultPlan plan = FaultPlan::generate(params, 100, 10, rng);
+  std::size_t seen = 0;
+  for (const auto& e : plan.events()) {
+    if (e.kind != FaultKind::kActiveRelayDegrade) continue;
+    ++seen;
+    EXPECT_GT(e.degrade.duration_ms, 0.0)
+        << "an episode with no explicit duration must not degrade forever";
+    EXPECT_DOUBLE_EQ(e.degrade.loss, 0.6);
+  }
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(FaultPlan, ArmSkipsActiveRelayDegrades) {
+  FaultPlan plan;
+  FaultEvent degrade;
+  degrade.at_ms = 100.0;
+  degrade.kind = FaultKind::kActiveRelayDegrade;
+  degrade.degrade.loss = 0.5;
+  plan.add(degrade);
+  plan.add({200.0, FaultKind::kHostCrash, 1, 0.0, {}});
+
+  EventQueue queue;
+  std::vector<FaultKind> applied;
+  plan.arm(queue, [&](const FaultEvent& e) { applied.push_back(e.kind); });
+  queue.run();
+  // Like kActiveRelayCrash, the degrade's clock starts at a call's voice
+  // stream; only the protocol layer can arm it.
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_EQ(applied[0], FaultKind::kHostCrash);
 }
 
 }  // namespace

@@ -89,6 +89,70 @@ TEST_F(NetworkFixture, SetHandlerReplacesBehavior) {
   EXPECT_EQ(new_hits, 1);
 }
 
+TEST_F(NetworkFixture, PerturbHookInflatesDelayAndDuplicates) {
+  EventQueue q;
+  StringNetwork net(q, *oracle);
+  std::vector<Millis> arrivals;
+  NodeId a = net.add_node(topo.stubs[0], 1.0, [](NodeId, const std::string&) {});
+  NodeId b = net.add_node(topo.stubs[1], 1.0,
+                          [&](NodeId, const std::string&) { arrivals.push_back(q.now()); });
+  Millis base = net.delivery_latency_ms(a, b);
+
+  net.set_perturb_fn([](NodeId, NodeId, MessageCategory) {
+    StringNetwork::Perturbation p;
+    p.extra_delay_ms = 40.0;
+    p.duplicate = true;
+    p.duplicate_lag_ms = 10.0;
+    return p;
+  });
+  net.send(a, b, MessageCategory::kVoice, "v");
+  q.run();
+  // The original copy lands late by the perturbation, the duplicate 10 ms
+  // after it; the sender still paid for exactly one message.
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], base + 40.0, 1e-9);
+  EXPECT_NEAR(arrivals[1], base + 50.0, 1e-9);
+  EXPECT_EQ(net.counter().count(MessageCategory::kVoice), 1u);
+}
+
+TEST_F(NetworkFixture, MutateHookCanRewriteOrDropInFlight) {
+  EventQueue q;
+  StringNetwork net(q, *oracle);
+  std::vector<std::string> received;
+  NodeId a = net.add_node(topo.stubs[0], 1.0, [](NodeId, const std::string&) {});
+  NodeId b = net.add_node(topo.stubs[1], 1.0,
+                          [&](NodeId, const std::string& m) { received.push_back(m); });
+  net.set_mutate_fn([](NodeId, NodeId, MessageCategory, std::string& payload) {
+    if (payload == "kill") return false;  // corruption destroyed the frame
+    payload += "!";
+    return true;
+  });
+  net.send(a, b, MessageCategory::kVoice, "kill");
+  net.send(a, b, MessageCategory::kVoice, "warp");
+  q.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "warp!");
+  // Both sends were counted: the sender paid for the corrupted frame too.
+  EXPECT_EQ(net.counter().count(MessageCategory::kVoice), 2u);
+}
+
+TEST_F(NetworkFixture, UnhookedSendIsUnchangedByHookSupport) {
+  // A default-constructed Perturbation delivers exactly like before the
+  // hooks existed; an installed hook returning defaults is also a no-op.
+  EventQueue q;
+  StringNetwork net(q, *oracle);
+  Millis at = -1.0;
+  NodeId a = net.add_node(topo.stubs[0], 2.0, [](NodeId, const std::string&) {});
+  NodeId b = net.add_node(topo.stubs[1], 3.0,
+                          [&](NodeId, const std::string&) { at = q.now(); });
+  net.set_perturb_fn(
+      [](NodeId, NodeId, MessageCategory) { return StringNetwork::Perturbation{}; });
+  net.set_mutate_fn([](NodeId, NodeId, MessageCategory, std::string&) { return true; });
+  net.send(a, b, MessageCategory::kProbe, "x");
+  q.run();
+  EXPECT_NEAR(at, net.delivery_latency_ms(a, b), 1e-9);
+}
+
 TEST(MessageCounter, DiffSince) {
   MessageCounter a;
   a.record(MessageCategory::kJoin);

@@ -80,5 +80,77 @@ TEST(JitterBuffer, DeterministicPerRngState) {
   EXPECT_EQ(a.play(30.0, emodel).mos, b.play(30.0, emodel).mos);
 }
 
+TEST(JitterBuffer, CollapseArrivalsDedupesAndKeepsEarliestCopy) {
+  // A degraded path delivered frame 1 twice and frame 2 out of order; the
+  // playout buffer must hear each frame once, at its earliest copy.
+  std::vector<ArrivalEvent> events = {
+      {0, 5.0},
+      {2, 90.0},  // reordered: arrives before frame 1's copies
+      {1, 30.0},
+      {1, 12.0},  // duplicate with a better (earlier) arrival
+      {1, 30.0},  // exact duplicate
+  };
+  auto slots = JitterBufferSim::collapse_arrivals(4, events);
+  ASSERT_EQ(slots.size(), 4u);
+  EXPECT_DOUBLE_EQ(slots[0], 5.0);
+  EXPECT_DOUBLE_EQ(slots[1], 12.0) << "earliest copy wins";
+  EXPECT_DOUBLE_EQ(slots[2], 90.0);
+  EXPECT_DOUBLE_EQ(slots[3], -1.0) << "never-arrived frame stays lost";
+}
+
+TEST(JitterBuffer, CollapseArrivalsIgnoresCorruptedSequences) {
+  // Out-of-range sequence numbers (corrupted headers) and negative delays
+  // must not write anywhere.
+  std::vector<ArrivalEvent> events = {{0, 3.0}, {7, 1.0}, {0xFFFFFFFFu, 2.0}, {1, -4.0}};
+  auto slots = JitterBufferSim::collapse_arrivals(2, events);
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_DOUBLE_EQ(slots[0], 3.0);
+  EXPECT_DOUBLE_EQ(slots[1], -1.0);
+}
+
+TEST(JitterBuffer, DuplicatesNeverDoubleCountLossesOrReceipts) {
+  // The same stream twice: once clean, once with every frame duplicated and
+  // the copies shuffled. After collapsing, loss and late-loss accounting
+  // must be identical — duplication can only help (a copy may be earlier).
+  std::vector<ArrivalEvent> clean;
+  std::vector<ArrivalEvent> noisy;
+  for (std::uint32_t seq = 0; seq < 200; ++seq) {
+    double extra = (seq % 7 == 3) ? 60.0 : 4.0;  // some frames jittered hard
+    if (seq % 11 == 5) continue;                 // some frames network-lost
+    clean.push_back({seq, extra});
+    noisy.push_back({seq, extra + 15.0});  // late copy first
+    noisy.push_back({seq, extra});
+  }
+  // Shuffle the noisy log deterministically (reordering on the wire).
+  Rng rng(9);
+  for (std::size_t i = noisy.size(); i > 1; --i) {
+    std::swap(noisy[i - 1], noisy[rng.below(i)]);
+  }
+  EModel emodel(kG729aVad);
+  JitterBufferSim a(60.0, JitterBufferSim::collapse_arrivals(200, clean));
+  JitterBufferSim b(60.0, JitterBufferSim::collapse_arrivals(200, noisy));
+  for (Millis depth : {0.0, 20.0, 50.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.play(depth, emodel).late_loss, b.play(depth, emodel).late_loss);
+    EXPECT_DOUBLE_EQ(a.play(depth, emodel).mos, b.play(depth, emodel).mos);
+  }
+}
+
+TEST(JitterBuffer, ExplicitArrivalsBoundPlayoutDelay) {
+  // With explicit arrivals the deepest useful buffer is the worst extra
+  // delay: at that depth nothing is late and the playout delay is bounded.
+  std::vector<double> slots = {5.0, 80.0, 3.0, -1.0, 40.0};
+  JitterBufferSim sim(50.0, slots);
+  EModel emodel(kG729aVad);
+  auto deep = sim.play(80.0, emodel);
+  EXPECT_DOUBLE_EQ(deep.late_loss, 0.0);
+  EXPECT_DOUBLE_EQ(deep.mouth_to_ear_ms, 130.0);
+  // With no buffer every arrived frame (positive extra delay) is late; the
+  // network-lost slot is not double-counted as a late loss.
+  auto shallow = sim.play(0.0, emodel);
+  EXPECT_NEAR(shallow.late_loss, 4.0 / 5.0, 1e-12);
+  auto best = sim.best_depth(200.0, 5.0, emodel);
+  EXPECT_LE(best.buffer_depth_ms, 80.0) << "depth beyond the worst jitter buys nothing";
+}
+
 }  // namespace
 }  // namespace asap::voip
