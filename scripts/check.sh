@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Tier-1 gate plus sanitizer passes over the concurrency/robustness tests.
 #
-#   scripts/check.sh [--mode release|asan|ubsan|tsan|memory|all] [build-dir-prefix]
+#   scripts/check.sh [--mode release|asan|ubsan|tsan|memory|integration|all] [build-dir-prefix]
 #
 #   release — default config, full ctest suite (the tier-1 gate)
 #   asan    — -DASAP_SANITIZE=address, the `sanitize`-labeled tests
@@ -15,7 +15,12 @@
 #             the ceiling or the cache overruns its budget. RSS is printed
 #             but never gated on (machine-dependent) and never enters the
 #             golden digests.
-#   all     — release + asan + ubsan + tsan in sequence (the default)
+#   integration — default config, the `integration`-labeled tests only (the
+#             socket loopback harness: relay + endpoints over real UDP on
+#             127.0.0.1); per-test timeout 120 s, retried once — ephemeral
+#             ports make collisions rare but not impossible
+#   all     — release + asan + ubsan + tsan in sequence (the default;
+#             release's full suite already includes the integration label)
 #
 # The sanitizer passes rerun the tests that exercise timers, fault injection
 # and shared caches, where lifetime and data-race bugs would hide; the
@@ -36,9 +41,9 @@ case "${1:-}" in
     ;;
 esac
 case "$MODE" in
-  release|asan|ubsan|tsan|memory|all) ;;
+  release|asan|ubsan|tsan|memory|integration|all) ;;
   *)
-    echo "unknown mode: $MODE (release|asan|ubsan|tsan|memory|all)" >&2
+    echo "unknown mode: $MODE (release|asan|ubsan|tsan|memory|integration|all)" >&2
     exit 2
     ;;
 esac
@@ -85,6 +90,15 @@ if [ "$MODE" = "tsan" ] || [ "$MODE" = "all" ]; then
   run_pass "$PREFIX-tsan" -DASAP_SANITIZE=thread
   echo "== tsan: ctest -L sanitize"
   ctest --test-dir "$PREFIX-tsan" -L sanitize --output-on-failure
+fi
+
+if [ "$MODE" = "integration" ]; then
+  run_pass "$PREFIX"
+  echo "== integration: ctest -L integration"
+  # Retry once on failure: the loopback harness binds ephemeral ports, so a
+  # collision with another process is possible (rare) and transient.
+  ctest --test-dir "$PREFIX" -L integration --timeout 120 --output-on-failure ||
+    ctest --test-dir "$PREFIX" --rerun-failed --timeout 120 --output-on-failure
 fi
 
 if [ "$MODE" = "memory" ]; then

@@ -1,0 +1,104 @@
+#!/usr/bin/env sh
+# Loopback relay soak with an RSS leak gate.
+#
+#   scripts/soak_loopback.sh [build-dir]
+#
+# Starts one asap-relay on 127.0.0.1 and drives pair calls
+# (asap-endpoint --role pair) through it back-to-back for SOAK_SECONDS
+# (default 60). Every call must complete. At the end the relay's resident
+# set must not have grown past SOAK_RSS_BUDGET_KB (default 8192 kB) over
+# its post-warmup baseline — a per-session leak in the binding table or
+# the metrics registry shows up here long before it would in production.
+#
+# Artifacts (SOAK_OUT, default ./soak-artifacts): the relay's relayd.*
+# metrics JSON, its VmHWM/VmRSS readings, the relay log, and summary.json
+# with the call and memory tallies.
+#
+# Environment:
+#   SOAK_SECONDS        soak duration (default 60)
+#   SOAK_RSS_BUDGET_KB  allowed RSS growth over baseline (default 8192)
+#   SOAK_OUT            artifact directory (default ./soak-artifacts)
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+RELAY="$BUILD/src/relay_daemon/asap-relay"
+ENDPOINT="$BUILD/src/relay_daemon/asap-endpoint"
+SECS=${SOAK_SECONDS:-60}
+BUDGET_KB=${SOAK_RSS_BUDGET_KB:-8192}
+OUT=${SOAK_OUT:-"$PWD/soak-artifacts"}
+
+if [ ! -x "$RELAY" ] || [ ! -x "$ENDPOINT" ]; then
+  echo "asap-relay/asap-endpoint not built under $BUILD — build first" >&2
+  exit 2
+fi
+mkdir -p "$OUT"
+
+# Short idle timeout: the soak cycles session ids, so reaping must keep the
+# binding table (and its memory) flat — that is part of what is under test.
+"$RELAY" --print-port --idle-timeout-ms 2000 \
+  --metrics-out "$OUT/relayd-metrics.json" \
+  >"$OUT/port.txt" 2>"$OUT/relay.log" &
+RELAY_PID=$!
+trap 'kill "$RELAY_PID" 2>/dev/null || true' EXIT
+
+# Wait for the port line (the daemon prints it once bound).
+tries=0
+while [ ! -s "$OUT/port.txt" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -gt 50 ] && { echo "relay did not start" >&2; exit 1; }
+  sleep 0.1
+done
+PORT=$(head -n 1 "$OUT/port.txt")
+
+rss_kb() { awk '/^VmRSS/{print $2}' "/proc/$1/status"; }
+hwm_kb() { awk '/^VmHWM/{print $2}' "/proc/$1/status"; }
+
+# Warm-up call, then baseline: first-call allocations (buffers, metric
+# cells) are not leaks.
+"$ENDPOINT" --relay "127.0.0.1:$PORT" --role pair --duration-ms 200 \
+  --keepalive-ms 50 >/dev/null
+BASE_RSS=$(rss_kb "$RELAY_PID")
+
+CALLS=0
+FAILS=0
+DEADLINE=$(($(date +%s) + SECS))
+while [ "$(date +%s)" -lt "$DEADLINE" ]; do
+  SESSION=$((CALLS % 997 + 1))
+  if "$ENDPOINT" --relay "127.0.0.1:$PORT" --role pair --session "$SESSION" \
+      --duration-ms 200 --keepalive-ms 50 >/dev/null 2>&1; then
+    CALLS=$((CALLS + 1))
+  else
+    FAILS=$((FAILS + 1))
+  fi
+done
+
+END_RSS=$(rss_kb "$RELAY_PID")
+HWM=$(hwm_kb "$RELAY_PID")
+GROWTH=$((END_RSS - BASE_RSS))
+
+kill -INT "$RELAY_PID"
+wait "$RELAY_PID" 2>/dev/null || true
+trap - EXIT
+
+cat >"$OUT/summary.json" <<EOF
+{"soak_seconds": $SECS, "calls_completed": $CALLS, "calls_failed": $FAILS,
+ "relay_rss_baseline_kb": $BASE_RSS, "relay_rss_end_kb": $END_RSS,
+ "relay_rss_growth_kb": $GROWTH, "relay_vmhwm_kb": $HWM,
+ "rss_budget_kb": $BUDGET_KB}
+EOF
+cat "$OUT/summary.json"
+
+if [ "$CALLS" -eq 0 ]; then
+  echo "soak FAILED: no call completed" >&2
+  exit 1
+fi
+if [ "$FAILS" -gt 0 ]; then
+  echo "soak FAILED: $FAILS of $((CALLS + FAILS)) calls failed" >&2
+  exit 1
+fi
+if [ "$GROWTH" -gt "$BUDGET_KB" ]; then
+  echo "soak FAILED: relay RSS grew ${GROWTH} kB (> ${BUDGET_KB} kB budget) — leak?" >&2
+  exit 1
+fi
+echo "== soak passed: $CALLS calls, RSS growth ${GROWTH} kB (budget ${BUDGET_KB} kB)"

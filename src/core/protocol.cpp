@@ -15,7 +15,8 @@ std::string_view wire_kind_name(std::size_t variant_index) {
       "close_set_reply",   "publish_info",   "surrogate_failure_report",
       "surrogate_update",  "probe",          "probe_reply",
       "call_setup",        "call_accept",    "voice_packet",
-      "relay_failure_notice", "probe_busy"};
+      "relay_failure_notice", "probe_busy",
+      "rendezvous_register",  "rendezvous_bound"};
   static_assert(std::size(kNames) == std::variant_size_v<ProtocolPayload>);
   return variant_index < std::size(kNames) ? kNames[variant_index] : "?";
 }
@@ -73,6 +74,14 @@ ProtocolCounters::ProtocolCounters(MetricsRegistry& registry, bool capacity_metr
     // ProbeBusy frames only exist under the capacity model; keep the series
     // out of capacity-off digests.
     if (!capacity_metrics && wire_kind_name(k) == "probe_busy") continue;
+    // The rendezvous pair only exists between a real endpoint and the
+    // asap-relay daemon, which counts them in its own relayd.* registry
+    // (src/relay_daemon); the simulation never sends them, so the handles
+    // stay detached and the sim digest key set is unchanged.
+    if (wire_kind_name(k) == "rendezvous_register" ||
+        wire_kind_name(k) == "rendezvous_bound") {
+      continue;
+    }
     wire_by_kind[k] = registry.counter("wire." + std::string(wire_kind_name(k)));
   }
 }
@@ -1064,6 +1073,14 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
     } else if (call == nullptr && grayfail_active()) {
       grayfail().unknown_session.inc();
     }
+    return;
+  }
+  if (std::get_if<RendezvousRegister>(&payload) != nullptr ||
+      std::get_if<RendezvousBound>(&payload) != nullptr) {
+    // Rendezvous frames are addressed to an asap-relay daemon, never to a
+    // protocol host; one arriving here (misdirected or fuzzed) is counted
+    // and dropped like any other frame for a session we don't serve.
+    if (grayfail_active()) grayfail().unknown_session.inc();
     return;
   }
 }

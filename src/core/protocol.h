@@ -107,11 +107,34 @@ struct RelayFailureNotice {
 struct ProbeBusy {
   std::uint64_t token;
 };
+// Endpoint -> relay daemon (real UDP datapath, DESIGN.md §14): dial out of
+// the NAT and register this endpoint as one leg of `session`. The relay
+// learns the endpoint's public (observed) source address from the datagram
+// itself; re-sending every keepalive interval refreshes the NAT binding and
+// doubles as the relay liveness check. `node` is the registrant's protocol
+// node id, so a NAT rebinding (same node, new source address) is
+// distinguishable from a second endpoint joining the session.
+struct RendezvousRegister {
+  SessionId session;
+  std::uint32_t node = 0;
+};
+// Relay daemon -> endpoint: registration acknowledged. Carries the
+// registrant's own source address as the relay observed it (the reflexive
+// address, STUN-style) and whether the session's other leg has registered —
+// once `peer_present` is set, session frames are forwarded between the two
+// observed bindings.
+struct RendezvousBound {
+  SessionId session;
+  std::uint32_t observed_ip = 0;    // registrant's source IPv4, host order
+  std::uint16_t observed_port = 0;  // registrant's source UDP port
+  std::uint8_t peer_present = 0;    // 1 once both legs are bound
+};
 
 using ProtocolPayload =
     std::variant<JoinRequest, JoinReply, CloseSetRequest, CloseSetReply, PublishInfo,
                  SurrogateFailureReport, SurrogateUpdate, Probe, ProbeReply, CallSetup,
-                 CallAccept, VoicePacket, RelayFailureNotice, ProbeBusy>;
+                 CallAccept, VoicePacket, RelayFailureNotice, ProbeBusy,
+                 RendezvousRegister, RendezvousBound>;
 using ProtocolNetwork = sim::Network<ProtocolPayload>;
 
 // Probe tokens carry the probe's intent in their top bit: relay-check

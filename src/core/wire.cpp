@@ -21,6 +21,8 @@ enum class Tag : std::uint8_t {
   kVoicePacket = 12,
   kRelayFailureNotice = 13,
   kProbeBusy = 14,
+  kRendezvousRegister = 15,
+  kRendezvousBound = 16,
 };
 
 class Writer {
@@ -204,6 +206,16 @@ std::vector<std::uint8_t> encode(const ProtocolPayload& payload) {
         } else if constexpr (std::is_same_v<T, ProbeBusy>) {
           w.u8(static_cast<std::uint8_t>(Tag::kProbeBusy));
           w.u64(msg.token);
+        } else if constexpr (std::is_same_v<T, RendezvousRegister>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kRendezvousRegister));
+          w.u32(msg.session.value());
+          w.u32(msg.node);
+        } else if constexpr (std::is_same_v<T, RendezvousBound>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kRendezvousBound));
+          w.u32(msg.session.value());
+          w.u32(msg.observed_ip);
+          w.u16(msg.observed_port);
+          w.u8(msg.peer_present);
         }
       },
       payload);
@@ -319,6 +331,25 @@ Expected<ProtocolPayload> decode(std::span<const std::uint8_t> bytes) {
       if (!r.u64(msg.token)) return make_error("wire: truncated ProbeBusy");
       return finish(msg);
     }
+    case Tag::kRendezvousRegister: {
+      RendezvousRegister msg;
+      std::uint32_t session = 0;
+      if (!r.u32(session) || !r.u32(msg.node)) {
+        return make_error("wire: truncated RendezvousRegister");
+      }
+      msg.session = SessionId(session);
+      return finish(msg);
+    }
+    case Tag::kRendezvousBound: {
+      RendezvousBound msg;
+      std::uint32_t session = 0;
+      if (!r.u32(session) || !r.u32(msg.observed_ip) || !r.u16(msg.observed_port) ||
+          !r.u8(msg.peer_present)) {
+        return make_error("wire: truncated RendezvousBound");
+      }
+      msg.session = SessionId(session);
+      return finish(msg);
+    }
   }
   return make_error("wire: unknown tag");
 }
@@ -353,6 +384,10 @@ std::size_t encoded_size(const ProtocolPayload& payload) {
           return kHeader + 4 + 4 + 8 + 2 + 4 * msg.route.size();
         } else if constexpr (std::is_same_v<T, RelayFailureNotice>) {
           return kHeader + 8;
+        } else if constexpr (std::is_same_v<T, RendezvousRegister>) {
+          return kHeader + 8;
+        } else if constexpr (std::is_same_v<T, RendezvousBound>) {
+          return kHeader + 11;
         }
       },
       payload);

@@ -1,0 +1,36 @@
+#include "net/addr_map.h"
+
+#include <cassert>
+
+namespace asap::net {
+
+NodeId AddrMap::intern(const Endpoint& ep) {
+  auto it = by_addr_.find(ep);
+  if (it != by_addr_.end()) return it->second;
+  NodeId id(static_cast<std::uint32_t>(by_node_.size()));
+  by_node_.push_back(ep);
+  by_addr_.emplace(ep, id);
+  return id;
+}
+
+std::optional<NodeId> AddrMap::find(const Endpoint& ep) const {
+  auto it = by_addr_.find(ep);
+  if (it == by_addr_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Endpoint& AddrMap::endpoint_of(NodeId node) const {
+  assert(node.value() < by_node_.size());
+  return by_node_[node.value()];
+}
+
+void AddrMap::rebind(NodeId node, const Endpoint& new_addr) {
+  assert(node.value() < by_node_.size());
+  by_addr_.erase(by_node_[node.value()]);
+  // Last bind wins: an address stolen from another node stops resolving to
+  // it (the NAT reassigned the binding).
+  by_addr_[new_addr] = node;
+  by_node_[node.value()] = new_addr;
+}
+
+}  // namespace asap::net

@@ -1,0 +1,45 @@
+// Bidirectional Endpoint <-> NodeId registry.
+//
+// The protocol layer (core/protocol.h, core/wire.h) speaks in the strong id
+// types of common/ids.h; the socket layer speaks in observed source
+// addresses. AddrMap is the bridge: every distinct sockaddr observed on a
+// socket is interned to a dense NodeId, so socket-side frames can be handed
+// to id-keyed code (AsapSystem::deliver_wire, session tables) and replies
+// can be routed back to the owning address. rebind() reassigns an existing
+// node to a new address — the NAT-rebinding case, where the same endpoint
+// reappears from a different (ip, port) binding.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "common/ids.h"
+
+namespace asap::net {
+
+class AddrMap {
+ public:
+  // Returns the node registered for `ep`, interning a fresh dense id on
+  // first sight.
+  NodeId intern(const Endpoint& ep);
+  // The node registered for `ep`, if any (never interns).
+  [[nodiscard]] std::optional<NodeId> find(const Endpoint& ep) const;
+  // The address a node currently answers at. `node` must have been interned.
+  [[nodiscard]] const Endpoint& endpoint_of(NodeId node) const;
+  // Moves `node` to `new_addr` (NAT rebinding): the old address forgets the
+  // node, the new one resolves to it. If `new_addr` is already interned to a
+  // different node, that node is evicted from the address (last bind wins —
+  // exactly the NAT's behaviour).
+  void rebind(NodeId node, const Endpoint& new_addr);
+
+  [[nodiscard]] std::size_t size() const { return by_node_.size(); }
+
+ private:
+  std::vector<Endpoint> by_node_;
+  std::unordered_map<Endpoint, NodeId> by_addr_;
+};
+
+}  // namespace asap::net

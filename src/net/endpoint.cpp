@@ -1,0 +1,45 @@
+#include "net/endpoint.h"
+
+#include <arpa/inet.h>
+
+#include <cstring>
+
+#include "common/ip.h"
+
+namespace asap::net {
+
+std::string Endpoint::to_string() const {
+  return Ipv4Addr(ip).to_string() + ":" + std::to_string(port);
+}
+
+std::optional<Endpoint> Endpoint::parse(std::string_view text) {
+  auto colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon + 1 >= text.size()) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, colon));
+  if (!addr) return std::nullopt;
+  std::uint32_t port = 0;
+  for (char c : text.substr(colon + 1)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + static_cast<std::uint32_t>(c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  if (port == 0) return std::nullopt;
+  return Endpoint{addr->bits(), static_cast<std::uint16_t>(port)};
+}
+
+Endpoint loopback(std::uint16_t port) { return Endpoint{INADDR_LOOPBACK, port}; }
+
+sockaddr_in to_sockaddr(const Endpoint& ep) {
+  sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(ep.ip);
+  sa.sin_port = htons(ep.port);
+  return sa;
+}
+
+Endpoint from_sockaddr(const sockaddr_in& sa) {
+  return Endpoint{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+}  // namespace asap::net

@@ -1,0 +1,55 @@
+// UDP endpoint value type and sockaddr conversions for the real datapath.
+//
+// The socket layer (src/net, src/relay_daemon) addresses peers by
+// (IPv4, port) pairs; everything above it keeps using the strong id types
+// from common/ids.h. Endpoint is the boundary value: host-byte-order IPv4
+// (matching common/ip.h's Ipv4Addr) plus a UDP port, convertible to and
+// from the sockaddr_in the kernel speaks.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace asap::net {
+
+struct Endpoint {
+  std::uint32_t ip = 0;    // IPv4 in host byte order (Ipv4Addr::bits())
+  std::uint16_t port = 0;  // UDP port in host byte order
+
+  [[nodiscard]] bool valid() const { return port != 0; }
+  // Dotted-quad "a.b.c.d:port".
+  [[nodiscard]] std::string to_string() const;
+  // Parses "a.b.c.d:port"; nullopt on malformed input or port 0/overflow.
+  static std::optional<Endpoint> parse(std::string_view text);
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.ip == b.ip && a.port == b.port;
+  }
+  friend bool operator!=(const Endpoint& a, const Endpoint& b) { return !(a == b); }
+  friend bool operator<(const Endpoint& a, const Endpoint& b) {
+    if (a.ip != b.ip) return a.ip < b.ip;
+    return a.port < b.port;
+  }
+};
+
+// Loopback shorthand: 127.0.0.1 with `port` (0 = kernel-assigned ephemeral).
+[[nodiscard]] Endpoint loopback(std::uint16_t port = 0);
+
+[[nodiscard]] sockaddr_in to_sockaddr(const Endpoint& ep);
+[[nodiscard]] Endpoint from_sockaddr(const sockaddr_in& sa);
+
+}  // namespace asap::net
+
+namespace std {
+template <>
+struct hash<asap::net::Endpoint> {
+  size_t operator()(const asap::net::Endpoint& ep) const noexcept {
+    return std::hash<uint64_t>()((uint64_t(ep.ip) << 16) ^ ep.port);
+  }
+};
+}  // namespace std

@@ -1,0 +1,70 @@
+#include "net/poll_loop.h"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <chrono>
+
+namespace asap::net {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+PollLoop::PollLoop() : epoch_ns_(steady_ns()) {}
+
+void PollLoop::add_socket(int fd, ReadFn on_readable) {
+  sockets_.push_back(Socket{fd, std::move(on_readable)});
+}
+
+void PollLoop::remove_socket(int fd) {
+  std::erase_if(sockets_, [fd](const Socket& s) { return s.fd == fd; });
+}
+
+void PollLoop::add_ticker(TickFn on_tick) { tickers_.push_back(std::move(on_tick)); }
+
+Millis PollLoop::now_ms() const {
+  return static_cast<Millis>(steady_ns() - epoch_ns_) / 1.0e6;
+}
+
+bool PollLoop::run_once(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(sockets_.size());
+  for (const Socket& s : sockets_) fds.push_back(pollfd{s.fd, POLLIN, 0});
+  int ready;
+  do {
+    ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) return false;
+  for (const pollfd& p : fds) {
+    if ((p.revents & POLLIN) == 0) continue;
+    // Re-resolve by fd: a callback may add or remove sockets mid-dispatch
+    // (the endpoint client's rebind does), so positional indexing is unsafe.
+    for (std::size_t i = 0; i < sockets_.size(); ++i) {
+      if (sockets_[i].fd == p.fd) {
+        sockets_[i].on_readable(now_ms());
+        break;
+      }
+    }
+  }
+  Millis now = now_ms();
+  for (const TickFn& tick : tickers_) tick(now);
+  return true;
+}
+
+bool PollLoop::run_until(const std::function<bool()>& done, Millis deadline_ms,
+                         int poll_timeout_ms) {
+  while (!done()) {
+    if (now_ms() >= deadline_ms) return false;
+    if (!run_once(poll_timeout_ms)) return false;
+  }
+  return true;
+}
+
+}  // namespace asap::net

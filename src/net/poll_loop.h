@@ -1,0 +1,61 @@
+// Single-threaded readiness loop over UDP sockets plus millisecond tickers.
+//
+// The real datapath's scheduler: poll(2) over every registered fd, readable
+// sockets drain through their callbacks, then every ticker runs once — the
+// components (relay daemon, endpoint clients) implement their timers
+// (keepalives, idle reaping, pacing) against the loop's monotonic clock
+// instead of owning threads. One loop can drive a whole in-process harness
+// (relay + both endpoints), which is what keeps the loopback integration
+// tests deterministic enough to gate CI on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+
+namespace asap::net {
+
+class PollLoop {
+ public:
+  using ReadFn = std::function<void(Millis now_ms)>;
+  using TickFn = std::function<void(Millis now_ms)>;
+
+  PollLoop();
+
+  // Registers a socket; `on_readable` must drain it (recv until empty) —
+  // readiness is level-triggered but the loop reports each fd once per
+  // run_once.
+  void add_socket(int fd, ReadFn on_readable);
+  // Deregisters a socket (e.g. before rebinding to a fresh ephemeral port —
+  // the NAT-rebinding simulation closes one fd and registers another).
+  void remove_socket(int fd);
+  // Registers a per-iteration timer callback, run after I/O every run_once.
+  void add_ticker(TickFn on_tick);
+
+  // Monotonic milliseconds since loop construction (steady clock).
+  [[nodiscard]] Millis now_ms() const;
+
+  // One poll iteration: waits up to `timeout_ms` for readiness, dispatches
+  // readable sockets, then runs every ticker. Returns false only on a poll
+  // syscall error (EINTR is retried internally).
+  bool run_once(int timeout_ms);
+
+  // Runs until `done` returns true or `deadline_ms` (loop clock) passes.
+  // Returns true when `done` was reached, false on deadline or poll error.
+  bool run_until(const std::function<bool()>& done, Millis deadline_ms,
+                 int poll_timeout_ms = 1);
+
+ private:
+  struct Socket {
+    int fd = -1;
+    ReadFn on_readable;
+  };
+
+  std::int64_t epoch_ns_ = 0;
+  std::vector<Socket> sockets_;
+  std::vector<TickFn> tickers_;
+};
+
+}  // namespace asap::net

@@ -1,0 +1,88 @@
+#include "net/session_table.h"
+
+#include <algorithm>
+
+namespace asap::net {
+
+int SessionBindingTable::leg_index_by_addr(const Binding& b, const Endpoint& from) {
+  for (int i = 0; i < 2; ++i) {
+    if (b.legs[i].bound && b.legs[i].addr == from) return i;
+  }
+  return -1;
+}
+
+SessionBindingTable::RegisterResult SessionBindingTable::register_leg(
+    SessionId session, std::uint32_t node, const Endpoint& ep, Millis now_ms) {
+  auto it = sessions_.find(session.value());
+  if (it == sessions_.end()) {
+    if (sessions_.size() >= max_sessions_) return RegisterResult::kTableFull;
+    Binding b;
+    b.legs[0] = Leg{ep, node, now_ms, true};
+    sessions_.emplace(session.value(), b);
+    return RegisterResult::kNew;
+  }
+  Binding& b = it->second;
+  // An existing leg is matched by its node id, not its address: the same
+  // endpoint re-registering from a new source address is the NAT-rebinding
+  // case and must relearn the binding rather than open a third leg.
+  for (Leg& leg : b.legs) {
+    if (leg.bound && leg.node == node) {
+      bool moved = leg.addr != ep;
+      leg.addr = ep;
+      leg.last_seen_ms = now_ms;
+      return moved ? RegisterResult::kRebound : RegisterResult::kRefreshed;
+    }
+  }
+  if (!b.legs[1].bound) {
+    b.legs[1] = Leg{ep, node, now_ms, true};
+    return RegisterResult::kPaired;
+  }
+  return RegisterResult::kRejected;
+}
+
+std::optional<Endpoint> SessionBindingTable::peer_of(SessionId session,
+                                                     const Endpoint& from) const {
+  auto it = sessions_.find(session.value());
+  if (it == sessions_.end()) return std::nullopt;
+  const Binding& b = it->second;
+  if (!b.legs[0].bound || !b.legs[1].bound) return std::nullopt;
+  int i = leg_index_by_addr(b, from);
+  if (i < 0) return std::nullopt;
+  return b.legs[1 - i].addr;
+}
+
+bool SessionBindingTable::is_leg(SessionId session, const Endpoint& from) const {
+  auto it = sessions_.find(session.value());
+  return it != sessions_.end() && leg_index_by_addr(it->second, from) >= 0;
+}
+
+bool SessionBindingTable::paired(SessionId session) const {
+  auto it = sessions_.find(session.value());
+  return it != sessions_.end() && it->second.legs[0].bound && it->second.legs[1].bound;
+}
+
+void SessionBindingTable::touch(SessionId session, const Endpoint& from, Millis now_ms) {
+  auto it = sessions_.find(session.value());
+  if (it == sessions_.end()) return;
+  int i = leg_index_by_addr(it->second, from);
+  if (i >= 0) it->second.legs[i].last_seen_ms = now_ms;
+}
+
+std::size_t SessionBindingTable::reap_idle(Millis now_ms, Millis idle_timeout_ms) {
+  std::size_t reaped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Millis last = 0.0;
+    for (const Leg& leg : it->second.legs) {
+      if (leg.bound) last = std::max(last, leg.last_seen_ms);
+    }
+    if (now_ms - last >= idle_timeout_ms) {
+      it = sessions_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+}  // namespace asap::net

@@ -1,0 +1,80 @@
+// Session binding table for the rendezvous relay.
+//
+// Each VoIP session pairs two endpoints that both dialled out to the relay;
+// the table records the source address the relay observed for each leg
+// (RendezvousRegister), pairs them by session id, and answers the
+// forwarding question: "a frame of session S arrived from address A — where
+// does it go?". Bindings age out when idle (the NAT analogy: a mapping that
+// stops being refreshed expires) and the table enforces a concurrent-
+// session cap derived from the PR 5 relay-capacity model — a full relay
+// refuses new sessions the way an at-capacity sim relay answers ProbeBusy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace asap::net {
+
+class SessionBindingTable {
+ public:
+  explicit SessionBindingTable(std::size_t max_sessions)
+      : max_sessions_(max_sessions) {}
+
+  enum class RegisterResult : std::uint8_t {
+    kNew,        // first leg of a fresh session
+    kPaired,     // second leg joined; forwarding is now live
+    kRefreshed,  // existing leg, same address (keepalive)
+    kRebound,    // existing leg reappeared from a new address (NAT rebinding)
+    kTableFull,  // fresh session refused: concurrent-session cap reached
+    kRejected,   // a third node id tried to join a fully paired session
+  };
+
+  // Registers (or refreshes) `ep` as the leg of `session` owned by protocol
+  // node `node`, stamping its activity at `now`.
+  RegisterResult register_leg(SessionId session, std::uint32_t node,
+                              const Endpoint& ep, Millis now_ms);
+
+  // Forwarding lookup: the other leg's current address, when `from` is a
+  // registered leg of `session` and both legs are bound. nullopt otherwise
+  // (unknown session, unknown source, or a half-open session).
+  [[nodiscard]] std::optional<Endpoint> peer_of(SessionId session,
+                                                const Endpoint& from) const;
+  // True when `from` is a registered leg of `session`.
+  [[nodiscard]] bool is_leg(SessionId session, const Endpoint& from) const;
+  // True once both legs of `session` are bound.
+  [[nodiscard]] bool paired(SessionId session) const;
+  // Refreshes the activity stamp of the leg owning `from`.
+  void touch(SessionId session, const Endpoint& from, Millis now_ms);
+
+  // Drops every session whose legs have all been silent for at least
+  // `idle_timeout_ms`; returns how many were reaped.
+  std::size_t reap_idle(Millis now_ms, Millis idle_timeout_ms);
+
+  [[nodiscard]] std::size_t open_sessions() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t max_sessions() const { return max_sessions_; }
+
+ private:
+  struct Leg {
+    Endpoint addr;
+    std::uint32_t node = 0;
+    Millis last_seen_ms = 0.0;
+    bool bound = false;
+  };
+  struct Binding {
+    Leg legs[2];
+  };
+
+  [[nodiscard]] static int leg_index_by_addr(const Binding& b, const Endpoint& from);
+
+  std::size_t max_sessions_;
+  // Ordered by session id: reaping sweeps are deterministic.
+  std::map<std::uint32_t, Binding> sessions_;
+};
+
+}  // namespace asap::net

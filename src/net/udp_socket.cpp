@@ -1,0 +1,89 @@
+#include "net/udp_socket.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace asap::net {
+
+namespace {
+
+Error errno_error(const char* what) {
+  return make_error(std::string("udp: ") + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), local_(other.local_) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    local_ = other.local_;
+  }
+  return *this;
+}
+
+UdpSocket::~UdpSocket() { close(); }
+
+void UdpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Expected<UdpSocket> UdpSocket::bind(const Endpoint& local) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return errno_error("socket");
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ::close(fd);
+    return errno_error("fcntl(O_NONBLOCK)");
+  }
+  sockaddr_in sa = to_sockaddr(local);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) {
+    ::close(fd);
+    return errno_error("bind");
+  }
+  // Resolve the kernel-assigned address (ephemeral port and, when bound to
+  // INADDR_ANY, the wildcard stays as given).
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(fd);
+    return errno_error("getsockname");
+  }
+  return UdpSocket(fd, from_sockaddr(bound));
+}
+
+bool UdpSocket::send_to(const Endpoint& to, std::span<const std::uint8_t> bytes) {
+  sockaddr_in sa = to_sockaddr(to);
+  ssize_t n = ::sendto(fd_, bytes.data(), bytes.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  return n == static_cast<ssize_t>(bytes.size());
+}
+
+std::optional<UdpSocket::Datagram> UdpSocket::recv_from(std::span<std::uint8_t> buf) {
+  sockaddr_in sa;
+  socklen_t len = sizeof(sa);
+  // MSG_TRUNC makes the return value the datagram's real length even when it
+  // exceeded `buf`, so truncation is detectable instead of silent.
+  ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), MSG_TRUNC,
+                         reinterpret_cast<sockaddr*>(&sa), &len);
+  if (n < 0) return std::nullopt;  // EAGAIN/EWOULDBLOCK: nothing pending
+  Datagram d;
+  d.from = from_sockaddr(sa);
+  d.truncated = static_cast<std::size_t>(n) > buf.size();
+  d.size = d.truncated ? buf.size() : static_cast<std::size_t>(n);
+  return d;
+}
+
+}  // namespace asap::net

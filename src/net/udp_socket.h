@@ -1,0 +1,62 @@
+// RAII nonblocking UDP socket.
+//
+// The datapath's only I/O primitive: bind (ephemeral ports supported),
+// sendto, nonblocking recvfrom with truncation detection. No internal
+// buffering, no threads — a PollLoop (or a test harness) drives it by
+// readiness. Datagrams are the framing: one core/wire.h frame per datagram,
+// so a short read can never split a frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/endpoint.h"
+#include "common/expected.h"
+
+namespace asap::net {
+
+class UdpSocket {
+ public:
+  UdpSocket() = default;  // invalid until bound
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  ~UdpSocket();
+
+  // Opens a nonblocking IPv4 UDP socket bound to `local` (port 0 asks the
+  // kernel for an ephemeral port; the bound address is readable through
+  // local_endpoint()). Errors carry the failing syscall and errno text.
+  static Expected<UdpSocket> bind(const Endpoint& local);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  // The locally bound address (resolved after ephemeral assignment).
+  [[nodiscard]] const Endpoint& local_endpoint() const { return local_; }
+
+  // Sends one datagram. Returns false when the kernel refused it (buffer
+  // full / unreachable); UDP semantics — the caller counts, never retries
+  // inline.
+  bool send_to(const Endpoint& to, std::span<const std::uint8_t> bytes);
+
+  struct Datagram {
+    Endpoint from;
+    std::size_t size = 0;    // bytes written into the caller's buffer
+    bool truncated = false;  // datagram was larger than the buffer
+  };
+  // Nonblocking receive of one datagram into `buf`; nullopt when nothing is
+  // pending. `truncated` is exact (MSG_TRUNC): an oversize datagram is
+  // consumed and flagged, never silently clipped.
+  std::optional<Datagram> recv_from(std::span<std::uint8_t> buf);
+
+  void close();
+
+ private:
+  explicit UdpSocket(int fd, const Endpoint& local) : fd_(fd), local_(local) {}
+
+  int fd_ = -1;
+  Endpoint local_;
+};
+
+}  // namespace asap::net

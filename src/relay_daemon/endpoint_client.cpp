@@ -1,0 +1,185 @@
+#include "relay_daemon/endpoint_client.h"
+
+#include <algorithm>
+
+#include "core/wire.h"
+
+namespace asap::relayd {
+
+Expected<EndpointClient> EndpointClient::open(const EndpointConfig& config,
+                                              const net::Endpoint& bind_addr) {
+  auto socket = net::UdpSocket::bind(bind_addr);
+  if (!socket) return make_error(socket.error().message);
+  return EndpointClient(std::move(*socket), config);
+}
+
+EndpointClient::EndpointClient(net::UdpSocket socket, const EndpointConfig& config)
+    : socket_(std::move(socket)), config_(config) {}
+
+void EndpointClient::attach(net::PollLoop& loop) {
+  loop.add_socket(socket_.fd(), [this](Millis now_ms) { on_readable(now_ms); });
+  loop.add_ticker([this](Millis now_ms) { on_tick(now_ms); });
+  const Millis now = loop.now_ms();
+  started_ = true;
+  start_ms_ = now;
+  last_bound_rx_ms_ = now;  // relay-timeout clock starts at registration
+  send_register(now);
+}
+
+bool EndpointClient::rebind(net::PollLoop& loop, const net::Endpoint& bind_addr) {
+  auto fresh = net::UdpSocket::bind(bind_addr);
+  if (!fresh) return false;
+  loop.remove_socket(socket_.fd());
+  socket_ = std::move(*fresh);
+  loop.add_socket(socket_.fd(), [this](Millis now_ms) { on_readable(now_ms); });
+  // Re-register at once so the relay relearns this leg's address before the
+  // next voice frame needs forwarding.
+  send_register(loop.now_ms());
+  return true;
+}
+
+void EndpointClient::send_payload(const core::ProtocolPayload& payload, Millis now_ms) {
+  const std::vector<std::uint8_t> bytes = core::wire::encode(payload);
+  socket_.send_to(config_.relay, bytes);
+  if (std::get_if<core::VoicePacket>(&payload) == nullptr) {
+    report_.control_messages += 1;
+    report_.control_bytes += bytes.size() + core::wire::kPacketOverheadBytes;
+  }
+  (void)now_ms;
+}
+
+void EndpointClient::send_register(Millis now_ms) {
+  last_register_ms_ = now_ms;
+  send_payload(core::RendezvousRegister{config_.session, config_.node}, now_ms);
+}
+
+void EndpointClient::on_readable(Millis now_ms) {
+  while (auto dgram = socket_.recv_from(buf_)) {
+    if (dgram->truncated) continue;
+    auto decoded = core::wire::decode(
+        std::span<const std::uint8_t>(buf_.data(), dgram->size));
+    if (!decoded) continue;  // endpoints drop malformed frames silently
+    handle_payload(*decoded, now_ms);
+  }
+}
+
+void EndpointClient::handle_payload(const core::ProtocolPayload& payload,
+                                    Millis now_ms) {
+  if (const auto* bound = std::get_if<core::RendezvousBound>(&payload)) {
+    if (bound->session != config_.session) return;
+    report_.bound = true;
+    report_.observed = net::Endpoint{bound->observed_ip, bound->observed_port};
+    last_bound_rx_ms_ = now_ms;
+    if (bound->peer_present != 0) {
+      report_.peer_present_seen = true;
+      if (config_.caller && !setup_sent_) {
+        setup_sent_ = true;
+        send_payload(core::CallSetup{config_.session}, now_ms);
+      }
+    }
+    return;
+  }
+  if (std::get_if<core::ProbeBusy>(&payload) != nullptr) {
+    report_.busy_rejected = true;
+    return;
+  }
+  if (const auto* setup = std::get_if<core::CallSetup>(&payload)) {
+    if (config_.caller || setup->session != config_.session) return;
+    if (!accepted_) {
+      accepted_ = true;
+      send_payload(core::CallAccept{config_.session, nullptr}, now_ms);
+    }
+    return;
+  }
+  if (const auto* accept = std::get_if<core::CallAccept>(&payload)) {
+    if (!config_.caller || accept->session != config_.session) return;
+    if (!voice_active_) {
+      voice_active_ = true;
+      next_voice_due_ms_ = now_ms;  // first packet goes out on the next tick
+    }
+    return;
+  }
+  if (const auto* voice = std::get_if<core::VoicePacket>(&payload)) {
+    if (config_.caller || voice->session != config_.session) return;
+    on_voice(*voice, now_ms);
+    return;
+  }
+  if (const auto* notice = std::get_if<core::RelayFailureNotice>(&payload)) {
+    if (notice->session != config_.session) return;
+    report_.failure_notices_received += 1;
+    return;
+  }
+}
+
+void EndpointClient::on_voice(const core::VoicePacket& voice, Millis now_ms) {
+  if (!any_voice_) {
+    any_voice_ = true;
+    first_voice_rx_ms_ = now_ms;
+    report_.setup_ms = now_ms - start_ms_;
+  }
+  last_voice_rx_ms_ = now_ms;
+  gap_notice_outstanding_ = false;  // stream is alive again
+  if (voice.seq >= seen_.size()) seen_.resize(voice.seq + 1, false);
+  if (seen_[voice.seq]) {
+    report_.duplicate_voice_packets += 1;
+    return;
+  }
+  if (any_voice_ && voice.seq < highest_seq_) report_.reordered_voice_packets += 1;
+  seen_[voice.seq] = true;
+  highest_seq_ = std::max(highest_seq_, voice.seq);
+  report_.voice_packets_received += 1;
+  if (voice.seq == total_packets() - 1) {
+    report_.completed = true;
+    report_.voice_packets_lost =
+        highest_seq_ + 1 - report_.voice_packets_received;
+  }
+}
+
+void EndpointClient::on_tick(Millis now_ms) {
+  if (!started_ || done()) return;
+
+  // Keepalive registration: refreshes the NAT binding and solicits a Bound
+  // reply, which is also the relay liveness signal.
+  if (now_ms - last_register_ms_ >= config_.keepalive_interval_ms) {
+    send_register(now_ms);
+  }
+  if (now_ms - last_bound_rx_ms_ >= config_.relay_timeout_ms) {
+    report_.relay_lost = true;
+    return;
+  }
+
+  if (config_.caller) {
+    if (!voice_active_) return;
+    const std::uint32_t n = total_packets();
+    while (next_seq_ < n && now_ms >= next_voice_due_ms_) {
+      if (report_.voice_packets_sent == 0 && report_.setup_ms == 0.0) {
+        report_.setup_ms = now_ms - start_ms_;
+      }
+      core::VoicePacket voice;
+      voice.session = config_.session;
+      voice.seq = next_seq_;
+      voice.sent_at_ms = now_ms;
+      send_payload(voice, now_ms);
+      report_.voice_packets_sent += 1;
+      next_seq_ += 1;
+      next_voice_due_ms_ += config_.pacing_ms;
+    }
+    if (next_seq_ >= n) report_.completed = true;
+    return;
+  }
+
+  // Callee: mid-call silence detection, the socket analogue of the sim's
+  // keepalive-gap check — fire one failure notice per silence episode.
+  if (any_voice_ && !gap_notice_outstanding_) {
+    const Millis gap_threshold =
+        std::max(3.0 * config_.pacing_ms, config_.keepalive_interval_ms);
+    if (now_ms - last_voice_rx_ms_ >= gap_threshold) {
+      report_.gap_detected = true;
+      gap_notice_outstanding_ = true;
+      report_.failure_notices_sent += 1;
+      send_payload(core::RelayFailureNotice{config_.session, highest_seq_}, now_ms);
+    }
+  }
+}
+
+}  // namespace asap::relayd

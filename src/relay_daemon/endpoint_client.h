@@ -1,0 +1,136 @@
+// Wire-speaking VoIP endpoint for the real UDP datapath.
+//
+// One EndpointClient is one leg of one call: it dials out to an asap-relay
+// in rendezvous mode (RendezvousRegister, repeated every keepalive interval
+// — the same cadence AsapParams::keepalive_interval_ms gives the sim — so
+// the NAT binding stays open and Bound replies double as relay liveness),
+// then runs the call flow in core/wire.h frames: caller sends CallSetup
+// once the peer leg is present, callee answers CallAccept, caller streams
+// VoicePacket at the sim's 50 pps pacing, callee detects sequence gaps,
+// duplicates and reorders exactly like the sim's receiver and raises
+// RelayFailureNotice when the stream goes silent mid-call.
+//
+// The harness contract (DESIGN.md §14): the CallReport fields mirror the
+// sim's CallOutcome fields for the same CallSpec, which is what the
+// loopback integration test asserts. Frames the client emits and receives
+// are byte-compatible with AsapSystem::deliver_wire().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "net/poll_loop.h"
+#include "net/udp_socket.h"
+#include "core/protocol.h"
+#include "common/expected.h"
+
+namespace asap::relayd {
+
+struct EndpointConfig {
+  net::Endpoint relay;           // rendezvous relay address
+  SessionId session;             // shared by both legs; the pairing key
+  std::uint32_t node = 0;        // protocol node id (NAT-rebind identity)
+  bool caller = false;           // caller streams voice; callee receives
+  Millis voice_duration_ms = 400.0;   // both sides know the call length
+  Millis pacing_ms = 20.0;            // AsapSystem::kVoiceIntervalMs (50 pps)
+  Millis keepalive_interval_ms = 250.0;  // AsapParams::keepalive_interval_ms
+  Millis relay_timeout_ms = 3000.0;      // AsapParams::probe_timeout_ms
+};
+
+// Outcome of one leg; field names track core::CallOutcome where the sim has
+// the same observable.
+struct CallReport {
+  bool completed = false;         // caller: all voice sent; callee: final seq seen
+  bool bound = false;             // at least one RendezvousBound received
+  bool peer_present_seen = false; // relay reported the other leg registered
+  bool busy_rejected = false;     // relay answered ProbeBusy (table full)
+  bool gap_detected = false;      // callee: mid-call silence beyond threshold
+  bool relay_lost = false;        // keepalive Bound replies stopped coming
+  std::uint32_t voice_packets_sent = 0;
+  std::uint32_t voice_packets_received = 0;   // distinct sequences
+  std::uint32_t voice_packets_lost = 0;       // receiver-side sequence gaps
+  std::uint32_t duplicate_voice_packets = 0;
+  std::uint32_t reordered_voice_packets = 0;
+  std::uint32_t failure_notices_sent = 0;     // callee -> caller
+  std::uint32_t failure_notices_received = 0;
+  net::Endpoint observed;         // reflexive address the relay reported
+  Millis setup_ms = 0.0;          // start -> first voice sent/received
+  std::uint64_t control_messages = 0;  // non-voice frames sent
+  std::uint64_t control_bytes = 0;     // wire bytes incl. IP/UDP overhead
+};
+
+class EndpointClient {
+ public:
+  // Binds an ephemeral loopback-or-any socket for the leg. Call attach()
+  // only after the client has reached its final address (attach captures
+  // `this`).
+  static Expected<EndpointClient> open(const EndpointConfig& config,
+                                       const net::Endpoint& bind_addr);
+
+  EndpointClient(EndpointClient&&) = default;
+  EndpointClient& operator=(EndpointClient&&) = default;
+
+  // Registers socket + ticker on `loop` and sends the first
+  // RendezvousRegister immediately.
+  void attach(net::PollLoop& loop);
+
+  void on_readable(Millis now_ms);
+  void on_tick(Millis now_ms);
+
+  // Simulates a NAT rebinding: closes the socket, binds a fresh ephemeral
+  // port at `bind_addr`, swaps the registration on `loop` and re-registers
+  // with the relay at once (same node id -> the relay relearns the leg).
+  bool rebind(net::PollLoop& loop, const net::Endpoint& bind_addr);
+
+  // Terminal: the leg finished (completed), was refused (busy_rejected) or
+  // declared the relay dead (relay_lost).
+  [[nodiscard]] bool done() const {
+    return report_.completed || report_.busy_rejected || report_.relay_lost;
+  }
+  [[nodiscard]] const CallReport& report() const { return report_; }
+  [[nodiscard]] const net::Endpoint& local_endpoint() const {
+    return socket_.local_endpoint();
+  }
+  [[nodiscard]] const EndpointConfig& config() const { return config_; }
+
+ private:
+  EndpointClient(net::UdpSocket socket, const EndpointConfig& config);
+
+  void send_payload(const core::ProtocolPayload& payload, Millis now_ms);
+  void send_register(Millis now_ms);
+  void handle_payload(const core::ProtocolPayload& payload, Millis now_ms);
+  void on_voice(const core::VoicePacket& voice, Millis now_ms);
+  [[nodiscard]] std::uint32_t total_packets() const {
+    auto n = static_cast<std::uint32_t>(config_.voice_duration_ms / config_.pacing_ms);
+    return n == 0 ? 1 : n;
+  }
+
+  net::UdpSocket socket_;
+  EndpointConfig config_;
+  CallReport report_;
+  std::array<std::uint8_t, 4096> buf_{};
+
+  bool started_ = false;
+  Millis start_ms_ = 0.0;
+  Millis last_register_ms_ = 0.0;
+  Millis last_bound_rx_ms_ = 0.0;
+
+  // Caller side.
+  bool setup_sent_ = false;
+  bool voice_active_ = false;
+  std::uint32_t next_seq_ = 0;
+  Millis next_voice_due_ms_ = 0.0;
+
+  // Callee side.
+  bool accepted_ = false;
+  std::vector<bool> seen_;          // distinct-sequence bitmap
+  std::uint32_t highest_seq_ = 0;
+  bool any_voice_ = false;
+  Millis first_voice_rx_ms_ = 0.0;
+  Millis last_voice_rx_ms_ = 0.0;
+  bool gap_notice_outstanding_ = false;  // one notice per silence episode
+};
+
+}  // namespace asap::relayd

@@ -1,0 +1,160 @@
+// asap-endpoint: test client driving one real call through asap-relay.
+//
+// Roles: caller (streams voice once the callee's leg is present), callee
+// (receives and acknowledges), or pair (both legs in one process on one
+// poll loop — the smallest self-contained demo of the rendezvous datapath:
+//   asap-relay --print-port &   # note the port
+//   asap-endpoint --relay 127.0.0.1:PORT --role pair
+// exits 0 iff the call completed).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "net/endpoint.h"
+#include "net/poll_loop.h"
+#include "relay_daemon/endpoint_client.h"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: asap-endpoint --relay A.B.C.D:P [options]\n"
+               "  --role caller|callee|pair   (default pair)\n"
+               "  --session N           session id (default 1)\n"
+               "  --node N              protocol node id (default: 1 caller, 2 callee)\n"
+               "  --duration-ms X       voice duration (default 400)\n"
+               "  --pacing-ms X         voice pacing (default 20 = 50 pps)\n"
+               "  --keepalive-ms X      register/keepalive interval (default 250)\n"
+               "  --timeout-ms X        give up after this long (default 15000)\n"
+               "  --bind A.B.C.D        local bind address (default 127.0.0.1)\n";
+}
+
+void print_report(const char* leg, const asap::relayd::CallReport& r) {
+  std::cout << "{\"leg\":\"" << leg << "\",\"completed\":" << (r.completed ? 1 : 0)
+            << ",\"bound\":" << (r.bound ? 1 : 0)
+            << ",\"peer_present\":" << (r.peer_present_seen ? 1 : 0)
+            << ",\"busy_rejected\":" << (r.busy_rejected ? 1 : 0)
+            << ",\"gap_detected\":" << (r.gap_detected ? 1 : 0)
+            << ",\"relay_lost\":" << (r.relay_lost ? 1 : 0)
+            << ",\"voice_sent\":" << r.voice_packets_sent
+            << ",\"voice_received\":" << r.voice_packets_received
+            << ",\"voice_lost\":" << r.voice_packets_lost
+            << ",\"duplicates\":" << r.duplicate_voice_packets
+            << ",\"reordered\":" << r.reordered_voice_packets
+            << ",\"notices_sent\":" << r.failure_notices_sent
+            << ",\"notices_received\":" << r.failure_notices_received
+            << ",\"control_messages\":" << r.control_messages
+            << ",\"control_bytes\":" << r.control_bytes
+            << ",\"observed\":\"" << r.observed.to_string() << "\""
+            << ",\"setup_ms\":" << r.setup_ms << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using asap::net::Endpoint;
+  using asap::relayd::EndpointClient;
+  using asap::relayd::EndpointConfig;
+
+  EndpointConfig base;
+  std::string role = "pair";
+  std::string bind_ip = "127.0.0.1";
+  std::uint32_t session = 1;
+  std::uint32_t node = 0;
+  double timeout_ms = 15'000.0;
+
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      usage();
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--relay") {
+      auto ep = Endpoint::parse(need(i));
+      if (!ep) {
+        std::cerr << "asap-endpoint: bad --relay\n";
+        return 2;
+      }
+      base.relay = *ep;
+    } else if (arg == "--role") {
+      role = need(i);
+    } else if (arg == "--session") {
+      session = static_cast<std::uint32_t>(std::atol(need(i)));
+    } else if (arg == "--node") {
+      node = static_cast<std::uint32_t>(std::atol(need(i)));
+    } else if (arg == "--duration-ms") {
+      base.voice_duration_ms = std::atof(need(i));
+    } else if (arg == "--pacing-ms") {
+      base.pacing_ms = std::atof(need(i));
+    } else if (arg == "--keepalive-ms") {
+      base.keepalive_interval_ms = std::atof(need(i));
+    } else if (arg == "--timeout-ms") {
+      timeout_ms = std::atof(need(i));
+    } else if (arg == "--bind") {
+      bind_ip = need(i);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "asap-endpoint: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (!base.relay.valid()) {
+    std::cerr << "asap-endpoint: --relay is required\n";
+    usage();
+    return 2;
+  }
+  base.session = asap::SessionId(session);
+  auto bind_ep = Endpoint::parse(bind_ip + ":1");
+  if (!bind_ep) {
+    std::cerr << "asap-endpoint: bad --bind address\n";
+    return 2;
+  }
+  bind_ep->port = 0;  // always ephemeral
+
+  asap::net::PollLoop loop;
+
+  if (role == "pair") {
+    EndpointConfig caller_cfg = base;
+    caller_cfg.caller = true;
+    caller_cfg.node = node != 0 ? node : 1;
+    EndpointConfig callee_cfg = base;
+    callee_cfg.caller = false;
+    callee_cfg.node = node != 0 ? node + 1 : 2;
+
+    auto caller = EndpointClient::open(caller_cfg, *bind_ep);
+    auto callee = EndpointClient::open(callee_cfg, *bind_ep);
+    if (!caller || !callee) {
+      std::cerr << "asap-endpoint: bind failed\n";
+      return 1;
+    }
+    caller->attach(loop);
+    callee->attach(loop);
+    loop.run_until([&] { return caller->done() && callee->done(); }, timeout_ms);
+    print_report("caller", caller->report());
+    print_report("callee", callee->report());
+    return caller->report().completed && callee->report().completed ? 0 : 1;
+  }
+
+  if (role != "caller" && role != "callee") {
+    std::cerr << "asap-endpoint: unknown --role " << role << "\n";
+    return 2;
+  }
+  base.caller = role == "caller";
+  base.node = node != 0 ? node : (base.caller ? 1 : 2);
+  auto client = EndpointClient::open(base, *bind_ep);
+  if (!client) {
+    std::cerr << "asap-endpoint: " << client.error().message << "\n";
+    return 1;
+  }
+  client->attach(loop);
+  loop.run_until([&] { return client->done(); }, timeout_ms);
+  print_report(role.c_str(), client->report());
+  return client->report().completed ? 0 : 1;
+}

@@ -1,0 +1,218 @@
+#include "relay_daemon/relay_core.h"
+
+#include <algorithm>
+#include <variant>
+
+#include "core/wire.h"
+
+namespace asap::relayd {
+namespace {
+
+// Session id carried by a payload, for kinds the relay forwards between the
+// legs of a bound session. Kinds with no session (joins, probes, close-set
+// traffic) are not relayable.
+std::optional<SessionId> session_of(const core::ProtocolPayload& payload) {
+  using core::CallAccept;
+  using core::CallSetup;
+  using core::RelayFailureNotice;
+  using core::VoicePacket;
+  if (const auto* v = std::get_if<VoicePacket>(&payload)) return v->session;
+  if (const auto* v = std::get_if<CallSetup>(&payload)) return v->session;
+  if (const auto* v = std::get_if<CallAccept>(&payload)) return v->session;
+  if (const auto* v = std::get_if<RelayFailureNotice>(&payload)) return v->session;
+  return std::nullopt;
+}
+
+// Reap cadence: a fraction of the idle timeout so expiry latency is bounded,
+// but never busier than 4 Hz.
+constexpr Millis kMinReapIntervalMs = 250.0;
+
+}  // namespace
+
+std::uint32_t relay_session_cap(double capacity, double per_capacity,
+                                std::uint32_t min_streams) {
+  auto cap = static_cast<std::uint32_t>(capacity * per_capacity);
+  return std::max(min_streams, cap);
+}
+
+RelaydCounters::RelaydCounters(MetricsRegistry& r)
+    : datagrams_rx(r.counter("relayd.datagrams_rx")),
+      datagrams_tx(r.counter("relayd.datagrams_tx")),
+      bytes_rx(r.counter("relayd.bytes_rx")),
+      bytes_tx(r.counter("relayd.bytes_tx")),
+      decode_errors(r.counter("relayd.decode_errors")),
+      unknown_kind(r.counter("relayd.unknown_kind")),
+      oversize_drops(r.counter("relayd.oversize_drops")),
+      unknown_source(r.counter("relayd.unknown_source")),
+      unhandled_kind(r.counter("relayd.unhandled_kind")),
+      registers(r.counter("relayd.registers")),
+      rebinds(r.counter("relayd.rebinds")),
+      bound_replies(r.counter("relayd.bound_replies")),
+      busy_rejections(r.counter("relayd.busy_rejections")),
+      keepalive_probes(r.counter("relayd.keepalive_probes")),
+      sessions_opened(r.counter("relayd.sessions_opened")),
+      sessions_reaped(r.counter("relayd.sessions_reaped")),
+      forwarded_frames(r.counter("relayd.forwarded_frames")),
+      forwarded_voice(r.counter("relayd.forwarded_voice")),
+      peak_sessions(r.gauge("relayd.peak_sessions")) {}
+
+RelayCore::RelayCore(const RelayConfig& config, MetricsRegistry* external)
+    : config_(config),
+      owned_metrics_(external == nullptr ? std::make_unique<MetricsRegistry>()
+                                         : nullptr),
+      metrics_(external == nullptr ? owned_metrics_.get() : external),
+      counters_(*metrics_),
+      table_(config.max_sessions) {}
+
+void RelayCore::emit(const net::Endpoint& to, std::span<const std::uint8_t> bytes,
+                     const SendFn& send) {
+  counters_.datagrams_tx.inc();
+  counters_.bytes_tx.add(bytes.size());
+  send(to, bytes);
+}
+
+void RelayCore::emit_payload(const net::Endpoint& to,
+                             const core::ProtocolPayload& payload, const SendFn& send) {
+  const std::vector<std::uint8_t> bytes = core::wire::encode(payload);
+  emit(to, bytes, send);
+}
+
+void RelayCore::handle_datagram(const net::Endpoint& from,
+                                std::span<const std::uint8_t> bytes, Millis now_ms,
+                                const SendFn& send, bool truncated) {
+  counters_.datagrams_rx.inc();
+  counters_.bytes_rx.add(bytes.size());
+  if (truncated || bytes.size() > kMaxFrameBytes) {
+    counters_.oversize_drops.inc();
+    return;
+  }
+
+  // Phase-1 forwarder: no parsing beyond the oversize guard — bytes out are
+  // bytes in. Frames from the fixed target go back to the most recent other
+  // source; everything else goes to the target.
+  if (config_.forward_target.has_value()) {
+    const net::Endpoint& target = *config_.forward_target;
+    if (from == target) {
+      if (!forward_peer_.valid()) {
+        counters_.unknown_source.inc();
+        return;
+      }
+      counters_.forwarded_frames.inc();
+      emit(forward_peer_, bytes, send);
+      return;
+    }
+    forward_peer_ = from;
+    counters_.forwarded_frames.inc();
+    emit(target, bytes, send);
+    return;
+  }
+
+  auto decoded = core::wire::decode(bytes);
+  if (!decoded) {
+    if (decoded.error().message.find("unknown tag") != std::string::npos) {
+      counters_.unknown_kind.inc();
+    } else {
+      counters_.decode_errors.inc();
+    }
+    return;
+  }
+  handle_rendezvous(from, *decoded, bytes, now_ms, send);
+}
+
+void RelayCore::handle_rendezvous(const net::Endpoint& from,
+                                  const core::ProtocolPayload& payload,
+                                  std::span<const std::uint8_t> raw, Millis now_ms,
+                                  const SendFn& send) {
+  using Result = net::SessionBindingTable::RegisterResult;
+
+  if (const auto* reg = std::get_if<core::RendezvousRegister>(&payload)) {
+    const Result r = table_.register_leg(reg->session, reg->node, from, now_ms);
+    switch (r) {
+      case Result::kTableFull:
+        // The socket relay refuses exactly like an at-capacity sim relay
+        // refuses a relay-check probe (PR 5 capacity model).
+        counters_.busy_rejections.inc();
+        emit_payload(from, core::ProbeBusy{core::kRelayCheckTokenBit}, send);
+        return;
+      case Result::kRejected:
+        counters_.unknown_source.inc();
+        return;
+      case Result::kNew:
+        counters_.sessions_opened.inc();
+        counters_.peak_sessions.max_of(static_cast<double>(table_.open_sessions()));
+        break;
+      case Result::kRebound:
+        counters_.rebinds.inc();
+        break;
+      case Result::kPaired:
+      case Result::kRefreshed:
+        break;
+    }
+    counters_.registers.inc();
+    core::RendezvousBound bound;
+    bound.session = reg->session;
+    bound.observed_ip = from.ip;
+    bound.observed_port = from.port;
+    bound.peer_present = table_.paired(reg->session) ? 1 : 0;
+    counters_.bound_replies.inc();
+    emit_payload(from, bound, send);
+    // The pairing register also notifies the waiting first leg immediately
+    // (its own reflexive address, peer_present set) instead of letting it
+    // discover the peer on its next keepalive — setup doesn't pay a
+    // keepalive interval of latency.
+    if (r == Result::kPaired) {
+      if (const auto peer = table_.peer_of(reg->session, from)) {
+        core::RendezvousBound note;
+        note.session = reg->session;
+        note.observed_ip = peer->ip;
+        note.observed_port = peer->port;
+        note.peer_present = 1;
+        counters_.bound_replies.inc();
+        emit_payload(*peer, note, send);
+      }
+    }
+    return;
+  }
+
+  // Plain ping: always answered. A relay-check probe (token bit 63) is
+  // refused while the session table is full, mirroring the sim relay.
+  if (const auto* probe = std::get_if<core::Probe>(&payload)) {
+    const bool relay_check = (probe->token & core::kRelayCheckTokenBit) != 0;
+    if (relay_check && table_.open_sessions() >= table_.max_sessions()) {
+      counters_.busy_rejections.inc();
+      emit_payload(from, core::ProbeBusy{probe->token}, send);
+    } else {
+      counters_.keepalive_probes.inc();
+      emit_payload(from, core::ProbeReply{probe->token}, send);
+    }
+    return;
+  }
+
+  const std::optional<SessionId> session = session_of(payload);
+  if (!session.has_value()) {
+    counters_.unhandled_kind.inc();
+    return;
+  }
+  const std::optional<net::Endpoint> peer = table_.peer_of(*session, from);
+  if (!peer.has_value()) {
+    counters_.unknown_source.inc();
+    return;
+  }
+  table_.touch(*session, from, now_ms);
+  counters_.forwarded_frames.inc();
+  if (std::get_if<core::VoicePacket>(&payload) != nullptr) {
+    counters_.forwarded_voice.inc();
+  }
+  emit(*peer, raw, send);
+}
+
+void RelayCore::on_tick(Millis now_ms) {
+  const Millis interval =
+      std::max(kMinReapIntervalMs, config_.idle_timeout_ms / 4.0);
+  if (now_ms - last_reap_ms_ < interval) return;
+  last_reap_ms_ = now_ms;
+  const std::size_t reaped = table_.reap_idle(now_ms, config_.idle_timeout_ms);
+  if (reaped > 0) counters_.sessions_reaped.add(reaped);
+}
+
+}  // namespace asap::relayd

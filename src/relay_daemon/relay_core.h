@@ -1,0 +1,125 @@
+// Socket-free state machine of the asap-relay daemon.
+//
+// RelayCore is the whole brain of the relay — datagram in, zero or more
+// datagrams out through a caller-supplied send function — with no sockets,
+// threads or clocks of its own. The socketed shell (relay_daemon.h) feeds
+// it from a UdpSocket; the wire-fuzz tests feed it hostile bytes directly;
+// both exercise the identical parser and forwarding logic, which is what
+// lets ASan/UBSan cover the code path a hostile internet datagram would
+// take.
+//
+// Two modes, after the NDI-bridge relay progression the ROADMAP names:
+//  - Forward (phase 1): a raw packet forwarder with a fixed target. Frames
+//    from the target go to the most recent other source; frames from anyone
+//    else go to the target. Zero transcode: bytes out are bytes in.
+//  - Rendezvous (phase 2): both endpoints dial out to the relay
+//    (RendezvousRegister); the relay learns their observed source
+//    addresses, pairs them by session id (RendezvousBound answers carry the
+//    reflexive address + pairing state), and forwards session frames
+//    between the two bindings verbatim. Periodic re-registration is the
+//    keepalive that holds NAT bindings open; idle sessions are reaped; a
+//    full table refuses new sessions with ProbeBusy, mapping the PR 5
+//    relay-capacity model onto the socket datapath.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "net/endpoint.h"
+#include "net/session_table.h"
+#include "core/params.h"
+#include "core/protocol.h"
+#include "common/metrics.h"
+
+namespace asap::relayd {
+
+// Largest frame the relay accepts from the wire. Generous for every control
+// and voice frame the protocol defines (close-set replies excepted — those
+// never traverse a rendezvous relay), small enough that an oversize
+// datagram is an attack or a bug, counted and dropped.
+inline constexpr std::size_t kMaxFrameBytes = 2048;
+
+// Concurrent-session cap of a relay with abstract capability `capacity`,
+// under the PR 5 capacity model (core/protocol.cpp uses the identical
+// formula for sim relays): max(min_streams, floor(capacity * per_capacity)).
+[[nodiscard]] std::uint32_t relay_session_cap(double capacity, double per_capacity,
+                                              std::uint32_t min_streams);
+
+struct RelayConfig {
+  // Rendezvous mode unless `forward_target` is set (phase-1 forwarder).
+  std::optional<net::Endpoint> forward_target;
+  // Concurrent rendezvous sessions before new registrations get ProbeBusy.
+  std::size_t max_sessions = 64;
+  // A session none of whose legs re-registered or sent traffic for this
+  // long is reaped (NAT-binding expiry analogue). Reuses the keepalive
+  // cadence contract: endpoints refresh every keepalive_interval_ms, so the
+  // timeout must be a comfortable multiple of it.
+  Millis idle_timeout_ms = 10'000.0;
+};
+
+// relayd.* observability. Registered in the daemon's registry up front —
+// the daemon owns its registry (or a test passes one in); these series
+// never touch a simulation digest.
+struct RelaydCounters {
+  explicit RelaydCounters(MetricsRegistry& registry);
+
+  Counter datagrams_rx, datagrams_tx, bytes_rx, bytes_tx;
+  // Parser rejections: malformed, unknown-tag, oversize and kernel-truncated
+  // datagrams; decodable frames from addresses bound to no session.
+  Counter decode_errors, unknown_kind, oversize_drops, unknown_source,
+      unhandled_kind;
+  // Rendezvous state machine.
+  Counter registers, rebinds, bound_replies, busy_rejections, keepalive_probes,
+      sessions_opened, sessions_reaped;
+  // Forwarding.
+  Counter forwarded_frames, forwarded_voice;
+  Gauge peak_sessions;
+};
+
+class RelayCore {
+ public:
+  using SendFn =
+      std::function<void(const net::Endpoint& to, std::span<const std::uint8_t> bytes)>;
+
+  // `external` lets a harness share its registry; otherwise the core owns
+  // one (readable through metrics()).
+  explicit RelayCore(const RelayConfig& config, MetricsRegistry* external = nullptr);
+
+  // One datagram in. `truncated` marks a datagram the kernel clipped to the
+  // receive buffer (counted with the oversize drops — the frame on the wire
+  // was bigger than any legal frame). Every accepted frame is either
+  // answered, forwarded, or counted and dropped; nothing is silently eaten.
+  void handle_datagram(const net::Endpoint& from, std::span<const std::uint8_t> bytes,
+                       Millis now_ms, const SendFn& send, bool truncated = false);
+
+  // Periodic housekeeping (idle-session reaping). The shell calls this every
+  // poll iteration; cadence is internal.
+  void on_tick(Millis now_ms);
+
+  [[nodiscard]] const MetricsRegistry& metrics() const { return *metrics_; }
+  [[nodiscard]] std::size_t open_sessions() const { return table_.open_sessions(); }
+  [[nodiscard]] const RelayConfig& config() const { return config_; }
+
+ private:
+  void handle_rendezvous(const net::Endpoint& from, const core::ProtocolPayload& payload,
+                         std::span<const std::uint8_t> raw, Millis now_ms,
+                         const SendFn& send);
+  void emit(const net::Endpoint& to, std::span<const std::uint8_t> bytes,
+            const SendFn& send);
+  void emit_payload(const net::Endpoint& to, const core::ProtocolPayload& payload,
+                    const SendFn& send);
+
+  RelayConfig config_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // null when external
+  MetricsRegistry* metrics_;
+  RelaydCounters counters_;
+  net::SessionBindingTable table_;
+  // Phase-1 forwarder peer: the most recent non-target source.
+  net::Endpoint forward_peer_;
+  Millis last_reap_ms_ = 0.0;
+};
+
+}  // namespace asap::relayd

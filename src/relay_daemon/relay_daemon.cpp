@@ -1,0 +1,35 @@
+#include "relay_daemon/relay_daemon.h"
+
+namespace asap::relayd {
+
+Expected<RelayDaemon> RelayDaemon::open(const net::Endpoint& bind_addr,
+                                        const RelayConfig& config,
+                                        MetricsRegistry* external) {
+  auto socket = net::UdpSocket::bind(bind_addr);
+  if (!socket) return make_error(socket.error().message);
+  return RelayDaemon(std::move(*socket), config, external);
+}
+
+RelayDaemon::RelayDaemon(net::UdpSocket socket, const RelayConfig& config,
+                         MetricsRegistry* external)
+    : socket_(std::move(socket)),
+      core_(std::make_unique<RelayCore>(config, external)) {}
+
+void RelayDaemon::attach(net::PollLoop& loop) {
+  loop.add_socket(socket_.fd(), [this](Millis now_ms) { on_readable(now_ms); });
+  loop.add_ticker([this](Millis now_ms) { on_tick(now_ms); });
+}
+
+void RelayDaemon::on_readable(Millis now_ms) {
+  const RelayCore::SendFn send = [this](const net::Endpoint& to,
+                                        std::span<const std::uint8_t> bytes) {
+    socket_.send_to(to, bytes);
+  };
+  while (auto dgram = socket_.recv_from(buf_)) {
+    core_->handle_datagram(dgram->from,
+                           std::span<const std::uint8_t>(buf_.data(), dgram->size),
+                           now_ms, send, dgram->truncated);
+  }
+}
+
+}  // namespace asap::relayd

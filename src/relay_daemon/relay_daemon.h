@@ -1,0 +1,65 @@
+// Socketed shell around RelayCore: one nonblocking UDP socket, one poll
+// loop. All protocol behaviour lives in the core; this file only moves
+// datagrams between the kernel and the state machine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/poll_loop.h"
+#include "net/udp_socket.h"
+#include "relay_daemon/relay_core.h"
+#include "common/expected.h"
+
+namespace asap::relayd {
+
+class RelayDaemon {
+ public:
+  // Binds `bind_addr` (port 0 = kernel-assigned ephemeral; read the result
+  // through local_endpoint()).
+  static Expected<RelayDaemon> open(const net::Endpoint& bind_addr,
+                                    const RelayConfig& config,
+                                    MetricsRegistry* external = nullptr);
+
+  RelayDaemon(RelayDaemon&&) = default;
+  RelayDaemon& operator=(RelayDaemon&&) = default;
+
+  // Registers the socket and the reaping ticker on `loop`. The daemon must
+  // outlive the loop run.
+  void attach(net::PollLoop& loop);
+
+  // Drains every readable datagram into the core (one syscall per frame
+  // until EAGAIN). Called by the poll loop; public so tests can pump
+  // manually.
+  void on_readable(Millis now_ms);
+  void on_tick(Millis now_ms) { core_->on_tick(now_ms); }
+
+  // Kills the relay (test hook simulating relay death): deregisters from
+  // `loop` and closes the socket — every datagram addressed here from now on
+  // is dropped by the kernel, exactly what endpoints see when a relay host
+  // crashes.
+  void shutdown(net::PollLoop& loop) {
+    loop.remove_socket(socket_.fd());
+    socket_.close();
+  }
+
+  [[nodiscard]] const net::Endpoint& local_endpoint() const {
+    return socket_.local_endpoint();
+  }
+  [[nodiscard]] RelayCore& core() { return *core_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return core_->metrics(); }
+
+ private:
+  RelayDaemon(net::UdpSocket socket, const RelayConfig& config,
+              MetricsRegistry* external);
+
+  net::UdpSocket socket_;
+  // unique_ptr: RelayCore holds its counters by value; the daemon stays
+  // movable without invalidating the core's self-references.
+  std::unique_ptr<RelayCore> core_;
+  // Receive buffer one byte past the largest legal frame, so MSG_TRUNC
+  // plus the spare byte classifies every oversize datagram exactly.
+  std::array<std::uint8_t, kMaxFrameBytes + 1> buf_{};
+};
+
+}  // namespace asap::relayd

@@ -1,0 +1,164 @@
+// asap-relay: the real-UDP relay daemon (DESIGN.md §14).
+//
+// Phase 1 (--mode forward --target A:P): raw datagram forwarder — frames
+// from anyone go to the target, frames from the target go back to the most
+// recent other source. Phase 2 (--mode rendezvous, default): endpoints dial
+// out and register (NAT traversal); the relay pairs legs by session id and
+// forwards session frames between the observed bindings.
+//
+// Capacity knobs mirror the PR 5 sim model: --max-sessions directly, or
+// --capacity/--streams-per-capacity/--min-streams to derive it with the
+// same formula the sim uses. A full relay refuses new sessions with
+// ProbeBusy.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "net/endpoint.h"
+#include "net/poll_loop.h"
+#include "relay_daemon/relay_daemon.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void usage() {
+  std::cerr
+      << "usage: asap-relay [options]\n"
+         "  --bind A.B.C.D        bind address (default 127.0.0.1)\n"
+         "  --port N              UDP port (default 0 = ephemeral)\n"
+         "  --mode rendezvous|forward   (default rendezvous)\n"
+         "  --target A.B.C.D:P    forward-mode fixed target\n"
+         "  --max-sessions N      concurrent session cap (default 64)\n"
+         "  --capacity X          derive cap from the sim capacity model\n"
+         "  --streams-per-capacity X    (with --capacity)\n"
+         "  --min-streams N             (with --capacity; default 1)\n"
+         "  --idle-timeout-ms X   reap sessions idle this long (default 10000)\n"
+         "  --run-ms N            exit after N ms (default: until SIGINT)\n"
+         "  --metrics-out PATH    write relayd.* metrics JSON on exit\n"
+         "  --print-port          print the bound port on stdout at startup\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using asap::net::Endpoint;
+
+  std::string bind_ip = "127.0.0.1";
+  int port = 0;
+  std::string mode = "rendezvous";
+  std::optional<Endpoint> target;
+  asap::relayd::RelayConfig config;
+  double capacity = -1.0;
+  double streams_per_capacity = 0.0;
+  std::uint32_t min_streams = 1;
+  double run_ms = -1.0;
+  std::string metrics_out;
+  bool print_port = false;
+
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      usage();
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bind") {
+      bind_ip = need(i);
+    } else if (arg == "--port") {
+      port = std::atoi(need(i));
+    } else if (arg == "--mode") {
+      mode = need(i);
+    } else if (arg == "--target") {
+      target = Endpoint::parse(need(i));
+      if (!target) {
+        std::cerr << "asap-relay: bad --target\n";
+        return 2;
+      }
+    } else if (arg == "--max-sessions") {
+      config.max_sessions = static_cast<std::size_t>(std::atol(need(i)));
+    } else if (arg == "--capacity") {
+      capacity = std::atof(need(i));
+    } else if (arg == "--streams-per-capacity") {
+      streams_per_capacity = std::atof(need(i));
+    } else if (arg == "--min-streams") {
+      min_streams = static_cast<std::uint32_t>(std::atol(need(i)));
+    } else if (arg == "--idle-timeout-ms") {
+      config.idle_timeout_ms = std::atof(need(i));
+    } else if (arg == "--run-ms") {
+      run_ms = std::atof(need(i));
+    } else if (arg == "--metrics-out") {
+      metrics_out = need(i);
+    } else if (arg == "--print-port") {
+      print_port = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "asap-relay: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  if (mode == "forward") {
+    if (!target) {
+      std::cerr << "asap-relay: --mode forward requires --target\n";
+      return 2;
+    }
+    config.forward_target = target;
+  } else if (mode != "rendezvous") {
+    std::cerr << "asap-relay: unknown --mode " << mode << "\n";
+    return 2;
+  }
+  if (capacity >= 0.0) {
+    config.max_sessions =
+        asap::relayd::relay_session_cap(capacity, streams_per_capacity, min_streams);
+  }
+
+  auto bind_ep = Endpoint::parse(bind_ip + ":" + std::to_string(port == 0 ? 1 : port));
+  if (!bind_ep) {
+    std::cerr << "asap-relay: bad --bind address\n";
+    return 2;
+  }
+  bind_ep->port = static_cast<std::uint16_t>(port);
+
+  auto daemon = asap::relayd::RelayDaemon::open(*bind_ep, config);
+  if (!daemon) {
+    std::cerr << "asap-relay: " << daemon.error().message << "\n";
+    return 1;
+  }
+  if (print_port) {
+    std::cout << daemon->local_endpoint().port << "\n" << std::flush;
+  }
+  std::cerr << "asap-relay: listening on " << daemon->local_endpoint().to_string()
+            << " (" << mode << ", max_sessions=" << config.max_sessions << ")\n";
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  asap::net::PollLoop loop;
+  daemon->attach(loop);
+  while (g_stop == 0) {
+    if (!loop.run_once(50)) break;
+    if (run_ms >= 0.0 && loop.now_ms() >= run_ms) break;
+  }
+
+  const std::string json = asap::metrics_to_json(daemon->metrics());
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    out << json << "\n";
+  } else {
+    std::cerr << json << "\n";
+  }
+  return 0;
+}

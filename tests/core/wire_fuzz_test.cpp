@@ -15,6 +15,8 @@
 
 #include "core/protocol.h"
 #include "core/wire.h"
+#include "net/endpoint.h"
+#include "relay_daemon/relay_core.h"
 #include "population/session_gen.h"
 
 namespace asap::core {
@@ -149,6 +151,119 @@ TEST(WireKindName, OutOfRangeIndexIsSafe) {
   EXPECT_EQ(wire_kind_name(std::variant_size_v<ProtocolPayload>), "?");
   EXPECT_EQ(wire_kind_name(9999), "?");
   EXPECT_EQ(wire_kind_name(static_cast<std::size_t>(-1)), "?");
+}
+
+// --- UDP framing boundary: the relay daemon's parser -------------------------
+//
+// RelayCore is the code an arbitrary internet datagram reaches first in a
+// real deployment, so it gets the same hostile treatment deliver_wire gets
+// above: random bytes, mutated encodings, oversize and kernel-truncated
+// datagrams, valid frames from sockaddrs bound to nothing. The binary's
+// `sanitize` label runs all of it under ASan and UBSan. The contract: every
+// datagram is counted (rx == handled sum) and the relay still forwards a
+// clean call afterwards.
+
+net::Endpoint random_addr(Rng& rng) {
+  return net::Endpoint{static_cast<std::uint32_t>(rng.below(0xFFFFFFFFull)),
+                       static_cast<std::uint16_t>(1 + rng.below(65535))};
+}
+
+relayd::RelayCore::SendFn null_send() {
+  return [](const net::Endpoint&, std::span<const std::uint8_t>) {};
+}
+
+TEST(RelayDaemonFuzz, RandomDatagramsFromRandomSockaddrsNeverFatal) {
+  relayd::RelayCore relay({});
+  Rng rng(0x5EED);
+  for (int i = 0; i < 6000; ++i) {
+    std::vector<std::uint8_t> frame(rng.below(96));
+    for (auto& byte : frame) byte = static_cast<std::uint8_t>(rng.below(256));
+    relay.handle_datagram(random_addr(rng), frame, static_cast<double>(i),
+                          null_send());
+  }
+  relay.on_tick(60'000.0);
+  const auto& m = relay.metrics();
+  // Conservation: every datagram landed in exactly one disposition bucket
+  // (nothing was silently eaten, nothing double-counted).
+  const std::uint64_t handled =
+      m.value("relayd.decode_errors") + m.value("relayd.unknown_kind") +
+      m.value("relayd.oversize_drops") + m.value("relayd.unknown_source") +
+      m.value("relayd.unhandled_kind") + m.value("relayd.registers") +
+      m.value("relayd.busy_rejections") + m.value("relayd.keepalive_probes") +
+      m.value("relayd.forwarded_frames");
+  EXPECT_EQ(m.value("relayd.datagrams_rx"), 6000u);
+  EXPECT_EQ(handled, 6000u);
+}
+
+TEST(RelayDaemonFuzz, MutatedEncodingsAndBoundarySizesAreAbsorbed) {
+  relayd::RelayCore relay({});
+  Rng rng(0xFACE);
+  std::vector<ProtocolPayload> seeds;
+  seeds.emplace_back(RendezvousRegister{SessionId(3), 7});
+  seeds.emplace_back(RendezvousBound{SessionId(3), 0x7F000001u, 9999, 1});
+  seeds.emplace_back(Probe{kRelayCheckTokenBit | 5});
+  VoicePacket voice;
+  voice.session = SessionId(3);
+  voice.seq = 1;
+  seeds.emplace_back(voice);
+
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> bytes = wire::encode(seeds[rng.below(seeds.size())]);
+    switch (rng.below(4)) {
+      case 0:  // bit flips
+        for (std::uint64_t flips = 1 + rng.below(4); flips > 0; --flips) {
+          bytes[rng.below(bytes.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+        break;
+      case 1:  // truncate to every possible prefix over the rounds
+        bytes.resize(rng.below(bytes.size() + 1));
+        break;
+      case 2:  // inflate to (and past) the frame-size guard
+        bytes.resize(relayd::kMaxFrameBytes + rng.below(64), 0xAA);
+        break;
+      default:  // kernel-reported truncation of an otherwise valid frame
+        relay.handle_datagram(random_addr(rng), bytes,
+                              static_cast<double>(round), null_send(),
+                              /*truncated=*/true);
+        continue;
+    }
+    relay.handle_datagram(random_addr(rng), bytes, static_cast<double>(round),
+                          null_send());
+  }
+  SUCCEED();  // sanitizers are the assertion here
+}
+
+TEST(RelayDaemonFuzz, StillForwardsCleanCallAfterTheStorm) {
+  relayd::RelayCore relay({});
+  Rng rng(0xCAFE);
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<std::uint8_t> frame(rng.below(64));
+    for (auto& byte : frame) byte = static_cast<std::uint8_t>(rng.below(256));
+    relay.handle_datagram(random_addr(rng), frame, static_cast<double>(i),
+                          null_send());
+  }
+
+  // A clean rendezvous + voice exchange still works.
+  const net::Endpoint leg_a{0x7F000001u, 1111};
+  const net::Endpoint leg_b{0x7F000001u, 2222};
+  std::vector<std::pair<net::Endpoint, std::vector<std::uint8_t>>> sent;
+  auto capture = [&](const net::Endpoint& to, std::span<const std::uint8_t> bytes) {
+    sent.emplace_back(to, std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  };
+  relay.handle_datagram(leg_a, wire::encode(RendezvousRegister{SessionId(8), 1}),
+                        5000.0, capture);
+  relay.handle_datagram(leg_b, wire::encode(RendezvousRegister{SessionId(8), 2}),
+                        5001.0, capture);
+  VoicePacket voice;
+  voice.session = SessionId(8);
+  voice.seq = 0;
+  const auto voice_bytes = wire::encode(ProtocolPayload{voice});
+  relay.handle_datagram(leg_a, voice_bytes, 5002.0, capture);
+
+  ASSERT_GE(sent.size(), 4u);  // two Bounds, pairing notice, forwarded voice
+  EXPECT_EQ(sent.back().first, leg_b);
+  EXPECT_EQ(sent.back().second, voice_bytes);  // forwarded verbatim
 }
 
 }  // namespace

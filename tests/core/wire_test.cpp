@@ -33,6 +33,9 @@ std::vector<ProtocolPayload> all_message_kinds() {
       CallAccept{SessionId(31), sample_set()},
       VoicePacket{SessionId(31), 17, 123.5, {NodeId(3), NodeId(9)}},
       RelayFailureNotice{SessionId(31), 16},
+      ProbeBusy{0xDEADBEEFCAFEULL},
+      RendezvousRegister{SessionId(31), 9},
+      RendezvousBound{SessionId(31), 0x7F000001u, 40123, 1},
   };
 }
 
@@ -111,6 +114,24 @@ TEST(Wire, RelayFailureNoticeRoundTripsExactly) {
   const auto& back = std::get<RelayFailureNotice>(*decoded);
   EXPECT_EQ(back.session, SessionId(1234));
   EXPECT_EQ(back.last_seq, 567u);
+}
+
+TEST(Wire, RendezvousPairRoundTripsExactly) {
+  RendezvousRegister reg{SessionId(0xABCD), 4242};
+  auto reg_back = decode(encode(ProtocolPayload{reg}));
+  ASSERT_TRUE(reg_back.has_value());
+  const auto& r = std::get<RendezvousRegister>(*reg_back);
+  EXPECT_EQ(r.session, SessionId(0xABCD));
+  EXPECT_EQ(r.node, 4242u);
+
+  RendezvousBound bound{SessionId(0xABCD), 0xC0A80101u, 65535, 1};
+  auto bound_back = decode(encode(ProtocolPayload{bound}));
+  ASSERT_TRUE(bound_back.has_value());
+  const auto& b = std::get<RendezvousBound>(*bound_back);
+  EXPECT_EQ(b.session, SessionId(0xABCD));
+  EXPECT_EQ(b.observed_ip, 0xC0A80101u);
+  EXPECT_EQ(b.observed_port, 65535u);
+  EXPECT_EQ(b.peer_present, 1u);
 }
 
 TEST(Wire, RejectsTrailingGarbage) {

@@ -1,0 +1,120 @@
+// Network-namespace variant of the loopback harness.
+//
+// Runs the rendezvous call inside a fresh net namespace (CLONE_NEWNET) so
+// the test owns its interfaces: the relay and the two legs bind distinct
+// 127.0.0.x addresses (every 127/8 address is local on lo), which exercises
+// address-distinct forwarding the plain-loopback tests cannot. Creating a
+// netns needs CAP_SYS_ADMIN; when unshare() is refused the test SKIPS
+// cleanly — CI containers and developer machines without privileges lose
+// coverage, never correctness.
+#include <gtest/gtest.h>
+
+#include <net/if.h>
+#include <sched.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/endpoint.h"
+#include "net/poll_loop.h"
+#include "relay_daemon/endpoint_client.h"
+#include "relay_daemon/relay_daemon.h"
+
+namespace asap {
+namespace {
+
+constexpr int kExitPass = 0;
+constexpr int kExitNoPriv = 42;  // unshare refused: skip, don't fail
+constexpr int kExitFail = 1;
+
+// Brings lo up inside the fresh namespace (it starts DOWN there).
+bool loopback_up() {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return false;
+  ifreq ifr{};
+  std::strncpy(ifr.ifr_name, "lo", IFNAMSIZ - 1);
+  if (::ioctl(fd, SIOCGIFFLAGS, &ifr) < 0) {
+    ::close(fd);
+    return false;
+  }
+  ifr.ifr_flags |= IFF_UP | IFF_RUNNING;
+  const bool ok = ::ioctl(fd, SIOCSIFFLAGS, &ifr) >= 0;
+  ::close(fd);
+  return ok;
+}
+
+// The whole call, run inside the child's private namespace. Plain int
+// return instead of gtest asserts: the child reports through its exit code.
+int run_call_in_namespace() {
+  if (::unshare(CLONE_NEWNET) != 0) {
+    return errno == EPERM || errno == EACCES ? kExitNoPriv : kExitFail;
+  }
+  if (!loopback_up()) return kExitFail;
+
+  using net::Endpoint;
+  // Distinct 127/8 addresses for each party.
+  auto relay_ep = Endpoint{0x7F000002u, 0};   // 127.0.0.2
+  auto caller_ep = Endpoint{0x7F000003u, 0};  // 127.0.0.3
+  auto callee_ep = Endpoint{0x7F000004u, 0};  // 127.0.0.4
+
+  auto relay = relayd::RelayDaemon::open(relay_ep, relayd::RelayConfig{});
+  if (!relay) return kExitFail;
+
+  relayd::EndpointConfig base;
+  base.relay = relay->local_endpoint();
+  base.session = SessionId(1);
+  base.voice_duration_ms = 200.0;
+  base.keepalive_interval_ms = 50.0;
+
+  relayd::EndpointConfig caller_cfg = base;
+  caller_cfg.caller = true;
+  caller_cfg.node = 1;
+  relayd::EndpointConfig callee_cfg = base;
+  callee_cfg.caller = false;
+  callee_cfg.node = 2;
+
+  auto caller = relayd::EndpointClient::open(caller_cfg, caller_ep);
+  auto callee = relayd::EndpointClient::open(callee_cfg, callee_ep);
+  if (!caller || !callee) return kExitFail;
+
+  net::PollLoop loop;
+  relay->attach(loop);
+  caller->attach(loop);
+  callee->attach(loop);
+  if (!loop.run_until([&] { return caller->done() && callee->done(); }, 30'000.0)) {
+    return kExitFail;
+  }
+  if (!caller->report().completed || !callee->report().completed) return kExitFail;
+  // The relay really saw three distinct addresses.
+  if (caller->report().observed.ip != 0x7F000003u) return kExitFail;
+  if (callee->report().observed.ip != 0x7F000004u) return kExitFail;
+
+  // Mid-namespace NAT rebind across addresses: move the caller to 127.0.0.5.
+  auto rebind_ep = Endpoint{0x7F000005u, 0};
+  if (!caller->rebind(loop, rebind_ep)) return kExitFail;
+  return kExitPass;
+}
+
+TEST(SocketNetns, RendezvousCallAcrossDistinctAddresses) {
+  // Fork: unshare(CLONE_NEWNET) must not perturb the parent test process.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed: " << std::strerror(errno);
+  if (pid == 0) {
+    ::_exit(run_call_in_namespace());
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "netns child crashed";
+  const int code = WEXITSTATUS(status);
+  if (code == kExitNoPriv) {
+    GTEST_SKIP() << "no privilege for CLONE_NEWNET; netns variant skipped";
+  }
+  EXPECT_EQ(code, kExitPass);
+}
+
+}  // namespace
+}  // namespace asap

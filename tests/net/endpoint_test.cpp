@@ -1,0 +1,62 @@
+#include "net/endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace asap::net {
+namespace {
+
+TEST(Endpoint, ParsesDottedQuadWithPort) {
+  auto ep = Endpoint::parse("127.0.0.1:5060");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->ip, 0x7F000001u);
+  EXPECT_EQ(ep->port, 5060u);
+  EXPECT_EQ(ep->to_string(), "127.0.0.1:5060");
+}
+
+TEST(Endpoint, ParseToStringRoundTrips) {
+  for (const char* text : {"0.0.0.0:1", "255.255.255.255:65535", "10.1.2.3:40000"}) {
+    auto ep = Endpoint::parse(text);
+    ASSERT_TRUE(ep.has_value()) << text;
+    EXPECT_EQ(ep->to_string(), text);
+  }
+}
+
+TEST(Endpoint, RejectsMalformedInput) {
+  EXPECT_FALSE(Endpoint::parse("").has_value());
+  EXPECT_FALSE(Endpoint::parse("127.0.0.1").has_value());       // no port
+  EXPECT_FALSE(Endpoint::parse("127.0.0.1:").has_value());      // empty port
+  EXPECT_FALSE(Endpoint::parse("127.0.0.1:0").has_value());     // port 0
+  EXPECT_FALSE(Endpoint::parse("127.0.0.1:65536").has_value()); // overflow
+  EXPECT_FALSE(Endpoint::parse("127.0.0.1:12ab").has_value());
+  EXPECT_FALSE(Endpoint::parse("300.0.0.1:80").has_value());
+  EXPECT_FALSE(Endpoint::parse("not an address").has_value());
+}
+
+TEST(Endpoint, SockaddrConversionRoundTrips) {
+  const Endpoint ep{0xC0A80164u, 33000};  // 192.168.1.100:33000
+  const sockaddr_in sa = to_sockaddr(ep);
+  EXPECT_EQ(sa.sin_family, AF_INET);
+  EXPECT_EQ(from_sockaddr(sa), ep);
+}
+
+TEST(Endpoint, OrderingAndHashingAreConsistent) {
+  const Endpoint a{1, 10};
+  const Endpoint b{1, 11};
+  const Endpoint c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  std::unordered_set<Endpoint> set{a, b, c, a};
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(Endpoint, ValidityIsPortDriven) {
+  EXPECT_FALSE(Endpoint{}.valid());
+  EXPECT_TRUE(loopback(9).valid());
+  EXPECT_EQ(loopback(9).ip, 0x7F000001u);
+  EXPECT_FALSE(loopback(0).valid());  // ephemeral request, not yet bound
+}
+
+}  // namespace
+}  // namespace asap::net

@@ -1,0 +1,257 @@
+// RelayCore unit tests: the relay daemon's whole state machine driven
+// without sockets — frames in, captured frames out — which is also the shape
+// the wire-fuzz harness uses.
+#include "relay_daemon/relay_core.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/wire.h"
+
+namespace asap::relayd {
+namespace {
+
+using core::ProtocolPayload;
+using net::Endpoint;
+
+const Endpoint kLegA{0x7F000001u, 1111};
+const Endpoint kLegB{0x7F000001u, 2222};
+const Endpoint kOther{0x7F000001u, 3333};
+
+struct Capture {
+  std::vector<std::pair<Endpoint, std::vector<std::uint8_t>>> sent;
+
+  RelayCore::SendFn fn() {
+    return [this](const Endpoint& to, std::span<const std::uint8_t> bytes) {
+      sent.emplace_back(to, std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+    };
+  }
+  // Decoded view of message i (must decode; relay output is always well-formed).
+  ProtocolPayload decoded(std::size_t i) const {
+    auto d = core::wire::decode(sent.at(i).second);
+    EXPECT_TRUE(d.has_value());
+    return *d;
+  }
+};
+
+void feed(RelayCore& core, const Endpoint& from, const ProtocolPayload& payload,
+          Capture& cap, Millis now = 0.0) {
+  const auto bytes = core::wire::encode(payload);
+  core.handle_datagram(from, bytes, now, cap.fn());
+}
+
+std::uint64_t counter(const RelayCore& core, const std::string& name) {
+  return core.metrics().value(name);
+}
+
+TEST(RelayCore, RegisterGetsBoundWithReflexiveAddress) {
+  RelayCore core(RelayConfig{});
+  Capture cap;
+  feed(core, kLegA, core::RendezvousRegister{SessionId(5), 1}, cap);
+  ASSERT_EQ(cap.sent.size(), 1u);
+  EXPECT_EQ(cap.sent[0].first, kLegA);
+  const auto bound = std::get<core::RendezvousBound>(cap.decoded(0));
+  EXPECT_EQ(bound.session, SessionId(5));
+  EXPECT_EQ(bound.observed_ip, kLegA.ip);
+  EXPECT_EQ(bound.observed_port, kLegA.port);
+  EXPECT_EQ(bound.peer_present, 0u);
+  EXPECT_EQ(counter(core, "relayd.sessions_opened"), 1u);
+}
+
+TEST(RelayCore, PairingNotifiesBothLegsImmediately) {
+  RelayCore core(RelayConfig{});
+  Capture cap;
+  feed(core, kLegA, core::RendezvousRegister{SessionId(5), 1}, cap);
+  feed(core, kLegB, core::RendezvousRegister{SessionId(5), 2}, cap);
+  // Reply to B plus the unsolicited peer-present notification to A.
+  ASSERT_EQ(cap.sent.size(), 3u);
+  EXPECT_EQ(cap.sent[1].first, kLegB);
+  EXPECT_EQ(std::get<core::RendezvousBound>(cap.decoded(1)).peer_present, 1u);
+  EXPECT_EQ(cap.sent[2].first, kLegA);
+  const auto note = std::get<core::RendezvousBound>(cap.decoded(2));
+  EXPECT_EQ(note.peer_present, 1u);
+  EXPECT_EQ(note.observed_port, kLegA.port);  // each leg told its own address
+}
+
+TEST(RelayCore, ForwardsSessionFramesBetweenPairedLegsVerbatim) {
+  RelayCore core(RelayConfig{});
+  Capture cap;
+  feed(core, kLegA, core::RendezvousRegister{SessionId(5), 1}, cap);
+  feed(core, kLegB, core::RendezvousRegister{SessionId(5), 2}, cap);
+  cap.sent.clear();
+
+  core::VoicePacket voice;
+  voice.session = SessionId(5);
+  voice.seq = 3;
+  voice.sent_at_ms = 60.0;
+  const auto bytes = core::wire::encode(ProtocolPayload{voice});
+  core.handle_datagram(kLegA, bytes, 1.0, cap.fn());
+  ASSERT_EQ(cap.sent.size(), 1u);
+  EXPECT_EQ(cap.sent[0].first, kLegB);
+  EXPECT_EQ(cap.sent[0].second, bytes);  // forwarded byte-for-byte
+  EXPECT_EQ(counter(core, "relayd.forwarded_voice"), 1u);
+
+  feed(core, kLegB, core::CallSetup{SessionId(5)}, cap);
+  EXPECT_EQ(cap.sent.back().first, kLegA);
+  EXPECT_EQ(counter(core, "relayd.forwarded_frames"), 2u);
+}
+
+TEST(RelayCore, HalfOpenSessionFramesAreDropped) {
+  RelayCore core(RelayConfig{});
+  Capture cap;
+  feed(core, kLegA, core::RendezvousRegister{SessionId(5), 1}, cap);
+  cap.sent.clear();
+  core::VoicePacket voice;
+  voice.session = SessionId(5);
+  feed(core, kLegA, ProtocolPayload{voice}, cap);
+  EXPECT_TRUE(cap.sent.empty());
+  EXPECT_EQ(counter(core, "relayd.unknown_source"), 1u);
+}
+
+TEST(RelayCore, FullTableAnswersProbeBusy) {
+  RelayConfig config;
+  config.max_sessions = 1;
+  RelayCore core(config);
+  Capture cap;
+  feed(core, kLegA, core::RendezvousRegister{SessionId(1), 1}, cap);
+  cap.sent.clear();
+
+  feed(core, kOther, core::RendezvousRegister{SessionId(2), 9}, cap);
+  ASSERT_EQ(cap.sent.size(), 1u);
+  EXPECT_EQ(cap.sent[0].first, kOther);
+  const auto busy = std::get<core::ProbeBusy>(cap.decoded(0));
+  EXPECT_NE(busy.token & core::kRelayCheckTokenBit, 0u);
+  EXPECT_EQ(counter(core, "relayd.busy_rejections"), 1u);
+  EXPECT_EQ(core.open_sessions(), 1u);
+}
+
+TEST(RelayCore, RelayCheckProbeRefusedOnlyWhenFull) {
+  RelayConfig config;
+  config.max_sessions = 1;
+  RelayCore core(config);
+  Capture cap;
+
+  const std::uint64_t check = core::kRelayCheckTokenBit | 42u;
+  feed(core, kOther, core::Probe{check}, cap);
+  EXPECT_TRUE(std::holds_alternative<core::ProbeReply>(cap.decoded(0)));
+
+  feed(core, kLegA, core::RendezvousRegister{SessionId(1), 1}, cap);
+  cap.sent.clear();
+  feed(core, kOther, core::Probe{check}, cap);
+  EXPECT_TRUE(std::holds_alternative<core::ProbeBusy>(cap.decoded(0)));
+
+  // A plain ping is always answered, even at capacity (PR 5 contract).
+  feed(core, kOther, core::Probe{42u}, cap);
+  EXPECT_TRUE(std::holds_alternative<core::ProbeReply>(cap.decoded(1)));
+}
+
+TEST(RelayCore, NatRebindRelearnsForwardingAddress) {
+  RelayCore core(RelayConfig{});
+  Capture cap;
+  feed(core, kLegA, core::RendezvousRegister{SessionId(5), 1}, cap);
+  feed(core, kLegB, core::RendezvousRegister{SessionId(5), 2}, cap);
+  // Leg A rebinds: same node id from a new source address.
+  feed(core, kOther, core::RendezvousRegister{SessionId(5), 1}, cap, 10.0);
+  EXPECT_EQ(counter(core, "relayd.rebinds"), 1u);
+  cap.sent.clear();
+
+  core::VoicePacket voice;
+  voice.session = SessionId(5);
+  feed(core, kLegB, ProtocolPayload{voice}, cap, 11.0);
+  ASSERT_EQ(cap.sent.size(), 1u);
+  EXPECT_EQ(cap.sent[0].first, kOther);  // forwarded to the new address
+}
+
+TEST(RelayCore, IdleSessionsAreReapedAndSlotsReusable) {
+  RelayConfig config;
+  config.max_sessions = 1;
+  config.idle_timeout_ms = 100.0;
+  RelayCore core(config);
+  Capture cap;
+  feed(core, kLegA, core::RendezvousRegister{SessionId(1), 1}, cap, 0.0);
+  core.on_tick(500.0);
+  EXPECT_EQ(core.open_sessions(), 0u);
+  EXPECT_EQ(counter(core, "relayd.sessions_reaped"), 1u);
+
+  // The freed slot admits a new session.
+  feed(core, kLegB, core::RendezvousRegister{SessionId(2), 2}, cap, 501.0);
+  EXPECT_EQ(core.open_sessions(), 1u);
+  EXPECT_EQ(counter(core, "relayd.busy_rejections"), 0u);
+}
+
+TEST(RelayCore, MalformedOversizeAndUnknownInputsAreCounted) {
+  RelayCore core(RelayConfig{});
+  Capture cap;
+
+  const std::vector<std::uint8_t> garbage{0xFF, 0xFF, 0xFF};
+  core.handle_datagram(kOther, garbage, 0.0, cap.fn());
+  EXPECT_EQ(counter(core, "relayd.decode_errors"), 1u);
+
+  std::vector<std::uint8_t> unknown_tag{core::wire::kWireVersion, 0xEE};
+  core.handle_datagram(kOther, unknown_tag, 0.0, cap.fn());
+  EXPECT_EQ(counter(core, "relayd.unknown_kind"), 1u);
+
+  const std::vector<std::uint8_t> huge(kMaxFrameBytes + 1, 0);
+  core.handle_datagram(kOther, huge, 0.0, cap.fn());
+  core.handle_datagram(kOther, garbage, 0.0, cap.fn(), /*truncated=*/true);
+  EXPECT_EQ(counter(core, "relayd.oversize_drops"), 2u);
+
+  // Decodable non-session kind the relay has no business with.
+  feed(core, kOther, core::CloseSetRequest{}, cap);
+  EXPECT_EQ(counter(core, "relayd.unhandled_kind"), 1u);
+
+  // Session frame from an address bound to nothing.
+  core::VoicePacket voice;
+  voice.session = SessionId(404);
+  feed(core, kOther, ProtocolPayload{voice}, cap);
+  EXPECT_EQ(counter(core, "relayd.unknown_source"), 1u);
+
+  EXPECT_TRUE(cap.sent.empty());  // every one dropped, none answered
+}
+
+TEST(RelayCore, ForwardModeRelaysVerbatimWithoutParsing) {
+  RelayConfig config;
+  config.forward_target = kLegB;
+  RelayCore core(config);
+  Capture cap;
+
+  // Arbitrary bytes (not even a wire frame) flow client -> target.
+  const std::vector<std::uint8_t> blob{9, 8, 7, 6};
+  core.handle_datagram(kLegA, blob, 0.0, cap.fn());
+  ASSERT_EQ(cap.sent.size(), 1u);
+  EXPECT_EQ(cap.sent[0].first, kLegB);
+  EXPECT_EQ(cap.sent[0].second, blob);
+
+  // Target replies flow back to the most recent client.
+  const std::vector<std::uint8_t> reply{1, 2};
+  core.handle_datagram(kLegB, reply, 1.0, cap.fn());
+  ASSERT_EQ(cap.sent.size(), 2u);
+  EXPECT_EQ(cap.sent[1].first, kLegA);
+  EXPECT_EQ(cap.sent[1].second, reply);
+  EXPECT_EQ(counter(core, "relayd.forwarded_frames"), 2u);
+}
+
+TEST(RelayCore, SessionCapFormulaMatchesSimModel) {
+  EXPECT_EQ(relay_session_cap(10.0, 2.0, 1), 20u);
+  EXPECT_EQ(relay_session_cap(0.1, 2.0, 4), 4u);   // floor wins
+  EXPECT_EQ(relay_session_cap(2.9, 1.0, 1), 2u);   // truncation, not rounding
+}
+
+TEST(RelayCore, PeakSessionsGaugeTracksHighWaterMark) {
+  RelayCore core(RelayConfig{});
+  Capture cap;
+  feed(core, kLegA, core::RendezvousRegister{SessionId(1), 1}, cap);
+  feed(core, kLegB, core::RendezvousRegister{SessionId(2), 2}, cap);
+  auto gauges = core.metrics().gauges();
+  double peak = 0.0;
+  for (const auto& [name, value] : gauges) {
+    if (name == "relayd.peak_sessions") peak = value;
+  }
+  EXPECT_EQ(peak, 2.0);
+}
+
+}  // namespace
+}  // namespace asap::relayd

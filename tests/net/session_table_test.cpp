@@ -1,0 +1,100 @@
+#include "net/session_table.h"
+
+#include <gtest/gtest.h>
+
+namespace asap::net {
+namespace {
+
+using Result = SessionBindingTable::RegisterResult;
+
+const Endpoint kA{0x7F000001u, 1111};
+const Endpoint kB{0x7F000001u, 2222};
+const Endpoint kC{0x7F000001u, 3333};
+
+TEST(SessionTable, PairsTwoLegsBySessionId) {
+  SessionBindingTable table(4);
+  const SessionId s(7);
+  EXPECT_EQ(table.register_leg(s, 1, kA, 0.0), Result::kNew);
+  EXPECT_FALSE(table.paired(s));
+  EXPECT_FALSE(table.peer_of(s, kA).has_value());  // half-open: nowhere to go
+
+  EXPECT_EQ(table.register_leg(s, 2, kB, 1.0), Result::kPaired);
+  EXPECT_TRUE(table.paired(s));
+  EXPECT_EQ(table.peer_of(s, kA), kB);
+  EXPECT_EQ(table.peer_of(s, kB), kA);
+}
+
+TEST(SessionTable, KeepaliveRefreshesWithoutStateChange) {
+  SessionBindingTable table(4);
+  const SessionId s(7);
+  table.register_leg(s, 1, kA, 0.0);
+  EXPECT_EQ(table.register_leg(s, 1, kA, 100.0), Result::kRefreshed);
+  EXPECT_EQ(table.open_sessions(), 1u);
+}
+
+TEST(SessionTable, SameNodeNewAddressIsRebinding) {
+  SessionBindingTable table(4);
+  const SessionId s(7);
+  table.register_leg(s, 1, kA, 0.0);
+  table.register_leg(s, 2, kB, 0.0);
+  // Node 1's NAT rebound: same node id, different source address.
+  EXPECT_EQ(table.register_leg(s, 1, kC, 5.0), Result::kRebound);
+  EXPECT_EQ(table.peer_of(s, kB), kC);            // forwarding relearned
+  EXPECT_FALSE(table.peer_of(s, kA).has_value()); // old address forgotten
+}
+
+TEST(SessionTable, ThirdNodeOnPairedSessionIsRejected) {
+  SessionBindingTable table(4);
+  const SessionId s(7);
+  table.register_leg(s, 1, kA, 0.0);
+  table.register_leg(s, 2, kB, 0.0);
+  EXPECT_EQ(table.register_leg(s, 3, kC, 1.0), Result::kRejected);
+  EXPECT_EQ(table.peer_of(s, kA), kB);  // pairing untouched
+}
+
+TEST(SessionTable, FullTableRefusesOnlyNewSessions) {
+  SessionBindingTable table(1);
+  EXPECT_EQ(table.register_leg(SessionId(1), 1, kA, 0.0), Result::kNew);
+  EXPECT_EQ(table.register_leg(SessionId(2), 3, kC, 0.0), Result::kTableFull);
+  // The existing session still accepts its second leg and keepalives.
+  EXPECT_EQ(table.register_leg(SessionId(1), 2, kB, 0.0), Result::kPaired);
+  EXPECT_EQ(table.register_leg(SessionId(1), 1, kA, 1.0), Result::kRefreshed);
+}
+
+TEST(SessionTable, ReapsOnlyIdleSessions) {
+  SessionBindingTable table(4);
+  table.register_leg(SessionId(1), 1, kA, 0.0);
+  table.register_leg(SessionId(1), 2, kB, 0.0);
+  table.register_leg(SessionId(2), 3, kC, 0.0);
+
+  // Session 1 stays active through leg traffic; session 2 goes idle.
+  table.touch(SessionId(1), kA, 900.0);
+  EXPECT_EQ(table.reap_idle(1000.0, 500.0), 1u);
+  EXPECT_EQ(table.open_sessions(), 1u);
+  EXPECT_TRUE(table.paired(SessionId(1)));
+
+  // Enough silence reaps the rest.
+  EXPECT_EQ(table.reap_idle(2000.0, 500.0), 1u);
+  EXPECT_EQ(table.open_sessions(), 0u);
+}
+
+TEST(SessionTable, ActivityOnEitherLegKeepsSessionAlive) {
+  SessionBindingTable table(4);
+  table.register_leg(SessionId(1), 1, kA, 0.0);
+  table.register_leg(SessionId(1), 2, kB, 0.0);
+  table.touch(SessionId(1), kB, 450.0);  // only one leg refreshes
+  EXPECT_EQ(table.reap_idle(500.0, 100.0), 0u);
+}
+
+TEST(SessionTable, UnknownLookupsAreSafe) {
+  SessionBindingTable table(4);
+  EXPECT_FALSE(table.peer_of(SessionId(99), kA).has_value());
+  EXPECT_FALSE(table.is_leg(SessionId(99), kA));
+  EXPECT_FALSE(table.paired(SessionId(99)));
+  table.touch(SessionId(99), kA, 1.0);  // no-op, no crash
+  table.register_leg(SessionId(1), 1, kA, 0.0);
+  EXPECT_FALSE(table.peer_of(SessionId(1), kC).has_value());  // not a leg
+}
+
+}  // namespace
+}  // namespace asap::net

@@ -1,0 +1,113 @@
+#include "net/udp_socket.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/poll_loop.h"
+
+namespace asap::net {
+namespace {
+
+TEST(UdpSocket, BindsEphemeralLoopbackPort) {
+  auto sock = UdpSocket::bind(loopback(0));
+  ASSERT_TRUE(sock.has_value()) << sock.error().message;
+  EXPECT_TRUE(sock->valid());
+  EXPECT_GT(sock->local_endpoint().port, 0u);  // kernel assigned
+  EXPECT_EQ(sock->local_endpoint().ip, 0x7F000001u);
+}
+
+TEST(UdpSocket, DatagramRoundTripsOnLoopback) {
+  auto a = UdpSocket::bind(loopback(0));
+  auto b = UdpSocket::bind(loopback(0));
+  ASSERT_TRUE(a.has_value() && b.has_value());
+
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4, 5};
+  ASSERT_TRUE(a->send_to(b->local_endpoint(), msg));
+
+  PollLoop loop;
+  std::array<std::uint8_t, 64> buf{};
+  std::optional<UdpSocket::Datagram> got;
+  loop.add_socket(b->fd(), [&](Millis) { got = b->recv_from(buf); });
+  ASSERT_TRUE(loop.run_until([&] { return got.has_value(); }, 2000.0));
+  EXPECT_EQ(got->size, msg.size());
+  EXPECT_FALSE(got->truncated);
+  EXPECT_EQ(got->from, a->local_endpoint());
+  EXPECT_EQ(std::vector<std::uint8_t>(buf.begin(), buf.begin() + got->size), msg);
+}
+
+TEST(UdpSocket, RecvFromIsNonblockingWhenEmpty) {
+  auto sock = UdpSocket::bind(loopback(0));
+  ASSERT_TRUE(sock.has_value());
+  std::array<std::uint8_t, 16> buf{};
+  EXPECT_FALSE(sock->recv_from(buf).has_value());  // returns, never blocks
+}
+
+TEST(UdpSocket, OversizeDatagramIsFlaggedTruncatedNotClipped) {
+  auto a = UdpSocket::bind(loopback(0));
+  auto b = UdpSocket::bind(loopback(0));
+  ASSERT_TRUE(a.has_value() && b.has_value());
+
+  const std::vector<std::uint8_t> big(512, 0xEE);
+  ASSERT_TRUE(a->send_to(b->local_endpoint(), big));
+
+  PollLoop loop;
+  std::array<std::uint8_t, 64> small{};
+  std::optional<UdpSocket::Datagram> got;
+  loop.add_socket(b->fd(), [&](Millis) { got = b->recv_from(small); });
+  ASSERT_TRUE(loop.run_until([&] { return got.has_value(); }, 2000.0));
+  EXPECT_TRUE(got->truncated);
+  EXPECT_EQ(got->size, small.size());  // what fit in the caller's buffer
+
+  // The truncated datagram was consumed whole, not left to re-read.
+  EXPECT_FALSE(b->recv_from(small).has_value());
+}
+
+TEST(UdpSocket, MoveTransfersOwnership) {
+  auto sock = UdpSocket::bind(loopback(0));
+  ASSERT_TRUE(sock.has_value());
+  const int fd = sock->fd();
+  UdpSocket moved = std::move(*sock);
+  EXPECT_EQ(moved.fd(), fd);
+  EXPECT_FALSE(sock->valid());  // NOLINT(bugprone-use-after-move): spec'd
+  moved.close();
+  EXPECT_FALSE(moved.valid());
+}
+
+TEST(PollLoop, TickersRunEveryIterationAndClockAdvances) {
+  PollLoop loop;
+  int ticks = 0;
+  loop.add_ticker([&](Millis) { ++ticks; });
+  const Millis before = loop.now_ms();
+  ASSERT_TRUE(loop.run_once(1));
+  ASSERT_TRUE(loop.run_once(1));
+  EXPECT_EQ(ticks, 2);
+  EXPECT_GE(loop.now_ms(), before);
+}
+
+TEST(PollLoop, RemoveSocketStopsDispatch) {
+  auto a = UdpSocket::bind(loopback(0));
+  auto b = UdpSocket::bind(loopback(0));
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  PollLoop loop;
+  int reads = 0;
+  std::array<std::uint8_t, 16> buf{};
+  loop.add_socket(b->fd(), [&](Millis) {
+    ++reads;
+    while (b->recv_from(buf)) {
+    }
+  });
+  const std::vector<std::uint8_t> msg{9};
+  a->send_to(b->local_endpoint(), msg);
+  ASSERT_TRUE(loop.run_until([&] { return reads == 1; }, 2000.0));
+
+  loop.remove_socket(b->fd());
+  a->send_to(b->local_endpoint(), msg);
+  EXPECT_FALSE(loop.run_until([&] { return reads > 1; }, 100.0));
+  EXPECT_EQ(reads, 1);
+}
+
+}  // namespace
+}  // namespace asap::net
