@@ -72,7 +72,7 @@ RateResult run_rate(const bench::BenchEnv& env, double fault_rate,
                 0, 0.0, {}});
       system.arm_fault_plan(plan);
     }
-    auto outcome = system.call(s.caller, s.callee, kVoiceMs);
+    auto outcome = core::run_call(system, s.caller, s.callee, kVoiceMs);
     if (!outcome.used_relay) continue;  // direct calls cannot fail over
     ++result.calls;
     if (!strike) {
@@ -126,7 +126,7 @@ void run_loss_bursts(const bench::BenchEnv& env, std::size_t calls_target,
         plan.add({2000.0, sim::FaultKind::kLossBurstEnd, 0, 0.0, {}});
         system.arm_fault_plan(plan);
       }
-      auto outcome = system.call(s.caller, s.callee, kVoiceMs);
+      auto outcome = core::run_call(system, s.caller, s.callee, kVoiceMs);
       if (!outcome.used_relay) continue;
       ++calls;
       sent += outcome.voice_packets_sent;

@@ -108,7 +108,7 @@ SweepResult run_world(const bench::BenchEnv& env, const std::string& label,
       plan.add(event);
       system.arm_fault_plan(plan);
     }
-    auto outcome = system.call(s.caller, s.callee, kVoiceMs);
+    auto outcome = core::run_call(system, s.caller, s.callee, kVoiceMs);
     if (!outcome.used_relay) continue;  // direct calls have no relay to lose
     ++result.calls;
     result.sent += outcome.voice_packets_sent;
@@ -176,7 +176,7 @@ void run_flapping(const bench::BenchEnv& env, std::size_t calls_target,
       plan.add(end);
     }
     system.arm_fault_plan(plan);
-    auto outcome = system.call(s.caller, s.callee, kFlapVoiceMs);
+    auto outcome = core::run_call(system, s.caller, s.callee, kFlapVoiceMs);
     if (!outcome.used_relay) continue;
     ++calls;
     flaps.add(static_cast<double>(outcome.quality_failovers));

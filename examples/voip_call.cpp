@@ -35,7 +35,7 @@ int main() {
   for (const auto* s : {sessions.empty() ? nullptr : &sessions.front(),
                         latent.empty() ? nullptr : &latent.front()}) {
     if (s == nullptr) continue;
-    auto outcome = system.call(s->caller, s->callee, /*voice_duration_ms=*/400.0);
+    auto outcome = core::run_call(system, s->caller, s->callee, /*voice_duration_ms=*/400.0);
     std::printf("\ncall: direct RTT (ping) %.1f ms -> %s\n", outcome.direct_rtt_ms,
                 outcome.used_relay ? "relayed" : "direct");
     if (outcome.used_relay) {
@@ -56,7 +56,7 @@ int main() {
     ClusterId cluster = world.pop().peer(s.caller).cluster;
     std::printf("\ninjecting surrogate failure in cluster %u ...\n", cluster.value());
     system.fail_surrogate(cluster);
-    auto outcome = system.call(s.caller, s.callee, 200.0);
+    auto outcome = core::run_call(system, s.caller, s.callee, 200.0);
     std::printf("post-failure call: completed=%s used_relay=%s setup %.1f ms\n",
                 outcome.completed ? "yes" : "no", outcome.used_relay ? "yes" : "no",
                 outcome.setup_time_ms);

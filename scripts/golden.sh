@@ -28,7 +28,7 @@ BUILD=${1:-"$ROOT/build"}
 GOLDEN="$ROOT/tests/golden/digests.json"
 BENCHES="fig11_12_quality_paths fig13_14_shortest_rtt fig15_16_mos \
 fig17_scalability fig18_overhead fig_failover fig_grayfail fig_system_load \
-fig_soak"
+fig_soak fig_overlay"
 
 if [ ! -d "$BUILD/bench" ]; then
   echo "no bench binaries under $BUILD — build first: cmake -B build -S . && cmake --build build -j" >&2

@@ -1,0 +1,62 @@
+// Control-plane seam for select-close-relay(): where close cluster sets
+// come from.
+//
+// The flat implementation answers every view from a CloseSetCache over the
+// world's ground truth — each foreign view models an on-demand transfer
+// from the target cluster's surrogate (the pre-overlay behavior, and the
+// default). A federated control plane (overlay::FederatedControlPlane)
+// answers foreign views from a surrogate's gossip-maintained information
+// base instead, so a view may be satisfied without a fetch; the `fetched`
+// out-parameter tells the selector whether to charge setup messages.
+#pragma once
+
+#include <memory>
+
+#include "core/close_cluster.h"
+
+namespace asap::core {
+
+class CloseSetSource {
+ public:
+  virtual ~CloseSetSource() = default;
+
+  // Returns the close set of `target` as visible to a node in cluster
+  // `viewer`. Sets `fetched` when satisfying the view required an
+  // on-demand transfer from the target's surrogate (the caller charges
+  // 2 messages plus the set's wire bytes); a view answered locally — the
+  // viewer's own set, or a fresh information-base entry — leaves it false.
+  // The returned reference stays valid until the source is mutated
+  // (gossip round, invalidation) or destroyed.
+  virtual const CloseClusterSet& view(ClusterId viewer, ClusterId target,
+                                      bool& fetched) = 0;
+  [[nodiscard]] virtual const AsapParams& params() const = 0;
+};
+
+// Flat directory source: every foreign view is an on-demand fetch —
+// byte-identical accounting to the pre-overlay selector.
+class FlatCloseSetSource final : public CloseSetSource {
+ public:
+  // Non-owning view over an existing cache (e.g. AsapSelector's).
+  explicit FlatCloseSetSource(CloseSetCache& cache) : cache_(&cache) {}
+  // Owning: builds a private cache over the world.
+  FlatCloseSetSource(const population::World& world, const AsapParams& params)
+      : owned_(std::make_unique<CloseSetCache>(world, params)),
+        cache_(owned_.get()) {}
+
+  const CloseClusterSet& view(ClusterId viewer, ClusterId target,
+                              bool& fetched) override {
+    fetched = viewer != target;
+    return cache_->get(target);
+  }
+  [[nodiscard]] const AsapParams& params() const override {
+    return cache_->params();
+  }
+
+  [[nodiscard]] CloseSetCache& cache() { return *cache_; }
+
+ private:
+  std::unique_ptr<CloseSetCache> owned_;  // null when non-owning
+  CloseSetCache* cache_;
+};
+
+}  // namespace asap::core

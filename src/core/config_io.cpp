@@ -97,9 +97,25 @@ const std::map<std::string, Field, std::less<>>& registry() {
        make_field([](ExperimentConfig& c) -> auto& {
          return c.world.oracle_cache.compact_tables;
        })},
-      {"relay_delay_one_way_ms",
+      {"world.relay_delay_one_way_ms",
        make_field(
            [](ExperimentConfig& c) -> auto& { return c.world.relay_delay_one_way_ms; })},
+      {"overlay.tier",
+       Field{
+           [](ExperimentConfig& c, std::string_view text) {
+             if (text != "flat" && text != "federated") return false;
+             c.overlay.tier = std::string(text);
+             return true;
+           },
+           [](const ExperimentConfig& c) { return c.overlay.tier; },
+       }},
+      {"overlay.gossip_period_ms",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.overlay.gossip_period_ms; })},
+      {"overlay.ib_ttl_ms",
+       make_field([](ExperimentConfig& c) -> auto& { return c.overlay.ib_ttl_ms; })},
+      {"overlay.via_budget",
+       make_field([](ExperimentConfig& c) -> auto& { return c.overlay.via_budget; })},
       {"asap.k", make_field([](ExperimentConfig& c) -> auto& { return c.asap.k; })},
       {"asap.lat_threshold_ms",
        make_field([](ExperimentConfig& c) -> auto& { return c.asap.lat_threshold_ms; })},
@@ -157,8 +173,20 @@ const std::map<std::string, Field, std::less<>>& registry() {
       {"asap.admission_control",
        make_field(
            [](ExperimentConfig& c) -> auto& { return c.asap.admission_control; })},
+      {"asap.via_source_routing",
+       make_field(
+           [](ExperimentConfig& c) -> auto& { return c.asap.via_source_routing; })},
   };
   return fields;
+}
+
+// Parse-only legacy spellings, kept so existing config files load; the
+// serializer emits only the canonical (namespaced) keys above.
+const std::map<std::string, std::string, std::less<>>& legacy_aliases() {
+  static const std::map<std::string, std::string, std::less<>> aliases = {
+      {"relay_delay_one_way_ms", "world.relay_delay_one_way_ms"},
+  };
+  return aliases;
 }
 
 std::string fmt_ms(double v) {
@@ -237,6 +265,27 @@ std::string validate(const ExperimentConfig& config) {
              "); a verdict needs at least one observation";
     }
   }
+  const OverlayConfig& o = config.overlay;
+  if (o.tier == "federated") {
+    if (o.gossip_period_ms <= 0.0) {
+      return "config: overlay.gossip_period_ms must be > 0 (got " +
+             fmt_ms(o.gossip_period_ms) +
+             ") when overlay.tier = federated; surrogates must refresh their "
+             "information bases";
+    }
+    if (o.ib_ttl_ms < o.gossip_period_ms) {
+      return "config: overlay.ib_ttl_ms (" + fmt_ms(o.ib_ttl_ms) +
+             ") must be >= overlay.gossip_period_ms (" + fmt_ms(o.gossip_period_ms) +
+             "); entries expiring before the next refresh degenerate the "
+             "federated plane to per-call fetching";
+    }
+  }
+  if (o.via_budget > 4) {
+    return "config: overlay.via_budget must be <= 4 (got " +
+           std::to_string(o.via_budget) +
+           "); each via hop adds two relay delays, and beyond two hops no "
+           "path in the model improves on the direct or one-hop routes";
+  }
   return std::string();
 }
 
@@ -270,6 +319,11 @@ Expected<ExperimentConfig> parse_config(std::string_view text) {
     std::string_view key = trim(line.substr(0, eq));
     std::string_view value = trim(line.substr(eq + 1));
     auto it = registry().find(key);
+    if (it == registry().end()) {
+      if (auto alias = legacy_aliases().find(key); alias != legacy_aliases().end()) {
+        it = registry().find(alias->second);
+      }
+    }
     if (it == registry().end()) {
       return make_error("config line " + std::to_string(line_no) + ": unknown key '" +
                         std::string(key) + "'");

@@ -21,9 +21,20 @@
 
 namespace asap::core {
 
+// Overlay control-plane knobs (overlay.* keys). Kept as plain config here —
+// core cannot depend on src/overlay — and converted to overlay::OverlayParams
+// by the consumers (overlay::overlay_params_from()).
+struct OverlayConfig {
+  std::string tier = "flat";  // "flat" | "federated"
+  double gossip_period_ms = 30'000.0;
+  double ib_ttl_ms = 120'000.0;
+  std::uint32_t via_budget = 1;
+};
+
 struct ExperimentConfig {
   population::WorldParams world;
   AsapParams asap;
+  OverlayConfig overlay;
   std::size_t sessions = 100000;
 };
 

@@ -104,6 +104,15 @@ struct AsapParams {
   // saturated hop (the victim reroutes through the mid-call failover path).
   // Off by default: every existing workload is bit-identical with it off.
   bool admission_control = false;
+
+  // --- Via-tier source routing (tiered overlay, DESIGN.md §15) -------------
+  // When true, a call committing a relayed route announces the forwarding
+  // chain with a ViaSetup control frame before the first voice packet: each
+  // via relay pops the front hop and forwards, the same discipline the
+  // socket datapath's asap-relay applies, so the sim and socket tiers share
+  // one source-route encoding. Off by default: no frame is emitted and
+  // every existing workload is bit-identical with it off.
+  bool via_source_routing = false;
 };
 
 // --- Shared world-model constants (Sec. 3.2 measurement model) -------------

@@ -16,13 +16,14 @@ std::string_view wire_kind_name(std::size_t variant_index) {
       "surrogate_update",  "probe",          "probe_reply",
       "call_setup",        "call_accept",    "voice_packet",
       "relay_failure_notice", "probe_busy",
-      "rendezvous_register",  "rendezvous_bound"};
+      "rendezvous_register",  "rendezvous_bound",
+      "ib_push",           "ib_request",     "via_setup"};
   static_assert(std::size(kNames) == std::variant_size_v<ProtocolPayload>);
   return variant_index < std::size(kNames) ? kNames[variant_index] : "?";
 }
 
 ProtocolCounters::ProtocolCounters(MetricsRegistry& registry, bool capacity_metrics,
-                                   bool admission_metrics)
+                                   bool admission_metrics, bool via_metrics)
     : close_sets_built(registry.counter("surrogate.close_sets_built")),
       construction_probes(registry.counter("surrogate.construction_probes")),
       surrogate_failures_injected(registry.counter("surrogate.failures_injected")),
@@ -82,6 +83,13 @@ ProtocolCounters::ProtocolCounters(MetricsRegistry& registry, bool capacity_metr
         wire_kind_name(k) == "rendezvous_bound") {
       continue;
     }
+    // Overlay control-plane kinds (PR 10): IbPush/IbRequest gossip is
+    // accounted by overlay::FederatedControlPlane's own series, and
+    // ViaSetup frames only flow when via source routing is on — the
+    // handles stay detached so flat-mode sim digests keep the historical
+    // key set.
+    if (wire_kind_name(k) == "ib_push" || wire_kind_name(k) == "ib_request") continue;
+    if (!via_metrics && wire_kind_name(k) == "via_setup") continue;
     wire_by_kind[k] = registry.counter("wire." + std::string(wire_kind_name(k)));
   }
 }
@@ -214,7 +222,8 @@ AsapSystem::AsapSystem(population::World& world, const AsapParams& params,
       owned_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>() : nullptr),
       metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
       counters_(*metrics_, params.relay_streams_per_capacity > 0.0,
-                params.admission_control && params.relay_streams_per_capacity > 0.0),
+                params.admission_control && params.relay_streams_per_capacity > 0.0,
+                params.via_source_routing),
       fault_rng_(world.fork_rng(0xFA177)), churn_rng_(world.fork_rng(0xC402E)) {
   net_.set_payload_sizer([](const ProtocolPayload& p) {
     return wire::encoded_size(p) + wire::kPacketOverheadBytes;
@@ -1083,6 +1092,32 @@ void AsapSystem::handle_message(NodeId self, NodeId from, const ProtocolPayload&
     if (grayfail_active()) grayfail().unknown_session.inc();
     return;
   }
+  if (const auto* via = std::get_if<ViaSetup>(&payload)) {
+    // Via-tier source routing (DESIGN.md §15): a relay on the chain pops
+    // the front hop, rewrites from_node to itself and forwards after the
+    // per-node relay delay — the same hop discipline the socket datapath's
+    // RelayCore applies, sharing the wire encoding. An empty route means
+    // this node is the chain's terminus; the sim's voice datapath carries
+    // the route per packet, so there is no per-session state to record.
+    if (!via->route.empty()) {
+      ViaSetup next = *via;
+      NodeId hop(next.route.front());
+      next.route.erase(next.route.begin());
+      next.from_node = self.value();
+      queue_.after(params_.relay_delay_one_way_ms, [this, self, hop, next]() {
+        send(self, hop, sim::MessageCategory::kCallSignal, next);
+      });
+    }
+    return;
+  }
+  if (std::get_if<IbPush>(&payload) != nullptr ||
+      std::get_if<IbRequest>(&payload) != nullptr) {
+    // Surrogate-federation gossip runs in overlay::FederatedControlPlane
+    // (with its own accounting); a frame arriving at a protocol host is
+    // misdirected or fuzzed — counted and dropped like rendezvous frames.
+    if (grayfail_active()) grayfail().unknown_session.inc();
+    return;
+  }
 }
 
 // --- Session scheduling ------------------------------------------------------
@@ -1119,6 +1154,30 @@ void AsapSystem::start_session(SessionId session, const CallSpec& spec) {
 
   NodeId me(spec.caller.value());
   NodeId peer(spec.callee.value());
+
+  // Explicit source route: the caller dictated the forwarding chain, so
+  // relay discovery (ping, close sets, probing) is skipped entirely and the
+  // chain is committed as-is. Gated on via_source_routing so default
+  // workloads stay bit-identical; the route's ViaSetup announcement and
+  // per-packet forwarding then follow the same discipline as a selected
+  // two-hop route.
+  if (params_.via_source_routing && !spec.via_route.empty()) {
+    std::vector<NodeId> route;
+    route.reserve(spec.via_route.size());
+    for (HostId hop : spec.via_route) route.push_back(NodeId(hop.value()));
+    call.outcome.used_relay = true;
+    call.outcome.relay.relay1 = spec.via_route.front();
+    if (spec.via_route.size() > 1) {
+      call.outcome.relay.relay2 = spec.via_route[1];
+      call.outcome.relay.rtt_ms = world_.relay2_rtt_ms(
+          call.caller, spec.via_route[0], spec.via_route[1], call.callee);
+    } else {
+      call.outcome.relay.rtt_ms =
+          world_.relay_rtt_ms(call.caller, spec.via_route[0], call.callee);
+    }
+    begin_voice(call, route);
+    return;
+  }
 
   // NAT gate: when no direct UDP session can be established at all, skip
   // the ping and go straight to relay selection — this is the Skype-era
@@ -1161,6 +1220,15 @@ CallOutcome AsapSystem::call(HostId caller, HostId callee, Millis voice_duration
   while (!finished(handle) && queue_.step()) {
   }
   return take_outcome(handle);
+}
+
+CallOutcome run_call(AsapSystem& system, const CallSpec& spec) {
+  CallHandle handle = system.place_call(spec);
+  // Step — don't drain: events scheduled beyond the completion stay queued,
+  // preserving the deprecated call()'s sequential timing exactly.
+  while (!system.finished(handle) && system.queue().step()) {
+  }
+  return system.take_outcome(handle);
 }
 
 void AsapSystem::run_until_idle() {
@@ -1489,6 +1557,20 @@ void AsapSystem::begin_voice(ActiveCall& call, const std::vector<NodeId>& relay_
   SessionId session = call.session;
   NodeId me(call.caller.value());
   NodeId peer(call.callee.value());
+  if (params_.via_source_routing && !call.route.empty()) {
+    // Announce the forwarding chain ahead of the stream (via-tier source
+    // routing): the first hop receives the remaining chain ending at the
+    // callee, mirroring the per-packet VoicePacket route discipline.
+    ViaSetup via;
+    via.session = session;
+    via.from_node = me.value();
+    via.route.reserve(call.route.size());
+    for (std::size_t i = 1; i < call.route.size(); ++i) {
+      via.route.push_back(call.route[i].value());
+    }
+    via.route.push_back(peer.value());
+    send(me, call.route.front(), sim::MessageCategory::kCallSignal, via);
+  }
   auto packets = static_cast<std::uint32_t>(call.voice_duration_ms / kVoiceIntervalMs);
   packets = std::max<std::uint32_t>(packets, 1);
   call.outcome.voice_packets_sent = packets;

@@ -129,12 +129,39 @@ struct RendezvousBound {
   std::uint16_t observed_port = 0;  // registrant's source UDP port
   std::uint8_t peer_present = 0;    // 1 once both legs are bound
 };
+// Surrogate -> peer surrogate (federated control plane, DESIGN.md §15):
+// gossip push of the origin cluster's close set and relay capability into
+// the receiver's information base. Carries the build timestamp so receivers
+// can age entries out (overlay.ib_ttl_ms) instead of serving arbitrarily
+// stale knowledge.
+struct IbPush {
+  ClusterId origin;
+  Millis built_at_ms = 0.0;
+  float capability = 0.0f;  // aggregate relay capability of the origin cluster
+  std::shared_ptr<const CloseClusterSet> set;
+};
+// Surrogate -> peer surrogate: on-demand pull of one cluster's information
+// base entry (cache miss / TTL expiry between gossip rounds).
+struct IbRequest {
+  ClusterId cluster;
+};
+// Caller -> first via relay (source-routed session setup, DESIGN.md §15):
+// establishes the forwarding chain for a two-hop relayed call before any
+// session frame flows. `route` is the remaining via-node chain; each relay
+// pops the front hop, rewrites `from_node` to itself and forwards — an
+// empty route means this relay is the terminal hop, which pairs the
+// upstream leg with the locally registered callee leg.
+struct ViaSetup {
+  SessionId session;
+  std::uint32_t from_node = 0;  // protocol node id of the sending hop
+  std::vector<std::uint32_t> route;
+};
 
 using ProtocolPayload =
     std::variant<JoinRequest, JoinReply, CloseSetRequest, CloseSetReply, PublishInfo,
                  SurrogateFailureReport, SurrogateUpdate, Probe, ProbeReply, CallSetup,
                  CallAccept, VoicePacket, RelayFailureNotice, ProbeBusy,
-                 RendezvousRegister, RendezvousBound>;
+                 RendezvousRegister, RendezvousBound, IbPush, IbRequest, ViaSetup>;
 using ProtocolNetwork = sim::Network<ProtocolPayload>;
 
 // Probe tokens carry the probe's intent in their top bit: relay-check
@@ -163,7 +190,7 @@ inline constexpr Millis kRelayBusyMs = 2.0 * kUnreachableMs;
 // capacity-off runs must export exactly the historical key set.
 struct ProtocolCounters {
   ProtocolCounters(MetricsRegistry& registry, bool capacity_metrics,
-                   bool admission_metrics);
+                   bool admission_metrics, bool via_metrics = false);
 
   Counter close_sets_built, construction_probes, surrogate_failures_injected,
       host_failures_injected, host_recoveries, active_relay_crashes, loss_bursts,
@@ -311,6 +338,12 @@ struct CallSpec {
   voip::Codec codec = voip::kG729aVad;
   // Only consulted when AsapParams::admission_control is on.
   ServiceClass service_class = ServiceClass::kBronze;
+  // Explicit via source route (requires AsapParams::via_source_routing):
+  // relay discovery is skipped and the call commits this forwarding chain
+  // of relay hosts as-is — the programmatic twin of the asap-relay
+  // daemon's --via-peer configuration on the socket datapath. At most two
+  // hops are honoured (the wire RelayChoice carries relay1/relay2).
+  std::vector<HostId> via_route;
 };
 
 // Opaque ticket for a placed call; pass it back to finished()/outcome()/
@@ -391,7 +424,11 @@ class AsapSystem {
 
   // Places one call and runs the simulation until it completes
   // (compatibility shim over place_call: identical message sequence and
-  // outcome for sequential use).
+  // outcome for sequential use). Deprecated: use place_call() +
+  // run_until_idle(), or the free run_call() helper when the exact
+  // sequential stepping semantics matter (see DESIGN.md §13 migration
+  // notes).
+  [[deprecated("use place_call()/run_until_idle() or core::run_call()")]]
   CallOutcome call(HostId caller, HostId callee, Millis voice_duration_ms = 400.0);
 
   // --- Relay-capacity model ------------------------------------------------
@@ -623,5 +660,21 @@ class AsapSystem {
   std::vector<std::uint32_t> relay_stream_cap_;
   std::vector<std::uint32_t> relay_streams_;
 };
+
+// Sequential convenience replacing the deprecated AsapSystem::call() with
+// its exact semantics: places the call and steps the queue only until the
+// call finishes — unlike run_until_idle(), events scheduled after the
+// completion stay queued, so interleaved sequential workloads (benches that
+// alternate calls with fault injection) keep their historical timing.
+CallOutcome run_call(AsapSystem& system, const CallSpec& spec);
+inline CallOutcome run_call(AsapSystem& system, HostId caller, HostId callee,
+                            Millis voice_duration_ms = 400.0) {
+  CallSpec spec;
+  spec.caller = caller;
+  spec.callee = callee;
+  spec.start_at_ms = system.queue().now();  // not in the future: synchronous
+  spec.voice_duration_ms = voice_duration_ms;
+  return run_call(system, spec);
+}
 
 }  // namespace asap::core

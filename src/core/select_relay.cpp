@@ -38,16 +38,17 @@ std::size_t probe_quota(std::size_t accepted, double fraction) {
   return std::min(count, accepted);
 }
 
-SelectRelayResult select_close_relay(const population::World& world, CloseSetCache& cache,
+SelectRelayResult select_close_relay(const population::World& world, CloseSetSource& source,
                                      const population::Session& session, Rng& rng) {
-  const AsapParams& params = cache.params();
+  const AsapParams& params = source.params();
   const auto& pop = world.pop();
   SelectRelayResult result;
 
   ClusterId c1 = pop.peer(session.caller).cluster;
   ClusterId c2 = pop.peer(session.callee).cluster;
-  const CloseClusterSet& s1 = cache.get(c1);
-  const CloseClusterSet& s2 = cache.get(c2);
+  bool fetched = false;
+  const CloseClusterSet& s1 = source.view(c1, c1, fetched);
+  const CloseClusterSet& s2 = source.view(c2, c2, fetched);
   // h1 contacts h2 for its close relay information: 2 messages. The reply
   // carries h2's close set — the dominant byte cost.
   result.messages += 2;
@@ -108,10 +109,15 @@ SelectRelayResult select_close_relay(const population::World& world, CloseSetCac
   if (result.one_hop_nodes < params.size_threshold) {
     result.two_hop_triggered = true;
     for (ClusterId r1_cluster : result.one_hop_clusters) {
-      result.messages += 2;
-      const CloseClusterSet& os1 = cache.get(r1_cluster);
-      result.bytes += 2 * wire::kPacketOverheadBytes + 2 /* request */ +
-                      2 + wire::close_set_wire_bytes(os1) /* reply */;
+      // In federated mode h1's surrogate often answers from its information
+      // base — only views that needed an on-demand transfer are charged.
+      bool os1_fetched = false;
+      const CloseClusterSet& os1 = source.view(c1, r1_cluster, os1_fetched);
+      if (os1_fetched) {
+        result.messages += 2;
+        result.bytes += 2 * wire::kPacketOverheadBytes + 2 /* request */ +
+                        2 + wire::close_set_wire_bytes(os1) /* reply */;
+      }
       const CloseClusterEntry* h1_leg = s1.find(r1_cluster);
       if (h1_leg == nullptr) continue;  // r1 came from the intersection, must exist
       intersect(os1, s2, [&](const CloseClusterEntry& mid, const CloseClusterEntry& e2) {
@@ -144,6 +150,12 @@ SelectRelayResult select_close_relay(const population::World& world, CloseSetCac
 
   (void)rng;
   return result;
+}
+
+SelectRelayResult select_close_relay(const population::World& world, CloseSetCache& cache,
+                                     const population::Session& session, Rng& rng) {
+  FlatCloseSetSource source(cache);
+  return select_close_relay(world, source, session, rng);
 }
 
 }  // namespace asap::core

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/close_cluster.h"
+#include "core/close_set_source.h"
 #include "core/params.h"
 #include "population/session_gen.h"
 #include "common/ids.h"
@@ -56,8 +57,17 @@ struct SelectRelayResult {
 // (Sec. 7.3's overhead-reduction knob; a fraction of 1 probes everything.)
 [[nodiscard]] std::size_t probe_quota(std::size_t accepted, double fraction);
 
-// Runs select-close-relay() for a session using cached close sets. `rng`
-// drives the probe-fraction subsampling (unused when probe_fraction == 1).
+// Runs select-close-relay() for a session against an abstract close-set
+// source (flat cache or federated control plane). Two-hop surrogate-set
+// fetches are charged only when the source reports them fetched; the
+// caller↔callee setup exchange is charged unconditionally (it rides the
+// session-setup frames regardless of control-plane tier). `rng` drives the
+// probe-fraction subsampling (unused when probe_fraction == 1).
+SelectRelayResult select_close_relay(const population::World& world, CloseSetSource& source,
+                                     const population::Session& session, Rng& rng);
+
+// Legacy entrypoint: wraps the cache in a FlatCloseSetSource — every
+// foreign view fetches, so accounting is byte-identical to pre-overlay.
 SelectRelayResult select_close_relay(const population::World& world, CloseSetCache& cache,
                                      const population::Session& session, Rng& rng);
 

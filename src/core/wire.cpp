@@ -23,6 +23,9 @@ enum class Tag : std::uint8_t {
   kProbeBusy = 14,
   kRendezvousRegister = 15,
   kRendezvousBound = 16,
+  kIbPush = 17,
+  kIbRequest = 18,
+  kViaSetup = 19,
 };
 
 class Writer {
@@ -216,6 +219,22 @@ std::vector<std::uint8_t> encode(const ProtocolPayload& payload) {
           w.u32(msg.observed_ip);
           w.u16(msg.observed_port);
           w.u8(msg.peer_present);
+        } else if constexpr (std::is_same_v<T, IbPush>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kIbPush));
+          w.u32(msg.origin.value());
+          w.f64(msg.built_at_ms);
+          w.f32(msg.capability);
+          static const CloseClusterSet kEmpty{};
+          put_close_set(w, msg.set ? *msg.set : kEmpty);
+        } else if constexpr (std::is_same_v<T, IbRequest>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kIbRequest));
+          w.u32(msg.cluster.value());
+        } else if constexpr (std::is_same_v<T, ViaSetup>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kViaSetup));
+          w.u32(msg.session.value());
+          w.u32(msg.from_node);
+          w.u16(static_cast<std::uint16_t>(msg.route.size()));
+          for (std::uint32_t hop : msg.route) w.u32(hop);
         }
       },
       payload);
@@ -350,6 +369,40 @@ Expected<ProtocolPayload> decode(std::span<const std::uint8_t> bytes) {
       msg.session = SessionId(session);
       return finish(msg);
     }
+    case Tag::kIbPush: {
+      IbPush msg;
+      std::uint32_t origin = 0;
+      if (!r.u32(origin) || !r.f64(msg.built_at_ms) || !r.f32(msg.capability)) {
+        return make_error("wire: truncated IbPush");
+      }
+      msg.origin = ClusterId(origin);
+      auto set = std::make_shared<CloseClusterSet>();
+      if (!get_close_set(r, *set)) return make_error("wire: truncated IbPush set");
+      msg.set = std::move(set);
+      return finish(msg);
+    }
+    case Tag::kIbRequest: {
+      std::uint32_t cluster = 0;
+      if (!r.u32(cluster)) return make_error("wire: truncated IbRequest");
+      return finish(IbRequest{ClusterId(cluster)});
+    }
+    case Tag::kViaSetup: {
+      ViaSetup msg;
+      std::uint32_t session = 0;
+      std::uint16_t hops = 0;
+      if (!r.u32(session) || !r.u32(msg.from_node) || !r.u16(hops)) {
+        return make_error("wire: truncated ViaSetup");
+      }
+      if (hops > r.remaining() / 4) return make_error("wire: absurd route length");
+      msg.session = SessionId(session);
+      msg.route.reserve(hops);
+      for (std::uint16_t i = 0; i < hops; ++i) {
+        std::uint32_t hop = 0;
+        if (!r.u32(hop)) return make_error("wire: truncated ViaSetup route");
+        msg.route.push_back(hop);
+      }
+      return finish(msg);
+    }
   }
   return make_error("wire: unknown tag");
 }
@@ -388,6 +441,12 @@ std::size_t encoded_size(const ProtocolPayload& payload) {
           return kHeader + 8;
         } else if constexpr (std::is_same_v<T, RendezvousBound>) {
           return kHeader + 11;
+        } else if constexpr (std::is_same_v<T, IbPush>) {
+          return kHeader + 16 + (msg.set ? close_set_wire_bytes(*msg.set) : 8);
+        } else if constexpr (std::is_same_v<T, IbRequest>) {
+          return kHeader + 4;
+        } else if constexpr (std::is_same_v<T, ViaSetup>) {
+          return kHeader + 4 + 4 + 2 + 4 * msg.route.size();
         }
       },
       payload);

@@ -1,0 +1,147 @@
+#include "overlay/federation.h"
+
+#include <algorithm>
+
+#include "core/protocol.h"
+#include "core/wire.h"
+#include "population/peer_population.h"
+
+namespace asap::overlay {
+
+FederatedControlPlane::FederatedControlPlane(const population::World& world,
+                                             const core::AsapParams& params,
+                                             const OverlayParams& overlay)
+    : world_(&world),
+      overlay_(overlay),
+      cache_(std::make_unique<core::CloseSetCache>(world, params)) {
+  const auto& clusters = world.pop().populated_clusters();
+  surrogates_.resize(clusters.size());
+  index_of_.reserve(clusters.size());
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    surrogates_[i].cluster = clusters[i];
+    index_of_.emplace(clusters[i], i);
+  }
+}
+
+const core::AsapParams& FederatedControlPlane::params() const {
+  return cache_->params();
+}
+
+const FederatedControlPlane::SurrogateState* FederatedControlPlane::state_of(
+    ClusterId c) const {
+  auto it = index_of_.find(c);
+  return it == index_of_.end() ? nullptr : &surrogates_[it->second];
+}
+
+const core::CloseClusterSet& FederatedControlPlane::view(ClusterId viewer,
+                                                         ClusterId target,
+                                                         bool& fetched) {
+  if (viewer == target) {
+    // A surrogate always knows its own set (it measures it); members ask
+    // their surrogate for free, exactly as in the flat model.
+    fetched = false;
+    return cache_->get(target);
+  }
+  if (const SurrogateState* s = state_of(viewer)) {
+    auto it = s->ib.find(target);
+    if (it != s->ib.end() && now_ms_ - it->second.received_at_ms <= overlay_.ib_ttl_ms) {
+      fetched = false;
+      ib_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *it->second.set;
+    }
+  }
+  // Miss or expired: on-demand fetch from the target's surrogate, at the
+  // flat plane's cost. Deliberately does NOT back-fill the IB — view() must
+  // stay mutation-free so concurrent, arbitrarily-ordered selection calls
+  // cannot influence each other (thread-count determinism).
+  fetched = true;
+  ib_misses_.fetch_add(1, std::memory_order_relaxed);
+  return cache_->get(target);
+}
+
+void FederatedControlPlane::run_gossip_until(Millis now_ms) {
+  while (next_round_ms_ <= now_ms) {
+    run_round(next_round_ms_);
+    next_round_ms_ += overlay_.gossip_period_ms;
+  }
+  now_ms_ = std::max(now_ms_, now_ms);
+}
+
+void FederatedControlPlane::run_round(Millis at_ms) {
+  ++rounds_;
+  const population::RelayDirectory& dir = world_->relay_directory();
+  for (std::size_t i = 0; i < surrogates_.size(); ++i) {
+    SurrogateState& origin = surrogates_[i];
+    // Snapshot the origin's current set; the shared_ptr keeps this epoch's
+    // measurements alive in peers' IBs even after set_world()/invalidation
+    // rebuilds the ground-truth cache (that persistence IS the staleness).
+    auto snapshot =
+        std::make_shared<const core::CloseClusterSet>(cache_->get(origin.cluster));
+    origin.own = snapshot;
+    const float capability = static_cast<float>(dir.relay_capability[i]);
+    core::IbPush push;
+    push.origin = origin.cluster;
+    push.built_at_ms = at_ms;
+    push.capability = capability;
+    push.set = snapshot;
+    const std::uint64_t frame_bytes = static_cast<std::uint64_t>(
+        core::wire::kPacketOverheadBytes + core::wire::encoded_size(push));
+    // Peering follows the close-set relation: push to the surrogate of
+    // every cluster in the snapshot (skipping unpopulated clusters, which
+    // have no surrogate to hold an IB).
+    for (const core::CloseClusterEntry& entry : snapshot->entries) {
+      auto it = index_of_.find(entry.cluster);
+      if (it == index_of_.end() || it->second == i) continue;
+      SurrogateState& peer = surrogates_[it->second];
+      peer.ib[origin.cluster] = IbEntry{snapshot, at_ms, capability};
+      gossip_messages_ += 1;
+      gossip_bytes_ += frame_bytes;
+    }
+  }
+  now_ms_ = std::max(now_ms_, at_ms);
+}
+
+void FederatedControlPlane::set_world(const population::World& world) {
+  world_ = &world;
+  cache_ = std::make_unique<core::CloseSetCache>(world, cache_->params());
+}
+
+std::size_t FederatedControlPlane::invalidate_ases(std::span<const AsId> ases) {
+  cache_->invalidate_ases(ases);
+  const auto& pop = world_->pop();
+  auto affected = [&](ClusterId c) {
+    AsId as = pop.cluster(c).as;
+    return ases.empty() ||
+           std::find(ases.begin(), ases.end(), as) != ases.end();
+  };
+  std::size_t dropped = 0;
+  for (SurrogateState& s : surrogates_) {
+    for (auto it = s.ib.begin(); it != s.ib.end();) {
+      if (affected(it->first)) {
+        it = s.ib.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    if (s.own && affected(s.cluster)) s.own.reset();
+  }
+  return dropped;
+}
+
+std::uint64_t FederatedControlPlane::max_state_bytes_per_node() const {
+  std::uint64_t max_bytes = 0;
+  for (const SurrogateState& s : surrogates_) {
+    std::uint64_t bytes = 0;
+    if (s.own) bytes += core::wire::close_set_wire_bytes(*s.own);
+    for (const auto& [origin, entry] : s.ib) {
+      // Entry = the gossiped set plus origin metadata (id, timestamp,
+      // capability — the IbPush body minus the set).
+      bytes += core::wire::close_set_wire_bytes(*entry.set) + 16;
+    }
+    max_bytes = std::max(max_bytes, bytes);
+  }
+  return max_bytes;
+}
+
+}  // namespace asap::overlay

@@ -1,0 +1,150 @@
+// Federated surrogate control plane (DESIGN.md §15).
+//
+// Instead of every node consulting one flat global directory, each
+// populated cluster's surrogate keeps an *information base* (IB): the close
+// sets most recently gossiped to it by its peer surrogates. Peering follows
+// the close-set relation itself — a surrogate pushes its set to the
+// surrogates of the clusters in that set — so a node's control-plane state
+// is O(own cluster + peered surrogates), not O(world). Knowledge is
+// eventually consistent: refreshed every gossip period, trusted for a TTL,
+// and fetched on demand (charged like the flat plane) on a miss.
+//
+// The plane implements core::CloseSetSource, so select-close-relay() runs
+// unchanged on top of it; an IB hit simply reports `fetched = false` and
+// costs no setup messages. Determinism: view() never mutates the IB — only
+// run_gossip_until() and invalidate_ases() do — so concurrent evaluation
+// workers see a stable snapshot and results are thread-count independent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/close_cluster.h"
+#include "core/close_set_source.h"
+#include "overlay/params.h"
+#include "relay/provider.h"
+
+namespace asap::overlay {
+
+class FederatedControlPlane final : public core::CloseSetSource {
+ public:
+  FederatedControlPlane(const population::World& world, const core::AsapParams& params,
+                        const OverlayParams& overlay);
+
+  // --- core::CloseSetSource -----------------------------------------------
+  // Own cluster: always answered fresh (the surrogate measures its own
+  // set). Peer cluster with an IB entry within TTL: answered locally,
+  // `fetched = false`. Otherwise: on-demand fetch from the target's
+  // surrogate over the world's current ground truth, `fetched = true` (the
+  // selector charges the same messages/bytes the flat plane would).
+  const core::CloseClusterSet& view(ClusterId viewer, ClusterId target,
+                                    bool& fetched) override;
+  [[nodiscard]] const core::AsapParams& params() const override;
+
+  // --- Gossip & lifecycle --------------------------------------------------
+  // Advances the plane's clock to `now_ms`, executing every due gossip
+  // round (the first round is due at t=0). Each round, every surrogate
+  // snapshots its own close set against the *current* world and pushes it
+  // to its peers; the accounting below charges one IbPush frame per peer.
+  void run_gossip_until(Millis now_ms);
+  // Points the plane at a new world epoch (same cluster universe). Fetches
+  // and future gossip read the new ground truth; existing IB entries keep
+  // their old-epoch snapshots until refreshed or expired — this is the
+  // staleness the fig_overlay sweep measures.
+  void set_world(const population::World& world);
+  // Route-flap hook (composes with the PR 6 cache invalidation): evicts
+  // affected ground-truth sets and drops IB entries whose origin cluster
+  // sits in an affected AS (surrogates there re-announce at the next
+  // round; until then views of them fall back to fetches). Returns entries
+  // dropped from information bases.
+  std::size_t invalidate_ases(std::span<const AsId> ases);
+
+  // --- Accounting -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t gossip_messages() const { return gossip_messages_; }
+  [[nodiscard]] std::uint64_t gossip_bytes() const { return gossip_bytes_; }
+  [[nodiscard]] std::uint64_t ib_hits() const {
+    return ib_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t ib_misses() const {
+    return ib_misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rounds_run() const { return rounds_; }
+  // Largest control-plane footprint any single surrogate holds, in wire
+  // bytes: its own set plus every live IB entry (set + origin metadata).
+  // The fig_overlay scalability axis — O(cluster + peers), not O(world).
+  [[nodiscard]] std::uint64_t max_state_bytes_per_node() const;
+  [[nodiscard]] Millis now_ms() const { return now_ms_; }
+
+ private:
+  struct IbEntry {
+    std::shared_ptr<const core::CloseClusterSet> set;
+    Millis received_at_ms = 0.0;
+    float capability = 0.0f;
+  };
+  struct SurrogateState {
+    ClusterId cluster;
+    // Last own-set snapshot pushed out (kept for state accounting).
+    std::shared_ptr<const core::CloseClusterSet> own;
+    // Keyed by origin cluster; std::map for deterministic iteration.
+    std::map<ClusterId, IbEntry> ib;
+  };
+
+  void run_round(Millis at_ms);
+  [[nodiscard]] const SurrogateState* state_of(ClusterId c) const;
+
+  const population::World* world_;
+  OverlayParams overlay_;
+  // Ground truth for own-set views and on-demand fetches; rebuilt on
+  // set_world (IB snapshots outlive it via shared_ptr).
+  std::unique_ptr<core::CloseSetCache> cache_;
+  std::vector<SurrogateState> surrogates_;  // index-aligned with populated_clusters()
+  std::unordered_map<ClusterId, std::size_t> index_of_;
+  Millis now_ms_ = 0.0;
+  Millis next_round_ms_ = 0.0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t gossip_messages_ = 0;
+  std::uint64_t gossip_bytes_ = 0;
+  mutable std::atomic<std::uint64_t> ib_hits_{0};
+  mutable std::atomic<std::uint64_t> ib_misses_{0};
+};
+
+// The federated plane as a relay::CloseSetProvider: plugs the surrogate
+// hierarchy into make_selectors()/evaluate_methods() unchanged.
+class FederatedProvider final : public relay::CloseSetProvider {
+ public:
+  FederatedProvider(const population::World& world, const core::AsapParams& params,
+                    const OverlayParams& overlay)
+      : world_(&world), plane_(world, params, overlay) {}
+
+  [[nodiscard]] std::string name() const override { return "federated"; }
+  [[nodiscard]] core::CloseSetSource& close_sets() override { return plane_; }
+  [[nodiscard]] const population::RelayDirectory& directory() const override {
+    return world_->relay_directory();
+  }
+  [[nodiscard]] std::uint64_t upkeep_messages() const override {
+    return plane_.gossip_messages();
+  }
+  [[nodiscard]] std::uint64_t upkeep_bytes() const override {
+    return plane_.gossip_bytes();
+  }
+  [[nodiscard]] std::uint64_t max_state_bytes_per_node() const override {
+    return plane_.max_state_bytes_per_node();
+  }
+
+  void set_world(const population::World& world) {
+    world_ = &world;
+    plane_.set_world(world);
+  }
+  [[nodiscard]] FederatedControlPlane& plane() { return plane_; }
+
+ private:
+  const population::World* world_;
+  FederatedControlPlane plane_;
+};
+
+}  // namespace asap::overlay

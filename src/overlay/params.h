@@ -1,0 +1,51 @@
+// Tunables for the tiered relay overlay (DESIGN.md §15).
+//
+// `tier` picks the control plane behind relay selection: the flat global
+// directory (every node sees everything, the pre-overlay default and the
+// paper's implicit model) or the federated surrogate hierarchy, where
+// per-cluster surrogates peer surrogate-to-surrogate and gossip close-set /
+// relay-capability information bases. Federated knowledge is eventually
+// consistent: refreshed every `gossip_period_ms`, trusted for `ib_ttl_ms`,
+// fetched on demand (at flat-plane cost) when missing or expired.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config_io.h"
+#include "common/units.h"
+
+namespace asap::overlay {
+
+enum class Tier {
+  kFlat,       // flat global directory (default; byte-identical goldens)
+  kFederated,  // federated surrogate information bases
+};
+
+struct OverlayParams {
+  Tier tier = Tier::kFlat;
+  // Surrogate-to-surrogate gossip period. Each round every surrogate
+  // snapshots its own close set and pushes it (IbPush) to the surrogates of
+  // the clusters in that set.
+  Millis gossip_period_ms = 30'000.0;
+  // How long a received information-base entry is trusted before a view
+  // falls back to an on-demand fetch. Must be >= gossip_period_ms, or
+  // entries expire before the next refresh and the plane degenerates to
+  // per-call fetching.
+  Millis ib_ttl_ms = 120'000.0;
+  // Maximum number of via-tier intermediate relays in a source route
+  // (0 = direct / one-hop only; the session-setup frame carries the route).
+  std::uint32_t via_budget = 1;
+};
+
+// Lifts the parsed overlay.* config keys (core::OverlayConfig, validated by
+// parse_config) into typed overlay params.
+inline OverlayParams overlay_params_from(const core::OverlayConfig& config) {
+  OverlayParams params;
+  params.tier = config.tier == "federated" ? Tier::kFederated : Tier::kFlat;
+  params.gossip_period_ms = config.gossip_period_ms;
+  params.ib_ttl_ms = config.ib_ttl_ms;
+  params.via_budget = config.via_budget;
+  return params;
+}
+
+}  // namespace asap::overlay

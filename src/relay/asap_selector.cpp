@@ -18,13 +18,14 @@ SelectionResult to_selection(const core::SelectRelayResult& detail) {
 SelectionResult AsapSelector::select_session(const population::Session& session,
                                              std::uint64_t session_index) {
   Rng rng = base_rng_.fork(session_index);
-  core::SelectRelayResult detail = core::select_close_relay(world_, cache_, session, rng);
+  core::SelectRelayResult detail =
+      core::select_close_relay(world_, *source_, session, rng);
   return to_selection(detail);
 }
 
 SelectionResult AsapSelector::select(const population::Session& session) {
   Rng rng = base_rng_.fork(serial_index_++);
-  last_ = core::select_close_relay(world_, cache_, session, rng);
+  last_ = core::select_close_relay(world_, *source_, session, rng);
   return to_selection(last_);
 }
 

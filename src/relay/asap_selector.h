@@ -1,21 +1,39 @@
-// ASAP as a RelaySelector: wraps the algorithmic select-close-relay() with
-// a shared close-set cache (surrogates amortize close-set construction
-// across all sessions of their cluster, as in the deployed protocol).
+// ASAP as a relay::Selector: wraps the algorithmic select-close-relay()
+// behind the common interface. The flat constructor owns a shared
+// concurrent close-set cache (surrogates amortize close-set construction
+// across all sessions of their cluster, as in the deployed protocol); the
+// source-backed constructor consults an external control plane instead —
+// e.g. overlay::FederatedControlPlane's gossip-maintained information
+// bases — without changing the selection algorithm.
 #pragma once
 
+#include <memory>
+
 #include "core/close_cluster.h"
+#include "core/close_set_source.h"
 #include "core/select_relay.h"
 #include "relay/selector.h"
 
 namespace asap::relay {
 
-class AsapSelector : public RelaySelector {
+class AsapSelector : public Selector {
  public:
+  // Flat default: a private concurrent cache over the world's ground truth
+  // (byte-identical to the pre-overlay selector).
   AsapSelector(const population::World& world, const core::AsapParams& params, Rng rng)
-      : world_(world), cache_(world, params), base_rng_(rng) {}
+      : world_(world),
+        flat_(std::make_unique<core::FlatCloseSetSource>(world, params)),
+        source_(flat_.get()),
+        base_rng_(rng) {}
+  // Control-plane-backed: selection reads close sets from `source` (which
+  // must outlive the selector). Whether a two-hop view costs setup messages
+  // is the source's call (fetched flag) — the selection algorithm itself is
+  // unchanged.
+  AsapSelector(const population::World& world, core::CloseSetSource& source, Rng rng)
+      : world_(world), source_(&source), base_rng_(rng) {}
 
   [[nodiscard]] std::string name() const override { return "ASAP"; }
-  // Thread-safe (the close-set cache is concurrent); does not touch
+  // Thread-safe (the close-set source is concurrent); does not touch
   // last_detail().
   SelectionResult select_session(const population::Session& session,
                                  std::uint64_t session_index) override;
@@ -26,11 +44,15 @@ class AsapSelector : public RelaySelector {
   // counts, accepted clusters, ...), for benches that need more than the
   // common metrics.
   [[nodiscard]] const core::SelectRelayResult& last_detail() const { return last_; }
-  [[nodiscard]] core::CloseSetCache& cache() { return cache_; }
+  // The owned flat cache. Only valid for flat-constructed selectors (the
+  // staleness/ablation benches); source-backed selectors have no cache of
+  // their own.
+  [[nodiscard]] core::CloseSetCache& cache() { return flat_->cache(); }
 
  private:
   const population::World& world_;
-  core::CloseSetCache cache_;
+  std::unique_ptr<core::FlatCloseSetSource> flat_;  // null when source-backed
+  core::CloseSetSource* source_;
   Rng base_rng_;
   std::uint64_t serial_index_ = 0;  // numbers serial select() calls
   core::SelectRelayResult last_;

@@ -1,14 +1,75 @@
 #include "relay/baselines.h"
 
 #include <algorithm>
+#include <numeric>
+#include <span>
 
 #include "population/nat.h"
 #include "voip/quality.h"
 
 namespace asap::relay {
 
-DediSelector::DediSelector(const population::World& world, std::size_t node_count)
-    : world_(world), pool_(dedicated_nodes(world, node_count)) {}
+namespace {
+
+// Evaluates a fixed set of one-hop relay hosts against a session, counting
+// quality paths and tracking the best, with 2 probe messages per evaluated
+// relay. Runs on World's batched relay-RTT scan (loss is computed once, for
+// the winning relay only); safe to call concurrently from evaluation
+// workers. Internal: the only selection entrypoints are the Selector
+// implementations below (PR 10 API unification).
+SelectionResult evaluate_relay_pool(const population::World& world,
+                                    const population::Session& session,
+                                    std::span<const HostId> pool) {
+  SelectionResult result;
+  // Per-thread scratch: evaluation workers call this once per session, so
+  // the buffer is reused across the whole shard without reallocation.
+  static thread_local std::vector<Millis> rtts;
+  rtts.resize(pool.size());
+  world.batch_relay_rtts(session, pool, rtts);
+
+  const auto& pop = world.pop();
+  std::size_t best = SIZE_MAX;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    HostId relay = pool[i];
+    if (relay == session.caller || relay == session.callee) continue;
+    result.messages += 2;  // probe the relay path through this node
+    // A NATed candidate cannot accept the relayed flows: the probe is spent
+    // but the node yields nothing (the waste AS-unaware probing pays).
+    if (!population::can_serve_as_relay(pop.peer_nat(relay))) continue;
+    Millis rtt = rtts[i];
+    if (voip::is_quality_rtt(rtt)) ++result.quality_paths;
+    if (rtt < result.shortest_rtt_ms) {
+      result.shortest_rtt_ms = rtt;
+      best = i;
+    }
+  }
+  if (best != SIZE_MAX) {
+    result.shortest_loss = world.relay_loss(session.caller, pool[best], session.callee);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<HostId> dedicated_nodes(const population::RelayDirectory& dir,
+                                    std::size_t count) {
+  std::vector<std::size_t> order(dir.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return dir.as_degree[a] > dir.as_degree[b];
+  });
+  std::vector<HostId> nodes;
+  nodes.reserve(std::min(count, order.size()));
+  for (std::size_t i : order) {
+    if (nodes.size() >= count) break;
+    nodes.push_back(dir.surrogates[i]);
+  }
+  return nodes;
+}
+
+DediSelector::DediSelector(const population::World& world,
+                           const population::RelayDirectory& dir, std::size_t node_count)
+    : world_(world), pool_(dedicated_nodes(dir, node_count)) {}
 
 SelectionResult DediSelector::select_session(const population::Session& session,
                                              std::uint64_t session_index) {
@@ -38,9 +99,10 @@ SelectionResult RandSelector::select_session(const population::Session& session,
   return evaluate_relay_pool(world_, session, pool);
 }
 
-MixSelector::MixSelector(const population::World& world, std::size_t dedicated,
+MixSelector::MixSelector(const population::World& world,
+                         const population::RelayDirectory& dir, std::size_t dedicated,
                          std::size_t random, Rng rng)
-    : world_(world), dedicated_(dedicated_nodes(world, dedicated)), random_count_(random),
+    : world_(world), dedicated_(dedicated_nodes(dir, dedicated)), random_count_(random),
       base_rng_(rng) {}
 
 SelectionResult MixSelector::select_session(const population::Session& session,
@@ -60,19 +122,16 @@ SelectionResult MixSelector::select_session(const population::Session& session,
   return evaluate_relay_pool(world_, session, pool);
 }
 
-OptSelector::OptSelector(const population::World& world, std::size_t two_hop_beam,
+OptSelector::OptSelector(const population::World& world,
+                         const population::RelayDirectory& dir, std::size_t two_hop_beam,
                          bool enable_two_hop)
-    : world_(world), beam_(two_hop_beam), two_hop_(enable_two_hop) {
-  // Force the directory build here (cheap, once per world) so the first
-  // parallel select_session calls start on the lock-free fast path.
-  (void)world.relay_directory();
-}
+    : world_(world), dir_(dir), beam_(two_hop_beam), two_hop_(enable_two_hop) {}
 
 SelectionResult OptSelector::select_session(const population::Session& session,
                                             std::uint64_t session_index) {
   (void)session_index;  // OPT is deterministic and offline
   const auto& pop = world_.pop();
-  const population::RelayDirectory& dir = world_.relay_directory();
+  const population::RelayDirectory& dir = dir_;
   SelectionResult result;
   ClusterId ca = pop.peer(session.caller).cluster;
   ClusterId cb = pop.peer(session.callee).cluster;

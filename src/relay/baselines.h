@@ -5,10 +5,17 @@
 //   MIX  — 40 dedicated plus 120 random per session.
 //   OPT  — offline optimum with "all latency data on hand through one-hop
 //          and two-hop relay path iterations".
+//
+// Directory-consuming selectors (DEDI, MIX, OPT) read their control-plane
+// state from a RelayDirectory; the convenience constructors default to the
+// world's flat global directory, and the provider-aware make_selectors
+// overload (evaluation.h) routes a CloseSetProvider's directory in instead.
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "population/relay_directory.h"
 #include "relay/selector.h"
 #include "common/rng.h"
 
@@ -24,9 +31,19 @@ struct BaselineConfig {
   std::size_t opt_two_hop_beam = 64;
 };
 
-class DediSelector : public RelaySelector {
+// The `count` populated clusters with the largest AS connection degrees
+// (DEDI's deployment rule: "80 nodes in 80 clusters with the largest
+// connection degrees"); one node (the surrogate) per cluster.
+std::vector<HostId> dedicated_nodes(const population::RelayDirectory& dir,
+                                    std::size_t count);
+
+class DediSelector : public Selector {
  public:
-  DediSelector(const population::World& world, std::size_t node_count);
+  DediSelector(const population::World& world, const population::RelayDirectory& dir,
+               std::size_t node_count);
+  // Convenience: the world's flat global directory.
+  DediSelector(const population::World& world, std::size_t node_count)
+      : DediSelector(world, world.relay_directory(), node_count) {}
   [[nodiscard]] std::string name() const override { return "DEDI"; }
   SelectionResult select_session(const population::Session& session,
                                  std::uint64_t session_index) override;
@@ -40,7 +57,7 @@ class DediSelector : public RelaySelector {
 // the base RNG by session index (base_rng_ itself is never advanced), which
 // makes select_session safe to call concurrently and its result a pure
 // function of (session, index).
-class RandSelector : public RelaySelector {
+class RandSelector : public Selector {
  public:
   RandSelector(const population::World& world, std::size_t node_count, Rng rng);
   [[nodiscard]] std::string name() const override { return "RAND"; }
@@ -53,10 +70,13 @@ class RandSelector : public RelaySelector {
   Rng base_rng_;
 };
 
-class MixSelector : public RelaySelector {
+class MixSelector : public Selector {
  public:
+  MixSelector(const population::World& world, const population::RelayDirectory& dir,
+              std::size_t dedicated, std::size_t random, Rng rng);
   MixSelector(const population::World& world, std::size_t dedicated, std::size_t random,
-              Rng rng);
+              Rng rng)
+      : MixSelector(world, world.relay_directory(), dedicated, random, rng) {}
   [[nodiscard]] std::string name() const override { return "MIX"; }
   SelectionResult select_session(const population::Session& session,
                                  std::uint64_t session_index) override;
@@ -76,16 +96,20 @@ class MixSelector : public RelaySelector {
 // number of competitive legs). OPT is an offline method: its "messages" are
 // reported as 0, matching the paper's treatment (it never appears in the
 // overhead figure).
-class OptSelector : public RelaySelector {
+class OptSelector : public Selector {
  public:
+  OptSelector(const population::World& world, const population::RelayDirectory& dir,
+              std::size_t two_hop_beam, bool enable_two_hop = true);
   OptSelector(const population::World& world, std::size_t two_hop_beam,
-              bool enable_two_hop = true);
+              bool enable_two_hop = true)
+      : OptSelector(world, world.relay_directory(), two_hop_beam, enable_two_hop) {}
   [[nodiscard]] std::string name() const override { return "OPT"; }
   SelectionResult select_session(const population::Session& session,
                                  std::uint64_t session_index) override;
 
  private:
   const population::World& world_;
+  const population::RelayDirectory& dir_;
   std::size_t beam_;
   bool two_hop_;
 };

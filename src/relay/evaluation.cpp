@@ -6,29 +6,37 @@
 
 namespace asap::relay {
 
-std::vector<std::unique_ptr<RelaySelector>> make_selectors(const population::World& world,
-                                                           const EvaluationConfig& config) {
-  std::vector<std::unique_ptr<RelaySelector>> selectors;
+namespace {
+
+// Shared suite builder: DEDI/MIX/OPT read `dir`, ASAP is supplied by the
+// caller (flat-owned or provider-backed). Construction order and RNG seeds
+// are the published contract — both public overloads route through here so
+// they cannot drift apart.
+std::vector<std::unique_ptr<Selector>> make_suite(const population::World& world,
+                                                  const EvaluationConfig& config,
+                                                  const population::RelayDirectory& dir,
+                                                  std::unique_ptr<Selector> asap) {
+  std::vector<std::unique_ptr<Selector>> selectors;
   selectors.push_back(
-      std::make_unique<DediSelector>(world, config.baselines.dedi_nodes));
+      std::make_unique<DediSelector>(world, dir, config.baselines.dedi_nodes));
   selectors.push_back(std::make_unique<RandSelector>(world, config.baselines.rand_nodes,
                                                      world.fork_rng(config.seed_salt + 1)));
-  selectors.push_back(std::make_unique<MixSelector>(world, config.baselines.mix_dedicated,
+  selectors.push_back(std::make_unique<MixSelector>(world, dir,
+                                                    config.baselines.mix_dedicated,
                                                     config.baselines.mix_random,
                                                     world.fork_rng(config.seed_salt + 2)));
-  selectors.push_back(std::make_unique<AsapSelector>(world, config.asap,
-                                                     world.fork_rng(config.seed_salt + 3)));
+  selectors.push_back(std::move(asap));
   if (config.include_opt) {
     selectors.push_back(
-        std::make_unique<OptSelector>(world, config.baselines.opt_two_hop_beam));
+        std::make_unique<OptSelector>(world, dir, config.baselines.opt_two_hop_beam));
   }
   return selectors;
 }
 
-std::vector<MethodResults> evaluate_methods(const population::World& world,
-                                            const std::vector<population::Session>& sessions,
-                                            const EvaluationConfig& config) {
-  auto selectors = make_selectors(world, config);
+std::vector<MethodResults> run_methods(const population::World& world,
+                                       const std::vector<population::Session>& sessions,
+                                       const EvaluationConfig& config,
+                                       std::vector<std::unique_ptr<Selector>> selectors) {
   voip::EModel emodel(config.codec);
   ThreadPool pool(ThreadPool::resolve_threads(config.threads));
   // Build every destination table the selectors can touch up front, in
@@ -61,7 +69,7 @@ std::vector<MethodResults> evaluate_methods(const population::World& world,
     mr.shortest_rtt_ms.resize(sessions.size());
     mr.highest_mos.resize(sessions.size());
     mr.messages.resize(sessions.size());
-    RelaySelector* sel = selector.get();
+    Selector* sel = selector.get();
     pool.parallel_for(sessions.size(), [&, sel](std::size_t i) {
       const auto& session = sessions[i];
       SelectionResult r = sel->select_session(session, i);
@@ -88,6 +96,36 @@ std::vector<MethodResults> evaluate_methods(const population::World& world,
   // cache is unbounded or nothing was evicted).
   world.oracle().purge_retired();
   return results;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<Selector>> make_selectors(const population::World& world,
+                                                      const EvaluationConfig& config) {
+  return make_suite(world, config, world.relay_directory(),
+                    std::make_unique<AsapSelector>(world, config.asap,
+                                                   world.fork_rng(config.seed_salt + 3)));
+}
+
+std::vector<std::unique_ptr<Selector>> make_selectors(const population::World& world,
+                                                      const EvaluationConfig& config,
+                                                      CloseSetProvider& provider) {
+  return make_suite(world, config, provider.directory(),
+                    std::make_unique<AsapSelector>(world, provider.close_sets(),
+                                                   world.fork_rng(config.seed_salt + 3)));
+}
+
+std::vector<MethodResults> evaluate_methods(const population::World& world,
+                                            const std::vector<population::Session>& sessions,
+                                            const EvaluationConfig& config) {
+  return run_methods(world, sessions, config, make_selectors(world, config));
+}
+
+std::vector<MethodResults> evaluate_methods(const population::World& world,
+                                            const std::vector<population::Session>& sessions,
+                                            const EvaluationConfig& config,
+                                            CloseSetProvider& provider) {
+  return run_methods(world, sessions, config, make_selectors(world, config, provider));
 }
 
 }  // namespace asap::relay

@@ -10,6 +10,7 @@
 
 #include "relay/asap_selector.h"
 #include "relay/baselines.h"
+#include "relay/provider.h"
 #include "relay/selector.h"
 #include "voip/emodel.h"
 #include "common/metrics.h"
@@ -55,13 +56,28 @@ inline double best_path_loss(Millis relay_rtt_ms, double relay_loss,
   return relay_rtt_ms < direct_rtt_ms ? relay_loss : direct_loss;
 }
 
-// Builds the standard selector suite (DEDI, RAND, MIX, ASAP [, OPT]).
-std::vector<std::unique_ptr<RelaySelector>> make_selectors(const population::World& world,
-                                                           const EvaluationConfig& config);
+// Builds the standard selector suite (DEDI, RAND, MIX, ASAP [, OPT]) over
+// the flat global directory (the default control plane; byte-identical to
+// the historical behavior).
+std::vector<std::unique_ptr<Selector>> make_selectors(const population::World& world,
+                                                      const EvaluationConfig& config);
+// Same suite, consuming `provider`'s control-plane state instead: the
+// directory-backed methods read provider.directory(), ASAP reads
+// provider.close_sets(). Seeds and construction order are identical to the
+// flat overload, so with a FlatDirectoryProvider the results are bitwise
+// equal.
+std::vector<std::unique_ptr<Selector>> make_selectors(const population::World& world,
+                                                      const EvaluationConfig& config,
+                                                      CloseSetProvider& provider);
 
 // Runs every selector over `sessions`.
 std::vector<MethodResults> evaluate_methods(const population::World& world,
                                             const std::vector<population::Session>& sessions,
                                             const EvaluationConfig& config);
+// Provider-backed variant (selectors from the provider-aware make_selectors).
+std::vector<MethodResults> evaluate_methods(const population::World& world,
+                                            const std::vector<population::Session>& sessions,
+                                            const EvaluationConfig& config,
+                                            CloseSetProvider& provider);
 
 }  // namespace asap::relay

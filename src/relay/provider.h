@@ -1,0 +1,73 @@
+// relay::CloseSetProvider: the control plane behind the Selector suite.
+//
+// A provider owns the state selection consumes — the relay directory
+// (cluster → effective relay, capability, degree) and the close-set source
+// feeding select-close-relay() — and reports what that state costs: upkeep
+// traffic and peak per-node footprint. Two implementations exist:
+//
+//   FlatDirectoryProvider (here, the default): the pre-overlay model. Every
+//   node can consult the whole global directory and any close set on
+//   demand; zero upkeep traffic, O(world) per-node state.
+//
+//   overlay::FederatedProvider (src/overlay): per-cluster surrogates peer
+//   surrogate↔surrogate and gossip close-set / relay-capability
+//   information bases; per-node state is O(cluster + peers' surrogates)
+//   and foreign knowledge is eventually consistent (DESIGN.md §15).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/close_set_source.h"
+#include "population/relay_directory.h"
+#include "population/world.h"
+
+namespace asap::relay {
+
+class CloseSetProvider {
+ public:
+  virtual ~CloseSetProvider() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Close-set view backing select-close-relay().
+  [[nodiscard]] virtual core::CloseSetSource& close_sets() = 0;
+  // Relay directory backing DEDI/MIX/OPT (immutable snapshot semantics:
+  // the reference stays valid for the provider's lifetime).
+  [[nodiscard]] virtual const population::RelayDirectory& directory() const = 0;
+
+  // Control-plane upkeep spent so far maintaining the provider's state
+  // (gossip rounds); zero for the flat plane, whose knowledge is free by
+  // assumption.
+  [[nodiscard]] virtual std::uint64_t upkeep_messages() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t upkeep_bytes() const { return 0; }
+  // Peak control-plane state any single node must hold, in wire bytes —
+  // O(world) for the flat directory, O(cluster + peered surrogates) for
+  // the federated plane (the fig_overlay scalability axis).
+  [[nodiscard]] virtual std::uint64_t max_state_bytes_per_node() const = 0;
+};
+
+// The flat global directory as a provider: every node sees everything.
+class FlatDirectoryProvider final : public CloseSetProvider {
+ public:
+  FlatDirectoryProvider(const population::World& world, const core::AsapParams& params)
+      : world_(world), source_(world, params) {}
+
+  [[nodiscard]] std::string name() const override { return "flat"; }
+  [[nodiscard]] core::CloseSetSource& close_sets() override { return source_; }
+  [[nodiscard]] const population::RelayDirectory& directory() const override {
+    return world_.relay_directory();
+  }
+  [[nodiscard]] std::uint64_t max_state_bytes_per_node() const override {
+    // One global directory row per populated cluster, visible to everyone:
+    // cluster id + relay id + capability + degree (4 B each on the wire).
+    return static_cast<std::uint64_t>(directory().size()) * 16;
+  }
+
+  [[nodiscard]] core::FlatCloseSetSource& source() { return source_; }
+
+ private:
+  const population::World& world_;
+  core::FlatCloseSetSource source_;
+};
+
+}  // namespace asap::relay

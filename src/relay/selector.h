@@ -1,12 +1,14 @@
-// RelaySelector: the common interface of the five relay-node selection
+// relay::Selector: the common interface of the five relay-node selection
 // methods the paper evaluates (Sec. 7.1): DEDI (RON-like dedicated nodes),
-// RAND (SOSR-like random probing), MIX, ASAP, and the offline OPT.
+// RAND (SOSR-like random probing), MIX, ASAP, and the offline OPT. Every
+// selection entrypoint in the repo goes through this interface; the
+// control-plane state a selector consumes (relay directory, close sets)
+// comes from a relay::CloseSetProvider (provider.h) — flat global
+// directory by default, federated surrogate overlay optionally.
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <string>
-#include <vector>
 
 #include "population/session_gen.h"
 #include "population/world.h"
@@ -28,9 +30,9 @@ struct SelectionResult {
   std::uint64_t messages = 0;
 };
 
-class RelaySelector {
+class Selector {
  public:
-  virtual ~RelaySelector() = default;
+  virtual ~Selector() = default;
   [[nodiscard]] virtual std::string name() const = 0;
 
   // Thread-safe evaluation entry point: implementations must tolerate
@@ -50,19 +52,5 @@ class RelaySelector {
  private:
   std::uint64_t serial_index_ = 0;
 };
-
-// Shared helper: evaluates a fixed set of one-hop relay hosts against a
-// session, counting quality paths and tracking the best, with 2 probe
-// messages per evaluated relay. Runs on World's batched relay-RTT scan
-// (loss is computed once, for the winning relay only); safe to call
-// concurrently from evaluation workers.
-SelectionResult evaluate_relay_pool(const population::World& world,
-                                    const population::Session& session,
-                                    std::span<const HostId> pool);
-
-// The `count` populated clusters with the largest AS connection degrees
-// (DEDI's deployment rule: "80 nodes in 80 clusters with the largest
-// connection degrees"); one node (the surrogate) per cluster.
-std::vector<HostId> dedicated_nodes(const population::World& world, std::size_t count);
 
 }  // namespace asap::relay

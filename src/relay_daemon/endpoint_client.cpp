@@ -70,10 +70,22 @@ void EndpointClient::handle_payload(const core::ProtocolPayload& payload,
     report_.bound = true;
     report_.observed = net::Endpoint{bound->observed_ip, bound->observed_port};
     last_bound_rx_ms_ = now_ms;
+    // Source-routed path: (re)issue the ViaSetup until the chain reports the
+    // peer present — each Bound without it means the route is not live yet
+    // (the setup may have been lost; re-sending is an idempotent refresh).
+    if (config_.caller && !config_.via_route.empty() && bound->peer_present == 0 &&
+        !report_.peer_present_seen) {
+      core::ViaSetup via;
+      via.session = config_.session;
+      via.from_node = config_.node;
+      via.route = config_.via_route;
+      send_payload(via, now_ms);
+    }
     if (bound->peer_present != 0) {
       report_.peer_present_seen = true;
       if (config_.caller && !setup_sent_) {
         setup_sent_ = true;
+        last_setup_tx_ms_ = now_ms;
         send_payload(core::CallSetup{config_.session}, now_ms);
       }
     }
@@ -149,7 +161,19 @@ void EndpointClient::on_tick(Millis now_ms) {
   }
 
   if (config_.caller) {
-    if (!voice_active_) return;
+    if (!voice_active_) {
+      // A via chain can report the peer present before its far leg is live
+      // (the via relay registers its downstream hop itself), so the one-shot
+      // CallSetup may be dropped in flight: re-issue it on the keepalive
+      // cadence until the CallAccept arrives. Idempotent — the callee
+      // answers each setup at most once.
+      if (setup_sent_ &&
+          now_ms - last_setup_tx_ms_ >= config_.keepalive_interval_ms) {
+        last_setup_tx_ms_ = now_ms;
+        send_payload(core::CallSetup{config_.session}, now_ms);
+      }
+      return;
+    }
     const std::uint32_t n = total_packets();
     while (next_seq_ < n && now_ms >= next_voice_due_ms_) {
       if (report_.voice_packets_sent == 0 && report_.setup_ms == 0.0) {

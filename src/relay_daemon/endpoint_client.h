@@ -37,6 +37,11 @@ struct EndpointConfig {
   Millis pacing_ms = 20.0;            // AsapSystem::kVoiceIntervalMs (50 pps)
   Millis keepalive_interval_ms = 250.0;  // AsapParams::keepalive_interval_ms
   Millis relay_timeout_ms = 3000.0;      // AsapParams::probe_timeout_ms
+  // Via tier (caller only): overlay node ids of the via relays the path
+  // should be extended through, nearest first. After each Bound reply until
+  // the peer is present, the caller sends a ViaSetup carrying this route to
+  // its rendezvous relay, which forwards hop by hop (see RelayConfig).
+  std::vector<std::uint32_t> via_route;
 };
 
 // Outcome of one leg; field names track core::CallOutcome where the sim has
@@ -119,6 +124,7 @@ class EndpointClient {
 
   // Caller side.
   bool setup_sent_ = false;
+  Millis last_setup_tx_ms_ = 0.0;
   bool voice_active_ = false;
   std::uint32_t next_seq_ = 0;
   Millis next_voice_due_ms_ = 0.0;

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "net/endpoint.h"
 #include "net/poll_loop.h"
@@ -27,7 +28,14 @@ void usage() {
                "  --pacing-ms X         voice pacing (default 20 = 50 pps)\n"
                "  --keepalive-ms X      register/keepalive interval (default 250)\n"
                "  --timeout-ms X        give up after this long (default 15000)\n"
-               "  --bind A.B.C.D        local bind address (default 127.0.0.1)\n";
+               "  --bind A.B.C.D        local bind address (default 127.0.0.1)\n"
+               "  --via ID[,ID]         via route: overlay node ids of intermediate\n"
+               "                        relays the caller's rendezvous relay should\n"
+               "                        extend the path through (see --via-peer on\n"
+               "                        asap-relay); caller leg only\n"
+               "  --callee-relay A.B.C.D:P  rendezvous relay for the callee leg in\n"
+               "                        pair mode (default: --relay); a via call\n"
+               "                        terminates at the route's last relay\n";
 }
 
 void print_report(const char* leg, const asap::relayd::CallReport& r) {
@@ -63,6 +71,8 @@ int main(int argc, char** argv) {
   std::uint32_t session = 1;
   std::uint32_t node = 0;
   double timeout_ms = 15'000.0;
+  std::vector<std::uint32_t> via_route;
+  Endpoint callee_relay;  // pair mode: callee leg's relay (default --relay)
 
   auto need = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -96,6 +106,22 @@ int main(int argc, char** argv) {
       timeout_ms = std::atof(need(i));
     } else if (arg == "--bind") {
       bind_ip = need(i);
+    } else if (arg == "--via") {
+      std::string ids = need(i);
+      for (std::size_t pos = 0; pos < ids.size();) {
+        std::size_t comma = ids.find(',', pos);
+        if (comma == std::string::npos) comma = ids.size();
+        via_route.push_back(
+            static_cast<std::uint32_t>(std::atol(ids.substr(pos, comma - pos).c_str())));
+        pos = comma + 1;
+      }
+    } else if (arg == "--callee-relay") {
+      auto ep = Endpoint::parse(need(i));
+      if (!ep) {
+        std::cerr << "asap-endpoint: bad --callee-relay\n";
+        return 2;
+      }
+      callee_relay = *ep;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -124,9 +150,11 @@ int main(int argc, char** argv) {
     EndpointConfig caller_cfg = base;
     caller_cfg.caller = true;
     caller_cfg.node = node != 0 ? node : 1;
+    caller_cfg.via_route = via_route;
     EndpointConfig callee_cfg = base;
     callee_cfg.caller = false;
     callee_cfg.node = node != 0 ? node + 1 : 2;
+    if (callee_relay.valid()) callee_cfg.relay = callee_relay;
 
     auto caller = EndpointClient::open(caller_cfg, *bind_ep);
     auto callee = EndpointClient::open(callee_cfg, *bind_ep);
@@ -148,6 +176,7 @@ int main(int argc, char** argv) {
   }
   base.caller = role == "caller";
   base.node = node != 0 ? node : (base.caller ? 1 : 2);
+  if (base.caller) base.via_route = via_route;
   auto client = EndpointClient::open(base, *bind_ep);
   if (!client) {
     std::cerr << "asap-endpoint: " << client.error().message << "\n";

@@ -54,6 +54,8 @@ RelaydCounters::RelaydCounters(MetricsRegistry& r)
       sessions_reaped(r.counter("relayd.sessions_reaped")),
       forwarded_frames(r.counter("relayd.forwarded_frames")),
       forwarded_voice(r.counter("relayd.forwarded_voice")),
+      via_setups(r.counter("relayd.via_setups")),
+      via_unknown_hop(r.counter("relayd.via_unknown_hop")),
       peak_sessions(r.gauge("relayd.peak_sessions")) {}
 
 RelayCore::RelayCore(const RelayConfig& config, MetricsRegistry* external)
@@ -171,6 +173,76 @@ void RelayCore::handle_rendezvous(const net::Endpoint& from,
         emit_payload(*peer, note, send);
       }
     }
+    return;
+  }
+
+  // Via tier (DESIGN.md §15): a ViaSetup extends the session's forwarding
+  // chain through this relay. The sender (caller or upstream via relay)
+  // registers as one leg; a non-empty route registers the next via relay as
+  // the other leg and forwards the setup — after which the existing
+  // per-session forwarding path carries the voice through the chain with no
+  // further via-specific state.
+  if (const auto* via = std::get_if<core::ViaSetup>(&payload)) {
+    counters_.via_setups.inc();
+    const Result up = table_.register_leg(via->session, via->from_node, from, now_ms);
+    switch (up) {
+      case Result::kTableFull:
+        counters_.busy_rejections.inc();
+        emit_payload(from, core::ProbeBusy{core::kRelayCheckTokenBit}, send);
+        return;
+      case Result::kRejected:
+        counters_.unknown_source.inc();
+        return;
+      case Result::kNew:
+        counters_.sessions_opened.inc();
+        counters_.peak_sessions.max_of(static_cast<double>(table_.open_sessions()));
+        break;
+      case Result::kPaired:
+      case Result::kRebound:
+      case Result::kRefreshed:
+        break;
+    }
+    // Terminal hop pairing: the upstream chain reached a relay where the
+    // callee side is already registered — wake the waiting leg now instead
+    // of on its next keepalive.
+    if (up == Result::kPaired) {
+      if (const auto peer = table_.peer_of(via->session, from)) {
+        core::RendezvousBound note;
+        note.session = via->session;
+        note.observed_ip = peer->ip;
+        note.observed_port = peer->port;
+        note.peer_present = 1;
+        counters_.bound_replies.inc();
+        emit_payload(*peer, note, send);
+      }
+    }
+    if (via->route.empty()) return;  // route terminates here
+    const std::uint32_t hop = via->route.front();
+    const auto next_peer = config_.via_peers.find(hop);
+    if (next_peer == config_.via_peers.end()) {
+      counters_.via_unknown_hop.inc();
+      return;
+    }
+    const Result down =
+        table_.register_leg(via->session, hop, next_peer->second, now_ms);
+    if (down == Result::kPaired) {
+      // The downstream leg completed this relay's pair — typically the
+      // caller is the other leg; tell it the path is live.
+      if (const auto peer = table_.peer_of(via->session, next_peer->second)) {
+        core::RendezvousBound note;
+        note.session = via->session;
+        note.observed_ip = peer->ip;
+        note.observed_port = peer->port;
+        note.peer_present = 1;
+        counters_.bound_replies.inc();
+        emit_payload(*peer, note, send);
+      }
+    }
+    core::ViaSetup next;
+    next.session = via->session;
+    next.from_node = config_.node_id;
+    next.route.assign(via->route.begin() + 1, via->route.end());
+    emit_payload(next_peer->second, next, send);
     return;
   }
 

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -58,6 +59,16 @@ struct RelayConfig {
   // cadence contract: endpoints refresh every keepalive_interval_ms, so the
   // timeout must be a comfortable multiple of it.
   Millis idle_timeout_ms = 10'000.0;
+  // --- Via tier (two-hop source routing, DESIGN.md §15) --------------------
+  // This relay's overlay node id: the value a ViaSetup route hop names. 0 is
+  // legal (ids are opaque); a relay with an empty `via_peers` map simply
+  // terminates any route at itself.
+  std::uint32_t node_id = 0;
+  // Control-peered via relays this node may extend a source route through:
+  // overlay node id -> where that relay listens. A route hop not in this map
+  // is refused (counted, dropped) — a relay only forwards through peers it
+  // actually knows.
+  std::map<std::uint32_t, net::Endpoint> via_peers;
 };
 
 // relayd.* observability. Registered in the daemon's registry up front —
@@ -76,6 +87,8 @@ struct RelaydCounters {
       sessions_opened, sessions_reaped;
   // Forwarding.
   Counter forwarded_frames, forwarded_voice;
+  // Via tier: source-route setups processed; route hops naming no known peer.
+  Counter via_setups, via_unknown_hop;
   Gauge peak_sessions;
 };
 

@@ -41,6 +41,9 @@ void usage() {
          "  --streams-per-capacity X    (with --capacity)\n"
          "  --min-streams N             (with --capacity; default 1)\n"
          "  --idle-timeout-ms X   reap sessions idle this long (default 10000)\n"
+         "  --node-id N           this relay's overlay node id (via tier)\n"
+         "  --via-peer ID=A.B.C.D:P   peered via relay (repeatable); a ViaSetup\n"
+         "                        route hop naming ID is forwarded to this address\n"
          "  --run-ms N            exit after N ms (default: until SIGINT)\n"
          "  --metrics-out PATH    write relayd.* metrics JSON on exit\n"
          "  --print-port          print the bound port on stdout at startup\n";
@@ -94,6 +97,19 @@ int main(int argc, char** argv) {
       min_streams = static_cast<std::uint32_t>(std::atol(need(i)));
     } else if (arg == "--idle-timeout-ms") {
       config.idle_timeout_ms = std::atof(need(i));
+    } else if (arg == "--node-id") {
+      config.node_id = static_cast<std::uint32_t>(std::atol(need(i)));
+    } else if (arg == "--via-peer") {
+      const std::string spec = need(i);
+      const auto eq = spec.find('=');
+      auto ep = eq == std::string::npos
+                    ? std::nullopt
+                    : Endpoint::parse(spec.substr(eq + 1));
+      if (eq == std::string::npos || !ep) {
+        std::cerr << "asap-relay: bad --via-peer (want ID=A.B.C.D:P)\n";
+        return 2;
+      }
+      config.via_peers[static_cast<std::uint32_t>(std::atol(spec.c_str()))] = *ep;
     } else if (arg == "--run-ms") {
       run_ms = std::atof(need(i));
     } else if (arg == "--metrics-out") {

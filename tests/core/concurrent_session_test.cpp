@@ -139,9 +139,14 @@ TEST_F(ConcurrentSessionFixture, PlaceCallMatchesLegacyCallWhenNotOverlapping) {
   AsapSystem legacy(*world, protocol_params(/*capacity=*/false));
   legacy.join_all();
   std::vector<CallOutcome> blocking;
+  // This test IS the deprecated call()'s equivalence contract — the one
+  // in-repo caller that must keep exercising it directly.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   for (std::size_t i = 0; i < 4; ++i) {
     blocking.push_back(legacy.call(latent[i].caller, latent[i].callee, 400.0));
   }
+#pragma GCC diagnostic pop
 
   // Async API with windows spaced far beyond call lifetime (voice 400 ms +
   // close allowance 10 s < 30 s spacing): never concurrent, so the message
@@ -180,7 +185,7 @@ TEST_F(ConcurrentSessionFixture, AtCapacityRelayRejectsAndCallerRecoversViaBacku
   probe.join_all();
   const population::Session* chosen = nullptr;
   for (const auto& s : latent) {
-    auto outcome = probe.call(s.caller, s.callee, 200.0);
+    auto outcome = run_call(probe, s.caller, s.callee, 200.0);
     if (outcome.completed && outcome.used_relay && !outcome.backup_relays.empty()) {
       chosen = &s;
       break;

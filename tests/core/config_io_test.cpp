@@ -232,6 +232,61 @@ TEST(ConfigIo, RejectsBadQualityEstimatorKnobs) {
                   .has_value());
 }
 
+TEST(ConfigIo, ParsesOverlayKnobs) {
+  auto config = parse_config(R"(
+overlay.tier = federated
+overlay.gossip_period_ms = 15000
+overlay.ib_ttl_ms = 60000
+overlay.via_budget = 2
+)");
+  ASSERT_TRUE(config.has_value()) << (config ? "" : config.error().message);
+  EXPECT_EQ(config->overlay.tier, "federated");
+  EXPECT_DOUBLE_EQ(config->overlay.gossip_period_ms, 15000.0);
+  EXPECT_DOUBLE_EQ(config->overlay.ib_ttl_ms, 60000.0);
+  EXPECT_EQ(config->overlay.via_budget, 2u);
+  // Round-trips through serialize like every other key.
+  auto back = parse_config(serialize_config(*config));
+  ASSERT_TRUE(back.has_value()) << (back ? "" : back.error().message);
+  EXPECT_EQ(back->overlay.tier, "federated");
+  EXPECT_DOUBLE_EQ(back->overlay.gossip_period_ms, 15000.0);
+  EXPECT_EQ(back->overlay.via_budget, 2u);
+  // The flat control plane stays the default: historical configs are
+  // untouched by the overlay redesign.
+  auto defaults = parse_config("");
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_EQ(defaults->overlay.tier, "flat");
+}
+
+TEST(ConfigIo, RejectsOverlayMisconfiguration) {
+  // Unknown tier names fail like unknown keys do.
+  EXPECT_FALSE(parse_config("overlay.tier = hierarchical\n").has_value());
+
+  // A federated plane needs a positive gossip period...
+  auto period = parse_config(
+      "overlay.tier = federated\n"
+      "overlay.gossip_period_ms = 0\n");
+  ASSERT_FALSE(period.has_value());
+  EXPECT_NE(period.error().message.find("gossip_period_ms"), std::string::npos);
+
+  // ...and a TTL no shorter than it, or every IB entry expires between
+  // rounds and the plane degenerates to per-call fetches.
+  auto ttl = parse_config(
+      "overlay.tier = federated\n"
+      "overlay.gossip_period_ms = 30000\n"
+      "overlay.ib_ttl_ms = 1000\n");
+  ASSERT_FALSE(ttl.has_value());
+  EXPECT_NE(ttl.error().message.find("ib_ttl_ms"), std::string::npos);
+  EXPECT_NE(ttl.error().message.find("gossip_period_ms"), std::string::npos);
+
+  // The via budget is bounded by the wire RelayChoice (relay1/relay2).
+  auto budget = parse_config("overlay.via_budget = 9\n");
+  ASSERT_FALSE(budget.has_value());
+  EXPECT_NE(budget.error().message.find("via_budget"), std::string::npos);
+
+  // With the flat tier the federated-only constraints are inert.
+  EXPECT_TRUE(parse_config("overlay.gossip_period_ms = 0\n").has_value());
+}
+
 TEST(ConfigIo, AdmissionControlRequiresCapacityModel) {
   // Class-of-service admission only acts through relay-capacity pressure;
   // enabling it with the capacity model off is a configuration error.

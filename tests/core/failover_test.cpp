@@ -253,7 +253,7 @@ TEST(ProtocolObservability, ExternalRegistryAndTraceSpansCaptureACall) {
   bool found = false;
   std::size_t calls = 0;
   for (const auto& s : latent) {
-    auto outcome = system.call(s.caller, s.callee, 200.0);
+    auto outcome = run_call(system, s.caller, s.callee, 200.0);
     ++calls;
     if (outcome.used_relay) {
       relayed = outcome;

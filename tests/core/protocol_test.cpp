@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "population/session_gen.h"
+#include "relay/baselines.h"
 
 namespace asap::core {
 namespace {
@@ -153,7 +154,7 @@ TEST_F(ProtocolFixture, TwoHopExpansionRunsOverTheWire) {
   for (const auto& s : latent) {
     if (calls >= 6) break;
     ++calls;
-    auto outcome = two_hop_system.call(s.caller, s.callee, 200.0);
+    auto outcome = run_call(two_hop_system, s.caller, s.callee, 200.0);
     EXPECT_TRUE(outcome.completed);
     if (outcome.used_relay && outcome.relay.relay2.valid()) {
       saw_two_hop = true;
@@ -170,6 +171,73 @@ TEST_F(ProtocolFixture, TwoHopExpansionRunsOverTheWire) {
   EXPECT_GT(after, before + 2 * calls)
       << "two-hop fetches must generate extra close-set traffic";
   (void)saw_two_hop;  // two-hop winning is world-dependent; traffic is not
+}
+
+TEST_F(ProtocolFixture, ExplicitViaRouteCommitsTwoHopChain) {
+  // Via-tier source routing (DESIGN.md §15): a CallSpec with an explicit
+  // two-relay chain skips discovery, announces the route with a ViaSetup
+  // frame and streams voice hop by hop — the sim twin of the asap-relay
+  // daemon's --via-peer configuration (socket_loopback_test).
+  AsapParams via_params = params;
+  via_params.via_source_routing = true;
+  AsapSystem via_system(*world, via_params, 2);
+  via_system.join_all();
+
+  const auto& s = sessions.front();
+  auto relays = relay::dedicated_nodes(world->relay_directory(), 8);
+  CallSpec spec;
+  spec.caller = s.caller;
+  spec.callee = s.callee;
+  spec.voice_duration_ms = 200.0;
+  for (HostId h : relays) {
+    if (h == s.caller || h == s.callee) continue;
+    spec.via_route.push_back(h);
+    if (spec.via_route.size() == 2) break;
+  }
+  ASSERT_EQ(spec.via_route.size(), 2u);
+
+  auto outcome = run_call(via_system, spec);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_TRUE(outcome.used_relay);
+  ASSERT_TRUE(outcome.relay.is_two_hop());
+  EXPECT_EQ(outcome.relay.relay1, spec.via_route[0]);
+  EXPECT_EQ(outcome.relay.relay2, spec.via_route[1]);
+  // Voice flowed through both relays: nothing lost, and the mean one-way
+  // matches the two-hop path model.
+  EXPECT_EQ(outcome.voice_packets_received, outcome.voice_packets_sent);
+  Millis expected = world->relay2_rtt_ms(s.caller, spec.via_route[0],
+                                         spec.via_route[1], s.callee) / 2.0;
+  EXPECT_NEAR(outcome.mean_voice_one_way_ms, expected, 30.0);
+  EXPECT_EQ(outcome.relay.rtt_ms,
+            world->relay2_rtt_ms(s.caller, spec.via_route[0], spec.via_route[1],
+                                 s.callee));
+}
+
+TEST_F(ProtocolFixture, ViaRouteIgnoredWhenSourceRoutingOff) {
+  // The gate that keeps default workloads bit-identical: without
+  // via_source_routing, an explicit route is ignored and the call runs the
+  // normal discovery flow.
+  const auto& s = sessions.front();
+  auto relays = relay::dedicated_nodes(world->relay_directory(), 4);
+  ASSERT_FALSE(relays.empty());
+
+  CallSpec plain;
+  plain.caller = s.caller;
+  plain.callee = s.callee;
+  plain.voice_duration_ms = 200.0;
+  CallSpec routed = plain;
+  routed.via_route = {relays.front()};
+
+  AsapSystem a(*world, params, 2);
+  a.join_all();
+  auto without = run_call(a, plain);
+  AsapSystem b(*world, params, 2);
+  b.join_all();
+  auto with = run_call(b, routed);
+  EXPECT_EQ(without.completed, with.completed);
+  EXPECT_EQ(without.used_relay, with.used_relay);
+  EXPECT_EQ(without.relay.relay1, with.relay.relay1);
+  EXPECT_EQ(without.control_messages, with.control_messages);
 }
 
 TEST_F(ProtocolFixture, VoicePacketsCarrySimulatedLatency) {

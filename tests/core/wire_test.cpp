@@ -36,6 +36,9 @@ std::vector<ProtocolPayload> all_message_kinds() {
       ProbeBusy{0xDEADBEEFCAFEULL},
       RendezvousRegister{SessionId(31), 9},
       RendezvousBound{SessionId(31), 0x7F000001u, 40123, 1},
+      IbPush{ClusterId(42), 1500.0, 2.5f, sample_set()},
+      IbRequest{ClusterId(8)},
+      ViaSetup{SessionId(31), 99, {4, 8, 15}},
   };
 }
 
@@ -132,6 +135,50 @@ TEST(Wire, RendezvousPairRoundTripsExactly) {
   EXPECT_EQ(b.observed_ip, 0xC0A80101u);
   EXPECT_EQ(b.observed_port, 65535u);
   EXPECT_EQ(b.peer_present, 1u);
+}
+
+TEST(Wire, IbPushRoundTripsExactly) {
+  auto original = sample_set();
+  IbPush push{ClusterId(314), 2750.5, 3.25f, original};
+  auto decoded = decode(encode(ProtocolPayload{push}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& back = std::get<IbPush>(*decoded);
+  EXPECT_EQ(back.origin, ClusterId(314));
+  EXPECT_EQ(back.built_at_ms, 2750.5);
+  EXPECT_FLOAT_EQ(back.capability, 3.25f);
+  ASSERT_NE(back.set, nullptr);
+  EXPECT_EQ(back.set->owner, original->owner);
+  ASSERT_EQ(back.set->entries.size(), original->entries.size());
+  for (std::size_t i = 0; i < original->entries.size(); ++i) {
+    EXPECT_EQ(back.set->entries[i].cluster, original->entries[i].cluster);
+    EXPECT_FLOAT_EQ(static_cast<float>(back.set->entries[i].rtt_ms),
+                    static_cast<float>(original->entries[i].rtt_ms));
+  }
+}
+
+TEST(Wire, IbRequestRoundTripsExactly) {
+  auto decoded = decode(encode(ProtocolPayload{IbRequest{ClusterId(77)}}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<IbRequest>(*decoded).cluster, ClusterId(77));
+}
+
+TEST(Wire, ViaSetupRouteRoundTripsExactly) {
+  ViaSetup via{SessionId(0x1234), 17, {100, 200, 300}};
+  auto decoded = decode(encode(ProtocolPayload{via}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& back = std::get<ViaSetup>(*decoded);
+  EXPECT_EQ(back.session, SessionId(0x1234));
+  EXPECT_EQ(back.from_node, 17u);
+  ASSERT_EQ(back.route.size(), 3u);
+  EXPECT_EQ(back.route[0], 100u);
+  EXPECT_EQ(back.route[2], 300u);
+
+  // The terminal-hop frame (empty route) must survive too: it is what the
+  // last via relay receives and pairs on.
+  ViaSetup terminal{SessionId(0x1234), 18, {}};
+  auto t = decode(encode(ProtocolPayload{terminal}));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(std::get<ViaSetup>(*t).route.empty());
 }
 
 TEST(Wire, RejectsTrailingGarbage) {

@@ -141,7 +141,7 @@ TEST_F(EndToEnd, ProtocolCallOverSameWorldAsEvaluation) {
   core::AsapSystem system(*world, params, 2);
   system.join_all();
   const auto& s = sessions->front();
-  auto outcome = system.call(s.caller, s.callee, 200.0);
+  auto outcome = core::run_call(system, s.caller, s.callee, 200.0);
   EXPECT_TRUE(outcome.completed);
   EXPECT_EQ(outcome.voice_packets_received, outcome.voice_packets_sent);
 }

@@ -19,6 +19,7 @@
 #include "net/poll_loop.h"
 #include "net/udp_socket.h"
 #include "population/session_gen.h"
+#include "relay/baselines.h"
 #include "relay_daemon/endpoint_client.h"
 #include "relay_daemon/relay_daemon.h"
 
@@ -70,7 +71,7 @@ TEST(SocketLoopback, LoopbackCallMatchesSimulatedOutcome) {
   auto sessions = population::generate_sessions(world, 50, rng);
   ASSERT_FALSE(sessions.empty());
   const core::CallOutcome sim =
-      system.call(sessions[0].caller, sessions[0].callee, duration_ms);
+      core::run_call(system, sessions[0].caller, sessions[0].callee, duration_ms);
   ASSERT_TRUE(sim.completed);
 
   // --- The same call over real UDP through asap-relay ---------------------
@@ -112,6 +113,88 @@ TEST(SocketLoopback, LoopbackCallMatchesSimulatedOutcome) {
   // Both legs observed their real reflexive addresses.
   EXPECT_EQ(tx.observed, caller->local_endpoint());
   EXPECT_EQ(rx.observed, callee->local_endpoint());
+}
+
+TEST(SocketLoopback, TwoHopViaRouteMatchesSimulatedOutcome) {
+  const Millis duration_ms = 400.0;
+
+  // --- Simulated run: the same explicit two-relay chain -------------------
+  population::WorldParams world_params;
+  world_params.seed = 4242;
+  world_params.topo.total_as = 400;
+  world_params.pop.host_as_count = 100;
+  world_params.pop.total_peers = 1200;
+  world_params.pop.members_per_surrogate = 40;
+  population::World world(world_params);
+  core::AsapParams params;
+  params.via_source_routing = true;
+  core::AsapSystem system(world, params, 2);
+  system.join_all();
+  Rng rng = world.fork_rng(3);
+  auto sessions = population::generate_sessions(world, 50, rng);
+  ASSERT_FALSE(sessions.empty());
+  auto relays = relay::dedicated_nodes(world.relay_directory(), 8);
+  core::CallSpec spec;
+  spec.caller = sessions[0].caller;
+  spec.callee = sessions[0].callee;
+  spec.voice_duration_ms = duration_ms;
+  for (HostId h : relays) {
+    if (h == spec.caller || h == spec.callee) continue;
+    spec.via_route.push_back(h);
+    if (spec.via_route.size() == 2) break;
+  }
+  ASSERT_EQ(spec.via_route.size(), 2u);
+  const core::CallOutcome sim = core::run_call(system, spec);
+  ASSERT_TRUE(sim.completed);
+  ASSERT_TRUE(sim.relay.is_two_hop());
+
+  // --- The same chain over real UDP: caller -> R1 -> R2 -> callee ---------
+  // R2 is a plain rendezvous relay; R1 knows R2 as via peer 102 and
+  // forwards the caller's ViaSetup hop by hop (--node-id / --via-peer in
+  // asap-relay terms).
+  RelayConfig r2_config;
+  r2_config.node_id = 102;
+  auto r2 = RelayDaemon::open(net::loopback(0), r2_config);
+  ASSERT_TRUE(r2.has_value()) << r2.error().message;
+  RelayConfig r1_config;
+  r1_config.node_id = 101;
+  r1_config.via_peers[102] = r2->local_endpoint();
+  auto r1 = RelayDaemon::open(net::loopback(0), r1_config);
+  ASSERT_TRUE(r1.has_value()) << r1.error().message;
+
+  EndpointConfig caller_config = leg_config(r1->local_endpoint(), true, duration_ms);
+  caller_config.via_route = {102};
+  auto caller = EndpointClient::open(caller_config, net::loopback(0));
+  auto callee = EndpointClient::open(leg_config(r2->local_endpoint(), false,
+                                                duration_ms),
+                                     net::loopback(0));
+  ASSERT_TRUE(caller.has_value() && callee.has_value());
+
+  PollLoop loop;
+  r1->attach(loop);
+  r2->attach(loop);
+  caller->attach(loop);
+  callee->attach(loop);
+  ASSERT_TRUE(loop.run_until([&] { return caller->done() && callee->done(); },
+                             kDeadlineMs))
+      << "two-hop socket call did not finish";
+
+  // --- Equivalence: outcome fields agree with the sim ----------------------
+  const relayd::CallReport& tx = caller->report();
+  const relayd::CallReport& rx = callee->report();
+  EXPECT_EQ(tx.completed, sim.completed);
+  EXPECT_EQ(rx.completed, sim.completed);
+  EXPECT_EQ(tx.voice_packets_sent, sim.voice_packets_sent);
+  EXPECT_EQ(rx.voice_packets_received, sim.voice_packets_received);
+  EXPECT_EQ(rx.duplicate_voice_packets, sim.duplicate_voice_packets);
+  EXPECT_EQ(rx.reordered_voice_packets, sim.reordered_voice_packets);
+  EXPECT_EQ(rx.voice_packets_lost, 0u);
+  EXPECT_TRUE(tx.peer_present_seen && rx.peer_present_seen);
+
+  // Both relays processed the chain's ViaSetup (R1 forwarded it to R2).
+  EXPECT_GE(r1->metrics().value("relayd.via_setups"), 1u);
+  EXPECT_GE(r2->metrics().value("relayd.via_setups"), 1u);
+  EXPECT_EQ(r1->metrics().value("relayd.via_unknown_hop"), 0u);
 }
 
 TEST(SocketLoopback, RelayDeathMidCallSignalsFailure) {

@@ -1,0 +1,289 @@
+// Federated surrogate control plane (DESIGN.md §15): fresh gossip is
+// selection-equivalent to the flat oracle, staleness after an epoch flip is
+// real and TTL-bounded, invalidation composes with the route-flap hook, and
+// per-node state stays O(cluster + peers), not O(world).
+#include "overlay/federation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/wire.h"
+#include "population/session_gen.h"
+#include "relay/evaluation.h"
+
+namespace asap::overlay {
+namespace {
+
+population::WorldParams small_params(std::uint32_t epoch = 0) {
+  population::WorldParams params;
+  params.seed = 121;
+  params.topo.total_as = 400;
+  params.pop.host_as_count = 100;
+  params.pop.total_peers = 1500;
+  params.latency_epoch = epoch;
+  return params;
+}
+
+OverlayParams fed_params(Millis period_ms = 30'000.0, Millis ttl_ms = 120'000.0) {
+  OverlayParams op;
+  op.tier = Tier::kFederated;
+  op.gossip_period_ms = period_ms;
+  op.ib_ttl_ms = ttl_ms;
+  return op;
+}
+
+bool sets_equal(const core::CloseClusterSet& a, const core::CloseClusterSet& b) {
+  if (a.owner != b.owner || a.entries.size() != b.entries.size()) return false;
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    if (a.entries[i].cluster != b.entries[i].cluster ||
+        a.entries[i].rtt_ms != b.entries[i].rtt_ms) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct FederationFixture : public ::testing::Test {
+  void SetUp() override {
+    world = std::make_unique<population::World>(small_params());
+    Rng rng = world->fork_rng(2);
+    sessions = population::generate_sessions(*world, 800, rng);
+  }
+
+  std::unique_ptr<population::World> world;
+  core::AsapParams asap_params;
+  std::vector<population::Session> sessions;
+};
+
+TEST_F(FederationFixture, FreshGossipIsSelectionEquivalentToFlat) {
+  relay::EvaluationConfig config;
+  config.asap = asap_params;
+  config.threads = 1;
+
+  auto flat_results = relay::evaluate_methods(*world, sessions, config);
+
+  FederatedProvider fed(*world, asap_params, fed_params());
+  fed.plane().run_gossip_until(60'000.0);
+  auto fed_results = relay::evaluate_methods(*world, sessions, config, fed);
+
+  ASSERT_EQ(flat_results.size(), fed_results.size());
+  for (std::size_t m = 0; m < flat_results.size(); ++m) {
+    SCOPED_TRACE(flat_results[m].method);
+    EXPECT_EQ(flat_results[m].method, fed_results[m].method);
+    // Same knowledge => identical selection quality for every method...
+    EXPECT_EQ(flat_results[m].shortest_rtt_ms, fed_results[m].shortest_rtt_ms);
+    EXPECT_EQ(flat_results[m].quality_paths, fed_results[m].quality_paths);
+    EXPECT_EQ(flat_results[m].highest_mos, fed_results[m].highest_mos);
+    // ...but ASAP's setup messages drop: IB hits replace on-demand fetches.
+    double flat_msgs = 0.0, fed_msgs = 0.0;
+    for (double v : flat_results[m].messages) flat_msgs += v;
+    for (double v : fed_results[m].messages) fed_msgs += v;
+    if (flat_results[m].method == "ASAP") {
+      EXPECT_LT(fed_msgs, flat_msgs);
+    } else {
+      EXPECT_EQ(fed_msgs, flat_msgs);  // directory methods don't fetch sets
+    }
+  }
+  EXPECT_GT(fed.plane().ib_hits(), 0u);
+  EXPECT_GT(fed.upkeep_messages(), 0u);  // the gossip that paid for the hits
+}
+
+TEST_F(FederationFixture, FlatProviderIsBitwiseEqualToFlatOverload) {
+  relay::EvaluationConfig config;
+  config.asap = asap_params;
+  config.threads = 1;
+  relay::FlatDirectoryProvider flat(*world, asap_params);
+  auto a = relay::evaluate_methods(*world, sessions, config);
+  auto b = relay::evaluate_methods(*world, sessions, config, flat);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t m = 0; m < a.size(); ++m) {
+    SCOPED_TRACE(a[m].method);
+    EXPECT_EQ(a[m].method, b[m].method);
+    EXPECT_EQ(a[m].shortest_rtt_ms, b[m].shortest_rtt_ms);
+    EXPECT_EQ(a[m].quality_paths, b[m].quality_paths);
+    EXPECT_EQ(a[m].highest_mos, b[m].highest_mos);
+    EXPECT_EQ(a[m].messages, b[m].messages);
+  }
+}
+
+TEST_F(FederationFixture, IbHitServesWithoutFetchAndMissCharges) {
+  FederatedControlPlane plane(*world, asap_params, fed_params());
+  plane.run_gossip_until(0.0);  // one round: every surrogate announced once
+
+  const auto& clusters = world->pop().populated_clusters();
+  ASSERT_GE(clusters.size(), 2u);
+
+  // Own view: never a fetch.
+  bool fetched = true;
+  const auto& own = plane.view(clusters[0], clusters[0], fetched);
+  EXPECT_FALSE(fetched);
+  EXPECT_EQ(own.owner, clusters[0]);
+
+  // A peered foreign view within TTL: IB hit. Surrogate peering follows the
+  // close-set relation, so probe viewer clusters until one holds the target.
+  std::uint64_t hits_before = plane.ib_hits();
+  bool saw_hit = false;
+  for (ClusterId viewer : clusters) {
+    for (ClusterId target : clusters) {
+      if (viewer == target) continue;
+      bool f = true;
+      (void)plane.view(viewer, target, f);
+      if (!f) {
+        saw_hit = true;
+        break;
+      }
+    }
+    if (saw_hit) break;
+  }
+  EXPECT_TRUE(saw_hit);
+  EXPECT_GT(plane.ib_hits(), hits_before);
+}
+
+TEST_F(FederationFixture, TtlExpiryFallsBackToFetch) {
+  // Period 10 s, TTL 1 s: advance to 5 s => the t=0 round's entries are all
+  // expired and every foreign view must fetch.
+  FederatedControlPlane plane(*world, asap_params, fed_params(10'000.0, 1'000.0));
+  plane.run_gossip_until(5'000.0);
+  EXPECT_EQ(plane.rounds_run(), 1u);
+
+  const auto& clusters = world->pop().populated_clusters();
+  bool fetched = false;
+  (void)plane.view(clusters[0], clusters[1], fetched);
+  EXPECT_TRUE(fetched);
+  EXPECT_GT(plane.ib_misses(), 0u);
+}
+
+TEST_F(FederationFixture, EpochFlipServesStaleSetsUntilRefreshed) {
+  auto today = std::make_unique<population::World>(small_params(/*epoch=*/1));
+
+  const Millis period = 30'000.0;
+  // TTL = one period: after two rounds on today's world, every entry still
+  // held from the yesterday round is past TTL and can no longer be served.
+  FederatedControlPlane plane(*world, asap_params, fed_params(period, period));
+  plane.run_gossip_until(0.0);  // gossip yesterday's latencies
+  plane.set_world(*today);      // the Internet changes under the plane
+
+  core::FlatCloseSetSource fresh(*today, asap_params);
+  const auto& clusters = today->pop().populated_clusters();
+
+  // Some IB-served foreign view must still carry yesterday's numbers.
+  bool saw_stale = false;
+  for (ClusterId viewer : clusters) {
+    for (ClusterId target : clusters) {
+      if (viewer == target) continue;
+      bool from_ib = true;
+      const auto& served = plane.view(viewer, target, from_ib);
+      if (from_ib) continue;  // fetched: reads today's ground truth
+      bool f = false;
+      if (!sets_equal(served, fresh.view(viewer, target, f))) {
+        saw_stale = true;
+        break;
+      }
+    }
+    if (saw_stale) break;
+  }
+  EXPECT_TRUE(saw_stale) << "epoch flip changed no close set served from an IB";
+
+  // Two rounds later every view is either re-announced against today or
+  // TTL-expired (ex-peers stop being refreshed after the flip) and
+  // therefore fetched fresh: the plane has reconverged everywhere.
+  plane.run_gossip_until(2.0 * period);
+  for (ClusterId viewer : clusters) {
+    for (ClusterId target : clusters) {
+      if (viewer == target) continue;
+      bool from_ib = true;
+      const auto& served = plane.view(viewer, target, from_ib);
+      (void)from_ib;
+      bool f = false;
+      ASSERT_TRUE(sets_equal(served, fresh.view(viewer, target, f)))
+          << "stale IB entry survived gossip refresh + TTL expiry";
+    }
+  }
+}
+
+TEST_F(FederationFixture, InvalidateAllDropsInformationBases) {
+  FederatedControlPlane plane(*world, asap_params, fed_params());
+  plane.run_gossip_until(0.0);
+
+  // Find a view the gossiped IBs can answer, so the drop is observable.
+  const auto& clusters = world->pop().populated_clusters();
+  ClusterId viewer = ClusterId::invalid();
+  ClusterId target = ClusterId::invalid();
+  for (ClusterId v : clusters) {
+    for (ClusterId t : clusters) {
+      if (v == t) continue;
+      bool f = true;
+      (void)plane.view(v, t, f);
+      if (!f) {
+        viewer = v;
+        target = t;
+        break;
+      }
+    }
+    if (viewer.valid()) break;
+  }
+  ASSERT_TRUE(viewer.valid()) << "gossip produced no servable IB entry";
+
+  std::size_t dropped = plane.invalidate_ases({});
+  EXPECT_GT(dropped, 0u);
+
+  // With every IB empty, the same view is a fetch again.
+  bool fetched = false;
+  (void)plane.view(viewer, target, fetched);
+  EXPECT_TRUE(fetched);
+}
+
+TEST_F(FederationFixture, PerNodeStateIsBoundedByClusterNotWorld) {
+  // Per-node state is O(own set + peered surrogates): when the world grows,
+  // a surrogate's IB stays pinned to its close-set neighbourhood while the
+  // flat oracle's implied state grows with the cluster count. Measure the
+  // scaling directly on two worlds, one twice the size of the other, with
+  // sparse (k = 2) close sets so peering is not accidentally world-covering
+  // in the small test topology.
+  core::AsapParams sparse = asap_params;
+  sparse.k = 2;
+
+  auto measure = [&](const population::World& w) {
+    FederatedProvider fed(w, sparse, fed_params());
+    fed.plane().run_gossip_until(60'000.0);
+
+    // The O(world) yardstick: what a flat node would hold if it
+    // materialized every populated cluster's close set (the knowledge the
+    // flat plane assumes is globally visible for free).
+    core::FlatCloseSetSource flat(w, sparse);
+    std::uint64_t world_bytes = 0;
+    for (ClusterId c : w.pop().populated_clusters()) {
+      bool f = false;
+      const auto& set = flat.view(c, c, f);
+      world_bytes += core::wire::encoded_size(core::ProtocolPayload{
+          core::CloseSetReply{std::make_shared<core::CloseClusterSet>(set)}});
+    }
+    return std::pair<std::uint64_t, std::uint64_t>(
+        fed.max_state_bytes_per_node(), world_bytes);
+  };
+
+  population::WorldParams big_params = small_params();
+  big_params.topo.total_as = 800;
+  big_params.pop.host_as_count = 200;
+  big_params.pop.total_peers = 3000;
+  population::World big(big_params);
+
+  auto [fed_small, world_small] = measure(*world);
+  auto [fed_big, world_big] = measure(big);
+
+  EXPECT_GT(fed_small, 0u);
+  EXPECT_LT(fed_small, world_small)
+      << "a surrogate's IB should hold a slice of the world's sets";
+  EXPECT_LT(fed_big, world_big);
+  // Doubling the cluster count roughly doubles the flat yardstick but must
+  // leave per-node federated state nearly flat (close sets don't grow).
+  const double world_growth =
+      static_cast<double>(world_big) / static_cast<double>(world_small);
+  const double fed_growth =
+      static_cast<double>(fed_big) / static_cast<double>(fed_small);
+  EXPECT_GT(world_growth, 1.7);
+  EXPECT_LT(fed_growth, world_growth / 1.3)
+      << "per-node state scaled with the world, not with the cluster";
+}
+
+}  // namespace
+}  // namespace asap::overlay

@@ -136,7 +136,7 @@ TEST_F(NatFixture, BlockedCallRelaysRegardlessOfLatency) {
   core::AsapParams params;
   core::AsapSystem system(*const_cast<World*>(world.get()), params, 2);
   system.join_all();
-  auto outcome = system.call(a, b, 200.0);
+  auto outcome = core::run_call(system, a, b, 200.0);
   EXPECT_TRUE(outcome.nat_blocked);
   if (outcome.completed) {
     EXPECT_TRUE(outcome.used_relay) << "a NAT-blocked call can only complete via relay";
@@ -157,7 +157,7 @@ TEST_F(NatFixture, OpenPairStillCallsDirect) {
     core::AsapParams params;
     core::AsapSystem system(*world, params, 2);
     system.join_all();
-    auto outcome = system.call(s.caller, s.callee, 100.0);
+    auto outcome = core::run_call(system, s.caller, s.callee, 100.0);
     EXPECT_TRUE(outcome.completed);
     EXPECT_FALSE(outcome.nat_blocked);
     EXPECT_FALSE(outcome.used_relay);
