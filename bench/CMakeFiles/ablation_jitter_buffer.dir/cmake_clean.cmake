@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jitter_buffer.dir/ablation_jitter_buffer.cpp.o"
+  "CMakeFiles/ablation_jitter_buffer.dir/ablation_jitter_buffer.cpp.o.d"
+  "ablation_jitter_buffer"
+  "ablation_jitter_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jitter_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_k_hops.dir/ablation_k_hops.cpp.o"
+  "CMakeFiles/ablation_k_hops.dir/ablation_k_hops.cpp.o.d"
+  "ablation_k_hops"
+  "ablation_k_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_k_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_latt.dir/ablation_latt.cpp.o"
+  "CMakeFiles/ablation_latt.dir/ablation_latt.cpp.o.d"
+  "ablation_latt"
+  "ablation_latt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_latt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

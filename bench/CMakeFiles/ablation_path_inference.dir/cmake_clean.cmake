@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_path_inference.dir/ablation_path_inference.cpp.o"
+  "CMakeFiles/ablation_path_inference.dir/ablation_path_inference.cpp.o.d"
+  "ablation_path_inference"
+  "ablation_path_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_path_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

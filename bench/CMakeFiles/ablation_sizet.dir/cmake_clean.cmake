@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sizet.dir/ablation_sizet.cpp.o"
+  "CMakeFiles/ablation_sizet.dir/ablation_sizet.cpp.o.d"
+  "ablation_sizet"
+  "ablation_sizet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sizet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_staleness.dir/ablation_staleness.cpp.o"
+  "CMakeFiles/ablation_staleness.dir/ablation_staleness.cpp.o.d"
+  "ablation_staleness"
+  "ablation_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

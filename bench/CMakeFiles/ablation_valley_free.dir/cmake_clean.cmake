@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_valley_free.dir/ablation_valley_free.cpp.o"
+  "CMakeFiles/ablation_valley_free.dir/ablation_valley_free.cpp.o.d"
+  "ablation_valley_free"
+  "ablation_valley_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_valley_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

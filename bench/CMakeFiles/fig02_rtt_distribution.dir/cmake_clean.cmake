@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_rtt_distribution.dir/fig02_rtt_distribution.cpp.o"
+  "CMakeFiles/fig02_rtt_distribution.dir/fig02_rtt_distribution.cpp.o.d"
+  "fig02_rtt_distribution"
+  "fig02_rtt_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_rtt_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

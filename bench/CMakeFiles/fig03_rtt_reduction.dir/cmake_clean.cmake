@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_rtt_reduction.dir/fig03_rtt_reduction.cpp.o"
+  "CMakeFiles/fig03_rtt_reduction.dir/fig03_rtt_reduction.cpp.o.d"
+  "fig03_rtt_reduction"
+  "fig03_rtt_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_rtt_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_skype_timeseries.dir/fig06_skype_timeseries.cpp.o"
+  "CMakeFiles/fig06_skype_timeseries.dir/fig06_skype_timeseries.cpp.o.d"
+  "fig06_skype_timeseries"
+  "fig06_skype_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_skype_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

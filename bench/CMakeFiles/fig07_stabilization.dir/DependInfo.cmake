@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_stabilization.cpp" "bench/CMakeFiles/fig07_stabilization.dir/fig07_stabilization.cpp.o" "gcc" "bench/CMakeFiles/fig07_stabilization.dir/fig07_stabilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/src/relay/CMakeFiles/asap_relay.dir/DependInfo.cmake"
+  "/root/repo/src/trace/CMakeFiles/asap_trace.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/asap_core.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/asap_sim.dir/DependInfo.cmake"
+  "/root/repo/src/population/CMakeFiles/asap_population.dir/DependInfo.cmake"
+  "/root/repo/src/voip/CMakeFiles/asap_voip.dir/DependInfo.cmake"
+  "/root/repo/src/netmodel/CMakeFiles/asap_netmodel.dir/DependInfo.cmake"
+  "/root/repo/src/astopo/CMakeFiles/asap_astopo.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/asap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_stabilization.dir/fig07_stabilization.cpp.o"
+  "CMakeFiles/fig07_stabilization.dir/fig07_stabilization.cpp.o.d"
+  "fig07_stabilization"
+  "fig07_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

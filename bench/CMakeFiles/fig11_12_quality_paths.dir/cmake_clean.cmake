@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_12_quality_paths.dir/fig11_12_quality_paths.cpp.o"
+  "CMakeFiles/fig11_12_quality_paths.dir/fig11_12_quality_paths.cpp.o.d"
+  "fig11_12_quality_paths"
+  "fig11_12_quality_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_quality_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

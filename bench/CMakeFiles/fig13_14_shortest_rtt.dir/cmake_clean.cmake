@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_14_shortest_rtt.dir/fig13_14_shortest_rtt.cpp.o"
+  "CMakeFiles/fig13_14_shortest_rtt.dir/fig13_14_shortest_rtt.cpp.o.d"
+  "fig13_14_shortest_rtt"
+  "fig13_14_shortest_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_14_shortest_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_16_mos.dir/fig15_16_mos.cpp.o"
+  "CMakeFiles/fig15_16_mos.dir/fig15_16_mos.cpp.o.d"
+  "fig15_16_mos"
+  "fig15_16_mos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_16_mos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_overhead.dir/fig18_overhead.cpp.o"
+  "CMakeFiles/fig18_overhead.dir/fig18_overhead.cpp.o.d"
+  "fig18_overhead"
+  "fig18_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_failover.dir/fig_failover.cpp.o"
+  "CMakeFiles/fig_failover.dir/fig_failover.cpp.o.d"
+  "fig_failover"
+  "fig_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

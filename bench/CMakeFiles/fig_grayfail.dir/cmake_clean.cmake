@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_grayfail.dir/fig_grayfail.cpp.o"
+  "CMakeFiles/fig_grayfail.dir/fig_grayfail.cpp.o.d"
+  "fig_grayfail"
+  "fig_grayfail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_grayfail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_overlay.dir/fig_overlay.cpp.o"
+  "CMakeFiles/fig_overlay.dir/fig_overlay.cpp.o.d"
+  "fig_overlay"
+  "fig_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_scalability_xl.dir/fig_scalability_xl.cpp.o"
+  "CMakeFiles/fig_scalability_xl.dir/fig_scalability_xl.cpp.o.d"
+  "fig_scalability_xl"
+  "fig_scalability_xl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_scalability_xl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_soak.dir/fig_soak.cpp.o"
+  "CMakeFiles/fig_soak.dir/fig_soak.cpp.o.d"
+  "fig_soak"
+  "fig_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

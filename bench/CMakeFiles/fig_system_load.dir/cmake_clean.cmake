@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_system_load.dir/fig_system_load.cpp.o"
+  "CMakeFiles/fig_system_load.dir/fig_system_load.cpp.o.d"
+  "fig_system_load"
+  "fig_system_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_system_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_oracle_query.dir/micro_oracle_query.cpp.o"
+  "CMakeFiles/micro_oracle_query.dir/micro_oracle_query.cpp.o.d"
+  "micro_oracle_query"
+  "micro_oracle_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_oracle_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_parallel_eval.dir/micro_parallel_eval.cpp.o"
+  "CMakeFiles/micro_parallel_eval.dir/micro_parallel_eval.cpp.o.d"
+  "micro_parallel_eval"
+  "micro_parallel_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parallel_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

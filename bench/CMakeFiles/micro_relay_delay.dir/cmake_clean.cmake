@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_relay_delay.dir/micro_relay_delay.cpp.o"
+  "CMakeFiles/micro_relay_delay.dir/micro_relay_delay.cpp.o.d"
+  "micro_relay_delay"
+  "micro_relay_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_relay_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

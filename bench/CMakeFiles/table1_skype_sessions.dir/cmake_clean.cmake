@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_skype_sessions.dir/table1_skype_sessions.cpp.o"
+  "CMakeFiles/table1_skype_sessions.dir/table1_skype_sessions.cpp.o.d"
+  "table1_skype_sessions"
+  "table1_skype_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_skype_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_same_as_probes.dir/table2_same_as_probes.cpp.o"
+  "CMakeFiles/table2_same_as_probes.dir/table2_same_as_probes.cpp.o.d"
+  "table2_same_as_probes"
+  "table2_same_as_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_same_as_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_nat_connectivity.dir/table_nat_connectivity.cpp.o"
+  "CMakeFiles/table_nat_connectivity.dir/table_nat_connectivity.cpp.o.d"
+  "table_nat_connectivity"
+  "table_nat_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_nat_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

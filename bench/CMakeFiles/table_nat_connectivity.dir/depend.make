@@ -1,0 +1,2 @@
+# Empty dependencies file for table_nat_connectivity.
+# This may be replaced when dependencies are built.

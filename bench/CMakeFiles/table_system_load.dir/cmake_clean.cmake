@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_system_load.dir/table_system_load.cpp.o"
+  "CMakeFiles/table_system_load.dir/table_system_load.cpp.o.d"
+  "table_system_load"
+  "table_system_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_system_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_pipeline.dir/bgp_pipeline.cpp.o"
+  "CMakeFiles/bgp_pipeline.dir/bgp_pipeline.cpp.o.d"
+  "bgp_pipeline"
+  "bgp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

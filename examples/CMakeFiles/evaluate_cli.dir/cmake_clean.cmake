@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluate_cli.dir/evaluate_cli.cpp.o"
+  "CMakeFiles/evaluate_cli.dir/evaluate_cli.cpp.o.d"
+  "evaluate_cli"
+  "evaluate_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluate_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

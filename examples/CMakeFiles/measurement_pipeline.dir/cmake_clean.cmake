@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_pipeline.dir/measurement_pipeline.cpp.o"
+  "CMakeFiles/measurement_pipeline.dir/measurement_pipeline.cpp.o.d"
+  "measurement_pipeline"
+  "measurement_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

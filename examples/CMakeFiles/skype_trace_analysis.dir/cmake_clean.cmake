@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skype_trace_analysis.dir/skype_trace_analysis.cpp.o"
+  "CMakeFiles/skype_trace_analysis.dir/skype_trace_analysis.cpp.o.d"
+  "skype_trace_analysis"
+  "skype_trace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skype_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

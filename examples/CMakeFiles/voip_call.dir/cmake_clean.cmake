@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voip_call.dir/voip_call.cpp.o"
+  "CMakeFiles/voip_call.dir/voip_call.cpp.o.d"
+  "voip_call"
+  "voip_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voip_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("astopo")
+subdirs("netmodel")
+subdirs("voip")
+subdirs("sim")
+subdirs("population")
+subdirs("core")
+subdirs("relay")
+subdirs("overlay")
+subdirs("trace")
+subdirs("net")
+subdirs("relay_daemon")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/astopo/as_graph.cpp" "src/astopo/CMakeFiles/asap_astopo.dir/as_graph.cpp.o" "gcc" "src/astopo/CMakeFiles/asap_astopo.dir/as_graph.cpp.o.d"
+  "/root/repo/src/astopo/bgp_table.cpp" "src/astopo/CMakeFiles/asap_astopo.dir/bgp_table.cpp.o" "gcc" "src/astopo/CMakeFiles/asap_astopo.dir/bgp_table.cpp.o.d"
+  "/root/repo/src/astopo/gao_inference.cpp" "src/astopo/CMakeFiles/asap_astopo.dir/gao_inference.cpp.o" "gcc" "src/astopo/CMakeFiles/asap_astopo.dir/gao_inference.cpp.o.d"
+  "/root/repo/src/astopo/graph_io.cpp" "src/astopo/CMakeFiles/asap_astopo.dir/graph_io.cpp.o" "gcc" "src/astopo/CMakeFiles/asap_astopo.dir/graph_io.cpp.o.d"
+  "/root/repo/src/astopo/routing.cpp" "src/astopo/CMakeFiles/asap_astopo.dir/routing.cpp.o" "gcc" "src/astopo/CMakeFiles/asap_astopo.dir/routing.cpp.o.d"
+  "/root/repo/src/astopo/topology_gen.cpp" "src/astopo/CMakeFiles/asap_astopo.dir/topology_gen.cpp.o" "gcc" "src/astopo/CMakeFiles/asap_astopo.dir/topology_gen.cpp.o.d"
+  "/root/repo/src/astopo/valley_free.cpp" "src/astopo/CMakeFiles/asap_astopo.dir/valley_free.cpp.o" "gcc" "src/astopo/CMakeFiles/asap_astopo.dir/valley_free.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/asap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_astopo.dir/as_graph.cpp.o"
+  "CMakeFiles/asap_astopo.dir/as_graph.cpp.o.d"
+  "CMakeFiles/asap_astopo.dir/bgp_table.cpp.o"
+  "CMakeFiles/asap_astopo.dir/bgp_table.cpp.o.d"
+  "CMakeFiles/asap_astopo.dir/gao_inference.cpp.o"
+  "CMakeFiles/asap_astopo.dir/gao_inference.cpp.o.d"
+  "CMakeFiles/asap_astopo.dir/graph_io.cpp.o"
+  "CMakeFiles/asap_astopo.dir/graph_io.cpp.o.d"
+  "CMakeFiles/asap_astopo.dir/routing.cpp.o"
+  "CMakeFiles/asap_astopo.dir/routing.cpp.o.d"
+  "CMakeFiles/asap_astopo.dir/topology_gen.cpp.o"
+  "CMakeFiles/asap_astopo.dir/topology_gen.cpp.o.d"
+  "CMakeFiles/asap_astopo.dir/valley_free.cpp.o"
+  "CMakeFiles/asap_astopo.dir/valley_free.cpp.o.d"
+  "libasap_astopo.a"
+  "libasap_astopo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_astopo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

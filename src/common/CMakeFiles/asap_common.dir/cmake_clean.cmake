@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_common.dir/ip.cpp.o"
+  "CMakeFiles/asap_common.dir/ip.cpp.o.d"
+  "CMakeFiles/asap_common.dir/log.cpp.o"
+  "CMakeFiles/asap_common.dir/log.cpp.o.d"
+  "CMakeFiles/asap_common.dir/metrics.cpp.o"
+  "CMakeFiles/asap_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/asap_common.dir/rng.cpp.o"
+  "CMakeFiles/asap_common.dir/rng.cpp.o.d"
+  "CMakeFiles/asap_common.dir/stats.cpp.o"
+  "CMakeFiles/asap_common.dir/stats.cpp.o.d"
+  "CMakeFiles/asap_common.dir/table.cpp.o"
+  "CMakeFiles/asap_common.dir/table.cpp.o.d"
+  "CMakeFiles/asap_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/asap_common.dir/thread_pool.cpp.o.d"
+  "libasap_common.a"
+  "libasap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

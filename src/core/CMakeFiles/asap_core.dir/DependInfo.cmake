@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/close_cluster.cpp" "src/core/CMakeFiles/asap_core.dir/close_cluster.cpp.o" "gcc" "src/core/CMakeFiles/asap_core.dir/close_cluster.cpp.o.d"
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/asap_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/asap_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/asap_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/asap_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/select_relay.cpp" "src/core/CMakeFiles/asap_core.dir/select_relay.cpp.o" "gcc" "src/core/CMakeFiles/asap_core.dir/select_relay.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/asap_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/asap_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/population/CMakeFiles/asap_population.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/asap_sim.dir/DependInfo.cmake"
+  "/root/repo/src/voip/CMakeFiles/asap_voip.dir/DependInfo.cmake"
+  "/root/repo/src/netmodel/CMakeFiles/asap_netmodel.dir/DependInfo.cmake"
+  "/root/repo/src/astopo/CMakeFiles/asap_astopo.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/asap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

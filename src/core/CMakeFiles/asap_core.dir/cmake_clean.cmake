@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_core.dir/close_cluster.cpp.o"
+  "CMakeFiles/asap_core.dir/close_cluster.cpp.o.d"
+  "CMakeFiles/asap_core.dir/config_io.cpp.o"
+  "CMakeFiles/asap_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/asap_core.dir/protocol.cpp.o"
+  "CMakeFiles/asap_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/asap_core.dir/select_relay.cpp.o"
+  "CMakeFiles/asap_core.dir/select_relay.cpp.o.d"
+  "CMakeFiles/asap_core.dir/wire.cpp.o"
+  "CMakeFiles/asap_core.dir/wire.cpp.o.d"
+  "libasap_core.a"
+  "libasap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

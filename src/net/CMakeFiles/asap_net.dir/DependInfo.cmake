@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr_map.cpp" "src/net/CMakeFiles/asap_net.dir/addr_map.cpp.o" "gcc" "src/net/CMakeFiles/asap_net.dir/addr_map.cpp.o.d"
+  "/root/repo/src/net/endpoint.cpp" "src/net/CMakeFiles/asap_net.dir/endpoint.cpp.o" "gcc" "src/net/CMakeFiles/asap_net.dir/endpoint.cpp.o.d"
+  "/root/repo/src/net/poll_loop.cpp" "src/net/CMakeFiles/asap_net.dir/poll_loop.cpp.o" "gcc" "src/net/CMakeFiles/asap_net.dir/poll_loop.cpp.o.d"
+  "/root/repo/src/net/session_table.cpp" "src/net/CMakeFiles/asap_net.dir/session_table.cpp.o" "gcc" "src/net/CMakeFiles/asap_net.dir/session_table.cpp.o.d"
+  "/root/repo/src/net/udp_socket.cpp" "src/net/CMakeFiles/asap_net.dir/udp_socket.cpp.o" "gcc" "src/net/CMakeFiles/asap_net.dir/udp_socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/asap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

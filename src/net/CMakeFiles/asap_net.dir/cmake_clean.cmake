@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_net.dir/addr_map.cpp.o"
+  "CMakeFiles/asap_net.dir/addr_map.cpp.o.d"
+  "CMakeFiles/asap_net.dir/endpoint.cpp.o"
+  "CMakeFiles/asap_net.dir/endpoint.cpp.o.d"
+  "CMakeFiles/asap_net.dir/poll_loop.cpp.o"
+  "CMakeFiles/asap_net.dir/poll_loop.cpp.o.d"
+  "CMakeFiles/asap_net.dir/session_table.cpp.o"
+  "CMakeFiles/asap_net.dir/session_table.cpp.o.d"
+  "CMakeFiles/asap_net.dir/udp_socket.cpp.o"
+  "CMakeFiles/asap_net.dir/udp_socket.cpp.o.d"
+  "libasap_net.a"
+  "libasap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

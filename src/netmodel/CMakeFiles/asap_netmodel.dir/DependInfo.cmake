@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netmodel/king.cpp" "src/netmodel/CMakeFiles/asap_netmodel.dir/king.cpp.o" "gcc" "src/netmodel/CMakeFiles/asap_netmodel.dir/king.cpp.o.d"
+  "/root/repo/src/netmodel/latency_model.cpp" "src/netmodel/CMakeFiles/asap_netmodel.dir/latency_model.cpp.o" "gcc" "src/netmodel/CMakeFiles/asap_netmodel.dir/latency_model.cpp.o.d"
+  "/root/repo/src/netmodel/oracle.cpp" "src/netmodel/CMakeFiles/asap_netmodel.dir/oracle.cpp.o" "gcc" "src/netmodel/CMakeFiles/asap_netmodel.dir/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/astopo/CMakeFiles/asap_astopo.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/asap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_netmodel.dir/king.cpp.o"
+  "CMakeFiles/asap_netmodel.dir/king.cpp.o.d"
+  "CMakeFiles/asap_netmodel.dir/latency_model.cpp.o"
+  "CMakeFiles/asap_netmodel.dir/latency_model.cpp.o.d"
+  "CMakeFiles/asap_netmodel.dir/oracle.cpp.o"
+  "CMakeFiles/asap_netmodel.dir/oracle.cpp.o.d"
+  "libasap_netmodel.a"
+  "libasap_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

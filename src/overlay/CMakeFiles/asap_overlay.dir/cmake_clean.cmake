@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_overlay.dir/federation.cpp.o"
+  "CMakeFiles/asap_overlay.dir/federation.cpp.o.d"
+  "libasap_overlay.a"
+  "libasap_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/population/measurement.cpp" "src/population/CMakeFiles/asap_population.dir/measurement.cpp.o" "gcc" "src/population/CMakeFiles/asap_population.dir/measurement.cpp.o.d"
+  "/root/repo/src/population/peer_population.cpp" "src/population/CMakeFiles/asap_population.dir/peer_population.cpp.o" "gcc" "src/population/CMakeFiles/asap_population.dir/peer_population.cpp.o.d"
+  "/root/repo/src/population/relay_directory.cpp" "src/population/CMakeFiles/asap_population.dir/relay_directory.cpp.o" "gcc" "src/population/CMakeFiles/asap_population.dir/relay_directory.cpp.o.d"
+  "/root/repo/src/population/session_gen.cpp" "src/population/CMakeFiles/asap_population.dir/session_gen.cpp.o" "gcc" "src/population/CMakeFiles/asap_population.dir/session_gen.cpp.o.d"
+  "/root/repo/src/population/world.cpp" "src/population/CMakeFiles/asap_population.dir/world.cpp.o" "gcc" "src/population/CMakeFiles/asap_population.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/netmodel/CMakeFiles/asap_netmodel.dir/DependInfo.cmake"
+  "/root/repo/src/astopo/CMakeFiles/asap_astopo.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/asap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

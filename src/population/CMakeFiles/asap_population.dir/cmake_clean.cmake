@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_population.dir/measurement.cpp.o"
+  "CMakeFiles/asap_population.dir/measurement.cpp.o.d"
+  "CMakeFiles/asap_population.dir/peer_population.cpp.o"
+  "CMakeFiles/asap_population.dir/peer_population.cpp.o.d"
+  "CMakeFiles/asap_population.dir/relay_directory.cpp.o"
+  "CMakeFiles/asap_population.dir/relay_directory.cpp.o.d"
+  "CMakeFiles/asap_population.dir/session_gen.cpp.o"
+  "CMakeFiles/asap_population.dir/session_gen.cpp.o.d"
+  "CMakeFiles/asap_population.dir/world.cpp.o"
+  "CMakeFiles/asap_population.dir/world.cpp.o.d"
+  "libasap_population.a"
+  "libasap_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_relay.dir/asap_selector.cpp.o"
+  "CMakeFiles/asap_relay.dir/asap_selector.cpp.o.d"
+  "CMakeFiles/asap_relay.dir/baselines.cpp.o"
+  "CMakeFiles/asap_relay.dir/baselines.cpp.o.d"
+  "CMakeFiles/asap_relay.dir/evaluation.cpp.o"
+  "CMakeFiles/asap_relay.dir/evaluation.cpp.o.d"
+  "libasap_relay.a"
+  "libasap_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

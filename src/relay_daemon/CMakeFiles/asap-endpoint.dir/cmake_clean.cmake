@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap-endpoint.dir/endpoint_main.cpp.o"
+  "CMakeFiles/asap-endpoint.dir/endpoint_main.cpp.o.d"
+  "asap-endpoint"
+  "asap-endpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap-endpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

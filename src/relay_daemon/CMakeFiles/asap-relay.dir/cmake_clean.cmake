@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap-relay.dir/relay_main.cpp.o"
+  "CMakeFiles/asap-relay.dir/relay_main.cpp.o.d"
+  "asap-relay"
+  "asap-relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap-relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_relayd.dir/endpoint_client.cpp.o"
+  "CMakeFiles/asap_relayd.dir/endpoint_client.cpp.o.d"
+  "CMakeFiles/asap_relayd.dir/relay_core.cpp.o"
+  "CMakeFiles/asap_relayd.dir/relay_core.cpp.o.d"
+  "CMakeFiles/asap_relayd.dir/relay_daemon.cpp.o"
+  "CMakeFiles/asap_relayd.dir/relay_daemon.cpp.o.d"
+  "libasap_relayd.a"
+  "libasap_relayd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_relayd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

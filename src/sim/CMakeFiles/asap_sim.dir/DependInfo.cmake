@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arrivals.cpp" "src/sim/CMakeFiles/asap_sim.dir/arrivals.cpp.o" "gcc" "src/sim/CMakeFiles/asap_sim.dir/arrivals.cpp.o.d"
+  "/root/repo/src/sim/churn_plan.cpp" "src/sim/CMakeFiles/asap_sim.dir/churn_plan.cpp.o" "gcc" "src/sim/CMakeFiles/asap_sim.dir/churn_plan.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/asap_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/asap_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fault_plan.cpp" "src/sim/CMakeFiles/asap_sim.dir/fault_plan.cpp.o" "gcc" "src/sim/CMakeFiles/asap_sim.dir/fault_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/netmodel/CMakeFiles/asap_netmodel.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/asap_common.dir/DependInfo.cmake"
+  "/root/repo/src/astopo/CMakeFiles/asap_astopo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

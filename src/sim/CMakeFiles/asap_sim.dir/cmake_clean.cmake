@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_sim.dir/arrivals.cpp.o"
+  "CMakeFiles/asap_sim.dir/arrivals.cpp.o.d"
+  "CMakeFiles/asap_sim.dir/churn_plan.cpp.o"
+  "CMakeFiles/asap_sim.dir/churn_plan.cpp.o.d"
+  "CMakeFiles/asap_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/asap_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/asap_sim.dir/fault_plan.cpp.o"
+  "CMakeFiles/asap_sim.dir/fault_plan.cpp.o.d"
+  "libasap_sim.a"
+  "libasap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

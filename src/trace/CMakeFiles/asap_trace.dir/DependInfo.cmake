@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cpp" "src/trace/CMakeFiles/asap_trace.dir/analyzer.cpp.o" "gcc" "src/trace/CMakeFiles/asap_trace.dir/analyzer.cpp.o.d"
+  "/root/repo/src/trace/pcapio.cpp" "src/trace/CMakeFiles/asap_trace.dir/pcapio.cpp.o" "gcc" "src/trace/CMakeFiles/asap_trace.dir/pcapio.cpp.o.d"
+  "/root/repo/src/trace/skype_model.cpp" "src/trace/CMakeFiles/asap_trace.dir/skype_model.cpp.o" "gcc" "src/trace/CMakeFiles/asap_trace.dir/skype_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/population/CMakeFiles/asap_population.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/asap_common.dir/DependInfo.cmake"
+  "/root/repo/src/netmodel/CMakeFiles/asap_netmodel.dir/DependInfo.cmake"
+  "/root/repo/src/astopo/CMakeFiles/asap_astopo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

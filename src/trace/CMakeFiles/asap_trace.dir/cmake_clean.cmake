@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_trace.dir/analyzer.cpp.o"
+  "CMakeFiles/asap_trace.dir/analyzer.cpp.o.d"
+  "CMakeFiles/asap_trace.dir/pcapio.cpp.o"
+  "CMakeFiles/asap_trace.dir/pcapio.cpp.o.d"
+  "CMakeFiles/asap_trace.dir/skype_model.cpp.o"
+  "CMakeFiles/asap_trace.dir/skype_model.cpp.o.d"
+  "libasap_trace.a"
+  "libasap_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

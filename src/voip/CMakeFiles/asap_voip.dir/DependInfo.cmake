@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/voip/dynamics.cpp" "src/voip/CMakeFiles/asap_voip.dir/dynamics.cpp.o" "gcc" "src/voip/CMakeFiles/asap_voip.dir/dynamics.cpp.o.d"
+  "/root/repo/src/voip/emodel.cpp" "src/voip/CMakeFiles/asap_voip.dir/emodel.cpp.o" "gcc" "src/voip/CMakeFiles/asap_voip.dir/emodel.cpp.o.d"
+  "/root/repo/src/voip/jitter_buffer.cpp" "src/voip/CMakeFiles/asap_voip.dir/jitter_buffer.cpp.o" "gcc" "src/voip/CMakeFiles/asap_voip.dir/jitter_buffer.cpp.o.d"
+  "/root/repo/src/voip/path_switching.cpp" "src/voip/CMakeFiles/asap_voip.dir/path_switching.cpp.o" "gcc" "src/voip/CMakeFiles/asap_voip.dir/path_switching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/asap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_voip.dir/dynamics.cpp.o"
+  "CMakeFiles/asap_voip.dir/dynamics.cpp.o.d"
+  "CMakeFiles/asap_voip.dir/emodel.cpp.o"
+  "CMakeFiles/asap_voip.dir/emodel.cpp.o.d"
+  "CMakeFiles/asap_voip.dir/jitter_buffer.cpp.o"
+  "CMakeFiles/asap_voip.dir/jitter_buffer.cpp.o.d"
+  "CMakeFiles/asap_voip.dir/path_switching.cpp.o"
+  "CMakeFiles/asap_voip.dir/path_switching.cpp.o.d"
+  "libasap_voip.a"
+  "libasap_voip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_voip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_astopo.dir/astopo/as_graph_test.cpp.o"
+  "CMakeFiles/test_astopo.dir/astopo/as_graph_test.cpp.o.d"
+  "CMakeFiles/test_astopo.dir/astopo/bgp_table_test.cpp.o"
+  "CMakeFiles/test_astopo.dir/astopo/bgp_table_test.cpp.o.d"
+  "CMakeFiles/test_astopo.dir/astopo/gao_inference_test.cpp.o"
+  "CMakeFiles/test_astopo.dir/astopo/gao_inference_test.cpp.o.d"
+  "CMakeFiles/test_astopo.dir/astopo/graph_io_test.cpp.o"
+  "CMakeFiles/test_astopo.dir/astopo/graph_io_test.cpp.o.d"
+  "CMakeFiles/test_astopo.dir/astopo/prefix_trie_test.cpp.o"
+  "CMakeFiles/test_astopo.dir/astopo/prefix_trie_test.cpp.o.d"
+  "CMakeFiles/test_astopo.dir/astopo/routing_test.cpp.o"
+  "CMakeFiles/test_astopo.dir/astopo/routing_test.cpp.o.d"
+  "CMakeFiles/test_astopo.dir/astopo/topology_gen_test.cpp.o"
+  "CMakeFiles/test_astopo.dir/astopo/topology_gen_test.cpp.o.d"
+  "CMakeFiles/test_astopo.dir/astopo/valley_free_test.cpp.o"
+  "CMakeFiles/test_astopo.dir/astopo/valley_free_test.cpp.o.d"
+  "test_astopo"
+  "test_astopo.pdb"
+  "test_astopo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_astopo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

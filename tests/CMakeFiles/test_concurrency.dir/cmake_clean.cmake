@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrency.dir/common/metrics_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/common/metrics_test.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/common/thread_pool_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/common/thread_pool_test.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/core/churn_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/core/churn_test.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/core/close_cache_concurrency_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/core/close_cache_concurrency_test.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/core/concurrent_session_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/core/concurrent_session_test.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/core/failover_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/core/failover_test.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/netmodel/oracle_bounded_cache_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/netmodel/oracle_bounded_cache_test.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/netmodel/oracle_concurrency_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/netmodel/oracle_concurrency_test.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/sim/fault_plan_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/sim/fault_plan_test.cpp.o.d"
+  "test_concurrency"
+  "test_concurrency.pdb"
+  "test_concurrency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/admission_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/admission_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/close_cluster_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/close_cluster_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/config_io_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/config_io_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/harvest_lifecycle_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/harvest_lifecycle_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/protocol_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/protocol_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/select_relay_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/select_relay_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/wire_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/wire_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

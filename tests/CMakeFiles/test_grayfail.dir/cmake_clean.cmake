@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grayfail.dir/core/quality_failover_test.cpp.o"
+  "CMakeFiles/test_grayfail.dir/core/quality_failover_test.cpp.o.d"
+  "CMakeFiles/test_grayfail.dir/core/wire_fuzz_test.cpp.o"
+  "CMakeFiles/test_grayfail.dir/core/wire_fuzz_test.cpp.o.d"
+  "test_grayfail"
+  "test_grayfail.pdb"
+  "test_grayfail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grayfail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/endpoint_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/endpoint_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/relay_core_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/relay_core_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/session_table_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/session_table_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/udp_socket_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/udp_socket_test.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

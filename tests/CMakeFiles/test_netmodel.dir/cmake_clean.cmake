@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netmodel.dir/netmodel/king_test.cpp.o"
+  "CMakeFiles/test_netmodel.dir/netmodel/king_test.cpp.o.d"
+  "CMakeFiles/test_netmodel.dir/netmodel/latency_model_test.cpp.o"
+  "CMakeFiles/test_netmodel.dir/netmodel/latency_model_test.cpp.o.d"
+  "CMakeFiles/test_netmodel.dir/netmodel/oracle_invalidation_test.cpp.o"
+  "CMakeFiles/test_netmodel.dir/netmodel/oracle_invalidation_test.cpp.o.d"
+  "CMakeFiles/test_netmodel.dir/netmodel/oracle_test.cpp.o"
+  "CMakeFiles/test_netmodel.dir/netmodel/oracle_test.cpp.o.d"
+  "test_netmodel"
+  "test_netmodel.pdb"
+  "test_netmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

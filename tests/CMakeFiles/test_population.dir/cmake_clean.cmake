@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_population.dir/population/batch_query_test.cpp.o"
+  "CMakeFiles/test_population.dir/population/batch_query_test.cpp.o.d"
+  "CMakeFiles/test_population.dir/population/measurement_test.cpp.o"
+  "CMakeFiles/test_population.dir/population/measurement_test.cpp.o.d"
+  "CMakeFiles/test_population.dir/population/multi_surrogate_test.cpp.o"
+  "CMakeFiles/test_population.dir/population/multi_surrogate_test.cpp.o.d"
+  "CMakeFiles/test_population.dir/population/nat_test.cpp.o"
+  "CMakeFiles/test_population.dir/population/nat_test.cpp.o.d"
+  "CMakeFiles/test_population.dir/population/peer_population_test.cpp.o"
+  "CMakeFiles/test_population.dir/population/peer_population_test.cpp.o.d"
+  "CMakeFiles/test_population.dir/population/session_gen_test.cpp.o"
+  "CMakeFiles/test_population.dir/population/session_gen_test.cpp.o.d"
+  "CMakeFiles/test_population.dir/population/soa_equivalence_test.cpp.o"
+  "CMakeFiles/test_population.dir/population/soa_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_population.dir/population/world_test.cpp.o"
+  "CMakeFiles/test_population.dir/population/world_test.cpp.o.d"
+  "test_population"
+  "test_population.pdb"
+  "test_population[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

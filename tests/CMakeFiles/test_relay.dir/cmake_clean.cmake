@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relay.dir/relay/baselines_test.cpp.o"
+  "CMakeFiles/test_relay.dir/relay/baselines_test.cpp.o.d"
+  "CMakeFiles/test_relay.dir/relay/batch_equivalence_test.cpp.o"
+  "CMakeFiles/test_relay.dir/relay/batch_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_relay.dir/relay/evaluation_test.cpp.o"
+  "CMakeFiles/test_relay.dir/relay/evaluation_test.cpp.o.d"
+  "test_relay"
+  "test_relay.pdb"
+  "test_relay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

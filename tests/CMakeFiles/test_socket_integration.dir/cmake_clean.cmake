@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_socket_integration.dir/integration/socket_loopback_test.cpp.o"
+  "CMakeFiles/test_socket_integration.dir/integration/socket_loopback_test.cpp.o.d"
+  "CMakeFiles/test_socket_integration.dir/integration/socket_netns_test.cpp.o"
+  "CMakeFiles/test_socket_integration.dir/integration/socket_netns_test.cpp.o.d"
+  "test_socket_integration"
+  "test_socket_integration.pdb"
+  "test_socket_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_socket_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_voip.dir/voip/dynamics_test.cpp.o"
+  "CMakeFiles/test_voip.dir/voip/dynamics_test.cpp.o.d"
+  "CMakeFiles/test_voip.dir/voip/emodel_test.cpp.o"
+  "CMakeFiles/test_voip.dir/voip/emodel_test.cpp.o.d"
+  "CMakeFiles/test_voip.dir/voip/jitter_buffer_test.cpp.o"
+  "CMakeFiles/test_voip.dir/voip/jitter_buffer_test.cpp.o.d"
+  "CMakeFiles/test_voip.dir/voip/path_switching_test.cpp.o"
+  "CMakeFiles/test_voip.dir/voip/path_switching_test.cpp.o.d"
+  "test_voip"
+  "test_voip.pdb"
+  "test_voip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_voip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

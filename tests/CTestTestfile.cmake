@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/test_common[1]_include.cmake")
+include("/root/repo/tests/test_astopo[1]_include.cmake")
+include("/root/repo/tests/test_netmodel[1]_include.cmake")
+include("/root/repo/tests/test_voip[1]_include.cmake")
+include("/root/repo/tests/test_sim[1]_include.cmake")
+include("/root/repo/tests/test_population[1]_include.cmake")
+include("/root/repo/tests/test_core[1]_include.cmake")
+include("/root/repo/tests/test_relay[1]_include.cmake")
+include("/root/repo/tests/test_overlay[1]_include.cmake")
+include("/root/repo/tests/test_trace[1]_include.cmake")
+include("/root/repo/tests/test_bench[1]_include.cmake")
+include("/root/repo/tests/test_concurrency[1]_include.cmake")
+include("/root/repo/tests/test_grayfail[1]_include.cmake")
+include("/root/repo/tests/test_integration[1]_include.cmake")
+include("/root/repo/tests/test_soak[1]_include.cmake")
+include("/root/repo/tests/test_net[1]_include.cmake")
+include("/root/repo/tests/test_socket_integration[1]_include.cmake")
